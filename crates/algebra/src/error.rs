@@ -1,0 +1,119 @@
+//! Error type shared by the algebra layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or type-checking algebra expressions and plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// An attribute name could not be resolved against a schema.
+    UnknownAttribute {
+        /// The attribute name (possibly qualified) that failed to resolve.
+        name: String,
+        /// The attribute names that were available.
+        available: Vec<String>,
+    },
+    /// An attribute name resolved to more than one attribute.
+    AmbiguousAttribute {
+        /// The ambiguous name.
+        name: String,
+    },
+    /// A column index was out of bounds for the schema it was resolved against.
+    ColumnIndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The width of the schema.
+        width: usize,
+    },
+    /// Two operands of an operation had incompatible types.
+    TypeMismatch {
+        /// Human-readable description of the context.
+        context: String,
+        /// The left/first type.
+        left: String,
+        /// The right/second type.
+        right: String,
+    },
+    /// Inputs of a set operation were not union compatible.
+    NotUnionCompatible {
+        /// Width of the left input.
+        left_width: usize,
+        /// Width of the right input.
+        right_width: usize,
+    },
+    /// A value could not be parsed from its textual form.
+    ParseValue {
+        /// The text that failed to parse.
+        text: String,
+        /// The target type.
+        target: String,
+    },
+    /// Arithmetic failed (overflow, division by zero on integers, ...).
+    Arithmetic(String),
+    /// Catch-all for invariant violations.
+    Internal(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownAttribute { name, available } => {
+                write!(f, "unknown attribute '{name}' (available: {})", available.join(", "))
+            }
+            AlgebraError::AmbiguousAttribute { name } => {
+                write!(f, "ambiguous attribute reference '{name}'")
+            }
+            AlgebraError::ColumnIndexOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for schema of width {width}")
+            }
+            AlgebraError::TypeMismatch { context, left, right } => {
+                write!(f, "type mismatch in {context}: {left} vs {right}")
+            }
+            AlgebraError::NotUnionCompatible { left_width, right_width } => {
+                write!(
+                    f,
+                    "set operation inputs are not union compatible ({left_width} vs {right_width} columns)"
+                )
+            }
+            AlgebraError::ParseValue { text, target } => {
+                write!(f, "cannot parse '{text}' as {target}")
+            }
+            AlgebraError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            AlgebraError::Internal(msg) => write!(f, "internal algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute_lists_candidates() {
+        let err = AlgebraError::UnknownAttribute {
+            name: "shop.zip".into(),
+            available: vec!["name".into(), "numempl".into()],
+        };
+        let text = err.to_string();
+        assert!(text.contains("shop.zip"));
+        assert!(text.contains("numempl"));
+    }
+
+    #[test]
+    fn display_type_mismatch_mentions_both_sides() {
+        let err = AlgebraError::TypeMismatch {
+            context: "addition".into(),
+            left: "Int".into(),
+            right: "Text".into(),
+        };
+        assert!(err.to_string().contains("Int"));
+        assert!(err.to_string().contains("Text"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&AlgebraError::Internal("x".into()));
+    }
+}

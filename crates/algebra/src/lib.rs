@@ -1,0 +1,46 @@
+//! # perm-algebra
+//!
+//! The extended, bag-semantic relational algebra underlying the Perm provenance system
+//! (Glavic & Alonso, ICDE 2009, Figure 1).
+//!
+//! This crate defines the *logical* layer shared by every other crate in the workspace:
+//!
+//! * [`Value`] / [`DataType`] — the scalar type system (SQL-style three-valued logic, dates,
+//!   numeric types, text).
+//! * [`Tuple`] — a row of values.
+//! * [`Schema`] / [`Attribute`] — result descriptions with optional relation qualifiers and
+//!   provenance markers.
+//! * [`expr::ScalarExpr`] / [`expr::AggregateExpr`] — the expression language allowed in
+//!   projections, selections, join conditions and aggregations.
+//! * [`plan::LogicalPlan`] — the algebra operators of the paper's Figure 1: set/bag projection,
+//!   selection, cross product, inner and outer joins, aggregation, and set/bag union,
+//!   intersection and difference, plus the auxiliary operators needed for SQL (sort, limit,
+//!   values, subquery alias).
+//! * [`builder::PlanBuilder`] — an ergonomic way to assemble plans in tests, baselines and
+//!   workload generators.
+//!
+//! The algebra is deliberately engine-agnostic: execution lives in `perm-exec`, storage in
+//! `perm-storage`, SQL binding in `perm-sql`, and the provenance rewrite rules (the paper's
+//! contribution) in `perm-core`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod error;
+pub mod expr;
+pub mod plan;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use builder::PlanBuilder;
+pub use error::AlgebraError;
+pub use expr::{
+    AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr, ScalarFunction, SortKey,
+    SortOrder, SublinkKind, UnaryOperator,
+};
+pub use plan::{JoinKind, LogicalPlan, ProvenanceAnnotationKind, SetOpKind, SetSemantics};
+pub use schema::{Attribute, Schema};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

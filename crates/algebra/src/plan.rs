@@ -1,0 +1,657 @@
+//! The logical algebra operators of the Perm paper (Figure 1), plus the auxiliary operators
+//! needed to express SQL (sort, limit, literal values, subquery aliases).
+//!
+//! Plans are immutable trees with [`std::sync::Arc`] children so that the provenance rewriter can
+//! duplicate sub-plans cheaply (rewrite rules R5–R9 and the ASPJ / set-operation query-tree
+//! rewrites all reference the *original* sub-plan next to its rewritten copy).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::AlgebraError;
+use crate::expr::{AggregateExpr, ScalarExpr, SortKey};
+use crate::schema::{Attribute, Schema};
+use crate::tuple::Tuple;
+use crate::value::DataType;
+
+/// Set vs. bag semantics of an operator (the `S`/`B` superscripts of Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetSemantics {
+    /// Duplicate-eliminating (set) semantics.
+    Set,
+    /// Duplicate-preserving (bag) semantics.
+    Bag,
+}
+
+/// The kind of a set operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOpKind {
+    /// Union (`∪`).
+    Union,
+    /// Intersection (`∩`).
+    Intersect,
+    /// Difference (`−`).
+    Difference,
+}
+
+impl fmt::Display for SetOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SetOpKind::Union => "UNION",
+            SetOpKind::Intersect => "INTERSECT",
+            SetOpKind::Difference => "EXCEPT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of a join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Cross product (`×`).
+    Cross,
+    /// Inner join (`⋈_C`).
+    Inner,
+    /// Left outer join.
+    LeftOuter,
+    /// Right outer join.
+    RightOuter,
+    /// Full outer join.
+    FullOuter,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Cross => "CROSS",
+            JoinKind::Inner => "INNER",
+            JoinKind::LeftOuter => "LEFT OUTER",
+            JoinKind::RightOuter => "RIGHT OUTER",
+            JoinKind::FullOuter => "FULL OUTER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A node of the logical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// A reference to a stored base relation (or a view / subquery forced to act as one via the
+    /// SQL-PLE `BASERELATION` keyword).
+    BaseRelation {
+        /// Catalog name of the relation.
+        name: String,
+        /// Alias under which the relation is referenced, if any.
+        alias: Option<String>,
+        /// The relation's schema (attribute qualifiers already set to the alias or name).
+        schema: Schema,
+        /// Reference counter distinguishing multiple references to the same relation within one
+        /// query; used by the provenance attribute naming scheme (`prov_<rel>_<k>_<attr>`).
+        ref_id: usize,
+    },
+    /// A literal relation (used by `INSERT ... VALUES` and tests).
+    Values {
+        /// Schema of the rows.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// Projection `Π_A(T)`; `distinct = true` selects the set-semantics version.
+    Projection {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Projected expressions with output names.
+        exprs: Vec<(ScalarExpr, String)>,
+        /// Whether duplicates are eliminated (set semantics).
+        distinct: bool,
+    },
+    /// Selection `σ_C(T)`.
+    Selection {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// The predicate.
+        predicate: ScalarExpr,
+    },
+    /// Cross product / join family (`×`, `⋈_C`, outer joins). The join condition refers to the
+    /// concatenated schema `left ++ right`.
+    Join {
+        /// Left input.
+        left: Arc<LogicalPlan>,
+        /// Right input.
+        right: Arc<LogicalPlan>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Join condition; `None` only for cross products.
+        condition: Option<ScalarExpr>,
+    },
+    /// Aggregation `α_{G, aggr}(T)`; output schema is the grouping expressions followed by the
+    /// aggregate results.
+    Aggregation {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Grouping expressions with output names.
+        group_by: Vec<(ScalarExpr, String)>,
+        /// Aggregate expressions with output names.
+        aggregates: Vec<(AggregateExpr, String)>,
+    },
+    /// Set operation (union / intersection / difference) with set or bag semantics.
+    SetOp {
+        /// Left input.
+        left: Arc<LogicalPlan>,
+        /// Right input.
+        right: Arc<LogicalPlan>,
+        /// Which set operation.
+        kind: SetOpKind,
+        /// Set or bag semantics (`UNION` vs `UNION ALL`).
+        semantics: SetSemantics,
+    },
+    /// Sort (`ORDER BY`). Provenance rewriting passes through this operator untouched.
+    Sort {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// Limit / offset.
+    Limit {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// Maximum number of rows to return (`None` = unlimited).
+        limit: Option<usize>,
+        /// Number of rows to skip.
+        offset: usize,
+    },
+    /// A named subquery (`FROM (...) AS alias`); only changes attribute qualifiers.
+    SubqueryAlias {
+        /// Input plan.
+        input: Arc<LogicalPlan>,
+        /// The alias.
+        alias: String,
+    },
+    /// An SQL-PLE provenance annotation attached to a from-clause item (§IV-A of the paper).
+    ///
+    /// Normal execution passes straight through this node; the provenance rewriter of
+    /// `perm-core` interprets it.
+    ProvenanceAnnotation {
+        /// The annotated sub-plan.
+        input: Arc<LogicalPlan>,
+        /// Which annotation was given.
+        kind: ProvenanceAnnotationKind,
+    },
+}
+
+/// The kinds of SQL-PLE from-clause provenance annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProvenanceAnnotationKind {
+    /// `... BASERELATION` — treat the sub-plan as a base relation (rewrite rule R1 applies to it
+    /// as a whole), limiting the provenance scope.
+    BaseRelation,
+    /// `... PROVENANCE (attr, ...)` — the sub-plan is already provenance-rewritten (external or
+    /// stored provenance); the listed attributes form its P-list.
+    AlreadyRewritten(Vec<String>),
+}
+
+impl LogicalPlan {
+    /// The output schema of this plan node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::BaseRelation { schema, .. } | LogicalPlan::Values { schema, .. } => schema.clone(),
+            LogicalPlan::Projection { input, exprs, .. } => {
+                let in_schema = input.schema();
+                Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, name)| {
+                            let data_type = e.data_type(&in_schema).unwrap_or(DataType::Text);
+                            // Propagate the provenance flag and qualifier of direct column refs.
+                            let (provenance, qualifier) = match e.as_column() {
+                                Some(i) => in_schema
+                                    .attribute(i)
+                                    .map(|a| (a.provenance, a.qualifier.clone()))
+                                    .unwrap_or((false, None)),
+                                None => (false, None),
+                            };
+                            Attribute { name: name.clone(), data_type, qualifier, provenance }
+                        })
+                        .collect(),
+                )
+            }
+            LogicalPlan::Selection { input, .. } => input.schema(),
+            LogicalPlan::Join { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::Aggregation { input, group_by, aggregates } => {
+                let in_schema = input.schema();
+                let mut attrs = Vec::with_capacity(group_by.len() + aggregates.len());
+                for (e, name) in group_by {
+                    let data_type = e.data_type(&in_schema).unwrap_or(DataType::Text);
+                    let (provenance, qualifier) = match e.as_column() {
+                        Some(i) => in_schema
+                            .attribute(i)
+                            .map(|a| (a.provenance, a.qualifier.clone()))
+                            .unwrap_or((false, None)),
+                        None => (false, None),
+                    };
+                    attrs.push(Attribute { name: name.clone(), data_type, qualifier, provenance });
+                }
+                for (a, name) in aggregates {
+                    let data_type = a.data_type(&in_schema).unwrap_or(DataType::Float);
+                    attrs.push(Attribute { name: name.clone(), data_type, qualifier: None, provenance: false });
+                }
+                Schema::new(attrs)
+            }
+            LogicalPlan::SetOp { left, .. } => left.schema(),
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::SubqueryAlias { input, alias } => input.schema().with_qualifier(alias),
+            LogicalPlan::ProvenanceAnnotation { input, kind } => {
+                let schema = input.schema();
+                match kind {
+                    ProvenanceAnnotationKind::BaseRelation => schema,
+                    ProvenanceAnnotationKind::AlreadyRewritten(attrs) => Schema::new(
+                        schema
+                            .attributes()
+                            .iter()
+                            .map(|a| {
+                                let mut a = a.clone();
+                                if attrs.iter().any(|p| a.matches(p)) {
+                                    a.provenance = true;
+                                }
+                                a
+                            })
+                            .collect(),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The direct children of this node.
+    pub fn children(&self) -> Vec<&Arc<LogicalPlan>> {
+        match self {
+            LogicalPlan::BaseRelation { .. } | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Selection { input, .. }
+            | LogicalPlan::Aggregation { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::ProvenanceAnnotation { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Rebuild this node with new children (same arity as [`LogicalPlan::children`]).
+    pub fn with_new_children(&self, mut children: Vec<Arc<LogicalPlan>>) -> Result<LogicalPlan, AlgebraError> {
+        let expected = self.children().len();
+        if children.len() != expected {
+            return Err(AlgebraError::Internal(format!(
+                "with_new_children: expected {expected} children, got {}",
+                children.len()
+            )));
+        }
+        Ok(match self {
+            LogicalPlan::BaseRelation { .. } | LogicalPlan::Values { .. } => self.clone(),
+            LogicalPlan::Projection { exprs, distinct, .. } => LogicalPlan::Projection {
+                input: children.pop().expect("arity checked"),
+                exprs: exprs.clone(),
+                distinct: *distinct,
+            },
+            LogicalPlan::Selection { predicate, .. } => LogicalPlan::Selection {
+                input: children.pop().expect("arity checked"),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Join { kind, condition, .. } => {
+                let right = children.pop().expect("arity checked");
+                let left = children.pop().expect("arity checked");
+                LogicalPlan::Join { left, right, kind: *kind, condition: condition.clone() }
+            }
+            LogicalPlan::Aggregation { group_by, aggregates, .. } => LogicalPlan::Aggregation {
+                input: children.pop().expect("arity checked"),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            },
+            LogicalPlan::SetOp { kind, semantics, .. } => {
+                let right = children.pop().expect("arity checked");
+                let left = children.pop().expect("arity checked");
+                LogicalPlan::SetOp { left, right, kind: *kind, semantics: *semantics }
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                LogicalPlan::Sort { input: children.pop().expect("arity checked"), keys: keys.clone() }
+            }
+            LogicalPlan::Limit { limit, offset, .. } => LogicalPlan::Limit {
+                input: children.pop().expect("arity checked"),
+                limit: *limit,
+                offset: *offset,
+            },
+            LogicalPlan::SubqueryAlias { alias, .. } => LogicalPlan::SubqueryAlias {
+                input: children.pop().expect("arity checked"),
+                alias: alias.clone(),
+            },
+            LogicalPlan::ProvenanceAnnotation { kind, .. } => LogicalPlan::ProvenanceAnnotation {
+                input: children.pop().expect("arity checked"),
+                kind: kind.clone(),
+            },
+        })
+    }
+
+    /// Collect every base-relation reference in the plan, left-to-right (pre-order).
+    ///
+    /// The order matches the order in which the provenance rewriter appends provenance attribute
+    /// groups, and therefore the order of the `prov_*` columns in a rewritten query's result.
+    pub fn base_relations(&self) -> Vec<&LogicalPlan> {
+        let mut out = Vec::new();
+        fn walk<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a LogicalPlan>) {
+            if let LogicalPlan::BaseRelation { .. } = plan {
+                out.push(plan);
+            }
+            for child in plan.children() {
+                walk(child, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Total number of operator nodes in the plan (used by the benchmark reports).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// A one-line description of the operator (without its children).
+    pub fn describe(&self) -> String {
+        match self {
+            LogicalPlan::BaseRelation { name, alias, ref_id, .. } => match alias {
+                Some(a) if a != name => format!("BaseRelation {name} AS {a} (#{ref_id})"),
+                _ => format!("BaseRelation {name} (#{ref_id})"),
+            },
+            LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+            LogicalPlan::Projection { exprs, distinct, .. } => {
+                let cols: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!(
+                    "Projection{} [{}]",
+                    if *distinct { " DISTINCT" } else { "" },
+                    cols.join(", ")
+                )
+            }
+            LogicalPlan::Selection { predicate, .. } => format!("Selection [{predicate}]"),
+            LogicalPlan::Join { kind, condition, .. } => match condition {
+                Some(c) => format!("Join {kind} ON {c}"),
+                None => format!("Join {kind}"),
+            },
+            LogicalPlan::Aggregation { group_by, aggregates, .. } => {
+                let groups: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let aggs: Vec<String> = aggregates.iter().map(|(a, n)| format!("{a} AS {n}")).collect();
+                format!("Aggregation GROUP BY [{}] AGG [{}]", groups.join(", "), aggs.join(", "))
+            }
+            LogicalPlan::SetOp { kind, semantics, .. } => format!(
+                "{kind}{}",
+                if *semantics == SetSemantics::Bag { " ALL" } else { "" }
+            ),
+            LogicalPlan::Sort { keys, .. } => {
+                let ks: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+                format!("Sort [{}]", ks.join(", "))
+            }
+            LogicalPlan::Limit { limit, offset, .. } => format!("Limit {limit:?} OFFSET {offset}"),
+            LogicalPlan::SubqueryAlias { alias, .. } => format!("SubqueryAlias {alias}"),
+            LogicalPlan::ProvenanceAnnotation { kind, .. } => match kind {
+                ProvenanceAnnotationKind::BaseRelation => "ProvenanceAnnotation BASERELATION".to_string(),
+                ProvenanceAnnotationKind::AlreadyRewritten(attrs) => {
+                    format!("ProvenanceAnnotation PROVENANCE ({})", attrs.join(", "))
+                }
+            },
+        }
+    }
+
+    /// Pretty-print the plan as an indented tree.
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        fn walk(plan: &LogicalPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&plan.describe());
+            out.push('\n');
+            for child in plan.children() {
+                walk(child, depth + 1, out);
+            }
+        }
+        walk(self, 0, &mut out);
+        out
+    }
+
+    /// Validate structural invariants of the plan (arities, union compatibility, column bounds).
+    pub fn validate(&self) -> Result<(), AlgebraError> {
+        for child in self.children() {
+            child.validate()?;
+        }
+        match self {
+            LogicalPlan::Projection { input, exprs, .. } => {
+                let schema = input.schema();
+                for (e, _) in exprs {
+                    check_columns(e, schema.arity())?;
+                }
+            }
+            LogicalPlan::Selection { input, predicate } => {
+                check_columns(predicate, input.schema().arity())?;
+            }
+            LogicalPlan::Join { left, right, condition, .. } => {
+                if let Some(c) = condition {
+                    check_columns(c, left.schema().arity() + right.schema().arity())?;
+                }
+            }
+            LogicalPlan::Aggregation { input, group_by, aggregates } => {
+                let arity = input.schema().arity();
+                for (e, _) in group_by {
+                    check_columns(e, arity)?;
+                }
+                for (a, _) in aggregates {
+                    if let Some(arg) = &a.arg {
+                        check_columns(arg, arity)?;
+                    }
+                }
+            }
+            LogicalPlan::SetOp { left, right, .. } => {
+                let l = left.schema();
+                let r = right.schema();
+                if !l.union_compatible(&r) {
+                    return Err(AlgebraError::NotUnionCompatible {
+                        left_width: l.arity(),
+                        right_width: r.arity(),
+                    });
+                }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let arity = input.schema().arity();
+                for k in keys {
+                    check_columns(&k.expr, arity)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+fn check_columns(expr: &ScalarExpr, arity: usize) -> Result<(), AlgebraError> {
+    for col in expr.columns_used() {
+        if col >= arity {
+            return Err(AlgebraError::ColumnIndexOutOfBounds { index: col, width: arity });
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggregateFunction, BinaryOperator};
+    use crate::value::Value;
+
+    fn shop() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::BaseRelation {
+            name: "shop".into(),
+            alias: None,
+            schema: Schema::new(vec![
+                Attribute::qualified("shop", "name", DataType::Text),
+                Attribute::qualified("shop", "numempl", DataType::Int),
+            ]),
+            ref_id: 0,
+        })
+    }
+
+    fn sales() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::BaseRelation {
+            name: "sales".into(),
+            alias: None,
+            schema: Schema::new(vec![
+                Attribute::qualified("sales", "sname", DataType::Text),
+                Attribute::qualified("sales", "itemid", DataType::Int),
+            ]),
+            ref_id: 1,
+        })
+    }
+
+    #[test]
+    fn join_schema_is_concatenation() {
+        let join = LogicalPlan::Join {
+            left: shop(),
+            right: sales(),
+            kind: JoinKind::Inner,
+            condition: Some(ScalarExpr::column(0, "name").eq(ScalarExpr::column(2, "sname"))),
+        };
+        assert_eq!(join.schema().attribute_names(), vec!["name", "numempl", "sname", "itemid"]);
+        join.validate().unwrap();
+    }
+
+    #[test]
+    fn projection_schema_types_and_names() {
+        let proj = LogicalPlan::Projection {
+            input: shop(),
+            exprs: vec![
+                (ScalarExpr::column(0, "name"), "shop_name".into()),
+                (
+                    ScalarExpr::binary(
+                        BinaryOperator::Mul,
+                        ScalarExpr::column(1, "numempl"),
+                        ScalarExpr::literal(2i64),
+                    ),
+                    "double_empl".into(),
+                ),
+            ],
+            distinct: false,
+        };
+        let schema = proj.schema();
+        assert_eq!(schema.attribute_names(), vec!["shop_name", "double_empl"]);
+        assert_eq!(schema.attribute(0).unwrap().data_type, DataType::Text);
+        assert_eq!(schema.attribute(1).unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn aggregation_schema() {
+        let agg = LogicalPlan::Aggregation {
+            input: shop(),
+            group_by: vec![(ScalarExpr::column(0, "name"), "name".into())],
+            aggregates: vec![(
+                AggregateExpr::new(AggregateFunction::Sum, ScalarExpr::column(1, "numempl")),
+                "sum_empl".into(),
+            )],
+        };
+        let schema = agg.schema();
+        assert_eq!(schema.attribute_names(), vec!["name", "sum_empl"]);
+        assert_eq!(schema.attribute(1).unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_columns() {
+        let bad = LogicalPlan::Selection {
+            input: shop(),
+            predicate: ScalarExpr::column(7, "ghost").eq(ScalarExpr::literal(1i64)),
+        };
+        assert!(matches!(bad.validate(), Err(AlgebraError::ColumnIndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_incompatible_set_op() {
+        let one_col = Arc::new(LogicalPlan::Values {
+            schema: Schema::from_pairs(&[("x", DataType::Int)]),
+            rows: vec![Tuple::new(vec![Value::Int(1)])],
+        });
+        let setop = LogicalPlan::SetOp {
+            left: shop(),
+            right: one_col,
+            kind: SetOpKind::Union,
+            semantics: SetSemantics::Bag,
+        };
+        assert!(matches!(setop.validate(), Err(AlgebraError::NotUnionCompatible { .. })));
+    }
+
+    #[test]
+    fn base_relations_are_collected_in_preorder() {
+        let join = LogicalPlan::Join {
+            left: shop(),
+            right: Arc::new(LogicalPlan::Selection {
+                input: sales(),
+                predicate: ScalarExpr::column(1, "itemid").eq(ScalarExpr::literal(1i64)),
+            }),
+            kind: JoinKind::Cross,
+            condition: None,
+        };
+        let rels: Vec<String> = join
+            .base_relations()
+            .iter()
+            .map(|p| match p {
+                LogicalPlan::BaseRelation { name, .. } => name.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rels, vec!["shop", "sales"]);
+    }
+
+    #[test]
+    fn with_new_children_swaps_inputs() {
+        let sel = LogicalPlan::Selection {
+            input: shop(),
+            predicate: ScalarExpr::column(1, "numempl").eq(ScalarExpr::literal(3i64)),
+        };
+        let replaced = sel.with_new_children(vec![sales()]).unwrap();
+        match &replaced {
+            LogicalPlan::Selection { input, .. } => match input.as_ref() {
+                LogicalPlan::BaseRelation { name, .. } => assert_eq!(name, "sales"),
+                other => panic!("unexpected input {other:?}"),
+            },
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert!(sel.with_new_children(vec![]).is_err());
+    }
+
+    #[test]
+    fn subquery_alias_requalifies_schema() {
+        let aliased = LogicalPlan::SubqueryAlias { input: shop(), alias: "s".into() };
+        assert_eq!(aliased.schema().resolve("s.name").unwrap(), 0);
+    }
+
+    #[test]
+    fn display_tree_is_indented() {
+        let plan = LogicalPlan::Selection {
+            input: shop(),
+            predicate: ScalarExpr::column(1, "numempl").eq(ScalarExpr::literal(3i64)),
+        };
+        let text = plan.display_tree();
+        assert!(text.starts_with("Selection"));
+        assert!(text.contains("\n  BaseRelation shop"));
+    }
+
+    #[test]
+    fn node_count_counts_operators() {
+        let plan = LogicalPlan::Selection {
+            input: shop(),
+            predicate: ScalarExpr::literal(true),
+        };
+        assert_eq!(plan.node_count(), 2);
+    }
+}

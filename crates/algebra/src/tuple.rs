@@ -1,0 +1,169 @@
+//! Tuples (rows) of scalar values.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A tuple is an ordered list of scalar values.
+///
+/// Relations in the Perm algebra use *bag semantics*: a tuple may occur multiple times in a
+/// relation. Multiplicity is represented by physical duplication in `perm-storage` (matching the
+/// representation the paper's rewritten queries produce), so the tuple itself carries no count.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The empty tuple (used as the group key of a global aggregation).
+    pub fn empty() -> Tuple {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the tuple empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Value at position `i`, if within bounds.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// Concatenate two tuples (used by joins and cross products).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Project the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple { values: positions.iter().map(|&i| self.values[i].clone()).collect() }
+    }
+
+    /// A tuple of `arity` NULL values (used to pad non-matching sides of outer joins).
+    pub fn nulls(arity: usize) -> Tuple {
+        Tuple { values: vec![Value::Null; arity] }
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, value: Value) {
+        self.values.push(value);
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples.
+///
+/// ```
+/// use perm_algebra::{tuple, Value};
+/// let t = tuple!["Merdies", 3];
+/// assert_eq!(t.arity(), 2);
+/// assert_eq!(t[0], Value::text("Merdies"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c[0], Value::Int(1));
+        assert_eq!(c[2], Value::text("x"));
+    }
+
+    #[test]
+    fn project_selects_positions() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0]), tuple![30, 10]);
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn nulls_builds_padding_tuple() {
+        let t = Tuple::nulls(3);
+        assert_eq!(t.arity(), 3);
+        assert!(t.values().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, a)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn tuples_hash_and_compare_for_grouping() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(tuple![1, "a"]);
+        set.insert(tuple![1, "a"]);
+        set.insert(tuple![2, "a"]);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! # perm-baselines
+//!
+//! Baseline provenance systems used in the paper's evaluation and in our correctness tests:
+//!
+//! * [`trio`] — a **Trio-style eager lineage** baseline (§V-C of the paper): derived tables are
+//!   materialised together with *lineage relations* mapping each result tuple to its
+//!   contributing source tuples; querying provenance afterwards performs the iterative,
+//!   tuple-at-a-time lineage lookups that Trio's architecture implies. Perm's lazy rewriting is
+//!   compared against this in the Figure 15 experiment.
+//! * [`cui_widom`] — the **Cui–Widom inversion** approach (ICDE 2000), which computes the
+//!   lineage of a result tuple as a *list of relations* via inverse queries. It serves both as
+//!   the second baseline discussed in the related-work section and as the correctness oracle for
+//!   Perm's influence-contribution semantics (§III-E equates the two).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cui_widom;
+pub mod trio;
+
+pub use cui_widom::CuiWidomTracer;
+pub use trio::TrioStyleDb;

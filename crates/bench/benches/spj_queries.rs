@@ -1,0 +1,36 @@
+//! Figure 13 micro-benchmark: random select-project-join queries with a growing number of leaf
+//! subqueries, normal versus provenance execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::harness::{BenchConfig, ScalePreset};
+use perm_tpch::queries::add_provenance_keyword;
+use perm_tpch::workloads::{spj_query, workload_rng};
+
+fn bench_spj(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let db = config.database(ScalePreset::Small);
+    let parts = db.catalog().table_row_count("part").unwrap();
+
+    let mut group = c.benchmark_group("fig13_spj_queries");
+    group.sample_size(10);
+    for num_sub in 1..=6usize {
+        let sql = spj_query(&mut workload_rng("spj", num_sub as u64), num_sub, parts);
+        let provenance_sql = add_provenance_keyword(&sql);
+        group.bench_with_input(BenchmarkId::new("normal", num_sub), &sql, |b, sql| {
+            b.iter(|| db.execute_sql(sql).expect("query runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("provenance", num_sub), &provenance_sql, |b, sql| {
+            b.iter(|| db.execute_sql(sql).expect("provenance query runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_spj
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figures 10/11 micro-benchmark: normal versus provenance execution of the supported TPC-H
+//! queries at the small scale. The full parameter sweep across scales lives in the
+//! `paper_tables` binary; this Criterion harness provides statistically robust per-query
+//! timings for a single configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::harness::{BenchConfig, ScalePreset};
+use perm_tpch::queries::{add_provenance_keyword, supported_query_ids, tpch_query, variant_rng};
+
+/// Queries whose provenance results are large enough to dominate the benchmark wall-clock; they
+/// are still covered by `paper_tables` but excluded from the Criterion loop to keep
+/// `cargo bench` tractable.
+const HEAVY: &[u32] = &[1, 9, 13, 16];
+
+fn bench_tpch(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let db = config.database(ScalePreset::Small);
+
+    let mut group = c.benchmark_group("fig10_tpch_execution");
+    group.sample_size(10);
+    for id in supported_query_ids() {
+        if HEAVY.contains(&id) {
+            continue;
+        }
+        let sql = tpch_query(id).generate(&mut variant_rng(id, 0));
+        let provenance_sql = add_provenance_keyword(&sql);
+        group.bench_with_input(BenchmarkId::new("normal", id), &sql, |b, sql| {
+            b.iter(|| db.execute_sql(sql).expect("query runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("provenance", id), &provenance_sql, |b, sql| {
+            b.iter(|| db.execute_sql(sql).expect("provenance query runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_tpch
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Regenerate the evaluation tables of the Perm paper (Figures 9–15).
+//!
+//! Usage:
+//!
+//! ```text
+//! paper_tables [FIGURES] [OPTIONS]
+//!
+//! FIGURES   any of: fig9 fig10 fig11 fig12 fig13 fig14 fig15 all      (default: all)
+//! OPTIONS
+//!   --quick                 smallest scale, 1 variant (a couple of minutes)
+//!   --full                  all three scales, 3 variants (long)
+//!   --scales s1,s2          subset of small,medium,large
+//!   --variants N            parameter variants per query
+//!   --trio-queries N        number of selection queries in the Figure 15 workload (default 100)
+//!   --timeout-secs N        per-query timeout (stand-in for the paper's 12 h cut-off)
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use perm_bench::figures;
+use perm_bench::harness::{BenchConfig, ScalePreset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figures_requested: BTreeSet<String> = BTreeSet::new();
+    let mut config = BenchConfig::default();
+    let mut trio_queries = 100usize;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--quick" => config = BenchConfig::quick(),
+            "--full" => config = BenchConfig::full(),
+            "--scales" => {
+                i += 1;
+                config.scales = parse_scales(args.get(i).map(String::as_str).unwrap_or(""));
+            }
+            "--variants" => {
+                i += 1;
+                config.variants = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(config.variants);
+            }
+            "--trio-queries" => {
+                i += 1;
+                trio_queries = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(trio_queries);
+            }
+            "--timeout-secs" => {
+                i += 1;
+                let secs: u64 = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(30);
+                config.timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other if other.starts_with("fig") || other == "all" => {
+                figures_requested.insert(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (use --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if figures_requested.is_empty() || figures_requested.contains("all") {
+        figures_requested =
+            ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"].iter().map(|s| s.to_string()).collect();
+    }
+
+    println!("# Perm evaluation tables (ICDE 2009, §V)\n");
+    println!(
+        "configuration: scales = {:?}, variants = {}, timeout = {:?}, row budget = {}\n",
+        config.scales.iter().map(|s| s.label()).collect::<Vec<_>>(),
+        config.variants,
+        config.timeout,
+        config.row_budget
+    );
+
+    if figures_requested.contains("fig9") {
+        println!("{}", figures::figure9(&config).render());
+    }
+    if figures_requested.contains("fig10") || figures_requested.contains("fig11") {
+        let (fig10, fig11) = figures::figure10_and_11(&config);
+        if figures_requested.contains("fig10") {
+            println!("{}", fig10.render());
+        }
+        if figures_requested.contains("fig11") {
+            println!("{}", fig11.render());
+        }
+    }
+    if figures_requested.contains("fig12") {
+        println!("{}", figures::figure12(&config).render());
+    }
+    if figures_requested.contains("fig13") {
+        println!("{}", figures::figure13(&config).render());
+    }
+    if figures_requested.contains("fig14") {
+        println!("{}", figures::figure14(&config).render());
+    }
+    if figures_requested.contains("fig15") {
+        println!("{}", figures::figure15(&config, trio_queries).render());
+    }
+}
+
+fn parse_scales(spec: &str) -> Vec<ScalePreset> {
+    let scales: Vec<ScalePreset> = spec
+        .split(',')
+        .filter_map(|s| match s.trim().to_ascii_lowercase().as_str() {
+            "small" => Some(ScalePreset::Small),
+            "medium" => Some(ScalePreset::Medium),
+            "large" => Some(ScalePreset::Large),
+            _ => None,
+        })
+        .collect();
+    if scales.is_empty() {
+        vec![ScalePreset::Small]
+    } else {
+        scales
+    }
+}
+
+fn print_help() {
+    println!(
+        "paper_tables — regenerate the Perm ICDE 2009 evaluation tables\n\n\
+         usage: paper_tables [fig9|fig10|fig11|fig12|fig13|fig14|fig15|all]...\n\
+                [--quick|--full] [--scales small,medium,large] [--variants N]\n\
+                [--trio-queries N] [--timeout-secs N]"
+    );
+}

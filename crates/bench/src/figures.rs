@@ -1,0 +1,399 @@
+//! Implementations of the paper's evaluation experiments (Figures 9–15).
+//!
+//! Each function returns a [`TextTable`] whose rows mirror the corresponding figure of the
+//! paper; the `paper_tables` binary prints them and `EXPERIMENTS.md` archives a run.
+
+use std::time::Duration;
+
+use perm_baselines::TrioStyleDb;
+use perm_core::PermDb;
+use perm_tpch::queries::{add_provenance_keyword, supported_query_ids, tpch_query, variant_rng};
+use perm_tpch::workloads::{
+    nested_aggregation_query, set_operation_query, spj_query, trio_selection_queries, workload_rng,
+};
+
+use crate::harness::{
+    average, format_duration, format_factor, measure_query, time_it, BenchConfig, Measurement,
+    ScalePreset, TextTable,
+};
+
+/// Figure 9: compilation-time overhead introduced by the provenance rewriter for *normal*
+/// queries (the rewriter module is present but inactive).
+///
+/// For every supported TPC-H query we compile (parse, analyze, view-unfold, optimize) the query
+/// once through the full Perm pipeline and once through a pipeline without the provenance
+/// rewriter module, and report the absolute overhead together with the overhead relative to the
+/// query's execution time at each configured scale, just as the paper does for 10 MB and 100 MB.
+pub fn figure9(config: &BenchConfig) -> TextTable {
+    let mut headers = vec!["Query".to_string(), "absolute".to_string()];
+    for scale in &config.scales {
+        headers.push(format!("relative {}", scale.label()));
+    }
+    let mut table = TextTable::new(
+        "Figure 9 — TPC-H: compilation time overhead for normal queries",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    // Execution times per scale (for the relative columns) are measured on the smallest
+    // database first and reused.
+    let databases: Vec<(ScalePreset, PermDb)> =
+        config.scales.iter().map(|&s| (s, config.database(s))).collect();
+
+    for id in supported_query_ids() {
+        let template = tpch_query(id);
+        // Average compile times over the configured number of variants.
+        let mut with_rewriter = Duration::ZERO;
+        let mut without_rewriter = Duration::ZERO;
+        let reference_db = &databases[0].1;
+        let plain = config.plain_analyzer(reference_db);
+        let optimizer = perm_exec::Optimizer::new();
+        for variant in 0..config.variants {
+            let sql = template.generate(&mut variant_rng(id, variant));
+            let (t_full, _) = time_it(|| reference_db.plan_sql(&sql).expect("query must compile"));
+            let (t_plain, _) = time_it(|| {
+                let plan = plain.analyze_query_sql(&sql).expect("query must compile");
+                optimizer.optimize(&plan).expect("query must optimize")
+            });
+            with_rewriter += t_full;
+            without_rewriter += t_plain;
+        }
+        let overhead = with_rewriter.saturating_sub(without_rewriter) / config.variants.max(1) as u32;
+
+        let mut row = vec![id.to_string(), format_duration(overhead)];
+        for (_, db) in &databases {
+            let sql = template.generate(&mut variant_rng(id, 0));
+            let measurement = measure_query(db, &sql);
+            let cell = match measurement.time() {
+                Some(exec) if !exec.is_zero() => {
+                    format!("{:.2} %", 100.0 * overhead.as_secs_f64() / exec.as_secs_f64())
+                }
+                _ => "-".to_string(),
+            };
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// The per-query outcome of the Figure 10/11 experiment on one scale.
+#[derive(Debug, Clone)]
+pub struct TpchOutcome {
+    /// TPC-H query number.
+    pub query: u32,
+    /// Scale the measurement was taken on.
+    pub scale: ScalePreset,
+    /// Normal execution.
+    pub normal: Measurement,
+    /// Provenance (SELECT PROVENANCE) execution.
+    pub provenance: Measurement,
+}
+
+/// Run the TPC-H execution experiment once, returning the raw outcomes (shared by Figures 10
+/// and 11).
+pub fn run_tpch_outcomes(config: &BenchConfig) -> Vec<TpchOutcome> {
+    let mut outcomes = Vec::new();
+    for &scale in &config.scales {
+        let db = config.database(scale);
+        for id in supported_query_ids() {
+            let template = tpch_query(id);
+            let mut normal_runs = Vec::new();
+            let mut provenance_runs = Vec::new();
+            for variant in 0..config.variants {
+                let sql = template.generate(&mut variant_rng(id, variant));
+                normal_runs.push(measure_query(&db, &sql));
+                provenance_runs.push(measure_query(&db, &add_provenance_keyword(&sql)));
+            }
+            outcomes.push(TpchOutcome {
+                query: id,
+                scale,
+                normal: average(normal_runs),
+                provenance: average(provenance_runs),
+            });
+        }
+    }
+    outcomes
+}
+
+/// Figures 10 and 11: execution-time and result-cardinality comparison between normal and
+/// provenance execution of the supported TPC-H queries.
+pub fn figure10_and_11(config: &BenchConfig) -> (TextTable, TextTable) {
+    let outcomes = run_tpch_outcomes(config);
+    tables_from_outcomes(config, &outcomes)
+}
+
+/// Build the Figure 10 / Figure 11 tables from pre-computed outcomes.
+pub fn tables_from_outcomes(config: &BenchConfig, outcomes: &[TpchOutcome]) -> (TextTable, TextTable) {
+    let mut headers = vec!["Query".to_string()];
+    for scale in &config.scales {
+        headers.push(format!("{} normal", scale.label()));
+        headers.push(format!("{} provenance", scale.label()));
+        headers.push(format!("{} factor", scale.label()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut fig10 = TextTable::new("Figure 10 — TPC-H: execution time comparison", &header_refs);
+
+    let mut headers11 = vec!["Query".to_string()];
+    for scale in &config.scales {
+        headers11.push(format!("{} normal rows", scale.label()));
+        headers11.push(format!("{} provenance rows", scale.label()));
+    }
+    let header11_refs: Vec<&str> = headers11.iter().map(String::as_str).collect();
+    let mut fig11 = TextTable::new("Figure 11 — TPC-H: number of result tuples", &header11_refs);
+
+    for id in supported_query_ids() {
+        let mut row10 = vec![id.to_string()];
+        let mut row11 = vec![id.to_string()];
+        for &scale in &config.scales {
+            let outcome = outcomes.iter().find(|o| o.query == id && o.scale == scale);
+            match outcome {
+                Some(o) => {
+                    row10.push(o.normal.render_time());
+                    row10.push(o.provenance.render_time());
+                    row10.push(match (o.normal.time(), o.provenance.time()) {
+                        (Some(n), Some(p)) => format_factor(p, n),
+                        _ => "-".to_string(),
+                    });
+                    row11.push(o.normal.render_rows());
+                    row11.push(o.provenance.render_rows());
+                }
+                None => {
+                    row10.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
+                    row11.extend(["-".to_string(), "-".to_string()]);
+                }
+            }
+        }
+        fig10.push_row(row10);
+        fig11.push_row(row11);
+    }
+    (fig10, fig11)
+}
+
+/// A generic sweep experiment (Figures 12–14): one row per parameter value, normal vs.
+/// provenance execution times per scale.
+fn sweep_table(
+    title: &str,
+    parameter_name: &str,
+    parameter_values: &[usize],
+    config: &BenchConfig,
+    query_for: impl Fn(&PermDb, usize, u64) -> String,
+) -> TextTable {
+    let mut headers = vec![parameter_name.to_string()];
+    for scale in &config.scales {
+        headers.push(format!("{} normal", scale.label()));
+        headers.push(format!("{} provenance", scale.label()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(title, &header_refs);
+
+    for &value in parameter_values {
+        let mut row = vec![value.to_string()];
+        for &scale in &config.scales {
+            let db = config.database(scale);
+            let mut normal_runs = Vec::new();
+            let mut provenance_runs = Vec::new();
+            for variant in 0..config.variants {
+                let sql = query_for(&db, value, variant);
+                normal_runs.push(measure_query(&db, &sql));
+                provenance_runs.push(measure_query(&db, &add_provenance_keyword(&sql)));
+            }
+            row.push(average(normal_runs).render_time());
+            row.push(average(provenance_runs).render_time());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 12: random set-operation queries (union/intersection) with 1..=5 set operations.
+pub fn figure12(config: &BenchConfig) -> TextTable {
+    sweep_table(
+        "Figure 12 — Set operations: execution time comparison",
+        "numSetOp",
+        &[1, 2, 3, 4, 5],
+        config,
+        |db, num_set_ops, variant| {
+            let parts = db.catalog().table_row_count("part").unwrap_or(1);
+            let mut rng = workload_rng("setop", variant * 100 + num_set_ops as u64);
+            set_operation_query(&mut rng, num_set_ops, parts)
+        },
+    )
+}
+
+/// Figure 13: random SPJ queries with 1..=6 leaf subqueries.
+pub fn figure13(config: &BenchConfig) -> TextTable {
+    sweep_table(
+        "Figure 13 — SPJ operations: execution time comparison",
+        "numSub",
+        &[1, 2, 3, 4, 5, 6],
+        config,
+        |db, num_sub, variant| {
+            let parts = db.catalog().table_row_count("part").unwrap_or(1);
+            let mut rng = workload_rng("spj", variant * 100 + num_sub as u64);
+            spj_query(&mut rng, num_sub, parts)
+        },
+    )
+}
+
+/// Figure 14: nested aggregation chains with 1..=10 aggregation operators.
+pub fn figure14(config: &BenchConfig) -> TextTable {
+    sweep_table(
+        "Figure 14 — Aggregation operations: execution time comparison",
+        "agg",
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        config,
+        |db, agg_levels, _variant| {
+            let parts = db.catalog().table_row_count("part").unwrap_or(1);
+            nested_aggregation_query(agg_levels, parts)
+        },
+    )
+}
+
+/// Figure 15: comparison with the Trio-style eager lineage baseline on a workload of simple
+/// selections over `supplier`.
+///
+/// Perm computes provenance lazily (the measured time is the full `SELECT PROVENANCE`
+/// execution); the Trio-style system has already materialised its lineage relations eagerly and
+/// the measured time is the time to *query* the stored provenance by iterative tracing — the
+/// same asymmetry the paper describes in §V-C. The eager derivation cost is reported in an extra
+/// column for transparency.
+pub fn figure15(config: &BenchConfig, queries_per_scale: usize) -> TextTable {
+    let mut table = TextTable::new(
+        "Figure 15 — Execution time comparison with the Trio-style baseline",
+        &["System", "metric"]
+            .iter()
+            .copied()
+            .chain(config.scales.iter().map(|s| s.label()))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut perm_row = vec!["Perm".to_string(), "lazy provenance computation".to_string()];
+    let mut trio_row = vec!["Trio-style".to_string(), "query stored provenance".to_string()];
+    let mut trio_derive_row =
+        vec!["Trio-style".to_string(), "eager derivation + lineage storage".to_string()];
+
+    for &scale in &config.scales {
+        let db = config.database(scale);
+        let suppliers = db.catalog().table_row_count("supplier").unwrap_or(1);
+        let mut rng = workload_rng("trio", scale as u64);
+        let queries = trio_selection_queries(&mut rng, queries_per_scale, suppliers);
+
+        // Perm: lazy provenance for every query.
+        let (perm_time, perm_ok) = time_it(|| {
+            queries
+                .iter()
+                .map(|q| db.provenance_of_query(q).map(|r| r.num_rows()).unwrap_or(0))
+                .sum::<usize>()
+        });
+
+        // Trio-style: derive every query eagerly (storing lineage), then measure tracing time.
+        let mut trio = TrioStyleDb::new(db.catalog().clone());
+        let (derive_time, _) = time_it(|| {
+            for (i, q) in queries.iter().enumerate() {
+                trio.derive_table(&format!("trio_derived_{i}"), q).expect("derivation must succeed");
+            }
+        });
+        let (trace_time, traced) = time_it(|| {
+            (0..queries.len())
+                .map(|i| trio.trace_all(&format!("trio_derived_{i}")).map(|v| v.len()).unwrap_or(0))
+                .sum::<usize>()
+        });
+        // Sanity: both systems touched a comparable amount of data.
+        debug_assert!(perm_ok > 0 || traced == 0);
+
+        perm_row.push(format_duration(perm_time));
+        trio_row.push(format_duration(trace_time));
+        trio_derive_row.push(format_duration(derive_time));
+
+        // Clean up derived tables so subsequent scales start fresh.
+        for i in 0..queries.len() {
+            let _ = db.catalog().drop_table(&format!("trio_derived_{i}"), true);
+        }
+    }
+
+    table.push_row(perm_row);
+    table.push_row(trio_row);
+    table.push_row(trio_derive_row);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig {
+            scales: vec![ScalePreset::Small],
+            variants: 1,
+            timeout: Duration::from_secs(20),
+            row_budget: 2_000_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn figure12_to_14_produce_rows_for_every_parameter_value() {
+        let config = BenchConfig {
+            scales: vec![ScalePreset::Small],
+            variants: 1,
+            timeout: Duration::from_secs(20),
+            row_budget: 2_000_000,
+            seed: 7,
+        };
+        let f12 = figure12(&config);
+        assert_eq!(f12.rows.len(), 5);
+        let f13 = figure13(&config);
+        assert_eq!(f13.rows.len(), 6);
+        // Figure 14 sweeps 1..=10 aggregation levels; restrict to a cheaper sub-range here by
+        // reusing the sweep helper directly.
+        let f14 = sweep_table(
+            "fig14-test",
+            "agg",
+            &[1, 2, 3],
+            &config,
+            |db, agg, _| {
+                let parts = db.catalog().table_row_count("part").unwrap_or(1);
+                nested_aggregation_query(agg, parts)
+            },
+        );
+        assert_eq!(f14.rows.len(), 3);
+        for row in f12.rows.iter().chain(&f13.rows).chain(&f14.rows) {
+            assert!(!row[1].contains("error"), "unexpected error cell in {row:?}");
+            assert!(!row[2].contains("error"), "unexpected error cell in {row:?}");
+        }
+    }
+
+    #[test]
+    fn figure15_reports_all_three_rows() {
+        let table = figure15(&tiny_config(), 5);
+        assert_eq!(table.rows.len(), 3);
+        assert!(table.rows[0][0].contains("Perm"));
+        assert!(table.rows[1][0].contains("Trio"));
+    }
+
+    #[test]
+    fn tpch_outcomes_cover_all_queries() {
+        // Restrict to a handful of cheap queries via a custom run to keep the test fast: use the
+        // full run but at the small scale with one variant, and only check structure.
+        let config = tiny_config();
+        let outcomes = run_tpch_outcomes(&config);
+        assert_eq!(outcomes.len(), supported_query_ids().len());
+        let (fig10, fig11) = tables_from_outcomes(&config, &outcomes);
+        assert_eq!(fig10.rows.len(), supported_query_ids().len());
+        assert_eq!(fig11.rows.len(), supported_query_ids().len());
+        for outcome in &outcomes {
+            assert!(
+                !matches!(outcome.normal, Measurement::Failed { .. }),
+                "query {} failed: {:?}",
+                outcome.query,
+                outcome.normal
+            );
+            assert!(
+                !matches!(outcome.provenance, Measurement::Failed { .. }),
+                "provenance of query {} failed: {:?}",
+                outcome.query,
+                outcome.provenance
+            );
+        }
+    }
+}

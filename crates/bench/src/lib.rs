@@ -1,0 +1,27 @@
+//! # perm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the paper's evaluation
+//! section (§V):
+//!
+//! | experiment | paper figure | harness entry point |
+//! |------------|--------------|---------------------|
+//! | compilation-time overhead for normal queries | Fig. 9 | [`figures::figure9`] |
+//! | TPC-H execution time, normal vs. provenance | Fig. 10 | [`figures::figure10_and_11`] |
+//! | TPC-H result cardinalities | Fig. 11 | [`figures::figure10_and_11`] |
+//! | set-operation queries | Fig. 12 | [`figures::figure12`] |
+//! | SPJ queries | Fig. 13 | [`figures::figure13`] |
+//! | nested aggregation queries | Fig. 14 | [`figures::figure14`] |
+//! | comparison with the Trio-style baseline | Fig. 15 | [`figures::figure15`] |
+//!
+//! The `paper_tables` binary prints the tables; the Criterion benches under `benches/` exercise
+//! the same code paths for micro-benchmarking. Absolute numbers differ from the paper (the
+//! substrate is an in-memory Rust engine, not PostgreSQL on 2008 hardware); `EXPERIMENTS.md`
+//! compares the *shapes* (relative overheads, growth trends, who wins).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{BenchConfig, ScalePreset};

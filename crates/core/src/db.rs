@@ -1,0 +1,448 @@
+//! `PermDb`: the provenance management system facade.
+//!
+//! `PermDb` wires together the catalog (`perm-storage`), the SQL front end with the SQL-PLE
+//! extension (`perm-sql`), the provenance rewriter (this crate) and the optimizer/executor
+//! (`perm-exec`) into the pipeline of the paper's Figure 5:
+//!
+//! ```text
+//!   SQL ──▶ parser & analyzer ──▶ view unfolding ──▶ provenance rewriter ──▶ optimizer ──▶ executor
+//! ```
+//!
+//! It supports lazy provenance computation (`SELECT PROVENANCE ...`), eager storage of
+//! provenance (`SELECT PROVENANCE ... INTO table` or [`PermDb::store_provenance`]), provenance
+//! views, external provenance (`PROVENANCE (attrs)` from-clause annotations) and limited-scope
+//! provenance (`BASERELATION`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use perm_algebra::LogicalPlan;
+use perm_exec::{ExecOptions, Executor, Optimizer};
+use perm_sql::{AnalyzedStatement, Analyzer};
+use perm_storage::{Catalog, Relation};
+
+use crate::error::PermError;
+use crate::rewrite::ProvenanceRewriter;
+
+/// Configuration of a [`PermDb`] instance.
+#[derive(Debug, Clone)]
+pub struct ProvenanceOptions {
+    /// Maximum number of rows any operator may produce (reproduces the paper's behaviour of
+    /// aborting runaway provenance queries). `None` = unlimited.
+    pub row_budget: Option<usize>,
+    /// Wall-clock execution timeout. `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Whether plans are passed through the rule-based optimizer before execution.
+    pub optimize: bool,
+}
+
+impl Default for ProvenanceOptions {
+    fn default() -> Self {
+        ProvenanceOptions { row_budget: None, timeout: None, optimize: true }
+    }
+}
+
+impl ProvenanceOptions {
+    /// Limit the number of rows any single operator may produce.
+    pub fn with_row_budget(mut self, budget: usize) -> Self {
+        self.row_budget = Some(budget);
+        self
+    }
+
+    /// Limit wall-clock execution time.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Disable the optimizer (used by benchmarks that measure raw rewrite output).
+    pub fn without_optimizer(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        let mut options = ExecOptions::default();
+        if let Some(budget) = self.row_budget {
+            options = options.with_row_budget(budget);
+        }
+        if let Some(timeout) = self.timeout {
+            options = options.with_timeout(timeout);
+        }
+        options
+    }
+}
+
+/// The Perm provenance management system.
+#[derive(Debug, Clone)]
+pub struct PermDb {
+    catalog: Catalog,
+    options: ProvenanceOptions,
+    rewriter: Arc<ProvenanceRewriter>,
+    optimizer: Optimizer,
+}
+
+impl Default for PermDb {
+    fn default() -> Self {
+        PermDb::new()
+    }
+}
+
+impl PermDb {
+    /// Create an empty database.
+    pub fn new() -> PermDb {
+        PermDb::with_options(ProvenanceOptions::default())
+    }
+
+    /// Create an empty database with custom options.
+    pub fn with_options(options: ProvenanceOptions) -> PermDb {
+        PermDb {
+            catalog: Catalog::new(),
+            options,
+            rewriter: Arc::new(ProvenanceRewriter::new()),
+            optimizer: Optimizer::new(),
+        }
+    }
+
+    /// Create a database over an existing catalog (shares the underlying data).
+    pub fn with_catalog(catalog: Catalog, options: ProvenanceOptions) -> PermDb {
+        PermDb { catalog, options, rewriter: Arc::new(ProvenanceRewriter::new()), optimizer: Optimizer::new() }
+    }
+
+    /// The catalog backing this database.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The current options.
+    pub fn options(&self) -> &ProvenanceOptions {
+        &self.options
+    }
+
+    /// Replace the options (row budget, timeout, optimizer switch).
+    pub fn set_options(&mut self, options: ProvenanceOptions) {
+        self.options = options;
+    }
+
+    /// Register a pre-built relation as a base table.
+    pub fn register_table(&self, name: &str, relation: Relation) -> Result<(), PermError> {
+        self.catalog.create_table_with_data(name, relation)?;
+        Ok(())
+    }
+
+    /// The analyzer configured with this database's catalog and provenance rewriter.
+    pub fn analyzer(&self) -> Analyzer {
+        Analyzer::new(self.catalog.clone()).with_rewriter(self.rewriter.clone())
+    }
+
+    /// Parse, analyze, optimize — but do not execute — a query. Returns the final plan exactly
+    /// as it would be executed (after provenance rewriting and optimization). Used by the
+    /// compilation-overhead experiment (paper Figure 9) and for plan inspection.
+    pub fn plan_sql(&self, sql: &str) -> Result<LogicalPlan, PermError> {
+        let plan = self.analyzer().analyze_query_sql(sql)?;
+        self.maybe_optimize(plan)
+    }
+
+    /// Parse and analyze a query *without* optimization (the raw rewriter output).
+    pub fn analyze_sql_plan(&self, sql: &str) -> Result<LogicalPlan, PermError> {
+        Ok(self.analyzer().analyze_query_sql(sql)?)
+    }
+
+    /// Rewrite an already-bound plan into its provenance-computing form (programmatic
+    /// equivalent of the `PROVENANCE` keyword).
+    pub fn rewrite_plan(&self, plan: &LogicalPlan) -> Result<LogicalPlan, PermError> {
+        self.rewriter.rewrite(plan)
+    }
+
+    /// Execute a bound plan.
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<Relation, PermError> {
+        let plan = self.maybe_optimize(plan.clone())?;
+        let executor = Executor::with_options(self.catalog.clone(), self.options.exec_options());
+        Ok(executor.execute(&plan)?)
+    }
+
+    /// Execute a single SQL statement (DDL, DML or query). DDL statements return an empty
+    /// relation.
+    pub fn execute_sql(&self, sql: &str) -> Result<Relation, PermError> {
+        let statement = self.analyzer().analyze_sql(sql)?;
+        self.execute_statement(statement)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, PermError> {
+        let statements = perm_sql::parse_statements(sql)?;
+        let analyzer = self.analyzer();
+        let mut results = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            let analyzed = analyzer.analyze_statement(stmt)?;
+            results.push(self.execute_statement(analyzed)?);
+        }
+        Ok(results)
+    }
+
+    /// Compute the provenance of a (plain, non-PROVENANCE) SQL query programmatically.
+    ///
+    /// Equivalent to prefixing the query's select clause with the `PROVENANCE` keyword: the
+    /// result contains the original columns followed by `prov_*` attributes.
+    pub fn provenance_of_query(&self, sql: &str) -> Result<Relation, PermError> {
+        let plan = self.analyzer().analyze_query_sql(sql)?;
+        let rewritten = self.rewriter.rewrite(&plan)?;
+        self.execute_plan(&rewritten)
+    }
+
+    /// Store the provenance of a query as a new base table (eager provenance computation, the
+    /// paper's `SELECT PROVENANCE ... INTO table`).
+    pub fn store_provenance(&self, table: &str, sql: &str) -> Result<usize, PermError> {
+        let result = self.provenance_of_query(sql)?;
+        let rows = result.num_rows();
+        self.catalog.overwrite(table, result)?;
+        Ok(rows)
+    }
+
+    /// Create a provenance view: a view whose body computes provenance lazily whenever the view
+    /// is referenced.
+    pub fn create_provenance_view(&self, name: &str, query_sql: &str) -> Result<(), PermError> {
+        let body = format!("SELECT PROVENANCE * FROM ({query_sql}) AS {name}_body");
+        // Validate eagerly so errors surface now.
+        self.analyzer().analyze_query_sql(&body)?;
+        self.catalog.create_view(name, &body)?;
+        Ok(())
+    }
+
+    fn maybe_optimize(&self, plan: LogicalPlan) -> Result<LogicalPlan, PermError> {
+        if self.options.optimize {
+            Ok(self.optimizer.optimize(&plan)?)
+        } else {
+            Ok(plan)
+        }
+    }
+
+    fn execute_statement(&self, statement: AnalyzedStatement) -> Result<Relation, PermError> {
+        match statement {
+            AnalyzedStatement::CreateTable { name, schema } => {
+                self.catalog.create_table(&name, schema)?;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&name, if_exists)?;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::DropView { name, if_exists } => {
+                self.catalog.drop_view(&name, if_exists)?;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::CreateView { name, body_sql } => {
+                self.catalog.create_view(&name, &body_sql)?;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::Insert { table, rows } => {
+                let n = self.catalog.insert(&table, rows)?;
+                let _ = n;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::InsertFromQuery { table, plan } => {
+                let result = self.execute_plan(&plan)?;
+                self.catalog.insert(&table, result.into_tuples())?;
+                Ok(Relation::empty(perm_algebra::Schema::empty()))
+            }
+            AnalyzedStatement::Query { plan, into } => {
+                let result = self.execute_plan(&plan)?;
+                if let Some(target) = into {
+                    self.catalog.overwrite(&target, result.clone())?;
+                }
+                Ok(result)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{tuple, Value};
+
+    fn shop_db() -> PermDb {
+        let db = PermDb::new();
+        db.execute_script(
+            "CREATE TABLE shop (name TEXT, numEmpl INT);\n\
+             CREATE TABLE sales (sName TEXT, itemId INT);\n\
+             CREATE TABLE items (id INT, price INT);\n\
+             INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14);\n\
+             INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), ('Merdies', 2), ('Joba', 3), ('Joba', 3);\n\
+             INSERT INTO items VALUES (1, 100), (2, 10), (3, 25);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_paper_example_via_sql_ple() {
+        let db = shop_db();
+        let result = db
+            .execute_sql(
+                "SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items \
+                 WHERE name = sName AND itemId = id GROUP BY name",
+            )
+            .unwrap();
+        assert_eq!(
+            result.schema().attribute_names(),
+            vec![
+                "name",
+                "total",
+                "prov_shop_name",
+                "prov_shop_numempl",
+                "prov_sales_sname",
+                "prov_sales_itemid",
+                "prov_items_id",
+                "prov_items_price"
+            ]
+        );
+        assert_eq!(result.num_rows(), 5);
+        let sorted = result.sorted();
+        assert_eq!(
+            sorted.tuples()[0],
+            tuple!["Joba", 50, "Joba", 14, "Joba", 3, 3, 25]
+        );
+        assert_eq!(
+            sorted.tuples()[2],
+            tuple!["Merdies", 120, "Merdies", 3, "Merdies", 1, 1, 100]
+        );
+    }
+
+    #[test]
+    fn provenance_query_as_subquery_q1_from_the_paper() {
+        // q1 = Π_pId(σ_sum(price)>100(qex+)): which items were sold by shops with total > 100.
+        let db = shop_db();
+        let result = db
+            .execute_sql(
+                "SELECT prov_items_id FROM \
+                   (SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items \
+                    WHERE name = sName AND itemId = id GROUP BY name) AS prov \
+                 WHERE total > 100",
+            )
+            .unwrap();
+        let sorted = result.sorted();
+        assert_eq!(sorted.tuples(), &[tuple![1], tuple![2], tuple![2]]);
+    }
+
+    #[test]
+    fn normal_queries_are_unaffected() {
+        let db = shop_db();
+        let result = db
+            .execute_sql("SELECT name, sum(price) AS total FROM shop, sales, items WHERE name = sName AND itemId = id GROUP BY name ORDER BY total DESC")
+            .unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.tuples()[0], tuple!["Merdies", 120]);
+        assert_eq!(result.schema().provenance_indices().len(), 0);
+    }
+
+    #[test]
+    fn provenance_of_query_api_matches_sql_ple() {
+        let db = shop_db();
+        let via_api = db
+            .provenance_of_query("SELECT name, sum(price) AS total FROM shop, sales, items WHERE name = sName AND itemId = id GROUP BY name")
+            .unwrap();
+        let via_sql = db
+            .execute_sql("SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items WHERE name = sName AND itemId = id GROUP BY name")
+            .unwrap();
+        assert!(via_api.bag_eq(&via_sql));
+    }
+
+    #[test]
+    fn select_into_stores_provenance_eagerly() {
+        let db = shop_db();
+        db.execute_sql("SELECT PROVENANCE id, price INTO item_prov FROM items WHERE price > 20").unwrap();
+        assert!(db.catalog().has_table("item_prov"));
+        let stored = db.execute_sql("SELECT * FROM item_prov").unwrap();
+        assert_eq!(stored.num_rows(), 2);
+        assert_eq!(stored.schema().arity(), 4);
+    }
+
+    #[test]
+    fn store_provenance_api() {
+        let db = shop_db();
+        let rows = db.store_provenance("stored", "SELECT sum(price) AS total FROM items").unwrap();
+        assert_eq!(rows, 3);
+        let stored = db.execute_sql("SELECT * FROM stored").unwrap();
+        assert_eq!(stored.schema().attribute_names(), vec!["total", "prov_items_id", "prov_items_price"]);
+    }
+
+    #[test]
+    fn incremental_provenance_from_stored_results() {
+        // The paper's §IV-A.3 example: a view stores provenance; a later provenance query reuses
+        // the stored provenance attributes instead of recomputing them.
+        let db = shop_db();
+        db.execute_sql("CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items").unwrap();
+        let result = db
+            .execute_sql(
+                "SELECT PROVENANCE total * 10 AS total10 \
+                 FROM totalItemPrice PROVENANCE (prov_items_id, prov_items_price)",
+            )
+            .unwrap();
+        assert_eq!(
+            result.schema().attribute_names(),
+            vec!["total10", "prov_items_id", "prov_items_price"]
+        );
+        assert_eq!(result.num_rows(), 3);
+        for t in result.tuples() {
+            assert_eq!(t[0], Value::Int(1350));
+        }
+    }
+
+    #[test]
+    fn baserelation_annotation_via_sql() {
+        let db = shop_db();
+        let result = db
+            .execute_sql(
+                "SELECT PROVENANCE total * 10 AS total10 FROM \
+                   (SELECT sum(price) AS total FROM items) BASERELATION AS sub",
+            )
+            .unwrap();
+        assert_eq!(result.schema().attribute_names(), vec!["total10", "prov_sub_total"]);
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.tuples()[0], tuple![1350, 135]);
+    }
+
+    #[test]
+    fn provenance_views_compute_lazily() {
+        let db = shop_db();
+        db.create_provenance_view("expensive_items_prov", "SELECT id FROM items WHERE price > 20").unwrap();
+        let result = db.execute_sql("SELECT * FROM expensive_items_prov").unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.schema().arity(), 3, "id plus two provenance attributes");
+        // New data is picked up because the view is unfolded lazily.
+        db.execute_sql("INSERT INTO items VALUES (4, 500)").unwrap();
+        let result = db.execute_sql("SELECT * FROM expensive_items_prov").unwrap();
+        assert_eq!(result.num_rows(), 3);
+    }
+
+    #[test]
+    fn row_budget_aborts_runaway_provenance_queries() {
+        let mut db = shop_db();
+        db.set_options(ProvenanceOptions::default().with_row_budget(3));
+        let err = db
+            .execute_sql("SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items WHERE name = sName AND itemId = id GROUP BY name")
+            .unwrap_err();
+        assert!(matches!(err, PermError::Exec(perm_exec::ExecError::RowBudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn plan_sql_reports_rewritten_and_optimized_plan() {
+        let db = shop_db();
+        let plan = db.plan_sql("SELECT PROVENANCE name FROM shop WHERE numEmpl < 10").unwrap();
+        assert!(plan.schema().attribute_names().contains(&"prov_shop_name".to_string()));
+        let unoptimized = db.analyze_sql_plan("SELECT name FROM shop, sales WHERE name = sName").unwrap();
+        let optimized = db.plan_sql("SELECT name FROM shop, sales WHERE name = sName").unwrap();
+        assert!(optimized.node_count() <= unoptimized.node_count());
+    }
+
+    #[test]
+    fn ddl_and_errors() {
+        let db = PermDb::new();
+        db.execute_sql("CREATE TABLE t (a INT)").unwrap();
+        assert!(db.execute_sql("CREATE TABLE t (a INT)").is_err());
+        db.execute_sql("DROP TABLE t").unwrap();
+        assert!(db.execute_sql("SELECT * FROM t").is_err());
+        assert!(db.execute_sql("SELECT PROVENANCE x FROM missing").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! The error type of the Perm provenance management system.
+
+use std::fmt;
+
+use perm_algebra::AlgebraError;
+use perm_exec::ExecError;
+use perm_sql::SqlError;
+use perm_storage::CatalogError;
+
+/// Errors surfaced by [`crate::PermDb`] and the provenance rewriter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PermError {
+    /// SQL front-end error (lexing, parsing, analysis).
+    Sql(SqlError),
+    /// Execution error (including row-budget / timeout aborts).
+    Exec(ExecError),
+    /// Catalog error.
+    Catalog(CatalogError),
+    /// Algebra-level error.
+    Algebra(AlgebraError),
+    /// Provenance rewriting failed.
+    Rewrite(String),
+    /// Any other failure.
+    Other(String),
+}
+
+impl PermError {
+    /// Convenience constructor for rewrite errors.
+    pub fn rewrite(msg: impl Into<String>) -> PermError {
+        PermError::Rewrite(msg.into())
+    }
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::Sql(e) => write!(f, "{e}"),
+            PermError::Exec(e) => write!(f, "{e}"),
+            PermError::Catalog(e) => write!(f, "{e}"),
+            PermError::Algebra(e) => write!(f, "{e}"),
+            PermError::Rewrite(msg) => write!(f, "provenance rewrite error: {msg}"),
+            PermError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+impl From<SqlError> for PermError {
+    fn from(e: SqlError) -> Self {
+        PermError::Sql(e)
+    }
+}
+
+impl From<ExecError> for PermError {
+    fn from(e: ExecError) -> Self {
+        PermError::Exec(e)
+    }
+}
+
+impl From<CatalogError> for PermError {
+    fn from(e: CatalogError) -> Self {
+        PermError::Catalog(e)
+    }
+}
+
+impl From<AlgebraError> for PermError {
+    fn from(e: AlgebraError) -> Self {
+        PermError::Algebra(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PermError = SqlError::analyze("nope").into();
+        assert!(e.to_string().contains("nope"));
+        let e: PermError = ExecError::RowBudgetExceeded { budget: 7 }.into();
+        assert!(e.to_string().contains('7'));
+        let e = PermError::rewrite("cannot rewrite");
+        assert!(e.to_string().contains("cannot rewrite"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The provenance attribute naming scheme of the paper (§IV-A.1).
+//!
+//! A provenance attribute name consists of the fixed prefix `prov_`, the name of the base
+//! relation the attribute is derived from, and the original attribute name, separated by
+//! underscores. If a relation is referenced more than once in a query, an identifying number is
+//! attached to the relation name (`prov_items_1_price` for the second reference to `items`).
+
+use std::collections::HashMap;
+
+/// Generates unique provenance attribute names within one query rewrite.
+#[derive(Debug, Default, Clone)]
+pub struct ProvenanceNaming {
+    reference_counts: HashMap<String, usize>,
+}
+
+impl ProvenanceNaming {
+    /// Create a fresh naming context (one per rewritten query).
+    pub fn new() -> ProvenanceNaming {
+        ProvenanceNaming::default()
+    }
+
+    /// Reserve the next prefix for a reference to `relation` and return it.
+    ///
+    /// The first reference to `items` yields `prov_items`, the second `prov_items_1`, and so on.
+    pub fn next_prefix(&mut self, relation: &str) -> String {
+        let relation = sanitize(relation);
+        let count = self.reference_counts.entry(relation.clone()).or_insert(0);
+        let prefix = if *count == 0 {
+            format!("prov_{relation}")
+        } else {
+            format!("prov_{relation}_{count}")
+        };
+        *count += 1;
+        prefix
+    }
+
+    /// The full provenance attribute name for `attribute` of a reference with `prefix`.
+    pub fn attribute_name(prefix: &str, attribute: &str) -> String {
+        format!("{prefix}_{}", sanitize(attribute))
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Does `name` follow the provenance attribute naming scheme?
+pub fn is_provenance_attribute_name(name: &str) -> bool {
+    name.to_ascii_lowercase().starts_with("prov_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_repeated_references() {
+        let mut naming = ProvenanceNaming::new();
+        assert_eq!(naming.next_prefix("shop"), "prov_shop");
+        assert_eq!(naming.next_prefix("items"), "prov_items");
+        assert_eq!(naming.next_prefix("items"), "prov_items_1");
+        assert_eq!(naming.next_prefix("items"), "prov_items_2");
+        assert_eq!(naming.next_prefix("shop"), "prov_shop_1");
+    }
+
+    #[test]
+    fn attribute_names_follow_the_paper_scheme() {
+        let mut naming = ProvenanceNaming::new();
+        let prefix = naming.next_prefix("sales");
+        assert_eq!(ProvenanceNaming::attribute_name(&prefix, "sName"), "prov_sales_sname");
+        assert!(is_provenance_attribute_name("prov_sales_sname"));
+        assert!(!is_provenance_attribute_name("sname"));
+    }
+
+    #[test]
+    fn odd_characters_are_sanitised() {
+        let mut naming = ProvenanceNaming::new();
+        let prefix = naming.next_prefix("my table");
+        assert_eq!(prefix, "prov_my_table");
+    }
+}

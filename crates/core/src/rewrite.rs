@@ -1,0 +1,1081 @@
+//! The Perm provenance rewriter: the paper's core contribution (§III-C, Figure 3; §IV).
+//!
+//! [`ProvenanceRewriter::rewrite`] transforms a logical plan `q` into `q+`, a plan over the same
+//! algebra whose result is the original result extended with *provenance attributes*: for every
+//! base relation accessed by `q`, the complete contributing tuples according to
+//! influence-contribution (Why-) semantics. Original result tuples are duplicated once per
+//! combination of contributing tuples, exactly as in the paper's representation (§III-B).
+//!
+//! The rewrite is implemented operator-by-operator following the rules of Figure 3:
+//!
+//! | rule | operator | strategy |
+//! |------|----------|----------|
+//! | R1 | base relation | duplicate all attributes under `prov_<rel>_<attr>` names |
+//! | R2 | projection | append the input's provenance attributes to the projection list |
+//! | R3 | selection | apply the unmodified selection to the rewritten input |
+//! | R4 | cross product / joins | join the rewritten inputs (`(T1 ⋈ T2)+ = T1+ ⋈ T2+`) |
+//! | R5 | aggregation | join the original aggregation with the rewritten input on the grouping attributes |
+//! | R6/R7 | union / intersection | join the original set operation with both rewritten inputs on the original attributes |
+//! | R8/R9 | set difference | left input joined on equality; all (differing) right tuples attached |
+//!
+//! Invariant maintained by every rule: the rewritten plan's schema starts with the original
+//! schema (same attributes, same positions) so that expressions of enclosing operators remain
+//! valid without rebinding, followed by the provenance attributes (the *P-list*).
+//!
+//! Uncorrelated sublinks in selection predicates are handled as described in §IV-E: the
+//! rewritten sublink query is pulled into the range table via a join whose condition accepts a
+//! sublink tuple if the surrounding predicate can be satisfied either through the sublink
+//! comparison or independently of it (which reproduces the paper's provenance blow-up for
+//! negated / disjunctive sublinks, e.g. TPC-H Q16).
+
+use std::sync::Arc;
+
+use perm_algebra::{
+    BinaryOperator, JoinKind, LogicalPlan, ProvenanceAnnotationKind, ScalarExpr, SetOpKind,
+    SetSemantics, SublinkKind, UnaryOperator, Value,
+};
+
+use crate::error::PermError;
+use crate::naming::ProvenanceNaming;
+
+/// The provenance rewriter.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceRewriter;
+
+/// The result of rewriting one plan node.
+#[derive(Debug, Clone)]
+struct Rewritten {
+    /// The rewritten plan. Its schema starts with the node's original attributes.
+    plan: Arc<LogicalPlan>,
+    /// Arity of the original (pre-rewrite) node.
+    original_arity: usize,
+    /// Positions of the provenance attributes within `plan`'s schema.
+    prov_positions: Vec<usize>,
+}
+
+impl Rewritten {
+    fn arity(&self) -> usize {
+        self.plan.schema().arity()
+    }
+
+    /// `(expression, name)` pairs referencing this node's provenance attributes, for use in an
+    /// enclosing projection.
+    fn prov_exprs(&self) -> Vec<(ScalarExpr, String)> {
+        let schema = self.plan.schema();
+        self.prov_positions
+            .iter()
+            .map(|&p| {
+                let name = schema.attribute(p).map(|a| a.name.clone()).unwrap_or_else(|_| format!("prov_{p}"));
+                (ScalarExpr::column(p, name.clone()), name)
+            })
+            .collect()
+    }
+}
+
+impl ProvenanceRewriter {
+    /// Create a rewriter.
+    pub fn new() -> ProvenanceRewriter {
+        ProvenanceRewriter
+    }
+
+    /// Rewrite `plan` into its provenance-computing form `plan+`.
+    ///
+    /// The returned plan's schema is the original schema followed by the provenance attributes;
+    /// the provenance attributes are marked (`Attribute::provenance == true`) so that callers can
+    /// partition the result via [`perm_algebra::Schema::provenance_indices`].
+    pub fn rewrite(&self, plan: &LogicalPlan) -> Result<LogicalPlan, PermError> {
+        let mut naming = ProvenanceNaming::new();
+        let rewritten = self.rewrite_node(plan, &mut naming)?;
+        let schema = rewritten.plan.schema();
+        let prov_names: Vec<String> = rewritten
+            .prov_positions
+            .iter()
+            .map(|&p| schema.attribute(p).map(|a| a.name.clone()))
+            .collect::<Result<_, _>>()?;
+        Ok(LogicalPlan::ProvenanceAnnotation {
+            input: rewritten.plan,
+            kind: ProvenanceAnnotationKind::AlreadyRewritten(prov_names),
+        })
+    }
+
+    /// The names of the provenance attributes the rewrite of `plan` will produce, without
+    /// performing the full rewrite (used for reporting).
+    pub fn provenance_attribute_names(&self, plan: &LogicalPlan) -> Result<Vec<String>, PermError> {
+        let rewritten = self.rewrite(plan)?;
+        let schema = rewritten.schema();
+        Ok(schema
+            .provenance_indices()
+            .into_iter()
+            .map(|i| schema.attributes()[i].name.clone())
+            .collect())
+    }
+
+    fn rewrite_node(&self, plan: &LogicalPlan, naming: &mut ProvenanceNaming) -> Result<Rewritten, PermError> {
+        match plan {
+            LogicalPlan::BaseRelation { name, .. } => Ok(self.rewrite_as_base_relation(plan, name, naming)),
+            LogicalPlan::Values { .. } => Ok(self.rewrite_as_base_relation(plan, "values", naming)),
+            LogicalPlan::ProvenanceAnnotation { input, kind } => match kind {
+                // SQL-PLE BASERELATION: limited provenance scope — rule R1 applied to the whole
+                // annotated sub-plan (§IV-A.4).
+                ProvenanceAnnotationKind::BaseRelation => {
+                    let label = relation_label(input);
+                    Ok(self.rewrite_as_base_relation(input, &label, naming))
+                }
+                // SQL-PLE PROVENANCE (attrs): external / stored provenance — the sub-plan is
+                // already rewritten and the listed attributes form its P-list (§IV-A.3).
+                ProvenanceAnnotationKind::AlreadyRewritten(attrs) => {
+                    let schema = input.schema();
+                    let mut prov_positions = Vec::with_capacity(attrs.len());
+                    for attr in attrs {
+                        let pos = schema.resolve(attr).map_err(|_| {
+                            PermError::rewrite(format!(
+                                "PROVENANCE clause names attribute '{attr}' which does not exist in the annotated from-item"
+                            ))
+                        })?;
+                        prov_positions.push(pos);
+                    }
+                    Ok(Rewritten {
+                        plan: input.clone(),
+                        original_arity: schema.arity(),
+                        prov_positions,
+                    })
+                }
+            },
+            LogicalPlan::Projection { input, exprs, distinct } => {
+                // R2: append the input's provenance attributes to the projection list.
+                let child = self.rewrite_node(input, naming)?;
+                let mut new_exprs = exprs.clone();
+                new_exprs.extend(child.prov_exprs());
+                let original_arity = exprs.len();
+                let plan = LogicalPlan::Projection { input: child.plan, exprs: new_exprs, distinct: *distinct };
+                Ok(suffix_rewritten(plan, original_arity))
+            }
+            LogicalPlan::Selection { input, predicate } => {
+                let child = self.rewrite_node(input, naming)?;
+                if predicate.has_sublink() {
+                    self.rewrite_selection_with_sublinks(child, predicate, naming)
+                } else {
+                    // R3: the unmodified selection applies to the rewritten input.
+                    Ok(Rewritten {
+                        plan: Arc::new(LogicalPlan::Selection {
+                            input: child.plan.clone(),
+                            predicate: predicate.clone(),
+                        }),
+                        original_arity: child.original_arity,
+                        prov_positions: child.prov_positions,
+                    })
+                }
+            }
+            LogicalPlan::Join { left, right, kind, condition } => {
+                // R4 (and its join-type generalisations): (T1 ⋈ T2)+ = T1+ ⋈ T2+.
+                let l = self.rewrite_node(left, naming)?;
+                let r = self.rewrite_node(right, naming)?;
+                let l_orig = left.schema().arity();
+                let r_orig = right.schema().arity();
+                let l_arity = l.arity();
+                // The original join condition refers to (T1 ++ T2); in (T1+ ++ T2+) the right
+                // side's original attributes moved right by the width of T1's P-list.
+                let remapped = condition
+                    .as_ref()
+                    .map(|c| c.map_columns(&mut |i| if i < l_orig { i } else { i - l_orig + l_arity }));
+                let join = LogicalPlan::Join {
+                    left: l.plan.clone(),
+                    right: r.plan.clone(),
+                    kind: *kind,
+                    condition: remapped,
+                };
+                // Restore the prefix invariant: original attributes of both inputs first, then
+                // both P-lists.
+                let join_schema = join.schema();
+                let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+                for i in 0..l_orig {
+                    let name = join_schema.attribute(i)?.name.clone();
+                    exprs.push((ScalarExpr::column(i, name.clone()), name));
+                }
+                for i in 0..r_orig {
+                    let pos = l_arity + i;
+                    let name = join_schema.attribute(pos)?.name.clone();
+                    exprs.push((ScalarExpr::column(pos, name.clone()), name));
+                }
+                for &p in &l.prov_positions {
+                    let name = join_schema.attribute(p)?.name.clone();
+                    exprs.push((ScalarExpr::column(p, name.clone()), name));
+                }
+                for &p in &r.prov_positions {
+                    let pos = l_arity + p;
+                    let name = join_schema.attribute(pos)?.name.clone();
+                    exprs.push((ScalarExpr::column(pos, name.clone()), name));
+                }
+                let original_arity = l_orig + r_orig;
+                let plan = LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
+                Ok(suffix_rewritten(plan, original_arity))
+            }
+            LogicalPlan::Aggregation { input, group_by, aggregates } => {
+                // R5: join the original aggregation with the rewritten input on the grouping
+                // attributes (null-safe, matching SQL GROUP BY null grouping).
+                let child = self.rewrite_node(input, naming)?;
+                let agg_arity = group_by.len() + aggregates.len();
+
+                // Right side: Π_{G→Ĝ, P(T+)}(T+).
+                let mut right_exprs: Vec<(ScalarExpr, String)> = group_by
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (g, name))| (g.clone(), format!("hat_{i}_{name}")))
+                    .collect();
+                right_exprs.extend(child.prov_exprs());
+                let right = LogicalPlan::Projection { input: child.plan.clone(), exprs: right_exprs, distinct: false };
+
+                // Join condition: G = Ĝ (null-safe equality). Empty G ⇒ cross product: every
+                // input tuple contributed to the single global aggregate.
+                let condition = if group_by.is_empty() {
+                    None
+                } else {
+                    Some(ScalarExpr::conjunction(
+                        (0..group_by.len())
+                            .map(|i| {
+                                ScalarExpr::column(i, group_by[i].1.clone())
+                                    .null_safe_eq(ScalarExpr::column(agg_arity + i, format!("hat_{i}")))
+                            })
+                            .collect(),
+                    ))
+                };
+                let join_kind = if group_by.is_empty() { JoinKind::Cross } else { JoinKind::Inner };
+                let join = LogicalPlan::Join {
+                    left: Arc::new(plan.clone()),
+                    right: Arc::new(right),
+                    kind: join_kind,
+                    condition,
+                };
+
+                // Top projection: original aggregation output followed by the P-list.
+                let agg_schema = plan.schema();
+                let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+                for i in 0..agg_arity {
+                    let name = agg_schema.attribute(i)?.name.clone();
+                    exprs.push((ScalarExpr::column(i, name.clone()), name));
+                }
+                let right_offset = agg_arity + group_by.len();
+                let child_schema = child.plan.schema();
+                for (k, &p) in child.prov_positions.iter().enumerate() {
+                    let name = child_schema.attribute(p)?.name.clone();
+                    exprs.push((ScalarExpr::column(right_offset + k, name.clone()), name));
+                }
+                let plan = LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
+                Ok(suffix_rewritten(plan, agg_arity))
+            }
+            LogicalPlan::SetOp { left, right, kind, .. } => {
+                self.rewrite_set_operation(plan, left, right, *kind, naming)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let child = self.rewrite_node(input, naming)?;
+                Ok(Rewritten {
+                    plan: Arc::new(LogicalPlan::Sort { input: child.plan.clone(), keys: keys.clone() }),
+                    original_arity: child.original_arity,
+                    prov_positions: child.prov_positions,
+                })
+            }
+            LogicalPlan::Limit { input, limit, offset } => {
+                // LIMIT is not part of the paper's algebra; we pass it through, which bounds the
+                // number of provenance rows rather than the number of original rows. Queries that
+                // need exact LIMIT semantics should place the LIMIT outside the PROVENANCE block.
+                let child = self.rewrite_node(input, naming)?;
+                Ok(Rewritten {
+                    plan: Arc::new(LogicalPlan::Limit {
+                        input: child.plan.clone(),
+                        limit: *limit,
+                        offset: *offset,
+                    }),
+                    original_arity: child.original_arity,
+                    prov_positions: child.prov_positions,
+                })
+            }
+            LogicalPlan::SubqueryAlias { input, alias } => {
+                let child = self.rewrite_node(input, naming)?;
+                Ok(Rewritten {
+                    plan: Arc::new(LogicalPlan::SubqueryAlias {
+                        input: child.plan.clone(),
+                        alias: alias.clone(),
+                    }),
+                    original_arity: child.original_arity,
+                    prov_positions: child.prov_positions,
+                })
+            }
+        }
+    }
+
+    /// Rule R1 (also used for the `BASERELATION` annotation and literal `VALUES` relations):
+    /// duplicate every attribute of `plan` under a provenance attribute name.
+    fn rewrite_as_base_relation(
+        &self,
+        plan: &LogicalPlan,
+        relation_name: &str,
+        naming: &mut ProvenanceNaming,
+    ) -> Rewritten {
+        let schema = plan.schema();
+        let prefix = naming.next_prefix(relation_name);
+        let mut exprs: Vec<(ScalarExpr, String)> = Vec::with_capacity(schema.arity() * 2);
+        for (i, attr) in schema.iter() {
+            exprs.push((ScalarExpr::column(i, attr.name.clone()), attr.name.clone()));
+        }
+        for (i, attr) in schema.iter() {
+            let prov_name = ProvenanceNaming::attribute_name(&prefix, &attr.name);
+            exprs.push((ScalarExpr::column(i, attr.name.clone()), prov_name));
+        }
+        let original_arity = schema.arity();
+        let rewritten = LogicalPlan::Projection { input: Arc::new(plan.clone()), exprs, distinct: false };
+        suffix_rewritten(rewritten, original_arity)
+    }
+
+    /// Rules R6–R9: set operations.
+    fn rewrite_set_operation(
+        &self,
+        original: &LogicalPlan,
+        left: &Arc<LogicalPlan>,
+        right: &Arc<LogicalPlan>,
+        kind: SetOpKind,
+        naming: &mut ProvenanceNaming,
+    ) -> Result<Rewritten, PermError> {
+        let l = self.rewrite_node(left, naming)?;
+        let r = self.rewrite_node(right, naming)?;
+        let n = original.schema().arity();
+        let original_schema = original.schema();
+
+        // Left provenance side: Π_{T1→T̂1, P(T1+)}(T1+), joined on the original attributes.
+        let left_schema = left.schema();
+        let mut left_exprs: Vec<(ScalarExpr, String)> = (0..n)
+            .map(|i| {
+                let name = left_schema.attributes()[i].name.clone();
+                (ScalarExpr::column(i, name.clone()), format!("lhat_{i}_{name}"))
+            })
+            .collect();
+        left_exprs.extend(l.prov_exprs());
+        let left_side = LogicalPlan::Projection { input: l.plan.clone(), exprs: left_exprs, distinct: false };
+        let p1 = l.prov_positions.len();
+
+        // The join kind on the left side: union tuples may stem from only one input (left outer
+        // join); intersection tuples exist in both (inner join); difference tuples always stem
+        // from T1 (left outer join keeps them even if something unexpected fails to match).
+        let left_join_kind = match kind {
+            SetOpKind::Intersect => JoinKind::Inner,
+            _ => JoinKind::LeftOuter,
+        };
+        let left_condition = ScalarExpr::conjunction(
+            (0..n)
+                .map(|i| {
+                    ScalarExpr::column(i, format!("c{i}"))
+                        .null_safe_eq(ScalarExpr::column(n + i, format!("lhat_{i}")))
+                })
+                .collect(),
+        );
+        let join1 = LogicalPlan::Join {
+            left: Arc::new(original.clone()),
+            right: Arc::new(left_side),
+            kind: left_join_kind,
+            condition: Some(left_condition),
+        };
+        let join1_arity = n + n + p1;
+
+        // Right provenance side.
+        let (right_side, right_condition, right_join_kind, right_orig_width) = match kind {
+            SetOpKind::Union | SetOpKind::Intersect => {
+                let right_schema = right.schema();
+                let mut right_exprs: Vec<(ScalarExpr, String)> = (0..n)
+                    .map(|i| {
+                        let name = right_schema.attributes()[i].name.clone();
+                        (ScalarExpr::column(i, name.clone()), format!("rhat_{i}_{name}"))
+                    })
+                    .collect();
+                right_exprs.extend(r.prov_exprs());
+                let side = LogicalPlan::Projection { input: r.plan.clone(), exprs: right_exprs, distinct: false };
+                let condition = ScalarExpr::conjunction(
+                    (0..n)
+                        .map(|i| {
+                            ScalarExpr::column(i, format!("c{i}"))
+                                .null_safe_eq(ScalarExpr::column(join1_arity + i, format!("rhat_{i}")))
+                        })
+                        .collect(),
+                );
+                let join_kind = if kind == SetOpKind::Intersect { JoinKind::Inner } else { JoinKind::LeftOuter };
+                (side, condition, join_kind, n)
+            }
+            SetOpKind::Difference => {
+                // R8 (set semantics) / R9 (bag semantics): the provenance of a difference result
+                // tuple includes all tuples of T2 that differ from it (R9) — for set semantics
+                // the inequality can be dropped because equal tuples cannot appear in the result.
+                let semantics = match original {
+                    LogicalPlan::SetOp { semantics, .. } => *semantics,
+                    _ => SetSemantics::Bag,
+                };
+                let side = (*r.plan).clone();
+                let condition = match semantics {
+                    SetSemantics::Set => ScalarExpr::Literal(Value::Bool(true)),
+                    SetSemantics::Bag => {
+                        // "differs in at least one attribute"
+                        let diffs: Vec<ScalarExpr> = (0..n)
+                            .map(|i| {
+                                ScalarExpr::binary(
+                                    BinaryOperator::IsDistinctFrom,
+                                    ScalarExpr::column(i, format!("c{i}")),
+                                    ScalarExpr::column(join1_arity + i, format!("r{i}")),
+                                )
+                            })
+                            .collect();
+                        diffs
+                            .into_iter()
+                            .reduce(|a, b| a.or(b))
+                            .unwrap_or(ScalarExpr::Literal(Value::Bool(true)))
+                    }
+                };
+                (side, condition, JoinKind::LeftOuter, right.schema().arity())
+            }
+        };
+        let join2 = LogicalPlan::Join {
+            left: Arc::new(join1),
+            right: Arc::new(right_side),
+            kind: right_join_kind,
+            condition: Some(right_condition),
+        };
+        let join2_schema = join2.schema();
+
+        // Top projection: the original result attributes, then P(T1+), then P(T2+).
+        let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+        for i in 0..n {
+            let name = original_schema.attributes()[i].name.clone();
+            exprs.push((ScalarExpr::column(i, name.clone()), name));
+        }
+        for k in 0..p1 {
+            let pos = n + n + k;
+            let name = join2_schema.attribute(pos)?.name.clone();
+            exprs.push((ScalarExpr::column(pos, name.clone()), name));
+        }
+        match kind {
+            SetOpKind::Union | SetOpKind::Intersect => {
+                for k in 0..r.prov_positions.len() {
+                    let pos = join1_arity + right_orig_width + k;
+                    let name = join2_schema.attribute(pos)?.name.clone();
+                    exprs.push((ScalarExpr::column(pos, name.clone()), name));
+                }
+            }
+            SetOpKind::Difference => {
+                for &p in &r.prov_positions {
+                    let pos = join1_arity + p;
+                    let name = join2_schema.attribute(pos)?.name.clone();
+                    exprs.push((ScalarExpr::column(pos, name.clone()), name));
+                }
+            }
+        }
+        let plan = LogicalPlan::Projection { input: Arc::new(join2), exprs, distinct: false };
+        Ok(suffix_rewritten(plan, n))
+    }
+
+    /// §IV-E: rewrite a selection whose predicate contains uncorrelated sublinks.
+    ///
+    /// Each rewritten sublink query is joined into the range table. A sublink tuple contributes
+    /// to an original result tuple if the surrounding condition `C` can be satisfied through the
+    /// sublink comparison for that tuple (`C'`), or independently of the sublink's truth value
+    /// (`C''`) — in which case *all* of the sublink's tuples contribute, reproducing the paper's
+    /// behaviour for negated and disjunctive sublink conditions.
+    fn rewrite_selection_with_sublinks(
+        &self,
+        child: Rewritten,
+        predicate: &ScalarExpr,
+        naming: &mut ProvenanceNaming,
+    ) -> Result<Rewritten, PermError> {
+        let sublinks: Vec<ScalarExpr> = predicate.sublinks().into_iter().cloned().collect();
+
+        let mut current: Arc<LogicalPlan> = child.plan.clone();
+        let mut current_arity = child.arity();
+        let mut sublink_prov: Vec<usize> = Vec::new();
+
+        for sublink in &sublinks {
+            let ScalarExpr::Sublink { kind, operand, negated, plan: sub_plan } = sublink else {
+                continue;
+            };
+            let sub = self.rewrite_node(sub_plan, naming)?;
+            let offset = current_arity;
+            let sub_schema = sub.plan.schema();
+            let first_col_name = sub_schema.attribute(0).map(|a| a.name.clone()).unwrap_or_else(|_| "sub".into());
+            let sub_first_col = ScalarExpr::column(offset, first_col_name.clone());
+
+            // The comparison that replaces the sublink when joined with one of its tuples.
+            let cmp_join = match kind {
+                SublinkKind::Scalar => sub_first_col.clone(),
+                SublinkKind::InSubquery => {
+                    let operand = operand
+                        .as_deref()
+                        .cloned()
+                        .ok_or_else(|| PermError::rewrite("IN sublink without an operand"))?;
+                    let eq = operand.eq(sub_first_col.clone());
+                    if *negated {
+                        ScalarExpr::UnaryOp { op: UnaryOperator::Not, expr: Box::new(eq) }
+                    } else {
+                        eq
+                    }
+                }
+                SublinkKind::Exists => ScalarExpr::Literal(Value::Bool(!*negated)),
+            };
+
+            // C' — the predicate with this sublink replaced by the join comparison; C'' — the
+            // predicate with this sublink assumed unsatisfied (if C holds regardless, *all* of
+            // the sublink's tuples contribute). Other sublinks are left in place: they are
+            // uncorrelated, so the executor resolves them to their actual values when it
+            // evaluates the join condition.
+            let c_prime = replace_sublink(predicate, sublink, &cmp_join);
+            let unsatisfied = match kind {
+                SublinkKind::Scalar => ScalarExpr::Literal(Value::Null),
+                _ => ScalarExpr::Literal(Value::Bool(false)),
+            };
+            let c_dprime = replace_sublink(predicate, sublink, &unsatisfied);
+            let join_condition = c_prime.or(c_dprime);
+
+            current = Arc::new(LogicalPlan::Join {
+                left: current,
+                right: sub.plan.clone(),
+                kind: JoinKind::LeftOuter,
+                condition: Some(join_condition),
+            });
+            sublink_prov.extend(sub.prov_positions.iter().map(|&p| offset + p));
+            current_arity += sub.arity();
+        }
+
+        // The final selection re-applies the *original* predicate (sublinks included — they are
+        // uncorrelated and resolved once by the executor), so exactly the original result tuples
+        // survive; the joins above only determine which provenance tuples are attached to them.
+        let selected = LogicalPlan::Selection { input: current, predicate: predicate.clone() };
+
+        // Restore the prefix invariant: original attributes, then the input's P-list, then the
+        // provenance attributes contributed by the sublinks.
+        let selected_schema = selected.schema();
+        let mut exprs: Vec<(ScalarExpr, String)> = Vec::new();
+        for i in 0..child.original_arity {
+            let name = selected_schema.attribute(i)?.name.clone();
+            exprs.push((ScalarExpr::column(i, name.clone()), name));
+        }
+        for &p in &child.prov_positions {
+            let name = selected_schema.attribute(p)?.name.clone();
+            exprs.push((ScalarExpr::column(p, name.clone()), name));
+        }
+        for &p in &sublink_prov {
+            let name = selected_schema.attribute(p)?.name.clone();
+            exprs.push((ScalarExpr::column(p, name.clone()), name));
+        }
+        let original_arity = child.original_arity;
+        let plan = LogicalPlan::Projection { input: Arc::new(selected), exprs, distinct: false };
+        Ok(suffix_rewritten(plan, original_arity))
+    }
+}
+
+/// Wrap a rewritten plan whose provenance attributes occupy the suffix of the schema.
+fn suffix_rewritten(plan: LogicalPlan, original_arity: usize) -> Rewritten {
+    let arity = plan.schema().arity();
+    Rewritten {
+        plan: Arc::new(plan),
+        original_arity,
+        prov_positions: (original_arity..arity).collect(),
+    }
+}
+
+/// A human-readable relation label for R1-style rewrites of non-relation sub-plans.
+fn relation_label(plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::BaseRelation { name, .. } => name.clone(),
+        LogicalPlan::SubqueryAlias { alias, .. } => alias.clone(),
+        LogicalPlan::ProvenanceAnnotation { input, .. } => relation_label(input),
+        _ => "subquery".to_string(),
+    }
+}
+
+/// Replace every occurrence of `target` (a sublink expression) in `expr` by `replacement`.
+fn replace_sublink(expr: &ScalarExpr, target: &ScalarExpr, replacement: &ScalarExpr) -> ScalarExpr {
+    expr.transform(&mut |e| if &e == target { replacement.clone() } else { e })
+}
+
+/// Adapter implementing the SQL analyzer's rewrite hook with the Perm rewriter, so that
+/// `SELECT PROVENANCE` queries are rewritten during analysis (paper Figure 5: the provenance
+/// rewriter sits between the analyzer/rewriter and the planner).
+impl perm_sql::ProvenanceRewrite for ProvenanceRewriter {
+    fn rewrite_provenance(&self, plan: &LogicalPlan) -> Result<LogicalPlan, perm_sql::SqlError> {
+        self.rewrite(plan).map_err(|e| perm_sql::SqlError::Analyze(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{
+        tuple, AggregateExpr, AggregateFunction, Attribute, DataType, PlanBuilder, Schema,
+    };
+    use perm_exec::execute_plan;
+    use perm_storage::{Catalog, Relation};
+
+    /// The paper's Figure 2 example database.
+    fn paper_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        catalog
+            .create_table_with_data(
+                "shop",
+                Relation::new(
+                    Schema::from_pairs(&[("name", DataType::Text), ("numempl", DataType::Int)]),
+                    vec![tuple!["Merdies", 3], tuple!["Joba", 14]],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .create_table_with_data(
+                "sales",
+                Relation::new(
+                    Schema::from_pairs(&[("sname", DataType::Text), ("itemid", DataType::Int)]),
+                    vec![
+                        tuple!["Merdies", 1],
+                        tuple!["Merdies", 2],
+                        tuple!["Merdies", 2],
+                        tuple!["Joba", 3],
+                        tuple!["Joba", 3],
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .create_table_with_data(
+                "items",
+                Relation::new(
+                    Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Int)]),
+                    vec![tuple![1, 100], tuple![2, 10], tuple![3, 25]],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        catalog
+    }
+
+    fn scan(catalog: &Catalog, table: &str, ref_id: usize) -> PlanBuilder {
+        PlanBuilder::scan(table, catalog.table_schema(table).unwrap(), ref_id)
+    }
+
+    /// The paper's example query q_ex (§III-B).
+    fn qex_plan(catalog: &Catalog) -> LogicalPlan {
+        let prod = scan(catalog, "shop", 0)
+            .cross_join(scan(catalog, "sales", 1))
+            .cross_join(scan(catalog, "items", 2));
+        let name = prod.col("shop.name").unwrap();
+        let sname = prod.col("sales.sname").unwrap();
+        let itemid = prod.col("sales.itemid").unwrap();
+        let id = prod.col("items.id").unwrap();
+        let price = prod.col("items.price").unwrap();
+        prod.filter(name.clone().eq(sname).and(itemid.eq(id)))
+            .aggregate(
+                vec![(name, "name".into())],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "sum_price".into())],
+            )
+            .build()
+    }
+
+    #[test]
+    fn r1_base_relation_duplicates_attributes() {
+        let catalog = paper_catalog();
+        let plan = scan(&catalog, "items", 0).build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(
+            schema.attribute_names(),
+            vec!["id", "price", "prov_items_id", "prov_items_price"]
+        );
+        assert_eq!(schema.provenance_indices(), vec![2, 3]);
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(result.num_rows(), 3);
+        assert_eq!(result.tuples()[0], tuple![1, 100, 1, 100]);
+    }
+
+    #[test]
+    fn paper_example_qex_provenance_matches_figure_4() {
+        let catalog = paper_catalog();
+        let plan = qex_plan(&catalog);
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(
+            schema.attribute_names(),
+            vec![
+                "name",
+                "sum_price",
+                "prov_shop_name",
+                "prov_shop_numempl",
+                "prov_sales_sname",
+                "prov_sales_itemid",
+                "prov_items_id",
+                "prov_items_price"
+            ]
+        );
+        let result = execute_plan(&catalog, &rewritten).unwrap().sorted();
+        // Figure 4's result relation (5 tuples).
+        let expected = vec![
+            tuple!["Joba", 50, "Joba", 14, "Joba", 3, 3, 25],
+            tuple!["Joba", 50, "Joba", 14, "Joba", 3, 3, 25],
+            tuple!["Merdies", 120, "Merdies", 3, "Merdies", 1, 1, 100],
+            tuple!["Merdies", 120, "Merdies", 3, "Merdies", 2, 2, 10],
+            tuple!["Merdies", 120, "Merdies", 3, "Merdies", 2, 2, 10],
+        ];
+        assert_eq!(result.tuples(), expected.as_slice());
+    }
+
+    #[test]
+    fn rewritten_query_preserves_original_result() {
+        // The correctness lemma of §III-E: Π_T(q+) = Π_T(q) modulo multiplicity.
+        let catalog = paper_catalog();
+        let plan = qex_plan(&catalog);
+        let original = execute_plan(&catalog, &plan).unwrap();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let provenance = execute_plan(&catalog, &rewritten).unwrap();
+        let original_cols: Vec<usize> = (0..original.arity()).collect();
+        let projected = provenance.project(&original_cols);
+        assert!(projected.set_eq(&original), "original tuples must be preserved");
+    }
+
+    #[test]
+    fn r3_selection_applies_to_rewritten_input() {
+        let catalog = paper_catalog();
+        let items = scan(&catalog, "items", 0);
+        let price = items.col("price").unwrap();
+        let plan = items.filter(price.clone().eq(ScalarExpr::literal(10i64))).build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.tuples()[0], tuple![2, 10, 2, 10]);
+    }
+
+    #[test]
+    fn r4_join_concatenates_provenance_lists() {
+        let catalog = paper_catalog();
+        let shop = scan(&catalog, "shop", 0);
+        let sales = scan(&catalog, "sales", 1);
+        let cond = ScalarExpr::column(0, "name").eq(ScalarExpr::column(2, "sname"));
+        let plan = shop.join(sales, JoinKind::Inner, Some(cond)).build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(
+            schema.attribute_names(),
+            vec![
+                "name",
+                "numempl",
+                "sname",
+                "itemid",
+                "prov_shop_name",
+                "prov_shop_numempl",
+                "prov_sales_sname",
+                "prov_sales_itemid"
+            ]
+        );
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(result.num_rows(), 5);
+        // Provenance columns mirror the original columns for an SPJ query over base relations.
+        for t in result.tuples() {
+            assert_eq!(t[0], t[4]);
+            assert_eq!(t[2], t[6]);
+        }
+    }
+
+    #[test]
+    fn multiple_references_to_a_relation_get_distinct_prefixes() {
+        let catalog = paper_catalog();
+        let a = scan(&catalog, "items", 0);
+        let b = scan(&catalog, "items", 1);
+        let plan = a.cross_join(b).build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let names = rewritten.schema().attribute_names();
+        assert!(names.contains(&"prov_items_id".to_string()));
+        assert!(names.contains(&"prov_items_1_id".to_string()));
+    }
+
+    #[test]
+    fn r5_global_aggregation_attaches_every_input_tuple() {
+        let catalog = paper_catalog();
+        let items = scan(&catalog, "items", 0);
+        let price = items.col("price").unwrap();
+        let plan = items
+            .aggregate(
+                vec![],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "total".into())],
+            )
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        // One original row (total = 135) × three contributing item tuples.
+        assert_eq!(result.num_rows(), 3);
+        for t in result.tuples() {
+            assert_eq!(t[0], perm_algebra::Value::Int(135));
+        }
+    }
+
+    #[test]
+    fn r5_aggregation_over_empty_relation_yields_empty_provenance() {
+        // Matches the paper's footnote 4 to Figure 11: the normal query returns one NULL row,
+        // the provenance query returns zero rows.
+        let catalog = Catalog::new();
+        catalog
+            .create_table("empty_items", Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Int)]))
+            .unwrap();
+        let items = scan(&catalog, "empty_items", 0);
+        let price = items.col("price").unwrap();
+        let plan = items
+            .aggregate(
+                vec![],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "total".into())],
+            )
+            .build();
+        let original = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(original.num_rows(), 1);
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let provenance = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(provenance.num_rows(), 0);
+    }
+
+    #[test]
+    fn r6_union_provenance_comes_from_the_contributing_side() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        catalog
+            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        catalog
+            .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3]]).unwrap())
+            .unwrap();
+        let plan = scan(&catalog, "a", 0)
+            .set_op(scan(&catalog, "b", 1), SetOpKind::Union, SetSemantics::Bag)
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(schema.attribute_names(), vec!["x", "prov_a_x", "prov_b_x"]);
+        let result = execute_plan(&catalog, &rewritten).unwrap().sorted();
+        // x=1 stems only from a, x=3 only from b, x=2 from both sides (one row per side and
+        // original occurrence).
+        let ones: Vec<_> = result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(1)).collect();
+        assert_eq!(ones.len(), 1);
+        assert_eq!(ones[0].values()[1], perm_algebra::Value::Int(1));
+        assert!(ones[0].values()[2].is_null());
+        let threes: Vec<_> = result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(3)).collect();
+        assert_eq!(threes.len(), 1);
+        assert!(threes[0].values()[1].is_null());
+        assert_eq!(threes[0].values()[2], perm_algebra::Value::Int(3));
+    }
+
+    #[test]
+    fn r7_intersection_provenance_has_both_sides() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        catalog
+            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        catalog
+            .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3]]).unwrap())
+            .unwrap();
+        let plan = scan(&catalog, "a", 0)
+            .set_op(scan(&catalog, "b", 1), SetOpKind::Intersect, SetSemantics::Bag)
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        let t = &result.tuples()[0];
+        assert_eq!(t[0], perm_algebra::Value::Int(2));
+        assert_eq!(t[1], perm_algebra::Value::Int(2));
+        assert_eq!(t[2], perm_algebra::Value::Int(2));
+    }
+
+    #[test]
+    fn r9_bag_difference_attaches_all_differing_right_tuples() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        catalog
+            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        catalog
+            .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3], tuple![4]]).unwrap())
+            .unwrap();
+        let plan = scan(&catalog, "a", 0)
+            .set_op(scan(&catalog, "b", 1), SetOpKind::Difference, SetSemantics::Bag)
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        // Original result is {1}; its provenance from b is every tuple different from 1, i.e.
+        // {2, 3, 4} — three provenance rows.
+        assert_eq!(result.num_rows(), 3);
+        for t in result.tuples() {
+            assert_eq!(t[0], perm_algebra::Value::Int(1));
+            assert_eq!(t[1], perm_algebra::Value::Int(1));
+            assert!(t[2] != perm_algebra::Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn sublink_in_disjunction_attaches_all_sublink_tuples() {
+        // The paper's §IV-E example: WHERE numEmpl < 10 OR name IN (SELECT sName FROM sales).
+        // For (Merdies, 3) the condition holds independently of the sublink, so all sales tuples
+        // are part of the provenance.
+        let catalog = paper_catalog();
+        let shop = scan(&catalog, "shop", 0);
+        let sales_sub = scan(&catalog, "sales", 1).project_columns(&["sname"]).unwrap();
+        let name = shop.col("name").unwrap();
+        let numempl = shop.col("numempl").unwrap();
+        let sublink = ScalarExpr::Sublink {
+            kind: SublinkKind::InSubquery,
+            operand: Some(Box::new(name.clone())),
+            negated: false,
+            plan: sales_sub.build_arc(),
+        };
+        let predicate = ScalarExpr::binary(BinaryOperator::Lt, numempl, ScalarExpr::literal(10i64)).or(sublink);
+        let plan = shop.filter(predicate).project_columns(&["name"]).unwrap().build();
+
+        // Normal execution: both shops qualify (Merdies via numempl, Joba via the sublink).
+        let original = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(original.num_rows(), 2);
+
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(
+            schema.attribute_names(),
+            vec![
+                "name",
+                "prov_shop_name",
+                "prov_shop_numempl",
+                "prov_sales_sname",
+                "prov_sales_itemid"
+            ]
+        );
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        let merdies: Vec<_> = result
+            .tuples()
+            .iter()
+            .filter(|t| t[0] == perm_algebra::Value::text("Merdies"))
+            .collect();
+        // All five sales tuples contribute to Merdies because the condition is true regardless
+        // of the sublink.
+        assert_eq!(merdies.len(), 5);
+        let joba: Vec<_> = result
+            .tuples()
+            .iter()
+            .filter(|t| t[0] == perm_algebra::Value::text("Joba"))
+            .collect();
+        // Joba only qualifies through the IN condition: its provenance are the matching tuples.
+        assert_eq!(joba.len(), 2);
+        assert!(joba.iter().all(|t| t[3] == perm_algebra::Value::text("Joba")));
+    }
+
+    #[test]
+    fn negated_sublink_attaches_non_matching_tuples() {
+        // NOT IN: the provenance of a result tuple includes every sublink tuple that does not
+        // fulfil the sublink condition (the Q16 blow-up described in §V-A.2).
+        let catalog = paper_catalog();
+        let shop = scan(&catalog, "shop", 0);
+        let sales_sub = scan(&catalog, "sales", 1).project_columns(&["sname"]).unwrap();
+        let name = shop.col("name").unwrap();
+        let sublink = ScalarExpr::Sublink {
+            kind: SublinkKind::InSubquery,
+            operand: Some(Box::new(name.clone())),
+            negated: true,
+            plan: sales_sub.build_arc(),
+        };
+        // WHERE name NOT IN (SELECT sname FROM sales WHERE sname = 'Joba')  — restricting the
+        // sublink to Joba rows so Merdies qualifies.
+        let catalog2 = catalog.clone();
+        let joba_sales = scan(&catalog2, "sales", 2);
+        let sname = joba_sales.col("sname").unwrap();
+        let joba_sub = joba_sales
+            .filter(sname.clone().eq(ScalarExpr::literal("Joba")))
+            .project_columns(&["sname"])
+            .unwrap();
+        let sublink_joba = ScalarExpr::Sublink {
+            kind: SublinkKind::InSubquery,
+            operand: Some(Box::new(name.clone())),
+            negated: true,
+            plan: joba_sub.build_arc(),
+        };
+        let _ = sublink; // the unrestricted variant is covered implicitly by Q16-style tests
+
+        let plan = shop.filter(sublink_joba).project_columns(&["name"]).unwrap().build();
+        let original = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(original.num_rows(), 1, "only Merdies is NOT IN the Joba sales");
+
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        // Merdies' provenance includes both Joba sales tuples (they do not fulfil the condition).
+        assert_eq!(result.num_rows(), 2);
+        for t in result.tuples() {
+            assert_eq!(t[0], perm_algebra::Value::text("Merdies"));
+        }
+    }
+
+    #[test]
+    fn baserelation_annotation_limits_provenance_scope() {
+        let catalog = paper_catalog();
+        let items = scan(&catalog, "items", 0);
+        let price = items.col("price").unwrap();
+        let agg = items
+            .aggregate(
+                vec![],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "total".into())],
+            )
+            .alias("sub");
+        let annotated = LogicalPlan::ProvenanceAnnotation {
+            input: agg.build_arc(),
+            kind: ProvenanceAnnotationKind::BaseRelation,
+        };
+        let plan = PlanBuilder::from_plan(annotated)
+            .project(vec![(
+                ScalarExpr::binary(BinaryOperator::Mul, ScalarExpr::column(0, "total"), ScalarExpr::literal(10i64)),
+                "total10".into(),
+            )])
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        // Provenance is the subquery's own output, not the base relation items.
+        assert_eq!(schema.attribute_names(), vec!["total10", "prov_sub_total"]);
+        let result = execute_plan(&catalog, &rewritten).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.tuples()[0], tuple![1350, 135]);
+    }
+
+    #[test]
+    fn already_rewritten_annotation_reuses_stored_provenance() {
+        // Incremental provenance (§IV-A.3): a stored provenance result is declared via
+        // PROVENANCE (attrs) and reused instead of being recomputed.
+        let catalog = Catalog::new();
+        let stored = Relation::new(
+            Schema::new(vec![
+                Attribute::new("total", DataType::Int),
+                Attribute::new("prov_items_id", DataType::Int),
+                Attribute::new("prov_items_price", DataType::Int),
+            ]),
+            vec![tuple![135, 1, 100], tuple![135, 2, 10], tuple![135, 3, 25]],
+        )
+        .unwrap();
+        catalog.create_table_with_data("totalitemprice", stored).unwrap();
+        let base = scan(&catalog, "totalitemprice", 0);
+        let annotated = LogicalPlan::ProvenanceAnnotation {
+            input: base.build_arc(),
+            kind: ProvenanceAnnotationKind::AlreadyRewritten(vec![
+                "prov_items_id".into(),
+                "prov_items_price".into(),
+            ]),
+        };
+        let plan = PlanBuilder::from_plan(annotated)
+            .project(vec![(
+                ScalarExpr::binary(BinaryOperator::Mul, ScalarExpr::column(0, "total"), ScalarExpr::literal(10i64)),
+                "total10".into(),
+            )])
+            .build();
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        let schema = rewritten.schema();
+        assert_eq!(schema.attribute_names(), vec!["total10", "prov_items_id", "prov_items_price"]);
+        let result = execute_plan(&catalog, &rewritten).unwrap().sorted();
+        assert_eq!(result.num_rows(), 3);
+        assert_eq!(result.tuples()[0], tuple![1350, 1, 100]);
+    }
+
+    #[test]
+    fn rewritten_plans_validate() {
+        let catalog = paper_catalog();
+        let plan = qex_plan(&catalog);
+        let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
+        rewritten.validate().unwrap();
+    }
+}

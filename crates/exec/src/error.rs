@@ -1,0 +1,80 @@
+//! Errors produced during query execution.
+
+use std::fmt;
+
+use perm_algebra::AlgebraError;
+use perm_storage::CatalogError;
+
+/// Errors raised by the evaluator, executor or optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An error bubbled up from the algebra layer (typing, column resolution, arithmetic).
+    Algebra(AlgebraError),
+    /// An error from the catalog (missing table, arity mismatch on insert, ...).
+    Catalog(CatalogError),
+    /// The configured result-size budget was exceeded.
+    ///
+    /// Provenance queries can blow up combinatorially (the paper reports 38 million result
+    /// tuples for TPC-H query 11); the benchmark harness uses this to reproduce the paper's
+    /// "query stopped" (black table cell) behaviour.
+    RowBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The configured wall-clock timeout was exceeded.
+    Timeout {
+        /// The configured timeout in milliseconds.
+        millis: u64,
+    },
+    /// Any other execution failure.
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Algebra(e) => write!(f, "{e}"),
+            ExecError::Catalog(e) => write!(f, "{e}"),
+            ExecError::RowBudgetExceeded { budget } => {
+                write!(f, "execution aborted: result exceeded row budget of {budget}")
+            }
+            ExecError::Timeout { millis } => {
+                write!(f, "execution aborted: timeout of {millis} ms exceeded")
+            }
+            ExecError::Internal(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<AlgebraError> for ExecError {
+    fn from(e: AlgebraError) -> Self {
+        ExecError::Algebra(e)
+    }
+}
+
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        ExecError::Catalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_budget_and_timeout() {
+        assert!(ExecError::RowBudgetExceeded { budget: 10 }.to_string().contains("10"));
+        assert!(ExecError::Timeout { millis: 500 }.to_string().contains("500"));
+    }
+
+    #[test]
+    fn conversions_from_layer_errors() {
+        let e: ExecError = AlgebraError::Internal("x".into()).into();
+        assert!(matches!(e, ExecError::Algebra(_)));
+        let e: ExecError = CatalogError::NotFound("t".into()).into();
+        assert!(matches!(e, ExecError::Catalog(_)));
+    }
+}

@@ -1,0 +1,1015 @@
+//! The query executor: evaluates logical plans against a catalog, producing materialised
+//! relations.
+//!
+//! The executor is a straightforward materialising evaluator (every operator produces its full
+//! result before the parent consumes it) with hash-based implementations of the expensive
+//! operators: equi-joins, aggregation, DISTINCT and set operations. This mirrors what the
+//! rewritten provenance queries of the paper rely on from PostgreSQL: the extra joins introduced
+//! by rewrite rules R5–R9 are equi-joins on grouping / original attributes and therefore run as
+//! hash joins.
+//!
+//! Execution can be bounded with [`ExecOptions`] (row budget / wall-clock timeout) to reproduce
+//! the paper's behaviour of stopping runaway provenance queries (black cells in Figures 10/11).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use perm_algebra::{
+    AggregateExpr, AggregateFunction, BinaryOperator, JoinKind, LogicalPlan, ScalarExpr, Schema,
+    SetOpKind, SetSemantics, SortKey, SortOrder, Tuple, Value,
+};
+use perm_storage::{Catalog, Relation};
+
+use crate::error::ExecError;
+use crate::eval::{evaluate, evaluate_predicate};
+
+/// Resource limits applied to a single plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Maximum number of intermediate/output rows any single operator may produce.
+    pub row_budget: Option<usize>,
+    /// Wall-clock timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl ExecOptions {
+    /// No limits.
+    pub fn unlimited() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Limit the number of rows any operator may produce.
+    pub fn with_row_budget(mut self, budget: usize) -> ExecOptions {
+        self.row_budget = Some(budget);
+        self
+    }
+
+    /// Limit wall-clock execution time.
+    pub fn with_timeout(mut self, timeout: Duration) -> ExecOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Executes logical plans against a [`Catalog`].
+#[derive(Debug, Clone)]
+pub struct Executor {
+    catalog: Catalog,
+    options: ExecOptions,
+}
+
+struct ExecContext {
+    options: ExecOptions,
+    start: Instant,
+}
+
+impl ExecContext {
+    fn check(&self, rows: usize) -> Result<(), ExecError> {
+        if let Some(budget) = self.options.row_budget {
+            if rows > budget {
+                return Err(ExecError::RowBudgetExceeded { budget });
+            }
+        }
+        if let Some(timeout) = self.options.timeout {
+            if self.start.elapsed() > timeout {
+                return Err(ExecError::Timeout { millis: timeout.as_millis() as u64 });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Executor {
+    /// Create an executor without resource limits.
+    pub fn new(catalog: Catalog) -> Executor {
+        Executor { catalog, options: ExecOptions::default() }
+    }
+
+    /// Create an executor with resource limits.
+    pub fn with_options(catalog: Catalog, options: ExecOptions) -> Executor {
+        Executor { catalog, options }
+    }
+
+    /// The catalog this executor reads from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute a plan, returning the materialised result.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
+        let ctx = ExecContext { options: self.options.clone(), start: Instant::now() };
+        let tuples = self.run(plan, &ctx)?;
+        Ok(Relation::from_parts(plan.schema(), tuples))
+    }
+
+    fn run(&self, plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Tuple>, ExecError> {
+        let out = match plan {
+            LogicalPlan::BaseRelation { name, schema, .. } => {
+                let table = self.catalog.table(name)?;
+                if table.schema().arity() != schema.arity() {
+                    return Err(ExecError::Internal(format!(
+                        "stored table '{name}' has arity {} but the plan expects {}",
+                        table.schema().arity(),
+                        schema.arity()
+                    )));
+                }
+                table.into_tuples()
+            }
+            LogicalPlan::Values { rows, .. } => rows.clone(),
+            LogicalPlan::Projection { input, exprs, distinct } => {
+                let rows = self.run(input, ctx)?;
+                let exprs: Vec<(ScalarExpr, String)> = exprs
+                    .iter()
+                    .map(|(e, n)| Ok((self.resolve_sublinks(e, ctx)?, n.clone())))
+                    .collect::<Result<_, ExecError>>()?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let mut values = Vec::with_capacity(exprs.len());
+                    for (e, _) in &exprs {
+                        values.push(evaluate(e, row)?);
+                    }
+                    out.push(Tuple::new(values));
+                }
+                if *distinct {
+                    out = dedupe(out);
+                }
+                out
+            }
+            LogicalPlan::Selection { input, predicate } => {
+                let rows = self.run(input, ctx)?;
+                let predicate = self.resolve_sublinks(predicate, ctx)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    if evaluate_predicate(&predicate, &row)? {
+                        out.push(row);
+                    }
+                }
+                out
+            }
+            LogicalPlan::Join { left, right, kind, condition } => {
+                let left_rows = self.run(left, ctx)?;
+                let right_rows = self.run(right, ctx)?;
+                let condition = condition
+                    .as_ref()
+                    .map(|c| self.resolve_sublinks(c, ctx))
+                    .transpose()?;
+                self.join(
+                    left_rows,
+                    right_rows,
+                    left.schema().arity(),
+                    right.schema().arity(),
+                    *kind,
+                    condition.as_ref(),
+                    ctx,
+                )?
+            }
+            LogicalPlan::Aggregation { input, group_by, aggregates } => {
+                let rows = self.run(input, ctx)?;
+                let group_by: Vec<(ScalarExpr, String)> = group_by
+                    .iter()
+                    .map(|(e, n)| Ok((self.resolve_sublinks(e, ctx)?, n.clone())))
+                    .collect::<Result<_, ExecError>>()?;
+                let aggregates: Vec<(AggregateExpr, String)> = aggregates
+                    .iter()
+                    .map(|(a, n)| {
+                        let arg = a.arg.as_ref().map(|e| self.resolve_sublinks(e, ctx)).transpose()?;
+                        Ok((AggregateExpr { func: a.func, arg, distinct: a.distinct }, n.clone()))
+                    })
+                    .collect::<Result<_, ExecError>>()?;
+                aggregate(rows, &group_by, &aggregates)?
+            }
+            LogicalPlan::SetOp { left, right, kind, semantics } => {
+                let left_rows = self.run(left, ctx)?;
+                let right_rows = self.run(right, ctx)?;
+                set_operation(left_rows, right_rows, *kind, *semantics)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let mut rows = self.run(input, ctx)?;
+                sort_rows(&mut rows, keys)?;
+                rows
+            }
+            LogicalPlan::Limit { input, limit, offset } => {
+                let rows = self.run(input, ctx)?;
+                rows.into_iter().skip(*offset).take(limit.unwrap_or(usize::MAX)).collect()
+            }
+            LogicalPlan::SubqueryAlias { input, .. } => self.run(input, ctx)?,
+            LogicalPlan::ProvenanceAnnotation { input, .. } => self.run(input, ctx)?,
+        };
+        ctx.check(out.len())?;
+        Ok(out)
+    }
+
+    /// Replace uncorrelated sublinks with their evaluated results: `EXISTS` becomes a boolean
+    /// literal, a scalar subquery becomes a value literal, and `IN (SELECT ...)` becomes an
+    /// `IN (value, ...)` list. Each subquery plan is executed exactly once.
+    fn resolve_sublinks(&self, expr: &ScalarExpr, ctx: &ExecContext) -> Result<ScalarExpr, ExecError> {
+        if !expr.has_sublink() {
+            return Ok(expr.clone());
+        }
+        let mut error: Option<ExecError> = None;
+        let resolved = expr.transform(&mut |e| {
+            if error.is_some() {
+                return e;
+            }
+            let ScalarExpr::Sublink { kind, operand, negated, plan } = &e else {
+                return e;
+            };
+            match self.run(plan, ctx) {
+                Ok(rows) => match kind {
+                    perm_algebra::SublinkKind::Exists => {
+                        ScalarExpr::Literal(Value::Bool(rows.is_empty() == *negated))
+                    }
+                    perm_algebra::SublinkKind::Scalar => {
+                        let value = rows.first().and_then(|t| t.get(0)).cloned().unwrap_or(Value::Null);
+                        ScalarExpr::Literal(value)
+                    }
+                    perm_algebra::SublinkKind::InSubquery => {
+                        let operand = match operand {
+                            Some(op) => (**op).clone(),
+                            None => {
+                                error = Some(ExecError::Internal(
+                                    "IN sublink without an operand".into(),
+                                ));
+                                return e;
+                            }
+                        };
+                        let list = rows
+                            .iter()
+                            .map(|t| ScalarExpr::Literal(t.get(0).cloned().unwrap_or(Value::Null)))
+                            .collect();
+                        ScalarExpr::InList { expr: Box::new(operand), list, negated: *negated }
+                    }
+                },
+                Err(err) => {
+                    error = Some(err);
+                    e
+                }
+            }
+        });
+        match error {
+            Some(err) => Err(err),
+            None => Ok(resolved),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &self,
+        left_rows: Vec<Tuple>,
+        right_rows: Vec<Tuple>,
+        left_arity: usize,
+        right_arity: usize,
+        kind: JoinKind,
+        condition: Option<&ScalarExpr>,
+        ctx: &ExecContext,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let (equi_keys, residual) = match condition {
+            Some(c) => split_equi_join_condition(c, left_arity),
+            None => (Vec::new(), Vec::new()),
+        };
+        let residual = if residual.is_empty() { None } else { Some(ScalarExpr::conjunction(residual)) };
+
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut right_matched = vec![false; right_rows.len()];
+
+        if !equi_keys.is_empty() {
+            // Hash join: build on the right, probe from the left.
+            let mut table: HashMap<Tuple, Vec<usize>> = HashMap::new();
+            for (i, row) in right_rows.iter().enumerate() {
+                if let Some(key) = join_key(row, &equi_keys, |k| k.right - left_arity, |k| k.null_safe) {
+                    table.entry(key).or_default().push(i);
+                }
+            }
+            for left_row in &left_rows {
+                let mut matched = false;
+                if let Some(key) = join_key(left_row, &equi_keys, |k| k.left, |k| k.null_safe) {
+                    if let Some(candidates) = table.get(&key) {
+                        for &ri in candidates {
+                            let combined = left_row.concat(&right_rows[ri]);
+                            let keep = match &residual {
+                                Some(r) => evaluate_predicate(r, &combined)?,
+                                None => true,
+                            };
+                            if keep {
+                                matched = true;
+                                right_matched[ri] = true;
+                                out.push(combined);
+                            }
+                        }
+                    }
+                }
+                if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+                    out.push(left_row.concat(&Tuple::nulls(right_arity)));
+                }
+                ctx.check(out.len())?;
+            }
+        } else {
+            // Nested-loop join with an arbitrary condition (or cross product).
+            for left_row in &left_rows {
+                let mut matched = false;
+                for (ri, right_row) in right_rows.iter().enumerate() {
+                    let combined = left_row.concat(right_row);
+                    let keep = match condition {
+                        Some(c) => evaluate_predicate(c, &combined)?,
+                        None => true,
+                    };
+                    if keep {
+                        matched = true;
+                        right_matched[ri] = true;
+                        out.push(combined);
+                    }
+                }
+                if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+                    out.push(left_row.concat(&Tuple::nulls(right_arity)));
+                }
+                ctx.check(out.len())?;
+            }
+        }
+
+        if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
+            for (ri, matched) in right_matched.iter().enumerate() {
+                if !matched {
+                    out.push(Tuple::nulls(left_arity).concat(&right_rows[ri]));
+                }
+            }
+        }
+        ctx.check(out.len())?;
+        Ok(out)
+    }
+}
+
+/// One equi-join key pair extracted from a join condition.
+#[derive(Debug, Clone, Copy)]
+struct EquiKey {
+    /// Column index on the left input.
+    left: usize,
+    /// Column index in the *combined* schema (>= left arity).
+    right: usize,
+    /// Whether the comparison is null-safe (`IS NOT DISTINCT FROM`).
+    null_safe: bool,
+}
+
+/// Split a join condition into hashable equi-key pairs and a residual predicate.
+fn split_equi_join_condition(condition: &ScalarExpr, left_arity: usize) -> (Vec<EquiKey>, Vec<ScalarExpr>) {
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in condition.split_conjunction() {
+        if let ScalarExpr::BinaryOp { op, left, right } = conjunct {
+            let null_safe = *op == BinaryOperator::IsNotDistinctFrom;
+            if (*op == BinaryOperator::Eq || null_safe) && left.as_column().is_some() && right.as_column().is_some() {
+                let a = left.as_column().expect("checked");
+                let b = right.as_column().expect("checked");
+                let (l, r) = if a < left_arity && b >= left_arity {
+                    (a, b)
+                } else if b < left_arity && a >= left_arity {
+                    (b, a)
+                } else {
+                    residual.push(conjunct.clone());
+                    continue;
+                };
+                keys.push(EquiKey { left: l, right: r, null_safe });
+                continue;
+            }
+        }
+        residual.push(conjunct.clone());
+    }
+    (keys, residual)
+}
+
+/// Build a hash key for a row; `None` when a non-null-safe key column is NULL (such rows cannot
+/// match under SQL equality).
+fn join_key(
+    row: &Tuple,
+    keys: &[EquiKey],
+    index_of: impl Fn(&EquiKey) -> usize,
+    null_safe: impl Fn(&EquiKey) -> bool,
+) -> Option<Tuple> {
+    let mut values = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = row.get(index_of(k))?.clone();
+        if v.is_null() && !null_safe(k) {
+            return None;
+        }
+        values.push(v);
+    }
+    Some(Tuple::new(values))
+}
+
+fn dedupe(rows: Vec<Tuple>) -> Vec<Tuple> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in rows {
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Aggregate accumulator for one aggregate expression within one group.
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count { count: i64, distinct: Option<std::collections::HashSet<Value>> },
+    Sum { sum: Option<Value>, distinct: Option<std::collections::HashSet<Value>> },
+    Avg { sum: f64, count: i64, distinct: Option<std::collections::HashSet<Value>> },
+    Min { min: Option<Value> },
+    Max { max: Option<Value> },
+}
+
+impl Accumulator {
+    fn new(agg: &AggregateExpr) -> Accumulator {
+        let distinct = agg.distinct.then(std::collections::HashSet::new);
+        match agg.func {
+            AggregateFunction::Count => Accumulator::Count { count: 0, distinct },
+            AggregateFunction::Sum => Accumulator::Sum { sum: None, distinct },
+            AggregateFunction::Avg => Accumulator::Avg { sum: 0.0, count: 0, distinct },
+            AggregateFunction::Min => Accumulator::Min { min: None },
+            AggregateFunction::Max => Accumulator::Max { max: None },
+        }
+    }
+
+    fn update(&mut self, value: Option<Value>) -> Result<(), ExecError> {
+        match self {
+            Accumulator::Count { count, distinct } => match value {
+                // COUNT(*): every row counts.
+                None => *count += 1,
+                Some(v) if !v.is_null() => match distinct {
+                    Some(set) => {
+                        if set.insert(v) {
+                            *count += 1;
+                        }
+                    }
+                    None => *count += 1,
+                },
+                Some(_) => {}
+            },
+            Accumulator::Sum { sum, distinct } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    if let Some(set) = distinct {
+                        if !set.insert(v.clone()) {
+                            return Ok(());
+                        }
+                    }
+                    *sum = Some(match sum.take() {
+                        Some(acc) => acc.add(&v)?,
+                        None => v,
+                    });
+                }
+            }
+            Accumulator::Avg { sum, count, distinct } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    if let Some(set) = distinct {
+                        if !set.insert(v.clone()) {
+                            return Ok(());
+                        }
+                    }
+                    if let Some(x) = v.as_f64() {
+                        *sum += x;
+                        *count += 1;
+                    }
+                }
+            }
+            Accumulator::Min { min } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    let replace = match min {
+                        Some(cur) => v.sql_cmp(cur) == Some(std::cmp::Ordering::Less),
+                        None => true,
+                    };
+                    if replace {
+                        *min = Some(v);
+                    }
+                }
+            }
+            Accumulator::Max { max } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return Ok(());
+                    }
+                    let replace = match max {
+                        Some(cur) => v.sql_cmp(cur) == Some(std::cmp::Ordering::Greater),
+                        None => true,
+                    };
+                    if replace {
+                        *max = Some(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Accumulator::Count { count, .. } => Value::Int(count),
+            Accumulator::Sum { sum, .. } => sum.unwrap_or(Value::Null),
+            Accumulator::Avg { sum, count, .. } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            Accumulator::Min { min } => min.unwrap_or(Value::Null),
+            Accumulator::Max { max } => max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(
+    rows: Vec<Tuple>,
+    group_by: &[(ScalarExpr, String)],
+    aggregates: &[(AggregateExpr, String)],
+) -> Result<Vec<Tuple>, ExecError> {
+    // Group keys in first-seen order so results are deterministic.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: HashMap<Tuple, Vec<Accumulator>> = HashMap::new();
+
+    for row in &rows {
+        let mut key_values = Vec::with_capacity(group_by.len());
+        for (e, _) in group_by {
+            key_values.push(evaluate(e, row)?);
+        }
+        let key = Tuple::new(key_values);
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups.entry(key).or_insert_with(|| aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect())
+            }
+        };
+        for ((agg, _), acc) in aggregates.iter().zip(accs.iter_mut()) {
+            let value = match &agg.arg {
+                Some(e) => Some(evaluate(e, row)?),
+                None => None,
+            };
+            acc.update(value)?;
+        }
+    }
+
+    // A global aggregation (no GROUP BY) over an empty input still yields one row.
+    if group_by.is_empty() && rows.is_empty() {
+        let accs: Vec<Accumulator> = aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect();
+        let values: Vec<Value> = accs.into_iter().map(Accumulator::finish).collect();
+        return Ok(vec![Tuple::new(values)]);
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group key must exist");
+        let mut values = key.into_values();
+        values.extend(accs.into_iter().map(Accumulator::finish));
+        out.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+fn set_operation(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    kind: SetOpKind,
+    semantics: SetSemantics,
+) -> Vec<Tuple> {
+    match (kind, semantics) {
+        (SetOpKind::Union, SetSemantics::Bag) => {
+            let mut out = left;
+            out.extend(right);
+            out
+        }
+        (SetOpKind::Union, SetSemantics::Set) => {
+            let mut out = left;
+            out.extend(right);
+            dedupe(out)
+        }
+        (SetOpKind::Intersect, semantics) => {
+            let right_counts = counts(&right);
+            match semantics {
+                SetSemantics::Bag => {
+                    // Multiplicity is min(n, m): emit a left occurrence while right credit remains.
+                    let mut remaining = right_counts;
+                    let mut out = Vec::new();
+                    for t in left {
+                        if let Some(c) = remaining.get_mut(&t) {
+                            if *c > 0 {
+                                *c -= 1;
+                                out.push(t);
+                            }
+                        }
+                    }
+                    out
+                }
+                SetSemantics::Set => {
+                    let left_unique = dedupe(left);
+                    left_unique.into_iter().filter(|t| right_counts.contains_key(t)).collect()
+                }
+            }
+        }
+        (SetOpKind::Difference, SetSemantics::Bag) => {
+            // Multiplicity is n - m.
+            let mut credits = counts(&right);
+            let mut out = Vec::new();
+            for t in left {
+                match credits.get_mut(&t) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => out.push(t),
+                }
+            }
+            out
+        }
+        (SetOpKind::Difference, SetSemantics::Set) => {
+            let right_set: std::collections::HashSet<Tuple> = right.into_iter().collect();
+            dedupe(left).into_iter().filter(|t| !right_set.contains(t)).collect()
+        }
+    }
+}
+
+fn counts(rows: &[Tuple]) -> HashMap<Tuple, usize> {
+    let mut m = HashMap::new();
+    for t in rows {
+        *m.entry(t.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+fn sort_rows(rows: &mut [Tuple], keys: &[SortKey]) -> Result<(), ExecError> {
+    // Pre-compute sort key values to avoid re-evaluating expressions during comparisons.
+    let mut evaluated: Vec<(usize, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let mut vs = Vec::with_capacity(keys.len());
+        for k in keys {
+            vs.push(evaluate(&k.expr, row)?);
+        }
+        evaluated.push((i, vs));
+    }
+    evaluated.sort_by(|(_, a), (_, b)| {
+        for (idx, k) in keys.iter().enumerate() {
+            let ord = a[idx].cmp(&b[idx]);
+            let ord = match k.order {
+                SortOrder::Ascending => ord,
+                SortOrder::Descending => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let permutation: Vec<usize> = evaluated.into_iter().map(|(i, _)| i).collect();
+    let original = rows.to_vec();
+    for (target, source) in permutation.into_iter().enumerate() {
+        rows[target] = original[source].clone();
+    }
+    Ok(())
+}
+
+/// Convenience: execute a plan against a catalog with default options.
+pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<Relation, ExecError> {
+    Executor::new(catalog.clone()).execute(plan)
+}
+
+/// Build the schema a plan's execution result will carry (re-exported for callers that only need
+/// the schema without running the query).
+pub fn output_schema(plan: &LogicalPlan) -> Schema {
+    plan.schema()
+}
+
+/// Convenience for tests and the benchmark harness: execute with limits.
+pub fn execute_plan_with_options(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: ExecOptions,
+) -> Result<Relation, ExecError> {
+    Executor::with_options(catalog.clone(), options).execute(plan)
+}
+
+/// Helpers shared by unit tests across this crate.
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+    use perm_algebra::{tuple, DataType};
+
+    /// The example database of the paper's Figure 2: shop, sales and items.
+    pub fn paper_example_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let shop = Relation::new(
+            Schema::new(vec![
+                perm_algebra::Attribute::qualified("shop", "name", DataType::Text),
+                perm_algebra::Attribute::qualified("shop", "numempl", DataType::Int),
+            ]),
+            vec![tuple!["Merdies", 3], tuple!["Joba", 14]],
+        )
+        .unwrap();
+        let sales = Relation::new(
+            Schema::new(vec![
+                perm_algebra::Attribute::qualified("sales", "sname", DataType::Text),
+                perm_algebra::Attribute::qualified("sales", "itemid", DataType::Int),
+            ]),
+            vec![
+                tuple!["Merdies", 1],
+                tuple!["Merdies", 2],
+                tuple!["Merdies", 2],
+                tuple!["Joba", 3],
+                tuple!["Joba", 3],
+            ],
+        )
+        .unwrap();
+        let items = Relation::new(
+            Schema::new(vec![
+                perm_algebra::Attribute::qualified("items", "id", DataType::Int),
+                perm_algebra::Attribute::qualified("items", "price", DataType::Int),
+            ]),
+            vec![tuple![1, 100], tuple![2, 10], tuple![3, 25]],
+        )
+        .unwrap();
+        catalog.create_table_with_data("shop", shop).unwrap();
+        catalog.create_table_with_data("sales", sales).unwrap();
+        catalog.create_table_with_data("items", items).unwrap();
+        catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::paper_example_catalog;
+    use super::*;
+    use perm_algebra::{tuple, AggregateFunction, Attribute, DataType, PlanBuilder};
+
+    fn scan(catalog: &Catalog, table: &str, ref_id: usize) -> PlanBuilder {
+        PlanBuilder::scan(table, catalog.table_schema(table).unwrap(), ref_id)
+    }
+
+    #[test]
+    fn scan_base_relation() {
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "shop", 0).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.schema().attribute_names(), vec!["name", "numempl"]);
+    }
+
+    #[test]
+    fn selection_filters_rows() {
+        let catalog = paper_example_catalog();
+        let shop = scan(&catalog, "shop", 0);
+        let pred = shop.col("numempl").unwrap().eq(ScalarExpr::literal(3i64));
+        let plan = shop.filter(pred).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.tuples()[0], tuple!["Merdies", 3]);
+    }
+
+    #[test]
+    fn projection_computes_expressions_and_distinct() {
+        let catalog = paper_example_catalog();
+        let sales = scan(&catalog, "sales", 0);
+        let sname = sales.col("sname").unwrap();
+        let plan = sales.clone().project(vec![(sname.clone(), "sname".into())]).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 5);
+        let plan = sales.project_distinct(vec![(sname, "sname".into())]).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 2);
+    }
+
+    #[test]
+    fn cross_product_multiplies_cardinalities() {
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "shop", 0).cross_join(scan(&catalog, "items", 1)).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 2 * 3);
+        assert_eq!(result.arity(), 4);
+    }
+
+    #[test]
+    fn hash_join_equi_condition() {
+        let catalog = paper_example_catalog();
+        let shop = scan(&catalog, "shop", 0);
+        let sales = scan(&catalog, "sales", 1);
+        // shop.name = sales.sname  (columns 0 and 2 in the combined schema)
+        let cond = ScalarExpr::column(0, "name").eq(ScalarExpr::column(2, "sname"));
+        let plan = shop.join(sales, JoinKind::Inner, Some(cond)).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn left_outer_join_pads_unmatched() {
+        let catalog = Catalog::new();
+        let left = Relation::new(
+            Schema::from_pairs(&[("id", DataType::Int)]),
+            vec![tuple![1], tuple![2], tuple![3]],
+        )
+        .unwrap();
+        let right = Relation::new(
+            Schema::from_pairs(&[("rid", DataType::Int), ("payload", DataType::Text)]),
+            vec![tuple![1, "a"], tuple![1, "b"]],
+        )
+        .unwrap();
+        catalog.create_table_with_data("l", left).unwrap();
+        catalog.create_table_with_data("r", right).unwrap();
+        let l = scan(&catalog, "l", 0);
+        let r = scan(&catalog, "r", 1);
+        let cond = ScalarExpr::column(0, "id").eq(ScalarExpr::column(1, "rid"));
+        let plan = l.join(r, JoinKind::LeftOuter, Some(cond)).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        // id=1 matches twice, ids 2 and 3 are padded with NULLs.
+        assert_eq!(result.num_rows(), 4);
+        let padded: Vec<_> = result.tuples().iter().filter(|t| t[1].is_null()).collect();
+        assert_eq!(padded.len(), 2);
+    }
+
+    #[test]
+    fn full_outer_join_pads_both_sides() {
+        let catalog = Catalog::new();
+        catalog
+            .create_table_with_data(
+                "l",
+                Relation::new(Schema::from_pairs(&[("id", DataType::Int)]), vec![tuple![1], tuple![2]]).unwrap(),
+            )
+            .unwrap();
+        catalog
+            .create_table_with_data(
+                "r",
+                Relation::new(Schema::from_pairs(&[("rid", DataType::Int)]), vec![tuple![2], tuple![3]]).unwrap(),
+            )
+            .unwrap();
+        let cond = ScalarExpr::column(0, "id").eq(ScalarExpr::column(1, "rid"));
+        let plan = scan(&catalog, "l", 0).join(scan(&catalog, "r", 1), JoinKind::FullOuter, Some(cond)).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 3);
+    }
+
+    #[test]
+    fn join_nulls_do_not_match_under_eq_but_do_under_null_safe_eq() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let rows = vec![tuple![1], Tuple::new(vec![Value::Null])];
+        catalog.create_table_with_data("a", Relation::new(schema.clone(), rows.clone()).unwrap()).unwrap();
+        catalog.create_table_with_data("b", Relation::new(schema, rows).unwrap()).unwrap();
+        let eq_cond = ScalarExpr::column(0, "k").eq(ScalarExpr::column(1, "k"));
+        let plan = scan(&catalog, "a", 0).join(scan(&catalog, "b", 1), JoinKind::Inner, Some(eq_cond)).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 1);
+        let ns_cond = ScalarExpr::column(0, "k").null_safe_eq(ScalarExpr::column(1, "k"));
+        let plan = scan(&catalog, "a", 0).join(scan(&catalog, "b", 1), JoinKind::Inner, Some(ns_cond)).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn aggregation_matches_paper_example_result() {
+        // q_ex from the paper: total price per shop = {(Merdies, 120), (Joba, 50)}.
+        let catalog = paper_example_catalog();
+        let prod = scan(&catalog, "shop", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .cross_join(scan(&catalog, "items", 2));
+        let name = prod.col("shop.name").unwrap();
+        let sname = prod.col("sales.sname").unwrap();
+        let itemid = prod.col("sales.itemid").unwrap();
+        let id = prod.col("items.id").unwrap();
+        let price = prod.col("items.price").unwrap();
+        let plan = prod
+            .filter(name.clone().eq(sname).and(itemid.eq(id)))
+            .aggregate(
+                vec![(name, "name".into())],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "sum_price".into())],
+            )
+            .build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        let sorted = result.sorted();
+        assert_eq!(sorted.tuples(), &[tuple!["Joba", 50], tuple!["Merdies", 120]]);
+    }
+
+    #[test]
+    fn aggregation_over_empty_input_without_groups_yields_one_row() {
+        let catalog = Catalog::new();
+        catalog
+            .create_table("empty", Schema::from_pairs(&[("x", DataType::Int)]))
+            .unwrap();
+        let t = scan(&catalog, "empty", 0);
+        let x = t.col("x").unwrap();
+        let plan = t
+            .aggregate(
+                vec![],
+                vec![
+                    (AggregateExpr::new(AggregateFunction::Sum, x.clone()), "s".into()),
+                    (AggregateExpr::count_star(), "c".into()),
+                    (AggregateExpr::new(AggregateFunction::Min, x), "m".into()),
+                ],
+            )
+            .build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert_eq!(result.tuples()[0], Tuple::new(vec![Value::Null, Value::Int(0), Value::Null]));
+    }
+
+    #[test]
+    fn aggregation_functions_cover_count_avg_min_max_distinct() {
+        let catalog = paper_example_catalog();
+        let sales = scan(&catalog, "sales", 0);
+        let itemid = sales.col("itemid").unwrap();
+        let plan = sales
+            .aggregate(
+                vec![],
+                vec![
+                    (AggregateExpr::count_star(), "cnt".into()),
+                    (AggregateExpr::new(AggregateFunction::Avg, itemid.clone()), "avg_item".into()),
+                    (AggregateExpr::new(AggregateFunction::Min, itemid.clone()), "min_item".into()),
+                    (AggregateExpr::new(AggregateFunction::Max, itemid.clone()), "max_item".into()),
+                    (
+                        AggregateExpr { func: AggregateFunction::Count, arg: Some(itemid), distinct: true },
+                        "distinct_items".into(),
+                    ),
+                ],
+            )
+            .build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        let row = &result.tuples()[0];
+        assert_eq!(row[0], Value::Int(5));
+        assert_eq!(row[1], Value::Float((1 + 2 + 2 + 3 + 3) as f64 / 5.0));
+        assert_eq!(row[2], Value::Int(1));
+        assert_eq!(row[3], Value::Int(3));
+        assert_eq!(row[4], Value::Int(3));
+    }
+
+    #[test]
+    fn set_operations_bag_and_set() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        catalog
+            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![1], tuple![2]]).unwrap())
+            .unwrap();
+        catalog
+            .create_table_with_data("b", Relation::new(schema, vec![tuple![1], tuple![3]]).unwrap())
+            .unwrap();
+        let run = |kind, semantics| {
+            let plan = scan(&catalog, "a", 0).set_op(scan(&catalog, "b", 1), kind, semantics).build();
+            execute_plan(&catalog, &plan).unwrap().sorted()
+        };
+        assert_eq!(run(SetOpKind::Union, SetSemantics::Bag).num_rows(), 5);
+        assert_eq!(run(SetOpKind::Union, SetSemantics::Set).num_rows(), 3);
+        assert_eq!(run(SetOpKind::Intersect, SetSemantics::Bag).tuples(), &[tuple![1]]);
+        assert_eq!(run(SetOpKind::Intersect, SetSemantics::Set).tuples(), &[tuple![1]]);
+        assert_eq!(run(SetOpKind::Difference, SetSemantics::Bag).tuples(), &[tuple![1], tuple![2]]);
+        assert_eq!(run(SetOpKind::Difference, SetSemantics::Set).tuples(), &[tuple![2]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let catalog = paper_example_catalog();
+        let items = scan(&catalog, "items", 0);
+        let price = items.col("price").unwrap();
+        let plan = items.sort(vec![SortKey::desc(price)]).limit(Some(2), 0).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.tuples()[0], tuple![1, 100]);
+        assert_eq!(result.tuples()[1], tuple![3, 25]);
+    }
+
+    #[test]
+    fn limit_with_offset() {
+        let catalog = paper_example_catalog();
+        let items = scan(&catalog, "items", 0);
+        let id = items.col("id").unwrap();
+        let plan = items.sort(vec![SortKey::asc(id)]).limit(Some(1), 1).build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.tuples(), &[tuple![2, 10]]);
+    }
+
+    #[test]
+    fn row_budget_aborts_large_results() {
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "sales", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .cross_join(scan(&catalog, "sales", 2))
+            .build();
+        let options = ExecOptions::default().with_row_budget(20);
+        let err = execute_plan_with_options(&catalog, &plan, options).unwrap_err();
+        assert!(matches!(err, ExecError::RowBudgetExceeded { budget: 20 }));
+    }
+
+    #[test]
+    fn values_plan_executes() {
+        let catalog = Catalog::new();
+        let plan = PlanBuilder::values(
+            Schema::new(vec![Attribute::new("x", DataType::Int)]),
+            vec![tuple![1], tuple![2]],
+        )
+        .build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn subquery_alias_is_transparent_to_execution() {
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "shop", 0).alias("s").build();
+        let result = execute_plan(&catalog, &plan).unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.schema().resolve("s.name").unwrap(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # perm-exec
+//!
+//! Expression evaluation, query execution and rule-based optimization for the Perm provenance
+//! system — the "planner + executor" substrate that the paper obtains from PostgreSQL.
+//!
+//! The crate provides:
+//!
+//! * [`eval`] — scalar expression evaluation with SQL three-valued logic, `LIKE`, `CASE`,
+//!   date/interval arithmetic and the scalar function library.
+//! * [`executor`] — a materialising evaluator for [`perm_algebra::LogicalPlan`] with hash joins,
+//!   hash aggregation, outer joins and bag/set operations, plus resource limits (row budget,
+//!   timeout) used by the benchmark harness to reproduce the paper's query-timeout behaviour.
+//! * [`optimizer`] — predicate pushdown, cross-product→join conversion and constant folding, so
+//!   that both normal and provenance-rewritten queries execute with sensible join strategies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod eval;
+pub mod executor;
+pub mod optimizer;
+
+pub use error::ExecError;
+pub use eval::{evaluate, evaluate_predicate, like_match};
+pub use executor::{execute_plan, execute_plan_with_options, ExecOptions, Executor};
+pub use optimizer::{fold_expr, Optimizer};

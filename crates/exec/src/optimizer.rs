@@ -1,0 +1,417 @@
+//! A rule-based logical optimizer.
+//!
+//! The Perm architecture (paper Figure 5) places the provenance rewriter *before* the planner so
+//! that rewritten queries benefit from ordinary query optimization. This module is the planner
+//! substrate of our reproduction. It is intentionally simple but covers the rules that matter for
+//! the evaluation workloads:
+//!
+//! * **Selection merging** — adjacent selections are combined.
+//! * **Predicate pushdown** — conjuncts of a selection are pushed below cross products / inner
+//!   joins towards the relations they reference.
+//! * **Cross-product to join conversion** — conjuncts that reference both sides of a cross
+//!   product become the join condition of an inner join, which the executor runs as a hash join.
+//!   TPC-H queries are written as `FROM a, b, c WHERE ...`, so without this rule every plan would
+//!   degenerate to nested-loop cross products.
+//! * **Constant folding** — constant sub-expressions are evaluated once; trivially-true
+//!   selections are removed.
+
+use std::sync::Arc;
+
+use perm_algebra::{JoinKind, LogicalPlan, ScalarExpr, Tuple, Value};
+
+use crate::error::ExecError;
+use crate::eval::evaluate;
+
+/// The rule-based optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    /// Maximum number of rule application passes.
+    max_passes: usize,
+}
+
+impl Optimizer {
+    /// Create an optimizer with the default number of passes.
+    pub fn new() -> Optimizer {
+        Optimizer { max_passes: 5 }
+    }
+
+    /// Optimize a plan.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+        let mut current = plan.clone();
+        let passes = if self.max_passes == 0 { 5 } else { self.max_passes };
+        for _ in 0..passes {
+            let folded = fold_plan_constants(&current)?;
+            let pushed = push_down_selections(&folded)?;
+            if pushed == current {
+                return Ok(pushed);
+            }
+            current = pushed;
+        }
+        Ok(current)
+    }
+}
+
+/// Push selection predicates towards the leaves and convert cross products into inner joins.
+fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+    // Optimize children first so that pushdown sees already-simplified inputs.
+    let plan = rebuild_with(plan, push_down_selections)?;
+
+    let LogicalPlan::Selection { input, predicate } = &plan else {
+        return Ok(plan);
+    };
+
+    match input.as_ref() {
+        // σ_p(σ_q(T)) = σ_{p ∧ q}(T)
+        LogicalPlan::Selection { input: inner, predicate: inner_pred } => {
+            let merged = LogicalPlan::Selection {
+                input: inner.clone(),
+                predicate: inner_pred.clone().and(predicate.clone()),
+            };
+            push_down_selections(&merged)
+        }
+        // Push conjuncts into / below cross products and inner joins.
+        LogicalPlan::Join { left, right, kind, condition }
+            if matches!(kind, JoinKind::Cross | JoinKind::Inner) =>
+        {
+            let left_arity = left.schema().arity();
+            let mut left_preds: Vec<ScalarExpr> = Vec::new();
+            let mut right_preds: Vec<ScalarExpr> = Vec::new();
+            let mut join_preds: Vec<ScalarExpr> = Vec::new();
+            for conjunct in predicate.split_conjunction() {
+                let cols = conjunct.columns_used();
+                if cols.iter().all(|&c| c < left_arity) && !cols.is_empty() {
+                    left_preds.push(conjunct.clone());
+                } else if cols.iter().all(|&c| c >= left_arity) && !cols.is_empty() {
+                    right_preds.push(conjunct.map_columns(&mut |c| c - left_arity));
+                } else {
+                    join_preds.push(conjunct.clone());
+                }
+            }
+
+            let new_left: Arc<LogicalPlan> = if left_preds.is_empty() {
+                left.clone()
+            } else {
+                Arc::new(push_down_selections(&LogicalPlan::Selection {
+                    input: left.clone(),
+                    predicate: ScalarExpr::conjunction(left_preds),
+                })?)
+            };
+            let new_right: Arc<LogicalPlan> = if right_preds.is_empty() {
+                right.clone()
+            } else {
+                Arc::new(push_down_selections(&LogicalPlan::Selection {
+                    input: right.clone(),
+                    predicate: ScalarExpr::conjunction(right_preds),
+                })?)
+            };
+
+            let mut all_join_preds = Vec::new();
+            if let Some(c) = condition {
+                all_join_preds.push(c.clone());
+            }
+            all_join_preds.extend(join_preds);
+
+            let (new_kind, new_condition) = if all_join_preds.is_empty() {
+                (*kind, None)
+            } else {
+                (JoinKind::Inner, Some(ScalarExpr::conjunction(all_join_preds)))
+            };
+
+            Ok(LogicalPlan::Join { left: new_left, right: new_right, kind: new_kind, condition: new_condition })
+        }
+        // Push through operators that do not change column positions.
+        LogicalPlan::SubqueryAlias { input: inner, alias } => {
+            let pushed = push_down_selections(&LogicalPlan::Selection {
+                input: inner.clone(),
+                predicate: predicate.clone(),
+            })?;
+            Ok(LogicalPlan::SubqueryAlias { input: Arc::new(pushed), alias: alias.clone() })
+        }
+        LogicalPlan::Sort { input: inner, keys } => {
+            let pushed = push_down_selections(&LogicalPlan::Selection {
+                input: inner.clone(),
+                predicate: predicate.clone(),
+            })?;
+            Ok(LogicalPlan::Sort { input: Arc::new(pushed), keys: keys.clone() })
+        }
+        // Push below a projection when every referenced output is a plain column.
+        LogicalPlan::Projection { input: inner, exprs, distinct } => {
+            let all_plain = predicate
+                .columns_used()
+                .iter()
+                .all(|&c| exprs.get(c).map(|(e, _)| e.as_column().is_some()).unwrap_or(false));
+            if all_plain {
+                let remapped = predicate.map_columns(&mut |c| {
+                    exprs[c].0.as_column().expect("checked: projection entry is a plain column")
+                });
+                let pushed = push_down_selections(&LogicalPlan::Selection {
+                    input: inner.clone(),
+                    predicate: remapped,
+                })?;
+                Ok(LogicalPlan::Projection {
+                    input: Arc::new(pushed),
+                    exprs: exprs.clone(),
+                    distinct: *distinct,
+                })
+            } else {
+                Ok(plan.clone())
+            }
+        }
+        _ => Ok(plan.clone()),
+    }
+}
+
+/// Fold constant expressions in every operator of the plan and drop trivially-true selections.
+/// Uncorrelated sublink sub-plans embedded in expressions are optimized recursively as well
+/// (they are executed as independent queries, so they deserve the same treatment PostgreSQL
+/// gives to sub-plans).
+fn fold_plan_constants(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+    let plan = rebuild_with(plan, fold_plan_constants)?;
+    Ok(match plan {
+        LogicalPlan::Selection { input, predicate } => {
+            let predicate = fold_expr(&optimize_sublink_plans(&predicate)?);
+            if predicate == ScalarExpr::Literal(Value::Bool(true)) {
+                (*input).clone()
+            } else {
+                LogicalPlan::Selection { input, predicate }
+            }
+        }
+        LogicalPlan::Projection { input, exprs, distinct } => LogicalPlan::Projection {
+            input,
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| Ok((fold_expr(&optimize_sublink_plans(&e)?), n)))
+                .collect::<Result<Vec<_>, ExecError>>()?,
+            distinct,
+        },
+        LogicalPlan::Join { left, right, kind, condition } => LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            condition: condition
+                .map(|c| Ok::<_, ExecError>(fold_expr(&optimize_sublink_plans(&c)?)))
+                .transpose()?,
+        },
+        other => other,
+    })
+}
+
+/// Recursively optimize the plans of uncorrelated sublinks contained in an expression.
+fn optimize_sublink_plans(expr: &ScalarExpr) -> Result<ScalarExpr, ExecError> {
+    if !expr.has_sublink() {
+        return Ok(expr.clone());
+    }
+    let mut error: Option<ExecError> = None;
+    let rewritten = expr.transform(&mut |e| {
+        if error.is_some() {
+            return e;
+        }
+        if let ScalarExpr::Sublink { kind, operand, negated, plan } = &e {
+            match Optimizer::new().optimize(plan) {
+                Ok(optimized) => ScalarExpr::Sublink {
+                    kind: *kind,
+                    operand: operand.clone(),
+                    negated: *negated,
+                    plan: Arc::new(optimized),
+                },
+                Err(err) => {
+                    error = Some(err);
+                    e
+                }
+            }
+        } else {
+            e
+        }
+    });
+    match error {
+        Some(err) => Err(err),
+        None => Ok(rewritten),
+    }
+}
+
+/// Recursively fold constant sub-expressions and simplify boolean connectives with literal
+/// TRUE/FALSE operands.
+pub fn fold_expr(expr: &ScalarExpr) -> ScalarExpr {
+    use perm_algebra::BinaryOperator::{And, Or};
+
+    // Fold children first.
+    let expr = match expr {
+        ScalarExpr::BinaryOp { op, left, right } => ScalarExpr::BinaryOp {
+            op: *op,
+            left: Box::new(fold_expr(left)),
+            right: Box::new(fold_expr(right)),
+        },
+        ScalarExpr::UnaryOp { op, expr } => {
+            ScalarExpr::UnaryOp { op: *op, expr: Box::new(fold_expr(expr)) }
+        }
+        ScalarExpr::Function { func, args } => {
+            ScalarExpr::Function { func: *func, args: args.iter().map(fold_expr).collect() }
+        }
+        ScalarExpr::Cast { expr, data_type } => {
+            ScalarExpr::Cast { expr: Box::new(fold_expr(expr)), data_type: *data_type }
+        }
+        other => other.clone(),
+    };
+
+    // Boolean simplification.
+    if let ScalarExpr::BinaryOp { op, left, right } = &expr {
+        let truth = |e: &ScalarExpr| match e {
+            ScalarExpr::Literal(Value::Bool(b)) => Some(*b),
+            _ => None,
+        };
+        match (op, truth(left), truth(right)) {
+            (And, Some(true), _) => return (**right).clone(),
+            (And, _, Some(true)) => return (**left).clone(),
+            (And, Some(false), _) | (And, _, Some(false)) => {
+                return ScalarExpr::Literal(Value::Bool(false))
+            }
+            (Or, Some(false), _) => return (**right).clone(),
+            (Or, _, Some(false)) => return (**left).clone(),
+            (Or, Some(true), _) | (Or, _, Some(true)) => return ScalarExpr::Literal(Value::Bool(true)),
+            _ => {}
+        }
+    }
+
+    // Evaluate fully-constant expressions once.
+    if expr.is_constant() && !matches!(expr, ScalarExpr::Literal(_)) {
+        if let Ok(v) = evaluate(&expr, &Tuple::empty()) {
+            return ScalarExpr::Literal(v);
+        }
+    }
+    expr
+}
+
+/// Apply `f` to every child of `plan`, rebuilding the node.
+fn rebuild_with(
+    plan: &LogicalPlan,
+    f: impl Fn(&LogicalPlan) -> Result<LogicalPlan, ExecError>,
+) -> Result<LogicalPlan, ExecError> {
+    let children = plan.children();
+    if children.is_empty() {
+        return Ok(plan.clone());
+    }
+    let new_children = children
+        .into_iter()
+        .map(|c| f(c).map(Arc::new))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(plan.with_new_children(new_children)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{DataType, PlanBuilder, Schema};
+
+    fn scans() -> (PlanBuilder, PlanBuilder) {
+        let a = PlanBuilder::scan("a", Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]), 0);
+        let b = PlanBuilder::scan("b", Schema::from_pairs(&[("z", DataType::Int)]), 1);
+        (a, b)
+    }
+
+    #[test]
+    fn cross_product_with_join_predicate_becomes_inner_join() {
+        let (a, b) = scans();
+        let plan = a
+            .cross_join(b)
+            .filter(
+                ScalarExpr::column(0, "x")
+                    .eq(ScalarExpr::column(2, "z"))
+                    .and(ScalarExpr::column(1, "y").eq(ScalarExpr::literal(5i64))),
+            )
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        // Top node must now be an inner join with a condition; the y=5 predicate must have moved
+        // below the join onto relation a.
+        match &optimized {
+            LogicalPlan::Join { kind, condition, left, .. } => {
+                assert_eq!(*kind, JoinKind::Inner);
+                assert!(condition.is_some());
+                match left.as_ref() {
+                    LogicalPlan::Selection { predicate, .. } => {
+                        assert_eq!(predicate.columns_used(), vec![1]);
+                    }
+                    other => panic!("expected pushed selection on the left input, got {other:?}"),
+                }
+            }
+            other => panic!("expected a join at the top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_selections_are_merged() {
+        let (a, _) = scans();
+        let plan = a
+            .filter(ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)))
+            .filter(ScalarExpr::column(1, "y").eq(ScalarExpr::literal(2i64)))
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        match &optimized {
+            LogicalPlan::Selection { predicate, input } => {
+                assert_eq!(predicate.split_conjunction().len(), 2);
+                assert!(matches!(input.as_ref(), LogicalPlan::BaseRelation { .. }));
+            }
+            other => panic!("expected a single merged selection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivially_true_selection_is_removed() {
+        let (a, _) = scans();
+        let plan = a.filter(ScalarExpr::literal(true)).build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        assert!(matches!(optimized, LogicalPlan::BaseRelation { .. }));
+    }
+
+    #[test]
+    fn constant_expressions_are_folded() {
+        let e = ScalarExpr::binary(
+            perm_algebra::BinaryOperator::Add,
+            ScalarExpr::literal(1i64),
+            ScalarExpr::literal(2i64),
+        );
+        assert_eq!(fold_expr(&e), ScalarExpr::Literal(Value::Int(3)));
+        let e = ScalarExpr::literal(true).and(ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)));
+        assert_eq!(fold_expr(&e), ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)));
+    }
+
+    #[test]
+    fn selection_pushes_through_plain_projection() {
+        let (a, _) = scans();
+        let x = a.col("x").unwrap();
+        let plan = a
+            .project(vec![(x, "x".into())])
+            .filter(ScalarExpr::column(0, "x").eq(ScalarExpr::literal(3i64)))
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        match &optimized {
+            LogicalPlan::Projection { input, .. } => {
+                assert!(matches!(input.as_ref(), LogicalPlan::Selection { .. }));
+            }
+            other => panic!("expected projection on top after pushdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics_on_outer_joins() {
+        // Selections above outer joins must not be pushed below them.
+        let (a, b) = scans();
+        let cond = ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z"));
+        let plan = a
+            .join(b, JoinKind::LeftOuter, Some(cond))
+            .filter(ScalarExpr::column(2, "z").eq(ScalarExpr::literal(1i64)))
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        assert!(matches!(optimized, LogicalPlan::Selection { .. }));
+    }
+
+    #[test]
+    fn optimized_plans_validate() {
+        let (a, b) = scans();
+        let plan = a
+            .cross_join(b)
+            .filter(ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z")))
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+    }
+}

@@ -1,0 +1,473 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! The AST mirrors the SQL subset supported by the engine (the full TPC-H subset minus
+//! correlated sublinks) plus the SQL-PLE provenance language extension of the paper (§IV-A):
+//! `SELECT PROVENANCE`, from-item `PROVENANCE (attrs)` and `BASERELATION`.
+
+use perm_algebra::DataType;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Whether `IF EXISTS` was given.
+        if_exists: bool,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (...), ...` or `INSERT INTO name [(cols)] SELECT ...`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// The inserted rows or source query.
+        source: InsertSource,
+    },
+    /// `CREATE VIEW name AS SELECT ...`. The defining text is kept verbatim so that views —
+    /// including provenance views — can be unfolded by re-analysis, as in the paper's
+    /// architecture.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Parsed view body (validated at creation time).
+        query: Box<Query>,
+        /// The original SQL text of the body.
+        body_sql: String,
+    },
+    /// `DROP VIEW [IF EXISTS] name`.
+    DropView {
+        /// View name.
+        name: String,
+        /// Whether `IF EXISTS` was given.
+        if_exists: bool,
+    },
+    /// A query (`SELECT ...`), possibly with `INTO target` for materialising results.
+    Query(Box<Query>),
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+/// The source of an `INSERT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (...), (...)`.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO ... SELECT ...`.
+    Query(Box<Query>),
+}
+
+/// A query: a set-expression body plus ORDER BY / LIMIT / OFFSET.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body (a single SELECT or a tree of set operations).
+    pub body: SetExpr,
+    /// ORDER BY keys (expression, ascending?).
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+    /// OFFSET row count.
+    pub offset: Option<u64>,
+}
+
+/// One ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// The sort expression (may be an output column name or ordinal).
+    pub expr: Expr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+/// The body of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A plain SELECT block.
+    Select(Box<Select>),
+    /// A set operation combining two bodies.
+    SetOperation {
+        /// Left input.
+        left: Box<SetExpr>,
+        /// Right input.
+        right: Box<SetExpr>,
+        /// Which operation.
+        op: SetOperator,
+        /// `ALL` (bag semantics) if true.
+        all: bool,
+    },
+    /// A parenthesised query.
+    Query(Box<Query>),
+}
+
+/// Set operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOperator {
+    /// `UNION`.
+    Union,
+    /// `INTERSECT`.
+    Intersect,
+    /// `EXCEPT`.
+    Except,
+}
+
+/// A SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// `DISTINCT`.
+    pub distinct: bool,
+    /// SQL-PLE: the `PROVENANCE` keyword — this block is to be provenance-rewritten.
+    pub provenance: bool,
+    /// The projection list.
+    pub projection: Vec<SelectItem>,
+    /// `INTO table` target for materialising the result.
+    pub into: Option<String>,
+    /// FROM items (implicitly cross-joined).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub selection: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+}
+
+/// One item of a SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// `alias.*`.
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// SQL-PLE from-item annotations (§IV-A.3 / §IV-A.4 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromAnnotation {
+    /// `BASERELATION` — limit provenance scope: treat this from-item as a base relation.
+    BaseRelation,
+    /// `PROVENANCE (attr, ...)` — this from-item is already provenance-rewritten (external or
+    /// stored provenance) and the listed attributes are its provenance attributes.
+    Provenance(Vec<String>),
+}
+
+/// A from-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table or view reference.
+    Table {
+        /// Table or view name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+        /// Optional SQL-PLE annotation.
+        annotation: Option<FromAnnotation>,
+    },
+    /// A derived table (subquery in FROM).
+    Subquery {
+        /// The subquery.
+        query: Box<Query>,
+        /// The mandatory alias.
+        alias: String,
+        /// Optional SQL-PLE annotation.
+        annotation: Option<FromAnnotation>,
+    },
+    /// An explicit join.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinOperator,
+        /// ON condition (`None` for CROSS JOIN).
+        condition: Option<Expr>,
+    },
+}
+
+/// Join operators of the FROM clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOperator {
+    /// `[INNER] JOIN ... ON`.
+    Inner,
+    /// `LEFT [OUTER] JOIN ... ON`.
+    LeftOuter,
+    /// `RIGHT [OUTER] JOIN ... ON`.
+    RightOuter,
+    /// `FULL [OUTER] JOIN ... ON`.
+    FullOuter,
+    /// `CROSS JOIN`.
+    Cross,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal (kept as text until binding decides int vs float).
+    Number(String),
+    /// String literal.
+    String(String),
+    /// `TRUE` / `FALSE`.
+    Boolean(bool),
+    /// `NULL`.
+    Null,
+    /// `DATE 'YYYY-MM-DD'`.
+    Date(String),
+    /// `INTERVAL 'n' unit` — only meaningful next to `+`/`-` on dates.
+    Interval {
+        /// The textual magnitude.
+        value: String,
+        /// The unit: `year`, `month` or `day`.
+        unit: String,
+    },
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Multiply,
+    /// `/`
+    Divide,
+    /// `%`
+    Modulo,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `||`
+    Concat,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A possibly-qualified column reference (`price` or `items.price`).
+    Identifier(String),
+    /// A literal.
+    Literal(Literal),
+    /// A binary operation.
+    BinaryOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    UnaryMinus(Box<Expr>),
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// A function call (scalar or aggregate, resolved by the analyzer).
+    Function {
+        /// Function name (lower-cased by the parser).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside an aggregate call.
+        distinct: bool,
+        /// `COUNT(*)`-style star argument.
+        star: bool,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Operand of the simple form.
+        operand: Option<Box<Expr>>,
+        /// WHEN/THEN pairs.
+        branches: Vec<(Expr, Expr)>,
+        /// ELSE branch.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// The expression.
+        expr: Box<Expr>,
+        /// Target type.
+        data_type: DataType,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        query: Box<Query>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`.
+    Exists {
+        /// The subquery.
+        query: Box<Query>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// A scalar subquery used as a value.
+    ScalarSubquery(Box<Query>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` if true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `EXTRACT(field FROM expr)`.
+    Extract {
+        /// The field (`year`, `month`, `day`).
+        field: String,
+        /// The date expression.
+        expr: Box<Expr>,
+    },
+    /// A parenthesised expression.
+    Nested(Box<Expr>),
+}
+
+impl Expr {
+    /// Does this expression (sub)tree contain an aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, .. } if is_aggregate_name(name) => true,
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::BinaryOp { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::UnaryMinus(e) | Expr::Not(e) | Expr::Nested(e) => e.contains_aggregate(),
+            Expr::Case { operand, branches, else_expr } => {
+                operand.as_ref().map(|o| o.contains_aggregate()).unwrap_or(false)
+                    || branches.iter().any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr.as_ref().map(|e| e.contains_aggregate()).unwrap_or(false)
+            }
+            Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } | Expr::Extract { expr, .. } => {
+                expr.contains_aggregate()
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, pattern, .. } => expr.contains_aggregate() || pattern.contains_aggregate(),
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// A suggested output column name for an unaliased select item (loosely mirrors PostgreSQL).
+    pub fn suggested_name(&self) -> String {
+        match self {
+            Expr::Identifier(name) => name.rsplit('.').next().unwrap_or(name).to_ascii_lowercase(),
+            Expr::Function { name, .. } => name.to_ascii_lowercase(),
+            Expr::Nested(e) => e.suggested_name(),
+            Expr::Case { .. } => "case".into(),
+            Expr::Cast { expr, .. } => expr.suggested_name(),
+            Expr::Extract { field, .. } => field.to_ascii_lowercase(),
+            _ => "?column?".into(),
+        }
+    }
+}
+
+/// Is `name` one of the supported aggregate function names?
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name.to_ascii_lowercase().as_str(), "count" | "sum" | "avg" | "min" | "max")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function { name: "sum".into(), args: vec![Expr::Identifier("x".into())], distinct: false, star: false };
+        let nested = Expr::BinaryOp {
+            left: Box::new(agg.clone()),
+            op: BinaryOp::Multiply,
+            right: Box::new(Expr::Literal(Literal::Number("2".into()))),
+        };
+        assert!(agg.contains_aggregate());
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::Identifier("x".into()).contains_aggregate());
+        let scalar = Expr::Function { name: "upper".into(), args: vec![agg], distinct: false, star: false };
+        assert!(scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn suggested_names() {
+        assert_eq!(Expr::Identifier("items.Price".into()).suggested_name(), "price");
+        assert_eq!(
+            Expr::Function { name: "sum".into(), args: vec![], distinct: false, star: false }.suggested_name(),
+            "sum"
+        );
+        assert_eq!(Expr::Literal(Literal::Number("1".into())).suggested_name(), "?column?");
+    }
+
+    #[test]
+    fn aggregate_names() {
+        assert!(is_aggregate_name("SUM"));
+        assert!(is_aggregate_name("count"));
+        assert!(!is_aggregate_name("substring"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Errors raised by the SQL front end.
+
+use std::fmt;
+
+use perm_algebra::AlgebraError;
+use perm_storage::CatalogError;
+
+/// Errors produced by the lexer, parser or analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The lexer found an unexpected character.
+    Lex {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset of the offending character.
+        position: usize,
+    },
+    /// The parser found an unexpected token.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset near the offending token.
+        position: usize,
+    },
+    /// Semantic analysis failed (unknown table/column, type errors, unsupported features, ...).
+    Analyze(String),
+    /// The statement uses a feature the engine does not support (e.g. correlated sublinks).
+    Unsupported(String),
+    /// An error from the algebra layer.
+    Algebra(AlgebraError),
+    /// An error from the catalog.
+    Catalog(CatalogError),
+}
+
+impl SqlError {
+    /// Convenience constructor for analysis errors.
+    pub fn analyze(msg: impl Into<String>) -> SqlError {
+        SqlError::Analyze(msg.into())
+    }
+
+    /// Convenience constructor for unsupported-feature errors.
+    pub fn unsupported(msg: impl Into<String>) -> SqlError {
+        SqlError::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, position } => write!(f, "lexical error at byte {position}: {message}"),
+            SqlError::Parse { message, position } => write!(f, "parse error at byte {position}: {message}"),
+            SqlError::Analyze(msg) => write!(f, "analysis error: {msg}"),
+            SqlError::Unsupported(msg) => write!(f, "unsupported SQL feature: {msg}"),
+            SqlError::Algebra(e) => write!(f, "{e}"),
+            SqlError::Catalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<AlgebraError> for SqlError {
+    fn from(e: AlgebraError) -> Self {
+        SqlError::Algebra(e)
+    }
+}
+
+impl From<CatalogError> for SqlError {
+    fn from(e: CatalogError) -> Self {
+        SqlError::Catalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SqlError::Parse { message: "expected FROM".into(), position: 17 };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("expected FROM"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SqlError = AlgebraError::Internal("x".into()).into();
+        assert!(matches!(e, SqlError::Algebra(_)));
+        let e: SqlError = CatalogError::NotFound("t".into()).into();
+        assert!(matches!(e, SqlError::Catalog(_)));
+    }
+}

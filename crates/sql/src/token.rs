@@ -1,0 +1,337 @@
+//! The SQL lexer.
+//!
+//! Produces a flat token stream. Keywords are not distinguished from identifiers at the lexical
+//! level; the parser matches identifier tokens case-insensitively against keywords, which keeps
+//! the lexer small and allows keywords to be used as column names where unambiguous.
+
+use crate::error::SqlError;
+
+/// A single token with its byte offset in the input (used for error reporting and for slicing
+/// out view definition text).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token in the original input.
+    pub start: usize,
+}
+
+/// The kinds of tokens the lexer produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (unquoted, case preserved) or a `"quoted"` identifier.
+    Ident(String),
+    /// A numeric literal (integer or decimal), kept as text.
+    Number(String),
+    /// A `'single quoted'` string literal with escapes resolved.
+    String(String),
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation
+    Concat,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// If this token is an identifier, return its text.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LeftParen, start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RightParen, start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, start });
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token { kind: TokenKind::Concat, start });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::NotEq, start });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::NotEq, start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::LtEq, start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::GtEq, start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            message: "unterminated string literal".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            value.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        value.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(value), start });
+            }
+            '"' => {
+                // Quoted identifier.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            message: "unterminated quoted identifier".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    value.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Ident(value), start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = String::new();
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        value.push(d);
+                        i += 1;
+                    } else if d == '.' && !seen_dot && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false) {
+                        seen_dot = true;
+                        value.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Number(value), start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut value = String::new();
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        value.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(value), start });
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    message: format!("unexpected character '{other}'"),
+                    position: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, start: bytes.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let k = kinds("SELECT a, b FROM t WHERE a >= 10");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k.contains(&TokenKind::Comma));
+        assert!(k.contains(&TokenKind::GtEq));
+        assert!(k.contains(&TokenKind::Number("10".into())));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let k = kinds("SELECT 'it''s', \"Weird Col\"");
+        assert!(k.contains(&TokenKind::String("it's".into())));
+        assert!(k.contains(&TokenKind::Ident("Weird Col".into())));
+    }
+
+    #[test]
+    fn numbers_with_decimals_and_qualified_names() {
+        let k = kinds("t.price * 1.5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("price".into()),
+                TokenKind::Star,
+                TokenKind::Number("1.5".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let k = kinds("a <> b != c <= d >= e < f > g");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::NotEq).count(), 2);
+        assert!(k.contains(&TokenKind::LtEq));
+        assert!(k.contains(&TokenKind::GtEq));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT 1 -- trailing comment\n + 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Number("1".into()),
+                TokenKind::Plus,
+                TokenKind::Number("2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(tokenize("SELECT 'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn token_positions_are_byte_offsets() {
+        let tokens = tokenize("SELECT x").unwrap();
+        assert_eq!(tokens[0].start, 0);
+        assert_eq!(tokens[1].start, 7);
+    }
+
+    #[test]
+    fn concat_operator() {
+        let k = kinds("a || b");
+        assert!(k.contains(&TokenKind::Concat));
+    }
+}

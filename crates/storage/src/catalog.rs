@@ -1,0 +1,319 @@
+//! The catalog: a thread-safe registry of base tables and views.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use perm_algebra::{AlgebraError, Schema, Tuple};
+
+use crate::relation::Relation;
+
+/// Errors raised by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table or view with this name already exists.
+    AlreadyExists(String),
+    /// No table or view with this name exists.
+    NotFound(String),
+    /// A tuple or schema did not fit the stored definition.
+    Invalid(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::AlreadyExists(n) => write!(f, "relation '{n}' already exists"),
+            CatalogError::NotFound(n) => write!(f, "relation '{n}' does not exist"),
+            CatalogError::Invalid(msg) => write!(f, "invalid catalog operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<AlgebraError> for CatalogError {
+    fn from(e: AlgebraError) -> Self {
+        CatalogError::Invalid(e.to_string())
+    }
+}
+
+/// A view definition.
+///
+/// Views are stored as SQL text and unfolded (re-analyzed) at reference time by `perm-sql`,
+/// mirroring the rewriter stage of PostgreSQL in the paper's architecture (Fig. 5). A view whose
+/// body contains `SELECT PROVENANCE ...` stores provenance and can be used for incremental
+/// provenance computation via the `PROVENANCE (attrs)` from-clause annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// The defining SQL text (a single SELECT statement, possibly with SQL-PLE keywords).
+    pub sql: String,
+}
+
+/// A base table: schema plus stored tuples.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Table name.
+    pub name: String,
+    /// The stored relation.
+    pub relation: Relation,
+}
+
+#[derive(Debug, Default)]
+struct CatalogInner {
+    tables: BTreeMap<String, TableEntry>,
+    views: BTreeMap<String, ViewDef>,
+}
+
+/// A thread-safe catalog of tables and views.
+///
+/// The catalog is cheap to clone (`Arc` internally); clones share the same underlying data.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<CatalogInner>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    fn normalize(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a new, empty base table.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
+            return Err(CatalogError::AlreadyExists(name.to_string()));
+        }
+        inner.tables.insert(
+            key.clone(),
+            TableEntry { name: key, relation: Relation::empty(schema) },
+        );
+        Ok(())
+    }
+
+    /// Create a base table pre-populated with data.
+    pub fn create_table_with_data(&self, name: &str, relation: Relation) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
+            return Err(CatalogError::AlreadyExists(name.to_string()));
+        }
+        inner.tables.insert(key.clone(), TableEntry { name: key, relation });
+        Ok(())
+    }
+
+    /// Drop a table (or do nothing if it does not exist and `if_exists` is set).
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        if inner.tables.remove(&key).is_none() && !if_exists {
+            return Err(CatalogError::NotFound(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Insert tuples into an existing table.
+    pub fn insert(&self, name: &str, tuples: Vec<Tuple>) -> Result<usize, CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        let entry = inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
+        let n = tuples.len();
+        entry.relation.extend(tuples)?;
+        Ok(n)
+    }
+
+    /// Replace the full contents of a table (used by `SELECT INTO` style provenance storage).
+    pub fn overwrite(&self, name: &str, relation: Relation) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        match inner.tables.get_mut(&key) {
+            Some(entry) => {
+                entry.relation = relation;
+                Ok(())
+            }
+            None => {
+                inner.tables.insert(key.clone(), TableEntry { name: key, relation });
+                Ok(())
+            }
+        }
+    }
+
+    /// A snapshot of a table's contents.
+    pub fn table(&self, name: &str) -> Result<Relation, CatalogError> {
+        let key = Self::normalize(name);
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(&key)
+            .map(|e| e.relation.clone())
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// The schema of a table.
+    pub fn table_schema(&self, name: &str) -> Result<Schema, CatalogError> {
+        let key = Self::normalize(name);
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(&key)
+            .map(|e| e.relation.schema().clone())
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Does a table with this name exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.read().tables.contains_key(&Self::normalize(name))
+    }
+
+    /// Number of rows currently stored in a table.
+    pub fn table_row_count(&self, name: &str) -> Result<usize, CatalogError> {
+        let key = Self::normalize(name);
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(&key)
+            .map(|e| e.relation.num_rows())
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.read().tables.keys().cloned().collect()
+    }
+
+    /// Register a view.
+    pub fn create_view(&self, name: &str, sql: &str) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
+            return Err(CatalogError::AlreadyExists(name.to_string()));
+        }
+        inner.views.insert(key.clone(), ViewDef { name: key, sql: sql.to_string() });
+        Ok(())
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&self, name: &str, if_exists: bool) -> Result<(), CatalogError> {
+        let key = Self::normalize(name);
+        let mut inner = self.inner.write();
+        if inner.views.remove(&key).is_none() && !if_exists {
+            return Err(CatalogError::NotFound(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.inner.read().views.get(&Self::normalize(name)).cloned()
+    }
+
+    /// Does a view with this name exist?
+    pub fn has_view(&self, name: &str) -> bool {
+        self.inner.read().views.contains_key(&Self::normalize(name))
+    }
+
+    /// Names of all views, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        self.inner.read().views.keys().cloned().collect()
+    }
+
+    /// Total number of stored tuples across all tables (used by benchmark reports).
+    pub fn total_rows(&self) -> usize {
+        self.inner.read().tables.values().map(|e| e.relation.num_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{tuple, DataType};
+
+    fn items_schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Int)])
+    }
+
+    #[test]
+    fn create_insert_and_read_back() {
+        let catalog = Catalog::new();
+        catalog.create_table("items", items_schema()).unwrap();
+        catalog.insert("items", vec![tuple![1, 100], tuple![2, 10]]).unwrap();
+        let rel = catalog.table("items").unwrap();
+        assert_eq!(rel.num_rows(), 2);
+        assert_eq!(catalog.table_row_count("items").unwrap(), 2);
+        assert!(catalog.has_table("ITEMS"), "names are case-insensitive");
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let catalog = Catalog::new();
+        catalog.create_table("items", items_schema()).unwrap();
+        assert!(matches!(
+            catalog.create_table("Items", items_schema()),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let catalog = Catalog::new();
+        assert!(matches!(catalog.table("ghost"), Err(CatalogError::NotFound(_))));
+        assert!(matches!(catalog.insert("ghost", vec![]), Err(CatalogError::NotFound(_))));
+        assert!(catalog.drop_table("ghost", true).is_ok());
+        assert!(catalog.drop_table("ghost", false).is_err());
+    }
+
+    #[test]
+    fn views_are_registered_and_unfoldable_by_name() {
+        let catalog = Catalog::new();
+        catalog.create_view("totalitemprice", "SELECT PROVENANCE sum(price) AS total FROM items").unwrap();
+        let v = catalog.view("TotalItemPrice").unwrap();
+        assert!(v.sql.contains("PROVENANCE"));
+        assert!(catalog.has_view("totalitemprice"));
+        assert!(!catalog.has_view("other"));
+        catalog.drop_view("totalitemprice", false).unwrap();
+        assert!(!catalog.has_view("totalitemprice"));
+    }
+
+    #[test]
+    fn view_and_table_names_share_a_namespace() {
+        let catalog = Catalog::new();
+        catalog.create_table("x", items_schema()).unwrap();
+        assert!(catalog.create_view("x", "SELECT 1").is_err());
+    }
+
+    #[test]
+    fn overwrite_creates_or_replaces() {
+        let catalog = Catalog::new();
+        let rel = Relation::new(items_schema(), vec![tuple![1, 5]]).unwrap();
+        catalog.overwrite("stored_prov", rel.clone()).unwrap();
+        assert_eq!(catalog.table("stored_prov").unwrap().num_rows(), 1);
+        let rel2 = Relation::new(items_schema(), vec![tuple![1, 5], tuple![2, 6]]).unwrap();
+        catalog.overwrite("stored_prov", rel2).unwrap();
+        assert_eq!(catalog.table("stored_prov").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let catalog = Catalog::new();
+        let clone = catalog.clone();
+        catalog.create_table("items", items_schema()).unwrap();
+        assert!(clone.has_table("items"));
+        clone.insert("items", vec![tuple![1, 1]]).unwrap();
+        assert_eq!(catalog.table_row_count("items").unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let catalog = Catalog::new();
+        catalog.create_table("items", items_schema()).unwrap();
+        assert!(catalog.insert("items", vec![tuple![1]]).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Materialised bag-semantic relations.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use perm_algebra::{AlgebraError, Schema, Tuple, Value};
+
+/// A materialised relation: a schema plus a bag of tuples.
+///
+/// Duplicates are kept (bag semantics); the multiplicity of a tuple is its number of physical
+/// occurrences. This is exactly the representation the Perm provenance representation needs: a
+/// result tuple is duplicated once per combination of contributing source tuples.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Create a relation from a schema and tuples.
+    ///
+    /// Every tuple must have the same arity as the schema.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Relation, AlgebraError> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(AlgebraError::Internal(format!(
+                    "tuple arity {} does not match schema arity {}",
+                    t.arity(),
+                    schema.arity()
+                )));
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Create a relation without checking tuple arities (used by the executor on data it has
+    /// produced itself).
+    pub fn from_parts(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        Relation { schema, tuples }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consume the relation returning its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Number of tuples (counting duplicates).
+    pub fn num_rows(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, tuple: Tuple) -> Result<(), AlgebraError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(AlgebraError::Internal(format!(
+                "tuple arity {} does not match schema arity {}",
+                tuple.arity(),
+                self.schema.arity()
+            )));
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Append many tuples.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<(), AlgebraError> {
+        for t in tuples {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The multiplicity of each distinct tuple.
+    pub fn multiplicities(&self) -> HashMap<&Tuple, usize> {
+        let mut counts: HashMap<&Tuple, usize> = HashMap::new();
+        for t in &self.tuples {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of *distinct* tuples.
+    pub fn num_distinct_rows(&self) -> usize {
+        self.multiplicities().len()
+    }
+
+    /// Bag equality: same schema arity and same tuples with the same multiplicities, regardless
+    /// of order. Used pervasively in tests.
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() || self.num_rows() != other.num_rows() {
+            return false;
+        }
+        self.multiplicities() == other.multiplicities()
+    }
+
+    /// Set equality: same distinct tuples, ignoring multiplicities and order.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() {
+            return false;
+        }
+        let a: std::collections::HashSet<&Tuple> = self.tuples.iter().collect();
+        let b: std::collections::HashSet<&Tuple> = other.tuples.iter().collect();
+        a == b
+    }
+
+    /// Return a copy sorted by the total value order (stable presentation for tests/examples).
+    pub fn sorted(&self) -> Relation {
+        let mut tuples = self.tuples.clone();
+        tuples.sort();
+        Relation { schema: self.schema.clone(), tuples }
+    }
+
+    /// Project the relation onto the attributes at `positions` (bag semantics).
+    pub fn project(&self, positions: &[usize]) -> Relation {
+        Relation {
+            schema: self.schema.project(positions),
+            tuples: self.tuples.iter().map(|t| t.project(positions)).collect(),
+        }
+    }
+
+    /// Value of attribute `name` in row `row`.
+    pub fn value_at(&self, row: usize, name: &str) -> Result<&Value, AlgebraError> {
+        let col = self.schema.resolve(name)?;
+        self.tuples
+            .get(row)
+            .and_then(|t| t.get(col))
+            .ok_or(AlgebraError::ColumnIndexOutOfBounds { index: row, width: self.num_rows() })
+    }
+
+    /// Render the relation as a simple ASCII table (used by examples and the benchmark harness).
+    pub fn to_table_string(&self) -> String {
+        let names = self.schema.attribute_names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        out.push_str(&sep);
+        out.push('|');
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!(" {n:<w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{tuple, DataType};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("name", DataType::Text), ("n", DataType::Int)])
+    }
+
+    #[test]
+    fn new_rejects_arity_mismatch() {
+        assert!(Relation::new(schema(), vec![tuple!["a"]]).is_err());
+        assert!(Relation::new(schema(), vec![tuple!["a", 1]]).is_ok());
+    }
+
+    #[test]
+    fn bag_semantics_keeps_duplicates() {
+        let mut r = Relation::empty(schema());
+        r.push(tuple!["a", 1]).unwrap();
+        r.push(tuple!["a", 1]).unwrap();
+        r.push(tuple!["b", 2]).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.num_distinct_rows(), 2);
+        assert_eq!(r.multiplicities()[&tuple!["a", 1]], 2);
+    }
+
+    #[test]
+    fn bag_eq_is_order_insensitive_but_multiplicity_sensitive() {
+        let a = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2], tuple!["a", 1]]).unwrap();
+        let b = Relation::new(schema(), vec![tuple!["b", 2], tuple!["a", 1], tuple!["a", 1]]).unwrap();
+        let c = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2]]).unwrap();
+        assert!(a.bag_eq(&b));
+        assert!(!a.bag_eq(&c));
+        assert!(a.set_eq(&c));
+    }
+
+    #[test]
+    fn project_keeps_duplicates() {
+        let r = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 1]]).unwrap();
+        let p = r.project(&[1]);
+        assert_eq!(p.num_rows(), 2);
+        assert_eq!(p.schema().attribute_names(), vec!["n"]);
+        assert_eq!(p.tuples()[0], tuple![1]);
+    }
+
+    #[test]
+    fn value_at_resolves_by_name() {
+        let r = Relation::new(schema(), vec![tuple!["a", 7]]).unwrap();
+        assert_eq!(r.value_at(0, "n").unwrap(), &Value::Int(7));
+        assert!(r.value_at(0, "missing").is_err());
+        assert!(r.value_at(5, "n").is_err());
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_rows() {
+        let r = Relation::new(schema(), vec![tuple!["Merdies", 3]]).unwrap();
+        let s = r.to_table_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("Merdies"));
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let r = Relation::new(schema(), vec![tuple!["b", 2], tuple!["a", 1]]).unwrap();
+        let s = r.sorted();
+        assert_eq!(s.tuples()[0], tuple!["a", 1]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The TPC-H schema (all eight tables, full column sets).
+
+use perm_algebra::{DataType, Schema};
+
+/// The eight TPC-H table names in population order (respecting foreign-key dependencies).
+pub fn table_names() -> Vec<&'static str> {
+    vec!["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+}
+
+/// The schema of a TPC-H table.
+///
+/// # Panics
+/// Panics if `table` is not a TPC-H table name.
+pub fn table_schema(table: &str) -> Schema {
+    use DataType::*;
+    let columns: Vec<(&str, DataType)> = match table.to_ascii_lowercase().as_str() {
+        "region" => vec![("r_regionkey", Int), ("r_name", Text), ("r_comment", Text)],
+        "nation" => vec![
+            ("n_nationkey", Int),
+            ("n_name", Text),
+            ("n_regionkey", Int),
+            ("n_comment", Text),
+        ],
+        "supplier" => vec![
+            ("s_suppkey", Int),
+            ("s_name", Text),
+            ("s_address", Text),
+            ("s_nationkey", Int),
+            ("s_phone", Text),
+            ("s_acctbal", Float),
+            ("s_comment", Text),
+        ],
+        "customer" => vec![
+            ("c_custkey", Int),
+            ("c_name", Text),
+            ("c_address", Text),
+            ("c_nationkey", Int),
+            ("c_phone", Text),
+            ("c_acctbal", Float),
+            ("c_mktsegment", Text),
+            ("c_comment", Text),
+        ],
+        "part" => vec![
+            ("p_partkey", Int),
+            ("p_name", Text),
+            ("p_mfgr", Text),
+            ("p_brand", Text),
+            ("p_type", Text),
+            ("p_size", Int),
+            ("p_container", Text),
+            ("p_retailprice", Float),
+            ("p_comment", Text),
+        ],
+        "partsupp" => vec![
+            ("ps_partkey", Int),
+            ("ps_suppkey", Int),
+            ("ps_availqty", Int),
+            ("ps_supplycost", Float),
+            ("ps_comment", Text),
+        ],
+        "orders" => vec![
+            ("o_orderkey", Int),
+            ("o_custkey", Int),
+            ("o_orderstatus", Text),
+            ("o_totalprice", Float),
+            ("o_orderdate", Date),
+            ("o_orderpriority", Text),
+            ("o_clerk", Text),
+            ("o_shippriority", Int),
+            ("o_comment", Text),
+        ],
+        "lineitem" => vec![
+            ("l_orderkey", Int),
+            ("l_partkey", Int),
+            ("l_suppkey", Int),
+            ("l_linenumber", Int),
+            ("l_quantity", Float),
+            ("l_extendedprice", Float),
+            ("l_discount", Float),
+            ("l_tax", Float),
+            ("l_returnflag", Text),
+            ("l_linestatus", Text),
+            ("l_shipdate", Date),
+            ("l_commitdate", Date),
+            ("l_receiptdate", Date),
+            ("l_shipinstruct", Text),
+            ("l_shipmode", Text),
+            ("l_comment", Text),
+        ],
+        other => panic!("unknown TPC-H table '{other}'"),
+    };
+    Schema::from_pairs(&columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_schemas() {
+        for name in table_names() {
+            let schema = table_schema(name);
+            assert!(schema.arity() >= 3, "{name} should have at least 3 columns");
+        }
+    }
+
+    #[test]
+    fn lineitem_has_sixteen_columns_like_the_spec() {
+        assert_eq!(table_schema("lineitem").arity(), 16);
+        assert_eq!(table_schema("orders").arity(), 9);
+        assert_eq!(table_schema("part").arity(), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_table_panics() {
+        table_schema("warehouse");
+    }
+}

@@ -1,0 +1,174 @@
+//! Artificial workload generators for the paper's §V-B and §V-C experiments.
+//!
+//! * [`set_operation_query`] — random set-operation trees (union/intersection only, as in the
+//!   paper) over selections on `part`, parameterised by the number of leaf selections
+//!   (`numSetOp`, Figure 12).
+//! * [`spj_query`] — random select-project-join trees with `numSub` leaf subqueries
+//!   (Figure 13).
+//! * [`nested_aggregation_query`] — chains of `agg` aggregation operators, each grouping its
+//!   child's output on the primary key divided by `numGrp = |part|^(1/agg)` (Figure 14).
+//! * [`trio_selection_queries`] — the 1000 simple key-range selections on `supplier` used for
+//!   the Trio comparison (Figure 15).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a workload run.
+pub fn workload_rng(experiment: &str, variant: u64) -> SmallRng {
+    let tag: u64 = experiment.bytes().map(u64::from).sum();
+    SmallRng::seed_from_u64(0xA11CE ^ (tag << 16) ^ variant)
+}
+
+/// A random key-range selection on `part`, used as the leaf of the artificial queries.
+fn part_selection(rng: &mut SmallRng, num_parts: usize) -> String {
+    let width = (num_parts / 4).max(1);
+    let lo = rng.gen_range(1..=num_parts.max(1));
+    let hi = lo + rng.gen_range(1..=width);
+    format!("SELECT p_partkey, p_size FROM part WHERE p_partkey BETWEEN {lo} AND {hi}")
+}
+
+/// A random set-operation query with `num_set_ops` leaf selections over `part`.
+///
+/// Only `UNION ALL` and `INTERSECT ALL` are used, matching the paper's experiment (set
+/// difference degenerates to cross products and is evaluated separately in §V-A).
+pub fn set_operation_query(rng: &mut SmallRng, num_set_ops: usize, num_parts: usize) -> String {
+    let leaves = num_set_ops.max(1) + 1;
+    let mut sql = part_selection(rng, num_parts);
+    for _ in 1..leaves {
+        let op = if rng.gen_bool(0.5) { "UNION ALL" } else { "INTERSECT ALL" };
+        sql = format!("{sql} {op} {}", part_selection(rng, num_parts));
+    }
+    sql
+}
+
+/// A random select-project-join query with `num_sub` leaf subqueries over `part`.
+///
+/// The leaves are key-range selections; consecutive leaves are equi-joined on `p_partkey`, which
+/// yields a random left-deep join tree like the paper's generator.
+pub fn spj_query(rng: &mut SmallRng, num_sub: usize, num_parts: usize) -> String {
+    let num_sub = num_sub.max(1);
+    let mut from_items = Vec::with_capacity(num_sub);
+    for i in 0..num_sub {
+        from_items.push(format!("({}) AS s{i}", part_selection(rng, num_parts)));
+    }
+    let mut conditions = Vec::new();
+    for i in 1..num_sub {
+        conditions.push(format!("s{}.p_partkey = s{}.p_partkey", i - 1, i));
+    }
+    let where_clause = if conditions.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", conditions.join(" AND "))
+    };
+    format!("SELECT s0.p_partkey, s0.p_size FROM {}{}", from_items.join(", "), where_clause)
+}
+
+/// A chain of `agg_levels` nested aggregations over `part` (Figure 14).
+///
+/// Each level groups its input on the key attribute divided by `numGrp = |part|^(1/agg)`, so
+/// every level performs roughly the same number of aggregate computations, mirroring the paper's
+/// construction.
+pub fn nested_aggregation_query(agg_levels: usize, num_parts: usize) -> String {
+    let agg_levels = agg_levels.max(1);
+    let num_grp = (num_parts.max(2) as f64).powf(1.0 / agg_levels as f64).max(2.0).round() as i64;
+    // Innermost level aggregates the base table.
+    let mut sql = format!(
+        "SELECT p_partkey / {num_grp} AS k1, sum(p_size) AS v1 FROM part GROUP BY p_partkey / {num_grp}"
+    );
+    for level in 2..=agg_levels {
+        let prev_k = format!("k{}", level - 1);
+        let prev_v = format!("v{}", level - 1);
+        sql = format!(
+            "SELECT {prev_k} / {num_grp} AS k{level}, sum({prev_v}) AS v{level} \
+             FROM ({sql}) AS a{level} GROUP BY {prev_k} / {num_grp}"
+        );
+    }
+    sql
+}
+
+/// The Figure 15 workload: `count` simple key-range selections on `supplier`.
+pub fn trio_selection_queries(rng: &mut SmallRng, count: usize, num_suppliers: usize) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            let width = (num_suppliers / 10).max(1);
+            let lo = rng.gen_range(1..=num_suppliers.max(1));
+            let hi = lo + rng.gen_range(1..=width);
+            format!(
+                "SELECT s_suppkey, s_name, s_acctbal FROM supplier WHERE s_suppkey BETWEEN {lo} AND {hi}"
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{generate_catalog, TpchScale};
+    use crate::queries::add_provenance_keyword;
+    use perm_core::PermDb;
+
+    fn test_db() -> PermDb {
+        PermDb::with_catalog(generate_catalog(TpchScale::test(), 3), Default::default())
+    }
+
+    #[test]
+    fn set_operation_queries_run_normally_and_with_provenance() {
+        let db = test_db();
+        let parts = db.catalog().table_row_count("part").unwrap();
+        for n in 1..=4 {
+            let mut rng = workload_rng("setop", n as u64);
+            let sql = set_operation_query(&mut rng, n, parts);
+            assert!(db.execute_sql(&sql).is_ok(), "setop query failed: {sql}");
+            let prov = add_provenance_keyword(&sql);
+            assert!(db.execute_sql(&prov).is_ok(), "setop provenance failed: {prov}");
+        }
+    }
+
+    #[test]
+    fn spj_queries_run_normally_and_with_provenance() {
+        let db = test_db();
+        let parts = db.catalog().table_row_count("part").unwrap();
+        for n in 1..=4 {
+            let mut rng = workload_rng("spj", n as u64);
+            let sql = spj_query(&mut rng, n, parts);
+            let normal = db.execute_sql(&sql).unwrap();
+            let prov = db.execute_sql(&add_provenance_keyword(&sql)).unwrap();
+            assert!(prov.schema().arity() > normal.schema().arity());
+        }
+    }
+
+    #[test]
+    fn nested_aggregation_queries_reduce_cardinality_per_level() {
+        let db = test_db();
+        let parts = db.catalog().table_row_count("part").unwrap();
+        let one = db.execute_sql(&nested_aggregation_query(1, parts)).unwrap();
+        let three = db.execute_sql(&nested_aggregation_query(3, parts)).unwrap();
+        assert!(three.num_rows() <= one.num_rows());
+        let prov = db
+            .execute_sql(&add_provenance_keyword(&nested_aggregation_query(3, parts)))
+            .unwrap();
+        // Every provenance row carries the part tuple it derives from.
+        assert!(prov.schema().attribute_names().iter().any(|n| n == "prov_part_p_partkey"));
+        assert_eq!(prov.num_rows(), parts);
+    }
+
+    #[test]
+    fn trio_workload_generates_distinct_selections() {
+        let mut rng = workload_rng("trio", 0);
+        let queries = trio_selection_queries(&mut rng, 50, 100);
+        assert_eq!(queries.len(), 50);
+        let distinct: std::collections::HashSet<&String> = queries.iter().collect();
+        assert!(distinct.len() > 10, "queries should vary");
+    }
+
+    #[test]
+    fn workload_generators_are_deterministic() {
+        let parts = 1000;
+        let a = set_operation_query(&mut workload_rng("setop", 7), 3, parts);
+        let b = set_operation_query(&mut workload_rng("setop", 7), 3, parts);
+        assert_eq!(a, b);
+        let a = spj_query(&mut workload_rng("spj", 9), 4, parts);
+        let b = spj_query(&mut workload_rng("spj", 9), 4, parts);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,66 @@
+//! Eager, stored and incremental provenance (§IV-A.3 and §V of the paper):
+//!
+//! * store provenance with `SELECT PROVENANCE ... INTO table` (eager computation),
+//! * create provenance views that recompute lazily,
+//! * reuse stored/external provenance in later provenance computations via the
+//!   `PROVENANCE (attrs)` from-clause annotation, so the original base tables never need to be
+//!   touched again.
+//!
+//! Run with `cargo run --example incremental_provenance`.
+
+use perm::prelude::*;
+
+fn main() -> Result<(), PermError> {
+    let db = PermDb::new();
+    db.execute_script(
+        "CREATE TABLE items (id INT, price INT);
+         INSERT INTO items VALUES (1, 100), (2, 10), (3, 25);",
+    )?;
+
+    // 1. A provenance view: `CREATE VIEW ... AS SELECT PROVENANCE ...` (lazy recomputation).
+    db.execute_sql(
+        "CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items",
+    )?;
+    println!("== Provenance view totalItemPrice ==");
+    println!("{}", db.execute_sql("SELECT * FROM totalItemPrice")?);
+
+    // 2. Eagerly stored provenance via SELECT INTO.
+    db.execute_sql("SELECT PROVENANCE sum(price) AS total INTO stored_total_prov FROM items")?;
+    println!("== Stored provenance table stored_total_prov ==");
+    println!("{}", db.execute_sql("SELECT * FROM stored_total_prov")?);
+
+    // 3. Incremental provenance: a later provenance query builds on the *stored* provenance
+    //    instead of recomputing it from items. The PROVENANCE (attrs) annotation tells the
+    //    rewriter which attributes already carry provenance (the paper's §IV-A.3 example).
+    let incremental = db.execute_sql(
+        "SELECT PROVENANCE total * 10 AS total_times_ten
+         FROM stored_total_prov PROVENANCE (prov_items_id, prov_items_price)",
+    )?;
+    println!("== Incremental provenance computed from the stored result ==");
+    println!("{incremental}");
+
+    // 4. External provenance: the same annotation works for any table whose provenance columns
+    //    were imported from elsewhere (a different system, a CSV dump, ...).
+    db.execute_script(
+        "CREATE TABLE external_measurements (reading FLOAT, source_station TEXT, source_file TEXT);
+         INSERT INTO external_measurements VALUES
+            (12.5, 'station-7',  'dump-2008-11-03.csv'),
+            (13.1, 'station-7',  'dump-2008-11-04.csv'),
+            (99.9, 'station-12', 'dump-2008-11-04.csv');",
+    )?;
+    let external = db.execute_sql(
+        "SELECT PROVENANCE avg(reading) AS avg_reading
+         FROM external_measurements PROVENANCE (source_station, source_file)",
+    )?;
+    println!("== External provenance (imported annotations) ==");
+    println!("{external}");
+
+    // 5. After new data arrives, the provenance *view* reflects it automatically, while the
+    //    stored table keeps the historical provenance — the user chooses eager vs. lazy.
+    db.execute_sql("INSERT INTO items VALUES (4, 500)")?;
+    println!("== After inserting a new item: lazy view vs. eagerly stored provenance ==");
+    println!("view (recomputed):\n{}", db.execute_sql("SELECT * FROM totalItemPrice")?);
+    println!("stored (historical):\n{}", db.execute_sql("SELECT * FROM stored_total_prov")?);
+
+    Ok(())
+}

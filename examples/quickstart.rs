@@ -1,0 +1,53 @@
+//! Quickstart: compute the provenance of a query with the SQL-PLE `PROVENANCE` keyword.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use perm::prelude::*;
+
+fn main() -> Result<(), PermError> {
+    // 1. Create a database and load a few tables (the example database of the paper, Figure 2).
+    let db = PermDb::new();
+    db.execute_script(
+        "CREATE TABLE shop  (name TEXT, numEmpl INT);
+         CREATE TABLE sales (sName TEXT, itemId INT);
+         CREATE TABLE items (id INT, price INT);
+         INSERT INTO shop  VALUES ('Merdies', 3), ('Joba', 14);
+         INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), ('Merdies', 2), ('Joba', 3), ('Joba', 3);
+         INSERT INTO items VALUES (1, 100), (2, 10), (3, 25);",
+    )?;
+
+    // 2. A normal query: total sales per shop.
+    let totals = db.execute_sql(
+        "SELECT name, sum(price) AS total
+         FROM shop, sales, items
+         WHERE name = sName AND itemId = id
+         GROUP BY name
+         ORDER BY total DESC",
+    )?;
+    println!("Total sales per shop:\n{totals}");
+
+    // 3. The same query with the PROVENANCE keyword: every result row is annotated with the
+    //    complete contributing tuples of shop, sales and items (influence-contribution /
+    //    Why-provenance), duplicated once per combination of witnesses.
+    let provenance = db.execute_sql(
+        "SELECT PROVENANCE name, sum(price) AS total
+         FROM shop, sales, items
+         WHERE name = sName AND itemId = id
+         GROUP BY name",
+    )?;
+    println!("... and with provenance attributes:\n{}", provenance.sorted());
+
+    // 4. Because the provenance result is an ordinary relation, it can be queried with plain
+    //    SQL: which items were sold by shops with total sales above 100?
+    let items_of_big_shops = db.execute_sql(
+        "SELECT DISTINCT prov_items_id
+         FROM (SELECT PROVENANCE name, sum(price) AS total
+               FROM shop, sales, items
+               WHERE name = sName AND itemId = id
+               GROUP BY name) AS prov
+         WHERE total > 100",
+    )?;
+    println!("Items sold by shops with total sales > 100:\n{items_of_big_shops}");
+
+    Ok(())
+}
