@@ -53,9 +53,7 @@ impl PlanBuilder {
 
     /// Add a selection with the given predicate.
     pub fn filter(self, predicate: ScalarExpr) -> PlanBuilder {
-        PlanBuilder {
-            plan: Arc::new(LogicalPlan::Selection { input: self.plan, predicate }),
-        }
+        PlanBuilder { plan: Arc::new(LogicalPlan::Selection { input: self.plan, predicate }) }
     }
 
     /// Add a bag-semantics projection. Each entry is `(expression, output name)`.
@@ -85,9 +83,19 @@ impl PlanBuilder {
     }
 
     /// Join with another plan.
-    pub fn join(self, right: PlanBuilder, kind: JoinKind, condition: Option<ScalarExpr>) -> PlanBuilder {
+    pub fn join(
+        self,
+        right: PlanBuilder,
+        kind: JoinKind,
+        condition: Option<ScalarExpr>,
+    ) -> PlanBuilder {
         PlanBuilder {
-            plan: Arc::new(LogicalPlan::Join { left: self.plan, right: right.plan, kind, condition }),
+            plan: Arc::new(LogicalPlan::Join {
+                left: self.plan,
+                right: right.plan,
+                kind,
+                condition,
+            }),
         }
     }
 
@@ -108,9 +116,19 @@ impl PlanBuilder {
     }
 
     /// Combine with another plan through a set operation.
-    pub fn set_op(self, right: PlanBuilder, kind: SetOpKind, semantics: SetSemantics) -> PlanBuilder {
+    pub fn set_op(
+        self,
+        right: PlanBuilder,
+        kind: SetOpKind,
+        semantics: SetSemantics,
+    ) -> PlanBuilder {
         PlanBuilder {
-            plan: Arc::new(LogicalPlan::SetOp { left: self.plan, right: right.plan, kind, semantics }),
+            plan: Arc::new(LogicalPlan::SetOp {
+                left: self.plan,
+                right: right.plan,
+                kind,
+                semantics,
+            }),
         }
     }
 
@@ -192,9 +210,7 @@ mod tests {
 
     #[test]
     fn project_columns_by_name() {
-        let b = PlanBuilder::scan("shop", shop_schema(), 0)
-            .project_columns(&["numempl"])
-            .unwrap();
+        let b = PlanBuilder::scan("shop", shop_schema(), 0).project_columns(&["numempl"]).unwrap();
         assert_eq!(b.schema().attribute_names(), vec!["numempl"]);
     }
 

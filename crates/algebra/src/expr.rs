@@ -72,7 +72,15 @@ impl BinaryOperator {
         use BinaryOperator::*;
         matches!(
             self,
-            Eq | NotEq | Lt | LtEq | Gt | GtEq | Like | NotLike | IsNotDistinctFrom | IsDistinctFrom
+            Eq | NotEq
+                | Lt
+                | LtEq
+                | Gt
+                | GtEq
+                | Like
+                | NotLike
+                | IsNotDistinctFrom
+                | IsDistinctFrom
         )
     }
 
@@ -226,17 +234,16 @@ impl ScalarFunction {
             | ScalarFunction::ExtractYear
             | ScalarFunction::ExtractMonth
             | ScalarFunction::ExtractDay => DataType::Int,
-            ScalarFunction::Abs | ScalarFunction::Round | ScalarFunction::Floor | ScalarFunction::Ceil => {
-                args.first().copied().unwrap_or(DataType::Float)
+            ScalarFunction::Abs
+            | ScalarFunction::Round
+            | ScalarFunction::Floor
+            | ScalarFunction::Ceil => args.first().copied().unwrap_or(DataType::Float),
+            ScalarFunction::Coalesce => {
+                args.iter().copied().find(|t| *t != DataType::Null).unwrap_or(DataType::Null)
             }
-            ScalarFunction::Coalesce => args
-                .iter()
-                .copied()
-                .find(|t| *t != DataType::Null)
-                .unwrap_or(DataType::Null),
-            ScalarFunction::DateAddYears | ScalarFunction::DateAddMonths | ScalarFunction::DateAddDays => {
-                DataType::Date
-            }
+            ScalarFunction::DateAddYears
+            | ScalarFunction::DateAddMonths
+            | ScalarFunction::DateAddDays => DataType::Date,
         }
     }
 }
@@ -446,7 +453,9 @@ impl ScalarExpr {
     /// Rewrite every column reference through `f` (old index → new index).
     pub fn map_columns<F: FnMut(usize) -> usize>(&self, f: &mut F) -> ScalarExpr {
         match self {
-            ScalarExpr::Column { index, name } => ScalarExpr::Column { index: f(*index), name: name.clone() },
+            ScalarExpr::Column { index, name } => {
+                ScalarExpr::Column { index: f(*index), name: name.clone() }
+            }
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
             ScalarExpr::BinaryOp { op, left, right } => ScalarExpr::BinaryOp {
                 op: *op,
@@ -462,7 +471,10 @@ impl ScalarExpr {
             },
             ScalarExpr::Case { operand, branches, else_expr } => ScalarExpr::Case {
                 operand: operand.as_ref().map(|o| Box::new(o.map_columns(f))),
-                branches: branches.iter().map(|(w, t)| (w.map_columns(f), t.map_columns(f))).collect(),
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| (w.map_columns(f), t.map_columns(f)))
+                    .collect(),
                 else_expr: else_expr.as_ref().map(|e| Box::new(e.map_columns(f))),
             },
             ScalarExpr::Cast { expr, data_type } => {
@@ -600,7 +612,9 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::UnaryOp { op, expr } => match op {
-                UnaryOperator::Not | UnaryOperator::IsNull | UnaryOperator::IsNotNull => DataType::Bool,
+                UnaryOperator::Not | UnaryOperator::IsNull | UnaryOperator::IsNotNull => {
+                    DataType::Bool
+                }
                 UnaryOperator::Neg => expr.data_type(schema)?,
             },
             ScalarExpr::Function { func, args } => {
@@ -655,64 +669,64 @@ impl ScalarExpr {
 
 impl fmt::Display for ScalarExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                ScalarExpr::Column { index, name } => write!(f, "{name}#{index}"),
-                ScalarExpr::Literal(v) => match v {
-                    Value::Text(s) => write!(f, "'{s}'"),
-                    other => write!(f, "{other}"),
-                },
-                ScalarExpr::BinaryOp { op, left, right } => write!(f, "({left} {op} {right})"),
-                ScalarExpr::UnaryOp { op, expr } => match op {
-                    UnaryOperator::IsNull | UnaryOperator::IsNotNull => write!(f, "({expr} {op})"),
-                    _ => write!(f, "({op} {expr})"),
-                },
-                ScalarExpr::Function { func, args } => {
-                    write!(f, "{}(", func.name())?;
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{a}")?;
+        match self {
+            ScalarExpr::Column { index, name } => write!(f, "{name}#{index}"),
+            ScalarExpr::Literal(v) => match v {
+                Value::Text(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            ScalarExpr::BinaryOp { op, left, right } => write!(f, "({left} {op} {right})"),
+            ScalarExpr::UnaryOp { op, expr } => match op {
+                UnaryOperator::IsNull | UnaryOperator::IsNotNull => write!(f, "({expr} {op})"),
+                _ => write!(f, "({op} {expr})"),
+            },
+            ScalarExpr::Function { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, ")")
+                    write!(f, "{a}")?;
                 }
-                ScalarExpr::Case { operand, branches, else_expr } => {
-                    write!(f, "CASE")?;
-                    if let Some(op) = operand {
-                        write!(f, " {op}")?;
-                    }
-                    for (w, t) in branches {
-                        write!(f, " WHEN {w} THEN {t}")?;
-                    }
-                    if let Some(e) = else_expr {
-                        write!(f, " ELSE {e}")?;
-                    }
-                    write!(f, " END")
+                write!(f, ")")
+            }
+            ScalarExpr::Case { operand, branches, else_expr } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
                 }
-                ScalarExpr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
-                ScalarExpr::InList { expr, list, negated } => {
-                    write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
-                    for (i, e) in list.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{e}")?;
-                    }
-                    write!(f, "))")
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
                 }
-                ScalarExpr::Sublink { kind, operand, negated, .. } => {
-                    let not = if *negated { "NOT " } else { "" };
-                    match kind {
-                        SublinkKind::Exists => write!(f, "({not}EXISTS <subquery>)"),
-                        SublinkKind::InSubquery => {
-                            let op = operand.as_deref().map(|o| o.to_string()).unwrap_or_default();
-                            write!(f, "({op} {not}IN <subquery>)")
-                        }
-                        SublinkKind::Scalar => write!(f, "(<scalar subquery>)"),
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            ScalarExpr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+            ScalarExpr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            ScalarExpr::Sublink { kind, operand, negated, .. } => {
+                let not = if *negated { "NOT " } else { "" };
+                match kind {
+                    SublinkKind::Exists => write!(f, "({not}EXISTS <subquery>)"),
+                    SublinkKind::InSubquery => {
+                        let op = operand.as_deref().map(|o| o.to_string()).unwrap_or_default();
+                        write!(f, "({op} {not}IN <subquery>)")
+                    }
+                    SublinkKind::Scalar => write!(f, "(<scalar subquery>)"),
                 }
             }
         }
+    }
 }
 
 /// Aggregate functions of the algebra's aggregation operator.

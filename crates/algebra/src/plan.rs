@@ -195,7 +195,9 @@ impl LogicalPlan {
     /// The output schema of this plan node.
     pub fn schema(&self) -> Schema {
         match self {
-            LogicalPlan::BaseRelation { schema, .. } | LogicalPlan::Values { schema, .. } => schema.clone(),
+            LogicalPlan::BaseRelation { schema, .. } | LogicalPlan::Values { schema, .. } => {
+                schema.clone()
+            }
             LogicalPlan::Projection { input, exprs, .. } => {
                 let in_schema = input.schema();
                 Schema::new(
@@ -234,7 +236,12 @@ impl LogicalPlan {
                 }
                 for (a, name) in aggregates {
                     let data_type = a.data_type(&in_schema).unwrap_or(DataType::Float);
-                    attrs.push(Attribute { name: name.clone(), data_type, qualifier: None, provenance: false });
+                    attrs.push(Attribute {
+                        name: name.clone(),
+                        data_type,
+                        qualifier: None,
+                        provenance: false,
+                    });
                 }
                 Schema::new(attrs)
             }
@@ -281,7 +288,10 @@ impl LogicalPlan {
     }
 
     /// Rebuild this node with new children (same arity as [`LogicalPlan::children`]).
-    pub fn with_new_children(&self, mut children: Vec<Arc<LogicalPlan>>) -> Result<LogicalPlan, AlgebraError> {
+    pub fn with_new_children(
+        &self,
+        mut children: Vec<Arc<LogicalPlan>>,
+    ) -> Result<LogicalPlan, AlgebraError> {
         let expected = self.children().len();
         if children.len() != expected {
             return Err(AlgebraError::Internal(format!(
@@ -315,9 +325,10 @@ impl LogicalPlan {
                 let left = children.pop().expect("arity checked");
                 LogicalPlan::SetOp { left, right, kind: *kind, semantics: *semantics }
             }
-            LogicalPlan::Sort { keys, .. } => {
-                LogicalPlan::Sort { input: children.pop().expect("arity checked"), keys: keys.clone() }
-            }
+            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+                input: children.pop().expect("arity checked"),
+                keys: keys.clone(),
+            },
             LogicalPlan::Limit { limit, offset, .. } => LogicalPlan::Limit {
                 input: children.pop().expect("arity checked"),
                 limit: *limit,
@@ -366,8 +377,7 @@ impl LogicalPlan {
             },
             LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
             LogicalPlan::Projection { exprs, distinct, .. } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 format!(
                     "Projection{} [{}]",
                     if *distinct { " DISTINCT" } else { "" },
@@ -380,14 +390,15 @@ impl LogicalPlan {
                 None => format!("Join {kind}"),
             },
             LogicalPlan::Aggregation { group_by, aggregates, .. } => {
-                let groups: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                let aggs: Vec<String> = aggregates.iter().map(|(a, n)| format!("{a} AS {n}")).collect();
+                let groups: Vec<String> =
+                    group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let aggs: Vec<String> =
+                    aggregates.iter().map(|(a, n)| format!("{a} AS {n}")).collect();
                 format!("Aggregation GROUP BY [{}] AGG [{}]", groups.join(", "), aggs.join(", "))
             }
-            LogicalPlan::SetOp { kind, semantics, .. } => format!(
-                "{kind}{}",
-                if *semantics == SetSemantics::Bag { " ALL" } else { "" }
-            ),
+            LogicalPlan::SetOp { kind, semantics, .. } => {
+                format!("{kind}{}", if *semantics == SetSemantics::Bag { " ALL" } else { "" })
+            }
             LogicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
                 format!("Sort [{}]", ks.join(", "))
@@ -395,7 +406,9 @@ impl LogicalPlan {
             LogicalPlan::Limit { limit, offset, .. } => format!("Limit {limit:?} OFFSET {offset}"),
             LogicalPlan::SubqueryAlias { alias, .. } => format!("SubqueryAlias {alias}"),
             LogicalPlan::ProvenanceAnnotation { kind, .. } => match kind {
-                ProvenanceAnnotationKind::BaseRelation => "ProvenanceAnnotation BASERELATION".to_string(),
+                ProvenanceAnnotationKind::BaseRelation => {
+                    "ProvenanceAnnotation BASERELATION".to_string()
+                }
                 ProvenanceAnnotationKind::AlreadyRewritten(attrs) => {
                     format!("ProvenanceAnnotation PROVENANCE ({})", attrs.join(", "))
                 }
@@ -433,10 +446,8 @@ impl LogicalPlan {
             LogicalPlan::Selection { input, predicate } => {
                 check_columns(predicate, input.schema().arity())?;
             }
-            LogicalPlan::Join { left, right, condition, .. } => {
-                if let Some(c) = condition {
-                    check_columns(c, left.schema().arity() + right.schema().arity())?;
-                }
+            LogicalPlan::Join { left, right, condition: Some(c), .. } => {
+                check_columns(c, left.schema().arity() + right.schema().arity())?;
             }
             LogicalPlan::Aggregation { input, group_by, aggregates } => {
                 let arity = input.schema().arity();
@@ -648,10 +659,7 @@ mod tests {
 
     #[test]
     fn node_count_counts_operators() {
-        let plan = LogicalPlan::Selection {
-            input: shop(),
-            predicate: ScalarExpr::literal(true),
-        };
+        let plan = LogicalPlan::Selection { input: shop(), predicate: ScalarExpr::literal(true) };
         assert_eq!(plan.node_count(), 2);
     }
 }

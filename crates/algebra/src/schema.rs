@@ -11,7 +11,7 @@ use crate::error::AlgebraError;
 use crate::value::DataType;
 
 /// A single attribute (column) of a relation schema.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     /// Attribute name (case-normalised to lower case by the SQL layer).
     pub name: String,
@@ -31,7 +31,11 @@ impl Attribute {
     }
 
     /// Create an attribute qualified by a relation name or alias.
-    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>, data_type: DataType) -> Attribute {
+    pub fn qualified(
+        qualifier: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Attribute {
         Attribute {
             name: name.into(),
             data_type,
@@ -89,7 +93,7 @@ impl fmt::Display for Attribute {
 }
 
 /// An ordered list of attributes describing a relation or query result.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     attributes: Vec<Attribute>,
 }
@@ -139,11 +143,7 @@ impl Schema {
 
     /// Indices of all provenance attributes.
     pub fn provenance_indices(&self) -> Vec<usize> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, a)| a.provenance.then_some(i))
-            .collect()
+        self.attributes.iter().enumerate().filter_map(|(i, a)| a.provenance.then_some(i)).collect()
     }
 
     /// Indices of all normal (non-provenance) attributes.
@@ -167,7 +167,9 @@ impl Schema {
             .map(|(i, _)| i);
         match (matches.next(), matches.next()) {
             (Some(i), None) => Ok(i),
-            (Some(_), Some(_)) => Err(AlgebraError::AmbiguousAttribute { name: reference.to_string() }),
+            (Some(_), Some(_)) => {
+                Err(AlgebraError::AmbiguousAttribute { name: reference.to_string() })
+            }
             (None, _) => Err(AlgebraError::UnknownAttribute {
                 name: reference.to_string(),
                 available: self.attributes.iter().map(|a| a.qualified_name()).collect(),
@@ -210,11 +212,9 @@ impl Schema {
     /// Are the two schemas union compatible (same arity and pairwise coercible types)?
     pub fn union_compatible(&self, other: &Schema) -> bool {
         self.arity() == other.arity()
-            && self
-                .attributes
-                .iter()
-                .zip(other.attributes.iter())
-                .all(|(a, b)| a.data_type.coercible_to(b.data_type) || b.data_type.coercible_to(a.data_type))
+            && self.attributes.iter().zip(other.attributes.iter()).all(|(a, b)| {
+                a.data_type.coercible_to(b.data_type) || b.data_type.coercible_to(a.data_type)
+            })
     }
 
     /// Append an attribute, returning the new schema.
@@ -272,7 +272,8 @@ mod tests {
     fn resolve_unknown_and_ambiguous() {
         let s = shop_schema();
         assert!(matches!(s.resolve("zip"), Err(AlgebraError::UnknownAttribute { .. })));
-        let joined = s.concat(&Schema::new(vec![Attribute::qualified("sales", "name", DataType::Text)]));
+        let joined =
+            s.concat(&Schema::new(vec![Attribute::qualified("sales", "name", DataType::Text)]));
         assert!(matches!(joined.resolve("name"), Err(AlgebraError::AmbiguousAttribute { .. })));
         assert_eq!(joined.resolve("sales.name").unwrap(), 2);
         assert_eq!(joined.try_resolve("nothere").unwrap(), None);

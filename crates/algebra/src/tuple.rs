@@ -10,7 +10,7 @@ use crate::value::Value;
 /// Relations in the Perm algebra use *bag semantics*: a tuple may occur multiple times in a
 /// relation. Multiplicity is represented by physical duplication in `perm-storage` (matching the
 /// representation the paper's rewritten queries produce), so the tuple itself carries no count.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Tuple {
     values: Vec<Value>,
 }

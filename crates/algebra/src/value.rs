@@ -17,7 +17,7 @@ use crate::error::AlgebraError;
 /// This is the minimal set needed to run the TPC-H benchmark and the paper's examples:
 /// booleans, 64-bit integers, 64-bit floats (also used for SQL `DECIMAL`), UTF-8 text and dates
 /// (stored as days since 1970-01-01).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Boolean (`TRUE` / `FALSE`).
     Bool,
@@ -82,7 +82,7 @@ impl fmt::Display for DataType {
 /// compare by total order of their bit-normalised form, and values of different types order by a
 /// fixed type rank. Use [`Value::sql_eq`] / [`Value::sql_cmp`] for SQL comparison semantics
 /// (which return `None` when any operand is `NULL`).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -321,7 +321,8 @@ impl Value {
         if self.is_null() {
             return Ok(Null);
         }
-        let fail = || AlgebraError::ParseValue { text: self.to_string(), target: target.to_string() };
+        let fail =
+            || AlgebraError::ParseValue { text: self.to_string(), target: target.to_string() };
         Ok(match (self, target) {
             (v, t) if v.data_type() == t => v.clone(),
             (Int(i), DataType::Float) => Float(*i as f64),
@@ -563,7 +564,11 @@ pub fn parse_date(s: &str) -> Result<i32, AlgebraError> {
     let year: i32 = parts.next().ok_or_else(fail)?.parse().map_err(|_| fail())?;
     let month: u32 = parts.next().ok_or_else(fail)?.parse().map_err(|_| fail())?;
     let day: u32 = parts.next().ok_or_else(fail)?.parse().map_err(|_| fail())?;
-    if parts.next().is_some() || !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+    if parts.next().is_some()
+        || !(1..=12).contains(&month)
+        || day == 0
+        || day > days_in_month(year, month)
+    {
         return Err(fail());
     }
     Ok(days_from_civil(year, month, day))
@@ -625,10 +630,7 @@ mod tests {
 
     #[test]
     fn text_concatenation_via_add() {
-        assert_eq!(
-            Value::text("foo").add(&Value::text("bar")).unwrap(),
-            Value::text("foobar")
-        );
+        assert_eq!(Value::text("foo").add(&Value::text("bar")).unwrap(), Value::text("foobar"));
     }
 
     #[test]

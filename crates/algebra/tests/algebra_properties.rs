@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use perm_algebra::value::{add_months_to_days, civil_from_days, days_from_civil, format_date, parse_date};
+use perm_algebra::value::{
+    add_months_to_days, civil_from_days, days_from_civil, format_date, parse_date,
+};
 use perm_algebra::{Attribute, DataType, PlanBuilder, ScalarExpr, Schema, Value};
 
 fn value_strategy() -> impl Strategy<Value = Value> {

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use perm_algebra::{AggregateExpr, JoinKind, LogicalPlan, ScalarExpr, Tuple};
-use perm_exec::{ExecError, Executor};
+use perm_exec::{ExecError, Executor, Optimizer};
 use perm_storage::{Catalog, Relation};
 
 /// A description of an SPJ or aggregation-SPJ view over base relations, in the decomposed form
@@ -45,7 +45,13 @@ impl ViewDefinition {
         condition: Option<ScalarExpr>,
         projection: Vec<(ScalarExpr, String)>,
     ) -> ViewDefinition {
-        ViewDefinition { relations, condition, projection, group_by: Vec::new(), aggregates: Vec::new() }
+        ViewDefinition {
+            relations,
+            condition,
+            projection,
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+        }
     }
 
     /// An aggregation-select-project-join view.
@@ -90,13 +96,22 @@ impl CuiWidomTracer {
                 aggregates: view.aggregates.clone(),
             }
         } else {
-            LogicalPlan::Projection { input: Arc::new(filtered), exprs: view.projection.clone(), distinct: false }
+            LogicalPlan::Projection {
+                input: Arc::new(filtered),
+                exprs: view.projection.clone(),
+                distinct: false,
+            }
         })
     }
 
     /// Execute the view.
+    ///
+    /// The plans built here are selections over pure cross products (that is the shape the
+    /// inversion operates on), so they are optimized before execution — join conversion turns
+    /// them into hash joins instead of materialising the full cross product.
     pub fn evaluate_view(&self, view: &ViewDefinition) -> Result<Relation, ExecError> {
-        Executor::new(self.catalog.clone()).execute(&self.view_plan(view)?)
+        let plan = Optimizer::new().optimize(&self.view_plan(view)?)?;
+        Executor::new(self.catalog.clone()).execute(&plan)
     }
 
     /// Compute the lineage of `result_tuple` (a tuple of the view's result): one relation per
@@ -161,8 +176,11 @@ impl CuiWidomTracer {
             .enumerate()
             .map(|(i, a)| (ScalarExpr::column(offset + i, a.name.clone()), a.name.clone()))
             .collect();
-        // The distinct matching tuples (the inverse query proper)...
+        // The distinct matching tuples (the inverse query proper). Optimized first: the raw
+        // plan is a selection over a cross product of all accessed relations, which join
+        // conversion reduces to hash joins.
         let plan = LogicalPlan::Projection { input: Arc::new(selected), exprs, distinct: true };
+        let plan = Optimizer::new().optimize(&plan)?;
         let matches = Executor::new(self.catalog.clone()).execute(&plan)?;
         let match_set: std::collections::HashSet<&Tuple> = matches.tuples().iter().collect();
         // ...materialised as the subset of the base relation (bag semantics: contributing tuples
@@ -234,9 +252,7 @@ pub fn perm_matches_oracle(
         let mut actual: Vec<Tuple> = perm_result
             .tuples()
             .iter()
-            .filter(|t| {
-                (0..original_arity).all(|i| t.get(i) == original.get(i))
-            })
+            .filter(|t| (0..original_arity).all(|i| t.get(i) == original.get(i)))
             .map(|t| t.project(group))
             .filter(|t| !t.values().iter().all(|v| v.is_null()))
             .collect();
@@ -389,12 +405,7 @@ mod tests {
         let perm_result = execute_plan(&catalog, &rewritten).unwrap();
         // Deliberately wrong oracle: swap the lineage of Merdies and Joba.
         let joba_lineage = tracer.lineage(&view, &tuple!["Joba", 50]).unwrap();
-        assert!(!perm_matches_oracle(
-            &perm_result,
-            2,
-            &tuple!["Merdies", 120],
-            &joba_lineage
-        ));
+        assert!(!perm_matches_oracle(&perm_result, 2, &tuple!["Merdies", 120], &joba_lineage));
         let _ = Value::Null; // keep the Value import exercised on all platforms
     }
 }

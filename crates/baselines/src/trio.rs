@@ -159,8 +159,11 @@ impl TrioStyleDb {
                 if source_tuple.values().iter().all(|v| v.is_null()) {
                     continue; // outer-join padding: no contribution from this relation
                 }
-                if let Some(&source_row) = source_indexes.get(table).and_then(|idx| idx.get(&source_tuple)) {
-                    let entry = LineageEntry { result_row, source_table: table.clone(), source_row };
+                if let Some(&source_row) =
+                    source_indexes.get(table).and_then(|idx| idx.get(&source_tuple))
+                {
+                    let entry =
+                        LineageEntry { result_row, source_table: table.clone(), source_row };
                     if !lineage.entries.contains(&entry) {
                         lineage.entries.push(entry);
                     }
@@ -168,13 +171,10 @@ impl TrioStyleDb {
             }
         }
 
-        let result_schema = Schema::new(
-            normal_positions.iter().map(|&i| schema.attributes()[i].clone()).collect(),
-        );
+        let result_schema =
+            Schema::new(normal_positions.iter().map(|&i| schema.attributes()[i].clone()).collect());
         let rows = result_rows.len();
-        self.db
-            .catalog()
-            .overwrite(name, Relation::from_parts(result_schema, result_rows))?;
+        self.db.catalog().overwrite(name, Relation::from_parts(result_schema, result_rows))?;
 
         // Materialise the lineage relation as an ordinary table, exactly like Trio does: later
         // tracing queries it through SQL, one result tuple at a time.
@@ -194,9 +194,10 @@ impl TrioStyleDb {
                 ])
             })
             .collect();
-        self.db
-            .catalog()
-            .overwrite(&lineage_table_name(name), Relation::from_parts(lineage_schema, lineage_rows))?;
+        self.db.catalog().overwrite(
+            &lineage_table_name(name),
+            Relation::from_parts(lineage_schema, lineage_rows),
+        )?;
 
         self.lineage.insert(name.to_ascii_lowercase(), lineage);
         self.derived.push(name.to_ascii_lowercase());
@@ -311,7 +312,10 @@ mod tests {
             .create_table_with_data(
                 "nation",
                 Relation::new(
-                    Schema::from_pairs(&[("n_nationkey", DataType::Int), ("n_name", DataType::Text)]),
+                    Schema::from_pairs(&[
+                        ("n_nationkey", DataType::Int),
+                        ("n_name", DataType::Text),
+                    ]),
                     vec![tuple![0, "GERMANY"], tuple![1, "FRANCE"]],
                 )
                 .unwrap(),
@@ -323,7 +327,12 @@ mod tests {
     #[test]
     fn derive_and_trace_simple_selection() {
         let mut trio = TrioStyleDb::new(catalog());
-        let rows = trio.derive_table("small_suppliers", "SELECT s_suppkey, s_name FROM supplier WHERE s_suppkey <= 3").unwrap();
+        let rows = trio
+            .derive_table(
+                "small_suppliers",
+                "SELECT s_suppkey, s_name FROM supplier WHERE s_suppkey <= 3",
+            )
+            .unwrap();
         assert_eq!(rows, 3);
         let lineage = trio.lineage_of("small_suppliers").unwrap();
         assert_eq!(lineage.len(), 3);
@@ -353,7 +362,8 @@ mod tests {
     #[test]
     fn multi_level_derivation_traces_to_base_tables() {
         let mut trio = TrioStyleDb::new(catalog());
-        trio.derive_table("level1", "SELECT s_suppkey, s_name FROM supplier WHERE s_suppkey <= 5").unwrap();
+        trio.derive_table("level1", "SELECT s_suppkey, s_name FROM supplier WHERE s_suppkey <= 5")
+            .unwrap();
         trio.derive_table("level2", "SELECT s_suppkey FROM level1 WHERE s_suppkey >= 4").unwrap();
         let traced = trio.trace("level2", 0).unwrap();
         // Tracing level2 row 0 goes through level1 down to the supplier base table.
@@ -367,6 +377,9 @@ mod tests {
     fn tracing_missing_rows_is_an_error() {
         let mut trio = TrioStyleDb::new(catalog());
         trio.derive_table("d", "SELECT s_suppkey FROM supplier WHERE s_suppkey = 1").unwrap();
-        assert!(trio.trace("d", 99).is_ok_and(|v| v.is_empty()), "no lineage entries for unknown rows");
+        assert!(
+            trio.trace("d", 99).is_ok_and(|v| v.is_empty()),
+            "no lineage entries for unknown rows"
+        );
     }
 }

@@ -20,14 +20,18 @@ fn bench_aspj(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("normal", agg_levels), &sql, |b, sql| {
             b.iter(|| db.execute_sql(sql).expect("query runs"));
         });
-        group.bench_with_input(BenchmarkId::new("provenance", agg_levels), &provenance_sql, |b, sql| {
-            b.iter(|| db.execute_sql(sql).expect("provenance query runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("provenance", agg_levels),
+            &provenance_sql,
+            |b, sql| {
+                b.iter(|| db.execute_sql(sql).expect("provenance query runs"));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))

@@ -14,7 +14,8 @@ fn bench_setops(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_set_operations");
     group.sample_size(10);
     for num_set_ops in 1..=5usize {
-        let sql = set_operation_query(&mut workload_rng("setop", num_set_ops as u64), num_set_ops, parts);
+        let sql =
+            set_operation_query(&mut workload_rng("setop", num_set_ops as u64), num_set_ops, parts);
         let provenance_sql = add_provenance_keyword(&sql);
         group.bench_with_input(BenchmarkId::new("normal", num_set_ops), &sql, |b, sql| {
             b.iter(|| db.execute_sql(sql).expect("query runs"));
@@ -30,7 +31,7 @@ fn bench_setops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))

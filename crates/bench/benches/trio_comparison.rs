@@ -38,7 +38,9 @@ fn bench_trio(c: &mut Criterion) {
     group.bench_function("trio_style_query_stored_provenance", |b| {
         b.iter(|| {
             (0..queries.len())
-                .map(|i| trio.trace_all(&format!("bench_trio_{i}")).expect("tracing succeeds").len())
+                .map(|i| {
+                    trio.trace_all(&format!("bench_trio_{i}")).expect("tracing succeeds").len()
+                })
                 .sum::<usize>()
         })
     });
@@ -46,7 +48,7 @@ fn bench_trio(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))

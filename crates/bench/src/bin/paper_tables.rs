@@ -39,7 +39,8 @@ fn main() {
             }
             "--variants" => {
                 i += 1;
-                config.variants = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(config.variants);
+                config.variants =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or(config.variants);
             }
             "--trio-queries" => {
                 i += 1;
@@ -65,8 +66,10 @@ fn main() {
         i += 1;
     }
     if figures_requested.is_empty() || figures_requested.contains("all") {
-        figures_requested =
-            ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"].iter().map(|s| s.to_string()).collect();
+        figures_requested = ["fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     println!("# Perm evaluation tables (ICDE 2009, §V)\n");

@@ -57,7 +57,8 @@ pub fn figure9(config: &BenchConfig) -> TextTable {
             with_rewriter += t_full;
             without_rewriter += t_plain;
         }
-        let overhead = with_rewriter.saturating_sub(without_rewriter) / config.variants.max(1) as u32;
+        let overhead =
+            with_rewriter.saturating_sub(without_rewriter) / config.variants.max(1) as u32;
 
         let mut row = vec![id.to_string(), format_duration(overhead)];
         for (_, db) in &databases {
@@ -123,7 +124,10 @@ pub fn figure10_and_11(config: &BenchConfig) -> (TextTable, TextTable) {
 }
 
 /// Build the Figure 10 / Figure 11 tables from pre-computed outcomes.
-pub fn tables_from_outcomes(config: &BenchConfig, outcomes: &[TpchOutcome]) -> (TextTable, TextTable) {
+pub fn tables_from_outcomes(
+    config: &BenchConfig,
+    outcomes: &[TpchOutcome],
+) -> (TextTable, TextTable) {
     let mut headers = vec!["Query".to_string()];
     for scale in &config.scales {
         headers.push(format!("{} normal", scale.label()));
@@ -290,7 +294,8 @@ pub fn figure15(config: &BenchConfig, queries_per_scale: usize) -> TextTable {
         let mut trio = TrioStyleDb::new(db.catalog().clone());
         let (derive_time, _) = time_it(|| {
             for (i, q) in queries.iter().enumerate() {
-                trio.derive_table(&format!("trio_derived_{i}"), q).expect("derivation must succeed");
+                trio.derive_table(&format!("trio_derived_{i}"), q)
+                    .expect("derivation must succeed");
             }
         });
         let (trace_time, traced) = time_it(|| {
@@ -346,16 +351,10 @@ mod tests {
         assert_eq!(f13.rows.len(), 6);
         // Figure 14 sweeps 1..=10 aggregation levels; restrict to a cheaper sub-range here by
         // reusing the sweep helper directly.
-        let f14 = sweep_table(
-            "fig14-test",
-            "agg",
-            &[1, 2, 3],
-            &config,
-            |db, agg, _| {
-                let parts = db.catalog().table_row_count("part").unwrap_or(1);
-                nested_aggregation_query(agg, parts)
-            },
-        );
+        let f14 = sweep_table("fig14-test", "agg", &[1, 2, 3], &config, |db, agg, _| {
+            let parts = db.catalog().table_row_count("part").unwrap_or(1);
+            nested_aggregation_query(agg, parts)
+        });
         assert_eq!(f14.rows.len(), 3);
         for row in f12.rows.iter().chain(&f13.rows).chain(&f14.rows) {
             assert!(!row[1].contains("error"), "unexpected error cell in {row:?}");

@@ -248,7 +248,7 @@ pub fn group_thousands(n: usize) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push('\'');
         }
         out.push(c);
@@ -299,7 +299,9 @@ impl TextTable {
             let padded: Vec<String> = cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect();
             format!("| {} |\n", padded.join(" | "))
         };
@@ -323,10 +325,7 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(250)), "250.0µs");
         assert_eq!(group_thousands(6_001_215), "6'001'215");
         assert_eq!(group_thousands(42), "42");
-        assert_eq!(
-            format_factor(Duration::from_secs(3), Duration::from_secs(1)),
-            "3.0x"
-        );
+        assert_eq!(format_factor(Duration::from_secs(3), Duration::from_secs(1)), "3.0x");
     }
 
     #[test]

@@ -106,7 +106,12 @@ impl PermDb {
 
     /// Create a database over an existing catalog (shares the underlying data).
     pub fn with_catalog(catalog: Catalog, options: ProvenanceOptions) -> PermDb {
-        PermDb { catalog, options, rewriter: Arc::new(ProvenanceRewriter::new()), optimizer: Optimizer::new() }
+        PermDb {
+            catalog,
+            options,
+            rewriter: Arc::new(ProvenanceRewriter::new()),
+            optimizer: Optimizer::new(),
+        }
     }
 
     /// The catalog backing this database.
@@ -299,14 +304,8 @@ mod tests {
         );
         assert_eq!(result.num_rows(), 5);
         let sorted = result.sorted();
-        assert_eq!(
-            sorted.tuples()[0],
-            tuple!["Joba", 50, "Joba", 14, "Joba", 3, 3, 25]
-        );
-        assert_eq!(
-            sorted.tuples()[2],
-            tuple!["Merdies", 120, "Merdies", 3, "Merdies", 1, 1, 100]
-        );
+        assert_eq!(sorted.tuples()[0], tuple!["Joba", 50, "Joba", 14, "Joba", 3, 3, 25]);
+        assert_eq!(sorted.tuples()[2], tuple!["Merdies", 120, "Merdies", 3, "Merdies", 1, 1, 100]);
     }
 
     #[test]
@@ -351,7 +350,8 @@ mod tests {
     #[test]
     fn select_into_stores_provenance_eagerly() {
         let db = shop_db();
-        db.execute_sql("SELECT PROVENANCE id, price INTO item_prov FROM items WHERE price > 20").unwrap();
+        db.execute_sql("SELECT PROVENANCE id, price INTO item_prov FROM items WHERE price > 20")
+            .unwrap();
         assert!(db.catalog().has_table("item_prov"));
         let stored = db.execute_sql("SELECT * FROM item_prov").unwrap();
         assert_eq!(stored.num_rows(), 2);
@@ -364,7 +364,10 @@ mod tests {
         let rows = db.store_provenance("stored", "SELECT sum(price) AS total FROM items").unwrap();
         assert_eq!(rows, 3);
         let stored = db.execute_sql("SELECT * FROM stored").unwrap();
-        assert_eq!(stored.schema().attribute_names(), vec!["total", "prov_items_id", "prov_items_price"]);
+        assert_eq!(
+            stored.schema().attribute_names(),
+            vec!["total", "prov_items_id", "prov_items_price"]
+        );
     }
 
     #[test]
@@ -372,7 +375,10 @@ mod tests {
         // The paper's §IV-A.3 example: a view stores provenance; a later provenance query reuses
         // the stored provenance attributes instead of recomputing them.
         let db = shop_db();
-        db.execute_sql("CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items").unwrap();
+        db.execute_sql(
+            "CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items",
+        )
+        .unwrap();
         let result = db
             .execute_sql(
                 "SELECT PROVENANCE total * 10 AS total10 \
@@ -406,7 +412,8 @@ mod tests {
     #[test]
     fn provenance_views_compute_lazily() {
         let db = shop_db();
-        db.create_provenance_view("expensive_items_prov", "SELECT id FROM items WHERE price > 20").unwrap();
+        db.create_provenance_view("expensive_items_prov", "SELECT id FROM items WHERE price > 20")
+            .unwrap();
         let result = db.execute_sql("SELECT * FROM expensive_items_prov").unwrap();
         assert_eq!(result.num_rows(), 2);
         assert_eq!(result.schema().arity(), 3, "id plus two provenance attributes");
@@ -431,7 +438,8 @@ mod tests {
         let db = shop_db();
         let plan = db.plan_sql("SELECT PROVENANCE name FROM shop WHERE numEmpl < 10").unwrap();
         assert!(plan.schema().attribute_names().contains(&"prov_shop_name".to_string()));
-        let unoptimized = db.analyze_sql_plan("SELECT name FROM shop, sales WHERE name = sName").unwrap();
+        let unoptimized =
+            db.analyze_sql_plan("SELECT name FROM shop, sales WHERE name = sName").unwrap();
         let optimized = db.plan_sql("SELECT name FROM shop, sales WHERE name = sName").unwrap();
         assert!(optimized.node_count() <= unoptimized.node_count());
     }

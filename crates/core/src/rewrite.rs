@@ -65,7 +65,10 @@ impl Rewritten {
         self.prov_positions
             .iter()
             .map(|&p| {
-                let name = schema.attribute(p).map(|a| a.name.clone()).unwrap_or_else(|_| format!("prov_{p}"));
+                let name = schema
+                    .attribute(p)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|_| format!("prov_{p}"));
                 (ScalarExpr::column(p, name.clone()), name)
             })
             .collect()
@@ -110,9 +113,15 @@ impl ProvenanceRewriter {
             .collect())
     }
 
-    fn rewrite_node(&self, plan: &LogicalPlan, naming: &mut ProvenanceNaming) -> Result<Rewritten, PermError> {
+    fn rewrite_node(
+        &self,
+        plan: &LogicalPlan,
+        naming: &mut ProvenanceNaming,
+    ) -> Result<Rewritten, PermError> {
         match plan {
-            LogicalPlan::BaseRelation { name, .. } => Ok(self.rewrite_as_base_relation(plan, name, naming)),
+            LogicalPlan::BaseRelation { name, .. } => {
+                Ok(self.rewrite_as_base_relation(plan, name, naming))
+            }
             LogicalPlan::Values { .. } => Ok(self.rewrite_as_base_relation(plan, "values", naming)),
             LogicalPlan::ProvenanceAnnotation { input, kind } => match kind {
                 // SQL-PLE BASERELATION: limited provenance scope — rule R1 applied to the whole
@@ -147,7 +156,11 @@ impl ProvenanceRewriter {
                 let mut new_exprs = exprs.clone();
                 new_exprs.extend(child.prov_exprs());
                 let original_arity = exprs.len();
-                let plan = LogicalPlan::Projection { input: child.plan, exprs: new_exprs, distinct: *distinct };
+                let plan = LogicalPlan::Projection {
+                    input: child.plan,
+                    exprs: new_exprs,
+                    distinct: *distinct,
+                };
                 Ok(suffix_rewritten(plan, original_arity))
             }
             LogicalPlan::Selection { input, predicate } => {
@@ -175,9 +188,9 @@ impl ProvenanceRewriter {
                 let l_arity = l.arity();
                 // The original join condition refers to (T1 ++ T2); in (T1+ ++ T2+) the right
                 // side's original attributes moved right by the width of T1's P-list.
-                let remapped = condition
-                    .as_ref()
-                    .map(|c| c.map_columns(&mut |i| if i < l_orig { i } else { i - l_orig + l_arity }));
+                let remapped = condition.as_ref().map(|c| {
+                    c.map_columns(&mut |i| if i < l_orig { i } else { i - l_orig + l_arity })
+                });
                 let join = LogicalPlan::Join {
                     left: l.plan.clone(),
                     right: r.plan.clone(),
@@ -207,7 +220,8 @@ impl ProvenanceRewriter {
                     exprs.push((ScalarExpr::column(pos, name.clone()), name));
                 }
                 let original_arity = l_orig + r_orig;
-                let plan = LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
+                let plan =
+                    LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
                 Ok(suffix_rewritten(plan, original_arity))
             }
             LogicalPlan::Aggregation { input, group_by, aggregates } => {
@@ -223,7 +237,11 @@ impl ProvenanceRewriter {
                     .map(|(i, (g, name))| (g.clone(), format!("hat_{i}_{name}")))
                     .collect();
                 right_exprs.extend(child.prov_exprs());
-                let right = LogicalPlan::Projection { input: child.plan.clone(), exprs: right_exprs, distinct: false };
+                let right = LogicalPlan::Projection {
+                    input: child.plan.clone(),
+                    exprs: right_exprs,
+                    distinct: false,
+                };
 
                 // Join condition: G = Ĝ (null-safe equality). Empty G ⇒ cross product: every
                 // input tuple contributed to the single global aggregate.
@@ -233,8 +251,9 @@ impl ProvenanceRewriter {
                     Some(ScalarExpr::conjunction(
                         (0..group_by.len())
                             .map(|i| {
-                                ScalarExpr::column(i, group_by[i].1.clone())
-                                    .null_safe_eq(ScalarExpr::column(agg_arity + i, format!("hat_{i}")))
+                                ScalarExpr::column(i, group_by[i].1.clone()).null_safe_eq(
+                                    ScalarExpr::column(agg_arity + i, format!("hat_{i}")),
+                                )
                             })
                             .collect(),
                     ))
@@ -260,7 +279,8 @@ impl ProvenanceRewriter {
                     let name = child_schema.attribute(p)?.name.clone();
                     exprs.push((ScalarExpr::column(right_offset + k, name.clone()), name));
                 }
-                let plan = LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
+                let plan =
+                    LogicalPlan::Projection { input: Arc::new(join), exprs, distinct: false };
                 Ok(suffix_rewritten(plan, agg_arity))
             }
             LogicalPlan::SetOp { left, right, kind, .. } => {
@@ -269,7 +289,10 @@ impl ProvenanceRewriter {
             LogicalPlan::Sort { input, keys } => {
                 let child = self.rewrite_node(input, naming)?;
                 Ok(Rewritten {
-                    plan: Arc::new(LogicalPlan::Sort { input: child.plan.clone(), keys: keys.clone() }),
+                    plan: Arc::new(LogicalPlan::Sort {
+                        input: child.plan.clone(),
+                        keys: keys.clone(),
+                    }),
                     original_arity: child.original_arity,
                     prov_positions: child.prov_positions,
                 })
@@ -322,7 +345,8 @@ impl ProvenanceRewriter {
             exprs.push((ScalarExpr::column(i, attr.name.clone()), prov_name));
         }
         let original_arity = schema.arity();
-        let rewritten = LogicalPlan::Projection { input: Arc::new(plan.clone()), exprs, distinct: false };
+        let rewritten =
+            LogicalPlan::Projection { input: Arc::new(plan.clone()), exprs, distinct: false };
         suffix_rewritten(rewritten, original_arity)
     }
 
@@ -349,7 +373,8 @@ impl ProvenanceRewriter {
             })
             .collect();
         left_exprs.extend(l.prov_exprs());
-        let left_side = LogicalPlan::Projection { input: l.plan.clone(), exprs: left_exprs, distinct: false };
+        let left_side =
+            LogicalPlan::Projection { input: l.plan.clone(), exprs: left_exprs, distinct: false };
         let p1 = l.prov_positions.len();
 
         // The join kind on the left side: union tuples may stem from only one input (left outer
@@ -386,16 +411,26 @@ impl ProvenanceRewriter {
                     })
                     .collect();
                 right_exprs.extend(r.prov_exprs());
-                let side = LogicalPlan::Projection { input: r.plan.clone(), exprs: right_exprs, distinct: false };
+                let side = LogicalPlan::Projection {
+                    input: r.plan.clone(),
+                    exprs: right_exprs,
+                    distinct: false,
+                };
                 let condition = ScalarExpr::conjunction(
                     (0..n)
                         .map(|i| {
-                            ScalarExpr::column(i, format!("c{i}"))
-                                .null_safe_eq(ScalarExpr::column(join1_arity + i, format!("rhat_{i}")))
+                            ScalarExpr::column(i, format!("c{i}")).null_safe_eq(ScalarExpr::column(
+                                join1_arity + i,
+                                format!("rhat_{i}"),
+                            ))
                         })
                         .collect(),
                 );
-                let join_kind = if kind == SetOpKind::Intersect { JoinKind::Inner } else { JoinKind::LeftOuter };
+                let join_kind = if kind == SetOpKind::Intersect {
+                    JoinKind::Inner
+                } else {
+                    JoinKind::LeftOuter
+                };
                 (side, condition, join_kind, n)
             }
             SetOpKind::Difference => {
@@ -494,7 +529,8 @@ impl ProvenanceRewriter {
             let sub = self.rewrite_node(sub_plan, naming)?;
             let offset = current_arity;
             let sub_schema = sub.plan.schema();
-            let first_col_name = sub_schema.attribute(0).map(|a| a.name.clone()).unwrap_or_else(|_| "sub".into());
+            let first_col_name =
+                sub_schema.attribute(0).map(|a| a.name.clone()).unwrap_or_else(|_| "sub".into());
             let sub_first_col = ScalarExpr::column(offset, first_col_name.clone());
 
             // The comparison that replaces the sublink when joined with one of its tuples.
@@ -813,7 +849,10 @@ mod tests {
         // the provenance query returns zero rows.
         let catalog = Catalog::new();
         catalog
-            .create_table("empty_items", Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Int)]))
+            .create_table(
+                "empty_items",
+                Schema::from_pairs(&[("id", DataType::Int), ("price", DataType::Int)]),
+            )
             .unwrap();
         let items = scan(&catalog, "empty_items", 0);
         let price = items.col("price").unwrap();
@@ -835,7 +874,10 @@ mod tests {
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("x", DataType::Int)]);
         catalog
-            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .create_table_with_data(
+                "a",
+                Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap(),
+            )
             .unwrap();
         catalog
             .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3]]).unwrap())
@@ -849,11 +891,13 @@ mod tests {
         let result = execute_plan(&catalog, &rewritten).unwrap().sorted();
         // x=1 stems only from a, x=3 only from b, x=2 from both sides (one row per side and
         // original occurrence).
-        let ones: Vec<_> = result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(1)).collect();
+        let ones: Vec<_> =
+            result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(1)).collect();
         assert_eq!(ones.len(), 1);
         assert_eq!(ones[0].values()[1], perm_algebra::Value::Int(1));
         assert!(ones[0].values()[2].is_null());
-        let threes: Vec<_> = result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(3)).collect();
+        let threes: Vec<_> =
+            result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::Int(3)).collect();
         assert_eq!(threes.len(), 1);
         assert!(threes[0].values()[1].is_null());
         assert_eq!(threes[0].values()[2], perm_algebra::Value::Int(3));
@@ -864,7 +908,10 @@ mod tests {
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("x", DataType::Int)]);
         catalog
-            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .create_table_with_data(
+                "a",
+                Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap(),
+            )
             .unwrap();
         catalog
             .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3]]).unwrap())
@@ -886,10 +933,16 @@ mod tests {
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("x", DataType::Int)]);
         catalog
-            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap())
+            .create_table_with_data(
+                "a",
+                Relation::new(schema.clone(), vec![tuple![1], tuple![2]]).unwrap(),
+            )
             .unwrap();
         catalog
-            .create_table_with_data("b", Relation::new(schema, vec![tuple![2], tuple![3], tuple![4]]).unwrap())
+            .create_table_with_data(
+                "b",
+                Relation::new(schema, vec![tuple![2], tuple![3], tuple![4]]).unwrap(),
+            )
             .unwrap();
         let plan = scan(&catalog, "a", 0)
             .set_op(scan(&catalog, "b", 1), SetOpKind::Difference, SetSemantics::Bag)
@@ -922,7 +975,8 @@ mod tests {
             negated: false,
             plan: sales_sub.build_arc(),
         };
-        let predicate = ScalarExpr::binary(BinaryOperator::Lt, numempl, ScalarExpr::literal(10i64)).or(sublink);
+        let predicate =
+            ScalarExpr::binary(BinaryOperator::Lt, numempl, ScalarExpr::literal(10i64)).or(sublink);
         let plan = shop.filter(predicate).project_columns(&["name"]).unwrap().build();
 
         // Normal execution: both shops qualify (Merdies via numempl, Joba via the sublink).
@@ -950,11 +1004,8 @@ mod tests {
         // All five sales tuples contribute to Merdies because the condition is true regardless
         // of the sublink.
         assert_eq!(merdies.len(), 5);
-        let joba: Vec<_> = result
-            .tuples()
-            .iter()
-            .filter(|t| t[0] == perm_algebra::Value::text("Joba"))
-            .collect();
+        let joba: Vec<_> =
+            result.tuples().iter().filter(|t| t[0] == perm_algebra::Value::text("Joba")).collect();
         // Joba only qualifies through the IN condition: its provenance are the matching tuples.
         assert_eq!(joba.len(), 2);
         assert!(joba.iter().all(|t| t[3] == perm_algebra::Value::text("Joba")));
@@ -1021,7 +1072,11 @@ mod tests {
         };
         let plan = PlanBuilder::from_plan(annotated)
             .project(vec![(
-                ScalarExpr::binary(BinaryOperator::Mul, ScalarExpr::column(0, "total"), ScalarExpr::literal(10i64)),
+                ScalarExpr::binary(
+                    BinaryOperator::Mul,
+                    ScalarExpr::column(0, "total"),
+                    ScalarExpr::literal(10i64),
+                ),
                 "total10".into(),
             )])
             .build();
@@ -1059,7 +1114,11 @@ mod tests {
         };
         let plan = PlanBuilder::from_plan(annotated)
             .project(vec![(
-                ScalarExpr::binary(BinaryOperator::Mul, ScalarExpr::column(0, "total"), ScalarExpr::literal(10i64)),
+                ScalarExpr::binary(
+                    BinaryOperator::Mul,
+                    ScalarExpr::column(0, "total"),
+                    ScalarExpr::literal(10i64),
+                ),
                 "total10".into(),
             )])
             .build();

@@ -11,10 +11,12 @@ use crate::error::ExecError;
 /// matches the schema the expression was bound against (the executor guarantees this).
 pub fn evaluate(expr: &ScalarExpr, tuple: &Tuple) -> Result<Value, ExecError> {
     match expr {
-        ScalarExpr::Column { index, name } => tuple
-            .get(*index)
-            .cloned()
-            .ok_or_else(|| ExecError::Internal(format!("column {name} (#{index}) out of bounds for tuple of arity {}", tuple.arity()))),
+        ScalarExpr::Column { index, name } => tuple.get(*index).cloned().ok_or_else(|| {
+            ExecError::Internal(format!(
+                "column {name} (#{index}) out of bounds for tuple of arity {}",
+                tuple.arity()
+            ))
+        }),
         ScalarExpr::Literal(v) => Ok(v.clone()),
         ScalarExpr::BinaryOp { op, left, right } => evaluate_binary(*op, left, right, tuple),
         ScalarExpr::UnaryOp { op, expr } => {
@@ -135,7 +137,9 @@ fn evaluate_binary(
         BinaryOperator::Eq => bool_or_null(l.sql_eq(&r)),
         BinaryOperator::NotEq => bool_or_null(l.sql_eq(&r).map(|b| !b)),
         BinaryOperator::Lt => bool_or_null(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less)),
-        BinaryOperator::LtEq => bool_or_null(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Greater)),
+        BinaryOperator::LtEq => {
+            bool_or_null(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Greater))
+        }
         BinaryOperator::Gt => bool_or_null(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater)),
         BinaryOperator::GtEq => bool_or_null(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Less)),
         BinaryOperator::Like => like_value(&l, &r, false)?,
@@ -199,7 +203,8 @@ fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, Exec
         return Ok(Value::Null);
     }
     let arg = |i: usize| -> Result<&Value, ExecError> {
-        args.get(i).ok_or_else(|| ExecError::Internal(format!("{}: missing argument {i}", func.name())))
+        args.get(i)
+            .ok_or_else(|| ExecError::Internal(format!("{}: missing argument {i}", func.name())))
     };
     Ok(match func {
         Substring => {
@@ -223,7 +228,10 @@ fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, Exec
             Value::Int(i) => Value::Int(i.abs()),
             Value::Float(f) => Value::Float(f.abs()),
             other => {
-                return Err(ExecError::Internal(format!("abs: unsupported type {}", other.data_type())))
+                return Err(ExecError::Internal(format!(
+                    "abs: unsupported type {}",
+                    other.data_type()
+                )))
             }
         },
         Round => {
@@ -396,7 +404,11 @@ mod tests {
         let t = Tuple::empty();
         let call = |func, args: Vec<ScalarExpr>| ScalarExpr::Function { func, args };
         assert_eq!(
-            evaluate(&call(ScalarFunction::Substring, vec![lit("Customer#42"), lit(10i64), lit(2i64)]), &t).unwrap(),
+            evaluate(
+                &call(ScalarFunction::Substring, vec![lit("Customer#42"), lit(10i64), lit(2i64)]),
+                &t
+            )
+            .unwrap(),
             Value::text("42")
         );
         assert_eq!(
@@ -404,7 +416,11 @@ mod tests {
             Value::text("BRASS")
         );
         assert_eq!(
-            evaluate(&call(ScalarFunction::Coalesce, vec![ScalarExpr::Literal(Value::Null), lit(7i64)]), &t).unwrap(),
+            evaluate(
+                &call(ScalarFunction::Coalesce, vec![ScalarExpr::Literal(Value::Null), lit(7i64)]),
+                &t
+            )
+            .unwrap(),
             Value::Int(7)
         );
         let d = ScalarExpr::Literal(Value::date_from_str("1994-01-01").unwrap());

@@ -149,10 +149,8 @@ impl Executor {
             LogicalPlan::Join { left, right, kind, condition } => {
                 let left_rows = self.run(left, ctx)?;
                 let right_rows = self.run(right, ctx)?;
-                let condition = condition
-                    .as_ref()
-                    .map(|c| self.resolve_sublinks(c, ctx))
-                    .transpose()?;
+                let condition =
+                    condition.as_ref().map(|c| self.resolve_sublinks(c, ctx)).transpose()?;
                 self.join(
                     left_rows,
                     right_rows,
@@ -172,7 +170,8 @@ impl Executor {
                 let aggregates: Vec<(AggregateExpr, String)> = aggregates
                     .iter()
                     .map(|(a, n)| {
-                        let arg = a.arg.as_ref().map(|e| self.resolve_sublinks(e, ctx)).transpose()?;
+                        let arg =
+                            a.arg.as_ref().map(|e| self.resolve_sublinks(e, ctx)).transpose()?;
                         Ok((AggregateExpr { func: a.func, arg, distinct: a.distinct }, n.clone()))
                     })
                     .collect::<Result<_, ExecError>>()?;
@@ -202,7 +201,11 @@ impl Executor {
     /// Replace uncorrelated sublinks with their evaluated results: `EXISTS` becomes a boolean
     /// literal, a scalar subquery becomes a value literal, and `IN (SELECT ...)` becomes an
     /// `IN (value, ...)` list. Each subquery plan is executed exactly once.
-    fn resolve_sublinks(&self, expr: &ScalarExpr, ctx: &ExecContext) -> Result<ScalarExpr, ExecError> {
+    fn resolve_sublinks(
+        &self,
+        expr: &ScalarExpr,
+        ctx: &ExecContext,
+    ) -> Result<ScalarExpr, ExecError> {
         if !expr.has_sublink() {
             return Ok(expr.clone());
         }
@@ -220,7 +223,8 @@ impl Executor {
                         ScalarExpr::Literal(Value::Bool(rows.is_empty() == *negated))
                     }
                     perm_algebra::SublinkKind::Scalar => {
-                        let value = rows.first().and_then(|t| t.get(0)).cloned().unwrap_or(Value::Null);
+                        let value =
+                            rows.first().and_then(|t| t.get(0)).cloned().unwrap_or(Value::Null);
                         ScalarExpr::Literal(value)
                     }
                     perm_algebra::SublinkKind::InSubquery => {
@@ -267,7 +271,8 @@ impl Executor {
             Some(c) => split_equi_join_condition(c, left_arity),
             None => (Vec::new(), Vec::new()),
         };
-        let residual = if residual.is_empty() { None } else { Some(ScalarExpr::conjunction(residual)) };
+        let residual =
+            if residual.is_empty() { None } else { Some(ScalarExpr::conjunction(residual)) };
 
         let mut out: Vec<Tuple> = Vec::new();
         let mut right_matched = vec![false; right_rows.len()];
@@ -276,7 +281,9 @@ impl Executor {
             // Hash join: build on the right, probe from the left.
             let mut table: HashMap<Tuple, Vec<usize>> = HashMap::new();
             for (i, row) in right_rows.iter().enumerate() {
-                if let Some(key) = join_key(row, &equi_keys, |k| k.right - left_arity, |k| k.null_safe) {
+                if let Some(key) =
+                    join_key(row, &equi_keys, |k| k.right - left_arity, |k| k.null_safe)
+                {
                     table.entry(key).or_default().push(i);
                 }
             }
@@ -350,13 +357,19 @@ struct EquiKey {
 }
 
 /// Split a join condition into hashable equi-key pairs and a residual predicate.
-fn split_equi_join_condition(condition: &ScalarExpr, left_arity: usize) -> (Vec<EquiKey>, Vec<ScalarExpr>) {
+fn split_equi_join_condition(
+    condition: &ScalarExpr,
+    left_arity: usize,
+) -> (Vec<EquiKey>, Vec<ScalarExpr>) {
     let mut keys = Vec::new();
     let mut residual = Vec::new();
     for conjunct in condition.split_conjunction() {
         if let ScalarExpr::BinaryOp { op, left, right } = conjunct {
             let null_safe = *op == BinaryOperator::IsNotDistinctFrom;
-            if (*op == BinaryOperator::Eq || null_safe) && left.as_column().is_some() && right.as_column().is_some() {
+            if (*op == BinaryOperator::Eq || null_safe)
+                && left.as_column().is_some()
+                && right.as_column().is_some()
+            {
                 let a = left.as_column().expect("checked");
                 let b = right.as_column().expect("checked");
                 let (l, r) = if a < left_arity && b >= left_arity {
@@ -543,7 +556,9 @@ fn aggregate(
             Some(a) => a,
             None => {
                 order.push(key.clone());
-                groups.entry(key).or_insert_with(|| aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect())
+                groups.entry(key).or_insert_with(|| {
+                    aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect()
+                })
             }
         };
         for ((agg, _), acc) in aggregates.iter().zip(accs.iter_mut()) {
@@ -831,17 +846,27 @@ mod tests {
         catalog
             .create_table_with_data(
                 "l",
-                Relation::new(Schema::from_pairs(&[("id", DataType::Int)]), vec![tuple![1], tuple![2]]).unwrap(),
+                Relation::new(
+                    Schema::from_pairs(&[("id", DataType::Int)]),
+                    vec![tuple![1], tuple![2]],
+                )
+                .unwrap(),
             )
             .unwrap();
         catalog
             .create_table_with_data(
                 "r",
-                Relation::new(Schema::from_pairs(&[("rid", DataType::Int)]), vec![tuple![2], tuple![3]]).unwrap(),
+                Relation::new(
+                    Schema::from_pairs(&[("rid", DataType::Int)]),
+                    vec![tuple![2], tuple![3]],
+                )
+                .unwrap(),
             )
             .unwrap();
         let cond = ScalarExpr::column(0, "id").eq(ScalarExpr::column(1, "rid"));
-        let plan = scan(&catalog, "l", 0).join(scan(&catalog, "r", 1), JoinKind::FullOuter, Some(cond)).build();
+        let plan = scan(&catalog, "l", 0)
+            .join(scan(&catalog, "r", 1), JoinKind::FullOuter, Some(cond))
+            .build();
         let result = execute_plan(&catalog, &plan).unwrap();
         assert_eq!(result.num_rows(), 3);
     }
@@ -851,13 +876,19 @@ mod tests {
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("k", DataType::Int)]);
         let rows = vec![tuple![1], Tuple::new(vec![Value::Null])];
-        catalog.create_table_with_data("a", Relation::new(schema.clone(), rows.clone()).unwrap()).unwrap();
+        catalog
+            .create_table_with_data("a", Relation::new(schema.clone(), rows.clone()).unwrap())
+            .unwrap();
         catalog.create_table_with_data("b", Relation::new(schema, rows).unwrap()).unwrap();
         let eq_cond = ScalarExpr::column(0, "k").eq(ScalarExpr::column(1, "k"));
-        let plan = scan(&catalog, "a", 0).join(scan(&catalog, "b", 1), JoinKind::Inner, Some(eq_cond)).build();
+        let plan = scan(&catalog, "a", 0)
+            .join(scan(&catalog, "b", 1), JoinKind::Inner, Some(eq_cond))
+            .build();
         assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 1);
         let ns_cond = ScalarExpr::column(0, "k").null_safe_eq(ScalarExpr::column(1, "k"));
-        let plan = scan(&catalog, "a", 0).join(scan(&catalog, "b", 1), JoinKind::Inner, Some(ns_cond)).build();
+        let plan = scan(&catalog, "a", 0)
+            .join(scan(&catalog, "b", 1), JoinKind::Inner, Some(ns_cond))
+            .build();
         assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 2);
     }
 
@@ -888,9 +919,7 @@ mod tests {
     #[test]
     fn aggregation_over_empty_input_without_groups_yields_one_row() {
         let catalog = Catalog::new();
-        catalog
-            .create_table("empty", Schema::from_pairs(&[("x", DataType::Int)]))
-            .unwrap();
+        catalog.create_table("empty", Schema::from_pairs(&[("x", DataType::Int)])).unwrap();
         let t = scan(&catalog, "empty", 0);
         let x = t.col("x").unwrap();
         let plan = t
@@ -922,7 +951,11 @@ mod tests {
                     (AggregateExpr::new(AggregateFunction::Min, itemid.clone()), "min_item".into()),
                     (AggregateExpr::new(AggregateFunction::Max, itemid.clone()), "max_item".into()),
                     (
-                        AggregateExpr { func: AggregateFunction::Count, arg: Some(itemid), distinct: true },
+                        AggregateExpr {
+                            func: AggregateFunction::Count,
+                            arg: Some(itemid),
+                            distinct: true,
+                        },
                         "distinct_items".into(),
                     ),
                 ],
@@ -942,13 +975,17 @@ mod tests {
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("x", DataType::Int)]);
         catalog
-            .create_table_with_data("a", Relation::new(schema.clone(), vec![tuple![1], tuple![1], tuple![2]]).unwrap())
+            .create_table_with_data(
+                "a",
+                Relation::new(schema.clone(), vec![tuple![1], tuple![1], tuple![2]]).unwrap(),
+            )
             .unwrap();
         catalog
             .create_table_with_data("b", Relation::new(schema, vec![tuple![1], tuple![3]]).unwrap())
             .unwrap();
         let run = |kind, semantics| {
-            let plan = scan(&catalog, "a", 0).set_op(scan(&catalog, "b", 1), kind, semantics).build();
+            let plan =
+                scan(&catalog, "a", 0).set_op(scan(&catalog, "b", 1), kind, semantics).build();
             execute_plan(&catalog, &plan).unwrap().sorted()
         };
         assert_eq!(run(SetOpKind::Union, SetSemantics::Bag).num_rows(), 5);

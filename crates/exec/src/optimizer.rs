@@ -117,7 +117,12 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
                 (JoinKind::Inner, Some(ScalarExpr::conjunction(all_join_preds)))
             };
 
-            Ok(LogicalPlan::Join { left: new_left, right: new_right, kind: new_kind, condition: new_condition })
+            Ok(LogicalPlan::Join {
+                left: new_left,
+                right: new_right,
+                kind: new_kind,
+                condition: new_condition,
+            })
         }
         // Push through operators that do not change column positions.
         LogicalPlan::SubqueryAlias { input: inner, alias } => {
@@ -267,7 +272,9 @@ pub fn fold_expr(expr: &ScalarExpr) -> ScalarExpr {
             }
             (Or, Some(false), _) => return (**right).clone(),
             (Or, _, Some(false)) => return (**left).clone(),
-            (Or, Some(true), _) | (Or, _, Some(true)) => return ScalarExpr::Literal(Value::Bool(true)),
+            (Or, Some(true), _) | (Or, _, Some(true)) => {
+                return ScalarExpr::Literal(Value::Bool(true))
+            }
             _ => {}
         }
     }
@@ -290,10 +297,8 @@ fn rebuild_with(
     if children.is_empty() {
         return Ok(plan.clone());
     }
-    let new_children = children
-        .into_iter()
-        .map(|c| f(c).map(Arc::new))
-        .collect::<Result<Vec<_>, _>>()?;
+    let new_children =
+        children.into_iter().map(|c| f(c).map(Arc::new)).collect::<Result<Vec<_>, _>>()?;
     Ok(plan.with_new_children(new_children)?)
 }
 
@@ -303,7 +308,11 @@ mod tests {
     use perm_algebra::{DataType, PlanBuilder, Schema};
 
     fn scans() -> (PlanBuilder, PlanBuilder) {
-        let a = PlanBuilder::scan("a", Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]), 0);
+        let a = PlanBuilder::scan(
+            "a",
+            Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]),
+            0,
+        );
         let b = PlanBuilder::scan("b", Schema::from_pairs(&[("z", DataType::Int)]), 1);
         (a, b)
     }
@@ -370,7 +379,8 @@ mod tests {
             ScalarExpr::literal(2i64),
         );
         assert_eq!(fold_expr(&e), ScalarExpr::Literal(Value::Int(3)));
-        let e = ScalarExpr::literal(true).and(ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)));
+        let e =
+            ScalarExpr::literal(true).and(ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)));
         assert_eq!(fold_expr(&e), ScalarExpr::column(0, "x").eq(ScalarExpr::literal(1i64)));
     }
 

@@ -24,13 +24,9 @@ fn catalog_with(tables: &[(&str, &[(i64, i64)])]) -> Catalog {
         ("v", perm_algebra::DataType::Int),
     ]);
     for (name, rows) in tables {
-        let tuples = rows
-            .iter()
-            .map(|(k, v)| Tuple::new(vec![Value::Int(*k), Value::Int(*v)]))
-            .collect();
-        catalog
-            .create_table_with_data(name, Relation::from_parts(schema.clone(), tuples))
-            .unwrap();
+        let tuples =
+            rows.iter().map(|(k, v)| Tuple::new(vec![Value::Int(*k), Value::Int(*v)])).collect();
+        catalog.create_table_with_data(name, Relation::from_parts(schema.clone(), tuples)).unwrap();
     }
     catalog
 }

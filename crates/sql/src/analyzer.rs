@@ -11,8 +11,8 @@ use std::sync::Arc;
 
 use perm_algebra::{
     AggregateExpr, AggregateFunction, Attribute, BinaryOperator, JoinKind, LogicalPlan,
-    ProvenanceAnnotationKind, ScalarExpr, ScalarFunction, Schema, SetOpKind, SetSemantics,
-    SortKey, SublinkKind, Tuple, UnaryOperator, Value,
+    ProvenanceAnnotationKind, ScalarExpr, ScalarFunction, Schema, SetOpKind, SetSemantics, SortKey,
+    SublinkKind, Tuple, UnaryOperator, Value,
 };
 use perm_storage::Catalog;
 
@@ -95,9 +95,7 @@ pub struct Analyzer {
 
 impl std::fmt::Debug for Analyzer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Analyzer")
-            .field("has_rewriter", &self.rewriter.is_some())
-            .finish()
+        f.debug_struct("Analyzer").field("has_rewriter", &self.rewriter.is_some()).finish()
     }
 }
 
@@ -181,7 +179,9 @@ impl Analyzer {
                     body_sql: body_sql.clone(),
                 })
             }
-            Statement::Insert { table, columns, source } => self.analyze_insert(table, columns.as_deref(), source),
+            Statement::Insert { table, columns, source } => {
+                self.analyze_insert(table, columns.as_deref(), source)
+            }
             Statement::Query(query) => {
                 let mut ctx = AnalyzeContext::default();
                 let into = extract_into(query);
@@ -271,7 +271,11 @@ impl Analyzer {
 
     // ----- queries -------------------------------------------------------------------------
 
-    fn analyze_query(&self, query: &Query, ctx: &mut AnalyzeContext) -> Result<LogicalPlan, SqlError> {
+    fn analyze_query(
+        &self,
+        query: &Query,
+        ctx: &mut AnalyzeContext,
+    ) -> Result<LogicalPlan, SqlError> {
         let (mut plan, provenance) = self.analyze_set_expr(&query.body, ctx)?;
 
         if provenance {
@@ -313,7 +317,8 @@ impl Analyzer {
         let expr = match &item.expr {
             // Ordinal: ORDER BY 2
             Expr::Literal(Literal::Number(n)) if !n.contains('.') => {
-                let idx: usize = n.parse().map_err(|_| SqlError::analyze("invalid ORDER BY ordinal"))?;
+                let idx: usize =
+                    n.parse().map_err(|_| SqlError::analyze("invalid ORDER BY ordinal"))?;
                 if idx == 0 || idx > schema.arity() {
                     return Err(SqlError::analyze(format!("ORDER BY ordinal {idx} out of range")));
                 }
@@ -321,7 +326,14 @@ impl Analyzer {
             }
             other => self.bind_expr(other, schema, ctx, None)?,
         };
-        Ok(SortKey { expr, order: if item.asc { perm_algebra::SortOrder::Ascending } else { perm_algebra::SortOrder::Descending } })
+        Ok(SortKey {
+            expr,
+            order: if item.asc {
+                perm_algebra::SortOrder::Ascending
+            } else {
+                perm_algebra::SortOrder::Descending
+            },
+        })
     }
 
     fn analyze_set_expr(
@@ -362,7 +374,11 @@ impl Analyzer {
         }
     }
 
-    fn analyze_select(&self, select: &Select, ctx: &mut AnalyzeContext) -> Result<LogicalPlan, SqlError> {
+    fn analyze_select(
+        &self,
+        select: &Select,
+        ctx: &mut AnalyzeContext,
+    ) -> Result<LogicalPlan, SqlError> {
         // 1. FROM clause.
         let mut plan: LogicalPlan = match select.from.split_first() {
             None => LogicalPlan::Values { schema: Schema::empty(), rows: vec![Tuple::empty()] },
@@ -418,7 +434,9 @@ impl Analyzer {
             for (i, g) in agg_group_asts.iter().enumerate() {
                 let bound = self.bind_expr(g, &input_schema, ctx, None)?;
                 let name = match g {
-                    Expr::Identifier(name) => name.rsplit('.').next().unwrap_or(name).to_ascii_lowercase(),
+                    Expr::Identifier(name) => {
+                        name.rsplit('.').next().unwrap_or(name).to_ascii_lowercase()
+                    }
                     _ => format!("group_{i}"),
                 };
                 group_by.push((bound, name));
@@ -465,13 +483,22 @@ impl Analyzer {
                 SelectItem::QualifiedWildcard(qualifier) => {
                     let mut found = false;
                     for (i, attr) in current_schema.iter() {
-                        if attr.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(qualifier)) {
-                            exprs.push((ScalarExpr::column(i, attr.name.clone()), attr.name.clone()));
+                        if attr
+                            .qualifier
+                            .as_deref()
+                            .is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+                        {
+                            exprs.push((
+                                ScalarExpr::column(i, attr.name.clone()),
+                                attr.name.clone(),
+                            ));
                             found = true;
                         }
                     }
                     if !found {
-                        return Err(SqlError::analyze(format!("unknown relation alias '{qualifier}' in wildcard")));
+                        return Err(SqlError::analyze(format!(
+                            "unknown relation alias '{qualifier}' in wildcard"
+                        )));
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
@@ -493,7 +520,11 @@ impl Analyzer {
         Ok(plan)
     }
 
-    fn analyze_table_ref(&self, table_ref: &TableRef, ctx: &mut AnalyzeContext) -> Result<LogicalPlan, SqlError> {
+    fn analyze_table_ref(
+        &self,
+        table_ref: &TableRef,
+        ctx: &mut AnalyzeContext,
+    ) -> Result<LogicalPlan, SqlError> {
         match table_ref {
             TableRef::Table { name, alias, annotation } => {
                 let lname = name.to_ascii_lowercase();
@@ -508,7 +539,9 @@ impl Analyzer {
                     }
                 } else if let Some(view) = self.catalog.view(&lname) {
                     if ctx.view_stack.iter().any(|v| v == &lname) {
-                        return Err(SqlError::analyze(format!("recursive view reference '{lname}'")));
+                        return Err(SqlError::analyze(format!(
+                            "recursive view reference '{lname}'"
+                        )));
                     }
                     ctx.view_stack.push(lname.clone());
                     let query = parser::parse_query(&view.sql)?;
@@ -571,7 +604,9 @@ impl Analyzer {
             return Ok(AggregateExpr { func, arg: None, distinct: *distinct });
         }
         if args.len() != 1 {
-            return Err(SqlError::analyze(format!("aggregate '{name}' takes exactly one argument")));
+            return Err(SqlError::analyze(format!(
+                "aggregate '{name}' takes exactly one argument"
+            )));
         }
         let arg = self.bind_expr(&args[0], schema, ctx, None)?;
         Ok(AggregateExpr { func, arg: Some(arg), distinct: *distinct })
@@ -594,11 +629,10 @@ impl Analyzer {
             if expr.contains_aggregate() {
                 if let Expr::Function { name, .. } = expr {
                     if ast::is_aggregate_name(name) {
-                        let pos = agg_ctx
-                            .agg_asts
-                            .iter()
-                            .position(|a| ast_equal(a, expr))
-                            .ok_or_else(|| SqlError::analyze("internal: aggregate call not collected"))?;
+                        let pos =
+                            agg_ctx.agg_asts.iter().position(|a| ast_equal(a, expr)).ok_or_else(
+                                || SqlError::analyze("internal: aggregate call not collected"),
+                            )?;
                         let idx = agg_ctx.group_asts.len() + pos;
                         let attr = agg_ctx.schema.attribute(idx)?;
                         return Ok(ScalarExpr::column(idx, attr.name.clone()));
@@ -632,7 +666,9 @@ impl Analyzer {
                 }
                 other => ScalarExpr::Literal(literal_value(other)?),
             },
-            Expr::BinaryOp { left, op, right } => self.bind_binary(left, *op, right, schema, ctx, agg)?,
+            Expr::BinaryOp { left, op, right } => {
+                self.bind_binary(left, *op, right, schema, ctx, agg)?
+            }
             Expr::UnaryMinus(inner) => ScalarExpr::UnaryOp {
                 op: UnaryOperator::Neg,
                 expr: Box::new(self.bind_expr(inner, schema, ctx, agg)?),
@@ -648,7 +684,9 @@ impl Analyzer {
                     )));
                 }
                 if *star {
-                    return Err(SqlError::analyze(format!("'*' argument is only valid in count(*), not {name}(*)")));
+                    return Err(SqlError::analyze(format!(
+                        "'*' argument is only valid in count(*), not {name}(*)"
+                    )));
                 }
                 let func = ScalarFunction::from_name(name)
                     .ok_or_else(|| SqlError::analyze(format!("unknown function '{name}'")))?;
@@ -666,7 +704,10 @@ impl Analyzer {
                 branches: branches
                     .iter()
                     .map(|(w, t)| {
-                        Ok((self.bind_expr(w, schema, ctx, agg)?, self.bind_expr(t, schema, ctx, agg)?))
+                        Ok((
+                            self.bind_expr(w, schema, ctx, agg)?,
+                            self.bind_expr(t, schema, ctx, agg)?,
+                        ))
                     })
                     .collect::<Result<Vec<_>, SqlError>>()?,
                 else_expr: else_expr
@@ -730,7 +771,11 @@ impl Analyzer {
                     "year" => ScalarFunction::ExtractYear,
                     "month" => ScalarFunction::ExtractMonth,
                     "day" => ScalarFunction::ExtractDay,
-                    other => return Err(SqlError::analyze(format!("unsupported EXTRACT field '{other}'"))),
+                    other => {
+                        return Err(SqlError::analyze(format!(
+                            "unsupported EXTRACT field '{other}'"
+                        )))
+                    }
                 };
                 ScalarExpr::Function { func, args: vec![self.bind_expr(expr, schema, ctx, agg)?] }
             }
@@ -788,14 +833,18 @@ impl Analyzer {
 
     /// Analyze a sublink query. Correlated sublinks (references to outer attributes) surface as
     /// unknown-attribute errors; report them as the unsupported feature they are.
-    fn analyze_sublink(&self, query: &Query, ctx: &mut AnalyzeContext) -> Result<LogicalPlan, SqlError> {
+    fn analyze_sublink(
+        &self,
+        query: &Query,
+        ctx: &mut AnalyzeContext,
+    ) -> Result<LogicalPlan, SqlError> {
         match self.analyze_query(query, ctx) {
             Ok(plan) => Ok(plan),
-            Err(SqlError::Algebra(perm_algebra::AlgebraError::UnknownAttribute { name, .. })) => {
-                Err(SqlError::unsupported(format!(
-                    "correlated sublinks are not supported (unresolved outer reference '{name}')"
-                )))
-            }
+            Err(SqlError::Algebra(perm_algebra::AlgebraError::UnknownAttribute {
+                name, ..
+            })) => Err(SqlError::unsupported(format!(
+                "correlated sublinks are not supported (unresolved outer reference '{name}')"
+            ))),
             Err(other) => Err(other),
         }
     }
@@ -828,9 +877,15 @@ fn literal_value(lit: &Literal) -> Result<Value, SqlError> {
     Ok(match lit {
         Literal::Number(n) => {
             if n.contains('.') {
-                Value::Float(n.parse::<f64>().map_err(|_| SqlError::analyze(format!("invalid number '{n}'")))?)
+                Value::Float(
+                    n.parse::<f64>()
+                        .map_err(|_| SqlError::analyze(format!("invalid number '{n}'")))?,
+                )
             } else {
-                Value::Int(n.parse::<i64>().map_err(|_| SqlError::analyze(format!("invalid number '{n}'")))?)
+                Value::Int(
+                    n.parse::<i64>()
+                        .map_err(|_| SqlError::analyze(format!("invalid number '{n}'")))?,
+                )
             }
         }
         Literal::String(s) => Value::Text(s.clone()),
@@ -843,7 +898,12 @@ fn literal_value(lit: &Literal) -> Result<Value, SqlError> {
     })
 }
 
-fn interval_function(base: ScalarExpr, value: &str, unit: &str, negate: bool) -> Result<ScalarExpr, SqlError> {
+fn interval_function(
+    base: ScalarExpr,
+    value: &str,
+    unit: &str,
+    negate: bool,
+) -> Result<ScalarExpr, SqlError> {
     let n: i64 = value
         .trim()
         .parse()
@@ -861,6 +921,9 @@ fn interval_function(base: ScalarExpr, value: &str, unit: &str, negate: bool) ->
 /// Collect aggregate function calls in first-come order, without duplicates.
 fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
+        // The dedup check must not move into the match guard: a failed guard would fall through
+        // to the generic Function arm and wrongly recurse into an already-collected aggregate.
+        #[allow(clippy::collapsible_match)]
         Expr::Function { name, .. } if ast::is_aggregate_name(name) => {
             if !out.iter().any(|e| ast_equal(e, expr)) {
                 out.push(expr.clone());
@@ -933,7 +996,9 @@ fn ast_equal(a: &Expr, b: &Expr) -> bool {
             Expr::BinaryOp { left: l1, op: o1, right: r1 },
             Expr::BinaryOp { left: l2, op: o2, right: r2 },
         ) => o1 == o2 && ast_equal(l1, l2) && ast_equal(r1, r2),
-        (Expr::UnaryMinus(x), Expr::UnaryMinus(y)) | (Expr::Not(x), Expr::Not(y)) => ast_equal(x, y),
+        (Expr::UnaryMinus(x), Expr::UnaryMinus(y)) | (Expr::Not(x), Expr::Not(y)) => {
+            ast_equal(x, y)
+        }
         (Expr::Extract { field: f1, expr: e1 }, Expr::Extract { field: f2, expr: e2 }) => {
             f1.eq_ignore_ascii_case(f2) && ast_equal(e1, e2)
         }
@@ -1019,7 +1084,9 @@ mod tests {
         assert_eq!(plan.schema().attribute_names(), vec!["sname", "cnt", "sum"]);
         // Expect Projection over Selection(having) over Aggregation.
         let LogicalPlan::Projection { input, .. } = &plan else { panic!("expected projection") };
-        let LogicalPlan::Selection { input, .. } = input.as_ref() else { panic!("expected having selection") };
+        let LogicalPlan::Selection { input, .. } = input.as_ref() else {
+            panic!("expected having selection")
+        };
         assert!(matches!(input.as_ref(), LogicalPlan::Aggregation { .. }));
     }
 
@@ -1052,24 +1119,37 @@ mod tests {
         impl ProvenanceRewrite for MarkerRewriter {
             fn rewrite_provenance(&self, plan: &LogicalPlan) -> Result<LogicalPlan, SqlError> {
                 // Wrap in a subquery alias as a visible marker.
-                Ok(LogicalPlan::SubqueryAlias { input: Arc::new(plan.clone()), alias: "rewritten".into() })
+                Ok(LogicalPlan::SubqueryAlias {
+                    input: Arc::new(plan.clone()),
+                    alias: "rewritten".into(),
+                })
             }
         }
         let analyzer = Analyzer::new(paper_catalog()).with_rewriter(Arc::new(MarkerRewriter));
-        let plan = analyzer.analyze_query_sql("SELECT PROVENANCE name FROM shop ORDER BY name").unwrap();
+        let plan =
+            analyzer.analyze_query_sql("SELECT PROVENANCE name FROM shop ORDER BY name").unwrap();
         // The marker must sit *below* the sort: rewrite happens before ORDER BY is applied.
         let LogicalPlan::Sort { input, .. } = &plan else { panic!("expected sort on top") };
-        assert!(matches!(input.as_ref(), LogicalPlan::SubqueryAlias { alias, .. } if alias == "rewritten"));
+        assert!(
+            matches!(input.as_ref(), LogicalPlan::SubqueryAlias { alias, .. } if alias == "rewritten")
+        );
     }
 
     #[test]
     fn analyzes_sublinks_and_rejects_correlation() {
-        let plan = analyze("SELECT name FROM shop WHERE numempl < 10 OR name IN (SELECT sname FROM sales)");
+        let plan = analyze(
+            "SELECT name FROM shop WHERE numempl < 10 OR name IN (SELECT sname FROM sales)",
+        );
         plan.validate().unwrap();
         let err = Analyzer::new(paper_catalog())
-            .analyze_query_sql("SELECT name FROM shop WHERE EXISTS (SELECT 1 FROM sales WHERE sname = name)")
+            .analyze_query_sql(
+                "SELECT name FROM shop WHERE EXISTS (SELECT 1 FROM sales WHERE sname = name)",
+            )
             .unwrap_err();
-        assert!(matches!(err, SqlError::Unsupported(_)), "correlated sublink should be rejected: {err:?}");
+        assert!(
+            matches!(err, SqlError::Unsupported(_)),
+            "correlated sublink should be rejected: {err:?}"
+        );
     }
 
     #[test]
@@ -1078,7 +1158,10 @@ mod tests {
         match &plan {
             LogicalPlan::Projection { input, .. } => match input.as_ref() {
                 LogicalPlan::ProvenanceAnnotation { kind, .. } => {
-                    assert_eq!(kind, &ProvenanceAnnotationKind::AlreadyRewritten(vec!["itemid".into()]));
+                    assert_eq!(
+                        kind,
+                        &ProvenanceAnnotationKind::AlreadyRewritten(vec!["itemid".into()])
+                    );
                 }
                 other => panic!("expected annotation node, got {other}"),
             },
@@ -1119,9 +1202,7 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        let stmt = analyzer
-            .analyze_sql("INSERT INTO items VALUES (4, 55), (5, -3)")
-            .unwrap();
+        let stmt = analyzer.analyze_sql("INSERT INTO items VALUES (4, 55), (5, -3)").unwrap();
         match stmt {
             AnalyzedStatement::Insert { rows, .. } => {
                 assert_eq!(rows.len(), 2);
@@ -1131,7 +1212,9 @@ mod tests {
         }
         let stmt = analyzer.analyze_sql("SELECT name INTO shops_copy FROM shop").unwrap();
         match stmt {
-            AnalyzedStatement::Query { into, .. } => assert_eq!(into.as_deref(), Some("shops_copy")),
+            AnalyzedStatement::Query { into, .. } => {
+                assert_eq!(into.as_deref(), Some("shops_copy"))
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1150,7 +1233,9 @@ mod tests {
 
     #[test]
     fn set_operations_and_order_by_ordinal() {
-        let plan = analyze("SELECT name FROM shop UNION ALL SELECT sname FROM sales ORDER BY 1 DESC LIMIT 3");
+        let plan = analyze(
+            "SELECT name FROM shop UNION ALL SELECT sname FROM sales ORDER BY 1 DESC LIMIT 3",
+        );
         plan.validate().unwrap();
         let LogicalPlan::Limit { input, limit, .. } = &plan else { panic!("expected limit") };
         assert_eq!(*limit, Some(3));
@@ -1162,12 +1247,16 @@ mod tests {
         let analyzer = Analyzer::new(paper_catalog());
         assert!(analyzer.analyze_query_sql("SELECT * FROM nope").is_err());
         assert!(analyzer.analyze_query_sql("SELECT ghost FROM shop").is_err());
-        assert!(analyzer.analyze_query_sql("SELECT sum(price) FROM items GROUP BY id HAVING ghost > 1").is_err());
+        assert!(analyzer
+            .analyze_query_sql("SELECT sum(price) FROM items GROUP BY id HAVING ghost > 1")
+            .is_err());
     }
 
     #[test]
     fn date_interval_arithmetic_is_lowered() {
-        let plan = analyze("SELECT id FROM items WHERE date '1995-01-01' + interval '1' year > date '1995-06-01'");
+        let plan = analyze(
+            "SELECT id FROM items WHERE date '1995-01-01' + interval '1' year > date '1995-06-01'",
+        );
         plan.validate().unwrap();
     }
 }

@@ -394,11 +394,15 @@ impl Expr {
         match self {
             Expr::Function { name, .. } if is_aggregate_name(name) => true,
             Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
-            Expr::BinaryOp { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::BinaryOp { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
             Expr::UnaryMinus(e) | Expr::Not(e) | Expr::Nested(e) => e.contains_aggregate(),
             Expr::Case { operand, branches, else_expr } => {
                 operand.as_ref().map(|o| o.contains_aggregate()).unwrap_or(false)
-                    || branches.iter().any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
                     || else_expr.as_ref().map(|e| e.contains_aggregate()).unwrap_or(false)
             }
             Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } | Expr::Extract { expr, .. } => {
@@ -410,7 +414,9 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Like { expr, pattern, .. } => expr.contains_aggregate() || pattern.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
             Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
             _ => false,
         }
@@ -441,7 +447,12 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Function { name: "sum".into(), args: vec![Expr::Identifier("x".into())], distinct: false, star: false };
+        let agg = Expr::Function {
+            name: "sum".into(),
+            args: vec![Expr::Identifier("x".into())],
+            distinct: false,
+            star: false,
+        };
         let nested = Expr::BinaryOp {
             left: Box::new(agg.clone()),
             op: BinaryOp::Multiply,
@@ -450,7 +461,8 @@ mod tests {
         assert!(agg.contains_aggregate());
         assert!(nested.contains_aggregate());
         assert!(!Expr::Identifier("x".into()).contains_aggregate());
-        let scalar = Expr::Function { name: "upper".into(), args: vec![agg], distinct: false, star: false };
+        let scalar =
+            Expr::Function { name: "upper".into(), args: vec![agg], distinct: false, star: false };
         assert!(scalar.contains_aggregate());
     }
 
@@ -458,7 +470,8 @@ mod tests {
     fn suggested_names() {
         assert_eq!(Expr::Identifier("items.Price".into()).suggested_name(), "price");
         assert_eq!(
-            Expr::Function { name: "sum".into(), args: vec![], distinct: false, star: false }.suggested_name(),
+            Expr::Function { name: "sum".into(), args: vec![], distinct: false, star: false }
+                .suggested_name(),
             "sum"
         );
         assert_eq!(Expr::Literal(Literal::Number("1".into())).suggested_name(), "?column?");

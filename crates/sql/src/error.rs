@@ -47,8 +47,12 @@ impl SqlError {
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SqlError::Lex { message, position } => write!(f, "lexical error at byte {position}: {message}"),
-            SqlError::Parse { message, position } => write!(f, "parse error at byte {position}: {message}"),
+            SqlError::Lex { message, position } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            SqlError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
             SqlError::Analyze(msg) => write!(f, "analysis error: {msg}"),
             SqlError::Unsupported(msg) => write!(f, "unsupported SQL feature: {msg}"),
             SqlError::Algebra(e) => write!(f, "{e}"),

@@ -14,10 +14,42 @@ use crate::token::{tokenize, Token, TokenKind};
 
 /// Words that terminate an implicit table alias.
 const RESERVED_AFTER_TABLE: &[&str] = &[
-    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION", "INTERSECT",
-    "EXCEPT", "ON", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "BASERELATION",
-    "PROVENANCE", "INTO", "AND", "OR", "NOT", "AS", "SET", "VALUES", "WHEN", "THEN", "ELSE",
-    "END", "ASC", "DESC", "IS", "IN", "BETWEEN", "LIKE",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "ON",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "CROSS",
+    "BASERELATION",
+    "PROVENANCE",
+    "INTO",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "SET",
+    "VALUES",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "ASC",
+    "DESC",
+    "IS",
+    "IN",
+    "BETWEEN",
+    "LIKE",
 ];
 
 /// Parse a single SQL statement.
@@ -267,7 +299,8 @@ impl<'a> Parser<'a> {
         let body_start = self.position();
         let query = self.parse_query()?;
         let body_end = self.position();
-        let body_sql = self.input[body_start..body_end].trim().trim_end_matches(';').trim().to_string();
+        let body_sql =
+            self.input[body_start..body_end].trim().trim_end_matches(';').trim().to_string();
         Ok(Statement::CreateView { name, query: Box::new(query), body_sql })
     }
 
@@ -452,7 +485,9 @@ impl<'a> Parser<'a> {
         }
         // alias.*
         if let TokenKind::Ident(name) = self.peek().clone() {
-            if matches!(self.peek_at(1), TokenKind::Dot) && matches!(self.peek_at(2), TokenKind::Star) {
+            if matches!(self.peek_at(1), TokenKind::Dot)
+                && matches!(self.peek_at(2), TokenKind::Star)
+            {
                 self.advance();
                 self.advance();
                 self.advance();
@@ -481,11 +516,17 @@ impl<'a> Parser<'a> {
         loop {
             let kind = if self.parse_keywords(&["CROSS", "JOIN"]) {
                 JoinOperator::Cross
-            } else if self.parse_keywords(&["LEFT", "OUTER", "JOIN"]) || self.parse_keywords(&["LEFT", "JOIN"]) {
+            } else if self.parse_keywords(&["LEFT", "OUTER", "JOIN"])
+                || self.parse_keywords(&["LEFT", "JOIN"])
+            {
                 JoinOperator::LeftOuter
-            } else if self.parse_keywords(&["RIGHT", "OUTER", "JOIN"]) || self.parse_keywords(&["RIGHT", "JOIN"]) {
+            } else if self.parse_keywords(&["RIGHT", "OUTER", "JOIN"])
+                || self.parse_keywords(&["RIGHT", "JOIN"])
+            {
                 JoinOperator::RightOuter
-            } else if self.parse_keywords(&["FULL", "OUTER", "JOIN"]) || self.parse_keywords(&["FULL", "JOIN"]) {
+            } else if self.parse_keywords(&["FULL", "OUTER", "JOIN"])
+                || self.parse_keywords(&["FULL", "JOIN"])
+            {
                 JoinOperator::FullOuter
             } else if self.parse_keywords(&["INNER", "JOIN"]) || self.parse_keyword("JOIN") {
                 JoinOperator::Inner
@@ -567,7 +608,8 @@ impl<'a> Parser<'a> {
         let mut left = self.parse_and()?;
         while self.parse_keyword("OR") {
             let right = self.parse_and()?;
-            left = Expr::BinaryOp { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+            left =
+                Expr::BinaryOp { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
         }
         Ok(left)
     }
@@ -576,7 +618,8 @@ impl<'a> Parser<'a> {
         let mut left = self.parse_not()?;
         while self.parse_keyword("AND") {
             let right = self.parse_not()?;
-            left = Expr::BinaryOp { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left =
+                Expr::BinaryOp { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
         }
         Ok(left)
     }
@@ -606,14 +649,23 @@ impl<'a> Parser<'a> {
             let low = self.parse_additive()?;
             self.expect_keyword("AND")?;
             let high = self.parse_additive()?;
-            return Ok(Expr::Between { expr: Box::new(left), low: Box::new(low), high: Box::new(high), negated });
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
         }
         if self.parse_keyword("IN") {
             self.expect(&TokenKind::LeftParen)?;
             if self.peek_keyword("SELECT") {
                 let query = self.parse_query()?;
                 self.expect(&TokenKind::RightParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
             }
             let mut list = Vec::new();
             loop {
@@ -819,7 +871,8 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_case(&mut self) -> Result<Expr, SqlError> {
-        let operand = if self.peek_keyword("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
+        let operand =
+            if self.peek_keyword("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut branches = Vec::new();
         while self.parse_keyword("WHEN") {
             let when = self.parse_expr()?;
@@ -827,7 +880,8 @@ impl<'a> Parser<'a> {
             let then = self.parse_expr()?;
             branches.push((when, then));
         }
-        let else_expr = if self.parse_keyword("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let else_expr =
+            if self.parse_keyword("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_keyword("END")?;
         if branches.is_empty() {
             return Err(self.error("CASE expression requires at least one WHEN branch"));
@@ -926,7 +980,8 @@ mod tests {
 
     #[test]
     fn parses_set_operations() {
-        let q = parse_query("SELECT x FROM a UNION ALL SELECT x FROM b INTERSECT SELECT x FROM c").unwrap();
+        let q = parse_query("SELECT x FROM a UNION ALL SELECT x FROM b INTERSECT SELECT x FROM c")
+            .unwrap();
         let SetExpr::SetOperation { op, all, .. } = &q.body else { panic!("expected set op") };
         assert_eq!(*op, SetOperator::Intersect);
         assert!(!*all);
@@ -944,7 +999,9 @@ mod tests {
         };
         assert!(matches!(right.as_ref(), Expr::InSubquery { .. }));
 
-        let q = parse_query("SELECT 1 WHERE EXISTS (SELECT * FROM t) AND NOT EXISTS (SELECT * FROM u)").unwrap();
+        let q =
+            parse_query("SELECT 1 WHERE EXISTS (SELECT * FROM t) AND NOT EXISTS (SELECT * FROM u)")
+                .unwrap();
         let SetExpr::Select(select) = &q.body else { panic!("expected select") };
         let Some(Expr::BinaryOp { op: BinaryOp::And, left, right }) = &select.selection else {
             panic!("expected AND predicate")
@@ -954,7 +1011,9 @@ mod tests {
 
         let q = parse_query("SELECT x FROM t WHERE x > (SELECT avg(x) FROM t)").unwrap();
         let SetExpr::Select(select) = &q.body else { panic!("expected select") };
-        let Some(Expr::BinaryOp { right, .. }) = &select.selection else { panic!("expected comparison") };
+        let Some(Expr::BinaryOp { right, .. }) = &select.selection else {
+            panic!("expected comparison")
+        };
         assert!(matches!(right.as_ref(), Expr::ScalarSubquery(_)));
     }
 
@@ -1036,7 +1095,9 @@ mod tests {
         let q = parse_query("SELECT s.*, i.price p FROM shop AS s, items i").unwrap();
         let SetExpr::Select(select) = &q.body else { panic!("expected select") };
         assert!(matches!(&select.projection[0], SelectItem::QualifiedWildcard(q) if q == "s"));
-        assert!(matches!(&select.projection[1], SelectItem::Expr { alias: Some(a), .. } if a == "p"));
+        assert!(
+            matches!(&select.projection[1], SelectItem::Expr { alias: Some(a), .. } if a == "p")
+        );
         assert!(matches!(&select.from[1], TableRef::Table { alias: Some(a), .. } if a == "i"));
     }
 }

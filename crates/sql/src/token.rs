@@ -218,7 +218,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     if d.is_ascii_digit() {
                         value.push(d);
                         i += 1;
-                    } else if d == '.' && !seen_dot && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false) {
+                    } else if d == '.'
+                        && !seen_dot
+                        && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false)
+                    {
                         seen_dot = true;
                         value.push(d);
                         i += 1;

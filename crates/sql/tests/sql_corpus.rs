@@ -43,7 +43,14 @@ fn tpch_like_catalog() -> Catalog {
             ],
         ),
         ("nation", vec![("n_nationkey", DataType::Int), ("n_name", DataType::Text)]),
-        ("part", vec![("p_partkey", DataType::Int), ("p_type", DataType::Text), ("p_size", DataType::Int)]),
+        (
+            "part",
+            vec![
+                ("p_partkey", DataType::Int),
+                ("p_type", DataType::Text),
+                ("p_size", DataType::Int),
+            ],
+        ),
     ];
     for (name, cols) in tables {
         catalog.create_table(name, Schema::from_pairs(&cols)).unwrap();
@@ -132,7 +139,8 @@ fn accepted_corpus_parses_and_analyzes() {
 fn rejected_corpus_fails_with_the_expected_error_class() {
     let analyzer = Analyzer::new(tpch_like_catalog());
     for (sql, expected_class) in REJECTED {
-        let outcome = parse_statement(sql).and_then(|stmt| analyzer.analyze_statement(&stmt).map(|_| ()));
+        let outcome =
+            parse_statement(sql).and_then(|stmt| analyzer.analyze_statement(&stmt).map(|_| ()));
         let err = match outcome {
             Err(e) => e,
             Ok(()) => panic!("statement should have been rejected: {sql}"),
@@ -155,7 +163,9 @@ fn analysis_is_deterministic_across_clones() {
         let p1 = a1.analyze_query_sql(sql);
         let p2 = a2.analyze_query_sql(sql);
         match (p1, p2) {
-            (Ok(x), Ok(y)) => assert_eq!(x.display_tree(), y.display_tree(), "plans differ for {sql}"),
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.display_tree(), y.display_tree(), "plans differ for {sql}")
+            }
             (Err(_), Err(_)) => {}
             other => panic!("divergent outcomes for {sql}: {other:?}"),
         }

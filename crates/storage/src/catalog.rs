@@ -92,15 +92,18 @@ impl Catalog {
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
-        inner.tables.insert(
-            key.clone(),
-            TableEntry { name: key, relation: Relation::empty(schema) },
-        );
+        inner
+            .tables
+            .insert(key.clone(), TableEntry { name: key, relation: Relation::empty(schema) });
         Ok(())
     }
 
     /// Create a base table pre-populated with data.
-    pub fn create_table_with_data(&self, name: &str, relation: Relation) -> Result<(), CatalogError> {
+    pub fn create_table_with_data(
+        &self,
+        name: &str,
+        relation: Relation,
+    ) -> Result<(), CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
@@ -124,7 +127,8 @@ impl Catalog {
     pub fn insert(&self, name: &str, tuples: Vec<Tuple>) -> Result<usize, CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
-        let entry = inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
+        let entry =
+            inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
         let n = tuples.len();
         entry.relation.extend(tuples)?;
         Ok(n)
@@ -273,7 +277,9 @@ mod tests {
     #[test]
     fn views_are_registered_and_unfoldable_by_name() {
         let catalog = Catalog::new();
-        catalog.create_view("totalitemprice", "SELECT PROVENANCE sum(price) AS total FROM items").unwrap();
+        catalog
+            .create_view("totalitemprice", "SELECT PROVENANCE sum(price) AS total FROM items")
+            .unwrap();
         let v = catalog.view("TotalItemPrice").unwrap();
         assert!(v.sql.contains("PROVENANCE"));
         assert!(catalog.has_view("totalitemprice"));

@@ -10,7 +10,7 @@ use perm_algebra::{AlgebraError, Schema, Tuple, Value};
 /// Duplicates are kept (bag semantics); the multiplicity of a tuple is its number of physical
 /// occurrences. This is exactly the representation the Perm provenance representation needs: a
 /// result tuple is duplicated once per combination of contributing source tuples.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
     schema: Schema,
     tuples: Vec<Tuple>,
@@ -172,7 +172,8 @@ impl Relation {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        let sep: String =
+            widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
         out.push_str(&sep);
         out.push('|');
         for (n, w) in names.iter().zip(&widths) {
@@ -226,8 +227,10 @@ mod tests {
 
     #[test]
     fn bag_eq_is_order_insensitive_but_multiplicity_sensitive() {
-        let a = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2], tuple!["a", 1]]).unwrap();
-        let b = Relation::new(schema(), vec![tuple!["b", 2], tuple!["a", 1], tuple!["a", 1]]).unwrap();
+        let a =
+            Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2], tuple!["a", 1]]).unwrap();
+        let b =
+            Relation::new(schema(), vec![tuple!["b", 2], tuple!["a", 1], tuple!["a", 1]]).unwrap();
         let c = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2]]).unwrap();
         assert!(a.bag_eq(&b));
         assert!(!a.bag_eq(&c));

@@ -6,10 +6,7 @@
 //! enough for an in-memory engine. Given the same [`TpchScale`] and seed it always produces the
 //! same database, so benchmark runs are reproducible.
 
-use perm_algebra::{
-    value::{days_from_civil},
-    Tuple, Value,
-};
+use perm_algebra::{value::days_from_civil, Tuple, Value};
 use perm_storage::{Catalog, Relation};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,14 +66,44 @@ pub const SHIP_INSTRUCTS: [&str; 4] =
 pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 /// Part name words.
 pub const PART_NAME_WORDS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "green",
 ];
 /// Comment filler words (also used for the Q13/Q16 LIKE patterns).
 pub const COMMENT_WORDS: [&str; 16] = [
-    "special", "pending", "unusual", "express", "furiously", "carefully", "quickly", "deposits",
-    "requests", "packages", "accounts", "theodolites", "instructions", "dependencies", "ideas",
+    "special",
+    "pending",
+    "unusual",
+    "express",
+    "furiously",
+    "carefully",
+    "quickly",
+    "deposits",
+    "requests",
+    "packages",
+    "accounts",
+    "theodolites",
+    "instructions",
+    "dependencies",
+    "ideas",
     "foxes",
 ];
 
@@ -310,10 +337,6 @@ pub fn generate_catalog(scale: TpchScale, seed: u64) -> Catalog {
             };
             if linestatus == "O" {
                 any_open = true;
-            } else {
-                all_filled = all_filled && true;
-            }
-            if linestatus == "O" {
                 all_filled = false;
             }
             total += extendedprice * (1.0 + tax) * (1.0 - discount);
@@ -382,7 +405,7 @@ fn comment(rng: &mut SmallRng, words: usize) -> String {
 /// Supplier comments occasionally contain the "Customer Complaints" marker that query 16
 /// filters on (as in the official generator).
 fn supplier_comment(rng: &mut SmallRng, suppkey: usize) -> String {
-    if suppkey % 20 == 0 {
+    if suppkey.is_multiple_of(20) {
         format!("{} Customer Complaints {}", comment(rng, 2), comment(rng, 2))
     } else {
         comment(rng, 6)
@@ -431,7 +454,9 @@ mod tests {
     fn cardinalities_scale_with_the_scale_factor() {
         let small = generate_catalog(TpchScale::new(0.001), 1);
         let larger = generate_catalog(TpchScale::new(0.002), 1);
-        assert!(larger.table_row_count("orders").unwrap() > small.table_row_count("orders").unwrap());
+        assert!(
+            larger.table_row_count("orders").unwrap() > small.table_row_count("orders").unwrap()
+        );
         assert_eq!(small.table_row_count("region").unwrap(), 5);
         assert_eq!(small.table_row_count("nation").unwrap(), 25);
         // partsupp has 4 entries per part.

@@ -20,7 +20,9 @@ use rand::{Rng, SeedableRng};
 
 use perm_algebra::value::format_date;
 
-use crate::dbgen::{NATIONS, REGIONS, SEGMENTS, SHIP_MODES, TYPE_SYLLABLE_1, TYPE_SYLLABLE_2, TYPE_SYLLABLE_3};
+use crate::dbgen::{
+    NATIONS, REGIONS, SEGMENTS, SHIP_MODES, TYPE_SYLLABLE_1, TYPE_SYLLABLE_2, TYPE_SYLLABLE_3,
+};
 
 /// The TPC-H query numbers supported by the Perm prototype (and this reproduction).
 pub fn supported_query_ids() -> Vec<u32> {
@@ -411,7 +413,11 @@ mod tests {
         for id in supported_query_ids() {
             let sql = tpch_query(id).generate_provenance(&mut variant_rng(id, 0));
             let result = db.execute_sql(&sql);
-            assert!(result.is_ok(), "provenance of query {id} failed: {:?}\nSQL: {sql}", result.err());
+            assert!(
+                result.is_ok(),
+                "provenance of query {id} failed: {:?}\nSQL: {sql}",
+                result.err()
+            );
             let relation = result.unwrap();
             assert!(
                 !relation.schema().provenance_indices().is_empty(),

@@ -15,12 +15,9 @@ pub fn table_schema(table: &str) -> Schema {
     use DataType::*;
     let columns: Vec<(&str, DataType)> = match table.to_ascii_lowercase().as_str() {
         "region" => vec![("r_regionkey", Int), ("r_name", Text), ("r_comment", Text)],
-        "nation" => vec![
-            ("n_nationkey", Int),
-            ("n_name", Text),
-            ("n_regionkey", Int),
-            ("n_comment", Text),
-        ],
+        "nation" => {
+            vec![("n_nationkey", Int), ("n_name", Text), ("n_regionkey", Int), ("n_comment", Text)]
+        }
         "supplier" => vec![
             ("s_suppkey", Int),
             ("s_name", Text),

@@ -87,7 +87,11 @@ pub fn nested_aggregation_query(agg_levels: usize, num_parts: usize) -> String {
 }
 
 /// The Figure 15 workload: `count` simple key-range selections on `supplier`.
-pub fn trio_selection_queries(rng: &mut SmallRng, count: usize, num_suppliers: usize) -> Vec<String> {
+pub fn trio_selection_queries(
+    rng: &mut SmallRng,
+    count: usize,
+    num_suppliers: usize,
+) -> Vec<String> {
     (0..count)
         .map(|_| {
             let width = (num_suppliers / 10).max(1);
@@ -144,9 +148,8 @@ mod tests {
         let one = db.execute_sql(&nested_aggregation_query(1, parts)).unwrap();
         let three = db.execute_sql(&nested_aggregation_query(3, parts)).unwrap();
         assert!(three.num_rows() <= one.num_rows());
-        let prov = db
-            .execute_sql(&add_provenance_keyword(&nested_aggregation_query(3, parts)))
-            .unwrap();
+        let prov =
+            db.execute_sql(&add_provenance_keyword(&nested_aggregation_query(3, parts))).unwrap();
         // Every provenance row carries the part tuple it derives from.
         assert!(prov.schema().attribute_names().iter().any(|n| n == "prov_part_p_partkey"));
         assert_eq!(prov.num_rows(), parts);

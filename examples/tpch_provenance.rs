@@ -11,22 +11,18 @@ use perm::prelude::*;
 use perm::tpch::queries::{add_provenance_keyword, supported_query_ids, tpch_query, variant_rng};
 
 fn main() -> Result<(), PermError> {
-    let requested: Vec<u32> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let requested: Vec<u32> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let queries = if requested.is_empty() { vec![3, 5, 6] } else { requested };
 
     let catalog = generate_catalog(TpchScale::new(0.002), 42);
-    let db = PermDb::with_catalog(
-        catalog,
-        ProvenanceOptions::default().with_row_budget(2_000_000),
-    );
+    let db = PermDb::with_catalog(catalog, ProvenanceOptions::default().with_row_budget(2_000_000));
     println!("TPC-H database generated ({} tuples total)\n", db.catalog().total_rows());
 
     for id in queries {
         if !supported_query_ids().contains(&id) {
-            println!("query {id}: skipped (requires correlated sublinks, unsupported — as in the paper)");
+            println!(
+                "query {id}: skipped (requires correlated sublinks, unsupported — as in the paper)"
+            );
             continue;
         }
         let template = tpch_query(id);

@@ -43,11 +43,7 @@ fn main() -> Result<(), PermError> {
 
     // --- 1. Perm: one rewritten query annotates every report row with its witnesses. ---------
     let provenance = db.provenance_of_query(report_sql)?;
-    let witnesses: Vec<_> = provenance
-        .tuples()
-        .iter()
-        .filter(|t| t[0] == suspicious[0])
-        .collect();
+    let witnesses: Vec<_> = provenance.tuples().iter().filter(|t| t[0] == suspicious[0]).collect();
     println!(
         "[Perm] {} witness rows; each carries the full contributing lineitem, orders, customer \
          and nation tuples ({} provenance attributes).",
@@ -66,9 +62,8 @@ fn main() -> Result<(), PermError> {
     // --- 2. Cui–Widom inversion: a list of relations per result tuple. -----------------------
     let tracer = CuiWidomTracer::new(catalog.clone());
     let view = warehouse_view();
-    let lineage = tracer
-        .lineage(&view, &suspicious)
-        .map_err(|e| PermError::Other(e.to_string()))?;
+    let lineage =
+        tracer.lineage(&view, &suspicious).map_err(|e| PermError::Other(e.to_string()))?;
     println!(
         "[Cui-Widom] lineage of the same row = a list of {} relations with {:?} tuples — not a \
          single relation, so it cannot be composed with further SQL.",
@@ -87,15 +82,17 @@ fn main() -> Result<(), PermError> {
         traced.len()
     );
 
-    println!("\nAll three agree on *which* source data mattered; only Perm keeps the answer in the \
-              same data model as the report itself.");
+    println!(
+        "\nAll three agree on *which* source data mattered; only Perm keeps the answer in the \
+              same data model as the report itself."
+    );
     Ok(())
 }
 
 /// The report query in the decomposed form the Cui–Widom tracer operates on.
 fn warehouse_view() -> perm::baselines::cui_widom::ViewDefinition {
-    use perm::algebra::{AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr};
     use perm::algebra::value::days_from_civil;
+    use perm::algebra::{AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr};
 
     // Combined schema: lineitem(16) ++ orders(9) ++ customer(8) ++ nation(4).
     let l_orderkey = ScalarExpr::column(0, "l_orderkey");

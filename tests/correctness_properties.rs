@@ -12,9 +12,7 @@ use proptest::prelude::*;
 
 use perm::baselines::cui_widom::{perm_matches_oracle, CuiWidomTracer, ViewDefinition};
 use perm::prelude::*;
-use perm_algebra::{
-    AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr, Schema,
-};
+use perm_algebra::{AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr, Schema};
 use perm_exec::execute_plan;
 
 /// A small random database with two base relations `r` (3 columns) and `s` (2 columns).
@@ -44,34 +42,25 @@ struct RandomQuery {
 }
 
 fn query_strategy() -> impl Strategy<Value = RandomQuery> {
-    (0i64..7, any::<bool>(), any::<bool>())
-        .prop_map(|(filter_below, join_s, aggregate)| RandomQuery { filter_below, join_s, aggregate })
+    (0i64..7, any::<bool>(), any::<bool>()).prop_map(|(filter_below, join_s, aggregate)| {
+        RandomQuery { filter_below, join_s, aggregate }
+    })
 }
 
 fn build_catalog(db: &RandomDatabase) -> Catalog {
     let catalog = Catalog::new();
-    let r_schema = Schema::from_pairs(&[
-        ("a", DataType::Int),
-        ("b", DataType::Int),
-        ("c", DataType::Int),
-    ]);
+    let r_schema =
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Int)]);
     let r_rows = db
         .r_rows
         .iter()
         .map(|(a, b, c)| Tuple::new(vec![Value::Int(*a), Value::Int(*b), Value::Int(*c)]))
         .collect();
-    catalog
-        .create_table_with_data("r", Relation::from_parts(r_schema, r_rows))
-        .unwrap();
+    catalog.create_table_with_data("r", Relation::from_parts(r_schema, r_rows)).unwrap();
     let s_schema = Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]);
-    let s_rows = db
-        .s_rows
-        .iter()
-        .map(|(x, y)| Tuple::new(vec![Value::Int(*x), Value::Int(*y)]))
-        .collect();
-    catalog
-        .create_table_with_data("s", Relation::from_parts(s_schema, s_rows))
-        .unwrap();
+    let s_rows =
+        db.s_rows.iter().map(|(x, y)| Tuple::new(vec![Value::Int(*x), Value::Int(*y)])).collect();
+    catalog.create_table_with_data("s", Relation::from_parts(s_schema, s_rows)).unwrap();
     catalog
 }
 
@@ -82,12 +71,10 @@ fn build_view(query: &RandomQuery) -> ViewDefinition {
     let a = ScalarExpr::column(0, "a");
     let b = ScalarExpr::column(1, "b");
     let c = ScalarExpr::column(2, "c");
-    let relations: Vec<String> = if query.join_s {
-        vec!["r".into(), "s".into()]
-    } else {
-        vec!["r".into()]
-    };
-    let mut condition = ScalarExpr::binary(BinaryOperator::Lt, a, ScalarExpr::literal(query.filter_below));
+    let relations: Vec<String> =
+        if query.join_s { vec!["r".into(), "s".into()] } else { vec!["r".into()] };
+    let mut condition =
+        ScalarExpr::binary(BinaryOperator::Lt, a, ScalarExpr::literal(query.filter_below));
     if query.join_s {
         let x = ScalarExpr::column(3, "x");
         condition = condition.and(b.clone().eq(x));

@@ -129,15 +129,16 @@ fn sql_ple_examples_from_section_four() {
              WHERE sum > 100",
         )
         .unwrap();
-    assert_eq!(q1.sorted().tuples().iter().map(|t| t[0].clone()).collect::<Vec<_>>(), vec![
-        Value::Int(1),
-        Value::Int(2),
-        Value::Int(2)
-    ]);
+    assert_eq!(
+        q1.sorted().tuples().iter().map(|t| t[0].clone()).collect::<Vec<_>>(),
+        vec![Value::Int(1), Value::Int(2), Value::Int(2)]
+    );
 
     // §IV-A.3: incremental provenance from a provenance view.
-    db.execute_sql("CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items")
-        .unwrap();
+    db.execute_sql(
+        "CREATE VIEW totalItemPrice AS SELECT PROVENANCE sum(price) AS total FROM items",
+    )
+    .unwrap();
     let incremental = db
         .execute_sql(
             "SELECT PROVENANCE total * 10
@@ -164,9 +165,11 @@ fn sql_ple_examples_from_section_four() {
              WHERE numEmpl < 10 OR name IN (SELECT sName FROM sales)",
         )
         .unwrap();
-    let merdies_rows =
-        sublink.tuples().iter().filter(|t| t[0] == Value::text("Merdies")).count();
-    assert_eq!(merdies_rows, 5, "all sales tuples contribute to Merdies (condition holds regardless of the sublink)");
+    let merdies_rows = sublink.tuples().iter().filter(|t| t[0] == Value::text("Merdies")).count();
+    assert_eq!(
+        merdies_rows, 5,
+        "all sales tuples contribute to Merdies (condition holds regardless of the sublink)"
+    );
 }
 
 #[test]
@@ -177,9 +180,8 @@ fn eager_storage_and_reuse_round_trip() {
         .unwrap();
     assert_eq!(rows, 5);
     // Stored provenance is an ordinary table: plain SQL applies.
-    let heavy_items = db
-        .execute_sql("SELECT DISTINCT prov_items_id FROM qex_prov WHERE total > 100")
-        .unwrap();
+    let heavy_items =
+        db.execute_sql("SELECT DISTINCT prov_items_id FROM qex_prov WHERE total > 100").unwrap();
     assert_eq!(heavy_items.num_rows(), 2);
     // ... and it can seed incremental provenance computations.
     let reused = db

@@ -20,7 +20,8 @@ fn all_supported_queries_and_their_provenance_variants_run() {
     let db = tpch_db();
     for id in supported_query_ids() {
         let sql = tpch_query(id).generate(&mut variant_rng(id, 0));
-        let normal = db.execute_sql(&sql).unwrap_or_else(|e| panic!("query {id} failed: {e}\n{sql}"));
+        let normal =
+            db.execute_sql(&sql).unwrap_or_else(|e| panic!("query {id} failed: {e}\n{sql}"));
         let provenance = db
             .execute_sql(&add_provenance_keyword(&sql))
             .unwrap_or_else(|e| panic!("provenance of query {id} failed: {e}"));
@@ -30,7 +31,10 @@ fn all_supported_queries_and_their_provenance_variants_run() {
         let normal_names = normal.schema().attribute_names();
         let prov_names = provenance.schema().attribute_names();
         assert_eq!(&prov_names[..normal_names.len()], normal_names.as_slice(), "query {id}");
-        assert!(prov_names[normal_names.len()..].iter().all(|n| n.starts_with("prov_")), "query {id}");
+        assert!(
+            prov_names[normal_names.len()..].iter().all(|n| n.starts_with("prov_")),
+            "query {id}"
+        );
 
         // Every original result tuple appears among the provenance rows (projected), unless it
         // stems from an aggregation over an empty group-set (paper footnote 4). Queries with a
@@ -117,8 +121,7 @@ fn stored_tpch_provenance_supports_follow_up_queries() {
     let q6 = tpch_query(6).generate(&mut variant_rng(6, 0));
     db.store_provenance("q6_prov", &q6).unwrap();
     // The stored provenance is ordinary data: aggregate over the contributing lineitems.
-    let follow_up = db
-        .execute_sql("SELECT count(*) AS contributing_lineitems FROM q6_prov")
-        .unwrap();
+    let follow_up =
+        db.execute_sql("SELECT count(*) AS contributing_lineitems FROM q6_prov").unwrap();
     assert_eq!(follow_up.num_rows(), 1);
 }

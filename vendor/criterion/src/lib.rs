@@ -1,0 +1,330 @@
+//! Offline shim for the `criterion` benchmarking crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate implements the subset of
+//! criterion's API that the `perm_bench` benchmarks use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the plain and the
+//! `name/config/targets` forms).
+//!
+//! The measurement model is intentionally simple: per benchmark it warms up for
+//! `warm_up_time`, estimates the per-iteration cost, then takes `sample_size` samples whose
+//! total wall time is about `measurement_time`, and reports `min / median / max` per-iteration
+//! times on stdout. There are no plots, no statistics beyond the three quantiles, and no
+//! comparison to saved baselines — enough to track relative performance in `BENCH_NOTES.md`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, used to defeat constant folding.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver holding the default measurement settings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        let (warm_up_time, measurement_time, sample_size) =
+            (self.warm_up_time, self.measurement_time, self.sample_size);
+        BenchmarkGroup { _criterion: self, name, warm_up_time, measurement_time, sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_benchmark(&id.into().label, settings, &mut body);
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported by the shim.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(
+            &label,
+            (self.warm_up_time, self.measurement_time, self.sample_size),
+            &mut body,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| body(bencher, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterised (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput hint (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    result: Option<Samples>,
+}
+
+struct Samples {
+    per_iter_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time || warm_up_iters == 0 {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters as f64;
+
+        // Aim each sample at measurement_time / sample_size of wall time.
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            per_iter_ns.push(elapsed / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        self.result = Some(Samples { per_iter_ns, iterations: total_iters });
+    }
+
+    /// `iter_batched` collapses to plain `iter` of setup+routine in the shim.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter(|| {
+            let input = setup();
+            routine(input)
+        });
+    }
+}
+
+/// Batch size hint for `iter_batched` (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    (warm_up_time, measurement_time, sample_size): (Duration, Duration, usize),
+    body: &mut F,
+) {
+    let mut bencher = Bencher { warm_up_time, measurement_time, sample_size, result: None };
+    body(&mut bencher);
+    match bencher.result {
+        Some(mut samples) => {
+            samples.per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+            let min = samples.per_iter_ns.first().copied().unwrap_or(0.0);
+            let max = samples.per_iter_ns.last().copied().unwrap_or(0.0);
+            let median = samples.per_iter_ns[samples.per_iter_ns.len() / 2];
+            println!(
+                "{label:<48} time: [{} {} {}]  ({} samples, {} iters)",
+                format_ns(min),
+                format_ns(median),
+                format_ns(max),
+                samples.per_iter_ns.len(),
+                samples.iterations,
+            );
+        }
+        None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.4} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.4} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.4} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Defines a function that runs a list of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters) to the binary; the shim runs
+            // every registered group unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut criterion = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(5);
+        let mut group = criterion.benchmark_group("shim_smoke");
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, n| {
+            b.iter(|| {
+                ran += 1;
+                (0..*n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(ran > 0, "routine should have been exercised");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+}

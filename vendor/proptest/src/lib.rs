@@ -1,0 +1,486 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate implements the subset of
+//! proptest that the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter` and `boxed`,
+//! * range strategies for integers and floats, tuple strategies, [`Just`], [`any`],
+//!   a tiny regex-subset string strategy (character classes with `{m,n}` / `*` / `+` / `?`),
+//! * [`collection::vec`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assume!`] macros, and [`ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking** and **no failure persistence**: each test runs
+//! a fixed number of deterministic cases (seeded per test name) and panics with the
+//! `prop_assert*` message of the first failing case. That is sufficient for CI-style regression
+//! coverage, and keeps the shim small.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Error raised by a failing (or rejected) test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be skipped (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Per-test configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving generation; deterministic per test name.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Drive `cases` executions of a generated test body. Used by the [`proptest!`] expansion.
+pub fn run_cases<F>(test_name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+{
+    let mut runner = TestRunner::deterministic(test_name);
+    let mut executed = 0u32;
+    let mut rejected = 0u32;
+    while executed < config.cases {
+        match case(&mut runner) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(16).max(1024),
+                    "{test_name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{test_name}: case {executed} failed\n{message}");
+            }
+        }
+    }
+}
+
+/// Strategies for generating collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRunner;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose items come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                runner.rng().gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_via_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_via_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn generate(&self, runner: &mut TestRunner) -> bool {
+        runner.rng().gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(-1.0e9f64..1.0e9)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// A parsed piece of the regex subset supported by string strategies.
+#[derive(Debug, Clone)]
+enum RegexPiece {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct RegexPart {
+    piece: RegexPiece,
+    min: usize,
+    max: usize,
+}
+
+/// String strategy from a small regex subset: literals, `[a-z0-9_]` classes, and the
+/// quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (with `*`/`+` capped at 8 repetitions).
+#[derive(Debug, Clone)]
+pub struct StringRegex {
+    parts: Vec<RegexPart>,
+}
+
+impl StringRegex {
+    fn parse(pattern: &str) -> StringRegex {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    while let Some(&c2) = chars.peek() {
+                        chars.next();
+                        if c2 == ']' {
+                            break;
+                        }
+                        if c2 == '-' {
+                            if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                                if hi != ']' {
+                                    chars.next();
+                                    ranges.pop();
+                                    ranges.push((lo, hi));
+                                    prev = None;
+                                    continue;
+                                }
+                            }
+                        }
+                        ranges.push((c2, c2));
+                        prev = Some(c2);
+                    }
+                    RegexPiece::Class(ranges)
+                }
+                '\\' => RegexPiece::Literal(chars.next().unwrap_or('\\')),
+                other => RegexPiece::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c2 in chars.by_ref() {
+                        if c2 == '}' {
+                            break;
+                        }
+                        spec.push(c2);
+                    }
+                    if let Some((lo, hi)) = spec.split_once(',') {
+                        (
+                            lo.trim().parse().expect("bad {m,n} quantifier"),
+                            hi.trim().parse().expect("bad {m,n} quantifier"),
+                        )
+                    } else {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            parts.push(RegexPart { piece, min, max });
+        }
+        StringRegex { parts }
+    }
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for part in &self.parts {
+            let count = if part.min >= part.max {
+                part.min
+            } else {
+                runner.rng().gen_range(part.min..=part.max)
+            };
+            for _ in 0..count {
+                match &part.piece {
+                    RegexPiece::Literal(c) => out.push(*c),
+                    RegexPiece::Class(ranges) => {
+                        if ranges.is_empty() {
+                            continue;
+                        }
+                        let idx = runner.rng().gen_range(0..ranges.len());
+                        let (lo, hi) = ranges[idx];
+                        let code = runner.rng().gen_range(lo as u32..=hi as u32);
+                        out.push(char::from_u32(code).unwrap_or(lo));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        StringRegex::parse(self).generate(runner)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, ProptestConfig, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` != `{:?}`", left, right);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The proptest entry macro: expands each `fn name(x in strategy, ...) { body }` into a plain
+/// `#[test]` that runs `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr) $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                $crate::run_cases(stringify!($name), $config, |__runner| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __runner);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,199 @@
+//! The [`Strategy`] trait and combinators for the offline proptest shim.
+
+use crate::TestRunner;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: `generate` produces a plain value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, predicate }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (**self).generate(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.map)(self.inner.generate(runner))
+    }
+}
+
+/// The result of [`Strategy::prop_filter`]. Retries generation until the predicate holds
+/// (bounded, then panics), which is good enough without shrinking.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1024 {
+            let candidate = self.inner.generate(runner);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter({}) rejected 1024 candidates in a row", self.whence);
+    }
+}
+
+/// Uniform choice between boxed strategies of the same value type ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.rng().gen_range(0..self.options.len());
+        self.options[idx].generate(runner)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRunner;
+
+    #[test]
+    fn map_filter_union_round_trip() {
+        let mut runner = TestRunner::deterministic("map_filter_union_round_trip");
+        let strategy = crate::prop_oneof![(0i64..10).prop_map(|v| v * 2), Just(1i64),];
+        for _ in 0..100 {
+            let v = strategy.generate(&mut runner);
+            assert!(v == 1 || (v % 2 == 0 && (0..20).contains(&v)));
+        }
+
+        let even = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut runner) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuple_and_vec_strategies() {
+        let mut runner = TestRunner::deterministic("tuple_and_vec_strategies");
+        let strategy = crate::collection::vec((0i64..5, 0i64..5), 0..7);
+        for _ in 0..50 {
+            let rows = strategy.generate(&mut runner);
+            assert!(rows.len() < 7);
+            for (a, b) in rows {
+                assert!((0..5).contains(&a) && (0..5).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn string_regex_strategy() {
+        let mut runner = TestRunner::deterministic("string_regex_strategy");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{0,6}", &mut runner);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}
