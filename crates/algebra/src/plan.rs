@@ -270,6 +270,28 @@ impl LogicalPlan {
         }
     }
 
+    /// The number of output columns, computed without materialising the full [`Schema`]
+    /// (which clones attribute names). Hot paths — the executor and optimizer — only need
+    /// arities to split join column spaces.
+    pub fn output_arity(&self) -> usize {
+        match self {
+            LogicalPlan::BaseRelation { schema, .. } | LogicalPlan::Values { schema, .. } => {
+                schema.arity()
+            }
+            LogicalPlan::Projection { exprs, .. } => exprs.len(),
+            LogicalPlan::Aggregation { group_by, aggregates, .. } => {
+                group_by.len() + aggregates.len()
+            }
+            LogicalPlan::Join { left, right, .. } => left.output_arity() + right.output_arity(),
+            LogicalPlan::SetOp { left, .. } => left.output_arity(),
+            LogicalPlan::Selection { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::ProvenanceAnnotation { input, .. } => input.output_arity(),
+        }
+    }
+
     /// The direct children of this node.
     pub fn children(&self) -> Vec<&Arc<LogicalPlan>> {
         match self {

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::AlgebraError;
 
@@ -92,15 +93,17 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 text.
-    Text(String),
+    /// UTF-8 text. Stored behind an [`Arc`] so that cloning a text value (which joins and
+    /// projections in provenance-rewritten plans do constantly) is a refcount bump rather than a
+    /// heap copy.
+    Text(Arc<str>),
     /// Date as days since 1970-01-01.
     Date(i32),
 }
 
 impl Value {
     /// Construct a text value.
-    pub fn text(s: impl Into<String>) -> Value {
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
         Value::Text(s.into())
     }
 
@@ -204,7 +207,7 @@ impl Value {
             (Float(a), Int(b)) => Float(a + *b as f64),
             (Date(a), Int(b)) => Date(a + *b as i32),
             (Int(a), Date(b)) => Date(*a as i32 + b),
-            (Text(a), Text(b)) => Text(format!("{a}{b}")),
+            (Text(a), Text(b)) => Text(format!("{a}{b}").into()),
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "addition".into(),
@@ -329,9 +332,9 @@ impl Value {
             (Float(f), DataType::Int) => Int(*f as i64),
             (Int(i), DataType::Bool) => Bool(*i != 0),
             (Bool(b), DataType::Int) => Int(i64::from(*b)),
-            (Int(i), DataType::Text) => Text(i.to_string()),
-            (Float(f), DataType::Text) => Text(format_float(*f)),
-            (Date(d), DataType::Text) => Text(format_date(*d)),
+            (Int(i), DataType::Text) => Text(i.to_string().into()),
+            (Float(f), DataType::Text) => Text(format_float(*f).into()),
+            (Date(d), DataType::Text) => Text(format_date(*d).into()),
             (Date(d), DataType::Int) => Int(*d as i64),
             (Int(i), DataType::Date) => Date(*i as i32),
             (Text(s), DataType::Int) => Int(s.trim().parse::<i64>().map_err(|_| fail())?),
@@ -482,12 +485,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
+        Value::Text(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(v.into())
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
 }

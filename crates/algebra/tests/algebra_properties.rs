@@ -14,7 +14,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         (-1000i64..1000).prop_map(Value::Int),
         (-1000.0f64..1000.0).prop_map(Value::Float),
-        "[a-z]{0,6}".prop_map(Value::Text),
+        "[a-z]{0,6}".prop_map(Value::text),
         (-20000i32..20000).prop_map(Value::Date),
     ]
 }

@@ -1,6 +1,8 @@
 //! Figure 13 micro-benchmark: random select-project-join queries with a growing number of leaf
 //! subqueries, normal versus provenance execution.
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perm_bench::harness::{BenchConfig, ScalePreset};
 use perm_tpch::queries::add_provenance_keyword;
@@ -12,7 +14,11 @@ fn bench_spj(c: &mut Criterion) {
     let parts = db.catalog().table_row_count("part").unwrap();
 
     let mut group = c.benchmark_group("fig13_spj_queries");
-    group.sample_size(10);
+    // Measurement settings come from the harness quick config so BENCH_NOTES trend rows stay
+    // comparable across PRs.
+    group.sample_size(config.samples);
+    group.warm_up_time(Duration::from_millis(config.warm_up_ms));
+    group.measurement_time(Duration::from_millis(config.measurement_ms));
     for num_sub in 1..=6usize {
         let sql = spj_query(&mut workload_rng("spj", num_sub as u64), num_sub, parts);
         let provenance_sql = add_provenance_keyword(&sql);
@@ -32,9 +38,7 @@ fn bench_spj(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(900));
+    config = Criterion::default();
     targets = bench_spj
 }
 criterion_main!(benches);

@@ -333,18 +333,13 @@ mod tests {
             timeout: Duration::from_secs(20),
             row_budget: 2_000_000,
             seed: 7,
+            ..BenchConfig::quick()
         }
     }
 
     #[test]
     fn figure12_to_14_produce_rows_for_every_parameter_value() {
-        let config = BenchConfig {
-            scales: vec![ScalePreset::Small],
-            variants: 1,
-            timeout: Duration::from_secs(20),
-            row_budget: 2_000_000,
-            seed: 7,
-        };
+        let config = tiny_config();
         let f12 = figure12(&config);
         assert_eq!(f12.rows.len(), 5);
         let f13 = figure13(&config);

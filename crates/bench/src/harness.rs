@@ -60,6 +60,12 @@ pub struct BenchConfig {
     pub row_budget: usize,
     /// Seed for the data generator.
     pub seed: u64,
+    /// Criterion warm-up time per benchmark entry, in milliseconds.
+    pub warm_up_ms: u64,
+    /// Criterion measurement time per benchmark entry, in milliseconds.
+    pub measurement_ms: u64,
+    /// Criterion sample count per benchmark entry.
+    pub samples: usize,
 }
 
 impl Default for BenchConfig {
@@ -70,6 +76,9 @@ impl Default for BenchConfig {
             timeout: Duration::from_secs(30),
             row_budget: 5_000_000,
             seed: 42,
+            warm_up_ms: 700,
+            measurement_ms: 2500,
+            samples: 15,
         }
     }
 }
@@ -77,12 +86,18 @@ impl Default for BenchConfig {
 impl BenchConfig {
     /// A configuration that finishes in a couple of minutes (used by `--quick` and CI).
     pub fn quick() -> BenchConfig {
+        // PR-1's 400 ms warm-up / 900 ms measurement produced untrustworthy rows (the
+        // normal/6 spj sample spanned 2.3–12.9 ms in one run); the quick config now warms up
+        // and measures long enough for stable medians while still finishing in ~1 minute.
         BenchConfig {
             scales: vec![ScalePreset::Small],
             variants: 1,
             timeout: Duration::from_secs(10),
             row_budget: 1_000_000,
             seed: 42,
+            warm_up_ms: 700,
+            measurement_ms: 2500,
+            samples: 15,
         }
     }
 
@@ -94,6 +109,9 @@ impl BenchConfig {
             timeout: Duration::from_secs(120),
             row_budget: 20_000_000,
             seed: 42,
+            warm_up_ms: 1000,
+            measurement_ms: 4000,
+            samples: 20,
         }
     }
 

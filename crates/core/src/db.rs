@@ -441,7 +441,26 @@ mod tests {
         let unoptimized =
             db.analyze_sql_plan("SELECT name FROM shop, sales WHERE name = sName").unwrap();
         let optimized = db.plan_sql("SELECT name FROM shop, sales WHERE name = sName").unwrap();
-        assert!(optimized.node_count() <= unoptimized.node_count());
+        // The cross product + selection must have become an inner join...
+        fn find_join(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+            if let LogicalPlan::Join { .. } = plan {
+                return Some(plan);
+            }
+            plan.children().iter().find_map(|c| find_join(c))
+        }
+        assert!(matches!(
+            find_join(&unoptimized),
+            Some(LogicalPlan::Join { kind: perm_algebra::JoinKind::Cross, .. })
+        ));
+        let joined = find_join(&optimized).expect("optimized plan keeps a join");
+        assert!(matches!(
+            joined,
+            LogicalPlan::Join { kind: perm_algebra::JoinKind::Inner, condition: Some(_), .. }
+        ));
+        // ...and column pruning must have narrowed it: only `name` and `sName` survive below
+        // the top projection (the unoptimized join carries all four attributes).
+        assert_eq!(joined.schema().arity(), 2);
+        assert_eq!(optimized.schema().attribute_names(), vec!["name"]);
     }
 
     #[test]

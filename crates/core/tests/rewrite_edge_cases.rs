@@ -187,3 +187,48 @@ fn provenance_attributes_survive_view_unfolding() {
         db.execute_sql("SELECT PROVENANCE name FROM shop_sales BASERELATION AS v").unwrap();
     assert!(limited.schema().attribute_names().iter().any(|n| n.starts_with("prov_v_")));
 }
+
+#[test]
+fn column_pruning_narrows_r3_r4_rewritten_joins_without_changing_results() {
+    // An R3 (selection) + R4 (join) rewrite: the provenance output needs every attribute of
+    // `shop` and `sales`, but `items` only contributes its join key to the original result, so
+    // after the PROVENANCE projection selects its columns, pruning must not widen anything and
+    // optimized/unoptimized execution must agree bag-wise.
+    let db = db();
+    let sql = "SELECT PROVENANCE name FROM shop, sales WHERE name = sName AND numEmpl > 2";
+    let optimized_result = db.execute_sql(sql).unwrap();
+    let mut unopt = PermDb::with_catalog(
+        db.catalog().clone(),
+        ProvenanceOptions::default().without_optimizer(),
+    );
+    unopt.set_options(ProvenanceOptions::default().without_optimizer());
+    let unoptimized_result = unopt.execute_sql(sql).unwrap();
+    assert!(optimized_result.bag_eq(&unoptimized_result));
+    assert_eq!(
+        optimized_result.schema().attribute_names(),
+        vec![
+            "name",
+            "prov_shop_name",
+            "prov_shop_numempl",
+            "prov_sales_sname",
+            "prov_sales_itemid"
+        ]
+    );
+
+    // The optimized plan's join must carry only the surviving attributes: 1 original + 4
+    // provenance + the right side's join key — 6 columns, not the raw rewrite's 8 (which
+    // duplicates numEmpl and itemId once more through the R1 copies).
+    let plan = db.plan_sql(sql).unwrap();
+    fn max_join_width(plan: &perm_algebra::LogicalPlan) -> usize {
+        let own = match plan {
+            perm_algebra::LogicalPlan::Join { .. } => plan.output_arity(),
+            _ => 0,
+        };
+        plan.children().iter().map(|c| max_join_width(c)).max().unwrap_or(0).max(own)
+    }
+    assert_eq!(
+        max_join_width(&plan),
+        6,
+        "pruned provenance join should carry exactly 6 columns:\n{plan}"
+    );
+}

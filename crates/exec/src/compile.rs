@@ -1,0 +1,368 @@
+//! Compiled scalar expressions: the executor's run-time expression representation.
+//!
+//! [`ScalarExpr`] is the *logical* expression language: column references carry display names,
+//! sublinks carry whole sub-plans, and every evaluation walks the tree re-discovering the same
+//! facts. Compilation happens once per operator when a plan starts executing and produces a
+//! [`CompiledExpr`] in which
+//!
+//! * column references are bare indices,
+//! * uncorrelated sublinks are **resolved**: `EXISTS` and scalar subqueries are executed once and
+//!   become literals (a scalar subquery returning more than one row raises
+//!   [`ExecError::ScalarSubqueryTooManyRows`]), and `IN (SELECT ...)` becomes a pre-built hash
+//!   set probed in O(1) per row instead of a per-row scan of the result list,
+//! * `IN` lists of constants are pre-evaluated (hash set where the value types allow it, a plain
+//!   pre-evaluated value slice otherwise),
+//! * function argument buffers for the common arities are stack-allocated.
+//!
+//! Evaluation then performs no allocation for predicates and exactly one `Vec` allocation per
+//! projected output row.
+
+use std::collections::HashSet;
+
+use perm_algebra::{
+    AggregateExpr, BinaryOperator, DataType, ScalarExpr, ScalarFunction, SublinkKind, Tuple,
+    UnaryOperator, Value,
+};
+
+use crate::error::ExecError;
+use crate::eval::{binary_op_values, evaluate_function, logical_combine, unary_op_value};
+use crate::executor::{ExecContext, Executor};
+
+/// Which value types occur among an [`CompiledExpr::InSet`]'s candidates; used to reproduce the
+/// three-valued `IN` semantics for needles that are incomparable with some candidate
+/// (`sql_eq` returning `None` acts like a NULL candidate: a non-match becomes NULL).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct InSetTypes {
+    ints: bool,
+    floats: bool,
+    dates: bool,
+    texts: bool,
+}
+
+impl InSetTypes {
+    /// Is any candidate incomparable with a (non-null) needle of this type under `sql_cmp`?
+    /// Mirrors the `sql_cmp` table: Int pairs with Int/Float/Date, Float with Int/Float, Date
+    /// with Int/Date, Text with Text; everything else (including a Bool needle) is unknown.
+    fn any_incomparable_with(self, needle: &Value) -> bool {
+        match needle {
+            Value::Int(_) => self.texts,
+            Value::Float(_) => self.dates || self.texts,
+            Value::Date(_) => self.floats || self.texts,
+            Value::Text(_) => self.ints || self.floats || self.dates,
+            _ => self.ints || self.floats || self.dates || self.texts,
+        }
+    }
+}
+
+/// A scalar expression compiled for repeated evaluation against tuples of one fixed schema.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledExpr {
+    /// Column reference by index.
+    Column(usize),
+    /// Pre-evaluated constant.
+    Literal(Value),
+    /// Binary operation (non-logical operators).
+    Binary { op: BinaryOperator, left: Box<CompiledExpr>, right: Box<CompiledExpr> },
+    /// AND/OR with short-circuit three-valued logic.
+    Logical { op: BinaryOperator, left: Box<CompiledExpr>, right: Box<CompiledExpr> },
+    /// Unary operation.
+    Unary { op: UnaryOperator, expr: Box<CompiledExpr> },
+    /// Scalar function call.
+    Function { func: ScalarFunction, args: Vec<CompiledExpr> },
+    /// CASE expression.
+    Case {
+        operand: Option<Box<CompiledExpr>>,
+        branches: Vec<(CompiledExpr, CompiledExpr)>,
+        else_expr: Option<Box<CompiledExpr>>,
+    },
+    /// Cast.
+    Cast { expr: Box<CompiledExpr>, data_type: DataType },
+    /// `IN` over a pre-built hash set of constants (constant lists and `IN (SELECT ...)`).
+    /// `has_null` records whether any candidate was NULL (a non-match then yields NULL).
+    InSet {
+        expr: Box<CompiledExpr>,
+        set: HashSet<Value>,
+        types: InSetTypes,
+        has_null: bool,
+        negated: bool,
+    },
+    /// `IN` over pre-evaluated constant values whose types prevent hashing with exact SQL
+    /// semantics (booleans, NaN); compared linearly with `sql_eq`.
+    InValues { expr: Box<CompiledExpr>, values: Vec<Value>, negated: bool },
+    /// `IN` over non-constant candidate expressions.
+    InList { expr: Box<CompiledExpr>, list: Vec<CompiledExpr>, negated: bool },
+}
+
+impl CompiledExpr {
+    /// Compile `expr`, resolving any uncorrelated sublinks by executing their plans once through
+    /// `executor` under `ctx`'s resource limits.
+    pub(crate) fn compile(
+        expr: &ScalarExpr,
+        executor: &Executor,
+        ctx: ExecContext,
+    ) -> Result<CompiledExpr, ExecError> {
+        Ok(match expr {
+            ScalarExpr::Column { index, .. } => CompiledExpr::Column(*index),
+            ScalarExpr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            ScalarExpr::BinaryOp { op, left, right } => {
+                let left = Box::new(CompiledExpr::compile(left, executor, ctx)?);
+                let right = Box::new(CompiledExpr::compile(right, executor, ctx)?);
+                if matches!(op, BinaryOperator::And | BinaryOperator::Or) {
+                    CompiledExpr::Logical { op: *op, left, right }
+                } else {
+                    CompiledExpr::Binary { op: *op, left, right }
+                }
+            }
+            ScalarExpr::UnaryOp { op, expr } => CompiledExpr::Unary {
+                op: *op,
+                expr: Box::new(CompiledExpr::compile(expr, executor, ctx)?),
+            },
+            ScalarExpr::Function { func, args } => CompiledExpr::Function {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|a| CompiledExpr::compile(a, executor, ctx))
+                    .collect::<Result<_, _>>()?,
+            },
+            ScalarExpr::Case { operand, branches, else_expr } => CompiledExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| CompiledExpr::compile(o, executor, ctx).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| {
+                        Ok((
+                            CompiledExpr::compile(w, executor, ctx)?,
+                            CompiledExpr::compile(t, executor, ctx)?,
+                        ))
+                    })
+                    .collect::<Result<_, ExecError>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| CompiledExpr::compile(e, executor, ctx).map(Box::new))
+                    .transpose()?,
+            },
+            ScalarExpr::Cast { expr, data_type } => CompiledExpr::Cast {
+                expr: Box::new(CompiledExpr::compile(expr, executor, ctx)?),
+                data_type: *data_type,
+            },
+            ScalarExpr::InList { expr, list, negated } => {
+                let expr = Box::new(CompiledExpr::compile(expr, executor, ctx)?);
+                if list.iter().all(|e| matches!(e, ScalarExpr::Literal(_))) {
+                    let values: Vec<Value> = list
+                        .iter()
+                        .map(|e| match e {
+                            ScalarExpr::Literal(v) => v.clone(),
+                            _ => unreachable!("checked: all literals"),
+                        })
+                        .collect();
+                    compile_in_constants(expr, values, *negated)
+                } else {
+                    CompiledExpr::InList {
+                        expr,
+                        list: list
+                            .iter()
+                            .map(|e| CompiledExpr::compile(e, executor, ctx))
+                            .collect::<Result<_, _>>()?,
+                        negated: *negated,
+                    }
+                }
+            }
+            ScalarExpr::Sublink { kind, operand, negated, plan } => match kind {
+                SublinkKind::Exists => {
+                    // Only existence matters: pull at most one row from the sub-plan.
+                    let mut stream = executor.stream(plan, ctx)?;
+                    let non_empty = stream.next().transpose()?.is_some();
+                    CompiledExpr::Literal(Value::Bool(non_empty != *negated))
+                }
+                SublinkKind::Scalar => {
+                    let mut stream = executor.stream(plan, ctx)?;
+                    let first = stream.next().transpose()?;
+                    if stream.next().transpose()?.is_some() {
+                        return Err(ExecError::ScalarSubqueryTooManyRows);
+                    }
+                    let value = first.and_then(|t| t.get(0).cloned()).unwrap_or(Value::Null);
+                    CompiledExpr::Literal(value)
+                }
+                SublinkKind::InSubquery => {
+                    let operand = operand.as_ref().ok_or_else(|| {
+                        ExecError::Internal("IN sublink without an operand".into())
+                    })?;
+                    let operand = Box::new(CompiledExpr::compile(operand, executor, ctx)?);
+                    let mut values = Vec::new();
+                    for row in executor.stream(plan, ctx)? {
+                        let row = row?;
+                        values.push(row.get(0).cloned().unwrap_or(Value::Null));
+                    }
+                    compile_in_constants(operand, values, *negated)
+                }
+            },
+        })
+    }
+
+    /// Evaluate against a tuple.
+    pub(crate) fn eval(&self, tuple: &Tuple) -> Result<Value, ExecError> {
+        match self {
+            CompiledExpr::Column(index) => tuple.get(*index).cloned().ok_or_else(|| {
+                ExecError::Internal(format!(
+                    "column #{index} out of bounds for tuple of arity {}",
+                    tuple.arity()
+                ))
+            }),
+            CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Logical { op, left, right } => {
+                let l = left.eval(tuple)?.as_bool();
+                match (op, l) {
+                    (BinaryOperator::And, Some(false)) => return Ok(Value::Bool(false)),
+                    (BinaryOperator::Or, Some(true)) => return Ok(Value::Bool(true)),
+                    _ => {}
+                }
+                let r = right.eval(tuple)?.as_bool();
+                Ok(logical_combine(*op, l, r))
+            }
+            CompiledExpr::Binary { op, left, right } => {
+                binary_op_values(*op, &left.eval(tuple)?, &right.eval(tuple)?)
+            }
+            CompiledExpr::Unary { op, expr } => unary_op_value(*op, expr.eval(tuple)?),
+            CompiledExpr::Function { func, args } => {
+                // Stack-allocate the argument buffer for the common arities.
+                if args.len() <= 4 {
+                    let mut buf = [Value::Null, Value::Null, Value::Null, Value::Null];
+                    for (slot, arg) in buf.iter_mut().zip(args.iter()) {
+                        *slot = arg.eval(tuple)?;
+                    }
+                    evaluate_function(*func, &buf[..args.len()])
+                } else {
+                    let values =
+                        args.iter().map(|a| a.eval(tuple)).collect::<Result<Vec<_>, _>>()?;
+                    evaluate_function(*func, &values)
+                }
+            }
+            CompiledExpr::Case { operand, branches, else_expr } => {
+                let operand_value = operand.as_ref().map(|o| o.eval(tuple)).transpose()?;
+                for (when, then) in branches {
+                    let matched = match &operand_value {
+                        Some(op_val) => {
+                            let w = when.eval(tuple)?;
+                            op_val.sql_eq(&w).unwrap_or(false)
+                        }
+                        None => when.eval(tuple)?.as_bool().unwrap_or(false),
+                    };
+                    if matched {
+                        return then.eval(tuple);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(tuple),
+                    None => Ok(Value::Null),
+                }
+            }
+            CompiledExpr::Cast { expr, data_type } => Ok(expr.eval(tuple)?.cast(*data_type)?),
+            CompiledExpr::InSet { expr, set, types, has_null, negated } => {
+                let needle = expr.eval(tuple)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                // Date and Int candidates compare numerically under `sql_eq` but hash with
+                // different type tags, so probe both representations.
+                let matched = set.contains(&needle)
+                    || match needle {
+                        Value::Date(d) => set.contains(&Value::Int(d as i64)),
+                        Value::Int(i) => {
+                            i32::try_from(i).is_ok_and(|d| set.contains(&Value::Date(d)))
+                        }
+                        _ => false,
+                    };
+                if matched {
+                    Ok(Value::Bool(!negated))
+                } else if *has_null || types.any_incomparable_with(&needle) {
+                    // An incomparable pair makes `sql_eq` unknown, exactly like a NULL candidate.
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            CompiledExpr::InValues { expr, values, negated } => {
+                let needle = expr.eval(tuple)?;
+                in_values(&needle, values.iter().map(|v| Ok(v.clone())), *negated)
+            }
+            CompiledExpr::InList { expr, list, negated } => {
+                let needle = expr.eval(tuple)?;
+                in_values(&needle, list.iter().map(|e| e.eval(tuple)), *negated)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: `true` only for SQL TRUE.
+    pub(crate) fn eval_predicate(&self, tuple: &Tuple) -> Result<bool, ExecError> {
+        Ok(self.eval(tuple)?.as_bool().unwrap_or(false))
+    }
+}
+
+/// Linear `IN` evaluation with full three-valued semantics over lazily produced candidates.
+fn in_values(
+    needle: &Value,
+    candidates: impl Iterator<Item = Result<Value, ExecError>>,
+    negated: bool,
+) -> Result<Value, ExecError> {
+    if needle.is_null() {
+        return Ok(Value::Null);
+    }
+    let mut saw_null = false;
+    for candidate in candidates {
+        match needle.sql_eq(&candidate?) {
+            Some(true) => return Ok(Value::Bool(!negated)),
+            Some(false) => {}
+            None => saw_null = true,
+        }
+    }
+    if saw_null {
+        Ok(Value::Null)
+    } else {
+        Ok(Value::Bool(negated))
+    }
+}
+
+/// Choose the best representation for an `IN` over constant candidate values: a hash set when
+/// every candidate hashes consistently with `sql_eq` (Int/Float/Date/Text, no NaN, no booleans),
+/// otherwise a pre-evaluated value list compared linearly.
+fn compile_in_constants(
+    expr: Box<CompiledExpr>,
+    values: Vec<Value>,
+    negated: bool,
+) -> CompiledExpr {
+    let mut types = InSetTypes::default();
+    let mut has_null = false;
+    for v in &values {
+        match v {
+            Value::Null => has_null = true,
+            Value::Int(_) => types.ints = true,
+            Value::Date(_) => types.dates = true,
+            Value::Float(f) if !f.is_nan() => types.floats = true,
+            Value::Text(_) => types.texts = true,
+            // Booleans and NaN do not hash consistently with `sql_eq`; fall back.
+            _ => return CompiledExpr::InValues { expr, values, negated },
+        }
+    }
+    let set: HashSet<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
+    CompiledExpr::InSet { expr, set, types, has_null, negated }
+}
+
+/// An aggregate expression with its argument compiled.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledAggregate {
+    pub(crate) spec: AggregateExpr,
+    pub(crate) arg: Option<CompiledExpr>,
+}
+
+impl CompiledAggregate {
+    pub(crate) fn compile(
+        agg: &AggregateExpr,
+        executor: &Executor,
+        ctx: ExecContext,
+    ) -> Result<CompiledAggregate, ExecError> {
+        let arg = agg.arg.as_ref().map(|e| CompiledExpr::compile(e, executor, ctx)).transpose()?;
+        Ok(CompiledAggregate { spec: agg.clone(), arg })
+    }
+}

@@ -26,6 +26,11 @@ pub enum ExecError {
         /// The configured timeout in milliseconds.
         millis: u64,
     },
+    /// A scalar subquery used as a value returned more than one row.
+    ///
+    /// SQL requires a scalar subquery to produce at most one row; silently taking the first row
+    /// would make results depend on physical tuple order.
+    ScalarSubqueryTooManyRows,
     /// Any other execution failure.
     Internal(String),
 }
@@ -40,6 +45,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::Timeout { millis } => {
                 write!(f, "execution aborted: timeout of {millis} ms exceeded")
+            }
+            ExecError::ScalarSubqueryTooManyRows => {
+                write!(f, "scalar subquery returned more than one row")
             }
             ExecError::Internal(msg) => write!(f, "execution error: {msg}"),
         }

@@ -19,18 +19,7 @@ pub fn evaluate(expr: &ScalarExpr, tuple: &Tuple) -> Result<Value, ExecError> {
         }),
         ScalarExpr::Literal(v) => Ok(v.clone()),
         ScalarExpr::BinaryOp { op, left, right } => evaluate_binary(*op, left, right, tuple),
-        ScalarExpr::UnaryOp { op, expr } => {
-            let v = evaluate(expr, tuple)?;
-            Ok(match op {
-                UnaryOperator::Not => match v.as_bool() {
-                    Some(b) => Value::Bool(!b),
-                    None => Value::Null,
-                },
-                UnaryOperator::Neg => v.neg()?,
-                UnaryOperator::IsNull => Value::Bool(v.is_null()),
-                UnaryOperator::IsNotNull => Value::Bool(!v.is_null()),
-            })
-        }
+        ScalarExpr::UnaryOp { op, expr } => unary_op_value(*op, evaluate(expr, tuple)?),
         ScalarExpr::Function { func, args } => {
             let values = args.iter().map(|a| evaluate(a, tuple)).collect::<Result<Vec<_>, _>>()?;
             evaluate_function(*func, &values)
@@ -103,20 +92,45 @@ fn evaluate_binary(
             _ => {}
         }
         let r = evaluate(right, tuple)?.as_bool();
-        return Ok(match (op, l, r) {
-            (BinaryOperator::And, Some(true), Some(true)) => Value::Bool(true),
-            (BinaryOperator::And, _, Some(false)) => Value::Bool(false),
-            (BinaryOperator::And, _, _) => Value::Null,
-            (BinaryOperator::Or, Some(false), Some(false)) => Value::Bool(false),
-            (BinaryOperator::Or, _, Some(true)) => Value::Bool(true),
-            (BinaryOperator::Or, _, _) => Value::Null,
-            _ => unreachable!("only AND/OR reach this match"),
-        });
+        return Ok(logical_combine(op, l, r));
     }
 
-    let l = evaluate(left, tuple)?;
-    let r = evaluate(right, tuple)?;
+    binary_op_values(op, &evaluate(left, tuple)?, &evaluate(right, tuple)?)
+}
 
+/// Combine the boolean views of two operands under AND/OR three-valued logic (after the caller
+/// has applied short-circuiting).
+pub(crate) fn logical_combine(op: BinaryOperator, l: Option<bool>, r: Option<bool>) -> Value {
+    match (op, l, r) {
+        (BinaryOperator::And, Some(true), Some(true)) => Value::Bool(true),
+        (BinaryOperator::And, _, Some(false)) => Value::Bool(false),
+        (BinaryOperator::And, _, _) => Value::Null,
+        (BinaryOperator::Or, Some(false), Some(false)) => Value::Bool(false),
+        (BinaryOperator::Or, _, Some(true)) => Value::Bool(true),
+        (BinaryOperator::Or, _, _) => Value::Null,
+        _ => unreachable!("only AND/OR reach logical_combine"),
+    }
+}
+
+/// Apply a unary operator to an evaluated operand.
+pub(crate) fn unary_op_value(op: UnaryOperator, v: Value) -> Result<Value, ExecError> {
+    Ok(match op {
+        UnaryOperator::Not => match v.as_bool() {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        },
+        UnaryOperator::Neg => v.neg()?,
+        UnaryOperator::IsNull => Value::Bool(v.is_null()),
+        UnaryOperator::IsNotNull => Value::Bool(!v.is_null()),
+    })
+}
+
+/// Apply a non-logical binary operator to two evaluated operands (SQL three-valued semantics).
+pub(crate) fn binary_op_values(
+    op: BinaryOperator,
+    l: &Value,
+    r: &Value,
+) -> Result<Value, ExecError> {
     // Null-safe comparisons are defined even for NULL operands.
     match op {
         BinaryOperator::IsNotDistinctFrom => return Ok(Value::Bool(l == r)),
@@ -129,21 +143,21 @@ fn evaluate_binary(
     }
 
     Ok(match op {
-        BinaryOperator::Add => l.add(&r)?,
-        BinaryOperator::Sub => l.sub(&r)?,
-        BinaryOperator::Mul => l.mul(&r)?,
-        BinaryOperator::Div => l.div(&r)?,
-        BinaryOperator::Mod => l.rem(&r)?,
-        BinaryOperator::Eq => bool_or_null(l.sql_eq(&r)),
-        BinaryOperator::NotEq => bool_or_null(l.sql_eq(&r).map(|b| !b)),
-        BinaryOperator::Lt => bool_or_null(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Less)),
+        BinaryOperator::Add => l.add(r)?,
+        BinaryOperator::Sub => l.sub(r)?,
+        BinaryOperator::Mul => l.mul(r)?,
+        BinaryOperator::Div => l.div(r)?,
+        BinaryOperator::Mod => l.rem(r)?,
+        BinaryOperator::Eq => bool_or_null(l.sql_eq(r)),
+        BinaryOperator::NotEq => bool_or_null(l.sql_eq(r).map(|b| !b)),
+        BinaryOperator::Lt => bool_or_null(l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Less)),
         BinaryOperator::LtEq => {
-            bool_or_null(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Greater))
+            bool_or_null(l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Greater))
         }
-        BinaryOperator::Gt => bool_or_null(l.sql_cmp(&r).map(|o| o == std::cmp::Ordering::Greater)),
-        BinaryOperator::GtEq => bool_or_null(l.sql_cmp(&r).map(|o| o != std::cmp::Ordering::Less)),
-        BinaryOperator::Like => like_value(&l, &r, false)?,
-        BinaryOperator::NotLike => like_value(&l, &r, true)?,
+        BinaryOperator::Gt => bool_or_null(l.sql_cmp(r).map(|o| o == std::cmp::Ordering::Greater)),
+        BinaryOperator::GtEq => bool_or_null(l.sql_cmp(r).map(|o| o != std::cmp::Ordering::Less)),
+        BinaryOperator::Like => like_value(l, r, false)?,
+        BinaryOperator::NotLike => like_value(l, r, true)?,
         BinaryOperator::And
         | BinaryOperator::Or
         | BinaryOperator::IsNotDistinctFrom
@@ -193,7 +207,7 @@ pub fn like_match(value: &str, pattern: &str) -> bool {
     rec(&v, &p)
 }
 
-fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, ExecError> {
+pub(crate) fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, ExecError> {
     use ScalarFunction::*;
     // COALESCE is the only function that accepts NULL arguments meaningfully.
     if func == Coalesce {
@@ -219,10 +233,10 @@ fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, Exec
                 }
                 None => chars[from..].iter().collect(),
             };
-            Value::Text(taken)
+            Value::text(taken)
         }
-        Upper => Value::Text(arg(0)?.as_text().unwrap_or_default().to_uppercase()),
-        Lower => Value::Text(arg(0)?.as_text().unwrap_or_default().to_lowercase()),
+        Upper => Value::text(arg(0)?.as_text().unwrap_or_default().to_uppercase()),
+        Lower => Value::text(arg(0)?.as_text().unwrap_or_default().to_lowercase()),
         Length => Value::Int(arg(0)?.as_text().unwrap_or_default().chars().count() as i64),
         Abs => match arg(0)? {
             Value::Int(i) => Value::Int(i.abs()),
@@ -248,7 +262,7 @@ fn evaluate_function(func: ScalarFunction, args: &[Value]) -> Result<Value, Exec
             for v in args {
                 out.push_str(&v.to_string());
             }
-            Value::Text(out)
+            Value::text(out)
         }
         ExtractYear | ExtractMonth | ExtractDay => {
             let days = match arg(0)? {

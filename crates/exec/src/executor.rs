@@ -1,27 +1,40 @@
-//! The query executor: evaluates logical plans against a catalog, producing materialised
-//! relations.
+//! The query executor: evaluates logical plans against a catalog as a pull-based iterator
+//! pipeline.
 //!
-//! The executor is a straightforward materialising evaluator (every operator produces its full
-//! result before the parent consumes it) with hash-based implementations of the expensive
-//! operators: equi-joins, aggregation, DISTINCT and set operations. This mirrors what the
-//! rewritten provenance queries of the paper rely on from PostgreSQL: the extra joins introduced
-//! by rewrite rules R5–R9 are equi-joins on grouping / original attributes and therefore run as
-//! hash joins.
+//! Every operator is compiled into a `Box<dyn Iterator<Item = Result<Tuple, ExecError>>>`.
+//! Selection, projection, limit, subquery aliases and provenance annotations **stream**: they
+//! pull one tuple at a time from their input and never materialize intermediate relations. Only
+//! the true pipeline breakers materialize — sort, aggregation, set operations and the build side
+//! of a hash join. `LIMIT` short-circuits: once it has produced `limit` rows it stops pulling,
+//! so the operators beneath it stop doing work (and stop being charged against the row budget).
+//!
+//! Scalar expressions are compiled once per operator into [`crate::compile::CompiledExpr`]
+//! (uncorrelated sublinks executed exactly once, `IN (SELECT ...)` turned into a hash-set
+//! probe). The expensive operators are hash-based: equi-joins build a hash table on the right
+//! input, aggregation and DISTINCT group through hash maps — mirroring what the rewritten
+//! provenance queries of the paper rely on from PostgreSQL (rules R5–R9 introduce equi-joins on
+//! grouping / original attributes).
 //!
 //! Execution can be bounded with [`ExecOptions`] (row budget / wall-clock timeout) to reproduce
 //! the paper's behaviour of stopping runaway provenance queries (black cells in Figures 10/11).
+//! Budgets are enforced *incrementally* by the row-creating operators (scans, joins, set
+//! operations) as tuples flow, not after an operator has already materialized its output.
+//!
+//! A deliberately naive materializing evaluator is kept in [`crate::reference`] as the
+//! executable specification; property tests assert both paths produce identical relations.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use perm_algebra::{
-    AggregateExpr, AggregateFunction, BinaryOperator, JoinKind, LogicalPlan, ScalarExpr, Schema,
-    SetOpKind, SetSemantics, SortKey, SortOrder, Tuple, Value,
+    BinaryOperator, JoinKind, LogicalPlan, ScalarExpr, Schema, SetOpKind, SetSemantics, SortOrder,
+    Tuple, Value,
 };
 use perm_storage::{Catalog, Relation};
 
+use crate::compile::{CompiledAggregate, CompiledExpr};
 use crate::error::ExecError;
-use crate::eval::{evaluate, evaluate_predicate};
 
 /// Resource limits applied to a single plan execution.
 #[derive(Debug, Clone, Default)]
@@ -51,32 +64,78 @@ impl ExecOptions {
     }
 }
 
+/// Per-execution limits, resolved once per [`Executor::execute`] call and passed *by value*
+/// (it is two words) down the operator tree — [`ExecOptions`] itself is never cloned per call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecContext {
+    row_budget: Option<usize>,
+    deadline: Option<Deadline>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Instant,
+    millis: u64,
+}
+
+impl ExecContext {
+    fn new(options: &ExecOptions) -> ExecContext {
+        ExecContext {
+            row_budget: options.row_budget,
+            deadline: options
+                .timeout
+                .map(|t| Deadline { at: Instant::now() + t, millis: t.as_millis() as u64 }),
+        }
+    }
+
+    pub(crate) fn check_deadline(&self) -> Result<(), ExecError> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline.at {
+                return Err(ExecError::Timeout { millis: deadline.millis });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental row-budget / timeout enforcement for one operator's output.
+///
+/// The budget check fires on every produced row; the (comparatively expensive) deadline check
+/// fires every 256 rows.
+#[derive(Debug)]
+struct RowGuard {
+    produced: usize,
+    ctx: ExecContext,
+}
+
+impl RowGuard {
+    fn new(ctx: ExecContext) -> RowGuard {
+        RowGuard { produced: 0, ctx }
+    }
+
+    #[inline]
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.produced += 1;
+        if let Some(budget) = self.ctx.row_budget {
+            if self.produced > budget {
+                return Err(ExecError::RowBudgetExceeded { budget });
+            }
+        }
+        if self.produced & 0xFF == 0 {
+            self.ctx.check_deadline()?;
+        }
+        Ok(())
+    }
+}
+
+/// The item stream flowing between operators.
+pub(crate) type TupleIter<'a> = Box<dyn Iterator<Item = Result<Tuple, ExecError>> + 'a>;
+
 /// Executes logical plans against a [`Catalog`].
 #[derive(Debug, Clone)]
 pub struct Executor {
     catalog: Catalog,
     options: ExecOptions,
-}
-
-struct ExecContext {
-    options: ExecOptions,
-    start: Instant,
-}
-
-impl ExecContext {
-    fn check(&self, rows: usize) -> Result<(), ExecError> {
-        if let Some(budget) = self.options.row_budget {
-            if rows > budget {
-                return Err(ExecError::RowBudgetExceeded { budget });
-            }
-        }
-        if let Some(timeout) = self.options.timeout {
-            if self.start.elapsed() > timeout {
-                return Err(ExecError::Timeout { millis: timeout.as_millis() as u64 });
-            }
-        }
-        Ok(())
-    }
 }
 
 impl Executor {
@@ -97,251 +156,310 @@ impl Executor {
 
     /// Execute a plan, returning the materialised result.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
-        let ctx = ExecContext { options: self.options.clone(), start: Instant::now() };
-        let tuples = self.run(plan, &ctx)?;
-        Ok(Relation::from_parts(plan.schema(), tuples))
+        let ctx = ExecContext::new(&self.options);
+        let schema = plan.schema();
+        let tuples = self.stream(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
+        Ok(Relation::from_parts(schema, tuples))
     }
 
-    fn run(&self, plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Tuple>, ExecError> {
-        let out = match plan {
+    /// Execute a plan with the naive materializing reference evaluator (the executable
+    /// specification of operator semantics; ignores resource limits). Exposed for differential
+    /// tests.
+    pub fn execute_reference(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
+        crate::reference::execute_reference(&self.catalog, plan)
+    }
+
+    /// Build the iterator pipeline for `plan`.
+    pub(crate) fn stream<'a>(
+        &'a self,
+        plan: &'a LogicalPlan,
+        ctx: ExecContext,
+    ) -> Result<TupleIter<'a>, ExecError> {
+        Ok(match plan {
             LogicalPlan::BaseRelation { name, schema, .. } => {
-                let table = self.catalog.table(name)?;
-                if table.schema().arity() != schema.arity() {
-                    return Err(ExecError::Internal(format!(
-                        "stored table '{name}' has arity {} but the plan expects {}",
-                        table.schema().arity(),
-                        schema.arity()
-                    )));
-                }
-                table.into_tuples()
+                Box::new(self.scan(name, schema, None, None, ctx)?)
             }
-            LogicalPlan::Values { rows, .. } => rows.clone(),
-            LogicalPlan::Projection { input, exprs, distinct } => {
-                let rows = self.run(input, ctx)?;
-                let exprs: Vec<(ScalarExpr, String)> = exprs
-                    .iter()
-                    .map(|(e, n)| Ok((self.resolve_sublinks(e, ctx)?, n.clone())))
-                    .collect::<Result<_, ExecError>>()?;
-                let mut out = Vec::with_capacity(rows.len());
-                for row in &rows {
-                    let mut values = Vec::with_capacity(exprs.len());
-                    for (e, _) in &exprs {
-                        values.push(evaluate(e, row)?);
-                    }
-                    out.push(Tuple::new(values));
-                }
-                if *distinct {
-                    out = dedupe(out);
-                }
-                out
+            LogicalPlan::Values { rows, .. } => {
+                let mut guard = RowGuard::new(ctx);
+                Box::new(rows.iter().map(move |t| {
+                    guard.tick()?;
+                    Ok(t.clone())
+                }))
             }
             LogicalPlan::Selection { input, predicate } => {
-                let rows = self.run(input, ctx)?;
-                let predicate = self.resolve_sublinks(predicate, ctx)?;
-                let mut out = Vec::new();
-                for row in rows {
-                    if evaluate_predicate(&predicate, &row)? {
-                        out.push(row);
-                    }
+                let predicate = CompiledExpr::compile(predicate, self, ctx)?;
+                // Fuse a selection directly over a base relation into the scan: the predicate is
+                // evaluated against the *stored* tuple and only matches are cloned.
+                if let LogicalPlan::BaseRelation { name, schema, .. } = strip_transparent(input) {
+                    return Ok(Box::new(self.scan(name, schema, Some(predicate), None, ctx)?));
                 }
-                out
+                let child = self.stream(input, ctx)?;
+                Box::new(child.filter_map(move |r| match r {
+                    Ok(t) => match predicate.eval_predicate(&t) {
+                        Ok(true) => Some(Ok(t)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                    Err(e) => Some(Err(e)),
+                }))
+            }
+            LogicalPlan::Projection { input, exprs, distinct } => {
+                let exprs: Vec<CompiledExpr> = exprs
+                    .iter()
+                    .map(|(e, _)| CompiledExpr::compile(e, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                // Fuse projection (and an optional selection) over a base relation: expressions
+                // read the stored tuple, so only the projected values are ever cloned.
+                let fused: Option<TupleIter<'a>> = match strip_transparent(input) {
+                    LogicalPlan::BaseRelation { name, schema, .. } => {
+                        Some(Box::new(self.scan(name, schema, None, Some(exprs.clone()), ctx)?))
+                    }
+                    LogicalPlan::Selection { input: sel_input, predicate }
+                        if matches!(
+                            strip_transparent(sel_input),
+                            LogicalPlan::BaseRelation { .. }
+                        ) =>
+                    {
+                        let LogicalPlan::BaseRelation { name, schema, .. } =
+                            strip_transparent(sel_input)
+                        else {
+                            unreachable!("matched above");
+                        };
+                        let predicate = CompiledExpr::compile(predicate, self, ctx)?;
+                        Some(Box::new(self.scan(
+                            name,
+                            schema,
+                            Some(predicate),
+                            Some(exprs.clone()),
+                            ctx,
+                        )?))
+                    }
+                    _ => None,
+                };
+                let mapped: TupleIter<'a> = match fused {
+                    Some(iter) => iter,
+                    None => {
+                        let child = self.stream(input, ctx)?;
+                        Box::new(child.map(move |r| project_tuple(&exprs, &r?)))
+                    }
+                };
+                if *distinct {
+                    Box::new(DistinctIter { inner: mapped, seen: std::collections::HashSet::new() })
+                } else {
+                    mapped
+                }
             }
             LogicalPlan::Join { left, right, kind, condition } => {
-                let left_rows = self.run(left, ctx)?;
-                let right_rows = self.run(right, ctx)?;
-                let condition =
-                    condition.as_ref().map(|c| self.resolve_sublinks(c, ctx)).transpose()?;
-                self.join(
-                    left_rows,
-                    right_rows,
-                    left.schema().arity(),
-                    right.schema().arity(),
-                    *kind,
-                    condition.as_ref(),
+                let left_arity = left.output_arity();
+                let right_arity = right.output_arity();
+                // The build side materializes (pipeline breaker); the probe side streams.
+                let right_rows: Vec<Tuple> = self.stream(right, ctx)?.collect::<Result<_, _>>()?;
+                let (equi_keys, residual) = match condition {
+                    Some(c) => split_equi_join_condition(c, left_arity),
+                    None => (Vec::new(), Vec::new()),
+                };
+                let (mode, filter) = if equi_keys.is_empty() {
+                    let filter = condition
+                        .as_ref()
+                        .map(|c| CompiledExpr::compile(c, self, ctx))
+                        .transpose()?;
+                    (JoinMode::nested_loop(&right_rows), filter)
+                } else {
+                    let filter = if residual.is_empty() {
+                        None
+                    } else {
+                        Some(CompiledExpr::compile(
+                            &ScalarExpr::conjunction(residual.into_iter().cloned().collect()),
+                            self,
+                            ctx,
+                        )?)
+                    };
+                    (JoinMode::hash(&right_rows, equi_keys, left_arity)?, filter)
+                };
+                let mut guard = RowGuard::new(ctx);
+                let join = JoinIter {
+                    left: self.stream(left, ctx)?,
+                    right: right_rows,
+                    kind: *kind,
+                    left_arity,
+                    right_arity,
+                    mode,
+                    filter,
+                    right_matched: Vec::new(),
+                    cur: None,
+                    cur_matched: false,
+                    cursor: Cursor::Index(0),
+                    drain: 0,
+                    probing: true,
+                    evals: 0,
                     ctx,
-                )?
+                };
+                Box::new(join.map(move |r| {
+                    let t = r?;
+                    guard.tick()?;
+                    Ok(t)
+                }))
             }
             LogicalPlan::Aggregation { input, group_by, aggregates } => {
-                let rows = self.run(input, ctx)?;
-                let group_by: Vec<(ScalarExpr, String)> = group_by
+                let group_by: Vec<CompiledExpr> = group_by
                     .iter()
-                    .map(|(e, n)| Ok((self.resolve_sublinks(e, ctx)?, n.clone())))
-                    .collect::<Result<_, ExecError>>()?;
-                let aggregates: Vec<(AggregateExpr, String)> = aggregates
+                    .map(|(e, _)| CompiledExpr::compile(e, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                let aggregates: Vec<CompiledAggregate> = aggregates
                     .iter()
-                    .map(|(a, n)| {
-                        let arg =
-                            a.arg.as_ref().map(|e| self.resolve_sublinks(e, ctx)).transpose()?;
-                        Ok((AggregateExpr { func: a.func, arg, distinct: a.distinct }, n.clone()))
-                    })
-                    .collect::<Result<_, ExecError>>()?;
-                aggregate(rows, &group_by, &aggregates)?
+                    .map(|(a, _)| CompiledAggregate::compile(a, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                let rows = aggregate_stream(self.stream(input, ctx)?, &group_by, &aggregates)?;
+                Box::new(rows.into_iter().map(Ok))
             }
             LogicalPlan::SetOp { left, right, kind, semantics } => {
-                let left_rows = self.run(left, ctx)?;
-                let right_rows = self.run(right, ctx)?;
-                set_operation(left_rows, right_rows, *kind, *semantics)
+                let left_rows: Vec<Tuple> = self.stream(left, ctx)?.collect::<Result<_, _>>()?;
+                let right_rows: Vec<Tuple> = self.stream(right, ctx)?.collect::<Result<_, _>>()?;
+                let out = set_operation(left_rows, right_rows, *kind, *semantics);
+                let mut guard = RowGuard::new(ctx);
+                Box::new(out.into_iter().map(move |t| {
+                    guard.tick()?;
+                    Ok(t)
+                }))
             }
             LogicalPlan::Sort { input, keys } => {
-                let mut rows = self.run(input, ctx)?;
-                sort_rows(&mut rows, keys)?;
-                rows
+                let compiled: Vec<(CompiledExpr, SortOrder)> = keys
+                    .iter()
+                    .map(|k| Ok((CompiledExpr::compile(&k.expr, self, ctx)?, k.order)))
+                    .collect::<Result<_, ExecError>>()?;
+                let mut rows: Vec<Tuple> = self.stream(input, ctx)?.collect::<Result<_, _>>()?;
+                sort_rows(&mut rows, &compiled)?;
+                Box::new(rows.into_iter().map(Ok))
             }
             LogicalPlan::Limit { input, limit, offset } => {
-                let rows = self.run(input, ctx)?;
-                rows.into_iter().skip(*offset).take(limit.unwrap_or(usize::MAX)).collect()
-            }
-            LogicalPlan::SubqueryAlias { input, .. } => self.run(input, ctx)?,
-            LogicalPlan::ProvenanceAnnotation { input, .. } => self.run(input, ctx)?,
-        };
-        ctx.check(out.len())?;
-        Ok(out)
-    }
-
-    /// Replace uncorrelated sublinks with their evaluated results: `EXISTS` becomes a boolean
-    /// literal, a scalar subquery becomes a value literal, and `IN (SELECT ...)` becomes an
-    /// `IN (value, ...)` list. Each subquery plan is executed exactly once.
-    fn resolve_sublinks(
-        &self,
-        expr: &ScalarExpr,
-        ctx: &ExecContext,
-    ) -> Result<ScalarExpr, ExecError> {
-        if !expr.has_sublink() {
-            return Ok(expr.clone());
-        }
-        let mut error: Option<ExecError> = None;
-        let resolved = expr.transform(&mut |e| {
-            if error.is_some() {
-                return e;
-            }
-            let ScalarExpr::Sublink { kind, operand, negated, plan } = &e else {
-                return e;
-            };
-            match self.run(plan, ctx) {
-                Ok(rows) => match kind {
-                    perm_algebra::SublinkKind::Exists => {
-                        ScalarExpr::Literal(Value::Bool(rows.is_empty() == *negated))
+                // Streaming limit: stop pulling from the input once satisfied, so the operators
+                // beneath do no further work.
+                let mut child = self.stream(input, ctx)?;
+                let mut to_skip = *offset;
+                let mut remaining = limit.unwrap_or(usize::MAX);
+                Box::new(std::iter::from_fn(move || loop {
+                    if remaining == 0 {
+                        return None;
                     }
-                    perm_algebra::SublinkKind::Scalar => {
-                        let value =
-                            rows.first().and_then(|t| t.get(0)).cloned().unwrap_or(Value::Null);
-                        ScalarExpr::Literal(value)
-                    }
-                    perm_algebra::SublinkKind::InSubquery => {
-                        let operand = match operand {
-                            Some(op) => (**op).clone(),
-                            None => {
-                                error = Some(ExecError::Internal(
-                                    "IN sublink without an operand".into(),
-                                ));
-                                return e;
+                    match child.next()? {
+                        Err(e) => return Some(Err(e)),
+                        Ok(t) => {
+                            if to_skip > 0 {
+                                to_skip -= 1;
+                                continue;
                             }
-                        };
-                        let list = rows
-                            .iter()
-                            .map(|t| ScalarExpr::Literal(t.get(0).cloned().unwrap_or(Value::Null)))
-                            .collect();
-                        ScalarExpr::InList { expr: Box::new(operand), list, negated: *negated }
-                    }
-                },
-                Err(err) => {
-                    error = Some(err);
-                    e
-                }
-            }
-        });
-        match error {
-            Some(err) => Err(err),
-            None => Ok(resolved),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn join(
-        &self,
-        left_rows: Vec<Tuple>,
-        right_rows: Vec<Tuple>,
-        left_arity: usize,
-        right_arity: usize,
-        kind: JoinKind,
-        condition: Option<&ScalarExpr>,
-        ctx: &ExecContext,
-    ) -> Result<Vec<Tuple>, ExecError> {
-        let (equi_keys, residual) = match condition {
-            Some(c) => split_equi_join_condition(c, left_arity),
-            None => (Vec::new(), Vec::new()),
-        };
-        let residual =
-            if residual.is_empty() { None } else { Some(ScalarExpr::conjunction(residual)) };
-
-        let mut out: Vec<Tuple> = Vec::new();
-        let mut right_matched = vec![false; right_rows.len()];
-
-        if !equi_keys.is_empty() {
-            // Hash join: build on the right, probe from the left.
-            let mut table: HashMap<Tuple, Vec<usize>> = HashMap::new();
-            for (i, row) in right_rows.iter().enumerate() {
-                if let Some(key) =
-                    join_key(row, &equi_keys, |k| k.right - left_arity, |k| k.null_safe)
-                {
-                    table.entry(key).or_default().push(i);
-                }
-            }
-            for left_row in &left_rows {
-                let mut matched = false;
-                if let Some(key) = join_key(left_row, &equi_keys, |k| k.left, |k| k.null_safe) {
-                    if let Some(candidates) = table.get(&key) {
-                        for &ri in candidates {
-                            let combined = left_row.concat(&right_rows[ri]);
-                            let keep = match &residual {
-                                Some(r) => evaluate_predicate(r, &combined)?,
-                                None => true,
-                            };
-                            if keep {
-                                matched = true;
-                                right_matched[ri] = true;
-                                out.push(combined);
-                            }
+                            remaining -= 1;
+                            return Some(Ok(t));
                         }
                     }
-                }
-                if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
-                    out.push(left_row.concat(&Tuple::nulls(right_arity)));
-                }
-                ctx.check(out.len())?;
+                }))
             }
-        } else {
-            // Nested-loop join with an arbitrary condition (or cross product).
-            for left_row in &left_rows {
-                let mut matched = false;
-                for (ri, right_row) in right_rows.iter().enumerate() {
-                    let combined = left_row.concat(right_row);
-                    let keep = match condition {
-                        Some(c) => evaluate_predicate(c, &combined)?,
-                        None => true,
-                    };
-                    if keep {
-                        matched = true;
-                        right_matched[ri] = true;
-                        out.push(combined);
+            LogicalPlan::SubqueryAlias { input, .. } => self.stream(input, ctx)?,
+            LogicalPlan::ProvenanceAnnotation { input, .. } => self.stream(input, ctx)?,
+        })
+    }
+
+    /// A (possibly filtered / projected) scan over a zero-copy snapshot of a base relation.
+    /// The row guard ticks per *scanned* row, preserving the pre-streaming budget semantics for
+    /// base-relation reads even when a selection or projection is fused into the scan.
+    fn scan(
+        &self,
+        name: &str,
+        schema: &Schema,
+        predicate: Option<CompiledExpr>,
+        exprs: Option<Vec<CompiledExpr>>,
+        ctx: ExecContext,
+    ) -> Result<ScanIter, ExecError> {
+        let rel = self.catalog.table_arc(name)?;
+        if rel.schema().arity() != schema.arity() {
+            return Err(ExecError::Internal(format!(
+                "stored table '{name}' has arity {} but the plan expects {}",
+                rel.schema().arity(),
+                schema.arity()
+            )));
+        }
+        Ok(ScanIter { rel, idx: 0, predicate, exprs, guard: RowGuard::new(ctx) })
+    }
+}
+
+/// Strip operators that are transparent to execution (aliases, provenance annotations). Shared
+/// with the optimizer's column-pruning pass, whose notion of a "fusible leaf" must stay in
+/// lockstep with the scan fusion here.
+pub(crate) fn strip_transparent(plan: &LogicalPlan) -> &LogicalPlan {
+    match plan {
+        LogicalPlan::SubqueryAlias { input, .. }
+        | LogicalPlan::ProvenanceAnnotation { input, .. } => strip_transparent(input),
+        other => other,
+    }
+}
+
+/// Evaluate projection expressions against a tuple, producing the output tuple.
+fn project_tuple(exprs: &[CompiledExpr], tuple: &Tuple) -> Result<Tuple, ExecError> {
+    let mut values = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        values.push(e.eval(tuple)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Streaming scan over an [`Arc`] snapshot of a stored relation, with optional fused selection
+/// and projection. Tuples are cloned (or projected) only after the predicate passes.
+struct ScanIter {
+    rel: Arc<Relation>,
+    idx: usize,
+    predicate: Option<CompiledExpr>,
+    exprs: Option<Vec<CompiledExpr>>,
+    guard: RowGuard,
+}
+
+impl Iterator for ScanIter {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.idx >= self.rel.num_rows() {
+                return None;
+            }
+            let tuple = &self.rel.tuples()[self.idx];
+            self.idx += 1;
+            if let Err(e) = self.guard.tick() {
+                return Some(Err(e));
+            }
+            if let Some(predicate) = &self.predicate {
+                match predicate.eval_predicate(tuple) {
+                    Ok(true) => {}
+                    Ok(false) => continue,
+                    Err(e) => return Some(Err(e)),
+                }
+            }
+            return Some(match &self.exprs {
+                None => Ok(tuple.clone()),
+                Some(exprs) => project_tuple(exprs, tuple),
+            });
+        }
+    }
+}
+
+/// Streaming duplicate elimination (DISTINCT) preserving first-occurrence order.
+struct DistinctIter<'a> {
+    inner: TupleIter<'a>,
+    seen: std::collections::HashSet<Tuple>,
+}
+
+impl Iterator for DistinctIter<'_> {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.inner.next()? {
+                Err(e) => return Some(Err(e)),
+                Ok(t) => {
+                    if self.seen.insert(t.clone()) {
+                        return Some(Ok(t));
                     }
                 }
-                if !matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
-                    out.push(left_row.concat(&Tuple::nulls(right_arity)));
-                }
-                ctx.check(out.len())?;
             }
         }
-
-        if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
-            for (ri, matched) in right_matched.iter().enumerate() {
-                if !matched {
-                    out.push(Tuple::nulls(left_arity).concat(&right_rows[ri]));
-                }
-            }
-        }
-        ctx.check(out.len())?;
-        Ok(out)
     }
 }
 
@@ -360,7 +478,7 @@ struct EquiKey {
 fn split_equi_join_condition(
     condition: &ScalarExpr,
     left_arity: usize,
-) -> (Vec<EquiKey>, Vec<ScalarExpr>) {
+) -> (Vec<EquiKey>, Vec<&ScalarExpr>) {
     let mut keys = Vec::new();
     let mut residual = Vec::new();
     for conjunct in condition.split_conjunction() {
@@ -377,16 +495,223 @@ fn split_equi_join_condition(
                 } else if b < left_arity && a >= left_arity {
                     (b, a)
                 } else {
-                    residual.push(conjunct.clone());
+                    residual.push(conjunct);
                     continue;
                 };
                 keys.push(EquiKey { left: l, right: r, null_safe });
                 continue;
             }
         }
-        residual.push(conjunct.clone());
+        residual.push(conjunct);
     }
     (keys, residual)
+}
+
+/// Sentinel terminating a hash-join bucket chain.
+const CHAIN_END: u32 = u32::MAX;
+
+/// The probe strategy of a join: hash buckets over the build side, or plain nested loops.
+enum JoinMode {
+    /// Hash join: `head` maps a key to the first matching build-row index; `next[i]` chains to
+    /// the following build row with the same key (in increasing index order, so output order
+    /// matches the nested-loop order).
+    Hash {
+        keys: Vec<EquiKey>,
+        single: Option<HashMap<Value, u32>>,
+        multi: Option<HashMap<Tuple, u32>>,
+        next: Vec<u32>,
+    },
+    /// Nested loop over the whole build side.
+    Loop,
+}
+
+impl JoinMode {
+    fn nested_loop(_right_rows: &[Tuple]) -> JoinMode {
+        JoinMode::Loop
+    }
+
+    fn hash(
+        right_rows: &[Tuple],
+        keys: Vec<EquiKey>,
+        left_arity: usize,
+    ) -> Result<JoinMode, ExecError> {
+        let mut next = vec![CHAIN_END; right_rows.len()];
+        // Build in reverse so each bucket chain runs in increasing row order.
+        if keys.len() == 1 {
+            let key = keys[0];
+            let mut single: HashMap<Value, u32> = HashMap::with_capacity(right_rows.len());
+            for (i, row) in right_rows.iter().enumerate().rev() {
+                let Some(v) = row.get(key.right - left_arity) else { continue };
+                if v.is_null() && !key.null_safe {
+                    continue;
+                }
+                if let Some(prev) = single.insert(v.clone(), i as u32) {
+                    next[i] = prev;
+                }
+            }
+            Ok(JoinMode::Hash { keys, single: Some(single), multi: None, next })
+        } else {
+            let mut multi: HashMap<Tuple, u32> = HashMap::with_capacity(right_rows.len());
+            for (i, row) in right_rows.iter().enumerate().rev() {
+                let Some(k) = join_key(row, &keys, |k| k.right - left_arity, |k| k.null_safe)
+                else {
+                    continue;
+                };
+                if let Some(prev) = multi.insert(k, i as u32) {
+                    next[i] = prev;
+                }
+            }
+            Ok(JoinMode::Hash { keys, single: None, multi: Some(multi), next })
+        }
+    }
+
+    /// The bucket-chain start (hash) or full-scan start (loop) for a probe row.
+    fn cursor_for(&self, left_row: &Tuple) -> Cursor {
+        match self {
+            JoinMode::Loop => Cursor::Index(0),
+            JoinMode::Hash { keys, single, multi, .. } => {
+                if let Some(single) = single {
+                    let key = keys[0];
+                    let start = match left_row.get(key.left) {
+                        Some(v) if !v.is_null() || key.null_safe => {
+                            single.get(v).copied().unwrap_or(CHAIN_END)
+                        }
+                        _ => CHAIN_END,
+                    };
+                    Cursor::Chain(start)
+                } else {
+                    let multi = multi.as_ref().expect("multi-key table");
+                    let start = join_key(left_row, keys, |k| k.left, |k| k.null_safe)
+                        .and_then(|k| multi.get(&k).copied())
+                        .unwrap_or(CHAIN_END);
+                    Cursor::Chain(start)
+                }
+            }
+        }
+    }
+}
+
+/// Probe-side position within the current left row's candidates.
+enum Cursor {
+    /// Hash mode: next build-row index in the bucket chain ([`CHAIN_END`] = exhausted).
+    Chain(u32),
+    /// Loop mode: next build-row index.
+    Index(usize),
+}
+
+/// Streaming join: pulls left (probe) rows one at a time; the right (build) side is
+/// materialized. Handles inner, cross and all outer joins; right/full outer joins drain their
+/// null-padded unmatched build rows after the probe side is exhausted.
+struct JoinIter<'a> {
+    left: TupleIter<'a>,
+    right: Vec<Tuple>,
+    kind: JoinKind,
+    left_arity: usize,
+    right_arity: usize,
+    mode: JoinMode,
+    /// Residual predicate (hash mode) or the full join condition (loop mode).
+    filter: Option<CompiledExpr>,
+    right_matched: Vec<bool>,
+    cur: Option<Tuple>,
+    cur_matched: bool,
+    cursor: Cursor,
+    drain: usize,
+    probing: bool,
+    /// Candidate evaluations since the last deadline check. A join can evaluate its condition
+    /// arbitrarily often without *producing* a row (selective nested loops), so the timeout must
+    /// be checked against work done, not rows emitted.
+    evals: usize,
+    ctx: ExecContext,
+}
+
+impl JoinIter<'_> {
+    /// The next candidate build-row index for the current probe row.
+    fn advance(&mut self) -> Option<usize> {
+        match &mut self.cursor {
+            Cursor::Chain(pos) => {
+                if *pos == CHAIN_END {
+                    return None;
+                }
+                let i = *pos as usize;
+                let JoinMode::Hash { next, .. } = &self.mode else {
+                    unreachable!("chain cursor implies hash mode");
+                };
+                *pos = next[i];
+                Some(i)
+            }
+            Cursor::Index(pos) => {
+                if *pos >= self.right.len() {
+                    return None;
+                }
+                let i = *pos;
+                *pos += 1;
+                Some(i)
+            }
+        }
+    }
+}
+
+impl Iterator for JoinIter<'_> {
+    type Item = Result<Tuple, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.right_matched.is_empty() && !self.right.is_empty() {
+            self.right_matched = vec![false; self.right.len()];
+        }
+        while self.probing {
+            if self.cur.is_none() {
+                match self.left.next() {
+                    None => {
+                        self.probing = false;
+                        break;
+                    }
+                    Some(Err(e)) => return Some(Err(e)),
+                    Some(Ok(t)) => {
+                        self.cursor = self.mode.cursor_for(&t);
+                        self.cur = Some(t);
+                        self.cur_matched = false;
+                    }
+                }
+            }
+            while let Some(ri) = self.advance() {
+                self.evals += 1;
+                if self.evals & 0x3FF == 0 {
+                    if let Err(e) = self.ctx.check_deadline() {
+                        return Some(Err(e));
+                    }
+                }
+                let left_row = self.cur.as_ref().expect("probing a current row");
+                let combined = left_row.concat(&self.right[ri]);
+                let keep = match &self.filter {
+                    Some(f) => match f.eval_predicate(&combined) {
+                        Ok(keep) => keep,
+                        Err(e) => return Some(Err(e)),
+                    },
+                    None => true,
+                };
+                if keep {
+                    self.cur_matched = true;
+                    self.right_matched[ri] = true;
+                    return Some(Ok(combined));
+                }
+            }
+            let left_row = self.cur.take().expect("probing a current row");
+            if !self.cur_matched && matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+                return Some(Ok(left_row.concat(&Tuple::nulls(self.right_arity))));
+            }
+        }
+        // Drain unmatched build rows for right/full outer joins.
+        if matches!(self.kind, JoinKind::RightOuter | JoinKind::FullOuter) {
+            while self.drain < self.right.len() {
+                let ri = self.drain;
+                self.drain += 1;
+                if !self.right_matched.get(ri).copied().unwrap_or(false) {
+                    return Some(Ok(Tuple::nulls(self.left_arity).concat(&self.right[ri])));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Build a hash key for a row; `None` when a non-null-safe key column is NULL (such rows cannot
@@ -408,7 +733,7 @@ fn join_key(
     Some(Tuple::new(values))
 }
 
-fn dedupe(rows: Vec<Tuple>) -> Vec<Tuple> {
+pub(crate) fn dedupe(rows: Vec<Tuple>) -> Vec<Tuple> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for row in rows {
@@ -421,7 +746,7 @@ fn dedupe(rows: Vec<Tuple>) -> Vec<Tuple> {
 
 /// Aggregate accumulator for one aggregate expression within one group.
 #[derive(Debug, Clone)]
-enum Accumulator {
+pub(crate) enum Accumulator {
     Count { count: i64, distinct: Option<std::collections::HashSet<Value>> },
     Sum { sum: Option<Value>, distinct: Option<std::collections::HashSet<Value>> },
     Avg { sum: f64, count: i64, distinct: Option<std::collections::HashSet<Value>> },
@@ -430,7 +755,8 @@ enum Accumulator {
 }
 
 impl Accumulator {
-    fn new(agg: &AggregateExpr) -> Accumulator {
+    pub(crate) fn new(agg: &perm_algebra::AggregateExpr) -> Accumulator {
+        use perm_algebra::AggregateFunction;
         let distinct = agg.distinct.then(std::collections::HashSet::new);
         match agg.func {
             AggregateFunction::Count => Accumulator::Count { count: 0, distinct },
@@ -441,7 +767,7 @@ impl Accumulator {
         }
     }
 
-    fn update(&mut self, value: Option<Value>) -> Result<(), ExecError> {
+    pub(crate) fn update(&mut self, value: Option<Value>) -> Result<(), ExecError> {
         match self {
             Accumulator::Count { count, distinct } => match value {
                 // COUNT(*): every row counts.
@@ -520,7 +846,7 @@ impl Accumulator {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             Accumulator::Count { count, .. } => Value::Int(count),
             Accumulator::Sum { sum, .. } => sum.unwrap_or(Value::Null),
@@ -537,19 +863,24 @@ impl Accumulator {
     }
 }
 
-fn aggregate(
-    rows: Vec<Tuple>,
-    group_by: &[(ScalarExpr, String)],
-    aggregates: &[(AggregateExpr, String)],
+/// Hash aggregation, consuming the input stream row by row (grouping state is the only
+/// materialization).
+fn aggregate_stream(
+    input: TupleIter<'_>,
+    group_by: &[CompiledExpr],
+    aggregates: &[CompiledAggregate],
 ) -> Result<Vec<Tuple>, ExecError> {
     // Group keys in first-seen order so results are deterministic.
     let mut order: Vec<Tuple> = Vec::new();
     let mut groups: HashMap<Tuple, Vec<Accumulator>> = HashMap::new();
+    let mut saw_rows = false;
 
-    for row in &rows {
+    for row in input {
+        let row = row?;
+        saw_rows = true;
         let mut key_values = Vec::with_capacity(group_by.len());
-        for (e, _) in group_by {
-            key_values.push(evaluate(e, row)?);
+        for e in group_by {
+            key_values.push(e.eval(&row)?);
         }
         let key = Tuple::new(key_values);
         let accs = match groups.get_mut(&key) {
@@ -557,13 +888,13 @@ fn aggregate(
             None => {
                 order.push(key.clone());
                 groups.entry(key).or_insert_with(|| {
-                    aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect()
+                    aggregates.iter().map(|a| Accumulator::new(&a.spec)).collect()
                 })
             }
         };
-        for ((agg, _), acc) in aggregates.iter().zip(accs.iter_mut()) {
+        for (agg, acc) in aggregates.iter().zip(accs.iter_mut()) {
             let value = match &agg.arg {
-                Some(e) => Some(evaluate(e, row)?),
+                Some(e) => Some(e.eval(&row)?),
                 None => None,
             };
             acc.update(value)?;
@@ -571,8 +902,8 @@ fn aggregate(
     }
 
     // A global aggregation (no GROUP BY) over an empty input still yields one row.
-    if group_by.is_empty() && rows.is_empty() {
-        let accs: Vec<Accumulator> = aggregates.iter().map(|(a, _)| Accumulator::new(a)).collect();
+    if group_by.is_empty() && !saw_rows {
+        let accs: Vec<Accumulator> = aggregates.iter().map(|a| Accumulator::new(&a.spec)).collect();
         let values: Vec<Value> = accs.into_iter().map(Accumulator::finish).collect();
         return Ok(vec![Tuple::new(values)]);
     }
@@ -587,7 +918,7 @@ fn aggregate(
     Ok(out)
 }
 
-fn set_operation(
+pub(crate) fn set_operation(
     left: Vec<Tuple>,
     right: Vec<Tuple>,
     kind: SetOpKind,
@@ -654,20 +985,20 @@ fn counts(rows: &[Tuple]) -> HashMap<Tuple, usize> {
     m
 }
 
-fn sort_rows(rows: &mut [Tuple], keys: &[SortKey]) -> Result<(), ExecError> {
-    // Pre-compute sort key values to avoid re-evaluating expressions during comparisons.
+/// Sort rows by pre-compiled keys (each key expression is evaluated once per row).
+fn sort_rows(rows: &mut [Tuple], keys: &[(CompiledExpr, SortOrder)]) -> Result<(), ExecError> {
     let mut evaluated: Vec<(usize, Vec<Value>)> = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         let mut vs = Vec::with_capacity(keys.len());
-        for k in keys {
-            vs.push(evaluate(&k.expr, row)?);
+        for (e, _) in keys {
+            vs.push(e.eval(row)?);
         }
         evaluated.push((i, vs));
     }
     evaluated.sort_by(|(_, a), (_, b)| {
-        for (idx, k) in keys.iter().enumerate() {
+        for (idx, (_, order)) in keys.iter().enumerate() {
             let ord = a[idx].cmp(&b[idx]);
-            let ord = match k.order {
+            let ord = match order {
                 SortOrder::Ascending => ord,
                 SortOrder::Descending => ord.reverse(),
             };
@@ -755,7 +1086,10 @@ pub(crate) mod test_fixtures {
 mod tests {
     use super::test_fixtures::paper_example_catalog;
     use super::*;
-    use perm_algebra::{tuple, AggregateFunction, Attribute, DataType, PlanBuilder};
+    use perm_algebra::{
+        tuple, AggregateExpr, AggregateFunction, Attribute, DataType, PlanBuilder, SortKey,
+        SublinkKind,
+    };
 
     fn scan(catalog: &Catalog, table: &str, ref_id: usize) -> PlanBuilder {
         PlanBuilder::scan(table, catalog.table_schema(table).unwrap(), ref_id)
@@ -812,6 +1146,22 @@ mod tests {
         let plan = shop.join(sales, JoinKind::Inner, Some(cond)).build();
         let result = execute_plan(&catalog, &plan).unwrap();
         assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn hash_join_output_order_matches_nested_loop() {
+        // The bucket chains of the hash join must preserve build-row order so that hash and
+        // nested-loop joins produce identical sequences, not just identical bags.
+        let catalog = paper_example_catalog();
+        let cond = ScalarExpr::column(0, "name").eq(ScalarExpr::column(2, "sname"));
+        let hash_plan = scan(&catalog, "shop", 0)
+            .join(scan(&catalog, "sales", 1), JoinKind::Inner, Some(cond.clone()))
+            .build();
+        let nl_plan =
+            scan(&catalog, "shop", 0).cross_join(scan(&catalog, "sales", 1)).filter(cond).build();
+        let hash = execute_plan(&catalog, &hash_plan).unwrap();
+        let nl = execute_plan(&catalog, &nl_plan).unwrap();
+        assert_eq!(hash.tuples(), nl.tuples());
     }
 
     #[test]
@@ -1031,6 +1381,37 @@ mod tests {
     }
 
     #[test]
+    fn limit_short_circuits_its_input() {
+        // sales³ = 125 rows; a row budget of 20 would abort a materializing executor (and did,
+        // before streaming — see `row_budget_aborts_large_results`). With a streaming LIMIT the
+        // joins only ever produce the 5 rows that are pulled, so the budget is never hit.
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "sales", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .cross_join(scan(&catalog, "sales", 2))
+            .limit(Some(5), 0)
+            .build();
+        let options = ExecOptions::default().with_row_budget(20);
+        let result = execute_plan_with_options(&catalog, &plan, options).unwrap();
+        assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn limit_zero_pulls_nothing() {
+        // The build (right) side of a join always materializes — it is a pipeline breaker — so
+        // the budget must cover its 5 rows; the probe side and the 25-row cross product are
+        // never produced because LIMIT 0 pulls nothing.
+        let catalog = paper_example_catalog();
+        let plan = scan(&catalog, "sales", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .limit(Some(0), 0)
+            .build();
+        let options = ExecOptions::default().with_row_budget(5);
+        let result = execute_plan_with_options(&catalog, &plan, options).unwrap();
+        assert_eq!(result.num_rows(), 0);
+    }
+
+    #[test]
     fn values_plan_executes() {
         let catalog = Catalog::new();
         let plan = PlanBuilder::values(
@@ -1048,5 +1429,164 @@ mod tests {
         let result = execute_plan(&catalog, &plan).unwrap();
         assert_eq!(result.num_rows(), 2);
         assert_eq!(result.schema().resolve("s.name").unwrap(), 0);
+    }
+
+    fn sublink(kind: SublinkKind, operand: Option<ScalarExpr>, plan: LogicalPlan) -> ScalarExpr {
+        ScalarExpr::Sublink {
+            kind,
+            operand: operand.map(Box::new),
+            negated: false,
+            plan: std::sync::Arc::new(plan),
+        }
+    }
+
+    #[test]
+    fn scalar_sublink_with_multiple_rows_is_an_error() {
+        let catalog = paper_example_catalog();
+        // items has 3 rows: using it as a scalar subquery must fail, not silently take row 1.
+        let sub = scan(&catalog, "items", 1).build();
+        let shop = scan(&catalog, "shop", 0);
+        let pred = ScalarExpr::column(1, "numempl").eq(sublink(SublinkKind::Scalar, None, sub));
+        let plan = shop.filter(pred).build();
+        let err = execute_plan(&catalog, &plan).unwrap_err();
+        assert!(matches!(err, ExecError::ScalarSubqueryTooManyRows));
+        // The reference path agrees.
+        let err = Executor::new(catalog.clone()).execute_reference(&plan).unwrap_err();
+        assert!(matches!(err, ExecError::ScalarSubqueryTooManyRows));
+    }
+
+    #[test]
+    fn scalar_sublink_single_row_and_empty() {
+        let catalog = paper_example_catalog();
+        let items = scan(&catalog, "items", 1);
+        let price = items.col("price").unwrap();
+        let one_row = items
+            .clone()
+            .aggregate(
+                vec![],
+                vec![(AggregateExpr::new(AggregateFunction::Max, price), "m".into())],
+            )
+            .build();
+        let shop = scan(&catalog, "shop", 0);
+        let pred = sublink(SublinkKind::Scalar, None, one_row).eq(ScalarExpr::literal(100i64));
+        let plan = shop.clone().filter(pred).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 2);
+        // An empty scalar subquery evaluates to NULL: the predicate filters everything.
+        let empty = scan(&catalog, "items", 1)
+            .filter(ScalarExpr::literal(false))
+            .project(vec![(ScalarExpr::column(0, "id"), "id".into())])
+            .build();
+        let pred = sublink(SublinkKind::Scalar, None, empty).eq(ScalarExpr::literal(1i64));
+        let plan = shop.filter(pred).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn in_subquery_resolves_to_hash_set_semantics() {
+        let catalog = paper_example_catalog();
+        let ids = scan(&catalog, "items", 1)
+            .project(vec![(ScalarExpr::column(0, "id"), "id".into())])
+            .build();
+        let sales = scan(&catalog, "sales", 0);
+        let pred = sublink(SublinkKind::InSubquery, Some(ScalarExpr::column(1, "itemid")), ids);
+        let plan = sales.filter(pred).build();
+        // All 5 sales reference an existing item id.
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn exists_sublink_short_circuits() {
+        let catalog = paper_example_catalog();
+        // EXISTS over a cross join that would exceed the row budget if fully executed: the
+        // streaming compiler pulls a single row, so the budget is never charged.
+        let big = scan(&catalog, "sales", 1).cross_join(scan(&catalog, "sales", 2)).build();
+        let shop = scan(&catalog, "shop", 0);
+        let plan = shop.filter(sublink(SublinkKind::Exists, None, big)).build();
+        let options = ExecOptions::default().with_row_budget(10);
+        let result = execute_plan_with_options(&catalog, &plan, options).unwrap();
+        assert_eq!(result.num_rows(), 2);
+    }
+
+    #[test]
+    fn timeout_fires_inside_selective_nested_loop_joins() {
+        // A nested-loop join with an always-false condition produces no rows, so output-side
+        // guards never tick; the deadline must still fire from inside the probe loop.
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let rows: Vec<Tuple> = (0..100).map(|i| tuple![i]).collect();
+        catalog
+            .create_table_with_data("a", Relation::from_parts(schema.clone(), rows.clone()))
+            .unwrap();
+        catalog.create_table_with_data("b", Relation::from_parts(schema, rows)).unwrap();
+        // Non-equi condition so the join cannot use the hash path: x + x' < 0 is always false.
+        let cond = ScalarExpr::binary(
+            BinaryOperator::Lt,
+            ScalarExpr::binary(
+                BinaryOperator::Add,
+                ScalarExpr::column(0, "x"),
+                ScalarExpr::column(1, "x"),
+            ),
+            ScalarExpr::literal(-1i64),
+        );
+        let plan = scan(&catalog, "a", 0)
+            .join(scan(&catalog, "b", 1), JoinKind::Inner, Some(cond))
+            .build();
+        // Both inputs are under 256 rows, so no scan-side deadline check happens either; only
+        // the join's per-evaluation check can notice the already-expired deadline.
+        let options = ExecOptions::default().with_timeout(Duration::from_millis(0));
+        let err = execute_plan_with_options(&catalog, &plan, options).unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }), "expected a timeout, got {err:?}");
+    }
+
+    #[test]
+    fn in_set_incomparable_types_yield_null_like_the_reference() {
+        // A Date needle against Float candidates: sql_eq is unknown (None), so `IN` must be
+        // NULL (filtering the row), not FALSE — and NOT IN must also be NULL, not TRUE.
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("d", DataType::Date)]);
+        catalog
+            .create_table_with_data(
+                "t",
+                Relation::from_parts(schema, vec![Tuple::new(vec![Value::Date(10)])]),
+            )
+            .unwrap();
+        for negated in [false, true] {
+            let t = scan(&catalog, "t", 0);
+            let pred = ScalarExpr::InList {
+                expr: Box::new(ScalarExpr::column(0, "d")),
+                list: vec![ScalarExpr::literal(10.5f64)],
+                negated,
+            };
+            let plan = t.filter(pred).build();
+            let executor = Executor::new(catalog.clone());
+            let streaming = executor.execute(&plan).unwrap();
+            let reference = executor.execute_reference(&plan).unwrap();
+            assert_eq!(streaming.num_rows(), 0, "negated={negated}: NULL predicate keeps no rows");
+            assert!(streaming.bag_eq(&reference), "negated={negated}");
+        }
+        // Sanity: a Date needle still matches Int candidates numerically (days since epoch).
+        let t = scan(&catalog, "t", 0);
+        let pred = ScalarExpr::InList {
+            expr: Box::new(ScalarExpr::column(0, "d")),
+            list: vec![ScalarExpr::literal(10i64)],
+            negated: false,
+        };
+        let plan = t.filter(pred).build();
+        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_the_paper_example() {
+        let catalog = paper_example_catalog();
+        let prod = scan(&catalog, "shop", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .cross_join(scan(&catalog, "items", 2));
+        let name = prod.col("shop.name").unwrap();
+        let sname = prod.col("sales.sname").unwrap();
+        let plan = prod.filter(name.eq(sname)).build();
+        let executor = Executor::new(catalog);
+        let streaming = executor.execute(&plan).unwrap();
+        let reference = executor.execute_reference(&plan).unwrap();
+        assert!(streaming.bag_eq(&reference));
     }
 }

@@ -6,22 +6,31 @@
 //! The crate provides:
 //!
 //! * [`eval`] — scalar expression evaluation with SQL three-valued logic, `LIKE`, `CASE`,
-//!   date/interval arithmetic and the scalar function library.
-//! * [`executor`] — a materialising evaluator for [`perm_algebra::LogicalPlan`] with hash joins,
-//!   hash aggregation, outer joins and bag/set operations, plus resource limits (row budget,
-//!   timeout) used by the benchmark harness to reproduce the paper's query-timeout behaviour.
-//! * [`optimizer`] — predicate pushdown, cross-product→join conversion and constant folding, so
-//!   that both normal and provenance-rewritten queries execute with sensible join strategies.
+//!   date/interval arithmetic and the scalar function library (the tree-walking interpreter;
+//!   the executor runs compiled expressions instead, see [`executor`]).
+//! * [`executor`] — a streaming, pull-based iterator executor for
+//!   [`perm_algebra::LogicalPlan`] with compiled expressions, hash joins, hash aggregation,
+//!   outer joins, bag/set operations and a short-circuiting `LIMIT`, plus resource limits (row
+//!   budget, timeout) used by the benchmark harness to reproduce the paper's query-timeout
+//!   behaviour.
+//! * [`reference`] — a naive, fully materializing evaluator kept as the executable
+//!   specification; property tests assert it agrees with the streaming executor.
+//! * [`optimizer`] — predicate pushdown, cross-product→join conversion, constant folding and
+//!   projection pushdown (column pruning), so that both normal and provenance-rewritten queries
+//!   execute with sensible join strategies and narrow intermediate tuples.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod compile;
 pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod optimizer;
+pub mod reference;
 
 pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate, like_match};
 pub use executor::{execute_plan, execute_plan_with_options, ExecOptions, Executor};
 pub use optimizer::{fold_expr, Optimizer};
+pub use reference::execute_reference;

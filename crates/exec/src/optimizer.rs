@@ -14,6 +14,19 @@
 //!   degenerate to nested-loop cross products.
 //! * **Constant folding** — constant sub-expressions are evaluated once; trivially-true
 //!   selections are removed.
+//! * **Projection merging** — adjacent projections collapse into one by substituting the inner
+//!   expressions into the outer ones. The provenance rewriter stacks projections (rule R2 over
+//!   the attribute-duplicating rule R1), which would otherwise materialize a doubly-wide
+//!   intermediate tuple per row and block the executor's scan fusion.
+//! * **Projection pushdown (column pruning)** — operators carry only the attributes their
+//!   ancestors actually consume. Provenance rewriting (rules R3/R4 and especially R5–R9)
+//!   duplicates base-relation attributes through joins, so without pruning every intermediate
+//!   tuple of a rewritten query is as wide as the union of all referenced relations.
+//!
+//! Optimization itself sits on the compile path the paper measures in Figure 9, so the passes
+//! are written to be cheap: they report changes as `Option` (sharing unchanged sub-plans via
+//! `Arc` instead of rebuilding them) and the fixpoint loop stops on the first pass that changes
+//! nothing, without any deep plan comparisons.
 
 use std::sync::Arc;
 
@@ -40,40 +53,124 @@ impl Optimizer {
         let mut current = plan.clone();
         let passes = if self.max_passes == 0 { 5 } else { self.max_passes };
         for _ in 0..passes {
-            let folded = fold_plan_constants(&current)?;
-            let pushed = push_down_selections(&folded)?;
-            if pushed == current {
-                return Ok(pushed);
+            let mut changed = false;
+            if let Some(folded) = fold_plan_constants(&current)? {
+                current = folded;
+                changed = true;
             }
-            current = pushed;
+            if let Some(pushed) = push_down_selections(&current)? {
+                current = pushed;
+                changed = true;
+            }
+            if let Some(merged) = merge_projections(&current)? {
+                current = merged;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
         }
-        Ok(current)
+        let pruned = prune_columns(&current)?;
+        // Sub-plans of uncorrelated sublinks run as independent queries; give each the full
+        // treatment exactly once (the fixpoint loop above deliberately skips them so that it
+        // does not re-optimize them every pass).
+        match self.optimize_sublinks(&pruned)? {
+            Some(with_sublinks) => Ok(with_sublinks),
+            None => Ok(pruned),
+        }
+    }
+
+    /// Recursively optimize the plans of uncorrelated sublinks embedded in expressions.
+    fn optimize_sublinks(&self, plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecError> {
+        let rebuilt = rebuild_children(plan, &|c| self.optimize_sublinks(c))?;
+        let current = rebuilt.as_ref().unwrap_or(plan);
+        Ok(match current {
+            LogicalPlan::Selection { input, predicate } if predicate.has_sublink() => {
+                Some(LogicalPlan::Selection {
+                    input: input.clone(),
+                    predicate: self.optimize_sublink_plans(predicate)?,
+                })
+            }
+            LogicalPlan::Projection { input, exprs, distinct }
+                if exprs.iter().any(|(e, _)| e.has_sublink()) =>
+            {
+                Some(LogicalPlan::Projection {
+                    input: input.clone(),
+                    exprs: exprs
+                        .iter()
+                        .map(|(e, n)| Ok((self.optimize_sublink_plans(e)?, n.clone())))
+                        .collect::<Result<Vec<_>, ExecError>>()?,
+                    distinct: *distinct,
+                })
+            }
+            LogicalPlan::Join { left, right, kind, condition: Some(c) } if c.has_sublink() => {
+                Some(LogicalPlan::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    kind: *kind,
+                    condition: Some(self.optimize_sublink_plans(c)?),
+                })
+            }
+            _ => rebuilt,
+        })
+    }
+
+    /// Rewrite every sublink in `expr` with a fully optimized sub-plan.
+    fn optimize_sublink_plans(&self, expr: &ScalarExpr) -> Result<ScalarExpr, ExecError> {
+        let mut error: Option<ExecError> = None;
+        let rewritten = expr.transform(&mut |e| {
+            if error.is_some() {
+                return e;
+            }
+            if let ScalarExpr::Sublink { kind, operand, negated, plan } = &e {
+                match self.optimize(plan) {
+                    Ok(optimized) => ScalarExpr::Sublink {
+                        kind: *kind,
+                        operand: operand.clone(),
+                        negated: *negated,
+                        plan: Arc::new(optimized),
+                    },
+                    Err(err) => {
+                        error = Some(err);
+                        e
+                    }
+                }
+            } else {
+                e
+            }
+        });
+        match error {
+            Some(err) => Err(err),
+            None => Ok(rewritten),
+        }
     }
 }
 
 /// Push selection predicates towards the leaves and convert cross products into inner joins.
-fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+/// Returns `None` when the plan is already in normal form (unchanged sub-plans stay shared).
+fn push_down_selections(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecError> {
     // Optimize children first so that pushdown sees already-simplified inputs.
-    let plan = rebuild_with(plan, push_down_selections)?;
+    let rebuilt = rebuild_children(plan, &push_down_selections)?;
+    let current = rebuilt.as_ref().unwrap_or(plan);
 
-    let LogicalPlan::Selection { input, predicate } = &plan else {
-        return Ok(plan);
+    let LogicalPlan::Selection { input, predicate } = current else {
+        return Ok(rebuilt);
     };
 
-    match input.as_ref() {
+    Ok(match input.as_ref() {
         // σ_p(σ_q(T)) = σ_{p ∧ q}(T)
         LogicalPlan::Selection { input: inner, predicate: inner_pred } => {
             let merged = LogicalPlan::Selection {
                 input: inner.clone(),
                 predicate: inner_pred.clone().and(predicate.clone()),
             };
-            push_down_selections(&merged)
+            Some(push_down_owned(merged)?)
         }
         // Push conjuncts into / below cross products and inner joins.
         LogicalPlan::Join { left, right, kind, condition }
             if matches!(kind, JoinKind::Cross | JoinKind::Inner) =>
         {
-            let left_arity = left.schema().arity();
+            let left_arity = left.output_arity();
             let mut left_preds: Vec<ScalarExpr> = Vec::new();
             let mut right_preds: Vec<ScalarExpr> = Vec::new();
             let mut join_preds: Vec<ScalarExpr> = Vec::new();
@@ -91,7 +188,7 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
             let new_left: Arc<LogicalPlan> = if left_preds.is_empty() {
                 left.clone()
             } else {
-                Arc::new(push_down_selections(&LogicalPlan::Selection {
+                Arc::new(push_down_owned(LogicalPlan::Selection {
                     input: left.clone(),
                     predicate: ScalarExpr::conjunction(left_preds),
                 })?)
@@ -99,7 +196,7 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
             let new_right: Arc<LogicalPlan> = if right_preds.is_empty() {
                 right.clone()
             } else {
-                Arc::new(push_down_selections(&LogicalPlan::Selection {
+                Arc::new(push_down_owned(LogicalPlan::Selection {
                     input: right.clone(),
                     predicate: ScalarExpr::conjunction(right_preds),
                 })?)
@@ -117,7 +214,7 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
                 (JoinKind::Inner, Some(ScalarExpr::conjunction(all_join_preds)))
             };
 
-            Ok(LogicalPlan::Join {
+            Some(LogicalPlan::Join {
                 left: new_left,
                 right: new_right,
                 kind: new_kind,
@@ -126,18 +223,18 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
         }
         // Push through operators that do not change column positions.
         LogicalPlan::SubqueryAlias { input: inner, alias } => {
-            let pushed = push_down_selections(&LogicalPlan::Selection {
+            let pushed = push_down_owned(LogicalPlan::Selection {
                 input: inner.clone(),
                 predicate: predicate.clone(),
             })?;
-            Ok(LogicalPlan::SubqueryAlias { input: Arc::new(pushed), alias: alias.clone() })
+            Some(LogicalPlan::SubqueryAlias { input: Arc::new(pushed), alias: alias.clone() })
         }
         LogicalPlan::Sort { input: inner, keys } => {
-            let pushed = push_down_selections(&LogicalPlan::Selection {
+            let pushed = push_down_owned(LogicalPlan::Selection {
                 input: inner.clone(),
                 predicate: predicate.clone(),
             })?;
-            Ok(LogicalPlan::Sort { input: Arc::new(pushed), keys: keys.clone() })
+            Some(LogicalPlan::Sort { input: Arc::new(pushed), keys: keys.clone() })
         }
         // Push below a projection when every referenced output is a plain column.
         LogicalPlan::Projection { input: inner, exprs, distinct } => {
@@ -149,157 +246,521 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
                 let remapped = predicate.map_columns(&mut |c| {
                     exprs[c].0.as_column().expect("checked: projection entry is a plain column")
                 });
-                let pushed = push_down_selections(&LogicalPlan::Selection {
+                let pushed = push_down_owned(LogicalPlan::Selection {
                     input: inner.clone(),
                     predicate: remapped,
                 })?;
-                Ok(LogicalPlan::Projection {
+                Some(LogicalPlan::Projection {
                     input: Arc::new(pushed),
                     exprs: exprs.clone(),
                     distinct: *distinct,
                 })
             } else {
-                Ok(plan.clone())
+                rebuilt
             }
         }
-        _ => Ok(plan.clone()),
-    }
-}
-
-/// Fold constant expressions in every operator of the plan and drop trivially-true selections.
-/// Uncorrelated sublink sub-plans embedded in expressions are optimized recursively as well
-/// (they are executed as independent queries, so they deserve the same treatment PostgreSQL
-/// gives to sub-plans).
-fn fold_plan_constants(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
-    let plan = rebuild_with(plan, fold_plan_constants)?;
-    Ok(match plan {
-        LogicalPlan::Selection { input, predicate } => {
-            let predicate = fold_expr(&optimize_sublink_plans(&predicate)?);
-            if predicate == ScalarExpr::Literal(Value::Bool(true)) {
-                (*input).clone()
-            } else {
-                LogicalPlan::Selection { input, predicate }
-            }
-        }
-        LogicalPlan::Projection { input, exprs, distinct } => LogicalPlan::Projection {
-            input,
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| Ok((fold_expr(&optimize_sublink_plans(&e)?), n)))
-                .collect::<Result<Vec<_>, ExecError>>()?,
-            distinct,
-        },
-        LogicalPlan::Join { left, right, kind, condition } => LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            condition: condition
-                .map(|c| Ok::<_, ExecError>(fold_expr(&optimize_sublink_plans(&c)?)))
-                .transpose()?,
-        },
-        other => other,
+        _ => rebuilt,
     })
 }
 
-/// Recursively optimize the plans of uncorrelated sublinks contained in an expression.
-fn optimize_sublink_plans(expr: &ScalarExpr) -> Result<ScalarExpr, ExecError> {
-    if !expr.has_sublink() {
-        return Ok(expr.clone());
+/// Apply [`push_down_selections`] to an owned plan, returning it unchanged when in normal form.
+fn push_down_owned(plan: LogicalPlan) -> Result<LogicalPlan, ExecError> {
+    Ok(push_down_selections(&plan)?.unwrap_or(plan))
+}
+
+/// Collapse `Π_outer(Π_inner(T))` into a single projection by substituting the inner
+/// expressions into the outer ones. Returns `None` when nothing merged.
+///
+/// The merge is skipped when the inner projection is DISTINCT (it changes multiplicities) or
+/// when a non-trivial inner expression would be duplicated (an outer expression references it
+/// more than once) — substitution must never increase per-row evaluation work.
+fn merge_projections(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecError> {
+    let rebuilt = rebuild_children(plan, &merge_projections)?;
+    let current = rebuilt.as_ref().unwrap_or(plan);
+    let LogicalPlan::Projection { input, exprs, distinct } = current else {
+        return Ok(rebuilt);
+    };
+    let LogicalPlan::Projection {
+        input: inner_input,
+        exprs: inner_exprs,
+        distinct: inner_distinct,
+    } = input.as_ref()
+    else {
+        return Ok(rebuilt);
+    };
+    if *inner_distinct {
+        return Ok(rebuilt);
     }
-    let mut error: Option<ExecError> = None;
-    let rewritten = expr.transform(&mut |e| {
-        if error.is_some() {
-            return e;
-        }
-        if let ScalarExpr::Sublink { kind, operand, negated, plan } = &e {
-            match Optimizer::new().optimize(plan) {
-                Ok(optimized) => ScalarExpr::Sublink {
-                    kind: *kind,
-                    operand: operand.clone(),
-                    negated: *negated,
-                    plan: Arc::new(optimized),
-                },
-                Err(err) => {
-                    error = Some(err);
-                    e
+    let mut ref_counts = vec![0usize; inner_exprs.len()];
+    for (e, _) in exprs {
+        e.visit(&mut |x| {
+            if let ScalarExpr::Column { index, .. } = x {
+                ref_counts[*index] += 1;
+            }
+        });
+    }
+    let trivial = |e: &ScalarExpr| matches!(e, ScalarExpr::Column { .. } | ScalarExpr::Literal(_));
+    if ref_counts.iter().zip(inner_exprs).any(|(&n, (e, _))| n > 1 && !trivial(e)) {
+        return Ok(rebuilt);
+    }
+    let merged = exprs
+        .iter()
+        .map(|(e, n)| {
+            let substituted = e.transform(&mut |x| match x {
+                ScalarExpr::Column { index, .. } => inner_exprs[index].0.clone(),
+                other => other,
+            });
+            (substituted, n.clone())
+        })
+        .collect();
+    Ok(Some(LogicalPlan::Projection {
+        input: inner_input.clone(),
+        exprs: merged,
+        distinct: *distinct,
+    }))
+}
+
+/// Fold constant expressions in every operator of the plan and drop trivially-true selections.
+/// Returns `None` when nothing folded.
+fn fold_plan_constants(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecError> {
+    let rebuilt = rebuild_children(plan, &fold_plan_constants)?;
+    let current = rebuilt.as_ref().unwrap_or(plan);
+    Ok(match current {
+        LogicalPlan::Selection { input, predicate } => {
+            let folded = fold_expr_opt(predicate);
+            let effective = folded.as_ref().unwrap_or(predicate);
+            if *effective == ScalarExpr::Literal(Value::Bool(true)) {
+                Some((**input).clone())
+            } else {
+                match folded {
+                    Some(predicate) => {
+                        Some(LogicalPlan::Selection { input: input.clone(), predicate })
+                    }
+                    None => rebuilt,
                 }
             }
-        } else {
-            e
         }
-    });
-    match error {
-        Some(err) => Err(err),
-        None => Ok(rewritten),
-    }
+        LogicalPlan::Projection { input, exprs, distinct } => {
+            let folded: Vec<Option<ScalarExpr>> =
+                exprs.iter().map(|(e, _)| fold_expr_opt(e)).collect();
+            if folded.iter().all(Option::is_none) {
+                rebuilt
+            } else {
+                Some(LogicalPlan::Projection {
+                    input: input.clone(),
+                    exprs: exprs
+                        .iter()
+                        .zip(folded)
+                        .map(|((e, n), f)| (f.unwrap_or_else(|| e.clone()), n.clone()))
+                        .collect(),
+                    distinct: *distinct,
+                })
+            }
+        }
+        LogicalPlan::Join { left, right, kind, condition: Some(c) } => match fold_expr_opt(c) {
+            Some(folded) => Some(LogicalPlan::Join {
+                left: left.clone(),
+                right: right.clone(),
+                kind: *kind,
+                condition: Some(folded),
+            }),
+            None => rebuilt,
+        },
+        _ => rebuilt,
+    })
 }
 
 /// Recursively fold constant sub-expressions and simplify boolean connectives with literal
 /// TRUE/FALSE operands.
 pub fn fold_expr(expr: &ScalarExpr) -> ScalarExpr {
+    fold_expr_opt(expr).unwrap_or_else(|| expr.clone())
+}
+
+/// [`fold_expr`] that reports "unchanged" as `None` so callers can share the original.
+fn fold_expr_opt(expr: &ScalarExpr) -> Option<ScalarExpr> {
     use perm_algebra::BinaryOperator::{And, Or};
 
-    // Fold children first.
-    let expr = match expr {
-        ScalarExpr::BinaryOp { op, left, right } => ScalarExpr::BinaryOp {
-            op: *op,
-            left: Box::new(fold_expr(left)),
-            right: Box::new(fold_expr(right)),
-        },
-        ScalarExpr::UnaryOp { op, expr } => {
-            ScalarExpr::UnaryOp { op: *op, expr: Box::new(fold_expr(expr)) }
+    // Fold children first, rebuilding only when a child changed.
+    let rebuilt: Option<ScalarExpr> = match expr {
+        ScalarExpr::BinaryOp { op, left, right } => {
+            match (fold_expr_opt(left), fold_expr_opt(right)) {
+                (None, None) => None,
+                (l, r) => Some(ScalarExpr::BinaryOp {
+                    op: *op,
+                    left: Box::new(l.unwrap_or_else(|| (**left).clone())),
+                    right: Box::new(r.unwrap_or_else(|| (**right).clone())),
+                }),
+            }
         }
+        ScalarExpr::UnaryOp { op, expr } => fold_expr_opt(expr)
+            .map(|folded| ScalarExpr::UnaryOp { op: *op, expr: Box::new(folded) }),
         ScalarExpr::Function { func, args } => {
-            ScalarExpr::Function { func: *func, args: args.iter().map(fold_expr).collect() }
+            let folded: Vec<Option<ScalarExpr>> = args.iter().map(fold_expr_opt).collect();
+            if folded.iter().all(Option::is_none) {
+                None
+            } else {
+                Some(ScalarExpr::Function {
+                    func: *func,
+                    args: args
+                        .iter()
+                        .zip(folded)
+                        .map(|(a, f)| f.unwrap_or_else(|| a.clone()))
+                        .collect(),
+                })
+            }
         }
-        ScalarExpr::Cast { expr, data_type } => {
-            ScalarExpr::Cast { expr: Box::new(fold_expr(expr)), data_type: *data_type }
-        }
-        other => other.clone(),
+        ScalarExpr::Cast { expr, data_type } => fold_expr_opt(expr)
+            .map(|folded| ScalarExpr::Cast { expr: Box::new(folded), data_type: *data_type }),
+        _ => None,
     };
+    let current = rebuilt.as_ref().unwrap_or(expr);
 
     // Boolean simplification.
-    if let ScalarExpr::BinaryOp { op, left, right } = &expr {
+    if let ScalarExpr::BinaryOp { op, left, right } = current {
         let truth = |e: &ScalarExpr| match e {
             ScalarExpr::Literal(Value::Bool(b)) => Some(*b),
             _ => None,
         };
         match (op, truth(left), truth(right)) {
-            (And, Some(true), _) => return (**right).clone(),
-            (And, _, Some(true)) => return (**left).clone(),
+            (And, Some(true), _) => return Some((**right).clone()),
+            (And, _, Some(true)) => return Some((**left).clone()),
             (And, Some(false), _) | (And, _, Some(false)) => {
-                return ScalarExpr::Literal(Value::Bool(false))
+                return Some(ScalarExpr::Literal(Value::Bool(false)))
             }
-            (Or, Some(false), _) => return (**right).clone(),
-            (Or, _, Some(false)) => return (**left).clone(),
+            (Or, Some(false), _) => return Some((**right).clone()),
+            (Or, _, Some(false)) => return Some((**left).clone()),
             (Or, Some(true), _) | (Or, _, Some(true)) => {
-                return ScalarExpr::Literal(Value::Bool(true))
+                return Some(ScalarExpr::Literal(Value::Bool(true)))
             }
             _ => {}
         }
     }
 
-    // Evaluate fully-constant expressions once.
-    if expr.is_constant() && !matches!(expr, ScalarExpr::Literal(_)) {
-        if let Ok(v) = evaluate(&expr, &Tuple::empty()) {
-            return ScalarExpr::Literal(v);
+    // Evaluate fully-constant expressions once (sublinks are not constants: their plans are
+    // executed by the executor, not the folder).
+    if !matches!(current, ScalarExpr::Literal(_)) && is_column_and_sublink_free(current) {
+        if let Ok(v) = evaluate(current, &Tuple::empty()) {
+            return Some(ScalarExpr::Literal(v));
         }
     }
-    expr
+    rebuilt
 }
 
-/// Apply `f` to every child of `plan`, rebuilding the node.
-fn rebuild_with(
-    plan: &LogicalPlan,
-    f: impl Fn(&LogicalPlan) -> Result<LogicalPlan, ExecError>,
-) -> Result<LogicalPlan, ExecError> {
-    let children = plan.children();
-    if children.is_empty() {
+/// Does the expression reference no columns and contain no sublinks (allocation-free version of
+/// [`ScalarExpr::is_constant`])?
+fn is_column_and_sublink_free(expr: &ScalarExpr) -> bool {
+    let mut free = true;
+    expr.visit(&mut |e| {
+        if matches!(e, ScalarExpr::Column { .. } | ScalarExpr::Sublink { .. }) {
+            free = false;
+        }
+    });
+    free
+}
+
+/// Projection pushdown / column pruning: rebuild the plan so that every operator carries only
+/// the attributes its ancestors consume.
+///
+/// The root keeps its full schema (names, order and types are unchanged). Interior nodes are
+/// narrowed: join inputs drop attributes that neither the join condition nor the output needs,
+/// and scans feeding wide provenance joins are wrapped in plain-column projections (which the
+/// executor fuses back into the scan). Duplicate-sensitive operators are barriers: a DISTINCT
+/// projection and both sides of a set operation keep all their columns, and an aggregation
+/// always keeps all of its outputs; their *inputs* are still pruned.
+pub fn prune_columns(plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+    let arity = plan.output_arity();
+    if arity == 0 {
         return Ok(plan.clone());
     }
-    let new_children =
-        children.into_iter().map(|c| f(c).map(Arc::new)).collect::<Result<Vec<_>, _>>()?;
-    Ok(plan.with_new_children(new_children)?)
+    let all: Vec<usize> = (0..arity).collect();
+    let (pruned, kept) = prune(plan, &all)?;
+    debug_assert_eq!(kept, all, "the root of a pruned plan must keep its full schema");
+    Ok(pruned)
+}
+
+/// Core of the pruning pass. `required` lists the output columns (original indices, ascending)
+/// the parent needs. Returns the rebuilt plan together with `kept`: the original output columns
+/// the new plan actually produces, in order — always a superset of `required` (barriers return
+/// more).
+fn prune(plan: &LogicalPlan, required: &[usize]) -> Result<(LogicalPlan, Vec<usize>), ExecError> {
+    let arity = plan.output_arity();
+    let all = || (0..arity).collect::<Vec<usize>>();
+    Ok(match plan {
+        LogicalPlan::BaseRelation { .. } => {
+            if required.len() == arity {
+                (plan.clone(), all())
+            } else {
+                // Narrow with a plain-column projection; the executor fuses it into the scan.
+                (project_onto(plan.clone(), required), required.to_vec())
+            }
+        }
+        LogicalPlan::Values { schema, rows } => {
+            if required.len() == arity {
+                (plan.clone(), all())
+            } else {
+                let schema = schema.project(required);
+                let rows = rows.iter().map(|t| t.project(required)).collect();
+                (LogicalPlan::Values { schema, rows }, required.to_vec())
+            }
+        }
+        LogicalPlan::Projection { input, exprs, distinct } => {
+            // DISTINCT compares whole output tuples: dropping a column changes multiplicities,
+            // so a distinct projection keeps every output expression.
+            let required_out: Vec<usize> =
+                if *distinct { (0..exprs.len()).collect() } else { required.to_vec() };
+            if fusible_leaf(input) {
+                // Leave scan-shaped inputs untouched so the executor's scan fusion still sees
+                // projection-over-[selection-over-]base-relation.
+                if required_out.len() == exprs.len() {
+                    return Ok((plan.clone(), required_out));
+                }
+                let exprs: Vec<(ScalarExpr, String)> =
+                    required_out.iter().map(|&i| exprs[i].clone()).collect();
+                (
+                    LogicalPlan::Projection { input: input.clone(), exprs, distinct: *distinct },
+                    required_out,
+                )
+            } else {
+                let kept_exprs: Vec<&(ScalarExpr, String)> =
+                    required_out.iter().map(|&i| &exprs[i]).collect();
+                let needed = nonempty(columns_of(kept_exprs.iter().map(|(e, _)| e)));
+                let (child, kept_child) = prune(input, &needed)?;
+                let exprs = kept_exprs
+                    .into_iter()
+                    .map(|(e, n)| (remap_expr(e, &kept_child), n.clone()))
+                    .collect();
+                (
+                    LogicalPlan::Projection { input: Arc::new(child), exprs, distinct: *distinct },
+                    required_out,
+                )
+            }
+        }
+        LogicalPlan::Selection { input, predicate } => {
+            if fusible_leaf(input) {
+                if required.len() == arity {
+                    (plan.clone(), all())
+                } else {
+                    // Narrow above the selection: the executor fuses
+                    // projection-over-selection-over-scan into a single filtered scan.
+                    (project_onto(plan.clone(), required), required.to_vec())
+                }
+            } else {
+                let needed = nonempty(merge(required, &predicate.columns_used()));
+                let (child, kept_child) = prune(input, &needed)?;
+                let predicate = remap_expr(predicate, &kept_child);
+                (LogicalPlan::Selection { input: Arc::new(child), predicate }, kept_child)
+            }
+        }
+        LogicalPlan::Join { left, right, kind, condition } => {
+            let left_arity = left.output_arity();
+            let cond_cols = condition.as_ref().map(|c| c.columns_used()).unwrap_or_default();
+            let needed = merge(required, &cond_cols);
+            let left_needed: Vec<usize> =
+                needed.iter().copied().filter(|&c| c < left_arity).collect();
+            let right_needed: Vec<usize> = needed
+                .iter()
+                .copied()
+                .filter(|&c| c >= left_arity)
+                .map(|c| c - left_arity)
+                .collect();
+            let (new_left, kept_left) = prune(left, &nonempty(left_needed))?;
+            let (new_right, kept_right) = prune(right, &nonempty(right_needed))?;
+            let new_left_arity = kept_left.len();
+            let condition = condition.as_ref().map(|c| {
+                c.map_columns(&mut |i| {
+                    if i < left_arity {
+                        position_of(&kept_left, i)
+                    } else {
+                        new_left_arity + position_of(&kept_right, i - left_arity)
+                    }
+                })
+            });
+            let mut kept = kept_left;
+            kept.extend(kept_right.into_iter().map(|c| c + left_arity));
+            (
+                LogicalPlan::Join {
+                    left: Arc::new(new_left),
+                    right: Arc::new(new_right),
+                    kind: *kind,
+                    condition,
+                },
+                kept,
+            )
+        }
+        LogicalPlan::Aggregation { input, group_by, aggregates } => {
+            // All grouping keys stay (they define the groups) and dropping an aggregate saves
+            // nothing structural, so the aggregation keeps its full output; its input is pruned
+            // to the columns the keys and aggregate arguments read.
+            let mut needed = columns_of(group_by.iter().map(|(e, _)| e));
+            for (a, _) in aggregates {
+                if let Some(arg) = &a.arg {
+                    needed = merge(&needed, &arg.columns_used());
+                }
+            }
+            let (child, kept_child) = prune(input, &nonempty(needed))?;
+            let group_by =
+                group_by.iter().map(|(e, n)| (remap_expr(e, &kept_child), n.clone())).collect();
+            let aggregates = aggregates
+                .iter()
+                .map(|(a, n)| {
+                    let arg = a.arg.as_ref().map(|e| remap_expr(e, &kept_child));
+                    (
+                        perm_algebra::AggregateExpr { func: a.func, arg, distinct: a.distinct },
+                        n.clone(),
+                    )
+                })
+                .collect();
+            (LogicalPlan::Aggregation { input: Arc::new(child), group_by, aggregates }, all())
+        }
+        LogicalPlan::SetOp { left, right, kind, semantics } => {
+            // Set operations compare whole tuples: both sides must keep every column (their
+            // sub-plans are still pruned internally against that full requirement).
+            let left_all: Vec<usize> = (0..left.output_arity()).collect();
+            let (new_left, _) = prune(left, &left_all)?;
+            let (new_right, _) = prune(right, &left_all)?;
+            (
+                LogicalPlan::SetOp {
+                    left: Arc::new(new_left),
+                    right: Arc::new(new_right),
+                    kind: *kind,
+                    semantics: *semantics,
+                },
+                all(),
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut needed = required.to_vec();
+            for k in keys {
+                needed = merge(&needed, &k.expr.columns_used());
+            }
+            let (child, kept_child) = prune(input, &nonempty(needed))?;
+            let keys = keys
+                .iter()
+                .map(|k| perm_algebra::SortKey {
+                    expr: remap_expr(&k.expr, &kept_child),
+                    order: k.order,
+                })
+                .collect();
+            (LogicalPlan::Sort { input: Arc::new(child), keys }, kept_child)
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            let (child, kept_child) = prune(input, required)?;
+            (
+                LogicalPlan::Limit { input: Arc::new(child), limit: *limit, offset: *offset },
+                kept_child,
+            )
+        }
+        LogicalPlan::SubqueryAlias { input, alias } => {
+            let (child, kept_child) = prune(input, required)?;
+            (
+                LogicalPlan::SubqueryAlias { input: Arc::new(child), alias: alias.clone() },
+                kept_child,
+            )
+        }
+        LogicalPlan::ProvenanceAnnotation { input, kind } => {
+            // The rewriter interprets this node's attribute lists against its input schema, so
+            // the input must keep every column — but the sub-plan underneath still prunes its
+            // own interior (the analyzer wraps every rewritten query in an annotation, so
+            // without this recursion provenance queries would never be pruned at all).
+            let input_all: Vec<usize> = (0..input.output_arity()).collect();
+            let (child, _) = prune(input, &input_all)?;
+            (
+                LogicalPlan::ProvenanceAnnotation { input: Arc::new(child), kind: kind.clone() },
+                all(),
+            )
+        }
+    })
+}
+
+/// Is the plan a shape the executor fuses into a single scan iterator
+/// (base relation, or selection directly over one, modulo aliases/annotations)? Uses the
+/// executor's own transparency stripping so both sides agree on what "scan-shaped" means.
+fn fusible_leaf(plan: &LogicalPlan) -> bool {
+    use crate::executor::strip_transparent;
+    match strip_transparent(plan) {
+        LogicalPlan::BaseRelation { .. } => true,
+        LogicalPlan::Selection { input, .. } => {
+            matches!(strip_transparent(input), LogicalPlan::BaseRelation { .. })
+        }
+        _ => false,
+    }
+}
+
+/// Wrap `plan` in a plain-column projection onto `positions` (preserving attribute names).
+fn project_onto(plan: LogicalPlan, positions: &[usize]) -> LogicalPlan {
+    let schema = plan.schema();
+    let exprs = positions
+        .iter()
+        .map(|&i| {
+            let name =
+                schema.attribute(i).map(|a| a.name.clone()).unwrap_or_else(|_| format!("c{i}"));
+            (ScalarExpr::column(i, name.clone()), name)
+        })
+        .collect();
+    LogicalPlan::Projection { input: Arc::new(plan), exprs, distinct: false }
+}
+
+/// Union of the column sets used by a list of expressions (sorted, deduplicated).
+fn columns_of<'a>(exprs: impl Iterator<Item = &'a ScalarExpr>) -> Vec<usize> {
+    let mut cols: Vec<usize> = exprs.flat_map(|e| e.columns_used()).collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// Merge two sorted column lists (sorted, deduplicated).
+fn merge(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A non-empty requirement set: an operator cannot produce zero-width tuples, so ask for the
+/// first column when nothing is referenced (e.g. a pure cross-product side feeding `COUNT(*)`).
+fn nonempty(cols: Vec<usize>) -> Vec<usize> {
+    if cols.is_empty() {
+        vec![0]
+    } else {
+        cols
+    }
+}
+
+/// Position of original column `col` within the kept list (the new index after pruning).
+fn position_of(kept: &[usize], col: usize) -> usize {
+    kept.binary_search(&col).expect("pruning kept every referenced column")
+}
+
+/// Remap an expression's columns through the kept list. Sublink plans are untouched (they are
+/// uncorrelated and optimized separately).
+fn remap_expr(expr: &ScalarExpr, kept: &[usize]) -> ScalarExpr {
+    expr.map_columns(&mut |i| position_of(kept, i))
+}
+
+/// Apply `f` to every child of `plan`; `None` when no child changed (so `plan` can be shared).
+fn rebuild_children<F>(plan: &LogicalPlan, f: &F) -> Result<Option<LogicalPlan>, ExecError>
+where
+    F: Fn(&LogicalPlan) -> Result<Option<LogicalPlan>, ExecError>,
+{
+    let children = plan.children();
+    if children.is_empty() {
+        return Ok(None);
+    }
+    let mut new_children: Vec<Arc<LogicalPlan>> = Vec::with_capacity(children.len());
+    let mut changed = false;
+    for child in children {
+        match f(child)? {
+            Some(new_child) => {
+                changed = true;
+                new_children.push(Arc::new(new_child));
+            }
+            None => new_children.push(Arc::clone(child)),
+        }
+    }
+    if !changed {
+        return Ok(None);
+    }
+    Ok(Some(plan.with_new_children(new_children)?))
 }
 
 #[cfg(test)]
@@ -423,5 +884,140 @@ mod tests {
             .build();
         let optimized = Optimizer::new().optimize(&plan).unwrap();
         optimized.validate().unwrap();
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        // A second optimize() run must not keep restructuring the plan (e.g. stacking pruning
+        // projections); PermDb optimizes a plan again when executing one produced by plan_sql.
+        let (a, b) = scans();
+        let x = a.col("x").unwrap();
+        let plan = a
+            .cross_join(b)
+            .filter(ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z")))
+            .project(vec![(x, "x".into())])
+            .build();
+        let once = Optimizer::new().optimize(&plan).unwrap();
+        let twice = Optimizer::new().optimize(&once).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    // --- column pruning ---
+
+    fn wide_scans() -> (PlanBuilder, PlanBuilder) {
+        let a = PlanBuilder::scan(
+            "wide_a",
+            Schema::from_pairs(&[
+                ("a0", DataType::Int),
+                ("a1", DataType::Int),
+                ("a2", DataType::Text),
+                ("a3", DataType::Text),
+            ]),
+            0,
+        );
+        let b = PlanBuilder::scan(
+            "wide_b",
+            Schema::from_pairs(&[
+                ("b0", DataType::Int),
+                ("b1", DataType::Text),
+                ("b2", DataType::Float),
+            ]),
+            1,
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn pruning_narrows_join_inputs() {
+        // SELECT a1 FROM wide_a JOIN wide_b ON a0 = b0: the join needs only a0, a1, b0.
+        let (a, b) = wide_scans();
+        let cond = ScalarExpr::column(0, "a0").eq(ScalarExpr::column(4, "b0"));
+        let joined = a.join(b, JoinKind::Inner, Some(cond));
+        let a1 = joined.col("a1").unwrap();
+        let plan = joined.project(vec![(a1, "a1".into())]).build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+        assert_eq!(optimized.schema().attribute_names(), vec!["a1"]);
+        let LogicalPlan::Projection { input, .. } = &optimized else {
+            panic!("expected projection on top, got {optimized:?}");
+        };
+        let LogicalPlan::Join { left, right, condition, .. } = input.as_ref() else {
+            panic!("expected a join below, got {input:?}");
+        };
+        assert_eq!(left.output_arity(), 2, "left side keeps only a0, a1");
+        assert_eq!(right.output_arity(), 1, "right side keeps only b0");
+        // The remapped condition references the narrowed column space.
+        assert_eq!(condition.as_ref().unwrap().columns_used(), vec![0, 2]);
+    }
+
+    #[test]
+    fn pruning_respects_distinct_and_set_op_barriers() {
+        let (a, _) = wide_scans();
+        // DISTINCT over two columns, of which the parent only needs one: both must survive
+        // (dropping a2 would change multiplicities — and here even the distinct row count).
+        let a1 = a.col("a1").unwrap();
+        let a2 = a.col("a2").unwrap();
+        let plan = a
+            .project_distinct(vec![(a1, "a1".into()), (a2, "a2".into())])
+            .project(vec![(ScalarExpr::column(0, "a1"), "a1".into())])
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+        let LogicalPlan::Projection { input, .. } = &optimized else {
+            panic!("expected outer projection, got {optimized:?}");
+        };
+        assert_eq!(input.output_arity(), 2, "distinct projection keeps both columns");
+    }
+
+    #[test]
+    fn pruning_keeps_aggregation_inputs_minimal() {
+        let (a, _) = wide_scans();
+        let a0 = a.col("a0").unwrap();
+        let a1 = a.col("a1").unwrap();
+        let plan = a
+            .aggregate(
+                vec![(a0, "a0".into())],
+                vec![(
+                    perm_algebra::AggregateExpr::new(perm_algebra::AggregateFunction::Sum, a1),
+                    "s".into(),
+                )],
+            )
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+        let LogicalPlan::Aggregation { input, .. } = &optimized else {
+            panic!("expected aggregation at the top, got {optimized:?}");
+        };
+        assert_eq!(input.output_arity(), 2, "aggregation input keeps only a0 and a1");
+    }
+
+    #[test]
+    fn pruning_emulates_r4_provenance_join_shape() {
+        // The shape rule R4 produces: join of two R1-rewritten scans (every base attribute
+        // duplicated as a provenance attribute), with the final projection keeping the original
+        // output plus all prov_* attributes of one side only. The other side's payload columns
+        // must be pruned out of the join.
+        let (a, b) = wide_scans();
+        let cond = ScalarExpr::column(0, "a0").eq(ScalarExpr::column(4, "b0"));
+        let joined = a.join(b, JoinKind::Inner, Some(cond));
+        // Keep a0 plus the full "provenance copy" of wide_a (columns 0..4), nothing of wide_b.
+        let exprs = vec![
+            (ScalarExpr::column(0, "a0"), "a0".into()),
+            (ScalarExpr::column(0, "a0"), "prov_a_a0".into()),
+            (ScalarExpr::column(1, "a1"), "prov_a_a1".into()),
+            (ScalarExpr::column(2, "a2"), "prov_a_a2".into()),
+            (ScalarExpr::column(3, "a3"), "prov_a_a3".into()),
+        ];
+        let plan = joined.project(exprs).build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+        let LogicalPlan::Projection { input, .. } = &optimized else {
+            panic!("expected projection on top, got {optimized:?}");
+        };
+        let LogicalPlan::Join { left, right, .. } = input.as_ref() else {
+            panic!("expected a join below, got {input:?}");
+        };
+        assert_eq!(left.output_arity(), 4, "all of wide_a is provenance output");
+        assert_eq!(right.output_arity(), 1, "wide_b shrinks to its join key");
     }
 }

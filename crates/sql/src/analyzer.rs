@@ -888,7 +888,7 @@ fn literal_value(lit: &Literal) -> Result<Value, SqlError> {
                 )
             }
         }
-        Literal::String(s) => Value::Text(s.clone()),
+        Literal::String(s) => Value::text(s.as_str()),
         Literal::Boolean(b) => Value::Bool(*b),
         Literal::Null => Value::Null,
         Literal::Date(s) => Value::date_from_str(s)?,

@@ -53,12 +53,17 @@ pub struct ViewDef {
 }
 
 /// A base table: schema plus stored tuples.
+///
+/// The relation is held behind an [`Arc`] so that executors can take a zero-copy snapshot of a
+/// table ([`Catalog::table_arc`]) and stream from it without cloning every stored tuple.
+/// Mutating operations use copy-on-write ([`Arc::make_mut`]); a snapshot taken before a mutation
+/// keeps observing the pre-mutation contents.
 #[derive(Debug, Clone)]
 pub struct TableEntry {
     /// Table name.
     pub name: String,
     /// The stored relation.
-    pub relation: Relation,
+    pub relation: Arc<Relation>,
 }
 
 #[derive(Debug, Default)]
@@ -92,9 +97,10 @@ impl Catalog {
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
-        inner
-            .tables
-            .insert(key.clone(), TableEntry { name: key, relation: Relation::empty(schema) });
+        inner.tables.insert(
+            key.clone(),
+            TableEntry { name: key, relation: Arc::new(Relation::empty(schema)) },
+        );
         Ok(())
     }
 
@@ -109,7 +115,7 @@ impl Catalog {
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
-        inner.tables.insert(key.clone(), TableEntry { name: key, relation });
+        inner.tables.insert(key.clone(), TableEntry { name: key, relation: Arc::new(relation) });
         Ok(())
     }
 
@@ -130,7 +136,7 @@ impl Catalog {
         let entry =
             inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
         let n = tuples.len();
-        entry.relation.extend(tuples)?;
+        Arc::make_mut(&mut entry.relation).extend(tuples)?;
         Ok(n)
     }
 
@@ -138,6 +144,7 @@ impl Catalog {
     pub fn overwrite(&self, name: &str, relation: Relation) -> Result<(), CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
+        let relation = Arc::new(relation);
         match inner.tables.get_mut(&key) {
             Some(entry) => {
                 entry.relation = relation;
@@ -150,8 +157,17 @@ impl Catalog {
         }
     }
 
-    /// A snapshot of a table's contents.
+    /// A snapshot of a table's contents (deep copy; prefer [`Catalog::table_arc`] on hot paths).
     pub fn table(&self, name: &str) -> Result<Relation, CatalogError> {
+        self.table_arc(name).map(|r| (*r).clone())
+    }
+
+    /// A zero-copy snapshot of a table's contents.
+    ///
+    /// The returned [`Arc`] observes the table as of the call; later inserts or overwrites do
+    /// not affect it (copy-on-write). This is what the streaming executor scans from, so reading
+    /// a base relation costs a refcount bump instead of cloning every tuple.
+    pub fn table_arc(&self, name: &str) -> Result<Arc<Relation>, CatalogError> {
         let key = Self::normalize(name);
         let inner = self.inner.read();
         inner
