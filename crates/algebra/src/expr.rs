@@ -260,6 +260,15 @@ pub enum ScalarExpr {
     },
     /// A literal value.
     Literal(Value),
+    /// A prepared-statement parameter slot (`$1`, `$2`, ... in SQL; `index` is zero-based).
+    ///
+    /// Parameters survive analysis, provenance rewriting and optimization unchanged; the
+    /// executor resolves them against the bound parameter values when expressions are compiled,
+    /// so one prepared plan can be executed many times with different bindings.
+    Parameter {
+        /// Zero-based parameter position (`$1` has index 0).
+        index: usize,
+    },
     /// Binary operation.
     BinaryOp {
         /// The operator.
@@ -340,6 +349,11 @@ impl ScalarExpr {
         ScalarExpr::Literal(value.into())
     }
 
+    /// A parameter slot (zero-based index; `$1` has index 0).
+    pub fn parameter(index: usize) -> ScalarExpr {
+        ScalarExpr::Parameter { index }
+    }
+
     /// A binary operation.
     pub fn binary(op: BinaryOperator, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::BinaryOp { op, left: Box::new(left), right: Box::new(right) }
@@ -416,7 +430,7 @@ impl ScalarExpr {
     pub fn visit<F: FnMut(&ScalarExpr)>(&self, f: &mut F) {
         f(self);
         match self {
-            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) => {}
+            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) | ScalarExpr::Parameter { .. } => {}
             ScalarExpr::BinaryOp { left, right, .. } => {
                 left.visit(f);
                 right.visit(f);
@@ -457,6 +471,7 @@ impl ScalarExpr {
                 ScalarExpr::Column { index: f(*index), name: name.clone() }
             }
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Parameter { index } => ScalarExpr::Parameter { index: *index },
             ScalarExpr::BinaryOp { op, left, right } => ScalarExpr::BinaryOp {
                 op: *op,
                 left: Box::new(left.map_columns(f)),
@@ -504,7 +519,9 @@ impl ScalarExpr {
     /// rebuilt. Used by the executor (sublink resolution) and the provenance rewriter.
     pub fn transform(&self, f: &mut impl FnMut(ScalarExpr) -> ScalarExpr) -> ScalarExpr {
         let rebuilt = match self {
-            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) => self.clone(),
+            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) | ScalarExpr::Parameter { .. } => {
+                self.clone()
+            }
             ScalarExpr::BinaryOp { op, left, right } => ScalarExpr::BinaryOp {
                 op: *op,
                 left: Box::new(left.transform(f)),
@@ -547,7 +564,9 @@ impl ScalarExpr {
                 out.push(e);
             }
             match e {
-                ScalarExpr::Column { .. } | ScalarExpr::Literal(_) => {}
+                ScalarExpr::Column { .. }
+                | ScalarExpr::Literal(_)
+                | ScalarExpr::Parameter { .. } => {}
                 ScalarExpr::BinaryOp { left, right, .. } => {
                     walk(left, out);
                     walk(right, out);
@@ -598,6 +617,9 @@ impl ScalarExpr {
         Ok(match self {
             ScalarExpr::Column { index, .. } => schema.attribute(*index)?.data_type,
             ScalarExpr::Literal(v) => v.data_type(),
+            // Parameters are untyped until bound; `Null` behaves as "unknown" under
+            // `DataType::common_type`.
+            ScalarExpr::Parameter { .. } => DataType::Null,
             ScalarExpr::BinaryOp { op, left, right } => {
                 if op.is_comparison() || op.is_logical() {
                     DataType::Bool
@@ -662,8 +684,22 @@ impl ScalarExpr {
     }
 
     /// Does the expression contain no column references (i.e. is it constant)?
+    ///
+    /// Parameters are *not* constants: their value is only known once a prepared statement is
+    /// executed, so they must never be folded at plan time.
     pub fn is_constant(&self) -> bool {
-        self.columns_used().is_empty()
+        self.columns_used().is_empty() && !self.has_parameter()
+    }
+
+    /// Does this expression contain a parameter slot (not counting sublink sub-plans)?
+    pub fn has_parameter(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, ScalarExpr::Parameter { .. }) {
+                found = true;
+            }
+        });
+        found
     }
 }
 
@@ -675,6 +711,7 @@ impl fmt::Display for ScalarExpr {
                 Value::Text(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
             },
+            ScalarExpr::Parameter { index } => write!(f, "${}", index + 1),
             ScalarExpr::BinaryOp { op, left, right } => write!(f, "({left} {op} {right})"),
             ScalarExpr::UnaryOp { op, expr } => match op {
                 UnaryOperator::IsNull | UnaryOperator::IsNotNull => write!(f, "({expr} {op})"),

@@ -385,6 +385,51 @@ impl LogicalPlan {
         out
     }
 
+    /// Visit every scalar expression node appearing in the plan (projections, predicates, join
+    /// conditions, grouping keys, aggregate arguments, sort keys), recursing into children and
+    /// into the sub-plans of sublink expressions.
+    pub fn for_each_expr(&self, f: &mut impl FnMut(&ScalarExpr)) {
+        fn visit_expr(e: &ScalarExpr, f: &mut impl FnMut(&ScalarExpr)) {
+            e.visit(f);
+            for sublink in e.sublinks() {
+                if let ScalarExpr::Sublink { plan, .. } = sublink {
+                    plan.for_each_expr(f);
+                }
+            }
+        }
+        match self {
+            LogicalPlan::Projection { exprs, .. } => {
+                exprs.iter().for_each(|(e, _)| visit_expr(e, f))
+            }
+            LogicalPlan::Selection { predicate, .. } => visit_expr(predicate, f),
+            LogicalPlan::Join { condition: Some(c), .. } => visit_expr(c, f),
+            LogicalPlan::Aggregation { group_by, aggregates, .. } => {
+                group_by.iter().for_each(|(e, _)| visit_expr(e, f));
+                aggregates.iter().filter_map(|(a, _)| a.arg.as_ref()).for_each(|e| {
+                    visit_expr(e, f);
+                });
+            }
+            LogicalPlan::Sort { keys, .. } => keys.iter().for_each(|k| visit_expr(&k.expr, f)),
+            _ => {}
+        }
+        for child in self.children() {
+            child.for_each_expr(f);
+        }
+    }
+
+    /// The highest zero-based parameter index (`$n` has index `n - 1`) referenced anywhere in
+    /// the plan, or `None` when the plan is parameter-free. Used by prepared statements to
+    /// derive the expected number of bound values.
+    pub fn max_parameter(&self) -> Option<usize> {
+        let mut max: Option<usize> = None;
+        self.for_each_expr(&mut |e| {
+            if let ScalarExpr::Parameter { index } = e {
+                max = Some(max.map_or(*index, |m| m.max(*index)));
+            }
+        });
+        max
+    }
+
     /// Total number of operator nodes in the plan (used by the benchmark reports).
     pub fn node_count(&self) -> usize {
         1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()

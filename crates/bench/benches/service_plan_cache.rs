@@ -1,0 +1,71 @@
+//! Plan-cache micro-benchmark: fig13-style SPJ provenance queries through a service session,
+//! cold (cache cleared before every run, so parse → analyze → rewrite → optimize is paid each
+//! time) versus cached (plan once, execute many) versus a prepared statement with a `$1`
+//! parameter (the per-session variant of the same idea).
+//!
+//! The acceptance bar for PR 3 is cached ≥ 2× cold on these queries; BENCH_NOTES.md records
+//! the measured ratios.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::harness::{BenchConfig, ScalePreset};
+use perm_tpch::queries::add_provenance_keyword;
+use perm_tpch::workloads::{spj_query, workload_rng};
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let db = config.database(ScalePreset::Small);
+    let engine = db.engine().clone();
+    let parts = db.catalog().table_row_count("part").unwrap();
+
+    let mut group = c.benchmark_group("service_plan_cache");
+    group.sample_size(config.samples);
+    group.warm_up_time(Duration::from_millis(config.warm_up_ms));
+    group.measurement_time(Duration::from_millis(config.measurement_ms));
+
+    for num_sub in [1usize, 3, 6] {
+        let sql = add_provenance_keyword(&spj_query(
+            &mut workload_rng("spj", num_sub as u64),
+            num_sub,
+            parts,
+        ));
+        let mut session = engine.session();
+        session.set_row_budget(Some(config.row_budget));
+        session.set_timeout(Some(config.timeout));
+
+        group.bench_with_input(BenchmarkId::new("cold", num_sub), &sql, |b, sql| {
+            b.iter(|| {
+                engine.clear_plan_cache();
+                session.execute(sql).expect("cold provenance query runs")
+            });
+        });
+        // Warm the cache once, then measure the hit path.
+        session.execute(&sql).expect("warm-up run");
+        group.bench_with_input(BenchmarkId::new("cached", num_sub), &sql, |b, sql| {
+            b.iter(|| session.execute(sql).expect("cached provenance query runs"));
+        });
+        // Prepared statement over the same shape: wrap the provenance query and parameterize a
+        // size threshold so the plan carries a live parameter slot.
+        let parameterized = format!("SELECT * FROM ({sql}) AS prep WHERE p_size > $1");
+        let params = session
+            .prepare("spj_prepared", &parameterized)
+            .expect("parameterized provenance query prepares");
+        assert_eq!(params, 1);
+        group.bench_with_input(BenchmarkId::new("prepared", num_sub), &(), |b, _| {
+            b.iter(|| {
+                session
+                    .execute_prepared("spj_prepared", vec![perm_algebra::Value::Int(0)])
+                    .expect("prepared provenance query runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_plan_cache
+}
+criterion_main!(benches);

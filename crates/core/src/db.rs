@@ -1,12 +1,17 @@
 //! `PermDb`: the provenance management system facade.
 //!
-//! `PermDb` wires together the catalog (`perm-storage`), the SQL front end with the SQL-PLE
-//! extension (`perm-sql`), the provenance rewriter (this crate) and the optimizer/executor
-//! (`perm-exec`) into the pipeline of the paper's Figure 5:
+//! `PermDb` is a thin single-session wrapper over the multi-session
+//! [`perm_service::Engine`]: it injects this crate's provenance rewriter into the engine's
+//! pipeline of the paper's Figure 5:
 //!
 //! ```text
 //!   SQL ──▶ parser & analyzer ──▶ view unfolding ──▶ provenance rewriter ──▶ optimizer ──▶ executor
 //! ```
+//!
+//! Queries executed through `PermDb` therefore share everything the service layer provides —
+//! atomic catalog snapshots and the engine's plan cache — while keeping the simple embedded
+//! API. For concurrent multi-session workloads (prepared statements, the `permd` wire server),
+//! use [`PermDb::engine`] and open [`perm_service::Session`]s directly.
 //!
 //! It supports lazy provenance computation (`SELECT PROVENANCE ...`), eager storage of
 //! provenance (`SELECT PROVENANCE ... INTO table` or [`PermDb::store_provenance`]), provenance
@@ -17,8 +22,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use perm_algebra::LogicalPlan;
-use perm_exec::{ExecOptions, Executor, Optimizer};
-use perm_sql::{AnalyzedStatement, Analyzer};
+use perm_exec::ExecOptions;
+use perm_service::{Engine, Session, SessionOptions};
+use perm_sql::Analyzer;
 use perm_storage::{Catalog, Relation};
 
 use crate::error::PermError;
@@ -71,15 +77,22 @@ impl ProvenanceOptions {
         }
         options
     }
+
+    fn session_options(&self) -> SessionOptions {
+        SessionOptions {
+            row_budget: self.row_budget,
+            timeout: self.timeout,
+            optimize: self.optimize,
+        }
+    }
 }
 
 /// The Perm provenance management system.
 #[derive(Debug, Clone)]
 pub struct PermDb {
-    catalog: Catalog,
+    engine: Arc<Engine>,
     options: ProvenanceOptions,
     rewriter: Arc<ProvenanceRewriter>,
-    optimizer: Optimizer,
 }
 
 impl Default for PermDb {
@@ -96,27 +109,32 @@ impl PermDb {
 
     /// Create an empty database with custom options.
     pub fn with_options(options: ProvenanceOptions) -> PermDb {
-        PermDb {
-            catalog: Catalog::new(),
-            options,
-            rewriter: Arc::new(ProvenanceRewriter::new()),
-            optimizer: Optimizer::new(),
-        }
+        PermDb::with_catalog(Catalog::new(), options)
     }
 
     /// Create a database over an existing catalog (shares the underlying data).
     pub fn with_catalog(catalog: Catalog, options: ProvenanceOptions) -> PermDb {
-        PermDb {
-            catalog,
-            options,
-            rewriter: Arc::new(ProvenanceRewriter::new()),
-            optimizer: Optimizer::new(),
-        }
+        let rewriter = Arc::new(ProvenanceRewriter::new());
+        let engine = Arc::new(Engine::with_catalog(catalog).with_rewriter(rewriter.clone()));
+        PermDb { engine, options, rewriter }
+    }
+
+    /// The shared engine behind this facade. Use [`Engine::session`] to open additional
+    /// concurrent sessions (prepared statements, per-connection settings) over the same data.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// The catalog backing this database.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.engine.catalog()
+    }
+
+    /// A single-use session carrying this database's options.
+    fn session(&self) -> Session {
+        let mut session = Session::new(self.engine.clone());
+        session.set_options(self.options.session_options());
+        session
     }
 
     /// The current options.
@@ -131,13 +149,13 @@ impl PermDb {
 
     /// Register a pre-built relation as a base table.
     pub fn register_table(&self, name: &str, relation: Relation) -> Result<(), PermError> {
-        self.catalog.create_table_with_data(name, relation)?;
+        self.catalog().create_table_with_data(name, relation)?;
         Ok(())
     }
 
     /// The analyzer configured with this database's catalog and provenance rewriter.
     pub fn analyzer(&self) -> Analyzer {
-        Analyzer::new(self.catalog.clone()).with_rewriter(self.rewriter.clone())
+        self.engine.analyzer()
     }
 
     /// Parse, analyze, optimize — but do not execute — a query. Returns the final plan exactly
@@ -162,27 +180,19 @@ impl PermDb {
     /// Execute a bound plan.
     pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<Relation, PermError> {
         let plan = self.maybe_optimize(plan.clone())?;
-        let executor = Executor::with_options(self.catalog.clone(), self.options.exec_options());
-        Ok(executor.execute(&plan)?)
+        Ok(self.engine.run_plan(&plan, self.options.exec_options(), Vec::new())?)
     }
 
     /// Execute a single SQL statement (DDL, DML or query). DDL statements return an empty
-    /// relation.
+    /// relation. Queries go through the engine's shared plan cache, so repeated statements are
+    /// planned once.
     pub fn execute_sql(&self, sql: &str) -> Result<Relation, PermError> {
-        let statement = self.analyzer().analyze_sql(sql)?;
-        self.execute_statement(statement)
+        Ok(self.session().execute(sql)?)
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
     pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, PermError> {
-        let statements = perm_sql::parse_statements(sql)?;
-        let analyzer = self.analyzer();
-        let mut results = Vec::with_capacity(statements.len());
-        for stmt in &statements {
-            let analyzed = analyzer.analyze_statement(stmt)?;
-            results.push(self.execute_statement(analyzed)?);
-        }
-        Ok(results)
+        Ok(self.session().execute_script(sql)?)
     }
 
     /// Compute the provenance of a (plain, non-PROVENANCE) SQL query programmatically.
@@ -200,7 +210,7 @@ impl PermDb {
     pub fn store_provenance(&self, table: &str, sql: &str) -> Result<usize, PermError> {
         let result = self.provenance_of_query(sql)?;
         let rows = result.num_rows();
-        self.catalog.overwrite(table, result)?;
+        self.catalog().overwrite(table, result)?;
         Ok(rows)
     }
 
@@ -210,53 +220,15 @@ impl PermDb {
         let body = format!("SELECT PROVENANCE * FROM ({query_sql}) AS {name}_body");
         // Validate eagerly so errors surface now.
         self.analyzer().analyze_query_sql(&body)?;
-        self.catalog.create_view(name, &body)?;
+        self.catalog().create_view(name, &body)?;
         Ok(())
     }
 
     fn maybe_optimize(&self, plan: LogicalPlan) -> Result<LogicalPlan, PermError> {
         if self.options.optimize {
-            Ok(self.optimizer.optimize(&plan)?)
+            Ok(self.engine.optimize_plan(&plan)?)
         } else {
             Ok(plan)
-        }
-    }
-
-    fn execute_statement(&self, statement: AnalyzedStatement) -> Result<Relation, PermError> {
-        match statement {
-            AnalyzedStatement::CreateTable { name, schema } => {
-                self.catalog.create_table(&name, schema)?;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(&name, if_exists)?;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::DropView { name, if_exists } => {
-                self.catalog.drop_view(&name, if_exists)?;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::CreateView { name, body_sql } => {
-                self.catalog.create_view(&name, &body_sql)?;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::Insert { table, rows } => {
-                let n = self.catalog.insert(&table, rows)?;
-                let _ = n;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::InsertFromQuery { table, plan } => {
-                let result = self.execute_plan(&plan)?;
-                self.catalog.insert(&table, result.into_tuples())?;
-                Ok(Relation::empty(perm_algebra::Schema::empty()))
-            }
-            AnalyzedStatement::Query { plan, into } => {
-                let result = self.execute_plan(&plan)?;
-                if let Some(target) = into {
-                    self.catalog.overwrite(&target, result.clone())?;
-                }
-                Ok(result)
-            }
         }
     }
 }

@@ -4,6 +4,7 @@ use std::fmt;
 
 use perm_algebra::AlgebraError;
 use perm_exec::ExecError;
+use perm_service::ServiceError;
 use perm_sql::SqlError;
 use perm_storage::CatalogError;
 
@@ -44,11 +45,33 @@ impl fmt::Display for PermError {
     }
 }
 
-impl std::error::Error for PermError {}
+impl std::error::Error for PermError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PermError::Sql(e) => Some(e),
+            PermError::Exec(e) => Some(e),
+            PermError::Catalog(e) => Some(e),
+            PermError::Algebra(e) => Some(e),
+            PermError::Rewrite(_) | PermError::Other(_) => None,
+        }
+    }
+}
 
 impl From<SqlError> for PermError {
     fn from(e: SqlError) -> Self {
         PermError::Sql(e)
+    }
+}
+
+impl From<ServiceError> for PermError {
+    fn from(e: ServiceError) -> Self {
+        // Unwrap the service envelope so callers keep matching on the layer errors they know.
+        match e {
+            ServiceError::Sql(e) => PermError::Sql(e),
+            ServiceError::Exec(e) => PermError::Exec(e),
+            ServiceError::Catalog(e) => PermError::Catalog(e),
+            other => PermError::Other(other.to_string()),
+        }
     }
 }
 
@@ -82,5 +105,29 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = PermError::rewrite("cannot rewrite");
         assert!(e.to_string().contains("cannot rewrite"));
+    }
+
+    #[test]
+    fn source_exposes_the_layer_error_chain() {
+        use std::error::Error;
+        // PermError -> ExecError -> CatalogError is walkable end to end.
+        let inner = ExecError::Catalog(CatalogError::NotFound("t".into()));
+        let e: PermError = inner.into();
+        let exec = e.source().expect("exec layer");
+        assert!(exec.to_string().contains("does not exist"));
+        let catalog = exec.source().expect("catalog layer");
+        assert!(matches!(catalog.downcast_ref::<CatalogError>(), Some(CatalogError::NotFound(_))));
+        // Leaf variants end the chain.
+        assert!(PermError::rewrite("x").source().is_none());
+    }
+
+    #[test]
+    fn service_errors_unwrap_to_layer_variants() {
+        let e: PermError =
+            perm_service::ServiceError::Exec(ExecError::Timeout { millis: 5 }).into();
+        assert!(matches!(e, PermError::Exec(ExecError::Timeout { millis: 5 })));
+        let e: PermError = perm_service::ServiceError::UnknownPrepared("q".into()).into();
+        assert!(matches!(e, PermError::Other(_)));
+        assert!(e.to_string().contains('q'));
     }
 }

@@ -104,6 +104,9 @@ impl CompiledExpr {
         Ok(match expr {
             ScalarExpr::Column { index, .. } => CompiledExpr::Column(*index),
             ScalarExpr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            // Parameter slots resolve against the executor's bound values exactly once per
+            // execution, so a prepared plan re-executes with new bindings at literal speed.
+            ScalarExpr::Parameter { index } => CompiledExpr::Literal(executor.param(*index)?),
             ScalarExpr::BinaryOp { op, left, right } => {
                 let left = Box::new(CompiledExpr::compile(left, executor, ctx)?);
                 let right = Box::new(CompiledExpr::compile(right, executor, ctx)?);

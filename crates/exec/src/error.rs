@@ -31,6 +31,15 @@ pub enum ExecError {
     /// SQL requires a scalar subquery to produce at most one row; silently taking the first row
     /// would make results depend on physical tuple order.
     ScalarSubqueryTooManyRows,
+    /// A parameter slot (`$n`) was evaluated without a bound value.
+    ///
+    /// Raised when a parameterized plan is executed with fewer parameters than it references
+    /// (see [`crate::Executor::with_params`]) or when one reaches the tree-walking interpreter,
+    /// which never carries bindings.
+    UnboundParameter {
+        /// Zero-based parameter index (`$1` has index 0).
+        index: usize,
+    },
     /// Any other execution failure.
     Internal(String),
 }
@@ -49,12 +58,23 @@ impl fmt::Display for ExecError {
             ExecError::ScalarSubqueryTooManyRows => {
                 write!(f, "scalar subquery returned more than one row")
             }
+            ExecError::UnboundParameter { index } => {
+                write!(f, "parameter ${} has no bound value", index + 1)
+            }
             ExecError::Internal(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Algebra(e) => Some(e),
+            ExecError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<AlgebraError> for ExecError {
     fn from(e: AlgebraError) -> Self {

@@ -18,6 +18,9 @@ pub fn evaluate(expr: &ScalarExpr, tuple: &Tuple) -> Result<Value, ExecError> {
             ))
         }),
         ScalarExpr::Literal(v) => Ok(v.clone()),
+        // The interpreter never carries parameter bindings; the executor substitutes them when
+        // compiling expressions (see `crate::compile`).
+        ScalarExpr::Parameter { index } => Err(ExecError::UnboundParameter { index: *index }),
         ScalarExpr::BinaryOp { op, left, right } => evaluate_binary(*op, left, right, tuple),
         ScalarExpr::UnaryOp { op, expr } => unary_op_value(*op, evaluate(expr, tuple)?),
         ScalarExpr::Function { func, args } => {

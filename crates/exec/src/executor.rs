@@ -31,7 +31,7 @@ use perm_algebra::{
     BinaryOperator, JoinKind, LogicalPlan, ScalarExpr, Schema, SetOpKind, SetSemantics, SortOrder,
     Tuple, Value,
 };
-use perm_storage::{Catalog, Relation};
+use perm_storage::{Catalog, CatalogSnapshot, Relation};
 
 use crate::compile::{CompiledAggregate, CompiledExpr};
 use crate::error::ExecError;
@@ -132,26 +132,51 @@ impl RowGuard {
 pub(crate) type TupleIter<'a> = Box<dyn Iterator<Item = Result<Tuple, ExecError>> + 'a>;
 
 /// Executes logical plans against a [`Catalog`].
+///
+/// The executor captures a [`CatalogSnapshot`] at construction time and every base-relation
+/// scan reads from it, so one execution observes a single atomic catalog state even while
+/// concurrent sessions commit multi-table writes. Construct a fresh executor per query to pick
+/// up later commits.
 #[derive(Debug, Clone)]
 pub struct Executor {
     catalog: Catalog,
+    snapshot: CatalogSnapshot,
     options: ExecOptions,
+    /// Bound values for the plan's `$n` parameter slots (resolved at expression-compile time).
+    params: Arc<[Value]>,
 }
 
 impl Executor {
     /// Create an executor without resource limits.
     pub fn new(catalog: Catalog) -> Executor {
-        Executor { catalog, options: ExecOptions::default() }
+        Executor::with_options(catalog, ExecOptions::default())
     }
 
     /// Create an executor with resource limits.
     pub fn with_options(catalog: Catalog, options: ExecOptions) -> Executor {
-        Executor { catalog, options }
+        let snapshot = catalog.snapshot();
+        Executor { catalog, snapshot, options, params: Arc::from([]) }
+    }
+
+    /// Bind values for the plan's `$n` parameter slots (zero-based: `$1` reads `params[0]`).
+    pub fn with_params(mut self, params: Vec<Value>) -> Executor {
+        self.params = params.into();
+        self
     }
 
     /// The catalog this executor reads from.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The atomic catalog snapshot this executor scans from.
+    pub fn snapshot(&self) -> &CatalogSnapshot {
+        &self.snapshot
+    }
+
+    /// The bound value of parameter slot `index` (zero-based).
+    pub(crate) fn param(&self, index: usize) -> Result<Value, ExecError> {
+        self.params.get(index).cloned().ok_or(ExecError::UnboundParameter { index })
     }
 
     /// Execute a plan, returning the materialised result.
@@ -370,7 +395,7 @@ impl Executor {
         exprs: Option<Vec<CompiledExpr>>,
         ctx: ExecContext,
     ) -> Result<ScanIter, ExecError> {
-        let rel = self.catalog.table_arc(name)?;
+        let rel = self.snapshot.table(name)?;
         if rel.schema().arity() != schema.arity() {
             return Err(ExecError::Internal(format!(
                 "stored table '{name}' has arity {} but the plan expects {}",

@@ -446,12 +446,16 @@ fn fold_expr_opt(expr: &ScalarExpr) -> Option<ScalarExpr> {
     rebuilt
 }
 
-/// Does the expression reference no columns and contain no sublinks (allocation-free version of
-/// [`ScalarExpr::is_constant`])?
+/// Does the expression reference no columns and contain no sublinks or parameter slots
+/// (allocation-free version of [`ScalarExpr::is_constant`])? Parameters must survive to
+/// execution time: their values are only known when a prepared statement is bound.
 fn is_column_and_sublink_free(expr: &ScalarExpr) -> bool {
     let mut free = true;
     expr.visit(&mut |e| {
-        if matches!(e, ScalarExpr::Column { .. } | ScalarExpr::Sublink { .. }) {
+        if matches!(
+            e,
+            ScalarExpr::Column { .. } | ScalarExpr::Sublink { .. } | ScalarExpr::Parameter { .. }
+        ) {
             free = false;
         }
     });

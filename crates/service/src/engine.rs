@@ -1,0 +1,249 @@
+//! The thread-safe engine: one shared catalog, a provenance-aware SQL pipeline and a shared
+//! plan cache, serving any number of concurrent [`Session`]s.
+
+use std::sync::Arc;
+
+use perm_algebra::{LogicalPlan, Schema, Value};
+use perm_exec::{ExecOptions, Executor, Optimizer};
+use perm_sql::{AnalyzedStatement, Analyzer, ProvenanceRewrite};
+use perm_storage::{Catalog, Relation};
+
+use crate::cache::{normalize_sql, CacheStats, PlanCache};
+use crate::error::ServiceError;
+use crate::session::Session;
+
+/// A fully planned query: analyzed, provenance-rewritten and optimized exactly once, ready to
+/// be executed any number of times (with fresh parameter bindings each time).
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    /// The executable plan (may contain `$n` parameter slots).
+    pub plan: LogicalPlan,
+    /// Optional `SELECT ... INTO` target table.
+    pub into: Option<String>,
+    /// Number of parameter values an execution must bind (`$1..$param_count`).
+    pub param_count: usize,
+}
+
+/// The shared, thread-safe query engine.
+///
+/// An `Engine` owns the pieces every connection shares — the [`Catalog`], the provenance
+/// rewriter hook, the optimizer and the [`PlanCache`] — while per-connection state (settings,
+/// prepared statements) lives in [`Session`]s. All methods take `&self`; the engine is meant to
+/// be wrapped in an [`Arc`] and handed to one session per client connection.
+pub struct Engine {
+    catalog: Catalog,
+    rewriter: Option<Arc<dyn ProvenanceRewrite>>,
+    optimizer: Optimizer,
+    cache: PlanCache,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tables", &self.catalog.table_names())
+            .field("has_rewriter", &self.rewriter.is_some())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Default number of cached plans.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+impl Engine {
+    /// Create an engine over an empty catalog.
+    pub fn new() -> Engine {
+        Engine::with_catalog(Catalog::new())
+    }
+
+    /// Create an engine over an existing catalog (shares the underlying data).
+    pub fn with_catalog(catalog: Catalog) -> Engine {
+        Engine {
+            catalog,
+            rewriter: None,
+            optimizer: Optimizer::new(),
+            cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+        }
+    }
+
+    /// Attach a provenance rewriter (enables `SELECT PROVENANCE`; provided by `perm-core`).
+    pub fn with_rewriter(mut self, rewriter: Arc<dyn ProvenanceRewrite>) -> Engine {
+        self.rewriter = Some(rewriter);
+        self
+    }
+
+    /// Replace the plan cache with one of the given capacity (0 disables caching).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Engine {
+        self.cache = PlanCache::new(capacity);
+        self
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// An analyzer bound to this engine's catalog and provenance rewriter.
+    pub fn analyzer(&self) -> Analyzer {
+        let analyzer = Analyzer::new(self.catalog.clone());
+        match &self.rewriter {
+            Some(r) => analyzer.with_rewriter(r.clone()),
+            None => analyzer,
+        }
+    }
+
+    /// Plan-cache counters (hits / misses / invalidations / entries).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached plan (counters survive).
+    pub fn clear_plan_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Open a new session over this engine.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(self.clone())
+    }
+
+    /// Run a plan through the optimizer.
+    pub fn optimize_plan(&self, plan: &LogicalPlan) -> Result<LogicalPlan, ServiceError> {
+        Ok(self.optimizer.optimize(plan)?)
+    }
+
+    /// Plan a query: analyze (view unfolding + provenance rewriting) and optimize, consulting
+    /// the shared plan cache first. `optimize = false` bypasses both the optimizer and the
+    /// cache (the cache only ever stores optimized plans).
+    ///
+    /// Cache entries are keyed by [`normalize_sql`]d text and tagged with the catalog version
+    /// observed at planning time; any DDL/DML commit bumps the version and invalidates them.
+    pub fn plan_query(&self, sql: &str, optimize: bool) -> Result<Arc<PreparedPlan>, ServiceError> {
+        if !optimize {
+            return Ok(Arc::new(self.plan_query_uncached(sql, false)?));
+        }
+        let key = normalize_sql(sql);
+        // The version is read *before* planning: if a writer commits while we plan, the entry is
+        // tagged with the older version and treated as stale on its next lookup — a wasted
+        // cache slot, never a wrong answer.
+        let version = self.catalog.version();
+        if let Some(hit) = self.cache.get(&key, version) {
+            return Ok(hit);
+        }
+        let planned = Arc::new(self.plan_query_uncached(sql, true)?);
+        self.cache.insert(key, version, planned.clone());
+        Ok(planned)
+    }
+
+    pub(crate) fn plan_query_uncached(
+        &self,
+        sql: &str,
+        optimize: bool,
+    ) -> Result<PreparedPlan, ServiceError> {
+        match self.analyzer().analyze_sql(sql)? {
+            AnalyzedStatement::Query { plan, into } => {
+                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let param_count = plan.max_parameter().map_or(0, |max| max + 1);
+                Ok(PreparedPlan { plan, into, param_count })
+            }
+            _ => Err(ServiceError::unsupported(
+                "only queries (SELECT ...) can be planned; execute DDL/DML statements directly",
+            )),
+        }
+    }
+
+    /// Execute an already-planned query under `options`, binding `params` to its `$n` slots.
+    ///
+    /// The executor captures an atomic catalog snapshot, so the execution observes one
+    /// consistent state of every table regardless of concurrent commits. A `SELECT ... INTO`
+    /// target is written back to the shared catalog after execution.
+    pub fn execute_prepared_plan(
+        &self,
+        prepared: &PreparedPlan,
+        options: ExecOptions,
+        params: Vec<Value>,
+    ) -> Result<Relation, ServiceError> {
+        let result = self.run_plan(&prepared.plan, options, params)?;
+        if let Some(target) = &prepared.into {
+            self.catalog.overwrite(target, result.clone())?;
+        }
+        Ok(result)
+    }
+
+    /// Execute a bound plan as-is (no optimization) under `options` with `params` bound.
+    pub fn run_plan(
+        &self,
+        plan: &LogicalPlan,
+        options: ExecOptions,
+        params: Vec<Value>,
+    ) -> Result<Relation, ServiceError> {
+        let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
+        Ok(executor.execute(plan)?)
+    }
+
+    /// Execute an analyzed statement (DDL, DML or query) under `options`.
+    pub fn execute_statement(
+        &self,
+        statement: AnalyzedStatement,
+        options: ExecOptions,
+        optimize: bool,
+    ) -> Result<Relation, ServiceError> {
+        let empty = || Relation::empty(Schema::empty());
+        match statement {
+            AnalyzedStatement::CreateTable { name, schema } => {
+                self.catalog.create_table(&name, schema)?;
+                Ok(empty())
+            }
+            AnalyzedStatement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(&name, if_exists)?;
+                Ok(empty())
+            }
+            AnalyzedStatement::DropView { name, if_exists } => {
+                self.catalog.drop_view(&name, if_exists)?;
+                Ok(empty())
+            }
+            AnalyzedStatement::CreateView { name, body_sql } => {
+                self.catalog.create_view(&name, &body_sql)?;
+                Ok(empty())
+            }
+            AnalyzedStatement::Insert { table, rows } => {
+                self.catalog.insert(&table, rows)?;
+                Ok(empty())
+            }
+            AnalyzedStatement::InsertFromQuery { table, plan } => {
+                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let result = self.run_plan(&plan, options, Vec::new())?;
+                self.catalog.insert(&table, result.into_tuples())?;
+                Ok(empty())
+            }
+            AnalyzedStatement::Query { plan, into } => {
+                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let prepared = PreparedPlan { plan, into, param_count: 0 };
+                self.execute_prepared_plan(&prepared, options, Vec::new())
+            }
+        }
+    }
+}
+
+/// Is this statement query-shaped (`SELECT ...` or a parenthesised query)? Decided from the
+/// first *token* — mirroring the parser's statement dispatch — so leading whitespace and `--`
+/// comments don't route a query down the non-query path (which would bypass the plan cache and
+/// the parameter guard). A text that fails to tokenize is classified as a non-query; the
+/// analyzer then reports the lexical error itself.
+pub(crate) fn is_query_sql(sql: &str) -> bool {
+    use perm_sql::token::{tokenize, TokenKind};
+    match tokenize(sql) {
+        Ok(tokens) => match tokens.first().map(|t| &t.kind) {
+            Some(TokenKind::LeftParen) => true,
+            Some(TokenKind::Ident(word)) => word.eq_ignore_ascii_case("select"),
+            _ => false,
+        },
+        Err(_) => false,
+    }
+}

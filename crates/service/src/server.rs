@@ -1,0 +1,240 @@
+//! The `permd` TCP server: one thread per connection, each owning a [`Session`], with a
+//! graceful shutdown path (the `shutdown` wire command or [`ServerHandle::shutdown`]).
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use perm_algebra::Value;
+
+use crate::engine::Engine;
+use crate::error::ServiceError;
+use crate::session::Session;
+use crate::wire::{parse_param_values, read_frame_rest, render_relation, write_frame};
+
+/// How long a connection blocks waiting for the *start* of a frame before re-checking the
+/// shutdown flag.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// How long a started frame may take to arrive completely; a stall this long mid-frame is
+/// treated as a broken client and drops the connection.
+const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A handle to a running server: its bound address and a way to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0: the OS picks a free port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a shutdown been requested (by this handle or a client's `shutdown` command)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful stop and wait for the accept loop and all connections to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server stops on its own (e.g. via a client's `shutdown` command).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `engine` until shutdown. Every accepted
+/// connection gets its own thread and its own [`Session`]; DDL, DML and `SELECT PROVENANCE`
+/// queries from all connections interleave safely over the shared catalog.
+pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_thread = {
+        let shutdown = shutdown.clone();
+        thread::spawn(move || {
+            let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+            loop {
+                let (stream, _) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                    Err(_) => continue,
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let engine = engine.clone();
+                let shutdown = shutdown.clone();
+                let handle = thread::spawn(move || {
+                    let _ = handle_connection(stream, engine, shutdown);
+                });
+                let mut connections = connections.lock();
+                connections.push(handle);
+                // Opportunistically reap finished connection threads.
+                connections.retain(|h| !h.is_finished());
+            }
+            for handle in connections.lock().drain(..) {
+                let _ = handle.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL_INTERVAL))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut session = Session::new(engine);
+    loop {
+        // Poll for the *first byte* of the next frame so the shutdown flag is honored while
+        // the connection is idle. The short timeout is only safe at a frame boundary: a
+        // timed-out 1-byte read consumes nothing, whereas timing out inside `read_frame`'s
+        // `read_exact` would silently discard a partially received frame and desync the
+        // protocol for a client that delivers a frame in pieces.
+        let mut first = [0u8; 1];
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(()), // client closed the connection
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // The frame has started: give the remainder a generous window, then restore polling.
+        reader.set_read_timeout(Some(FRAME_COMPLETION_TIMEOUT))?;
+        let request = read_frame_rest(&mut reader, first[0])?;
+        reader.set_read_timeout(Some(READ_POLL_INTERVAL))?;
+        let (response, stop) = handle_request(&mut session, &request, &shutdown);
+        write_frame(&mut writer, &response)?;
+        if stop {
+            // Wake the accept loop so it notices the flag even with no further clients.
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatch one wire request against a session. Returns the response payload and whether the
+/// server should shut down. Public so tests (and the shell's offline mode) can drive the
+/// protocol without a socket.
+pub fn handle_request(
+    session: &mut Session,
+    request: &str,
+    shutdown: &AtomicBool,
+) -> (String, bool) {
+    match dispatch(session, request, shutdown) {
+        Ok((response, stop)) => (format!("+{response}"), stop),
+        Err(e) => (format!("-{e}"), false),
+    }
+}
+
+fn dispatch(
+    session: &mut Session,
+    request: &str,
+    shutdown: &AtomicBool,
+) -> Result<(String, bool), ServiceError> {
+    let request = request.trim();
+    let (command, rest) = match request.split_once(char::is_whitespace) {
+        Some((command, rest)) => (command, rest.trim()),
+        None => (request, ""),
+    };
+    match command.to_ascii_lowercase().as_str() {
+        "query" => {
+            if rest.is_empty() {
+                return Err(ServiceError::protocol("query requires SQL text"));
+            }
+            let result = session.execute(rest)?;
+            Ok((render_relation(&result), false))
+        }
+        "prepare" => {
+            let (name, sql) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| ServiceError::protocol("usage: prepare <name> <sql>"))?;
+            let params = session.prepare(name, sql.trim())?;
+            Ok((format!("prepared {name} ({params} parameter(s))"), false))
+        }
+        "exec" => {
+            let (name, params_text) = match rest.split_once(char::is_whitespace) {
+                Some((name, params_text)) => (name, params_text.trim()),
+                None => (rest, ""),
+            };
+            if name.is_empty() {
+                return Err(ServiceError::protocol("usage: exec <name> [(v1, v2, ...)]"));
+            }
+            let params: Vec<Value> = parse_param_values(params_text)?;
+            let result = session.execute_prepared(name, params)?;
+            Ok((render_relation(&result), false))
+        }
+        "deallocate" => {
+            if session.deallocate(rest) {
+                Ok((format!("deallocated {rest}"), false))
+            } else {
+                Err(ServiceError::UnknownPrepared(rest.to_string()))
+            }
+        }
+        "set" => {
+            let (setting, value) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| ServiceError::protocol("usage: set <budget|timeout_ms> <n|none>"))?;
+            let value = value.trim();
+            let parsed: Option<u64> = if value.eq_ignore_ascii_case("none") {
+                None
+            } else {
+                Some(value.parse().map_err(|_| {
+                    ServiceError::protocol(format!("invalid setting value '{value}'"))
+                })?)
+            };
+            match setting.to_ascii_lowercase().as_str() {
+                "budget" => session.set_row_budget(parsed.map(|n| n as usize)),
+                "timeout_ms" => session.set_timeout(parsed.map(Duration::from_millis)),
+                other => return Err(ServiceError::protocol(format!("unknown setting '{other}'"))),
+            }
+            Ok((format!("set {setting}"), false))
+        }
+        "stats" => {
+            let stats = session.engine().cache_stats();
+            Ok((
+                format!(
+                    "plan_cache hits={} misses={} invalidations={} entries={}",
+                    stats.hits, stats.misses, stats.invalidations, stats.entries
+                ),
+                false,
+            ))
+        }
+        "ping" => Ok(("pong".to_string(), false)),
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            Ok(("bye".to_string(), true))
+        }
+        other => Err(ServiceError::protocol(format!("unknown command '{other}'"))),
+    }
+}

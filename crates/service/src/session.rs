@@ -1,0 +1,174 @@
+//! Per-connection sessions: settings, statement execution and prepared statements.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use perm_algebra::Value;
+use perm_exec::ExecOptions;
+use perm_storage::Relation;
+
+use crate::engine::{is_query_sql, Engine, PreparedPlan};
+use crate::error::ServiceError;
+
+/// Per-session settings, applied to every statement the session executes.
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Maximum number of rows any single operator may produce (`None` = unlimited).
+    pub row_budget: Option<usize>,
+    /// Wall-clock execution timeout (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Whether plans pass through the rule-based optimizer (and hence the plan cache).
+    pub optimize: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions { row_budget: None, timeout: None, optimize: true }
+    }
+}
+
+impl SessionOptions {
+    fn exec_options(&self) -> ExecOptions {
+        let mut options = ExecOptions::default();
+        if let Some(budget) = self.row_budget {
+            options = options.with_row_budget(budget);
+        }
+        if let Some(timeout) = self.timeout {
+            options = options.with_timeout(timeout);
+        }
+        options
+    }
+}
+
+/// One client's connection state: settings and named prepared statements over a shared
+/// [`Engine`]. Sessions are cheap to create (one `Arc` clone plus an empty map) and are *not*
+/// shared between threads — each connection owns its own.
+#[derive(Debug)]
+pub struct Session {
+    engine: Arc<Engine>,
+    options: SessionOptions,
+    prepared: HashMap<String, Arc<PreparedPlan>>,
+}
+
+impl Session {
+    /// Open a session over `engine` with default settings.
+    pub fn new(engine: Arc<Engine>) -> Session {
+        Session { engine, options: SessionOptions::default(), prepared: HashMap::new() }
+    }
+
+    /// The engine this session runs against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The current session settings.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
+    /// Replace the session settings.
+    pub fn set_options(&mut self, options: SessionOptions) {
+        self.options = options;
+    }
+
+    /// Limit the number of rows any single operator may produce (`None` = unlimited).
+    pub fn set_row_budget(&mut self, budget: Option<usize>) {
+        self.options.row_budget = budget;
+    }
+
+    /// Limit wall-clock execution time (`None` = unlimited).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.options.timeout = timeout;
+    }
+
+    /// Execute a single SQL statement (DDL, DML or query). Queries go through the shared plan
+    /// cache; DDL statements return an empty relation.
+    pub fn execute(&self, sql: &str) -> Result<Relation, ServiceError> {
+        if is_query_sql(sql) {
+            let prepared = self.engine.plan_query(sql, self.options.optimize)?;
+            if prepared.param_count > 0 {
+                return Err(ServiceError::unsupported(
+                    "the query references $n parameters; use prepare/execute_prepared to bind \
+                     values",
+                ));
+            }
+            return self.engine.execute_prepared_plan(
+                &prepared,
+                self.options.exec_options(),
+                Vec::new(),
+            );
+        }
+        let statement = self.engine.analyzer().analyze_sql(sql)?;
+        self.engine.execute_statement(statement, self.options.exec_options(), self.options.optimize)
+    }
+
+    /// Execute a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, ServiceError> {
+        let statements = perm_sql::parse_statements(sql)?;
+        let analyzer = self.engine.analyzer();
+        let mut results = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            let analyzed = analyzer.analyze_statement(stmt)?;
+            results.push(self.engine.execute_statement(
+                analyzed,
+                self.options.exec_options(),
+                self.options.optimize,
+            )?);
+        }
+        Ok(results)
+    }
+
+    /// Prepare a query under `name`: parse, analyze, provenance-rewrite and optimize **once**.
+    /// Returns the number of `$n` parameter slots the statement expects. Re-preparing an
+    /// existing name replaces it.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize, ServiceError> {
+        if !is_query_sql(sql) {
+            return Err(ServiceError::unsupported("only queries (SELECT ...) can be prepared"));
+        }
+        // Prepared statements skip the shared cache: parameterized texts are rarely re-planned
+        // verbatim by other sessions, and the session map already caches the plan.
+        let prepared = Arc::new(self.engine.plan_query_uncached(sql, self.options.optimize)?);
+        let param_count = prepared.param_count;
+        self.prepared.insert(name.to_string(), prepared);
+        Ok(param_count)
+    }
+
+    /// Execute a prepared statement with `params` bound to its `$1..$n` slots (exact arity
+    /// required; pass `Value::Null` explicitly for SQL NULL).
+    pub fn execute_prepared(
+        &self,
+        name: &str,
+        params: Vec<Value>,
+    ) -> Result<Relation, ServiceError> {
+        let prepared = self
+            .prepared
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownPrepared(name.to_string()))?;
+        if params.len() != prepared.param_count {
+            return Err(ServiceError::ParameterCount {
+                name: name.to_string(),
+                expected: prepared.param_count,
+                got: params.len(),
+            });
+        }
+        self.engine.execute_prepared_plan(prepared, self.options.exec_options(), params)
+    }
+
+    /// Drop a prepared statement; returns whether it existed.
+    pub fn deallocate(&mut self, name: &str) -> bool {
+        self.prepared.remove(name).is_some()
+    }
+
+    /// The prepared statement registered under `name`, if any.
+    pub fn prepared(&self, name: &str) -> Option<&Arc<PreparedPlan>> {
+        self.prepared.get(name)
+    }
+
+    /// Names of all prepared statements, sorted.
+    pub fn prepared_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.prepared.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}

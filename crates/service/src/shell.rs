@@ -1,0 +1,110 @@
+//! The `perm-shell` client: a tiny line-oriented REPL / script driver for `permd`.
+//!
+//! Every input line is one request. Lines starting with `\` are meta commands mapped onto wire
+//! commands; anything else is sent as `query <line>`:
+//!
+//! * `\prepare <name> <sql>` — prepare a (possibly parameterized) query
+//! * `\exec <name> (v1, ...)` — execute a prepared statement
+//! * `\deallocate <name>` — drop a prepared statement
+//! * `\set <budget|timeout_ms> <n|none>` — session settings
+//! * `\stats` — shared plan-cache counters
+//! * `\ping`, `\shutdown`, `\q`
+//!
+//! Empty lines and `--` comments are skipped.
+
+use std::io::{self, BufRead, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{read_frame, write_frame};
+
+/// A connected wire-protocol client.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running `permd`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = writer.try_clone()?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one raw request and return the raw response payload (including its `+`/`-` prefix).
+    pub fn request(&mut self, command: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, command)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+    }
+
+    /// Send one request and split the response into `Ok(body)` / `Err(message)`.
+    pub fn roundtrip(&mut self, command: &str) -> io::Result<Result<String, String>> {
+        let response = self.request(command)?;
+        Ok(match response.strip_prefix('+') {
+            Some(body) => Ok(body.to_string()),
+            None => Err(response.strip_prefix('-').unwrap_or(&response).to_string()),
+        })
+    }
+}
+
+/// Translate one shell input line into a wire request; `None` means "skip" and `Some(None)`
+/// inside the tuple marks `\q` (quit without talking to the server).
+fn translate(line: &str) -> Option<Option<String>> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with("--") {
+        return None;
+    }
+    if let Some(meta) = line.strip_prefix('\\') {
+        let meta = meta.trim();
+        if meta == "q" || meta == "quit" {
+            return Some(None);
+        }
+        return Some(Some(meta.to_string()));
+    }
+    Some(Some(format!("query {line}")))
+}
+
+/// Drive a shell session: read lines from `input`, send them to the server, print responses to
+/// `output`. Returns the number of server-reported errors (scripts use this as an exit code).
+pub fn run_shell(
+    client: &mut Client,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<usize> {
+    let mut errors = 0usize;
+    for line in input.lines() {
+        let line = line?;
+        let request = match translate(&line) {
+            None => continue,
+            Some(None) => break,
+            Some(Some(request)) => request,
+        };
+        match client.roundtrip(&request)? {
+            Ok(body) => writeln!(output, "{body}")?,
+            Err(message) => {
+                errors += 1;
+                writeln!(output, "error: {message}")?;
+            }
+        }
+        if request.trim().eq_ignore_ascii_case("shutdown") {
+            break;
+        }
+    }
+    Ok(errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_translation() {
+        assert_eq!(translate(""), None);
+        assert_eq!(translate("-- a comment"), None);
+        assert_eq!(translate("\\q"), Some(None));
+        assert_eq!(translate("\\stats"), Some(Some("stats".into())));
+        assert_eq!(translate("\\exec q (1, 'x')"), Some(Some("exec q (1, 'x')".into())));
+        assert_eq!(translate("SELECT 1"), Some(Some("query SELECT 1".into())));
+    }
+}

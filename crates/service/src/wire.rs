@@ -1,0 +1,238 @@
+//! The `permd` wire protocol: length-prefixed UTF-8 text frames over TCP.
+//!
+//! Every message — request or response — is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 text. Requests are single-line commands:
+//!
+//! | request                          | effect                                                |
+//! |----------------------------------|-------------------------------------------------------|
+//! | `query <sql>`                    | execute one statement (DDL, DML or query)             |
+//! | `prepare <name> <sql>`           | plan a query once under `name`                        |
+//! | `exec <name> (v1, v2, ...)`      | execute a prepared statement with literal bindings    |
+//! | `deallocate <name>`              | drop a prepared statement                             |
+//! | `set budget <n\|none>`           | session row budget                                    |
+//! | `set timeout_ms <n\|none>`       | session wall-clock timeout                            |
+//! | `stats`                          | shared plan-cache counters                            |
+//! | `ping`                           | liveness check                                        |
+//! | `shutdown`                       | stop the server gracefully                            |
+//!
+//! Responses start with `+` (success) or `-` (error message). Successful query responses carry
+//! a tab-separated header line followed by one tab-separated line per row.
+
+use std::io::{self, Read, Write};
+
+use perm_algebra::Value;
+use perm_sql::token::{tokenize, TokenKind};
+use perm_storage::Relation;
+
+use crate::error::ServiceError;
+
+/// Upper bound on a single frame's payload (16 MiB): protects the server from bogus lengths.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Read one length-prefixed frame. Returns `None` on a clean EOF at a frame boundary.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not valid UTF-8"))
+}
+
+/// Read the remainder of a frame whose first length byte has already been consumed (used by
+/// the server, which polls for the first byte with a short timeout and must then finish the
+/// frame without treating a mid-frame stall as "no request").
+pub fn read_frame_rest(reader: &mut impl Read, first_len_byte: u8) -> io::Result<String> {
+    let mut rest = [0u8; 3];
+    reader.read_exact(&mut rest)?;
+    let len = u32::from_be_bytes([first_len_byte, rest[0], rest[1], rest[2]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not valid UTF-8"))
+}
+
+/// Render a relation as the wire text format: a tab-separated header line, then one
+/// tab-separated line per row. Statements without a result (DDL/DML) render as `ok`.
+pub fn render_relation(relation: &Relation) -> String {
+    if relation.schema().arity() == 0 {
+        return "ok".to_string();
+    }
+    let mut out = relation.schema().attribute_names().join("\t");
+    for tuple in relation.tuples() {
+        out.push('\n');
+        let mut first = true;
+        for i in 0..tuple.arity() {
+            if !first {
+                out.push('\t');
+            }
+            first = false;
+            match &tuple[i] {
+                Value::Null => out.push_str("NULL"),
+                other => out.push_str(&other.to_string()),
+            }
+        }
+    }
+    out
+}
+
+/// Parse an `exec` parameter list: `(v1, v2, ...)` of SQL literals (numbers, `'strings'`,
+/// `TRUE`/`FALSE`, `NULL`, `DATE 'YYYY-MM-DD'`, optionally `-`-negated numbers). An empty or
+/// absent list parses as no parameters.
+pub fn parse_param_values(text: &str) -> Result<Vec<Value>, ServiceError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() || trimmed == "()" {
+        return Ok(Vec::new());
+    }
+    let tokens = tokenize(trimmed).map_err(|e| ServiceError::protocol(e.to_string()))?;
+    let mut pos = 0usize;
+    let expect = |pos: &mut usize, kind: &TokenKind, tokens: &[perm_sql::token::Token]| {
+        if &tokens[*pos].kind == kind {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(ServiceError::protocol(format!(
+                "expected {kind:?} in parameter list, found {:?}",
+                tokens[*pos].kind
+            )))
+        }
+    };
+    expect(&mut pos, &TokenKind::LeftParen, &tokens)?;
+    let mut values = Vec::new();
+    loop {
+        let (value, consumed) = parse_one_value(&tokens[pos..])?;
+        values.push(value);
+        pos += consumed;
+        match &tokens[pos].kind {
+            TokenKind::Comma => pos += 1,
+            TokenKind::RightParen => {
+                pos += 1;
+                break;
+            }
+            other => {
+                return Err(ServiceError::protocol(format!(
+                    "expected ',' or ')' in parameter list, found {other:?}"
+                )))
+            }
+        }
+    }
+    if tokens[pos].kind != TokenKind::Eof {
+        return Err(ServiceError::protocol("trailing input after parameter list"));
+    }
+    Ok(values)
+}
+
+fn parse_one_value(tokens: &[perm_sql::token::Token]) -> Result<(Value, usize), ServiceError> {
+    let number = |text: &str, negate: bool| -> Result<Value, ServiceError> {
+        if text.contains('.') {
+            let f: f64 = text
+                .parse()
+                .map_err(|_| ServiceError::protocol(format!("invalid number '{text}'")))?;
+            Ok(Value::Float(if negate { -f } else { f }))
+        } else {
+            let i: i64 = text
+                .parse()
+                .map_err(|_| ServiceError::protocol(format!("invalid number '{text}'")))?;
+            Ok(Value::Int(if negate { -i } else { i }))
+        }
+    };
+    match &tokens[0].kind {
+        TokenKind::Number(n) => Ok((number(n, false)?, 1)),
+        TokenKind::Minus => match &tokens[1].kind {
+            TokenKind::Number(n) => Ok((number(n, true)?, 2)),
+            other => {
+                Err(ServiceError::protocol(format!("expected number after '-', found {other:?}")))
+            }
+        },
+        TokenKind::String(s) => Ok((Value::text(s.as_str()), 1)),
+        TokenKind::Ident(word) if word.eq_ignore_ascii_case("null") => Ok((Value::Null, 1)),
+        TokenKind::Ident(word) if word.eq_ignore_ascii_case("true") => Ok((Value::Bool(true), 1)),
+        TokenKind::Ident(word) if word.eq_ignore_ascii_case("false") => Ok((Value::Bool(false), 1)),
+        TokenKind::Ident(word) if word.eq_ignore_ascii_case("date") => match &tokens[1].kind {
+            TokenKind::String(s) => {
+                let value =
+                    Value::date_from_str(s).map_err(|e| ServiceError::protocol(e.to_string()))?;
+                Ok((value, 2))
+            }
+            other => Err(ServiceError::protocol(format!(
+                "expected a date string after DATE, found {other:?}"
+            ))),
+        },
+        other => Err(ServiceError::protocol(format!("unsupported parameter literal {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perm_algebra::{tuple, DataType, Schema};
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "query SELECT 1").unwrap();
+        write_frame(&mut buf, "+ok").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("query SELECT 1"));
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some("+ok"));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn relation_rendering() {
+        let rel = Relation::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Text)]),
+            vec![tuple![1, "a"], perm_algebra::Tuple::new(vec![Value::Int(2), Value::Null])],
+        )
+        .unwrap();
+        assert_eq!(render_relation(&rel), "id\tname\n1\ta\n2\tNULL");
+        assert_eq!(render_relation(&Relation::empty(Schema::empty())), "ok");
+    }
+
+    #[test]
+    fn parameter_lists_parse_sql_literals() {
+        let values =
+            parse_param_values("(1, -2.5, 'it''s', NULL, true, date '1995-01-01')").unwrap();
+        assert_eq!(values[0], Value::Int(1));
+        assert_eq!(values[1], Value::Float(-2.5));
+        assert_eq!(values[2], Value::text("it's"));
+        assert_eq!(values[3], Value::Null);
+        assert_eq!(values[4], Value::Bool(true));
+        assert!(matches!(values[5], Value::Date(_)));
+        assert!(parse_param_values("").unwrap().is_empty());
+        assert!(parse_param_values("()").unwrap().is_empty());
+        assert!(parse_param_values("(1").is_err());
+        assert!(parse_param_values("(foo)").is_err());
+        assert!(parse_param_values("(1) extra").is_err());
+    }
+}

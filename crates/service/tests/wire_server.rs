@@ -1,0 +1,152 @@
+//! End-to-end wire-protocol tests: boot `permd`'s server on an OS-assigned port and drive it
+//! with the client, including concurrent connections, slow clients and graceful shutdown.
+
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use perm_core::ProvenanceRewriter;
+use perm_service::{serve, Client, Engine};
+
+fn provenance_engine() -> Arc<Engine> {
+    Arc::new(Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new())))
+}
+
+#[test]
+fn ddl_dml_and_provenance_over_the_wire() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(client.roundtrip("ping").unwrap().unwrap(), "pong");
+    client.roundtrip("query CREATE TABLE items (id INT, price INT)").unwrap().unwrap();
+    client.roundtrip("query INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)").unwrap().unwrap();
+
+    let body = client
+        .roundtrip("query SELECT PROVENANCE sum(price) AS total FROM items")
+        .unwrap()
+        .unwrap();
+    let mut lines = body.lines();
+    assert_eq!(lines.next(), Some("total\tprov_items_id\tprov_items_price"));
+    assert_eq!(lines.clone().count(), 3, "every item contributes to the sum");
+    assert!(lines.all(|l| l.starts_with("135\t")));
+
+    // Prepared statements with parameters over the wire.
+    client
+        .roundtrip("prepare pricey SELECT id FROM items WHERE price > $1 ORDER BY id")
+        .unwrap()
+        .unwrap();
+    let body = client.roundtrip("exec pricey (20)").unwrap().unwrap();
+    assert_eq!(body, "id\n1\n3");
+    let err = client.roundtrip("exec pricey (1, 2)").unwrap().unwrap_err();
+    assert!(err.contains("expects 1 parameter"));
+
+    // Session settings over the wire.
+    client.roundtrip("set budget 1").unwrap().unwrap();
+    let err = client.roundtrip("query SELECT * FROM items").unwrap().unwrap_err();
+    assert!(err.contains("row budget"));
+    client.roundtrip("set budget none").unwrap().unwrap();
+    client.roundtrip("query SELECT * FROM items").unwrap().unwrap();
+
+    // Errors are reported uniformly with the layer's Display text.
+    let err = client.roundtrip("query SELECT * FROM ghost").unwrap().unwrap_err();
+    assert!(err.contains("does not exist"));
+    let err = client.roundtrip("bogus command").unwrap().unwrap_err();
+    assert!(err.contains("unknown command"));
+
+    let stats = client.roundtrip("stats").unwrap().unwrap();
+    assert!(stats.starts_with("plan_cache"));
+
+    assert_eq!(client.roundtrip("shutdown").unwrap().unwrap(), "bye");
+    handle.wait();
+}
+
+#[test]
+fn concurrent_connections_share_the_catalog() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    setup.roundtrip("query CREATE TABLE t (x INT)").unwrap().unwrap();
+
+    let mut threads = Vec::new();
+    for i in 0..8 {
+        threads.push(thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for j in 0..10 {
+                client
+                    .roundtrip(&format!("query INSERT INTO t VALUES ({})", i * 100 + j))
+                    .unwrap()
+                    .unwrap();
+                client.roundtrip("query SELECT count(*) AS c FROM t").unwrap().unwrap();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let body = setup.roundtrip("query SELECT count(*) AS c FROM t").unwrap().unwrap();
+    assert_eq!(body, "c\n80");
+    handle.shutdown();
+}
+
+/// A client that delivers a frame in pieces — with stalls longer than the server's idle poll
+/// interval both between the length prefix and the payload and inside the payload — must not
+/// desync the protocol: the read timeout may only ever fire at a frame boundary.
+#[test]
+fn slow_clients_do_not_desync_the_protocol() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+    let payload = b"ping";
+    stream.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    thread::sleep(Duration::from_millis(450)); // longer than the 200 ms poll interval
+    stream.write_all(&payload[..2]).unwrap();
+    stream.flush().unwrap();
+    thread::sleep(Duration::from_millis(450));
+    stream.write_all(&payload[2..]).unwrap();
+    stream.flush().unwrap();
+
+    // Response: 4-byte length + "+pong".
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut body).unwrap();
+    assert_eq!(body, b"+pong");
+
+    // The connection is still healthy for a normally-framed follow-up request.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.roundtrip("ping").unwrap().unwrap(), "pong");
+    handle.shutdown();
+}
+
+#[test]
+fn shell_runs_scripts_and_counts_errors() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let script = "\
+-- comment lines and blanks are skipped
+
+CREATE TABLE items (id INT, price INT)
+INSERT INTO items VALUES (1, 100), (2, 10)
+\\prepare pricey SELECT id FROM items WHERE price > $1
+\\exec pricey (50)
+SELECT oops FROM nowhere
+\\stats
+\\q
+";
+    let mut output = Vec::new();
+    let errors =
+        perm_service::shell::run_shell(&mut client, Cursor::new(script), &mut output).unwrap();
+    assert_eq!(errors, 1, "exactly the bad SELECT fails");
+    let text = String::from_utf8(output).unwrap();
+    assert!(text.contains("id\n1"), "prepared execution output present: {text}");
+    assert!(text.contains("error:"), "error line present: {text}");
+    assert!(text.contains("plan_cache"), "stats line present: {text}");
+
+    handle.shutdown();
+}

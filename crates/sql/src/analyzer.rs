@@ -259,6 +259,10 @@ impl Analyzer {
                 v.neg().map_err(SqlError::from)
             }
             Expr::Nested(inner) => self.constant_value(inner),
+            Expr::Parameter(_) => Err(SqlError::unsupported(
+                "parameters ($n) are not supported in INSERT ... VALUES; \
+                 prepare a parameterized query instead",
+            )),
             Expr::Cast { expr, data_type } => {
                 let v = self.constant_value(expr)?;
                 v.cast(*data_type).map_err(SqlError::from)
@@ -780,6 +784,8 @@ impl Analyzer {
                 ScalarExpr::Function { func, args: vec![self.bind_expr(expr, schema, ctx, agg)?] }
             }
             Expr::Nested(inner) => self.bind_expr(inner, schema, ctx, agg)?,
+            // `$n` is 1-based in SQL; the algebra stores zero-based slot indices.
+            Expr::Parameter(position) => ScalarExpr::Parameter { index: position - 1 },
         })
     }
 

@@ -386,6 +386,8 @@ pub enum Expr {
     },
     /// A parenthesised expression.
     Nested(Box<Expr>),
+    /// A positional prepared-statement parameter (`$n`, 1-based as written).
+    Parameter(usize),
 }
 
 impl Expr {

@@ -61,7 +61,15 @@ impl fmt::Display for SqlError {
     }
 }
 
-impl std::error::Error for SqlError {}
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Algebra(e) => Some(e),
+            SqlError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<AlgebraError> for SqlError {
     fn from(e: AlgebraError) -> Self {

@@ -756,6 +756,10 @@ impl<'a> Parser<'a> {
                 self.advance();
                 Ok(Expr::Literal(Literal::String(s)))
             }
+            TokenKind::Parameter(position) => {
+                self.advance();
+                Ok(Expr::Parameter(position))
+            }
             TokenKind::LeftParen => {
                 self.advance();
                 if self.peek_keyword("SELECT") {

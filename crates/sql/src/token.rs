@@ -25,6 +25,9 @@ pub enum TokenKind {
     Number(String),
     /// A `'single quoted'` string literal with escapes resolved.
     String(String),
+    /// A positional prepared-statement parameter (`$1`, `$2`, ...; the payload is the 1-based
+    /// position as written).
+    Parameter(usize),
     /// `(`
     LeftParen,
     /// `)`
@@ -163,6 +166,26 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                     tokens.push(Token { kind: TokenKind::Gt, start });
                     i += 1;
                 }
+            }
+            '$' => {
+                // Positional parameter: $1, $2, ...
+                let mut digits = String::new();
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    digits.push(bytes[i] as char);
+                    i += 1;
+                }
+                let position: usize = digits.parse().map_err(|_| SqlError::Lex {
+                    message: "expected a parameter number after '$'".into(),
+                    position: start,
+                })?;
+                if position == 0 {
+                    return Err(SqlError::Lex {
+                        message: "parameter numbers start at $1".into(),
+                        position: start,
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::Parameter(position), start });
             }
             '\'' => {
                 // String literal; '' escapes a quote.
@@ -336,5 +359,14 @@ mod tests {
     fn concat_operator() {
         let k = kinds("a || b");
         assert!(k.contains(&TokenKind::Concat));
+    }
+
+    #[test]
+    fn positional_parameters() {
+        let k = kinds("price > $1 AND name = $12");
+        assert!(k.contains(&TokenKind::Parameter(1)));
+        assert!(k.contains(&TokenKind::Parameter(12)));
+        assert!(matches!(tokenize("price > $"), Err(SqlError::Lex { .. })));
+        assert!(matches!(tokenize("price > $0"), Err(SqlError::Lex { .. })));
     }
 }

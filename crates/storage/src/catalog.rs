@@ -70,6 +70,46 @@ pub struct TableEntry {
 struct CatalogInner {
     tables: BTreeMap<String, TableEntry>,
     views: BTreeMap<String, ViewDef>,
+    /// Monotonically increasing commit counter, bumped by every successful DDL or DML
+    /// operation. Plan caches key their entries to the version observed at planning time and
+    /// treat any bump as an invalidation.
+    version: u64,
+}
+
+/// A consistent, point-in-time view of every table in a catalog.
+///
+/// All table `Arc`s are captured under a single read lock, so a query scanning several tables
+/// (or the same table more than once) observes one atomic state even while concurrent writers
+/// commit multi-table changes. Snapshots are cheap: one refcount bump per table.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogSnapshot {
+    tables: BTreeMap<String, Arc<Relation>>,
+    version: u64,
+}
+
+impl CatalogSnapshot {
+    /// The table contents as of the snapshot.
+    pub fn table(&self, name: &str) -> Result<Arc<Relation>, CatalogError> {
+        self.tables
+            .get(&Catalog::normalize(name))
+            .cloned()
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Does the snapshot contain this table?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Catalog::normalize(name))
+    }
+
+    /// Names of all tables in the snapshot, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// The catalog commit version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 /// A thread-safe catalog of tables and views.
@@ -101,6 +141,7 @@ impl Catalog {
             key.clone(),
             TableEntry { name: key, relation: Arc::new(Relation::empty(schema)) },
         );
+        inner.version += 1;
         Ok(())
     }
 
@@ -116,6 +157,7 @@ impl Catalog {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
         inner.tables.insert(key.clone(), TableEntry { name: key, relation: Arc::new(relation) });
+        inner.version += 1;
         Ok(())
     }
 
@@ -123,9 +165,13 @@ impl Catalog {
     pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<(), CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
-        if inner.tables.remove(&key).is_none() && !if_exists {
-            return Err(CatalogError::NotFound(name.to_string()));
+        if inner.tables.remove(&key).is_none() {
+            if !if_exists {
+                return Err(CatalogError::NotFound(name.to_string()));
+            }
+            return Ok(());
         }
+        inner.version += 1;
         Ok(())
     }
 
@@ -137,7 +183,55 @@ impl Catalog {
             inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
         let n = tuples.len();
         Arc::make_mut(&mut entry.relation).extend(tuples)?;
+        inner.version += 1;
         Ok(n)
+    }
+
+    /// Insert tuples into several tables as **one atomic commit**: a concurrent
+    /// [`Catalog::snapshot`] observes either none or all of the batches, never a half-applied
+    /// state. All batches are validated (table existence and tuple arity) before any of them is
+    /// applied, so an error leaves the catalog unchanged.
+    pub fn insert_many(&self, batches: Vec<(&str, Vec<Tuple>)>) -> Result<usize, CatalogError> {
+        let mut inner = self.inner.write();
+        for (name, tuples) in &batches {
+            let entry = inner
+                .tables
+                .get(&Self::normalize(name))
+                .ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
+            let arity = entry.relation.schema().arity();
+            if let Some(t) = tuples.iter().find(|t| t.arity() != arity) {
+                return Err(CatalogError::Invalid(format!(
+                    "tuple of arity {} does not fit table '{name}' of arity {arity}",
+                    t.arity()
+                )));
+            }
+        }
+        let mut n = 0;
+        for (name, tuples) in batches {
+            let entry = inner.tables.get_mut(&Self::normalize(name)).expect("validated above");
+            n += tuples.len();
+            Arc::make_mut(&mut entry.relation).extend(tuples)?;
+        }
+        inner.version += 1;
+        Ok(n)
+    }
+
+    /// A consistent snapshot of every table (all `Arc`s captured under one read lock).
+    ///
+    /// This is what the executor reads from: queries that scan several tables — or the same
+    /// table more than once, as provenance-rewritten self-joins do — see one atomic catalog
+    /// state regardless of concurrent commits.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let inner = self.inner.read();
+        CatalogSnapshot {
+            tables: inner.tables.iter().map(|(k, e)| (k.clone(), e.relation.clone())).collect(),
+            version: inner.version,
+        }
+    }
+
+    /// The current commit version (bumped by every successful DDL/DML operation).
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
     }
 
     /// Replace the full contents of a table (used by `SELECT INTO` style provenance storage).
@@ -146,15 +240,13 @@ impl Catalog {
         let mut inner = self.inner.write();
         let relation = Arc::new(relation);
         match inner.tables.get_mut(&key) {
-            Some(entry) => {
-                entry.relation = relation;
-                Ok(())
-            }
+            Some(entry) => entry.relation = relation,
             None => {
                 inner.tables.insert(key.clone(), TableEntry { name: key, relation });
-                Ok(())
             }
         }
+        inner.version += 1;
+        Ok(())
     }
 
     /// A snapshot of a table's contents (deep copy; prefer [`Catalog::table_arc`] on hot paths).
@@ -217,6 +309,7 @@ impl Catalog {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
         inner.views.insert(key.clone(), ViewDef { name: key, sql: sql.to_string() });
+        inner.version += 1;
         Ok(())
     }
 
@@ -224,9 +317,13 @@ impl Catalog {
     pub fn drop_view(&self, name: &str, if_exists: bool) -> Result<(), CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
-        if inner.views.remove(&key).is_none() && !if_exists {
-            return Err(CatalogError::NotFound(name.to_string()));
+        if inner.views.remove(&key).is_none() {
+            if !if_exists {
+                return Err(CatalogError::NotFound(name.to_string()));
+            }
+            return Ok(());
         }
+        inner.version += 1;
         Ok(())
     }
 
@@ -337,5 +434,61 @@ mod tests {
         let catalog = Catalog::new();
         catalog.create_table("items", items_schema()).unwrap();
         assert!(catalog.insert("items", vec![tuple![1]]).is_err());
+    }
+
+    #[test]
+    fn version_bumps_on_every_commit() {
+        let catalog = Catalog::new();
+        let v0 = catalog.version();
+        catalog.create_table("items", items_schema()).unwrap();
+        let v1 = catalog.version();
+        assert!(v1 > v0);
+        catalog.insert("items", vec![tuple![1, 5]]).unwrap();
+        let v2 = catalog.version();
+        assert!(v2 > v1);
+        catalog.create_view("v", "SELECT 1").unwrap();
+        catalog.drop_view("v", false).unwrap();
+        catalog.drop_table("items", false).unwrap();
+        assert!(catalog.version() > v2);
+        // Failed and no-op operations do not commit.
+        let v = catalog.version();
+        assert!(catalog.insert("ghost", vec![]).is_err());
+        catalog.drop_table("ghost", true).unwrap();
+        assert_eq!(catalog.version(), v);
+    }
+
+    #[test]
+    fn snapshot_is_immune_to_later_commits() {
+        let catalog = Catalog::new();
+        catalog.create_table("items", items_schema()).unwrap();
+        catalog.insert("items", vec![tuple![1, 5]]).unwrap();
+        let snap = catalog.snapshot();
+        catalog.insert("items", vec![tuple![2, 6]]).unwrap();
+        assert_eq!(snap.table("items").unwrap().num_rows(), 1);
+        assert_eq!(catalog.table("items").unwrap().num_rows(), 2);
+        assert!(snap.version() < catalog.version());
+        assert!(snap.has_table("ITEMS"), "snapshot lookups are case-insensitive");
+        assert!(matches!(snap.table("ghost"), Err(CatalogError::NotFound(_))));
+    }
+
+    #[test]
+    fn insert_many_is_all_or_nothing() {
+        let catalog = Catalog::new();
+        catalog.create_table("a", items_schema()).unwrap();
+        catalog.create_table("b", items_schema()).unwrap();
+        let n = catalog
+            .insert_many(vec![("a", vec![tuple![1, 1]]), ("b", vec![tuple![2, 2], tuple![3, 3]])])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(catalog.table_row_count("a").unwrap(), 1);
+        assert_eq!(catalog.table_row_count("b").unwrap(), 2);
+        // A bad second batch must leave the first untouched.
+        let v = catalog.version();
+        assert!(catalog
+            .insert_many(vec![("a", vec![tuple![4, 4]]), ("b", vec![tuple![5]])])
+            .is_err());
+        assert_eq!(catalog.table_row_count("a").unwrap(), 1);
+        assert_eq!(catalog.version(), v);
+        assert!(catalog.insert_many(vec![("ghost", vec![])]).is_err());
     }
 }

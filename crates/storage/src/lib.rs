@@ -17,5 +17,5 @@
 pub mod catalog;
 pub mod relation;
 
-pub use catalog::{Catalog, CatalogError, TableEntry, ViewDef};
+pub use catalog::{Catalog, CatalogError, CatalogSnapshot, TableEntry, ViewDef};
 pub use relation::Relation;

@@ -1,0 +1,110 @@
+//! Session-throughput measurement for BENCH_NOTES.md: N concurrent sessions hammering the
+//! engine with a fig13-style SPJ provenance query, cold plans (cache cleared around every
+//! execution) versus cached plans versus prepared statements.
+//!
+//! ```text
+//! cargo run --release --example service_throughput
+//! ```
+//!
+//! Prints a markdown table of queries/second for 1, 4 and 8 sessions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use perm_core::ProvenanceRewriter;
+use perm_service::Engine;
+
+const MEASURE: Duration = Duration::from_millis(1500);
+
+fn engine_with_shop_data() -> Arc<Engine> {
+    let engine = Arc::new(Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new())));
+    let session = engine.session();
+    session
+        .execute_script(
+            "CREATE TABLE shop (name TEXT, numEmpl INT);\n\
+             CREATE TABLE sales (sName TEXT, itemId INT);\n\
+             CREATE TABLE items (id INT, price INT);",
+        )
+        .unwrap();
+    // A few hundred rows: enough that execution does real work, small enough that planning is
+    // a visible fraction of the cold path.
+    for s in 0..40 {
+        session.execute(&format!("INSERT INTO shop VALUES ('shop{s}', {})", s % 23 + 1)).unwrap();
+    }
+    for i in 0..60 {
+        session
+            .execute(&format!("INSERT INTO items VALUES ({i}, {})", (i * 37) % 200 + 1))
+            .unwrap();
+    }
+    for r in 0..400 {
+        session
+            .execute(&format!("INSERT INTO sales VALUES ('shop{}', {})", r % 40, r % 60))
+            .unwrap();
+    }
+    engine
+}
+
+const QUERY: &str = "SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items \
+                     WHERE name = sName AND itemId = id GROUP BY name";
+
+/// Run `sessions` worker threads for `MEASURE`, each executing the query in a loop via `run`,
+/// and return aggregate queries/second.
+fn measure(engine: &Arc<Engine>, sessions: usize, mode: &str) -> f64 {
+    let total = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + MEASURE;
+    let mut threads = Vec::new();
+    for _ in 0..sessions {
+        let engine = engine.clone();
+        let total = total.clone();
+        let mode = mode.to_string();
+        threads.push(thread::spawn(move || {
+            let mut session = engine.session();
+            if mode == "prepared" {
+                session.prepare("q", &format!("{QUERY} HAVING sum(price) > $1")).unwrap();
+            }
+            let mut count = 0u64;
+            while Instant::now() < deadline {
+                match mode.as_str() {
+                    "cold" => {
+                        engine.clear_plan_cache();
+                        session.execute(QUERY).unwrap();
+                    }
+                    "cached" => {
+                        session.execute(QUERY).unwrap();
+                    }
+                    _ => {
+                        session.execute_prepared("q", vec![perm_algebra::Value::Int(0)]).unwrap();
+                    }
+                }
+                count += 1;
+            }
+            total.fetch_add(count, Ordering::Relaxed);
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    total.load(Ordering::Relaxed) as f64 / MEASURE.as_secs_f64()
+}
+
+fn main() {
+    let engine = engine_with_shop_data();
+    // Warm up code paths once.
+    engine.session().execute(QUERY).unwrap();
+
+    println!("| sessions | cold plans (q/s) | cached plans (q/s) | prepared (q/s) |");
+    println!("|---------:|-----------------:|-------------------:|---------------:|");
+    for sessions in [1usize, 4, 8] {
+        let cold = measure(&engine, sessions, "cold");
+        let cached = measure(&engine, sessions, "cached");
+        let prepared = measure(&engine, sessions, "prepared");
+        println!("| {sessions} | {cold:.0} | {cached:.0} | {prepared:.0} |");
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "\nplan cache: hits={} misses={} invalidations={} entries={}",
+        stats.hits, stats.misses, stats.invalidations, stats.entries
+    );
+}

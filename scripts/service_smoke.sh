@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Boots permd, drives it over the wire with perm-shell (DDL + INSERT + SELECT PROVENANCE +
+# prepared statements), and shuts it down. Used by the `service-smoke` CI job and runnable
+# locally: scripts/service_smoke.sh [PORT]
+#
+# Exits non-zero if the server fails to boot, any statement errors, or the provenance result
+# does not match the paper's running example.
+set -euo pipefail
+
+PORT="${1:-7661}"
+BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
+LOG="$(mktemp)"
+trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BIN_DIR/permd" --port "$PORT" >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line (the server prints it once the socket is bound).
+for _ in $(seq 1 50); do
+    grep -q "permd listening" "$LOG" && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "permd exited early:"; cat "$LOG"; exit 1; }
+    sleep 0.2
+done
+grep -q "permd listening" "$LOG" || { echo "permd never came up:"; cat "$LOG"; exit 1; }
+
+OUT="$("$BIN_DIR/perm-shell" --port "$PORT" <<'SQL'
+-- schema + data (the paper's Figure 2 example database)
+CREATE TABLE shop (name TEXT, numEmpl INT)
+CREATE TABLE sales (sName TEXT, itemId INT)
+CREATE TABLE items (id INT, price INT)
+INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14)
+INSERT INTO sales VALUES ('Merdies', 1), ('Merdies', 2), ('Merdies', 2), ('Joba', 3), ('Joba', 3)
+INSERT INTO items VALUES (1, 100), (2, 10), (3, 25)
+-- lazy provenance through SQL-PLE
+SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items WHERE name = sName AND itemId = id GROUP BY name ORDER BY name
+-- prepared statement with a $1 parameter, executed twice
+\prepare pricey SELECT id FROM items WHERE price > $1 ORDER BY id
+\exec pricey (20)
+\exec pricey (99)
+\stats
+\shutdown
+SQL
+)"
+
+echo "$OUT"
+# The Joba group totals 50 and carries Joba's shop tuple as provenance.
+echo "$OUT" | grep -q "Joba	50	Joba	14" || { echo "FAIL: provenance row missing"; exit 1; }
+# The prepared statement found items 1 and 3 for $1 = 20, then only item 1 for $1 = 99.
+echo "$OUT" | grep -qx "3" || { echo "FAIL: prepared execution (20) wrong"; exit 1; }
+echo "$OUT" | grep -q "plan_cache" || { echo "FAIL: stats line missing"; exit 1; }
+
+wait "$SERVER_PID"
+echo "service smoke OK"

@@ -1,0 +1,78 @@
+//! `perm-shell` — the interactive / scripted client for `permd`.
+//!
+//! Reads one request per line from stdin (or `-c` commands) and prints server responses.
+//! Plain lines are sent as SQL (`query <line>`); `\`-prefixed lines are meta commands:
+//! `\prepare <name> <sql>`, `\exec <name> (v1, ...)`, `\deallocate <name>`,
+//! `\set <budget|timeout_ms> <n|none>`, `\stats`, `\ping`, `\shutdown`, `\q`.
+//!
+//! ```text
+//! perm-shell [--port N] [-c COMMAND]...
+//! ```
+//!
+//! Exits non-zero when the connection fails or any statement errored, so CI scripts can pipe a
+//! SQL file through it and fail fast.
+
+use std::io::{self, BufReader, Cursor};
+use std::process::ExitCode;
+
+use perm_service::shell::{run_shell, Client};
+
+const DEFAULT_PORT: u16 = 7654;
+
+fn main() -> ExitCode {
+    let mut port = DEFAULT_PORT;
+    let mut commands: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" | "-p" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => port = v,
+                None => return usage("--port requires a number"),
+            },
+            "-c" | "--command" => match args.next() {
+                Some(c) => commands.push(c),
+                None => return usage("-c requires a command string"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut client = match Client::connect(("127.0.0.1", port)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("perm-shell: cannot connect to 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stdout = io::stdout();
+    let result = if commands.is_empty() {
+        run_shell(&mut client, BufReader::new(io::stdin()), stdout.lock())
+    } else {
+        run_shell(&mut client, Cursor::new(commands.join("\n")), stdout.lock())
+    };
+    match result {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(errors) => {
+            eprintln!("perm-shell: {errors} statement(s) failed");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perm-shell: connection error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("perm-shell: {error}");
+    }
+    eprintln!("usage: perm-shell [--port N] [-c COMMAND]...");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

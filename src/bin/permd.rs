@@ -1,0 +1,72 @@
+//! `permd` — the Perm query service daemon.
+//!
+//! Serves the full SQL-PLE pipeline (DDL, DML, `SELECT PROVENANCE ...`) to concurrent clients
+//! over a localhost TCP socket using the length-prefixed text protocol of
+//! [`perm_service::wire`]. One thread per connection, each with its own session (settings and
+//! prepared statements); all sessions share one engine: catalog, provenance rewriter, optimizer
+//! and plan cache.
+//!
+//! ```text
+//! permd [--port N] [--cache-capacity N]
+//! ```
+//!
+//! With `--port 0` (the default is 7654) the OS assigns a free port; the bound address is
+//! printed as `permd listening on 127.0.0.1:PORT` so scripts can parse it. Stop the server with
+//! the wire command `shutdown` (e.g. `\shutdown` in `perm-shell`).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use perm_core::ProvenanceRewriter;
+use perm_service::{serve, Engine};
+
+const DEFAULT_PORT: u16 = 7654;
+
+fn main() -> ExitCode {
+    let mut port = DEFAULT_PORT;
+    let mut cache_capacity: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" | "-p" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => port = v,
+                None => return usage("--port requires a number"),
+            },
+            "--cache-capacity" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cache_capacity = Some(v),
+                None => return usage("--cache-capacity requires a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut engine = Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new()));
+    if let Some(capacity) = cache_capacity {
+        engine = engine.with_plan_cache_capacity(capacity);
+    }
+
+    let handle = match serve(Arc::new(engine), ("127.0.0.1", port)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("permd: failed to bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("permd listening on {}", handle.addr());
+    handle.wait();
+    println!("permd: shut down");
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("permd: {error}");
+    }
+    eprintln!("usage: permd [--port N] [--cache-capacity N]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

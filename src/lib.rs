@@ -26,6 +26,8 @@
 //!
 //! The layering follows the paper's architecture (Figure 5):
 //!
+//! * [`service`] — the serving layer: thread-safe engine, concurrent sessions with prepared
+//!   statements, a shared plan cache and the `permd`/`perm-shell` wire protocol,
 //! * [`sql`] — parser and analyzer with the SQL-PLE provenance language extension,
 //! * [`core`] — the provenance rewriter (rules R1–R9) and the [`prelude::PermDb`] facade,
 //! * [`exec`] — optimizer and executor,
@@ -41,6 +43,7 @@ pub use perm_algebra as algebra;
 pub use perm_baselines as baselines;
 pub use perm_core as core;
 pub use perm_exec as exec;
+pub use perm_service as service;
 pub use perm_sql as sql;
 pub use perm_storage as storage;
 pub use perm_tpch as tpch;
@@ -50,6 +53,7 @@ pub mod prelude {
     pub use perm_algebra::{DataType, LogicalPlan, Schema, Tuple, Value};
     pub use perm_baselines::{CuiWidomTracer, TrioStyleDb};
     pub use perm_core::{PermDb, PermError, ProvenanceOptions, ProvenanceRewriter};
+    pub use perm_service::{Engine, ServiceError, Session, SessionOptions};
     pub use perm_storage::{Catalog, Relation};
     pub use perm_tpch::{generate_catalog, TpchScale};
 }
