@@ -1,0 +1,1007 @@
+//! Columnar vectors ([`Array`]) and fixed-size batches ([`DataChunk`]).
+//!
+//! The executor moves data between operators as chunks of up to [`DEFAULT_CHUNK_SIZE`] rows,
+//! stored column-wise: one typed [`Array`] per attribute plus a validity bitmap marking NULLs.
+//! Predicates then evaluate into a filter bitmap that is applied by compacting whole columns,
+//! projections gather columns instead of building per-row `Vec<Value>`s, and joins probe on
+//! column slices — the per-row allocation and `clone()` traffic of tuple-at-a-time execution
+//! disappears from the hot path.
+//!
+//! Tuples still exist at the edges (SQL literals, INSERT values, client-visible rows) and the
+//! chunk layer converts losslessly in both directions: [`DataChunk::from_tuples`] /
+//! [`DataChunk::tuple_at`]. Columns whose rows do not share one scalar type (legal in this
+//! engine, e.g. a `CASE` mixing INT and TEXT arms) degrade to the boxed [`Array::Any`]
+//! representation, so the columnar layer is a fast path, never a semantic restriction.
+
+use std::sync::Arc;
+
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+/// Number of rows per [`DataChunk`] in the executor pipeline.
+pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+/// A validity bitmap: bit `i` is set iff row `i` holds a (non-NULL) value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` bits, all set (all rows valid).
+    pub fn all_set(len: usize) -> Bitmap {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.clear_tail();
+        b
+    }
+
+    /// A bitmap of `len` bits, none set (all rows NULL).
+    pub fn all_unset(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the bitmap empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Append a bit.
+    #[inline]
+    pub fn push(&mut self, set: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if set {
+            self.words[self.len / 64] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Are all bits set (no NULLs)?
+    pub fn all_set_bits(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Iterate the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Bitmap {
+        let mut b = Bitmap::new();
+        for bit in iter {
+            b.push(bit);
+        }
+        b
+    }
+}
+
+/// A typed columnar vector of scalar values with a validity bitmap.
+///
+/// The typed variants store unboxed native values; [`Array::Null`] is the degenerate all-NULL
+/// column and [`Array::Any`] is the boxed fallback for columns whose rows mix scalar types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Array {
+    /// Booleans.
+    Bool {
+        /// Native values (`false` at invalid slots).
+        values: Vec<bool>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// 64-bit integers.
+    Int {
+        /// Native values (`0` at invalid slots).
+        values: Vec<i64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Native values (`0.0` at invalid slots).
+        values: Vec<f64>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// UTF-8 text (shared, so gathers are refcount bumps).
+    Text {
+        /// Native values (empty strings at invalid slots).
+        values: Vec<Arc<str>>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// Dates as days since 1970-01-01.
+    Date {
+        /// Native values (`0` at invalid slots).
+        values: Vec<i32>,
+        /// Validity bitmap.
+        validity: Bitmap,
+    },
+    /// A column of `len` NULLs.
+    Null {
+        /// Number of rows.
+        len: usize,
+    },
+    /// Boxed fallback for columns mixing scalar types.
+    Any {
+        /// One boxed value per row.
+        values: Vec<Value>,
+    },
+}
+
+impl Array {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Bool { values, .. } => values.len(),
+            Array::Int { values, .. } => values.len(),
+            Array::Float { values, .. } => values.len(),
+            Array::Text { values, .. } => values.len(),
+            Array::Date { values, .. } => values.len(),
+            Array::Null { len } => *len,
+            Array::Any { values } => values.len(),
+        }
+    }
+
+    /// Is the array empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Array::Bool { validity, .. }
+            | Array::Int { validity, .. }
+            | Array::Float { validity, .. }
+            | Array::Text { validity, .. }
+            | Array::Date { validity, .. } => !validity.get(i),
+            Array::Null { .. } => true,
+            Array::Any { values } => values[i].is_null(),
+        }
+    }
+
+    /// The value at row `i` (a clone; text is a refcount bump).
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Array::Bool { values, validity } => {
+                if validity.get(i) {
+                    Value::Bool(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Array::Int { values, validity } => {
+                if validity.get(i) {
+                    Value::Int(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Array::Float { values, validity } => {
+                if validity.get(i) {
+                    Value::Float(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Array::Text { values, validity } => {
+                if validity.get(i) {
+                    Value::Text(values[i].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            Array::Date { values, validity } => {
+                if validity.get(i) {
+                    Value::Date(values[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Array::Null { .. } => Value::Null,
+            Array::Any { values } => values[i].clone(),
+        }
+    }
+
+    /// The scalar type of the column ([`DataType::Null`] for all-NULL or mixed columns).
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Bool { .. } => DataType::Bool,
+            Array::Int { .. } => DataType::Int,
+            Array::Float { .. } => DataType::Float,
+            Array::Text { .. } => DataType::Text,
+            Array::Date { .. } => DataType::Date,
+            Array::Null { .. } | Array::Any { .. } => DataType::Null,
+        }
+    }
+
+    /// Build an array from a sequence of values (choosing the best representation).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Array {
+        let mut builder = ArrayBuilder::new();
+        for v in values {
+            builder.push(v);
+        }
+        builder.finish()
+    }
+
+    /// An array repeating `value` `len` times (literal broadcast).
+    pub fn repeat(value: &Value, len: usize) -> Array {
+        match value {
+            Value::Null => Array::Null { len },
+            Value::Bool(b) => Array::Bool { values: vec![*b; len], validity: Bitmap::all_set(len) },
+            Value::Int(i) => Array::Int { values: vec![*i; len], validity: Bitmap::all_set(len) },
+            Value::Float(f) => {
+                Array::Float { values: vec![*f; len], validity: Bitmap::all_set(len) }
+            }
+            Value::Text(s) => {
+                Array::Text { values: vec![s.clone(); len], validity: Bitmap::all_set(len) }
+            }
+            Value::Date(d) => Array::Date { values: vec![*d; len], validity: Bitmap::all_set(len) },
+        }
+    }
+
+    /// Keep only the rows whose mask bit is `true` (filter compaction).
+    pub fn filter(&self, mask: &[bool]) -> Array {
+        debug_assert_eq!(mask.len(), self.len());
+        fn compact<T: Clone>(values: &[T], validity: &Bitmap, mask: &[bool]) -> (Vec<T>, Bitmap) {
+            let kept = mask.iter().filter(|m| **m).count();
+            let mut out = Vec::with_capacity(kept);
+            // No-NULL columns skip per-row validity bookkeeping entirely.
+            if validity.all_set_bits() {
+                for (i, keep) in mask.iter().enumerate() {
+                    if *keep {
+                        out.push(values[i].clone());
+                    }
+                }
+                return (out, Bitmap::all_set(kept));
+            }
+            let mut v = Bitmap::new();
+            for (i, keep) in mask.iter().enumerate() {
+                if *keep {
+                    out.push(values[i].clone());
+                    v.push(validity.get(i));
+                }
+            }
+            (out, v)
+        }
+        match self {
+            Array::Bool { values, validity } => {
+                let (values, validity) = compact(values, validity, mask);
+                Array::Bool { values, validity }
+            }
+            Array::Int { values, validity } => {
+                let (values, validity) = compact(values, validity, mask);
+                Array::Int { values, validity }
+            }
+            Array::Float { values, validity } => {
+                let (values, validity) = compact(values, validity, mask);
+                Array::Float { values, validity }
+            }
+            Array::Text { values, validity } => {
+                let (values, validity) = compact(values, validity, mask);
+                Array::Text { values, validity }
+            }
+            Array::Date { values, validity } => {
+                let (values, validity) = compact(values, validity, mask);
+                Array::Date { values, validity }
+            }
+            Array::Null { .. } => Array::Null { len: mask.iter().filter(|m| **m).count() },
+            Array::Any { values } => Array::Any {
+                values: values
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, keep)| **keep)
+                    .map(|(v, _)| v.clone())
+                    .collect(),
+            },
+        }
+    }
+
+    /// Gather the rows at `indices` (column gather; indices may repeat and reorder).
+    pub fn take(&self, indices: &[u32]) -> Array {
+        fn gather<T: Clone>(values: &[T], validity: &Bitmap, indices: &[u32]) -> (Vec<T>, Bitmap) {
+            // No-NULL columns skip per-row validity bookkeeping entirely.
+            if validity.all_set_bits() {
+                let out = indices.iter().map(|&i| values[i as usize].clone()).collect();
+                return (out, Bitmap::all_set(indices.len()));
+            }
+            let mut out = Vec::with_capacity(indices.len());
+            let mut v = Bitmap::new();
+            for &i in indices {
+                out.push(values[i as usize].clone());
+                v.push(validity.get(i as usize));
+            }
+            (out, v)
+        }
+        match self {
+            Array::Bool { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Bool { values, validity }
+            }
+            Array::Int { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Int { values, validity }
+            }
+            Array::Float { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Float { values, validity }
+            }
+            Array::Text { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Text { values, validity }
+            }
+            Array::Date { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Date { values, validity }
+            }
+            Array::Null { .. } => Array::Null { len: indices.len() },
+            Array::Any { values } => {
+                Array::Any { values: indices.iter().map(|&i| values[i as usize].clone()).collect() }
+            }
+        }
+    }
+
+    /// Gather with optional indices: `None` produces a NULL row (outer-join padding).
+    pub fn take_opt(&self, indices: &[Option<u32>]) -> Array {
+        fn gather<T: Clone + Default>(
+            values: &[T],
+            validity: &Bitmap,
+            indices: &[Option<u32>],
+        ) -> (Vec<T>, Bitmap) {
+            let mut out = Vec::with_capacity(indices.len());
+            let mut v = Bitmap::new();
+            for idx in indices {
+                match idx {
+                    Some(i) => {
+                        out.push(values[*i as usize].clone());
+                        v.push(validity.get(*i as usize));
+                    }
+                    None => {
+                        out.push(T::default());
+                        v.push(false);
+                    }
+                }
+            }
+            (out, v)
+        }
+        match self {
+            Array::Bool { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Bool { values, validity }
+            }
+            Array::Int { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Int { values, validity }
+            }
+            Array::Float { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Float { values, validity }
+            }
+            Array::Text { values, validity } => {
+                let mut out = Vec::with_capacity(indices.len());
+                let mut v = Bitmap::new();
+                for idx in indices {
+                    match idx {
+                        Some(i) => {
+                            out.push(values[*i as usize].clone());
+                            v.push(validity.get(*i as usize));
+                        }
+                        None => {
+                            out.push(Arc::from(""));
+                            v.push(false);
+                        }
+                    }
+                }
+                Array::Text { values: out, validity: v }
+            }
+            Array::Date { values, validity } => {
+                let (values, validity) = gather(values, validity, indices);
+                Array::Date { values, validity }
+            }
+            Array::Null { .. } => Array::Null { len: indices.len() },
+            Array::Any { values } => Array::Any {
+                values: indices
+                    .iter()
+                    .map(|idx| match idx {
+                        Some(i) => values[*i as usize].clone(),
+                        None => Value::Null,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// A copy of the rows `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Array {
+        fn cut<T: Clone>(
+            values: &[T],
+            validity: &Bitmap,
+            offset: usize,
+            len: usize,
+        ) -> (Vec<T>, Bitmap) {
+            let out = values[offset..offset + len].to_vec();
+            if validity.all_set_bits() {
+                return (out, Bitmap::all_set(len));
+            }
+            let v = (offset..offset + len).map(|i| validity.get(i)).collect();
+            (out, v)
+        }
+        match self {
+            Array::Bool { values, validity } => {
+                let (values, validity) = cut(values, validity, offset, len);
+                Array::Bool { values, validity }
+            }
+            Array::Int { values, validity } => {
+                let (values, validity) = cut(values, validity, offset, len);
+                Array::Int { values, validity }
+            }
+            Array::Float { values, validity } => {
+                let (values, validity) = cut(values, validity, offset, len);
+                Array::Float { values, validity }
+            }
+            Array::Text { values, validity } => {
+                let (values, validity) = cut(values, validity, offset, len);
+                Array::Text { values, validity }
+            }
+            Array::Date { values, validity } => {
+                let (values, validity) = cut(values, validity, offset, len);
+                Array::Date { values, validity }
+            }
+            Array::Null { .. } => Array::Null { len },
+            Array::Any { values } => Array::Any { values: values[offset..offset + len].to_vec() },
+        }
+    }
+
+    /// Concatenate several arrays into one (same-variant inputs extend natively; mixed variants
+    /// degrade to the boxed fallback).
+    pub fn concat(arrays: &[&Array]) -> Array {
+        /// Same-variant fast path: native `extend_from_slice` per input, no value boxing.
+        macro_rules! typed_concat {
+            ($variant:ident) => {{
+                if arrays.iter().all(|a| matches!(a, Array::$variant { .. })) {
+                    let mut values = Vec::new();
+                    let mut validity = Bitmap::new();
+                    for a in arrays {
+                        if let Array::$variant { values: v, validity: b } = a {
+                            values.extend_from_slice(v);
+                            b.iter().for_each(|bit| validity.push(bit));
+                        }
+                    }
+                    return Array::$variant { values, validity };
+                }
+            }};
+        }
+        match arrays {
+            [] => Array::Null { len: 0 },
+            [only] => (*only).clone(),
+            _ => {
+                typed_concat!(Int);
+                typed_concat!(Text);
+                typed_concat!(Float);
+                typed_concat!(Date);
+                typed_concat!(Bool);
+                let mut builder = ArrayBuilder::with_capacity(arrays.iter().map(|a| a.len()).sum());
+                for a in arrays {
+                    for i in 0..a.len() {
+                        builder.push(a.value(i));
+                    }
+                }
+                builder.finish()
+            }
+        }
+    }
+
+    /// Compare rows `i` of `self` and `j` of `other` under the total value order used for
+    /// sorting ([`Value::cmp`]: NULLs first, then type rank, then value).
+    pub fn compare(&self, i: usize, other: &Array, j: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        // Typed fast path when both sides are the same native variant and non-null.
+        match (self, other) {
+            (Array::Int { values: a, validity: va }, Array::Int { values: b, validity: vb })
+                if va.get(i) && vb.get(j) =>
+            {
+                return a[i].cmp(&b[j]);
+            }
+            (Array::Text { values: a, validity: va }, Array::Text { values: b, validity: vb })
+                if va.get(i) && vb.get(j) =>
+            {
+                return a[i].cmp(&b[j]);
+            }
+            (Array::Date { values: a, validity: va }, Array::Date { values: b, validity: vb })
+                if va.get(i) && vb.get(j) =>
+            {
+                return a[i].cmp(&b[j]);
+            }
+            _ => {}
+        }
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.value(i).cmp(&other.value(j)),
+        }
+    }
+
+    /// Append the display form of row `i` to `out` (`NULL` for NULL), without boxing a
+    /// [`Value`]. Used by the wire protocol's chunk-wise result rendering.
+    pub fn format_into(&self, i: usize, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Array::Bool { values, validity } if validity.get(i) => {
+                out.push_str(if values[i] { "true" } else { "false" });
+            }
+            Array::Int { values, validity } if validity.get(i) => {
+                let _ = write!(out, "{}", values[i]);
+            }
+            Array::Float { values, validity } if validity.get(i) => {
+                out.push_str(&crate::value::format_float(values[i]));
+            }
+            Array::Text { values, validity } if validity.get(i) => out.push_str(&values[i]),
+            Array::Date { values, validity } if validity.get(i) => {
+                out.push_str(&crate::value::format_date(values[i]));
+            }
+            Array::Any { values } if !values[i].is_null() => {
+                let _ = write!(out, "{}", values[i]);
+            }
+            _ => out.push_str("NULL"),
+        }
+    }
+}
+
+/// Incremental [`Array`] construction from dynamically typed [`Value`]s.
+///
+/// The builder starts untyped, locks onto the variant of the first non-NULL value and degrades
+/// to the boxed [`Array::Any`] representation if a later value does not fit.
+#[derive(Debug, Default)]
+pub struct ArrayBuilder {
+    repr: BuilderRepr,
+    /// Expected number of values; pre-sizes the native vector when the type locks in.
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+enum BuilderRepr {
+    /// Nothing but NULLs seen so far.
+    #[default]
+    Untyped,
+    Nulls(usize),
+    Typed(Array),
+    Any(Vec<Value>),
+}
+
+impl ArrayBuilder {
+    /// An empty builder.
+    pub fn new() -> ArrayBuilder {
+        ArrayBuilder::default()
+    }
+
+    /// A builder expecting about `capacity` values (pre-sizes the native vector when the
+    /// column type locks in).
+    pub fn with_capacity(capacity: usize) -> ArrayBuilder {
+        ArrayBuilder { repr: BuilderRepr::default(), capacity }
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, value: Value) {
+        let repr = std::mem::take(&mut self.repr);
+        self.repr = match (repr, value) {
+            (BuilderRepr::Untyped, Value::Null) => BuilderRepr::Nulls(1),
+            (BuilderRepr::Nulls(n), Value::Null) => BuilderRepr::Nulls(n + 1),
+            (BuilderRepr::Untyped, v) => BuilderRepr::Typed(seed_typed(0, v, self.capacity)),
+            (BuilderRepr::Nulls(n), v) => BuilderRepr::Typed(seed_typed(n, v, self.capacity)),
+            (BuilderRepr::Typed(mut array), v) => match push_typed(&mut array, v) {
+                Ok(()) => BuilderRepr::Typed(array),
+                Err(v) => {
+                    // Type conflict: degrade to boxed values.
+                    let mut values: Vec<Value> =
+                        Vec::with_capacity(self.capacity.max(array.len() + 1));
+                    values.extend((0..array.len()).map(|i| array.value(i)));
+                    values.push(v);
+                    BuilderRepr::Any(values)
+                }
+            },
+            (BuilderRepr::Any(mut values), v) => {
+                values.push(v);
+                BuilderRepr::Any(values)
+            }
+        };
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            BuilderRepr::Untyped => 0,
+            BuilderRepr::Nulls(n) => *n,
+            BuilderRepr::Typed(a) => a.len(),
+            BuilderRepr::Any(v) => v.len(),
+        }
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish the array.
+    pub fn finish(self) -> Array {
+        match self.repr {
+            BuilderRepr::Untyped => Array::Null { len: 0 },
+            BuilderRepr::Nulls(n) => Array::Null { len: n },
+            BuilderRepr::Typed(a) => a,
+            BuilderRepr::Any(values) => Array::Any { values },
+        }
+    }
+}
+
+/// Start a typed array with `nulls` leading NULL slots followed by `value`, pre-sized for
+/// `capacity` total values.
+fn seed_typed(nulls: usize, value: Value, capacity: usize) -> Array {
+    let capacity = capacity.max(nulls + 1);
+    fn seeded<T: Clone>(fill: T, nulls: usize, value: T, capacity: usize) -> Vec<T> {
+        let mut values = Vec::with_capacity(capacity);
+        values.resize(nulls, fill);
+        values.push(value);
+        values
+    }
+    let mut validity = Bitmap::all_unset(nulls);
+    validity.push(true);
+    match value {
+        Value::Bool(b) => Array::Bool { values: seeded(false, nulls, b, capacity), validity },
+        Value::Int(i) => Array::Int { values: seeded(0, nulls, i, capacity), validity },
+        Value::Float(f) => Array::Float { values: seeded(0.0, nulls, f, capacity), validity },
+        Value::Text(s) => {
+            Array::Text { values: seeded(Arc::from(""), nulls, s, capacity), validity }
+        }
+        Value::Date(d) => Array::Date { values: seeded(0, nulls, d, capacity), validity },
+        Value::Null => unreachable!("NULL is handled by the builder before seeding"),
+    }
+}
+
+/// Append `value` to a typed array; returns the value back on a type conflict.
+fn push_typed(array: &mut Array, value: Value) -> Result<(), Value> {
+    match (array, value) {
+        (Array::Bool { values, validity }, Value::Bool(b)) => {
+            values.push(b);
+            validity.push(true);
+        }
+        (Array::Int { values, validity }, Value::Int(i)) => {
+            values.push(i);
+            validity.push(true);
+        }
+        (Array::Float { values, validity }, Value::Float(f)) => {
+            values.push(f);
+            validity.push(true);
+        }
+        (Array::Text { values, validity }, Value::Text(s)) => {
+            values.push(s);
+            validity.push(true);
+        }
+        (Array::Date { values, validity }, Value::Date(d)) => {
+            values.push(d);
+            validity.push(true);
+        }
+        (Array::Bool { values, validity }, Value::Null) => {
+            values.push(false);
+            validity.push(false);
+        }
+        (Array::Int { values, validity }, Value::Null) => {
+            values.push(0);
+            validity.push(false);
+        }
+        (Array::Float { values, validity }, Value::Null) => {
+            values.push(0.0);
+            validity.push(false);
+        }
+        (Array::Text { values, validity }, Value::Null) => {
+            values.push(Arc::from(""));
+            validity.push(false);
+        }
+        (Array::Date { values, validity }, Value::Null) => {
+            values.push(0);
+            validity.push(false);
+        }
+        (_, value) => return Err(value),
+    }
+    Ok(())
+}
+
+/// A batch of rows stored column-wise: one [`Array`] per attribute.
+///
+/// Columns are held behind [`Arc`]s so that passing a column through a projection, or emitting
+/// a cached storage chunk from a scan, is a refcount bump rather than a copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataChunk {
+    columns: Vec<Arc<Array>>,
+    rows: usize,
+}
+
+impl DataChunk {
+    /// Build a chunk from columns (all columns must have the same length).
+    pub fn new(columns: Vec<Arc<Array>>) -> DataChunk {
+        let rows = columns.first().map_or(0, |c| c.len());
+        debug_assert!(columns.iter().all(|c| c.len() == rows), "column lengths must agree");
+        DataChunk { columns, rows }
+    }
+
+    /// An empty chunk of `arity` columns and zero rows.
+    pub fn empty(arity: usize) -> DataChunk {
+        DataChunk {
+            columns: (0..arity).map(|_| Arc::new(Array::Null { len: 0 })).collect(),
+            rows: 0,
+        }
+    }
+
+    /// A chunk of `rows` rows and zero columns (the projection-free edge case, e.g.
+    /// `SELECT count(*)` pipelines).
+    pub fn zero_width(rows: usize) -> DataChunk {
+        DataChunk { columns: Vec::new(), rows }
+    }
+
+    /// Convert a slice of tuples into one chunk of `arity` columns.
+    pub fn from_tuples(arity: usize, rows: &[Tuple]) -> DataChunk {
+        let mut builders: Vec<ArrayBuilder> = (0..arity).map(|_| ArrayBuilder::new()).collect();
+        for t in rows {
+            for (c, builder) in builders.iter_mut().enumerate() {
+                builder.push(t.get(c).cloned().unwrap_or(Value::Null));
+            }
+        }
+        DataChunk {
+            columns: builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            rows: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the chunk empty (no rows)?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `c`.
+    pub fn column(&self, c: usize) -> &Arc<Array> {
+        &self.columns[c]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Arc<Array>] {
+        &self.columns
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn value_at(&self, col: usize, row: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Materialize row `i` as a tuple.
+    pub fn tuple_at(&self, i: usize) -> Tuple {
+        Tuple::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// Iterate the rows as tuples (the compatibility edge; hot paths stay columnar).
+    pub fn iter_tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.rows).map(|i| self.tuple_at(i))
+    }
+
+    /// Keep only the rows whose mask bit is `true`.
+    pub fn filter(&self, mask: &[bool]) -> DataChunk {
+        debug_assert_eq!(mask.len(), self.rows);
+        let rows = mask.iter().filter(|m| **m).count();
+        if rows == self.rows {
+            return self.clone();
+        }
+        DataChunk { columns: self.columns.iter().map(|c| Arc::new(c.filter(mask))).collect(), rows }
+    }
+
+    /// Gather the rows at `indices`.
+    pub fn take(&self, indices: &[u32]) -> DataChunk {
+        DataChunk {
+            columns: self.columns.iter().map(|c| Arc::new(c.take(indices))).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// A copy of the rows `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> DataChunk {
+        DataChunk {
+            columns: self.columns.iter().map(|c| Arc::new(c.slice(offset, len))).collect(),
+            rows: len,
+        }
+    }
+
+    /// Concatenate chunks of the same arity into one chunk.
+    pub fn concat(arity: usize, chunks: &[DataChunk]) -> DataChunk {
+        if chunks.len() == 1 {
+            return chunks[0].clone();
+        }
+        let rows = chunks.iter().map(|c| c.num_rows()).sum();
+        let columns = (0..arity)
+            .map(|c| {
+                let parts: Vec<&Array> = chunks.iter().map(|ch| ch.column(c).as_ref()).collect();
+                Arc::new(Array::concat(&parts))
+            })
+            .collect();
+        DataChunk { columns, rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(129));
+        assert_eq!(b.count_set(), (0..130).filter(|i| i % 3 == 0).count());
+        assert!(Bitmap::all_set(70).all_set_bits());
+        assert_eq!(Bitmap::all_unset(70).count_set(), 0);
+    }
+
+    #[test]
+    fn builder_types_lock_and_degrade() {
+        let a = Array::from_values(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        assert!(matches!(a, Array::Int { .. }));
+        assert_eq!(a.value(0), Value::Int(1));
+        assert_eq!(a.value(1), Value::Null);
+        assert_eq!(a.value(2), Value::Int(3));
+
+        // Leading NULLs then a typed value.
+        let a = Array::from_values(vec![Value::Null, Value::text("x")]);
+        assert!(matches!(a, Array::Text { .. }));
+        assert_eq!(a.value(0), Value::Null);
+        assert_eq!(a.value(1), Value::text("x"));
+
+        // Mixed types degrade to the boxed fallback without losing values.
+        let a = Array::from_values(vec![Value::Int(1), Value::text("x"), Value::Null]);
+        assert!(matches!(a, Array::Any { .. }));
+        assert_eq!(a.value(0), Value::Int(1));
+        assert_eq!(a.value(1), Value::text("x"));
+        assert_eq!(a.value(2), Value::Null);
+
+        let a = Array::from_values(vec![Value::Null, Value::Null]);
+        assert!(matches!(a, Array::Null { len: 2 }));
+    }
+
+    #[test]
+    fn chunk_round_trips_tuples() {
+        let rows = vec![tuple![1, "a"], tuple![2, "b"], Tuple::new(vec![Value::Null, Value::Null])];
+        let chunk = DataChunk::from_tuples(2, &rows);
+        assert_eq!(chunk.num_rows(), 3);
+        assert_eq!(chunk.num_columns(), 2);
+        let back: Vec<Tuple> = chunk.iter_tuples().collect();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn filter_take_slice() {
+        let rows: Vec<Tuple> = (0..10i64).map(|i| tuple![i, i * 10]).collect();
+        let chunk = DataChunk::from_tuples(2, &rows);
+        let mask: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let filtered = chunk.filter(&mask);
+        assert_eq!(filtered.num_rows(), 5);
+        assert_eq!(filtered.tuple_at(2), tuple![4, 40]);
+
+        let taken = chunk.take(&[9, 0, 9]);
+        assert_eq!(taken.tuple_at(0), tuple![9, 90]);
+        assert_eq!(taken.tuple_at(1), tuple![0, 0]);
+        assert_eq!(taken.tuple_at(2), tuple![9, 90]);
+
+        let sliced = chunk.slice(3, 4);
+        assert_eq!(sliced.num_rows(), 4);
+        assert_eq!(sliced.tuple_at(0), tuple![3, 30]);
+        assert_eq!(sliced.tuple_at(3), tuple![6, 60]);
+    }
+
+    #[test]
+    fn take_opt_pads_nulls() {
+        let chunk = DataChunk::from_tuples(1, &[tuple![7], tuple![8]]);
+        let col = chunk.column(0).take_opt(&[Some(1), None, Some(0)]);
+        assert_eq!(col.value(0), Value::Int(8));
+        assert_eq!(col.value(1), Value::Null);
+        assert_eq!(col.value(2), Value::Int(7));
+    }
+
+    #[test]
+    fn concat_same_and_mixed_variants() {
+        let a = Array::from_values(vec![Value::Int(1), Value::Int(2)]);
+        let b = Array::from_values(vec![Value::Null, Value::Int(4)]);
+        let c = Array::concat(&[&a, &b]);
+        assert!(matches!(c, Array::Int { .. }));
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(2), Value::Null);
+        assert_eq!(c.value(3), Value::Int(4));
+
+        let t = Array::from_values(vec![Value::text("x")]);
+        let mixed = Array::concat(&[&a, &t]);
+        assert_eq!(mixed.len(), 3);
+        assert_eq!(mixed.value(2), Value::text("x"));
+    }
+
+    #[test]
+    fn compare_matches_value_order() {
+        let a = Array::from_values(vec![Value::Null, Value::Int(1), Value::Int(5)]);
+        assert_eq!(a.compare(0, &a, 1), std::cmp::Ordering::Less); // NULLs first
+        assert_eq!(a.compare(1, &a, 2), std::cmp::Ordering::Less);
+        assert_eq!(a.compare(2, &a, 2), std::cmp::Ordering::Equal);
+        let mixed = Array::from_values(vec![Value::Int(2), Value::Float(2.0)]);
+        assert_eq!(mixed.compare(0, &mixed, 1), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn format_into_matches_display() {
+        let rows = vec![
+            tuple![1, 2.5, "x", true],
+            Tuple::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]),
+        ];
+        let chunk = DataChunk::from_tuples(4, &rows);
+        let mut out = String::new();
+        for c in 0..4 {
+            chunk.column(c).format_into(0, &mut out);
+            out.push('|');
+            chunk.column(c).format_into(1, &mut out);
+            out.push('|');
+        }
+        assert_eq!(out, "1|NULL|2.5|NULL|x|NULL|true|NULL|");
+    }
+
+    #[test]
+    fn repeat_broadcasts_literals() {
+        let a = Array::repeat(&Value::text("p"), 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.value(2), Value::text("p"));
+        assert!(matches!(Array::repeat(&Value::Null, 2), Array::Null { len: 2 }));
+    }
+}

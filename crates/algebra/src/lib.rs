@@ -8,6 +8,8 @@
 //! * [`Value`] / [`DataType`] — the scalar type system (SQL-style three-valued logic, dates,
 //!   numeric types, text).
 //! * [`Tuple`] — a row of values.
+//! * [`chunk::Array`] / [`chunk::DataChunk`] — typed columnar vectors with validity bitmaps and
+//!   the fixed-size row batches the vectorized executor moves between operators.
 //! * [`Schema`] / [`Attribute`] — result descriptions with optional relation qualifiers and
 //!   provenance markers.
 //! * [`expr::ScalarExpr`] / [`expr::AggregateExpr`] — the expression language allowed in
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod chunk;
 pub mod error;
 pub mod expr;
 pub mod plan;
@@ -35,6 +38,7 @@ pub mod tuple;
 pub mod value;
 
 pub use builder::PlanBuilder;
+pub use chunk::{Array, ArrayBuilder, Bitmap, DataChunk, DEFAULT_CHUNK_SIZE};
 pub use error::AlgebraError;
 pub use expr::{
     AggregateExpr, AggregateFunction, BinaryOperator, ScalarExpr, ScalarFunction, SortKey,

@@ -264,27 +264,7 @@ impl CompiledExpr {
             CompiledExpr::Cast { expr, data_type } => Ok(expr.eval(tuple)?.cast(*data_type)?),
             CompiledExpr::InSet { expr, set, types, has_null, negated } => {
                 let needle = expr.eval(tuple)?;
-                if needle.is_null() {
-                    return Ok(Value::Null);
-                }
-                // Date and Int candidates compare numerically under `sql_eq` but hash with
-                // different type tags, so probe both representations.
-                let matched = set.contains(&needle)
-                    || match needle {
-                        Value::Date(d) => set.contains(&Value::Int(d as i64)),
-                        Value::Int(i) => {
-                            i32::try_from(i).is_ok_and(|d| set.contains(&Value::Date(d)))
-                        }
-                        _ => false,
-                    };
-                if matched {
-                    Ok(Value::Bool(!negated))
-                } else if *has_null || types.any_incomparable_with(&needle) {
-                    // An incomparable pair makes `sql_eq` unknown, exactly like a NULL candidate.
-                    Ok(Value::Null)
-                } else {
-                    Ok(Value::Bool(*negated))
-                }
+                Ok(in_set_lookup(&needle, set, *types, *has_null, *negated))
             }
             CompiledExpr::InValues { expr, values, negated } => {
                 let needle = expr.eval(tuple)?;
@@ -303,8 +283,38 @@ impl CompiledExpr {
     }
 }
 
+/// Probe a pre-built `IN` hash set with full three-valued semantics (shared by the row and the
+/// vectorized evaluation paths).
+pub(crate) fn in_set_lookup(
+    needle: &Value,
+    set: &HashSet<Value>,
+    types: InSetTypes,
+    has_null: bool,
+    negated: bool,
+) -> Value {
+    if needle.is_null() {
+        return Value::Null;
+    }
+    // Date and Int candidates compare numerically under `sql_eq` but hash with different type
+    // tags, so probe both representations.
+    let matched = set.contains(needle)
+        || match needle {
+            Value::Date(d) => set.contains(&Value::Int(*d as i64)),
+            Value::Int(i) => i32::try_from(*i).is_ok_and(|d| set.contains(&Value::Date(d))),
+            _ => false,
+        };
+    if matched {
+        Value::Bool(!negated)
+    } else if has_null || types.any_incomparable_with(needle) {
+        // An incomparable pair makes `sql_eq` unknown, exactly like a NULL candidate.
+        Value::Null
+    } else {
+        Value::Bool(negated)
+    }
+}
+
 /// Linear `IN` evaluation with full three-valued semantics over lazily produced candidates.
-fn in_values(
+pub(crate) fn in_values(
     needle: &Value,
     candidates: impl Iterator<Item = Result<Value, ExecError>>,
     negated: bool,

@@ -1,12 +1,19 @@
-//! The query executor: evaluates logical plans against a catalog as a pull-based iterator
-//! pipeline.
+//! The query executor: evaluates logical plans against a catalog as a pull-based pipeline.
 //!
-//! Every operator is compiled into a `Box<dyn Iterator<Item = Result<Tuple, ExecError>>>`.
-//! Selection, projection, limit, subquery aliases and provenance annotations **stream**: they
-//! pull one tuple at a time from their input and never materialize intermediate relations. Only
-//! the true pipeline breakers materialize — sort, aggregation, set operations and the build side
-//! of a hash join. `LIMIT` short-circuits: once it has produced `limit` rows it stops pulling,
-//! so the operators beneath it stop doing work (and stop being charged against the row budget).
+//! The primary pipeline is **vectorized**: operators exchange [`perm_algebra::DataChunk`]
+//! batches of up to [`perm_algebra::DEFAULT_CHUNK_SIZE`] columnar rows via `next_chunk()`-style
+//! iterators (see [`crate::vector`]). This module keeps the original tuple-at-a-time pipeline
+//! as [`Executor::execute_streaming`] — every operator compiled into a
+//! `Box<dyn Iterator<Item = Result<Tuple, ExecError>>>` — both as a second differential-testing
+//! target against the reference evaluator and as the baseline the `vectorized_scan` benchmark
+//! compares against.
+//!
+//! In both pipelines, selection, projection, limit, subquery aliases and provenance annotations
+//! **stream**: they pull one batch (or tuple) at a time from their input and never materialize
+//! intermediate relations. Only the true pipeline breakers materialize — sort, aggregation, set
+//! operations and the build side of a hash join. `LIMIT` short-circuits: once it has produced
+//! `limit` rows it stops pulling, so the operators beneath it stop doing work (and stop being
+//! charged against the row budget).
 //!
 //! Scalar expressions are compiled once per operator into [`crate::compile::CompiledExpr`]
 //! (uncorrelated sublinks executed exactly once, `IN (SELECT ...)` turned into a hash-set
@@ -88,6 +95,12 @@ impl ExecContext {
         }
     }
 
+    /// The row budget, if any (the chunked pipeline caps its batch size at the budget so that
+    /// budget overruns are detected at the same row counts as in tuple-at-a-time execution).
+    pub(crate) fn row_budget(&self) -> Option<usize> {
+        self.row_budget
+    }
+
     pub(crate) fn check_deadline(&self) -> Result<(), ExecError> {
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline.at {
@@ -103,13 +116,13 @@ impl ExecContext {
 /// The budget check fires on every produced row; the (comparatively expensive) deadline check
 /// fires every 256 rows.
 #[derive(Debug)]
-struct RowGuard {
+pub(crate) struct RowGuard {
     produced: usize,
     ctx: ExecContext,
 }
 
 impl RowGuard {
-    fn new(ctx: ExecContext) -> RowGuard {
+    pub(crate) fn new(ctx: ExecContext) -> RowGuard {
         RowGuard { produced: 0, ctx }
     }
 
@@ -125,6 +138,19 @@ impl RowGuard {
             self.ctx.check_deadline()?;
         }
         Ok(())
+    }
+
+    /// Charge a whole batch of rows at once (the chunked pipeline's equivalent of per-row
+    /// ticking: budget totals are identical, the deadline is checked once per batch).
+    #[inline]
+    pub(crate) fn tick_many(&mut self, rows: usize) -> Result<(), ExecError> {
+        self.produced += rows;
+        if let Some(budget) = self.ctx.row_budget {
+            if self.produced > budget {
+                return Err(ExecError::RowBudgetExceeded { budget });
+            }
+        }
+        self.ctx.check_deadline()
     }
 }
 
@@ -179,8 +205,19 @@ impl Executor {
         self.params.get(index).cloned().ok_or(ExecError::UnboundParameter { index })
     }
 
-    /// Execute a plan, returning the materialised result.
+    /// Execute a plan through the vectorized chunk pipeline, returning the result as a
+    /// chunk-backed [`Relation`] (rows are only boxed into tuples if a caller asks for them).
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
+        let ctx = ExecContext::new(&self.options);
+        let schema = plan.schema();
+        let chunks = self.stream_chunks(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
+        Ok(Relation::from_chunks(schema, chunks))
+    }
+
+    /// Execute a plan through the tuple-at-a-time streaming pipeline. Kept as a second
+    /// independently implemented execution path for differential tests and as the
+    /// row-versus-chunk baseline of the `vectorized_scan` benchmark.
+    pub fn execute_streaming(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
         let ctx = ExecContext::new(&self.options);
         let schema = plan.schema();
         let tuples = self.stream(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
@@ -419,7 +456,7 @@ pub(crate) fn strip_transparent(plan: &LogicalPlan) -> &LogicalPlan {
 }
 
 /// Evaluate projection expressions against a tuple, producing the output tuple.
-fn project_tuple(exprs: &[CompiledExpr], tuple: &Tuple) -> Result<Tuple, ExecError> {
+pub(crate) fn project_tuple(exprs: &[CompiledExpr], tuple: &Tuple) -> Result<Tuple, ExecError> {
     let mut values = Vec::with_capacity(exprs.len());
     for e in exprs {
         values.push(e.eval(tuple)?);
@@ -490,17 +527,17 @@ impl Iterator for DistinctIter<'_> {
 
 /// One equi-join key pair extracted from a join condition.
 #[derive(Debug, Clone, Copy)]
-struct EquiKey {
+pub(crate) struct EquiKey {
     /// Column index on the left input.
-    left: usize,
+    pub(crate) left: usize,
     /// Column index in the *combined* schema (>= left arity).
-    right: usize,
+    pub(crate) right: usize,
     /// Whether the comparison is null-safe (`IS NOT DISTINCT FROM`).
-    null_safe: bool,
+    pub(crate) null_safe: bool,
 }
 
 /// Split a join condition into hashable equi-key pairs and a residual predicate.
-fn split_equi_join_condition(
+pub(crate) fn split_equi_join_condition(
     condition: &ScalarExpr,
     left_arity: usize,
 ) -> (Vec<EquiKey>, Vec<&ScalarExpr>) {
@@ -961,7 +998,7 @@ pub(crate) fn set_operation(
             dedupe(out)
         }
         (SetOpKind::Intersect, semantics) => {
-            let right_counts = counts(&right);
+            let right_counts = counts(right);
             match semantics {
                 SetSemantics::Bag => {
                     // Multiplicity is min(n, m): emit a left occurrence while right credit remains.
@@ -985,7 +1022,7 @@ pub(crate) fn set_operation(
         }
         (SetOpKind::Difference, SetSemantics::Bag) => {
             // Multiplicity is n - m.
-            let mut credits = counts(&right);
+            let mut credits = counts(right);
             let mut out = Vec::new();
             for t in left {
                 match credits.get_mut(&t) {
@@ -1002,27 +1039,32 @@ pub(crate) fn set_operation(
     }
 }
 
-fn counts(rows: &[Tuple]) -> HashMap<Tuple, usize> {
+fn counts(rows: Vec<Tuple>) -> HashMap<Tuple, usize> {
     let mut m = HashMap::new();
     for t in rows {
-        *m.entry(t.clone()).or_insert(0) += 1;
+        *m.entry(t).or_insert(0) += 1;
     }
     m
 }
 
-/// Sort rows by pre-compiled keys (each key expression is evaluated once per row).
-fn sort_rows(rows: &mut [Tuple], keys: &[(CompiledExpr, SortOrder)]) -> Result<(), ExecError> {
-    let mut evaluated: Vec<(usize, Vec<Value>)> = Vec::with_capacity(rows.len());
-    for (i, row) in rows.iter().enumerate() {
-        let mut vs = Vec::with_capacity(keys.len());
-        for (e, _) in keys {
-            vs.push(e.eval(row)?);
+/// Sort rows by pre-compiled keys.
+///
+/// Keys are evaluated once per row into *key columns*, the permutation is found with
+/// `sort_unstable_by` over row indices (bag semantics — tie order is unspecified) and applied
+/// by moving rows into place, so no row is ever cloned.
+fn sort_rows(rows: &mut Vec<Tuple>, keys: &[(CompiledExpr, SortOrder)]) -> Result<(), ExecError> {
+    let mut key_cols: Vec<Vec<Value>> = Vec::with_capacity(keys.len());
+    for (e, _) in keys {
+        let mut col = Vec::with_capacity(rows.len());
+        for row in rows.iter() {
+            col.push(e.eval(row)?);
         }
-        evaluated.push((i, vs));
+        key_cols.push(col);
     }
-    evaluated.sort_by(|(_, a), (_, b)| {
+    let mut permutation: Vec<u32> = (0..rows.len() as u32).collect();
+    permutation.sort_unstable_by(|&a, &b| {
         for (idx, (_, order)) in keys.iter().enumerate() {
-            let ord = a[idx].cmp(&b[idx]);
+            let ord = key_cols[idx][a as usize].cmp(&key_cols[idx][b as usize]);
             let ord = match order {
                 SortOrder::Ascending => ord,
                 SortOrder::Descending => ord.reverse(),
@@ -1033,11 +1075,11 @@ fn sort_rows(rows: &mut [Tuple], keys: &[(CompiledExpr, SortOrder)]) -> Result<(
         }
         std::cmp::Ordering::Equal
     });
-    let permutation: Vec<usize> = evaluated.into_iter().map(|(i, _)| i).collect();
-    let original = rows.to_vec();
-    for (target, source) in permutation.into_iter().enumerate() {
-        rows[target] = original[source].clone();
+    let mut sorted = Vec::with_capacity(rows.len());
+    for &source in &permutation {
+        sorted.push(std::mem::take(&mut rows[source as usize]));
     }
+    *rows = sorted;
     Ok(())
 }
 

@@ -8,11 +8,13 @@
 //! * [`eval`] — scalar expression evaluation with SQL three-valued logic, `LIKE`, `CASE`,
 //!   date/interval arithmetic and the scalar function library (the tree-walking interpreter;
 //!   the executor runs compiled expressions instead, see [`executor`]).
-//! * [`executor`] — a streaming, pull-based iterator executor for
-//!   [`perm_algebra::LogicalPlan`] with compiled expressions, hash joins, hash aggregation,
-//!   outer joins, bag/set operations and a short-circuiting `LIMIT`, plus resource limits (row
-//!   budget, timeout) used by the benchmark harness to reproduce the paper's query-timeout
-//!   behaviour.
+//! * [`executor`] — a pull-based executor for [`perm_algebra::LogicalPlan`] with compiled
+//!   expressions, hash joins, hash aggregation, outer joins, bag/set operations and a
+//!   short-circuiting `LIMIT`, plus resource limits (row budget, timeout) used by the
+//!   benchmark harness to reproduce the paper's query-timeout behaviour. The primary path is
+//!   the **vectorized** columnar pipeline (operators exchange [`perm_algebra::DataChunk`]
+//!   batches, see the private `vector` module); the tuple-at-a-time pipeline is retained as
+//!   `Executor::execute_streaming` for differential testing and benchmarking.
 //! * [`reference`] — a naive, fully materializing evaluator kept as the executable
 //!   specification; property tests assert it agrees with the streaming executor.
 //! * [`optimizer`] — predicate pushdown, cross-product→join conversion, constant folding and
@@ -28,6 +30,7 @@ pub mod eval;
 pub mod executor;
 pub mod optimizer;
 pub mod reference;
+mod vector;
 
 pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate, like_match};

@@ -74,6 +74,11 @@ impl PlanCache {
         PlanCache { inner: Mutex::new(CacheInner::default()), capacity }
     }
 
+    /// The maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Look up a plan for `key` that was created at exactly `version`. A stale entry counts as
     /// a miss and is dropped.
     pub fn get(&self, key: &str, version: u64) -> Option<Arc<PreparedPlan>> {

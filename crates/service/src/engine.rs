@@ -84,6 +84,11 @@ impl Engine {
         self
     }
 
+    /// The plan cache's capacity (number of plans it can hold).
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
     /// The shared catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog

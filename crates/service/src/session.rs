@@ -84,6 +84,10 @@ impl Session {
 
     /// Execute a single SQL statement (DDL, DML or query). Queries go through the shared plan
     /// cache; DDL statements return an empty relation.
+    ///
+    /// Query results come back as chunk-backed [`Relation`]s straight from the vectorized
+    /// executor: rows stay columnar through the session and the wire renderer, and are only
+    /// boxed into tuples if a caller asks for [`Relation::tuples`].
     pub fn execute(&self, sql: &str) -> Result<Relation, ServiceError> {
         if is_query_sql(sql) {
             let prepared = self.engine.plan_query(sql, self.options.optimize)?;

@@ -77,22 +77,23 @@ pub fn read_frame_rest(reader: &mut impl Read, first_len_byte: u8) -> io::Result
 
 /// Render a relation as the wire text format: a tab-separated header line, then one
 /// tab-separated line per row. Statements without a result (DDL/DML) render as `ok`.
+///
+/// Rendering walks the relation's columnar chunks and formats each cell straight from the
+/// typed arrays, so a query result produced by the vectorized executor streams onto the wire
+/// without ever materializing a row-tuple vector (or boxing a single [`perm_algebra::Value`]).
 pub fn render_relation(relation: &Relation) -> String {
     if relation.schema().arity() == 0 {
         return "ok".to_string();
     }
     let mut out = relation.schema().attribute_names().join("\t");
-    for tuple in relation.tuples() {
-        out.push('\n');
-        let mut first = true;
-        for i in 0..tuple.arity() {
-            if !first {
-                out.push('\t');
-            }
-            first = false;
-            match &tuple[i] {
-                Value::Null => out.push_str("NULL"),
-                other => out.push_str(&other.to_string()),
+    for chunk in relation.chunks().iter() {
+        for row in 0..chunk.num_rows() {
+            out.push('\n');
+            for col in 0..chunk.num_columns() {
+                if col > 0 {
+                    out.push('\t');
+                }
+                chunk.column(col).format_into(row, &mut out);
             }
         }
     }

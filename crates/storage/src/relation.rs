@@ -1,25 +1,52 @@
-//! Materialised bag-semantic relations.
+//! Materialised bag-semantic relations with a dual row/columnar representation.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
-use perm_algebra::{AlgebraError, Schema, Tuple, Value};
+use perm_algebra::{AlgebraError, DataChunk, Schema, Tuple, Value, DEFAULT_CHUNK_SIZE};
 
-/// A materialised relation: a schema plus a bag of tuples.
+/// A materialised relation: a schema plus a bag of rows.
 ///
 /// Duplicates are kept (bag semantics); the multiplicity of a tuple is its number of physical
 /// occurrences. This is exactly the representation the Perm provenance representation needs: a
 /// result tuple is duplicated once per combination of contributing source tuples.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Rows are stored in one of two interchangeable representations — a `Vec<Tuple>` row view and
+/// a columnar view of [`DataChunk`]s of up to [`DEFAULT_CHUNK_SIZE`] rows — and each view is
+/// materialised lazily from the other on first access, then cached. The vectorized executor
+/// scans [`Relation::chunks`] (base tables convert to columns once, not once per query) and
+/// produces chunk-backed results, so a query's rows are never boxed into tuples unless a caller
+/// actually asks for [`Relation::tuples`]. Mutation goes through the row view and invalidates
+/// the columnar cache.
+#[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    /// Row view; lazily materialised from `chunks` when the relation was built columnar.
+    tuples: OnceLock<Vec<Tuple>>,
+    /// Columnar view; lazily built (and cached) from `tuples` on first chunked scan.
+    chunks: OnceLock<Arc<Vec<DataChunk>>>,
+    /// Total row count, tracked eagerly so neither view has to materialise to answer it.
+    rows: usize,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples() == other.tuples()
+    }
 }
 
 impl Relation {
+    fn from_tuple_vec(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        let rows = tuples.len();
+        let lock = OnceLock::new();
+        let _ = lock.set(tuples);
+        Relation { schema, tuples: lock, chunks: OnceLock::new(), rows }
+    }
+
     /// Create an empty relation with the given schema.
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation::from_tuple_vec(schema, Vec::new())
     }
 
     /// Create a relation from a schema and tuples.
@@ -35,13 +62,22 @@ impl Relation {
                 )));
             }
         }
-        Ok(Relation { schema, tuples })
+        Ok(Relation::from_tuple_vec(schema, tuples))
     }
 
     /// Create a relation without checking tuple arities (used by the executor on data it has
     /// produced itself).
     pub fn from_parts(schema: Schema, tuples: Vec<Tuple>) -> Relation {
-        Relation { schema, tuples }
+        Relation::from_tuple_vec(schema, tuples)
+    }
+
+    /// Create a relation directly from columnar chunks (what the vectorized executor returns).
+    /// The row view is materialised only if a caller asks for tuples.
+    pub fn from_chunks(schema: Schema, chunks: Vec<DataChunk>) -> Relation {
+        let rows = chunks.iter().map(|c| c.num_rows()).sum();
+        let lock = OnceLock::new();
+        let _ = lock.set(Arc::new(chunks));
+        Relation { schema, tuples: OnceLock::new(), chunks: lock, rows }
     }
 
     /// The schema.
@@ -49,29 +85,83 @@ impl Relation {
         &self.schema
     }
 
-    /// The tuples, in insertion order.
+    /// The tuples, in insertion order (materialised from the columnar view on first access if
+    /// the relation was produced by the vectorized executor).
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        self.tuples.get_or_init(|| {
+            let chunks = self.chunks.get().expect("a relation holds at least one view");
+            let mut out = Vec::with_capacity(self.rows);
+            for chunk in chunks.iter() {
+                out.extend(chunk.iter_tuples());
+            }
+            out
+        })
+    }
+
+    /// The columnar view: the rows sliced into [`DataChunk`]s of up to [`DEFAULT_CHUNK_SIZE`]
+    /// rows. Built once from the row view on first access and cached (cheap `Arc` handout
+    /// afterwards), so repeated scans of a stored table pay the conversion once.
+    pub fn chunks(&self) -> Arc<Vec<DataChunk>> {
+        self.chunks
+            .get_or_init(|| {
+                let tuples = self.tuples.get().expect("a relation holds at least one view");
+                let arity = self.schema.arity();
+                Arc::new(
+                    tuples
+                        .chunks(DEFAULT_CHUNK_SIZE)
+                        .map(|rows| DataChunk::from_tuples(arity, rows))
+                        .collect(),
+                )
+            })
+            .clone()
     }
 
     /// Consume the relation returning its tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        self.tuples();
+        self.tuples.into_inner().expect("materialised above")
     }
 
     /// Number of tuples (counting duplicates).
     pub fn num_rows(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
     /// Number of attributes.
     pub fn arity(&self) -> usize {
         self.schema.arity()
+    }
+
+    /// Append rows to both views. The columnar cache is maintained *incrementally*: full
+    /// chunks are reused by `Arc` bump and only the trailing partial chunk is rebuilt, so a
+    /// workload interleaving small INSERT commits with queries pays O(chunk) per commit, not
+    /// O(table).
+    fn append_rows(&mut self, new: Vec<Tuple>) {
+        if !new.is_empty() {
+            if let Some(cached) = self.chunks.get() {
+                let arity = self.schema.arity();
+                let mut chunks: Vec<DataChunk> = (**cached).clone();
+                let mut tail: Vec<Tuple> = Vec::new();
+                if chunks.last().is_some_and(|c| c.num_rows() < DEFAULT_CHUNK_SIZE) {
+                    tail = chunks.pop().expect("checked above").iter_tuples().collect();
+                }
+                tail.extend(new.iter().cloned());
+                for batch in tail.chunks(DEFAULT_CHUNK_SIZE) {
+                    chunks.push(DataChunk::from_tuples(arity, batch));
+                }
+                let lock = OnceLock::new();
+                let _ = lock.set(Arc::new(chunks));
+                self.chunks = lock;
+            }
+        }
+        self.tuples();
+        self.rows += new.len();
+        self.tuples.get_mut().expect("materialised above").extend(new);
     }
 
     /// Append a tuple.
@@ -83,27 +173,33 @@ impl Relation {
                 self.schema.arity()
             )));
         }
-        self.tuples.push(tuple);
+        self.append_rows(vec![tuple]);
         Ok(())
     }
 
     /// Append many tuples.
     pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Result<(), AlgebraError> {
-        for t in tuples {
-            self.push(t)?;
+        let tuples: Vec<Tuple> = tuples.into_iter().collect();
+        if let Some(t) = tuples.iter().find(|t| t.arity() != self.schema.arity()) {
+            return Err(AlgebraError::Internal(format!(
+                "tuple arity {} does not match schema arity {}",
+                t.arity(),
+                self.schema.arity()
+            )));
         }
+        self.append_rows(tuples);
         Ok(())
     }
 
     /// Iterate over tuples.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.tuples().iter()
     }
 
     /// The multiplicity of each distinct tuple.
     pub fn multiplicities(&self) -> HashMap<&Tuple, usize> {
         let mut counts: HashMap<&Tuple, usize> = HashMap::new();
-        for t in &self.tuples {
+        for t in self.tuples() {
             *counts.entry(t).or_insert(0) += 1;
         }
         counts
@@ -128,30 +224,30 @@ impl Relation {
         if self.schema.arity() != other.schema.arity() {
             return false;
         }
-        let a: std::collections::HashSet<&Tuple> = self.tuples.iter().collect();
-        let b: std::collections::HashSet<&Tuple> = other.tuples.iter().collect();
+        let a: std::collections::HashSet<&Tuple> = self.tuples().iter().collect();
+        let b: std::collections::HashSet<&Tuple> = other.tuples().iter().collect();
         a == b
     }
 
     /// Return a copy sorted by the total value order (stable presentation for tests/examples).
     pub fn sorted(&self) -> Relation {
-        let mut tuples = self.tuples.clone();
+        let mut tuples = self.tuples().to_vec();
         tuples.sort();
-        Relation { schema: self.schema.clone(), tuples }
+        Relation::from_tuple_vec(self.schema.clone(), tuples)
     }
 
     /// Project the relation onto the attributes at `positions` (bag semantics).
     pub fn project(&self, positions: &[usize]) -> Relation {
-        Relation {
-            schema: self.schema.project(positions),
-            tuples: self.tuples.iter().map(|t| t.project(positions)).collect(),
-        }
+        Relation::from_tuple_vec(
+            self.schema.project(positions),
+            self.tuples().iter().map(|t| t.project(positions)).collect(),
+        )
     }
 
     /// Value of attribute `name` in row `row`.
     pub fn value_at(&self, row: usize, name: &str) -> Result<&Value, AlgebraError> {
         let col = self.schema.resolve(name)?;
-        self.tuples
+        self.tuples()
             .get(row)
             .and_then(|t| t.get(col))
             .ok_or(AlgebraError::ColumnIndexOutOfBounds { index: row, width: self.num_rows() })
@@ -162,7 +258,7 @@ impl Relation {
         let names = self.schema.attribute_names();
         let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
         let rendered: Vec<Vec<String>> = self
-            .tuples
+            .tuples()
             .iter()
             .map(|t| t.values().iter().map(|v| v.to_string()).collect())
             .collect();
@@ -267,5 +363,66 @@ mod tests {
         let r = Relation::new(schema(), vec![tuple!["b", 2], tuple!["a", 1]]).unwrap();
         let s = r.sorted();
         assert_eq!(s.tuples()[0], tuple!["a", 1]);
+    }
+
+    #[test]
+    fn chunk_view_round_trips_and_is_cached() {
+        use perm_algebra::DEFAULT_CHUNK_SIZE;
+        let rows: Vec<_> =
+            (0..(DEFAULT_CHUNK_SIZE as i64 + 1)).map(|i| tuple![format!("r{i}"), i]).collect();
+        let r = Relation::new(schema(), rows.clone()).unwrap();
+        let chunks = r.chunks();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), DEFAULT_CHUNK_SIZE);
+        assert_eq!(chunks[1].num_rows(), 1);
+        // Cached: the same Arc is handed out again.
+        assert!(Arc::ptr_eq(&chunks, &r.chunks()));
+        // Round trip through the columnar view.
+        let back = Relation::from_chunks(r.schema().clone(), (*chunks).clone());
+        assert_eq!(back.num_rows(), rows.len());
+        assert_eq!(back.tuples(), rows.as_slice());
+        assert!(back.bag_eq(&r));
+    }
+
+    #[test]
+    fn mutation_maintains_the_chunk_cache_incrementally() {
+        let mut r = Relation::new(schema(), vec![tuple!["a", 1]]).unwrap();
+        assert_eq!(r.chunks()[0].num_rows(), 1);
+        r.push(tuple!["b", 2]).unwrap();
+        assert_eq!(r.num_rows(), 2);
+        let chunks = r.chunks();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[0].tuple_at(1), tuple!["b", 2]);
+
+        // Appending past a chunk boundary reuses full chunks by Arc bump and only rebuilds
+        // the trailing partial chunk.
+        use perm_algebra::DEFAULT_CHUNK_SIZE;
+        let rows: Vec<_> =
+            (0..(DEFAULT_CHUNK_SIZE as i64 + 1)).map(|i| tuple![format!("r{i}"), i]).collect();
+        let mut big = Relation::new(schema(), rows).unwrap();
+        let before = big.chunks();
+        assert_eq!(before.len(), 2);
+        big.push(tuple!["x", -1]).unwrap();
+        let after = big.chunks();
+        assert_eq!(after.len(), 2);
+        assert!(
+            Arc::ptr_eq(before[0].column(0), after[0].column(0)),
+            "the full leading chunk must be shared, not rebuilt"
+        );
+        assert_eq!(after[1].num_rows(), 2);
+        assert_eq!(after[1].tuple_at(1), tuple!["x", -1]);
+        assert_eq!(big.tuples().len(), DEFAULT_CHUNK_SIZE + 2);
+        assert_eq!(big.tuples().last().unwrap(), &tuple!["x", -1]);
+    }
+
+    #[test]
+    fn chunk_backed_relation_supports_row_accessors() {
+        let source = Relation::new(schema(), vec![tuple!["a", 1], tuple!["b", 2]]).unwrap();
+        let chunked = Relation::from_chunks(source.schema().clone(), (*source.chunks()).clone());
+        assert_eq!(chunked.num_rows(), 2);
+        assert_eq!(chunked.value_at(1, "n").unwrap(), &Value::Int(2));
+        assert_eq!(chunked.sorted().tuples()[0], tuple!["a", 1]);
+        assert_eq!(chunked, source);
     }
 }

@@ -1,18 +1,21 @@
 //! `permd` — the Perm query service daemon.
 //!
 //! Serves the full SQL-PLE pipeline (DDL, DML, `SELECT PROVENANCE ...`) to concurrent clients
-//! over a localhost TCP socket using the length-prefixed text protocol of
-//! [`perm_service::wire`]. One thread per connection, each with its own session (settings and
-//! prepared statements); all sessions share one engine: catalog, provenance rewriter, optimizer
-//! and plan cache.
+//! over a TCP socket using the length-prefixed text protocol of [`perm_service::wire`]. One
+//! thread per connection, each with its own session (settings and prepared statements); all
+//! sessions share one engine: catalog, provenance rewriter, optimizer and plan cache. Query
+//! results flow out of the vectorized executor as columnar chunks and are rendered onto the
+//! wire chunk-wise.
 //!
 //! ```text
-//! permd [--port N] [--cache-capacity N]
+//! permd [--bind ADDR] [--port N] [--plan-cache-capacity N]
 //! ```
 //!
-//! With `--port 0` (the default is 7654) the OS assigns a free port; the bound address is
-//! printed as `permd listening on 127.0.0.1:PORT` so scripts can parse it. Stop the server with
-//! the wire command `shutdown` (e.g. `\shutdown` in `perm-shell`).
+//! `--bind` sets the listen address (default `127.0.0.1`); with `--port 0` (the default is
+//! 7654) the OS assigns a free port. The bound address is printed as
+//! `permd listening on ADDR:PORT` so scripts can parse it. `--plan-cache-capacity` sizes the
+//! shared plan cache (`--cache-capacity` is accepted as an alias; 0 disables caching). Stop the
+//! server with the wire command `shutdown` (e.g. `\shutdown` in `perm-shell`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -21,35 +24,71 @@ use perm_core::ProvenanceRewriter;
 use perm_service::{serve, Engine};
 
 const DEFAULT_PORT: u16 = 7654;
+const DEFAULT_BIND: &str = "127.0.0.1";
 
-fn main() -> ExitCode {
-    let mut port = DEFAULT_PORT;
-    let mut cache_capacity: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--port" | "-p" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => port = v,
-                None => return usage("--port requires a number"),
-            },
-            "--cache-capacity" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => cache_capacity = Some(v),
-                None => return usage("--cache-capacity requires a number"),
-            },
-            "--help" | "-h" => return usage(""),
-            other => return usage(&format!("unknown argument '{other}'")),
+/// Parsed command-line configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Config {
+    bind: String,
+    port: u16,
+    plan_cache_capacity: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { bind: DEFAULT_BIND.to_string(), port: DEFAULT_PORT, plan_cache_capacity: None }
+    }
+}
+
+impl Config {
+    /// Parse command-line arguments (without the program name). `Err` carries the usage error;
+    /// an empty error text means `--help` was requested.
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--port" | "-p" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => config.port = v,
+                    None => return Err("--port requires a number".into()),
+                },
+                "--bind" | "-b" => match args.next() {
+                    Some(v) if !v.is_empty() => config.bind = v,
+                    _ => return Err("--bind requires an address".into()),
+                },
+                "--plan-cache-capacity" | "--cache-capacity" => {
+                    match args.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => config.plan_cache_capacity = Some(v),
+                        None => return Err(format!("{arg} requires a number")),
+                    }
+                }
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Build the shared engine this configuration describes.
+    fn engine(&self) -> Engine {
+        let engine = Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new()));
+        match self.plan_cache_capacity {
+            Some(capacity) => engine.with_plan_cache_capacity(capacity),
+            None => engine,
         }
     }
+}
 
-    let mut engine = Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new()));
-    if let Some(capacity) = cache_capacity {
-        engine = engine.with_plan_cache_capacity(capacity);
-    }
+fn main() -> ExitCode {
+    let config = match Config::parse(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(error) => return usage(&error),
+    };
 
-    let handle = match serve(Arc::new(engine), ("127.0.0.1", port)) {
+    let handle = match serve(Arc::new(config.engine()), (config.bind.as_str(), config.port)) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("permd: failed to bind 127.0.0.1:{port}: {e}");
+            eprintln!("permd: failed to bind {}:{}: {e}", config.bind, config.port);
             return ExitCode::FAILURE;
         }
     };
@@ -63,10 +102,62 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("permd: {error}");
     }
-    eprintln!("usage: permd [--port N] [--cache-capacity N]");
+    eprintln!("usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N]");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Config, String> {
+        Config::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_arguments() {
+        let config = parse(&[]).unwrap();
+        assert_eq!(config, Config::default());
+        assert_eq!(config.bind, "127.0.0.1");
+        assert_eq!(config.port, DEFAULT_PORT);
+        assert_eq!(config.plan_cache_capacity, None);
+    }
+
+    #[test]
+    fn bind_port_and_cache_capacity_flags() {
+        let config =
+            parse(&["--bind", "0.0.0.0", "--port", "9000", "--plan-cache-capacity", "7"]).unwrap();
+        assert_eq!(config.bind, "0.0.0.0");
+        assert_eq!(config.port, 9000);
+        assert_eq!(config.plan_cache_capacity, Some(7));
+    }
+
+    #[test]
+    fn legacy_cache_capacity_alias_still_works() {
+        let config = parse(&["--cache-capacity", "3"]).unwrap();
+        assert_eq!(config.plan_cache_capacity, Some(3));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(parse(&["--port"]).is_err());
+        assert!(parse(&["--port", "abc"]).is_err());
+        assert!(parse(&["--bind"]).is_err());
+        assert!(parse(&["--plan-cache-capacity", "-1"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn capacity_threads_through_engine_construction() {
+        let config = parse(&["--plan-cache-capacity", "5"]).unwrap();
+        assert_eq!(config.engine().plan_cache_capacity(), 5);
+        // Without the flag the engine keeps its built-in default capacity.
+        let default_capacity = parse(&[]).unwrap().engine().plan_cache_capacity();
+        assert!(default_capacity > 0);
     }
 }

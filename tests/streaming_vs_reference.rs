@@ -1,11 +1,12 @@
-//! Differential property tests: the streaming executor (compiled expressions, hash joins,
-//! fused scans, short-circuiting limit) must produce exactly the same relations as the naive
-//! materializing reference evaluator on arbitrary plans — plain and provenance-rewritten,
-//! optimized and unoptimized.
+//! Differential property tests: the **vectorized** chunk executor (`Executor::execute`) and
+//! the tuple-at-a-time **streaming** executor (`Executor::execute_streaming`) must both produce
+//! exactly the same relations as the naive materializing **reference** evaluator on arbitrary
+//! plans — plain and provenance-rewritten, optimized and unoptimized.
 //!
 //! Random plans cover the operator space the provenance rewriter emits: selections,
 //! column-shuffling projections, DISTINCT, inner/outer/cross joins, bag/set set-operations and
-//! grouped aggregation, nested to depth 3.
+//! grouped aggregation, nested to depth 3. Deterministic tests cover the chunk-boundary edge
+//! cases (empty input, exactly one full chunk, one row past a chunk boundary).
 
 use proptest::prelude::*;
 
@@ -173,13 +174,24 @@ fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
     proptest::collection::vec((0i64..5, 0i64..4), 0..8)
 }
 
+/// Run one plan through all three execution paths and check both fast paths against the oracle.
+fn assert_three_way(catalog: &Catalog, plan: &perm_algebra::LogicalPlan, context: &str) {
+    let executor = Executor::new(catalog.clone());
+    let reference = execute_reference(catalog, plan).unwrap();
+    let vectorized = executor.execute(plan).unwrap();
+    let streaming = executor.execute_streaming(plan).unwrap();
+    assert!(vectorized.bag_eq(&reference), "vectorized != reference on {context}\n{plan}");
+    assert!(streaming.bag_eq(&reference), "streaming != reference on {context}\n{plan}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Streaming and reference execution agree on arbitrary plans, with and without the
-    /// optimizer (predicate pushdown, projection merging and column pruning included).
+    /// Vectorized, streaming and reference execution agree on arbitrary plans, with and
+    /// without the optimizer (predicate pushdown, projection merging and column pruning
+    /// included).
     #[test]
-    fn streaming_equals_reference(
+    fn vectorized_and_streaming_equal_reference(
         spec in spec_strategy(),
         r in rows_strategy(),
         s in rows_strategy(),
@@ -190,8 +202,13 @@ proptest! {
         plan.validate().unwrap();
 
         let executor = Executor::new(catalog.clone());
-        let streaming = executor.execute(&plan).unwrap();
         let reference = execute_reference(&catalog, &plan).unwrap();
+        let vectorized = executor.execute(&plan).unwrap();
+        let streaming = executor.execute_streaming(&plan).unwrap();
+        prop_assert!(
+            vectorized.bag_eq(&reference),
+            "vectorized != reference on raw plan\n{plan}"
+        );
         prop_assert!(
             streaming.bag_eq(&reference),
             "streaming != reference on raw plan\n{plan}"
@@ -199,18 +216,23 @@ proptest! {
 
         let optimized = Optimizer::new().optimize(&plan).unwrap();
         optimized.validate().unwrap();
-        let streaming_opt = executor.execute(&optimized).unwrap();
+        let vectorized_opt = executor.execute(&optimized).unwrap();
+        let streaming_opt = executor.execute_streaming(&optimized).unwrap();
+        prop_assert!(
+            vectorized_opt.bag_eq(&reference),
+            "optimized vectorized != reference\nraw:\n{plan}\noptimized:\n{optimized}"
+        );
         prop_assert!(
             streaming_opt.bag_eq(&reference),
             "optimized streaming != reference\nraw:\n{plan}\noptimized:\n{optimized}"
         );
     }
 
-    /// The same differential check on *provenance-rewritten* plans: rules R1–R9 produce wide
-    /// joins and duplicated sub-plans, exactly the shapes the streaming executor and the
-    /// column-pruning pass must not corrupt.
+    /// The same three-way differential check on *provenance-rewritten* plans: rules R1–R9
+    /// produce wide joins and duplicated sub-plans, exactly the shapes the chunked join
+    /// gathers and the column-pruning pass must not corrupt.
     #[test]
-    fn streaming_equals_reference_on_rewritten_plans(
+    fn vectorized_and_streaming_equal_reference_on_rewritten_plans(
         spec in spec_strategy(),
         r in rows_strategy(),
         s in rows_strategy(),
@@ -222,8 +244,13 @@ proptest! {
         rewritten.validate().unwrap();
 
         let executor = Executor::new(catalog.clone());
-        let streaming = executor.execute(&rewritten).unwrap();
         let reference = execute_reference(&catalog, &rewritten).unwrap();
+        let vectorized = executor.execute(&rewritten).unwrap();
+        let streaming = executor.execute_streaming(&rewritten).unwrap();
+        prop_assert!(
+            vectorized.bag_eq(&reference),
+            "vectorized != reference on rewritten plan\n{rewritten}"
+        );
         prop_assert!(
             streaming.bag_eq(&reference),
             "streaming != reference on rewritten plan\n{rewritten}"
@@ -231,15 +258,20 @@ proptest! {
 
         let optimized = Optimizer::new().optimize(&rewritten).unwrap();
         optimized.validate().unwrap();
-        let streaming_opt = executor.execute(&optimized).unwrap();
+        let vectorized_opt = executor.execute(&optimized).unwrap();
+        let streaming_opt = executor.execute_streaming(&optimized).unwrap();
+        prop_assert!(
+            vectorized_opt.bag_eq(&reference),
+            "optimized vectorized != reference on rewritten plan\n{rewritten}"
+        );
         prop_assert!(
             streaming_opt.bag_eq(&reference),
             "optimized streaming != reference on rewritten plan\n{rewritten}"
         );
     }
 
-    /// A streaming LIMIT must agree with the reference (which materializes everything first)
-    /// on deterministically ordered inputs.
+    /// A streaming/chunk-sliced LIMIT must agree with the reference (which materializes
+    /// everything first) on deterministically ordered inputs.
     #[test]
     fn limit_agrees_with_reference_after_sort(
         r in rows_strategy(),
@@ -256,8 +288,100 @@ proptest! {
             .limit(Some(limit), offset)
             .build();
         let executor = Executor::new(catalog.clone());
-        let streaming = executor.execute(&plan).unwrap();
         let reference = execute_reference(&catalog, &plan).unwrap();
+        let vectorized = executor.execute(&plan).unwrap();
+        let streaming = executor.execute_streaming(&plan).unwrap();
+        prop_assert_eq!(vectorized.tuples(), reference.tuples());
         prop_assert_eq!(streaming.tuples(), reference.tuples());
+    }
+}
+
+/// Chunk-boundary edge cases: relations of exactly 0, `DEFAULT_CHUNK_SIZE` and
+/// `DEFAULT_CHUNK_SIZE + 1` rows flowing through scans, filters, projections, joins, DISTINCT,
+/// aggregation and provenance rewriting. Every count is chosen so correctness depends on the
+/// chunked operators handling empty batches and batch-boundary splits exactly.
+#[test]
+fn chunk_boundary_row_counts_agree_across_all_paths() {
+    use perm_algebra::{PlanBuilder, DEFAULT_CHUNK_SIZE};
+
+    for rows in [0usize, DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE + 1] {
+        let r: Vec<(i64, i64)> = (0..rows as i64).map(|i| (i % 7, i % 3)).collect();
+        let s: Vec<(i64, i64)> = (0..(rows / 2) as i64).map(|i| (i % 7, i % 5)).collect();
+        let catalog = catalog_with(&r, &s);
+        let scan = |name: &str, ref_id: usize| {
+            PlanBuilder::scan(name, catalog.table_schema(name).unwrap(), ref_id)
+        };
+
+        // Plain scan.
+        let plan = scan("r", 0).build();
+        assert_three_way(&catalog, &plan, &format!("scan of {rows} rows"));
+
+        // Filter that keeps roughly 1/7 of the rows (and nothing of an empty relation).
+        let filtered =
+            scan("r", 0).filter(ScalarExpr::column(0, "k").eq(ScalarExpr::literal(1i64))).build();
+        assert_three_way(&catalog, &filtered, &format!("filtered scan of {rows} rows"));
+
+        // Computed projection with DISTINCT.
+        let projected = scan("r", 0)
+            .project_distinct(vec![(
+                ScalarExpr::binary(
+                    BinaryOperator::Add,
+                    ScalarExpr::column(0, "k"),
+                    ScalarExpr::column(1, "v"),
+                ),
+                "kv".into(),
+            )])
+            .build();
+        assert_three_way(&catalog, &projected, &format!("distinct projection of {rows} rows"));
+
+        // Hash join whose probe side spans a chunk boundary.
+        let joined = scan("r", 0)
+            .join(
+                scan("s", 1),
+                JoinKind::Inner,
+                Some(ScalarExpr::column(0, "k").eq(ScalarExpr::column(2, "k"))),
+            )
+            .build();
+        assert_three_way(&catalog, &joined, &format!("hash join of {rows} rows"));
+
+        // Left outer join: NULL padding interleaves with matches inside batches.
+        let outer = scan("r", 0)
+            .join(
+                scan("s", 1),
+                JoinKind::LeftOuter,
+                Some(ScalarExpr::column(1, "v").eq(ScalarExpr::column(3, "v"))),
+            )
+            .build();
+        assert_three_way(&catalog, &outer, &format!("left outer join of {rows} rows"));
+
+        // Aggregation with group keys.
+        let aggregated = scan("r", 0)
+            .aggregate(
+                vec![(ScalarExpr::column(0, "k"), "k".into())],
+                vec![(
+                    AggregateExpr::new(AggregateFunction::Sum, ScalarExpr::column(1, "v")),
+                    "sum_v".into(),
+                )],
+            )
+            .build();
+        assert_three_way(&catalog, &aggregated, &format!("aggregation of {rows} rows"));
+
+        // Bag difference (chunked set-operation path).
+        let diff =
+            scan("r", 0).set_op(scan("s", 1), SetOpKind::Difference, SetSemantics::Bag).build();
+        assert_three_way(&catalog, &diff, &format!("bag difference of {rows} rows"));
+
+        // A provenance-rewritten join (the paper's wide self-join shapes) at the boundary.
+        let rewritten = ProvenanceRewriter::new().rewrite(&joined).unwrap();
+        assert_three_way(&catalog, &rewritten, &format!("rewritten join of {rows} rows"));
+
+        // Limit slicing exactly at and one past the chunk boundary.
+        for limit in [DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE + 1] {
+            let limited = scan("r", 0).limit(Some(limit), 1).build();
+            let executor = Executor::new(catalog.clone());
+            let vectorized = executor.execute(&limited).unwrap();
+            let streaming = executor.execute_streaming(&limited).unwrap();
+            assert_eq!(vectorized.tuples(), streaming.tuples(), "limit {limit} over {rows} rows");
+        }
     }
 }
