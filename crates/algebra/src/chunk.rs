@@ -549,6 +549,14 @@ impl Array {
             {
                 return a[i].cmp(&b[j]);
             }
+            (
+                Array::Float { values: a, validity: va },
+                Array::Float { values: b, validity: vb },
+            ) if va.get(i) && vb.get(j) => {
+                // NaN-total ordering (NaN sorts last) so sort keys are deterministic; plain
+                // `partial_cmp` would make ORDER BY nondeterministic in the presence of NaN.
+                return crate::value::total_float_cmp(a[i], b[j]);
+            }
             _ => {}
         }
         match (self.is_null(i), other.is_null(j)) {

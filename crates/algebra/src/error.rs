@@ -47,8 +47,17 @@ pub enum AlgebraError {
         /// The target type.
         target: String,
     },
-    /// Arithmetic failed (overflow, division by zero on integers, ...).
+    /// Arithmetic failed (division by zero on integers, ...).
     Arithmetic(String),
+    /// Integer arithmetic overflowed the 64-bit value range.
+    ///
+    /// Raised by checked `Value` arithmetic instead of silently wrapping (release) or panicking
+    /// (debug); the executor surfaces it as `ExecError::ArithmeticOverflow` so that the row,
+    /// vectorized and parallel pipelines all report the identical error.
+    ArithmeticOverflow {
+        /// The operation that overflowed ("addition", "multiplication", ...).
+        operation: String,
+    },
     /// Catch-all for invariant violations.
     Internal(String),
 }
@@ -78,6 +87,9 @@ impl fmt::Display for AlgebraError {
                 write!(f, "cannot parse '{text}' as {target}")
             }
             AlgebraError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            AlgebraError::ArithmeticOverflow { operation } => {
+                write!(f, "arithmetic overflow in {operation}")
+            }
             AlgebraError::Internal(msg) => write!(f, "internal algebra error: {msg}"),
         }
     }

@@ -47,4 +47,4 @@ pub use expr::{
 pub use plan::{JoinKind, LogicalPlan, ProvenanceAnnotationKind, SetOpKind, SetSemantics};
 pub use schema::{Attribute, Schema};
 pub use tuple::Tuple;
-pub use value::{DataType, Value};
+pub use value::{total_float_cmp, DataType, Value};

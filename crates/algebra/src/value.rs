@@ -173,7 +173,11 @@ impl Value {
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
     }
 
-    /// SQL comparison: `None` if either side is NULL or the types are incomparable.
+    /// SQL comparison: `None` if either side is NULL, the types are incomparable, or the
+    /// comparison is undefined (NaN). The numeric types Int, Float and Date are all mutually
+    /// comparable (a date compares as its day number), matching the coercions of
+    /// [`DataType::coercible_to`]; grouping equality and hashing use the same numeric key so
+    /// hash joins and hash aggregation agree with this table (see [`Value::eq`]).
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         use Value::*;
         match (self, other) {
@@ -187,6 +191,8 @@ impl Value {
             (Date(a), Date(b)) => Some(a.cmp(b)),
             (Date(a), Int(b)) => Some((*a as i64).cmp(b)),
             (Int(a), Date(b)) => Some(a.cmp(&(*b as i64))),
+            (Date(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Date(b)) => a.partial_cmp(&(*b as f64)),
             _ => None,
         }
     }
@@ -196,17 +202,18 @@ impl Value {
         self == other
     }
 
-    /// Add two values (numeric addition, date + int days).
+    /// Add two values (numeric addition, date + int days). Integer overflow is an error
+    /// ([`AlgebraError::ArithmeticOverflow`]), never a silent wrap.
     pub fn add(&self, other: &Value) -> Result<Value, AlgebraError> {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => Int(a.wrapping_add(*b)),
+            (Int(a), Int(b)) => Int(a.checked_add(*b).ok_or_else(|| overflow("addition"))?),
             (Float(a), Float(b)) => Float(a + b),
             (Int(a), Float(b)) => Float(*a as f64 + b),
             (Float(a), Int(b)) => Float(a + *b as f64),
-            (Date(a), Int(b)) => Date(a + *b as i32),
-            (Int(a), Date(b)) => Date(*a as i32 + b),
+            (Date(a), Int(b)) => Date(checked_date_shift(*a, *b, "addition")?),
+            (Int(a), Date(b)) => Date(checked_date_shift(*b, *a, "addition")?),
             (Text(a), Text(b)) => Text(format!("{a}{b}").into()),
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
@@ -218,17 +225,20 @@ impl Value {
         })
     }
 
-    /// Subtract two values.
+    /// Subtract two values. Integer overflow is an error, never a silent wrap.
     pub fn sub(&self, other: &Value) -> Result<Value, AlgebraError> {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => Int(a.wrapping_sub(*b)),
+            (Int(a), Int(b)) => Int(a.checked_sub(*b).ok_or_else(|| overflow("subtraction"))?),
             (Float(a), Float(b)) => Float(a - b),
             (Int(a), Float(b)) => Float(*a as f64 - b),
             (Float(a), Int(b)) => Float(a - *b as f64),
-            (Date(a), Int(b)) => Date(a - *b as i32),
-            (Date(a), Date(b)) => Int((*a - *b) as i64),
+            (Date(a), Int(b)) => {
+                let days = b.checked_neg().ok_or_else(|| overflow("subtraction"))?;
+                Date(checked_date_shift(*a, days, "subtraction")?)
+            }
+            (Date(a), Date(b)) => Int(*a as i64 - *b as i64),
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "subtraction".into(),
@@ -239,12 +249,12 @@ impl Value {
         })
     }
 
-    /// Multiply two values.
+    /// Multiply two values. Integer overflow is an error, never a silent wrap.
     pub fn mul(&self, other: &Value) -> Result<Value, AlgebraError> {
         use Value::*;
         Ok(match (self, other) {
             (Null, _) | (_, Null) => Null,
-            (Int(a), Int(b)) => Int(a.wrapping_mul(*b)),
+            (Int(a), Int(b)) => Int(a.checked_mul(*b).ok_or_else(|| overflow("multiplication"))?),
             (Float(a), Float(b)) => Float(a * b),
             (Int(a), Float(b)) => Float(*a as f64 * b),
             (Float(a), Int(b)) => Float(a * *b as f64),
@@ -267,7 +277,8 @@ impl Value {
                 if *b == 0 {
                     return Err(AlgebraError::Arithmetic("integer division by zero".into()));
                 }
-                Int(a / b)
+                // i64::MIN / -1 overflows.
+                Int(a.checked_div(*b).ok_or_else(|| overflow("division"))?)
             }
             (Float(a), Float(b)) => Float(a / b),
             (Int(a), Float(b)) => Float(*a as f64 / b),
@@ -291,7 +302,8 @@ impl Value {
                 if *b == 0 {
                     return Err(AlgebraError::Arithmetic("integer modulo by zero".into()));
                 }
-                Int(a % b)
+                // i64::MIN % -1 overflows.
+                Int(a.checked_rem(*b).ok_or_else(|| overflow("modulo"))?)
             }
             (Float(a), Float(b)) => Float(a % b),
             (a, b) => {
@@ -304,11 +316,11 @@ impl Value {
         })
     }
 
-    /// Negate a numeric value.
+    /// Negate a numeric value. `-i64::MIN` is an overflow error, never a silent wrap.
     pub fn neg(&self) -> Result<Value, AlgebraError> {
         match self {
             Value::Null => Ok(Value::Null),
-            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| overflow("negation"))?)),
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(AlgebraError::TypeMismatch {
                 context: "negation".into(),
@@ -360,15 +372,35 @@ impl Value {
         }
     }
 
+    /// Rank used to order values of incomparable types in the sorting total order. All numeric
+    /// types (Int, Float, Date) share one rank because `sql_cmp` can compare any pair of them;
+    /// within a rank, `sql_cmp` (plus the NaN rules of [`total_float_cmp`]) decides.
     fn type_rank(&self) -> u8 {
         match self {
             Value::Null => 0,
             Value::Bool(_) => 1,
-            Value::Int(_) => 2,
-            Value::Float(_) => 3,
-            Value::Text(_) => 4,
-            Value::Date(_) => 5,
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => 2,
+            Value::Text(_) => 3,
         }
+    }
+
+    /// Is this a float NaN? NaN is the one numeric value `sql_cmp` cannot order; the sorting
+    /// total order places it last (after every other numeric), with all NaNs tied.
+    fn is_nan(&self) -> bool {
+        matches!(self, Value::Float(f) if f.is_nan())
+    }
+}
+
+/// Total ordering over floats for *sort keys*: `-0.0 == 0.0`, all NaNs compare equal and sort
+/// after every non-NaN value. This is the ordering ORDER BY uses (deterministic even for NaN),
+/// while SQL comparison *predicates* on NaN stay undefined (`sql_cmp` returns `None`, so
+/// `x < NaN` is NULL-like false).
+pub fn total_float_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats are comparable"),
     }
 }
 
@@ -380,10 +412,12 @@ impl PartialEq for Value {
             (Bool(a), Bool(b)) => a == b,
             (Int(a), Int(b)) => a == b,
             (Float(a), Float(b)) => Value::float_key(*a) == Value::float_key(*b),
-            (Int(a), Float(b)) | (Float(b), Int(a)) => {
-                // Mixed-type grouping equality: compare numerically so that e.g. SUM keys match.
-                (*a as f64) == *b
-            }
+            // Mixed-type grouping equality: all numeric types (Int, Float, Date) compare
+            // numerically, consistent with `sql_cmp`, so hash joins and hash aggregation find
+            // exactly the matches nested-loop comparison finds.
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            (Int(a), Date(b)) | (Date(b), Int(a)) => *a == *b as i64,
+            (Float(a), Date(b)) | (Date(b), Float(a)) => *a == *b as f64,
             (Text(a), Text(b)) => a == b,
             (Date(a), Date(b)) => a == b,
             _ => false,
@@ -401,8 +435,9 @@ impl Hash for Value {
                 1u8.hash(state);
                 b.hash(state);
             }
-            // Int and Float hash through the same numeric key so that grouping equality and hash
-            // stay consistent for mixed numeric comparisons.
+            // Int, Float and Date all hash through the same numeric key so that grouping
+            // equality and hash stay consistent for mixed numeric comparisons (a date hashes as
+            // its day number; `i32 as f64` is exact).
             Value::Int(i) => {
                 2u8.hash(state);
                 Value::float_key(*i as f64).hash(state);
@@ -416,8 +451,8 @@ impl Hash for Value {
                 s.hash(state);
             }
             Value::Date(d) => {
-                5u8.hash(state);
-                d.hash(state);
+                2u8.hash(state);
+                Value::float_key(*d as f64).hash(state);
             }
         }
     }
@@ -430,18 +465,26 @@ impl PartialOrd for Value {
 }
 
 impl Ord for Value {
-    /// Total order used for sorting: NULLs first, then by type rank, then by value.
+    /// Total order used for sorting: NULLs first, then by type rank (booleans, numerics, text),
+    /// then by value. Within the numeric rank `sql_cmp` decides, except that NaN sorts last
+    /// (after every other numeric) with all NaNs tied — see [`total_float_cmp`].
     fn cmp(&self, other: &Self) -> Ordering {
-        if let Some(ord) = self.sql_cmp(other) {
-            return ord;
-        }
         use Value::*;
         match (self, other) {
-            (Null, Null) => Ordering::Equal,
-            (Null, _) => Ordering::Less,
-            (_, Null) => Ordering::Greater,
-            (Float(a), Float(b)) => Value::float_key(*a).cmp(&Value::float_key(*b)),
-            (a, b) => a.type_rank().cmp(&b.type_rank()),
+            (Null, Null) => return Ordering::Equal,
+            (Null, _) => return Ordering::Less,
+            (_, Null) => return Ordering::Greater,
+            _ => {}
+        }
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.sql_cmp(other).expect("same-rank non-NaN values are comparable"),
         }
     }
 }
@@ -499,6 +542,16 @@ impl From<Arc<str>> for Value {
     fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
+}
+
+fn overflow(operation: &str) -> AlgebraError {
+    AlgebraError::ArithmeticOverflow { operation: operation.to_string() }
+}
+
+/// Shift a date by a signed number of days with full range checking (the day count must fit in
+/// the i32 day range and the shifted date must not wrap).
+fn checked_date_shift(date: i32, days: i64, operation: &str) -> Result<i32, AlgebraError> {
+    i32::try_from(days).ok().and_then(|d| date.checked_add(d)).ok_or_else(|| overflow(operation))
 }
 
 /// Format a float without trailing noise (integral floats print without a fraction).
@@ -625,6 +678,77 @@ mod tests {
         assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
         assert_eq!(Value::Float(0.0), Value::Float(-0.0));
         assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn checked_arithmetic_overflows_are_errors() {
+        let overflowed = |v: Result<Value, AlgebraError>, op: &str| {
+            assert_eq!(
+                v.unwrap_err(),
+                AlgebraError::ArithmeticOverflow { operation: op.to_string() }
+            );
+        };
+        overflowed(Value::Int(i64::MAX).add(&Value::Int(1)), "addition");
+        overflowed(Value::Int(i64::MIN).sub(&Value::Int(1)), "subtraction");
+        overflowed(Value::Int(i64::MAX).mul(&Value::Int(2)), "multiplication");
+        overflowed(Value::Int(i64::MIN).div(&Value::Int(-1)), "division");
+        overflowed(Value::Int(i64::MIN).rem(&Value::Int(-1)), "modulo");
+        overflowed(Value::Int(i64::MIN).neg(), "negation");
+        overflowed(Value::Date(i32::MAX).add(&Value::Int(1)), "addition");
+        overflowed(Value::Date(0).add(&Value::Int(i64::MAX)), "addition");
+        // NULL propagation and float arithmetic are unaffected.
+        assert_eq!(Value::Null.add(&Value::Int(i64::MAX)).unwrap(), Value::Null);
+        assert!(matches!(
+            Value::Float(f64::MAX).mul(&Value::Float(2.0)).unwrap(),
+            Value::Float(f) if f.is_infinite()
+        ));
+    }
+
+    #[test]
+    fn nan_sorts_last_and_compares_unknown() {
+        // Sorting total order: NaN after every numeric, all NaNs tied; NULL still first.
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Int(7),
+            Value::Float(-1.0),
+            Value::Null,
+            Value::Float(f64::NAN),
+            Value::Date(3),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Float(-1.0));
+        assert_eq!(vals[2], Value::Date(3));
+        assert_eq!(vals[3], Value::Int(7));
+        assert!(matches!(vals[4], Value::Float(f) if f.is_nan()));
+        assert!(matches!(vals[5], Value::Float(f) if f.is_nan()));
+        // SQL comparison against NaN stays undefined (predicates treat it as false).
+        assert_eq!(Value::Float(f64::NAN).sql_cmp(&Value::Float(1.0)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(f64::NAN)), None);
+        // The shared helper pins the same rules.
+        assert_eq!(total_float_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(total_float_cmp(1.0, f64::NAN), Ordering::Less);
+        assert_eq!(total_float_cmp(f64::NAN, -1.0), Ordering::Greater);
+        assert_eq!(total_float_cmp(0.0, -0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn date_hashes_and_equals_numerically() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        // Date(d) groups with Int(d) and Float(d as f64): equality, hash and sql_cmp agree,
+        // so hash joins and hash aggregation find the matches nested-loop comparison finds.
+        assert_eq!(Value::Date(5), Value::Int(5));
+        assert_eq!(Value::Date(5), Value::Float(5.0));
+        assert_eq!(h(&Value::Date(5)), h(&Value::Int(5)));
+        assert_eq!(h(&Value::Date(5)), h(&Value::Float(5.0)));
+        assert_eq!(Value::Date(5).sql_cmp(&Value::Float(5.5)), Some(Ordering::Less));
+        assert_ne!(Value::Date(5), Value::Date(6));
+        assert_ne!(Value::Date(5), Value::text("5"));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Morsel-driven parallel scaling on fig13-style SPJ provenance queries.
+//!
+//! Every entry executes the *same* pre-planned (analyzed, provenance-rewritten, optimized)
+//! plan through `Executor::execute_parallel` on worker pools of 1, 2, 4 and 8 workers, so the
+//! measured difference is purely the parallelism degree: morsel scheduling, the partitioned
+//! hash-join build/probe and partitioned aggregation. The 1-worker pool runs the whole morsel
+//! machinery on the calling thread, which doubles as the overhead baseline against the
+//! single-threaded vectorized pipeline (see the `vectorized_scan` bench).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perm_bench::harness::{BenchConfig, ScalePreset};
+use perm_exec::{Executor, WorkerPool};
+use perm_tpch::queries::add_provenance_keyword;
+use perm_tpch::workloads::{spj_query, workload_rng};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let config = BenchConfig::quick();
+    let db = config.database(ScalePreset::Small);
+    let parts = db.catalog().table_row_count("part").unwrap();
+
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(config.samples);
+    group.warm_up_time(Duration::from_millis(config.warm_up_ms));
+    group.measurement_time(Duration::from_millis(config.measurement_ms));
+    for num_sub in [1usize, 3, 6] {
+        let sql = spj_query(&mut workload_rng("spj", num_sub as u64), num_sub, parts);
+        let provenance_sql = add_provenance_keyword(&sql);
+        let plan = db.plan_sql(&provenance_sql).expect("provenance query plans");
+        let executor = Executor::new(db.catalog().clone());
+        for workers in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), num_sub),
+                &plan,
+                |b, plan| {
+                    b.iter(|| executor.execute_parallel(plan, &pool).expect("parallel runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_parallel_scaling
+}
+criterion_main!(benches);

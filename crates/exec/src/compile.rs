@@ -41,13 +41,11 @@ pub(crate) struct InSetTypes {
 
 impl InSetTypes {
     /// Is any candidate incomparable with a (non-null) needle of this type under `sql_cmp`?
-    /// Mirrors the `sql_cmp` table: Int pairs with Int/Float/Date, Float with Int/Float, Date
-    /// with Int/Date, Text with Text; everything else (including a Bool needle) is unknown.
+    /// Mirrors the `sql_cmp` table: the numeric types Int/Float/Date all pair with each other,
+    /// Text pairs with Text; everything else (including a Bool needle) is unknown.
     fn any_incomparable_with(self, needle: &Value) -> bool {
         match needle {
-            Value::Int(_) => self.texts,
-            Value::Float(_) => self.dates || self.texts,
-            Value::Date(_) => self.floats || self.texts,
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => self.texts,
             Value::Text(_) => self.ints || self.floats || self.dates,
             _ => self.ints || self.floats || self.dates || self.texts,
         }
@@ -295,14 +293,16 @@ pub(crate) fn in_set_lookup(
     if needle.is_null() {
         return Value::Null;
     }
-    // Date and Int candidates compare numerically under `sql_eq` but hash with different type
-    // tags, so probe both representations.
-    let matched = set.contains(needle)
-        || match needle {
-            Value::Date(d) => set.contains(&Value::Int(*d as i64)),
-            Value::Int(i) => i32::try_from(*i).is_ok_and(|d| set.contains(&Value::Date(d))),
-            _ => false,
-        };
+    // A NaN needle compares unknown against *every* candidate under `sql_eq` (the set itself
+    // never holds NaN — `compile_in_constants` falls back to the linear path for NaN
+    // candidates), so with any candidate present the result is NULL, exactly like the
+    // row-at-a-time evaluation; grouping equality in the hash set would wrongly match NaN.
+    if matches!(needle, Value::Float(f) if f.is_nan()) {
+        return if set.is_empty() && !has_null { Value::Bool(negated) } else { Value::Null };
+    }
+    // All numeric types (Int, Float, Date) share one grouping hash/equality key, consistent
+    // with `sql_eq`, so a single probe covers every cross-type numeric match.
+    let matched = set.contains(needle);
     if matched {
         Value::Bool(!negated)
     } else if has_null || types.any_incomparable_with(needle) {

@@ -26,6 +26,15 @@ pub enum ExecError {
         /// The configured timeout in milliseconds.
         millis: u64,
     },
+    /// Integer arithmetic overflowed the 64-bit value range.
+    ///
+    /// All three execution pipelines (row-at-a-time, vectorized and parallel) surface integer
+    /// overflow as this error with the same payload, so differential tests can assert identical
+    /// failure behaviour; silent wrapping would instead produce pipeline-dependent results.
+    ArithmeticOverflow {
+        /// The operation that overflowed ("addition", "multiplication", ...).
+        operation: String,
+    },
     /// A scalar subquery used as a value returned more than one row.
     ///
     /// SQL requires a scalar subquery to produce at most one row; silently taking the first row
@@ -55,6 +64,9 @@ impl fmt::Display for ExecError {
             ExecError::Timeout { millis } => {
                 write!(f, "execution aborted: timeout of {millis} ms exceeded")
             }
+            ExecError::ArithmeticOverflow { operation } => {
+                write!(f, "arithmetic overflow in {operation}")
+            }
             ExecError::ScalarSubqueryTooManyRows => {
                 write!(f, "scalar subquery returned more than one row")
             }
@@ -78,7 +90,14 @@ impl std::error::Error for ExecError {
 
 impl From<AlgebraError> for ExecError {
     fn from(e: AlgebraError) -> Self {
-        ExecError::Algebra(e)
+        match e {
+            // Checked `Value` arithmetic reports overflow through the algebra layer; surface it
+            // as the dedicated executor error so every pipeline raises the identical value.
+            AlgebraError::ArithmeticOverflow { operation } => {
+                ExecError::ArithmeticOverflow { operation }
+            }
+            other => ExecError::Algebra(other),
+        }
     }
 }
 

@@ -205,6 +205,12 @@ impl Executor {
         self.params.get(index).cloned().ok_or(ExecError::UnboundParameter { index })
     }
 
+    /// Resolve this executor's options into a per-execution context (shared by the vectorized,
+    /// streaming and parallel pipelines).
+    pub(crate) fn context(&self) -> ExecContext {
+        ExecContext::new(&self.options)
+    }
+
     /// Execute a plan through the vectorized chunk pipeline, returning the result as a
     /// chunk-backed [`Relation`] (rows are only boxed into tuples if a caller asks for them).
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
@@ -572,6 +578,16 @@ pub(crate) fn split_equi_join_condition(
 /// Sentinel terminating a hash-join bucket chain.
 const CHAIN_END: u32 = u32::MAX;
 
+/// Can `v` participate in hash-key matching for an equi-join key? Under plain `=` a NULL key
+/// never matches, and neither does a float NaN (`sql_eq` on NaN is unknown) — but grouping
+/// equality, which the hash table uses, would match NaN to NaN, so NaN keys must be excluded
+/// from the table exactly like NULLs to keep hash joins agreeing with nested-loop evaluation.
+/// Null-safe keys (`IS NOT DISTINCT FROM`) use grouping equality directly, where both NULL and
+/// NaN match themselves.
+pub(crate) fn hash_joinable(v: &Value, null_safe: bool) -> bool {
+    null_safe || !(v.is_null() || matches!(v, Value::Float(f) if f.is_nan()))
+}
+
 /// The probe strategy of a join: hash buckets over the build side, or plain nested loops.
 enum JoinMode {
     /// Hash join: `head` maps a key to the first matching build-row index; `next[i]` chains to
@@ -604,7 +620,7 @@ impl JoinMode {
             let mut single: HashMap<Value, u32> = HashMap::with_capacity(right_rows.len());
             for (i, row) in right_rows.iter().enumerate().rev() {
                 let Some(v) = row.get(key.right - left_arity) else { continue };
-                if v.is_null() && !key.null_safe {
+                if !hash_joinable(v, key.null_safe) {
                     continue;
                 }
                 if let Some(prev) = single.insert(v.clone(), i as u32) {
@@ -635,7 +651,7 @@ impl JoinMode {
                 if let Some(single) = single {
                     let key = keys[0];
                     let start = match left_row.get(key.left) {
-                        Some(v) if !v.is_null() || key.null_safe => {
+                        Some(v) if hash_joinable(v, key.null_safe) => {
                             single.get(v).copied().unwrap_or(CHAIN_END)
                         }
                         _ => CHAIN_END,
@@ -776,9 +792,9 @@ impl Iterator for JoinIter<'_> {
     }
 }
 
-/// Build a hash key for a row; `None` when a non-null-safe key column is NULL (such rows cannot
-/// match under SQL equality).
-fn join_key(
+/// Build a hash key for a row; `None` when a non-null-safe key column is NULL or NaN (such rows
+/// cannot match under SQL equality — see [`hash_joinable`]).
+pub(crate) fn join_key(
     row: &Tuple,
     keys: &[EquiKey],
     index_of: impl Fn(&EquiKey) -> usize,
@@ -787,7 +803,7 @@ fn join_key(
     let mut values = Vec::with_capacity(keys.len());
     for k in keys {
         let v = row.get(index_of(k))?.clone();
-        if v.is_null() && !null_safe(k) {
+        if !hash_joinable(&v, null_safe(k)) {
             return None;
         }
         values.push(v);
@@ -1607,7 +1623,7 @@ mod tests {
 
     #[test]
     fn in_set_incomparable_types_yield_null_like_the_reference() {
-        // A Date needle against Float candidates: sql_eq is unknown (None), so `IN` must be
+        // A Date needle against Text candidates: sql_eq is unknown (None), so `IN` must be
         // NULL (filtering the row), not FALSE — and NOT IN must also be NULL, not TRUE.
         let catalog = Catalog::new();
         let schema = Schema::from_pairs(&[("d", DataType::Date)]);
@@ -1621,7 +1637,7 @@ mod tests {
             let t = scan(&catalog, "t", 0);
             let pred = ScalarExpr::InList {
                 expr: Box::new(ScalarExpr::column(0, "d")),
-                list: vec![ScalarExpr::literal(10.5f64)],
+                list: vec![ScalarExpr::literal("ten")],
                 negated,
             };
             let plan = t.filter(pred).build();
@@ -1631,15 +1647,51 @@ mod tests {
             assert_eq!(streaming.num_rows(), 0, "negated={negated}: NULL predicate keeps no rows");
             assert!(streaming.bag_eq(&reference), "negated={negated}");
         }
-        // Sanity: a Date needle still matches Int candidates numerically (days since epoch).
-        let t = scan(&catalog, "t", 0);
-        let pred = ScalarExpr::InList {
-            expr: Box::new(ScalarExpr::column(0, "d")),
-            list: vec![ScalarExpr::literal(10i64)],
-            negated: false,
-        };
-        let plan = t.filter(pred).build();
-        assert_eq!(execute_plan(&catalog, &plan).unwrap().num_rows(), 1);
+        // A NaN needle compares unknown against every candidate: IN and NOT IN are both NULL
+        // (row dropped) whenever any candidate exists, matching the linear `sql_eq` path — the
+        // grouping-equality hash set would otherwise match NaN to itself.
+        let nan_table = Relation::from_parts(
+            Schema::from_pairs(&[("f", DataType::Float)]),
+            vec![Tuple::new(vec![Value::Float(f64::NAN)])],
+        );
+        catalog.create_table_with_data("nan", nan_table).unwrap();
+        for negated in [false, true] {
+            let t = scan(&catalog, "nan", 0);
+            let pred = ScalarExpr::InList {
+                expr: Box::new(ScalarExpr::column(0, "f")),
+                list: vec![ScalarExpr::literal(1.0f64), ScalarExpr::literal(2.0f64)],
+                negated,
+            };
+            let plan = t.filter(pred).build();
+            let executor = Executor::new(catalog.clone());
+            let result = executor.execute(&plan).unwrap();
+            let reference = executor.execute_reference(&plan).unwrap();
+            assert_eq!(result.num_rows(), 0, "NaN needle, negated={negated}");
+            assert!(result.bag_eq(&reference), "NaN needle, negated={negated}");
+        }
+
+        // Dates compare numerically against the other numeric types (days since epoch): an Int
+        // candidate matches exactly, a fractional Float candidate is a definite non-match (so
+        // NOT IN keeps the row rather than yielding NULL).
+        for (candidate, negated, expect_rows) in [
+            (ScalarExpr::literal(10i64), false, 1),
+            (ScalarExpr::literal(10.0f64), false, 1),
+            (ScalarExpr::literal(10.5f64), false, 0),
+            (ScalarExpr::literal(10.5f64), true, 1),
+        ] {
+            let t = scan(&catalog, "t", 0);
+            let pred = ScalarExpr::InList {
+                expr: Box::new(ScalarExpr::column(0, "d")),
+                list: vec![candidate.clone()],
+                negated,
+            };
+            let plan = t.filter(pred).build();
+            assert_eq!(
+                execute_plan(&catalog, &plan).unwrap().num_rows(),
+                expect_rows,
+                "candidate={candidate:?} negated={negated}"
+            );
+        }
     }
 
     #[test]

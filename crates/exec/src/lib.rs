@@ -15,6 +15,10 @@
 //!   the **vectorized** columnar pipeline (operators exchange [`perm_algebra::DataChunk`]
 //!   batches, see the private `vector` module); the tuple-at-a-time pipeline is retained as
 //!   `Executor::execute_streaming` for differential testing and benchmarking.
+//! * [`parallel`] — morsel-driven parallel execution over the vectorized pipeline: a shared
+//!   [`WorkerPool`] plus `Executor::execute_parallel`, with partitioned hash joins,
+//!   partitioned parallel aggregation and parallel sort runs (see the module docs for the
+//!   determinism guarantees).
 //! * [`reference`] — a naive, fully materializing evaluator kept as the executable
 //!   specification; property tests assert it agrees with the streaming executor.
 //! * [`optimizer`] — predicate pushdown, cross-product→join conversion, constant folding and
@@ -29,6 +33,7 @@ pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod optimizer;
+pub mod parallel;
 pub mod reference;
 mod vector;
 
@@ -36,4 +41,5 @@ pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate, like_match};
 pub use executor::{execute_plan, execute_plan_with_options, ExecOptions, Executor};
 pub use optimizer::{fold_expr, Optimizer};
+pub use parallel::WorkerPool;
 pub use reference::execute_reference;

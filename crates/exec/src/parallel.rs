@@ -1,0 +1,1461 @@
+//! Morsel-driven parallel execution over the vectorized [`DataChunk`] pipeline.
+//!
+//! [`Executor::execute_parallel`] evaluates a plan with intra-query parallelism on a shared
+//! [`WorkerPool`]: the chunk lists flowing between operators are split into *morsels* (one
+//! stored chunk each, up to [`DEFAULT_CHUNK_SIZE`] rows) that idle workers pull from a shared
+//! claim counter — the scheduling model of Leis et al.'s morsel-driven HyPer executor, applied
+//! to the provenance workload of this reproduction (rewrite rules R5–R9 produce wide,
+//! join-heavy plans that do a multiple of the original query's work, so single-core execution
+//! leaves most of the machine idle exactly on the queries that need it most).
+//!
+//! Per operator:
+//!
+//! * **scan → filter → project** pipelines run embarrassingly parallel: every worker masks,
+//!   compacts and projects its own morsels; results are stitched back together in morsel order,
+//!   so the output chunk sequence equals the single-threaded one.
+//! * **hash join** builds *partitioned*: build-side key hashes are computed morsel-parallel,
+//!   then every worker builds the hash table of one key-hash partition; the probe phase runs
+//!   morsel-parallel over the probe side, routing each probe key to its partition. Bucket
+//!   chains preserve build-row order, so each probe row sees candidates in exactly the
+//!   nested-loop order.
+//! * **hash aggregation** also partitions by key hash: group-key and argument columns are
+//!   evaluated morsel-parallel, then every worker owns the groups of one partition and folds
+//!   *all* morsels' rows of that partition **in global row order** — each group's accumulator
+//!   sees its values in exactly the sequential order, so float sums are bit-identical and
+//!   integer-overflow errors fire at the identical row. Group output is restored to global
+//!   first-seen order.
+//! * **sort** extracts key columns and sorts a run per morsel in parallel, then merges the
+//!   sorted runs (ties broken by global row index, so the permutation is deterministic).
+//! * **LIMIT** stays globally correct through a shared atomic row counter: workers claim
+//!   morsels in index order and stop claiming once the completed prefix covers the limit, and
+//!   the coordinator re-applies the exact lazy-pipeline visibility rule (an error in a morsel
+//!   is observed iff the morsels before it did not already satisfy the limit).
+//! * **row budgets** are enforced by falling back to the single-threaded vectorized pipeline:
+//!   the budget contract ("no operator may produce more than N rows, counted as the lazy
+//!   pipeline schedules work") is defined in terms of sequential pull order, which parallel
+//!   execution does not preserve. Timeouts stay active everywhere — every worker checks the
+//!   shared deadline per morsel and per 1024 join candidates.
+//!
+//! Error behaviour is deterministic: a failing region reports the error of the *lowest* morsel
+//! index (the one sequential execution would have hit first), and partitioned aggregation
+//! reports the error of the globally first failing row. The one intentional divergence from
+//! the lazy pipelines: parallel execution may evaluate input a `LIMIT` would have cut off
+//! below a pipeline breaker, so a runtime error hiding in that never-consumed remainder can
+//! surface here while the lazy pipelines return early — the differential suite therefore
+//! compares error behaviour on plans without that shape.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use perm_algebra::{
+    Array, DataChunk, JoinKind, LogicalPlan, ScalarExpr, SortOrder, Tuple, Value,
+    DEFAULT_CHUNK_SIZE,
+};
+use perm_storage::Relation;
+
+use crate::compile::{CompiledAggregate, CompiledExpr};
+use crate::error::ExecError;
+use crate::executor::{
+    hash_joinable, set_operation, split_equi_join_condition, strip_transparent, Accumulator,
+    EquiKey, ExecContext, Executor,
+};
+use crate::vector::{chunk_from_columns, project_chunk};
+
+/// Sentinel terminating a hash-join bucket chain.
+const CHAIN_END: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    jobs: std::collections::VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of worker threads shared by every query of an engine.
+///
+/// A pool of parallelism degree `n` owns `n - 1` background threads; the session thread that
+/// dispatches a parallel region participates as the n-th worker, so `WorkerPool::new(1)` runs
+/// everything on the calling thread (no cross-thread handoff at all) and degree-n execution
+/// uses exactly n cores. Multiple sessions may dispatch regions concurrently; morsels from all
+/// regions interleave on the same threads.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Create a pool of parallelism degree `workers` (clamped to at least 1); `workers - 1`
+    /// background threads are spawned eagerly.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers - 1)
+            .map(|i| {
+                let shared = shared.clone();
+                thread::Builder::new()
+                    .name(format!("perm-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles, workers }
+    }
+
+    /// The parallelism degree (background threads + the dispatching session thread).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The default parallelism degree: the number of logical CPUs.
+    pub fn default_workers() -> usize {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    fn submit(&self, job: Job) {
+        let mut state = self.shared.state.lock().expect("pool mutex");
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Run `task` over morsel indices `0..total`, fanning out across the pool while the calling
+    /// thread claims morsels too. Each task returns its result plus its *output row count*
+    /// (used for the shared LIMIT counter). Returns one slot per morsel; unclaimed morsels
+    /// (cut off by `stop_rows` or an earlier error) stay `None` and are always a suffix.
+    fn run_region<T, F>(
+        &self,
+        total: usize,
+        stop_rows: Option<usize>,
+        task: F,
+    ) -> Vec<Option<Result<T, ExecError>>>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> Result<(T, usize), ExecError> + Send + Sync + 'static,
+    {
+        if total == 0 {
+            return Vec::new();
+        }
+        // Degree-1 (or single-morsel) regions run inline with no shared state: same morsel
+        // order, same stop/error semantics, none of the synchronization.
+        if self.workers == 1 || total == 1 {
+            let stop = stop_rows.unwrap_or(usize::MAX);
+            let mut slots: Vec<Option<Result<T, ExecError>>> = (0..total).map(|_| None).collect();
+            let mut produced = 0usize;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if produced >= stop {
+                    break;
+                }
+                match task(i) {
+                    Ok((value, rows)) => {
+                        produced = produced.saturating_add(rows);
+                        *slot = Some(Ok(value));
+                    }
+                    Err(e) => {
+                        *slot = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            return slots;
+        }
+        let region = Arc::new(Region {
+            next: AtomicUsize::new(0),
+            produced: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            stop_rows: stop_rows.unwrap_or(usize::MAX),
+            total,
+            slots: Mutex::new((0..total).map(|_| None).collect()),
+            in_flight: Mutex::new(0),
+            idle: Condvar::new(),
+        });
+        let task = Arc::new(task);
+        // One claim-loop job per background thread (capped by the morsel count); the calling
+        // thread runs the same loop inline below. Jobs that start only after the region is
+        // already complete find nothing to claim and exit immediately — the dispatcher waits
+        // for *in-flight morsels*, never for queued jobs to be scheduled.
+        let helpers = (self.workers - 1).min(total.saturating_sub(1));
+        for _ in 0..helpers {
+            let region = region.clone();
+            let task = task.clone();
+            self.submit(Box::new(move || claim_loop(&region, &*task)));
+        }
+        claim_loop(&region, &*task);
+        // The inline loop exited, so no *new* morsel can be claimed (the morsels are exhausted,
+        // the stop target is covered, or the region aborted — all sticky conditions every
+        // claimer re-checks). Wait only for morsels other workers are still executing.
+        let mut in_flight = region.in_flight.lock().expect("region mutex");
+        while *in_flight > 0 {
+            in_flight = region.idle.wait(in_flight).expect("region condvar");
+        }
+        drop(in_flight);
+        let mut slots = region.slots.lock().expect("region mutex");
+        std::mem::take(&mut *slots)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool condvar");
+            }
+        };
+        job();
+    }
+}
+
+/// Shared state of one parallel region (one fan-out over a morsel list).
+struct Region<T> {
+    /// Next unclaimed morsel index: claims are strictly in index order, so at any instant the
+    /// claimed set is a prefix — the invariant the LIMIT early-stop and the deterministic
+    /// error selection below both rely on.
+    next: AtomicUsize,
+    /// Output rows of all *completed* morsels (the shared LIMIT counter).
+    produced: AtomicUsize,
+    abort: AtomicBool,
+    stop_rows: usize,
+    total: usize,
+    slots: Mutex<Vec<Option<Result<T, ExecError>>>>,
+    /// Morsels currently being executed by some worker. The dispatcher waits for this to hit
+    /// zero *after* its own claim loop exits — at that point no new claim can start, so zero
+    /// in-flight means the region is complete even if some helper jobs never got scheduled.
+    in_flight: Mutex<usize>,
+    idle: Condvar,
+}
+
+fn claim_loop<T, F>(region: &Region<T>, task: &F)
+where
+    F: Fn(usize) -> Result<(T, usize), ExecError>,
+{
+    loop {
+        // Register as in-flight *before* checking the exit conditions: the dispatcher declares
+        // the region complete when it observes zero in-flight after its own loop exits, and all
+        // three exit conditions (abort, stop target, exhausted indices) are sticky — so a
+        // straggler job that starts late either registers first (the dispatcher waits for it)
+        // or observes the sticky exit condition and leaves without claiming a morsel. Checking
+        // before registering would let a straggler claim a morsel after the dispatcher already
+        // harvested the result slots.
+        *region.in_flight.lock().expect("region mutex") += 1;
+        if region.abort.load(AtomicOrdering::Relaxed)
+            || region.produced.load(AtomicOrdering::Relaxed) >= region.stop_rows
+        {
+            finish_morsel(region);
+            return;
+        }
+        let i = region.next.fetch_add(1, AtomicOrdering::Relaxed);
+        if i >= region.total {
+            finish_morsel(region);
+            return;
+        }
+        let slot = match task(i) {
+            Ok((value, rows)) => {
+                region.produced.fetch_add(rows, AtomicOrdering::Relaxed);
+                Ok(value)
+            }
+            Err(e) => {
+                region.abort.store(true, AtomicOrdering::Relaxed);
+                Err(e)
+            }
+        };
+        region.slots.lock().expect("region mutex")[i] = Some(slot);
+        finish_morsel(region);
+    }
+}
+
+fn finish_morsel<T>(region: &Region<T>) {
+    let mut in_flight = region.in_flight.lock().expect("region mutex");
+    *in_flight -= 1;
+    if *in_flight == 0 {
+        region.idle.notify_all();
+    }
+}
+
+/// Fold a region's slots back into sequential-pipeline semantics: walk morsels in index order,
+/// stop once `stop_rows` output rows are covered (anything after is unobservable, exactly like
+/// batches a lazy LIMIT never pulls), and surface the first error. Unclaimed (`None`) slots
+/// are always behind either the stop point or an earlier error, so hitting one is unreachable
+/// once neither applies.
+fn collect_region<T>(
+    slots: Vec<Option<Result<T, ExecError>>>,
+    stop_rows: Option<usize>,
+    rows_of: impl Fn(&T) -> usize,
+) -> Result<Vec<T>, ExecError> {
+    let stop = stop_rows.unwrap_or(usize::MAX);
+    let mut out = Vec::with_capacity(slots.len());
+    let mut rows = 0usize;
+    for slot in slots {
+        if rows >= stop {
+            break;
+        }
+        match slot {
+            Some(Ok(value)) => {
+                rows = rows.saturating_add(rows_of(&value));
+                out.push(value);
+            }
+            Some(Err(e)) => return Err(e),
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Deterministic hash used to route keys to partitions (build and probe must agree across
+/// threads and runs; `DefaultHasher::new()` is unkeyed and stable).
+fn stable_hash(key: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The parallel plan walk.
+// ---------------------------------------------------------------------------
+
+impl Executor {
+    /// Execute a plan with morsel-driven parallelism on `pool`, returning a chunk-backed
+    /// [`Relation`] observably identical to [`Executor::execute`] (see the module docs for the
+    /// exact determinism guarantees). Queries with a row budget fall back to the
+    /// single-threaded vectorized pipeline, whose lazy pull order defines budget semantics.
+    pub fn execute_parallel(
+        &self,
+        plan: &LogicalPlan,
+        pool: &WorkerPool,
+    ) -> Result<Relation, ExecError> {
+        let ctx = self.context();
+        if ctx.row_budget().is_some() {
+            return self.execute(plan);
+        }
+        let schema = plan.schema();
+        let chunks = self.par_chunks(plan, ctx, pool, None)?;
+        Ok(Relation::from_chunks(schema, chunks))
+    }
+
+    /// Evaluate `plan` to a materialized chunk list, parallelizing every operator. `limit`
+    /// carries a downstream LIMIT's row target into the directly-feeding morsel region so it
+    /// can stop claiming morsels early (shared atomic counter; see [`Region`]).
+    fn par_chunks(
+        &self,
+        plan: &LogicalPlan,
+        ctx: ExecContext,
+        pool: &WorkerPool,
+        limit: Option<usize>,
+    ) -> Result<Vec<DataChunk>, ExecError> {
+        match plan {
+            LogicalPlan::BaseRelation { name, schema, .. } => {
+                ctx.check_deadline()?;
+                let rel = self.snapshot().table(name)?;
+                if rel.schema().arity() != schema.arity() {
+                    return Err(ExecError::Internal(format!(
+                        "stored table '{name}' has arity {} but the plan expects {}",
+                        rel.schema().arity(),
+                        schema.arity()
+                    )));
+                }
+                Ok(rel.chunks().as_ref().clone())
+            }
+            LogicalPlan::Values { rows, .. } => {
+                ctx.check_deadline()?;
+                Ok(rows_to_chunks(rows, plan.output_arity()))
+            }
+            LogicalPlan::Selection { input, predicate } => {
+                let predicate = CompiledExpr::compile(predicate, self, ctx)?;
+                let source = self.par_source(input, ctx, pool)?;
+                map_region(pool, ctx, source, Some(predicate), None, limit)
+            }
+            LogicalPlan::Projection { input, exprs, distinct } => {
+                let exprs: Vec<CompiledExpr> = exprs
+                    .iter()
+                    .map(|(e, _)| CompiledExpr::compile(e, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                // Fuse a selection below the projection into the same morsel task, mirroring
+                // the scan fusion of the sequential pipelines.
+                let (source, predicate) = match strip_transparent(input) {
+                    LogicalPlan::Selection { input: sel_input, predicate } => {
+                        let predicate = CompiledExpr::compile(predicate, self, ctx)?;
+                        (self.par_source(sel_input, ctx, pool)?, Some(predicate))
+                    }
+                    _ => (self.par_source(input, ctx, pool)?, None),
+                };
+                // DISTINCT consumes the whole input (its output count says nothing about how
+                // many input morsels are needed), so the limit hint stops at it.
+                let hint = if *distinct { None } else { limit };
+                let projected = map_region(pool, ctx, source, predicate, Some(exprs), hint)?;
+                if *distinct {
+                    Ok(distinct_chunks(&projected))
+                } else {
+                    Ok(projected)
+                }
+            }
+            LogicalPlan::Join { left, right, kind, condition } => {
+                self.par_join(left, right, *kind, condition.as_ref(), ctx, pool, limit)
+            }
+            LogicalPlan::Aggregation { input, group_by, aggregates } => {
+                let group_by: Vec<CompiledExpr> = group_by
+                    .iter()
+                    .map(|(e, _)| CompiledExpr::compile(e, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                let aggregates: Vec<CompiledAggregate> = aggregates
+                    .iter()
+                    .map(|(a, _)| CompiledAggregate::compile(a, self, ctx))
+                    .collect::<Result<_, _>>()?;
+                let input = self.par_chunks(input, ctx, pool, None)?;
+                let rows = par_aggregate(pool, ctx, input, group_by, aggregates)?;
+                Ok(rows_to_chunks(&rows, plan.output_arity()))
+            }
+            LogicalPlan::SetOp { left, right, kind, semantics } => {
+                let left_rows = self.par_tuples(left, ctx, pool)?;
+                let right_rows = self.par_tuples(right, ctx, pool)?;
+                let out = set_operation(left_rows, right_rows, *kind, *semantics);
+                Ok(rows_to_chunks(&out, plan.output_arity()))
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let compiled: Vec<(CompiledExpr, SortOrder)> = keys
+                    .iter()
+                    .map(|k| Ok((CompiledExpr::compile(&k.expr, self, ctx)?, k.order)))
+                    .collect::<Result<_, ExecError>>()?;
+                let chunks = self.par_chunks(input, ctx, pool, None)?;
+                par_sort(pool, ctx, plan.output_arity(), chunks, compiled)
+            }
+            LogicalPlan::Limit { input, limit: n, offset } => {
+                let needed = n.map(|n| n.saturating_add(*offset));
+                let chunks = self.par_chunks(input, ctx, pool, needed)?;
+                Ok(apply_limit(chunks, *n, *offset))
+            }
+            LogicalPlan::SubqueryAlias { input, .. }
+            | LogicalPlan::ProvenanceAnnotation { input, .. } => {
+                self.par_chunks(input, ctx, pool, limit)
+            }
+        }
+    }
+
+    /// The input chunk list of a morsel region: base relations hand out their cached storage
+    /// chunks directly (an `Arc` bump per chunk — the fused-scan fast path), everything else
+    /// materializes recursively.
+    fn par_source(
+        &self,
+        input: &LogicalPlan,
+        ctx: ExecContext,
+        pool: &WorkerPool,
+    ) -> Result<Arc<Vec<DataChunk>>, ExecError> {
+        Ok(Arc::new(self.par_chunks(input, ctx, pool, None)?))
+    }
+
+    /// Materialize a sub-plan as tuples, converting chunks to rows morsel-parallel (the
+    /// row-shaped edge used by the multiset algebra of set operations).
+    fn par_tuples(
+        &self,
+        plan: &LogicalPlan,
+        ctx: ExecContext,
+        pool: &WorkerPool,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let chunks = Arc::new(self.par_chunks(plan, ctx, pool, None)?);
+        let source = chunks.clone();
+        let slots = pool.run_region(chunks.len(), None, move |i| {
+            ctx.check_deadline()?;
+            let rows: Vec<Tuple> = source[i].iter_tuples().collect();
+            let n = rows.len();
+            Ok((rows, n))
+        });
+        let batches = collect_region(slots, None, |batch: &Vec<Tuple>| batch.len())?;
+        Ok(batches.into_iter().flatten().collect())
+    }
+
+    /// Parallel join: recursive build + partitioned hash table + morsel-parallel probe.
+    #[allow(clippy::too_many_arguments)]
+    fn par_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        kind: JoinKind,
+        condition: Option<&ScalarExpr>,
+        ctx: ExecContext,
+        pool: &WorkerPool,
+        limit: Option<usize>,
+    ) -> Result<Vec<DataChunk>, ExecError> {
+        let left_arity = left.output_arity();
+        let right_arity = right.output_arity();
+        let build_chunks = self.par_chunks(right, ctx, pool, None)?;
+        let build = Arc::new(DataChunk::concat(right_arity, &build_chunks));
+        let (equi_keys, residual) = match condition {
+            Some(c) => split_equi_join_condition(c, left_arity),
+            None => (Vec::new(), Vec::new()),
+        };
+        let (mode, filter) = if equi_keys.is_empty() {
+            let filter = condition.map(|c| CompiledExpr::compile(c, self, ctx)).transpose()?;
+            (ParJoinMode::Loop, filter)
+        } else {
+            let filter = if residual.is_empty() {
+                None
+            } else {
+                Some(CompiledExpr::compile(
+                    &ScalarExpr::conjunction(residual.into_iter().cloned().collect()),
+                    self,
+                    ctx,
+                )?)
+            };
+            // `EquiKey.right` indexes the combined schema; rebase it onto the build side.
+            let build_keys: Vec<EquiKey> = equi_keys
+                .iter()
+                .map(|k| EquiKey { left: k.left, right: k.right - left_arity, ..*k })
+                .collect();
+            let table = build_partitioned_table(pool, ctx, &build, build_keys)?;
+            (ParJoinMode::Hash(table), filter)
+        };
+        let probe_chunks = Arc::new(self.par_chunks(left, ctx, pool, None)?);
+        // Matched-build-row flags, shared across probe workers (right/full outer only).
+        let matched: Option<Arc<Vec<AtomicBool>>> =
+            matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter)
+                .then(|| Arc::new((0..build.num_rows()).map(|_| AtomicBool::new(false)).collect()));
+
+        let task_probe = probe_chunks.clone();
+        let task_build = build.clone();
+        let task_mode = mode;
+        let task_matched = matched.clone();
+        let slots = pool.run_region(probe_chunks.len(), limit, move |i| {
+            let out = probe_morsel(
+                &task_probe[i],
+                &task_build,
+                &task_mode,
+                filter.as_ref(),
+                kind,
+                task_matched.as_deref().map(|v| &**v),
+                ctx,
+            )?;
+            let rows = out.iter().map(DataChunk::num_rows).sum();
+            Ok((out, rows))
+        });
+        let batches = collect_region(slots, limit, |b: &Vec<DataChunk>| {
+            b.iter().map(DataChunk::num_rows).sum()
+        })?;
+        let mut out: Vec<DataChunk> = batches.into_iter().flatten().collect();
+
+        // Drain null-padded unmatched build rows — unless a satisfied LIMIT means the lazy
+        // pipeline would never have reached the drain phase.
+        if let Some(matched) = matched {
+            let probe_rows: usize = out.iter().map(DataChunk::num_rows).sum();
+            if limit.is_none_or(|needed| probe_rows < needed) {
+                let mut indices: Vec<u32> = Vec::new();
+                for (i, flag) in matched.iter().enumerate() {
+                    if !flag.load(AtomicOrdering::Relaxed) {
+                        indices.push(i as u32);
+                    }
+                }
+                for batch in indices.chunks(DEFAULT_CHUNK_SIZE) {
+                    ctx.check_deadline()?;
+                    let mut columns = Vec::with_capacity(left_arity + right_arity);
+                    for _ in 0..left_arity {
+                        columns.push(Arc::new(Array::Null { len: batch.len() }));
+                    }
+                    for c in 0..right_arity {
+                        columns.push(Arc::new(build.column(c).take(batch)));
+                    }
+                    out.push(chunk_from_columns(columns, batch.len()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Parallel filter/project over a chunk list: one morsel per input chunk, each worker masking,
+/// compacting and projecting independently; empty outputs are dropped, order is morsel order.
+fn map_region(
+    pool: &WorkerPool,
+    ctx: ExecContext,
+    source: Arc<Vec<DataChunk>>,
+    predicate: Option<CompiledExpr>,
+    exprs: Option<Vec<CompiledExpr>>,
+    limit: Option<usize>,
+) -> Result<Vec<DataChunk>, ExecError> {
+    let task_source = source.clone();
+    let slots = pool.run_region(source.len(), limit, move |i| {
+        ctx.check_deadline()?;
+        let chunk = &task_source[i];
+        let filtered = match &predicate {
+            Some(p) => {
+                let mask = p.eval_mask(chunk)?;
+                chunk.filter(&mask)
+            }
+            None => chunk.clone(),
+        };
+        let out = match &exprs {
+            Some(exprs) => project_chunk(exprs, &filtered)?,
+            None => filtered,
+        };
+        let rows = out.num_rows();
+        Ok((out, rows))
+    });
+    let chunks = collect_region(slots, limit, DataChunk::num_rows)?;
+    Ok(chunks.into_iter().filter(|c| !c.is_empty()).collect())
+}
+
+/// Sequential chunk-wise DISTINCT (first occurrence wins), applied after a parallel projection.
+fn distinct_chunks(chunks: &[DataChunk]) -> Vec<DataChunk> {
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut out = Vec::new();
+    for chunk in chunks {
+        let mask: Vec<bool> =
+            (0..chunk.num_rows()).map(|i| seen.insert(chunk.tuple_at(i))).collect();
+        let filtered = chunk.filter(&mask);
+        if !filtered.is_empty() {
+            out.push(filtered);
+        }
+    }
+    out
+}
+
+/// Re-chunk materialized rows into `DEFAULT_CHUNK_SIZE` batches.
+fn rows_to_chunks(rows: &[Tuple], arity: usize) -> Vec<DataChunk> {
+    rows.chunks(DEFAULT_CHUNK_SIZE).map(|batch| DataChunk::from_tuples(arity, batch)).collect()
+}
+
+/// Slice a materialized chunk list down to `LIMIT limit OFFSET offset`.
+fn apply_limit(chunks: Vec<DataChunk>, limit: Option<usize>, offset: usize) -> Vec<DataChunk> {
+    let mut to_skip = offset;
+    let mut remaining = limit.unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    for chunk in chunks {
+        if remaining == 0 {
+            break;
+        }
+        let mut chunk = chunk;
+        if to_skip > 0 {
+            if to_skip >= chunk.num_rows() {
+                to_skip -= chunk.num_rows();
+                continue;
+            }
+            chunk = chunk.slice(to_skip, chunk.num_rows() - to_skip);
+            to_skip = 0;
+        }
+        if chunk.num_rows() > remaining {
+            chunk = chunk.slice(0, remaining);
+        }
+        remaining -= chunk.num_rows();
+        if !chunk.is_empty() {
+            out.push(chunk);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash join.
+// ---------------------------------------------------------------------------
+
+/// The key → first-build-row maps of one partitioned join table.
+enum ParKeyMaps {
+    Single(Vec<HashMap<Value, u32>>),
+    Multi(Vec<HashMap<Tuple, u32>>),
+}
+
+/// A hash-join table built partition-parallel: build rows are routed to `maps.len()` key-hash
+/// partitions, each built by one worker. `next` chains same-key rows in increasing build-row
+/// order (the nested-loop candidate order), exactly like the sequential pipelines.
+struct ParHashTable {
+    keys: Vec<EquiKey>,
+    maps: ParKeyMaps,
+    next: Vec<u32>,
+    nparts: usize,
+}
+
+enum ParJoinMode {
+    Hash(ParHashTable),
+    Loop,
+}
+
+/// The per-row key hashes of the build side, computed morsel-parallel (`None` = the row cannot
+/// participate in hash matching: a NULL or NaN key under plain `=`). With a single partition
+/// no routing is needed, so only joinability is computed (hash 0).
+fn build_key_hashes(
+    pool: &WorkerPool,
+    ctx: ExecContext,
+    build: &Arc<DataChunk>,
+    keys: &Arc<Vec<EquiKey>>,
+    nparts: usize,
+) -> Result<Vec<Option<u64>>, ExecError> {
+    let rows = build.num_rows();
+    let morsels = rows.div_ceil(DEFAULT_CHUNK_SIZE);
+    let build = build.clone();
+    let keys = keys.clone();
+    let slots = pool.run_region(morsels, None, move |m| {
+        ctx.check_deadline()?;
+        let start = m * DEFAULT_CHUNK_SIZE;
+        let len = DEFAULT_CHUNK_SIZE.min(build.num_rows() - start);
+        let mut out = Vec::with_capacity(len);
+        for i in start..start + len {
+            out.push(hash_build_row(&build, &keys, i, nparts > 1));
+        }
+        Ok((out, 0))
+    });
+    let parts = collect_region(slots, None, |_| 0)?;
+    Ok(parts.into_iter().flatten().collect())
+}
+
+/// Key hash of build row `i`, or `None` when the row cannot match (NULL/NaN under `=`).
+/// `keys[..].right` must already be rebased onto the build side. With `route` false only
+/// joinability is decided (the hash is never used for routing).
+fn hash_build_row(build: &DataChunk, keys: &[EquiKey], i: usize, route: bool) -> Option<u64> {
+    if keys.len() == 1 {
+        let v = build.column(keys[0].right).value(i);
+        hash_joinable(&v, keys[0].null_safe).then(|| if route { stable_hash(&v) } else { 0 })
+    } else {
+        let mut hasher = DefaultHasher::new();
+        for k in keys {
+            let v = build.column(k.right).value(i);
+            if !hash_joinable(&v, k.null_safe) {
+                return None;
+            }
+            if route {
+                v.hash(&mut hasher);
+            }
+        }
+        Some(hasher.finish())
+    }
+}
+
+/// Build the partitioned hash table: parallel key hashing, then one worker per partition
+/// inserting its rows (in reverse global order, so bucket chains run forward).
+fn build_partitioned_table(
+    pool: &WorkerPool,
+    ctx: ExecContext,
+    build: &Arc<DataChunk>,
+    keys: Vec<EquiKey>,
+) -> Result<ParHashTable, ExecError> {
+    let rows = build.num_rows();
+    let keys = Arc::new(keys);
+    let nparts = pool.workers();
+    let hashes = Arc::new(build_key_hashes(pool, ctx, build, &keys, nparts)?);
+    let single = keys.len() == 1;
+
+    // Each partition task returns its key map plus the chain links of its rows; links are
+    // merged into the global `next` vector afterwards (disjoint row sets, so no contention).
+    enum PartOut {
+        Single(HashMap<Value, u32>, Vec<(u32, u32)>),
+        Multi(HashMap<Tuple, u32>, Vec<(u32, u32)>),
+    }
+    let task_build = build.clone();
+    let task_keys = keys.clone();
+    let task_hashes = hashes.clone();
+    let slots = pool.run_region(nparts, None, move |p| {
+        ctx.check_deadline()?;
+        let mut links: Vec<(u32, u32)> = Vec::new();
+        let mut since_check = 0usize;
+        if single {
+            let key = task_keys[0];
+            let col = task_build.column(key.right);
+            let mut map: HashMap<Value, u32> = HashMap::new();
+            for i in (0..task_hashes.len()).rev() {
+                since_check += 1;
+                if since_check & 0xFFF == 0 {
+                    ctx.check_deadline()?;
+                }
+                let Some(h) = task_hashes[i] else { continue };
+                if nparts > 1 && h as usize % nparts != p {
+                    continue;
+                }
+                if let Some(prev) = map.insert(col.value(i), i as u32) {
+                    links.push((i as u32, prev));
+                }
+            }
+            Ok((PartOut::Single(map, links), 0))
+        } else {
+            let mut map: HashMap<Tuple, u32> = HashMap::new();
+            for i in (0..task_hashes.len()).rev() {
+                since_check += 1;
+                if since_check & 0xFFF == 0 {
+                    ctx.check_deadline()?;
+                }
+                let Some(h) = task_hashes[i] else { continue };
+                if nparts > 1 && h as usize % nparts != p {
+                    continue;
+                }
+                let values: Vec<Value> =
+                    task_keys.iter().map(|k| task_build.column(k.right).value(i)).collect();
+                if let Some(prev) = map.insert(Tuple::new(values), i as u32) {
+                    links.push((i as u32, prev));
+                }
+            }
+            Ok((PartOut::Multi(map, links), 0))
+        }
+    });
+    let parts = collect_region(slots, None, |_| 0)?;
+
+    let mut next = vec![CHAIN_END; rows];
+    let mut singles = Vec::new();
+    let mut multis = Vec::new();
+    for part in parts {
+        match part {
+            PartOut::Single(map, links) => {
+                for (i, prev) in links {
+                    next[i as usize] = prev;
+                }
+                singles.push(map);
+            }
+            PartOut::Multi(map, links) => {
+                for (i, prev) in links {
+                    next[i as usize] = prev;
+                }
+                multis.push(map);
+            }
+        }
+    }
+    let maps = if single { ParKeyMaps::Single(singles) } else { ParKeyMaps::Multi(multis) };
+    Ok(ParHashTable { keys: (*keys).clone(), maps, next, nparts })
+}
+
+impl ParHashTable {
+    /// The bucket-chain start for probe row `row`, or [`CHAIN_END`] when it cannot match.
+    fn chain_start(&self, probe: &DataChunk, row: usize) -> u32 {
+        match &self.maps {
+            ParKeyMaps::Single(parts) => {
+                let key = self.keys[0];
+                let v = probe.column(key.left).value(row);
+                if !hash_joinable(&v, key.null_safe) {
+                    return CHAIN_END;
+                }
+                let p = if self.nparts > 1 { stable_hash(&v) as usize % self.nparts } else { 0 };
+                parts[p].get(&v).copied().unwrap_or(CHAIN_END)
+            }
+            ParKeyMaps::Multi(parts) => {
+                let mut values = Vec::with_capacity(self.keys.len());
+                let mut hasher = DefaultHasher::new();
+                for k in &self.keys {
+                    let v = probe.column(k.left).value(row);
+                    if !hash_joinable(&v, k.null_safe) {
+                        return CHAIN_END;
+                    }
+                    v.hash(&mut hasher);
+                    values.push(v);
+                }
+                let p = if self.nparts > 1 { hasher.finish() as usize % self.nparts } else { 0 };
+                parts[p].get(&Tuple::new(values)).copied().unwrap_or(CHAIN_END)
+            }
+        }
+    }
+}
+
+/// Probe one morsel (one probe chunk) against the shared build side, emitting gathered output
+/// batches. Candidate order per probe row is build-row order, so the output row sequence
+/// equals the sequential pipelines'.
+fn probe_morsel(
+    probe: &DataChunk,
+    build: &DataChunk,
+    mode: &ParJoinMode,
+    filter: Option<&CompiledExpr>,
+    kind: JoinKind,
+    matched: Option<&[AtomicBool]>,
+    ctx: ExecContext,
+) -> Result<Vec<DataChunk>, ExecError> {
+    let left_arity = probe.num_columns();
+    let right_arity = build.num_columns();
+    let mut out = Vec::new();
+    let mut left_idx: Vec<u32> = Vec::new();
+    let mut right_idx: Vec<u32> = Vec::new();
+    let mut pads = 0usize;
+    let mut evals = 0usize;
+
+    let flush = |left_idx: &mut Vec<u32>,
+                 right_idx: &mut Vec<u32>,
+                 pads: &mut usize,
+                 out: &mut Vec<DataChunk>| {
+        if left_idx.is_empty() {
+            return;
+        }
+        let rows = left_idx.len();
+        let mut columns = Vec::with_capacity(left_arity + right_arity);
+        for c in 0..left_arity {
+            columns.push(Arc::new(probe.column(c).take(left_idx)));
+        }
+        if *pads == 0 {
+            for c in 0..right_arity {
+                columns.push(Arc::new(build.column(c).take(right_idx)));
+            }
+        } else {
+            let opt: Vec<Option<u32>> =
+                right_idx.iter().map(|&i| (i != u32::MAX).then_some(i)).collect();
+            for c in 0..right_arity {
+                columns.push(Arc::new(build.column(c).take_opt(&opt)));
+            }
+        }
+        left_idx.clear();
+        right_idx.clear();
+        *pads = 0;
+        out.push(chunk_from_columns(columns, rows));
+    };
+
+    for row in 0..probe.num_rows() {
+        let mut cursor: ProbeCursor = match mode {
+            ParJoinMode::Hash(table) => ProbeCursor::Chain(table.chain_start(probe, row)),
+            ParJoinMode::Loop => ProbeCursor::Index(0),
+        };
+        let mut probe_tuple: Option<Tuple> = None;
+        let mut row_matched = false;
+        loop {
+            let candidate = match &mut cursor {
+                ProbeCursor::Chain(pos) => {
+                    if *pos == CHAIN_END {
+                        break;
+                    }
+                    let i = *pos as usize;
+                    let ParJoinMode::Hash(table) = mode else {
+                        unreachable!("chain cursor implies hash mode");
+                    };
+                    *pos = table.next[i];
+                    i
+                }
+                ProbeCursor::Index(pos) => {
+                    if *pos >= build.num_rows() {
+                        break;
+                    }
+                    let i = *pos;
+                    *pos += 1;
+                    i
+                }
+            };
+            evals += 1;
+            if evals & 0x3FF == 0 {
+                ctx.check_deadline()?;
+            }
+            let keep = match filter {
+                None => true,
+                Some(f) => {
+                    let left = probe_tuple.get_or_insert_with(|| probe.tuple_at(row));
+                    let combined = left.concat(&build.tuple_at(candidate));
+                    f.eval_predicate(&combined)?
+                }
+            };
+            if keep {
+                row_matched = true;
+                if let Some(flags) = matched {
+                    flags[candidate].store(true, AtomicOrdering::Relaxed);
+                }
+                left_idx.push(row as u32);
+                right_idx.push(candidate as u32);
+                if left_idx.len() >= DEFAULT_CHUNK_SIZE {
+                    flush(&mut left_idx, &mut right_idx, &mut pads, &mut out);
+                }
+            }
+        }
+        if !row_matched && matches!(kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
+            left_idx.push(row as u32);
+            right_idx.push(u32::MAX);
+            pads += 1;
+            if left_idx.len() >= DEFAULT_CHUNK_SIZE {
+                flush(&mut left_idx, &mut right_idx, &mut pads, &mut out);
+            }
+        }
+    }
+    flush(&mut left_idx, &mut right_idx, &mut pads, &mut out);
+    Ok(out)
+}
+
+/// Probe-side position within one probe row's candidates.
+enum ProbeCursor {
+    Chain(u32),
+    Index(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel aggregation.
+// ---------------------------------------------------------------------------
+
+/// Per-morsel evaluated aggregation inputs (phase 1 output).
+struct AggMorsel {
+    keys: Vec<Arc<Array>>,
+    args: Vec<Option<Arc<Array>>>,
+    hashes: Vec<u64>,
+    rows: usize,
+}
+
+/// Parallel hash aggregation in two morsel-parallel phases.
+///
+/// Phase 1 evaluates group-key and argument columns per morsel (vectorized, embarrassingly
+/// parallel) and computes a stable per-row key hash. Phase 2 assigns each key-hash partition
+/// to one worker, which folds *every* morsel's rows of its partition in global row order —
+/// each group lives in exactly one partition, so its accumulator sees values in the identical
+/// order to sequential execution (bit-identical float sums, identical overflow errors).
+/// Results are restored to global first-seen order.
+fn par_aggregate(
+    pool: &WorkerPool,
+    ctx: ExecContext,
+    input: Vec<DataChunk>,
+    group_by: Vec<CompiledExpr>,
+    aggregates: Vec<CompiledAggregate>,
+) -> Result<Vec<Tuple>, ExecError> {
+    let input: Vec<DataChunk> = input.into_iter().filter(|c| !c.is_empty()).collect();
+    if input.is_empty() {
+        // A global aggregation over an empty input still yields one row.
+        if group_by.is_empty() {
+            let values: Vec<Value> =
+                aggregates.iter().map(|a| Accumulator::new(&a.spec).finish()).collect();
+            return Ok(vec![Tuple::new(values)]);
+        }
+        return Ok(Vec::new());
+    }
+
+    // Phase 1: evaluate key/argument columns and key hashes, morsel-parallel.
+    let nparts = pool.workers();
+    let source = Arc::new(input);
+    let task_source = source.clone();
+    let task_group_by = Arc::new(group_by);
+    let task_aggregates = Arc::new(aggregates);
+    let phase1_group_by = task_group_by.clone();
+    let phase1_aggregates = task_aggregates.clone();
+    let slots = pool.run_region(source.len(), None, move |m| {
+        ctx.check_deadline()?;
+        let chunk = &task_source[m];
+        let keys: Vec<Arc<Array>> =
+            phase1_group_by.iter().map(|e| e.eval_array(chunk)).collect::<Result<_, _>>()?;
+        let args: Vec<Option<Arc<Array>>> = phase1_aggregates
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.eval_array(chunk)).transpose())
+            .collect::<Result<_, _>>()?;
+        // With a single partition every row lands in it; skip the routing hash entirely.
+        let hashes: Vec<u64> = if nparts > 1 {
+            (0..chunk.num_rows())
+                .map(|i| {
+                    let mut hasher = DefaultHasher::new();
+                    for k in &keys {
+                        k.value(i).hash(&mut hasher);
+                    }
+                    hasher.finish()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok((AggMorsel { keys, args, hashes, rows: chunk.num_rows() }, 0))
+    });
+    let morsels = Arc::new(collect_region(slots, None, |_| 0)?);
+
+    // Phase 2: one worker per key-hash partition, folding rows in global order.
+    struct PartGroups {
+        /// `(first_seen_position, key, accumulators)` in partition-local first-seen order.
+        groups: Vec<(u64, Tuple, Vec<Accumulator>)>,
+        /// Globally positioned first error, if any row of this partition failed.
+        error: Option<(u64, ExecError)>,
+    }
+    let task_morsels = morsels.clone();
+    let phase2_aggregates = task_aggregates.clone();
+    let slots = pool.run_region(nparts, None, move |p| {
+        ctx.check_deadline()?;
+        let mut index: HashMap<Tuple, usize> = HashMap::new();
+        let mut groups: Vec<(u64, Tuple, Vec<Accumulator>)> = Vec::new();
+        let mut since_check = 0usize;
+        for (m, morsel) in task_morsels.iter().enumerate() {
+            for i in 0..morsel.rows {
+                since_check += 1;
+                if since_check & 0xFFF == 0 {
+                    ctx.check_deadline()?;
+                }
+                if nparts > 1 && morsel.hashes[i] as usize % nparts != p {
+                    continue;
+                }
+                let pos = ((m as u64) << 32) | i as u64;
+                let key = Tuple::new(morsel.keys.iter().map(|k| k.value(i)).collect());
+                let slot = match index.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let accs: Vec<Accumulator> =
+                            phase2_aggregates.iter().map(|a| Accumulator::new(&a.spec)).collect();
+                        groups.push((pos, key.clone(), accs));
+                        index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                for (arg, acc) in morsel.args.iter().zip(groups[slot].2.iter_mut()) {
+                    if let Err(e) = acc.update(arg.as_ref().map(|a| a.value(i))) {
+                        return Ok((PartGroups { groups, error: Some((pos, e)) }, 0));
+                    }
+                }
+            }
+        }
+        Ok((PartGroups { groups, error: None }, 0))
+    });
+    let parts = collect_region(slots, None, |_| 0)?;
+
+    // Surface the globally first failing row's error (what sequential execution reports).
+    if let Some((_, e)) = parts.iter().filter_map(|p| p.error.as_ref()).min_by_key(|(pos, _)| *pos)
+    {
+        return Err(e.clone());
+    }
+
+    // Merge partitions back into global first-seen order.
+    let mut all: Vec<(u64, Tuple, Vec<Accumulator>)> =
+        parts.into_iter().flat_map(|p| p.groups).collect();
+    all.sort_unstable_by_key(|(pos, _, _)| *pos);
+    Ok(all
+        .into_iter()
+        .map(|(_, key, accs)| {
+            let mut values = key.into_values();
+            values.extend(accs.into_iter().map(Accumulator::finish));
+            Tuple::new(values)
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sort.
+// ---------------------------------------------------------------------------
+
+/// One sorted run: the key columns of a row range plus its locally sorted permutation.
+struct SortRun {
+    keys: Vec<Arc<Array>>,
+}
+
+/// Parallel sort: key extraction and run sorting per morsel, then a sequential merge of the
+/// sorted runs. Ties break on global row index (a stable sort by key), so the permutation is
+/// deterministic regardless of worker count.
+fn par_sort(
+    pool: &WorkerPool,
+    ctx: ExecContext,
+    arity: usize,
+    chunks: Vec<DataChunk>,
+    keys: Vec<(CompiledExpr, SortOrder)>,
+) -> Result<Vec<DataChunk>, ExecError> {
+    let flat = Arc::new(DataChunk::concat(arity, &chunks));
+    let rows = flat.num_rows();
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    let morsels = rows.div_ceil(DEFAULT_CHUNK_SIZE);
+    let keys = Arc::new(keys);
+    let task_flat = flat.clone();
+    let task_keys = keys.clone();
+    let slots = pool.run_region(morsels, None, move |m| {
+        ctx.check_deadline()?;
+        let start = m * DEFAULT_CHUNK_SIZE;
+        let len = DEFAULT_CHUNK_SIZE.min(task_flat.num_rows() - start);
+        let piece = task_flat.slice(start, len);
+        let key_cols: Vec<Arc<Array>> =
+            task_keys.iter().map(|(e, _)| e.eval_array(&piece)).collect::<Result<_, _>>()?;
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            compare_keys(&key_cols, a as usize, &key_cols, b as usize, &task_keys).then(a.cmp(&b))
+        });
+        let run: Vec<u32> = order.into_iter().map(|i| start as u32 + i).collect();
+        Ok(((SortRun { keys: key_cols }, run), 0))
+    });
+    let extracted = collect_region(slots, None, |_| 0)?;
+    let (runs_keys, mut runs): (Vec<SortRun>, Vec<Vec<u32>>) = extracted.into_iter().unzip();
+
+    // Global comparator: map a global row index onto its run's key columns.
+    let cmp = |a: u32, b: u32| -> std::cmp::Ordering {
+        let (ra, la) = (a as usize / DEFAULT_CHUNK_SIZE, a as usize % DEFAULT_CHUNK_SIZE);
+        let (rb, lb) = (b as usize / DEFAULT_CHUNK_SIZE, b as usize % DEFAULT_CHUNK_SIZE);
+        compare_keys(&runs_keys[ra].keys, la, &runs_keys[rb].keys, lb, &keys).then(a.cmp(&b))
+    };
+
+    // Pairwise merge rounds until one run remains.
+    while runs.len() > 1 {
+        ctx.check_deadline()?;
+        let mut merged = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => merged.push(merge_runs(a, b, cmp)),
+                None => merged.push(a),
+            }
+        }
+        runs = merged;
+    }
+    let order = runs.pop().unwrap_or_default();
+    Ok(order.chunks(DEFAULT_CHUNK_SIZE).map(|batch| flat.take(batch)).collect())
+}
+
+/// Compare two rows by their evaluated key columns under the sort key orders.
+fn compare_keys(
+    a: &[Arc<Array>],
+    i: usize,
+    b: &[Arc<Array>],
+    j: usize,
+    keys: &[(CompiledExpr, SortOrder)],
+) -> std::cmp::Ordering {
+    for ((ca, cb), (_, order)) in a.iter().zip(b.iter()).zip(keys) {
+        let ord = ca.compare(i, cb, j);
+        let ord = match order {
+            SortOrder::Ascending => ord,
+            SortOrder::Descending => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Merge two sorted runs of global row indices.
+fn merge_runs(a: Vec<u32>, b: Vec<u32>, cmp: impl Fn(u32, u32) -> std::cmp::Ordering) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(a[i], b[j]) != std::cmp::Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::test_fixtures::paper_example_catalog;
+    use crate::executor::ExecOptions;
+    use perm_algebra::{
+        tuple, AggregateExpr, AggregateFunction, DataType, PlanBuilder, Schema, SetOpKind,
+        SetSemantics, SortKey,
+    };
+    use perm_storage::Catalog;
+
+    fn scan(catalog: &Catalog, table: &str, ref_id: usize) -> PlanBuilder {
+        PlanBuilder::scan(table, catalog.table_schema(table).unwrap(), ref_id)
+    }
+
+    /// A `(k, v)` integer table big enough to span several morsels.
+    fn big_catalog(rows: usize) -> Catalog {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let tuples: Vec<Tuple> = (0..rows as i64).map(|i| tuple![i % 97, i % 13]).collect();
+        catalog.create_table_with_data("t", Relation::from_parts(schema, tuples)).unwrap();
+        catalog
+    }
+
+    fn assert_parallel_matches(catalog: &Catalog, plan: &LogicalPlan, workers: usize) {
+        let pool = WorkerPool::new(workers);
+        let executor = Executor::new(catalog.clone());
+        let parallel = executor.execute_parallel(plan, &pool).unwrap();
+        let vectorized = executor.execute(plan).unwrap();
+        assert_eq!(
+            parallel.tuples(),
+            vectorized.tuples(),
+            "parallel != vectorized at {workers} workers on\n{plan}"
+        );
+    }
+
+    #[test]
+    fn filter_project_pipeline_matches_vectorized() {
+        let catalog = big_catalog(5000);
+        let t = scan(&catalog, "t", 0);
+        let pred = t.col("k").unwrap().eq(ScalarExpr::literal(7i64));
+        let plan = t.filter(pred).project(vec![(ScalarExpr::column(1, "v"), "v".into())]).build();
+        for workers in [1, 2, 8] {
+            assert_parallel_matches(&catalog, &plan, workers);
+        }
+    }
+
+    #[test]
+    fn hash_join_and_outer_joins_match_vectorized() {
+        let catalog = big_catalog(3000);
+        for kind in
+            [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::RightOuter, JoinKind::FullOuter]
+        {
+            let cond = ScalarExpr::column(0, "k").eq(ScalarExpr::column(2, "k"));
+            let filtered = scan(&catalog, "t", 1)
+                .filter(ScalarExpr::column(1, "v").eq(ScalarExpr::literal(3i64)));
+            let plan = scan(&catalog, "t", 0).join(filtered, kind, Some(cond)).build();
+            for workers in [1, 4] {
+                assert_parallel_matches(&catalog, &plan, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_sort_setop_and_limit_match_vectorized() {
+        let catalog = big_catalog(4000);
+        let agg = scan(&catalog, "t", 0)
+            .aggregate(
+                vec![(ScalarExpr::column(0, "k"), "k".into())],
+                vec![(
+                    AggregateExpr::new(AggregateFunction::Sum, ScalarExpr::column(1, "v")),
+                    "s".into(),
+                )],
+            )
+            .build();
+        let sorted = scan(&catalog, "t", 0)
+            .sort(vec![
+                SortKey::desc(ScalarExpr::column(1, "v")),
+                SortKey::asc(ScalarExpr::column(0, "k")),
+            ])
+            .build();
+        let setop = scan(&catalog, "t", 0)
+            .set_op(
+                scan(&catalog, "t", 1)
+                    .filter(ScalarExpr::column(0, "k").eq(ScalarExpr::literal(5i64))),
+                SetOpKind::Difference,
+                SetSemantics::Bag,
+            )
+            .build();
+        let limited = scan(&catalog, "t", 0)
+            .filter(ScalarExpr::column(1, "v").eq(ScalarExpr::literal(1i64)))
+            .limit(Some(17), 3)
+            .build();
+        for plan in [&agg, &sorted, &setop, &limited] {
+            for workers in [1, 8] {
+                assert_parallel_matches(&catalog, plan, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_example_matches_vectorized() {
+        let catalog = paper_example_catalog();
+        let prod = scan(&catalog, "shop", 0)
+            .cross_join(scan(&catalog, "sales", 1))
+            .cross_join(scan(&catalog, "items", 2));
+        let name = prod.col("shop.name").unwrap();
+        let sname = prod.col("sales.sname").unwrap();
+        let itemid = prod.col("sales.itemid").unwrap();
+        let id = prod.col("items.id").unwrap();
+        let price = prod.col("items.price").unwrap();
+        let plan = prod
+            .filter(name.clone().eq(sname).and(itemid.eq(id)))
+            .aggregate(
+                vec![(name, "name".into())],
+                vec![(AggregateExpr::new(AggregateFunction::Sum, price), "sum_price".into())],
+            )
+            .build();
+        for workers in [1, 4] {
+            assert_parallel_matches(&catalog, &plan, workers);
+        }
+    }
+
+    #[test]
+    fn overflow_error_is_identical_across_pipelines() {
+        let catalog = Catalog::new();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let rows: Vec<Tuple> =
+            (0..1500i64).map(|i| if i == 700 { tuple![i64::MAX] } else { tuple![i] }).collect();
+        catalog.create_table_with_data("t", Relation::from_parts(schema, rows)).unwrap();
+        let t = scan(&catalog, "t", 0);
+        let plan = t
+            .project(vec![(
+                ScalarExpr::binary(
+                    perm_algebra::BinaryOperator::Add,
+                    ScalarExpr::column(0, "x"),
+                    ScalarExpr::literal(1i64),
+                ),
+                "y".into(),
+            )])
+            .build();
+        let executor = Executor::new(catalog.clone());
+        let pool = WorkerPool::new(4);
+        let expected = ExecError::ArithmeticOverflow { operation: "addition".into() };
+        assert_eq!(executor.execute(&plan).unwrap_err(), expected);
+        assert_eq!(executor.execute_streaming(&plan).unwrap_err(), expected);
+        assert_eq!(executor.execute_parallel(&plan, &pool).unwrap_err(), expected);
+    }
+
+    #[test]
+    fn row_budget_falls_back_to_vectorized_semantics() {
+        let catalog = big_catalog(2000);
+        let plan = scan(&catalog, "t", 0).build();
+        let executor =
+            Executor::with_options(catalog.clone(), ExecOptions::default().with_row_budget(100));
+        let pool = WorkerPool::new(4);
+        let parallel = executor.execute_parallel(&plan, &pool);
+        let vectorized = executor.execute(&plan);
+        assert_eq!(parallel.unwrap_err(), vectorized.unwrap_err());
+    }
+
+    #[test]
+    fn limit_early_stop_is_stable_under_worker_races() {
+        // Regression stress for the straggler race: a LIMIT region stops claiming morsels
+        // early; helper jobs that start late must never claim (and write) a morsel after the
+        // dispatcher harvested the result slots. 1-core schedulers interleave aggressively
+        // under repetition.
+        let catalog = big_catalog(8192);
+        let pool = WorkerPool::new(8);
+        let executor = Executor::new(catalog.clone());
+        let plan = scan(&catalog, "t", 0)
+            .filter(ScalarExpr::column(1, "v").eq(ScalarExpr::literal(2i64)))
+            .limit(Some(9), 1)
+            .build();
+        let expected = executor.execute(&plan).unwrap();
+        for _ in 0..200 {
+            let got = executor.execute_parallel(&plan, &pool).unwrap();
+            assert_eq!(got.tuples(), expected.tuples());
+        }
+    }
+
+    #[test]
+    fn shared_pool_survives_concurrent_regions() {
+        let catalog = big_catalog(3000);
+        let pool = Arc::new(WorkerPool::new(4));
+        let plan = Arc::new(
+            scan(&catalog, "t", 0)
+                .filter(ScalarExpr::column(0, "k").eq(ScalarExpr::literal(11i64)))
+                .build(),
+        );
+        let expected = Executor::new(catalog.clone()).execute(&plan).unwrap();
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let pool = pool.clone();
+                let plan = plan.clone();
+                let catalog = catalog.clone();
+                let expected = expected.clone();
+                thread::spawn(move || {
+                    let executor = Executor::new(catalog);
+                    for _ in 0..10 {
+                        let got = executor.execute_parallel(&plan, &pool).unwrap();
+                        assert_eq!(got.tuples(), expected.tuples());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

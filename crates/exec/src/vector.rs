@@ -37,8 +37,8 @@ use crate::compile::{in_set_lookup, in_values, CompiledAggregate, CompiledExpr};
 use crate::error::ExecError;
 use crate::eval::{binary_op_values, evaluate_function, logical_combine, unary_op_value};
 use crate::executor::{
-    set_operation, split_equi_join_condition, strip_transparent, Accumulator, EquiKey, ExecContext,
-    Executor, RowGuard,
+    hash_joinable, set_operation, split_equi_join_condition, strip_transparent, Accumulator,
+    EquiKey, ExecContext, Executor, RowGuard,
 };
 
 /// The batch stream flowing between vectorized operators.
@@ -52,7 +52,7 @@ fn chunk_capacity(ctx: ExecContext) -> usize {
 
 /// Build a chunk from computed columns, preserving the row count even when there are no
 /// columns (zero-width chunks keep flowing through the pipeline).
-fn chunk_from_columns(columns: Vec<Arc<Array>>, rows: usize) -> DataChunk {
+pub(crate) fn chunk_from_columns(columns: Vec<Arc<Array>>, rows: usize) -> DataChunk {
     if columns.is_empty() {
         DataChunk::zero_width(rows)
     } else {
@@ -331,7 +331,10 @@ impl Executor {
 
 /// Evaluate projection expressions over a chunk, producing the output chunk (bare column
 /// references forward the input column by refcount).
-fn project_chunk(exprs: &[CompiledExpr], chunk: &DataChunk) -> Result<DataChunk, ExecError> {
+pub(crate) fn project_chunk(
+    exprs: &[CompiledExpr],
+    chunk: &DataChunk,
+) -> Result<DataChunk, ExecError> {
     let mut columns = Vec::with_capacity(exprs.len());
     for e in exprs {
         columns.push(e.eval_array(chunk)?);
@@ -486,10 +489,11 @@ impl ChunkJoinMode {
             let col = build.column(key.right - left_arity).clone();
             let mut single: HashMap<Value, u32> = HashMap::with_capacity(rows);
             for i in (0..rows).rev() {
-                if col.is_null(i) && !key.null_safe {
+                let v = col.value(i);
+                if !hash_joinable(&v, key.null_safe) {
                     continue;
                 }
-                if let Some(prev) = single.insert(col.value(i), i as u32) {
+                if let Some(prev) = single.insert(v, i as u32) {
                     next[i] = prev;
                 }
             }
@@ -501,10 +505,11 @@ impl ChunkJoinMode {
             'rows: for i in (0..rows).rev() {
                 let mut values = Vec::with_capacity(keys.len());
                 for (k, col) in keys.iter().zip(&cols) {
-                    if col.is_null(i) && !k.null_safe {
+                    let v = col.value(i);
+                    if !hash_joinable(&v, k.null_safe) {
                         continue 'rows;
                     }
-                    values.push(col.value(i));
+                    values.push(v);
                 }
                 if let Some(prev) = multi.insert(Tuple::new(values), i as u32) {
                     next[i] = prev;
@@ -521,22 +526,22 @@ impl ChunkJoinMode {
             ChunkJoinMode::Hash { keys, single, multi, .. } => {
                 if let Some(single) = single {
                     let key = keys[0];
-                    let col = probe.column(key.left);
-                    let start = if col.is_null(row) && !key.null_safe {
-                        CHAIN_END
+                    let v = probe.column(key.left).value(row);
+                    let start = if hash_joinable(&v, key.null_safe) {
+                        single.get(&v).copied().unwrap_or(CHAIN_END)
                     } else {
-                        single.get(&col.value(row)).copied().unwrap_or(CHAIN_END)
+                        CHAIN_END
                     };
                     Cursor::Chain(start)
                 } else {
                     let multi = multi.as_ref().expect("multi-key table");
                     let mut values = Vec::with_capacity(keys.len());
                     for k in keys {
-                        let col = probe.column(k.left);
-                        if col.is_null(row) && !k.null_safe {
+                        let v = probe.column(k.left).value(row);
+                        if !hash_joinable(&v, k.null_safe) {
                             return Cursor::Chain(CHAIN_END);
                         }
-                        values.push(col.value(row));
+                        values.push(v);
                     }
                     let start = multi.get(&Tuple::new(values)).copied().unwrap_or(CHAIN_END);
                     Cursor::Chain(start)
@@ -1115,6 +1120,40 @@ fn arith_kernel<T: Copy, U: Copy, O: Default>(
     wrap(values, validity)
 }
 
+/// Checked integer-arithmetic kernel: stops at the first overflowing row with the same
+/// [`ExecError::ArithmeticOverflow`] the row-at-a-time pipeline raises through checked
+/// [`Value`] arithmetic.
+fn checked_arith_kernel<T: Copy, U: Copy, O: Default>(
+    a: &[T],
+    va: &Bitmap,
+    b: &[U],
+    vb: &Bitmap,
+    f: impl Fn(T, U) -> Option<O>,
+    operation: &str,
+    wrap: impl Fn(Vec<O>, Bitmap) -> Array,
+) -> Result<Array, ExecError> {
+    let len = a.len();
+    let mut values = Vec::with_capacity(len);
+    let mut validity = Bitmap::new();
+    for i in 0..len {
+        if va.get(i) && vb.get(i) {
+            match f(a[i], b[i]) {
+                Some(v) => {
+                    values.push(v);
+                    validity.push(true);
+                }
+                None => {
+                    return Err(ExecError::ArithmeticOverflow { operation: operation.to_string() })
+                }
+            }
+        } else {
+            values.push(O::default());
+            validity.push(false);
+        }
+    }
+    Ok(wrap(values, validity))
+}
+
 /// Vectorized non-logical binary operator over two columns: typed kernels for the native
 /// column pairs that dominate query workloads, a per-row fallback (through the exact
 /// row-at-a-time semantics in [`binary_op_values`]) for everything else.
@@ -1133,9 +1172,39 @@ fn vectorized_binary(op: BinaryOperator, l: &Array, r: &Array) -> Result<Array, 
                 return Ok(cmp_kernel(op, a, va, b, vb, |x, y| Some(x.cmp(y))));
             }
             match op {
-                Add => return Ok(arith_kernel(a, va, b, vb, |x, y| x.wrapping_add(y), int_array)),
-                Sub => return Ok(arith_kernel(a, va, b, vb, |x, y| x.wrapping_sub(y), int_array)),
-                Mul => return Ok(arith_kernel(a, va, b, vb, |x, y| x.wrapping_mul(y), int_array)),
+                Add => {
+                    return checked_arith_kernel(
+                        a,
+                        va,
+                        b,
+                        vb,
+                        i64::checked_add,
+                        "addition",
+                        int_array,
+                    )
+                }
+                Sub => {
+                    return checked_arith_kernel(
+                        a,
+                        va,
+                        b,
+                        vb,
+                        i64::checked_sub,
+                        "subtraction",
+                        int_array,
+                    )
+                }
+                Mul => {
+                    return checked_arith_kernel(
+                        a,
+                        va,
+                        b,
+                        vb,
+                        i64::checked_mul,
+                        "multiplication",
+                        int_array,
+                    )
+                }
                 _ => {}
             }
         }
@@ -1185,10 +1254,30 @@ fn vectorized_binary(op: BinaryOperator, l: &Array, r: &Array) -> Result<Array, 
                 return Ok(cmp_kernel(op, a, va, b, vb, |x, y| Some((*x as i64).cmp(y))));
             }
             if op == Add {
-                return Ok(arith_kernel(a, va, b, vb, |x, y| x + y as i32, date_array));
+                return checked_arith_kernel(
+                    a,
+                    va,
+                    b,
+                    vb,
+                    |x: i32, y: i64| i32::try_from(y).ok().and_then(|d| x.checked_add(d)),
+                    "addition",
+                    date_array,
+                );
             }
             if op == Sub {
-                return Ok(arith_kernel(a, va, b, vb, |x, y| x - y as i32, date_array));
+                return checked_arith_kernel(
+                    a,
+                    va,
+                    b,
+                    vb,
+                    |x: i32, y: i64| {
+                        y.checked_neg()
+                            .and_then(|d| i32::try_from(d).ok())
+                            .and_then(|d| x.checked_add(d))
+                    },
+                    "subtraction",
+                    date_array,
+                );
             }
         }
         (Array::Int { values: a, validity: va }, Array::Date { values: b, validity: vb })

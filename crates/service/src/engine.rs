@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use perm_algebra::{LogicalPlan, Schema, Value};
-use perm_exec::{ExecOptions, Executor, Optimizer};
+use perm_exec::{ExecOptions, Executor, Optimizer, WorkerPool};
 use perm_sql::{AnalyzedStatement, Analyzer, ProvenanceRewrite};
 use perm_storage::{Catalog, Relation};
 
@@ -27,7 +27,8 @@ pub struct PreparedPlan {
 /// The shared, thread-safe query engine.
 ///
 /// An `Engine` owns the pieces every connection shares — the [`Catalog`], the provenance
-/// rewriter hook, the optimizer and the [`PlanCache`] — while per-connection state (settings,
+/// rewriter hook, the optimizer, the [`PlanCache`] and the [`WorkerPool`] that gives every
+/// query intra-query (morsel-driven) parallelism — while per-connection state (settings,
 /// prepared statements) lives in [`Session`]s. All methods take `&self`; the engine is meant to
 /// be wrapped in an [`Arc`] and handed to one session per client connection.
 pub struct Engine {
@@ -35,6 +36,11 @@ pub struct Engine {
     rewriter: Option<Arc<dyn ProvenanceRewrite>>,
     optimizer: Optimizer,
     cache: PlanCache,
+    /// Parallelism degree of the worker pool (resolved at construction; see `with_workers`).
+    workers: usize,
+    /// The shared pool, spawned lazily on first use so builder-style reconfiguration
+    /// (`Engine::new().with_workers(n)`) never spawns and immediately discards threads.
+    pool: std::sync::OnceLock<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -43,6 +49,7 @@ impl std::fmt::Debug for Engine {
             .field("tables", &self.catalog.table_names())
             .field("has_rewriter", &self.rewriter.is_some())
             .field("cache", &self.cache)
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -63,12 +70,22 @@ impl Engine {
     }
 
     /// Create an engine over an existing catalog (shares the underlying data).
+    ///
+    /// The worker pool defaults to one worker per logical CPU; the `PERM_WORKERS` environment
+    /// variable overrides that default (used by CI to run the whole test suite single-threaded
+    /// and at a fixed parallelism degree), and [`Engine::with_workers`] overrides both.
     pub fn with_catalog(catalog: Catalog) -> Engine {
+        let workers = std::env::var("PERM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(WorkerPool::default_workers);
         Engine {
             catalog,
             rewriter: None,
             optimizer: Optimizer::new(),
             cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+            workers: workers.max(1),
+            pool: std::sync::OnceLock::new(),
         }
     }
 
@@ -82,6 +99,25 @@ impl Engine {
     pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Engine {
         self.cache = PlanCache::new(capacity);
         self
+    }
+
+    /// Size the worker pool for intra-query parallelism: every query splits its work into
+    /// morsels executed by up to `workers` threads (clamped to at least 1, where execution is
+    /// fully single-threaded). The default is the number of logical CPUs.
+    pub fn with_workers(mut self, workers: usize) -> Engine {
+        self.workers = workers.max(1);
+        self.pool = std::sync::OnceLock::new();
+        self
+    }
+
+    /// The parallelism degree of the shared worker pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared worker pool queries execute on (spawned on first use).
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        self.pool.get_or_init(|| Arc::new(WorkerPool::new(self.workers)))
     }
 
     /// The plan cache's capacity (number of plans it can hold).
@@ -182,6 +218,10 @@ impl Engine {
     }
 
     /// Execute a bound plan as-is (no optimization) under `options` with `params` bound.
+    ///
+    /// Execution is morsel-driven parallel on the engine's shared [`WorkerPool`]; queries with
+    /// a row budget run on the single-threaded vectorized pipeline, whose lazy pull order
+    /// defines the budget semantics (see `perm_exec::parallel`).
     pub fn run_plan(
         &self,
         plan: &LogicalPlan,
@@ -189,7 +229,7 @@ impl Engine {
         params: Vec<Value>,
     ) -> Result<Relation, ServiceError> {
         let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
-        Ok(executor.execute(plan)?)
+        Ok(executor.execute_parallel(plan, self.worker_pool())?)
     }
 
     /// Execute an analyzed statement (DDL, DML or query) under `options`.

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Boots permd, drives it over the wire with perm-shell (DDL + INSERT + SELECT PROVENANCE +
 # prepared statements), and shuts it down. Used by the `service-smoke` CI job and runnable
-# locally: scripts/service_smoke.sh [PORT]
+# locally: scripts/service_smoke.sh [PORT] [WORKERS]
+#
+# WORKERS (default 1) sizes the engine's worker pool for morsel-driven parallel execution;
+# CI drives the same script at 1 and 4 workers so the serving path is smoke-tested both
+# single-threaded and with intra-query parallelism.
 #
 # Exits non-zero if the server fails to boot, any statement errors, or the provenance result
 # does not match the paper's running example.
 set -euo pipefail
 
 PORT="${1:-7661}"
+WORKERS="${2:-1}"
 BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
 LOG="$(mktemp)"
 trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
-"$BIN_DIR/permd" --port "$PORT" >"$LOG" 2>&1 &
+"$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the listening line (the server prints it once the socket is bound).
@@ -50,4 +55,4 @@ echo "$OUT" | grep -qx "3" || { echo "FAIL: prepared execution (20) wrong"; exit
 echo "$OUT" | grep -q "plan_cache" || { echo "FAIL: stats line missing"; exit 1; }
 
 wait "$SERVER_PID"
-echo "service smoke OK"
+echo "service smoke OK (workers=$WORKERS)"

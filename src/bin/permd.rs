@@ -8,14 +8,17 @@
 //! wire chunk-wise.
 //!
 //! ```text
-//! permd [--bind ADDR] [--port N] [--plan-cache-capacity N]
+//! permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N]
 //! ```
 //!
 //! `--bind` sets the listen address (default `127.0.0.1`); with `--port 0` (the default is
 //! 7654) the OS assigns a free port. The bound address is printed as
 //! `permd listening on ADDR:PORT` so scripts can parse it. `--plan-cache-capacity` sizes the
-//! shared plan cache (`--cache-capacity` is accepted as an alias; 0 disables caching). Stop the
-//! server with the wire command `shutdown` (e.g. `\shutdown` in `perm-shell`).
+//! shared plan cache (`--cache-capacity` is accepted as an alias; 0 disables caching).
+//! `--workers` sizes the engine's shared worker pool for intra-query (morsel-driven) parallel
+//! execution; the default is the number of logical CPUs, and `--workers 1` runs every query
+//! single-threaded. Stop the server with the wire command `shutdown` (e.g. `\shutdown` in
+//! `perm-shell`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -32,11 +35,17 @@ struct Config {
     bind: String,
     port: u16,
     plan_cache_capacity: Option<usize>,
+    workers: Option<usize>,
 }
 
 impl Default for Config {
     fn default() -> Config {
-        Config { bind: DEFAULT_BIND.to_string(), port: DEFAULT_PORT, plan_cache_capacity: None }
+        Config {
+            bind: DEFAULT_BIND.to_string(),
+            port: DEFAULT_PORT,
+            plan_cache_capacity: None,
+            workers: None,
+        }
     }
 }
 
@@ -62,6 +71,10 @@ impl Config {
                         None => return Err(format!("{arg} requires a number")),
                     }
                 }
+                "--workers" | "-w" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v >= 1 => config.workers = Some(v),
+                    _ => return Err("--workers requires a number >= 1".into()),
+                },
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -71,11 +84,14 @@ impl Config {
 
     /// Build the shared engine this configuration describes.
     fn engine(&self) -> Engine {
-        let engine = Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new()));
-        match self.plan_cache_capacity {
-            Some(capacity) => engine.with_plan_cache_capacity(capacity),
-            None => engine,
+        let mut engine = Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new()));
+        if let Some(capacity) = self.plan_cache_capacity {
+            engine = engine.with_plan_cache_capacity(capacity);
         }
+        if let Some(workers) = self.workers {
+            engine = engine.with_workers(workers);
+        }
+        engine
     }
 }
 
@@ -102,7 +118,7 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("permd: {error}");
     }
-    eprintln!("usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N]");
+    eprintln!("usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N]");
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -150,6 +166,20 @@ mod tests {
         assert!(parse(&["--plan-cache-capacity", "-1"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn workers_flag_parses_and_sizes_the_pool() {
+        let config = parse(&["--workers", "4"]).unwrap();
+        assert_eq!(config.workers, Some(4));
+        assert_eq!(config.engine().workers(), 4);
+        let single = parse(&["-w", "1"]).unwrap();
+        assert_eq!(single.engine().workers(), 1);
+        // Without the flag the pool is sized by the machine.
+        assert!(parse(&[]).unwrap().engine().workers() >= 1);
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "0"]).is_err());
+        assert!(parse(&["--workers", "abc"]).is_err());
     }
 
     #[test]

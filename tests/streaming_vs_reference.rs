@@ -1,12 +1,15 @@
-//! Differential property tests: the **vectorized** chunk executor (`Executor::execute`) and
-//! the tuple-at-a-time **streaming** executor (`Executor::execute_streaming`) must both produce
+//! Differential property tests: the **parallel** morsel-driven executor
+//! (`Executor::execute_parallel`), the **vectorized** chunk executor (`Executor::execute`) and
+//! the tuple-at-a-time **streaming** executor (`Executor::execute_streaming`) must all produce
 //! exactly the same relations as the naive materializing **reference** evaluator on arbitrary
 //! plans — plain and provenance-rewritten, optimized and unoptimized.
 //!
 //! Random plans cover the operator space the provenance rewriter emits: selections,
 //! column-shuffling projections, DISTINCT, inner/outer/cross joins, bag/set set-operations and
-//! grouped aggregation, nested to depth 3. Deterministic tests cover the chunk-boundary edge
-//! cases (empty input, exactly one full chunk, one row past a chunk boundary).
+//! grouped aggregation, nested to depth 3. Deterministic tests cover the chunk-boundary /
+//! morsel-boundary edge cases (empty input, one row, exactly one full chunk, one row past a
+//! chunk boundary, at worker counts 1 and 8), integer-overflow error behaviour, NaN sort keys
+//! and cross-type (Int/Date) hash-key consistency.
 
 use proptest::prelude::*;
 
@@ -15,7 +18,14 @@ use perm_algebra::{
     AggregateExpr, AggregateFunction, BinaryOperator, JoinKind, ScalarExpr, Schema, SetOpKind,
     SetSemantics,
 };
-use perm_exec::{execute_reference, Executor, Optimizer};
+use perm_exec::{execute_reference, Executor, Optimizer, WorkerPool};
+
+/// Worker pool shared by every differential case (4-way parallelism; the deterministic edge
+/// cases below additionally exercise dedicated 1- and 8-worker pools).
+fn shared_pool() -> &'static WorkerPool {
+    static POOL: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(4))
+}
 
 /// A recipe for a random plan over two union-compatible tables `r` and `s` (both `(k, v)`
 /// integer relations). Every node produces a two-column output so specs compose freely.
@@ -174,14 +184,18 @@ fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
     proptest::collection::vec((0i64..5, 0i64..4), 0..8)
 }
 
-/// Run one plan through all three execution paths and check both fast paths against the oracle.
-fn assert_three_way(catalog: &Catalog, plan: &perm_algebra::LogicalPlan, context: &str) {
+/// Run one plan through all four execution paths and check the three fast paths against the
+/// oracle. The parallel path must additionally equal the vectorized path *exactly* (same row
+/// order), since morsel-order stitching is designed to preserve the sequential chunk sequence.
+fn assert_four_way(catalog: &Catalog, plan: &perm_algebra::LogicalPlan, context: &str) {
     let executor = Executor::new(catalog.clone());
     let reference = execute_reference(catalog, plan).unwrap();
     let vectorized = executor.execute(plan).unwrap();
     let streaming = executor.execute_streaming(plan).unwrap();
+    let parallel = executor.execute_parallel(plan, shared_pool()).unwrap();
     assert!(vectorized.bag_eq(&reference), "vectorized != reference on {context}\n{plan}");
     assert!(streaming.bag_eq(&reference), "streaming != reference on {context}\n{plan}");
+    assert!(parallel.bag_eq(&reference), "parallel != reference on {context}\n{plan}");
 }
 
 proptest! {
@@ -205,6 +219,7 @@ proptest! {
         let reference = execute_reference(&catalog, &plan).unwrap();
         let vectorized = executor.execute(&plan).unwrap();
         let streaming = executor.execute_streaming(&plan).unwrap();
+        let parallel = executor.execute_parallel(&plan, shared_pool()).unwrap();
         prop_assert!(
             vectorized.bag_eq(&reference),
             "vectorized != reference on raw plan\n{plan}"
@@ -213,11 +228,16 @@ proptest! {
             streaming.bag_eq(&reference),
             "streaming != reference on raw plan\n{plan}"
         );
+        prop_assert!(
+            parallel.bag_eq(&reference),
+            "parallel != reference on raw plan\n{plan}"
+        );
 
         let optimized = Optimizer::new().optimize(&plan).unwrap();
         optimized.validate().unwrap();
         let vectorized_opt = executor.execute(&optimized).unwrap();
         let streaming_opt = executor.execute_streaming(&optimized).unwrap();
+        let parallel_opt = executor.execute_parallel(&optimized, shared_pool()).unwrap();
         prop_assert!(
             vectorized_opt.bag_eq(&reference),
             "optimized vectorized != reference\nraw:\n{plan}\noptimized:\n{optimized}"
@@ -225,6 +245,10 @@ proptest! {
         prop_assert!(
             streaming_opt.bag_eq(&reference),
             "optimized streaming != reference\nraw:\n{plan}\noptimized:\n{optimized}"
+        );
+        prop_assert!(
+            parallel_opt.bag_eq(&reference),
+            "optimized parallel != reference\nraw:\n{plan}\noptimized:\n{optimized}"
         );
     }
 
@@ -247,6 +271,7 @@ proptest! {
         let reference = execute_reference(&catalog, &rewritten).unwrap();
         let vectorized = executor.execute(&rewritten).unwrap();
         let streaming = executor.execute_streaming(&rewritten).unwrap();
+        let parallel = executor.execute_parallel(&rewritten, shared_pool()).unwrap();
         prop_assert!(
             vectorized.bag_eq(&reference),
             "vectorized != reference on rewritten plan\n{rewritten}"
@@ -255,11 +280,16 @@ proptest! {
             streaming.bag_eq(&reference),
             "streaming != reference on rewritten plan\n{rewritten}"
         );
+        prop_assert!(
+            parallel.bag_eq(&reference),
+            "parallel != reference on rewritten plan\n{rewritten}"
+        );
 
         let optimized = Optimizer::new().optimize(&rewritten).unwrap();
         optimized.validate().unwrap();
         let vectorized_opt = executor.execute(&optimized).unwrap();
         let streaming_opt = executor.execute_streaming(&optimized).unwrap();
+        let parallel_opt = executor.execute_parallel(&optimized, shared_pool()).unwrap();
         prop_assert!(
             vectorized_opt.bag_eq(&reference),
             "optimized vectorized != reference on rewritten plan\n{rewritten}"
@@ -267,6 +297,10 @@ proptest! {
         prop_assert!(
             streaming_opt.bag_eq(&reference),
             "optimized streaming != reference on rewritten plan\n{rewritten}"
+        );
+        prop_assert!(
+            parallel_opt.bag_eq(&reference),
+            "optimized parallel != reference on rewritten plan\n{rewritten}"
         );
     }
 
@@ -291,20 +325,23 @@ proptest! {
         let reference = execute_reference(&catalog, &plan).unwrap();
         let vectorized = executor.execute(&plan).unwrap();
         let streaming = executor.execute_streaming(&plan).unwrap();
+        let parallel = executor.execute_parallel(&plan, shared_pool()).unwrap();
         prop_assert_eq!(vectorized.tuples(), reference.tuples());
         prop_assert_eq!(streaming.tuples(), reference.tuples());
+        prop_assert_eq!(parallel.tuples(), reference.tuples());
     }
 }
 
-/// Chunk-boundary edge cases: relations of exactly 0, `DEFAULT_CHUNK_SIZE` and
-/// `DEFAULT_CHUNK_SIZE + 1` rows flowing through scans, filters, projections, joins, DISTINCT,
-/// aggregation and provenance rewriting. Every count is chosen so correctness depends on the
-/// chunked operators handling empty batches and batch-boundary splits exactly.
+/// Chunk/morsel-boundary edge cases: relations of exactly 0, 1, `DEFAULT_CHUNK_SIZE - 1`,
+/// `DEFAULT_CHUNK_SIZE` and `DEFAULT_CHUNK_SIZE + 1` rows flowing through scans, filters,
+/// projections, joins, DISTINCT, aggregation and provenance rewriting. Every count is chosen
+/// so correctness depends on the chunked operators handling empty batches, single-row morsels
+/// and batch-boundary splits exactly.
 #[test]
 fn chunk_boundary_row_counts_agree_across_all_paths() {
     use perm_algebra::{PlanBuilder, DEFAULT_CHUNK_SIZE};
 
-    for rows in [0usize, DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE + 1] {
+    for rows in [0usize, 1, DEFAULT_CHUNK_SIZE - 1, DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE + 1] {
         let r: Vec<(i64, i64)> = (0..rows as i64).map(|i| (i % 7, i % 3)).collect();
         let s: Vec<(i64, i64)> = (0..(rows / 2) as i64).map(|i| (i % 7, i % 5)).collect();
         let catalog = catalog_with(&r, &s);
@@ -314,12 +351,12 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
 
         // Plain scan.
         let plan = scan("r", 0).build();
-        assert_three_way(&catalog, &plan, &format!("scan of {rows} rows"));
+        assert_four_way(&catalog, &plan, &format!("scan of {rows} rows"));
 
         // Filter that keeps roughly 1/7 of the rows (and nothing of an empty relation).
         let filtered =
             scan("r", 0).filter(ScalarExpr::column(0, "k").eq(ScalarExpr::literal(1i64))).build();
-        assert_three_way(&catalog, &filtered, &format!("filtered scan of {rows} rows"));
+        assert_four_way(&catalog, &filtered, &format!("filtered scan of {rows} rows"));
 
         // Computed projection with DISTINCT.
         let projected = scan("r", 0)
@@ -332,7 +369,7 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
                 "kv".into(),
             )])
             .build();
-        assert_three_way(&catalog, &projected, &format!("distinct projection of {rows} rows"));
+        assert_four_way(&catalog, &projected, &format!("distinct projection of {rows} rows"));
 
         // Hash join whose probe side spans a chunk boundary.
         let joined = scan("r", 0)
@@ -342,7 +379,7 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
                 Some(ScalarExpr::column(0, "k").eq(ScalarExpr::column(2, "k"))),
             )
             .build();
-        assert_three_way(&catalog, &joined, &format!("hash join of {rows} rows"));
+        assert_four_way(&catalog, &joined, &format!("hash join of {rows} rows"));
 
         // Left outer join: NULL padding interleaves with matches inside batches.
         let outer = scan("r", 0)
@@ -352,7 +389,7 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
                 Some(ScalarExpr::column(1, "v").eq(ScalarExpr::column(3, "v"))),
             )
             .build();
-        assert_three_way(&catalog, &outer, &format!("left outer join of {rows} rows"));
+        assert_four_way(&catalog, &outer, &format!("left outer join of {rows} rows"));
 
         // Aggregation with group keys.
         let aggregated = scan("r", 0)
@@ -364,16 +401,16 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
                 )],
             )
             .build();
-        assert_three_way(&catalog, &aggregated, &format!("aggregation of {rows} rows"));
+        assert_four_way(&catalog, &aggregated, &format!("aggregation of {rows} rows"));
 
         // Bag difference (chunked set-operation path).
         let diff =
             scan("r", 0).set_op(scan("s", 1), SetOpKind::Difference, SetSemantics::Bag).build();
-        assert_three_way(&catalog, &diff, &format!("bag difference of {rows} rows"));
+        assert_four_way(&catalog, &diff, &format!("bag difference of {rows} rows"));
 
         // A provenance-rewritten join (the paper's wide self-join shapes) at the boundary.
         let rewritten = ProvenanceRewriter::new().rewrite(&joined).unwrap();
-        assert_three_way(&catalog, &rewritten, &format!("rewritten join of {rows} rows"));
+        assert_four_way(&catalog, &rewritten, &format!("rewritten join of {rows} rows"));
 
         // Limit slicing exactly at and one past the chunk boundary.
         for limit in [DEFAULT_CHUNK_SIZE, DEFAULT_CHUNK_SIZE + 1] {
@@ -381,7 +418,210 @@ fn chunk_boundary_row_counts_agree_across_all_paths() {
             let executor = Executor::new(catalog.clone());
             let vectorized = executor.execute(&limited).unwrap();
             let streaming = executor.execute_streaming(&limited).unwrap();
+            let parallel = executor.execute_parallel(&limited, shared_pool()).unwrap();
             assert_eq!(vectorized.tuples(), streaming.tuples(), "limit {limit} over {rows} rows");
+            assert_eq!(
+                parallel.tuples(),
+                vectorized.tuples(),
+                "parallel limit {limit} over {rows} rows"
+            );
         }
+
+        // The same boundary counts through dedicated 1- and 8-worker pools: worker count must
+        // never change any result (a 1-worker pool runs the full morsel machinery on the
+        // session thread; 8 workers race morsel claims).
+        for workers in [1usize, 8] {
+            let pool = WorkerPool::new(workers);
+            let executor = Executor::new(catalog.clone());
+            for (plan, what) in [(&plan, "scan"), (&joined, "join"), (&aggregated, "agg")] {
+                let reference = execute_reference(&catalog, plan).unwrap();
+                let parallel = executor.execute_parallel(plan, &pool).unwrap();
+                assert!(
+                    parallel.bag_eq(&reference),
+                    "{what} of {rows} rows diverges at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Integer overflow raises the identical `ExecError::ArithmeticOverflow` from the row,
+/// vectorized and parallel pipelines (never a silent wrap, never a pipeline-dependent value).
+#[test]
+fn overflow_error_identical_across_pipelines() {
+    use perm_algebra::{BinaryOperator as Op, PlanBuilder};
+    use perm_exec::ExecError;
+
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+    // The poisoned row sits past the first chunk boundary so the parallel pipeline has to
+    // surface an error from a later morsel.
+    let rows: Vec<Tuple> = (0..1500i64)
+        .map(|i| Tuple::new(vec![Value::Int(if i == 1300 { i64::MAX } else { i })]))
+        .collect();
+    catalog.create_table_with_data("t", Relation::from_parts(schema, rows)).unwrap();
+
+    for (op, operation) in
+        [(Op::Add, "addition"), (Op::Sub, "subtraction"), (Op::Mul, "multiplication")]
+    {
+        let scan = PlanBuilder::scan("t", catalog.table_schema("t").unwrap(), 0);
+        let expr = ScalarExpr::binary(
+            op,
+            ScalarExpr::column(0, "x"),
+            ScalarExpr::literal(if op == Op::Sub { i64::MIN + 1 } else { 2i64 }),
+        );
+        let plan = scan.project(vec![(expr, "y".into())]).build();
+        let expected = ExecError::ArithmeticOverflow { operation: operation.into() };
+        let executor = Executor::new(catalog.clone());
+        assert_eq!(executor.execute(&plan).unwrap_err(), expected, "vectorized {operation}");
+        assert_eq!(
+            executor.execute_streaming(&plan).unwrap_err(),
+            expected,
+            "streaming {operation}"
+        );
+        assert_eq!(
+            executor.execute_parallel(&plan, shared_pool()).unwrap_err(),
+            expected,
+            "parallel {operation}"
+        );
+    }
+}
+
+/// NaN sort keys: ORDER BY places NaN last, deterministically, on every pipeline — while a
+/// comparison *predicate* against NaN stays NULL-like false everywhere.
+#[test]
+fn nan_sort_keys_and_predicates_agree_across_pipelines() {
+    use perm_algebra::{PlanBuilder, SortKey};
+
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("f", DataType::Float), ("tag", DataType::Int)]);
+    let rows = vec![
+        Tuple::new(vec![Value::Float(2.5), Value::Int(0)]),
+        Tuple::new(vec![Value::Float(f64::NAN), Value::Int(1)]),
+        Tuple::new(vec![Value::Float(-1.0), Value::Int(2)]),
+        Tuple::new(vec![Value::Float(f64::NAN), Value::Int(3)]),
+        Tuple::new(vec![Value::Null, Value::Int(4)]),
+        Tuple::new(vec![Value::Float(0.0), Value::Int(5)]),
+    ];
+    catalog.create_table_with_data("t", Relation::from_parts(schema, rows)).unwrap();
+    let scan = || PlanBuilder::scan("t", catalog.table_schema("t").unwrap(), 0);
+
+    // Sort ascending by f, tie-broken by tag so the expected sequence is unique: NULL first,
+    // then -1.0, 0.0, 2.5, then both NaNs (in tag order).
+    let plan = scan()
+        .sort(vec![
+            SortKey::asc(ScalarExpr::column(0, "f")),
+            SortKey::asc(ScalarExpr::column(1, "tag")),
+        ])
+        .project(vec![(ScalarExpr::column(1, "tag"), "tag".into())])
+        .build();
+    let expected: Vec<i64> = vec![4, 2, 5, 0, 1, 3];
+    let executor = Executor::new(catalog.clone());
+    for (name, result) in [
+        ("vectorized", executor.execute(&plan).unwrap()),
+        ("streaming", executor.execute_streaming(&plan).unwrap()),
+        ("parallel", executor.execute_parallel(&plan, shared_pool()).unwrap()),
+    ] {
+        let tags: Vec<i64> = result
+            .tuples()
+            .iter()
+            .map(|t| match &t[0] {
+                Value::Int(i) => *i,
+                other => panic!("unexpected tag {other:?}"),
+            })
+            .collect();
+        assert_eq!(tags, expected, "{name} NaN sort order");
+    }
+
+    // Predicates on NaN evaluate to NULL-like false: `f < NaN` and `f = NaN` keep no rows.
+    for op in [perm_algebra::BinaryOperator::Lt, perm_algebra::BinaryOperator::Eq] {
+        let plan = scan()
+            .filter(ScalarExpr::binary(
+                op,
+                ScalarExpr::column(0, "f"),
+                ScalarExpr::literal(f64::NAN),
+            ))
+            .build();
+        assert_four_way(&catalog, &plan, "NaN comparison predicate");
+        assert_eq!(
+            Executor::new(catalog.clone()).execute(&plan).unwrap().num_rows(),
+            0,
+            "NaN predicates keep no rows"
+        );
+    }
+}
+
+/// Cross-type hash-key consistency: an Int column equi-joined against a Date column matches
+/// numerically (a date is its day count, per `sql_cmp`), identically through the hash-based
+/// pipelines and the nested-loop reference — and NaN float keys never match under plain `=`
+/// but do match themselves under null-safe equality.
+#[test]
+fn cross_type_hash_keys_agree_with_nested_loop_semantics() {
+    use perm_algebra::PlanBuilder;
+
+    let catalog = Catalog::new();
+    let ints = Schema::from_pairs(&[("i", DataType::Int)]);
+    let dates = Schema::from_pairs(&[("d", DataType::Date)]);
+    catalog
+        .create_table_with_data(
+            "ints",
+            Relation::from_parts(
+                ints,
+                vec![
+                    Tuple::new(vec![Value::Int(5)]),
+                    Tuple::new(vec![Value::Int(9)]),
+                    Tuple::new(vec![Value::Null]),
+                ],
+            ),
+        )
+        .unwrap();
+    catalog
+        .create_table_with_data(
+            "dates",
+            Relation::from_parts(
+                dates,
+                vec![
+                    Tuple::new(vec![Value::Date(5)]),
+                    Tuple::new(vec![Value::Date(7)]),
+                    Tuple::new(vec![Value::Null]),
+                ],
+            ),
+        )
+        .unwrap();
+    let cond = ScalarExpr::column(0, "i").eq(ScalarExpr::column(1, "d"));
+    let plan = PlanBuilder::scan("ints", catalog.table_schema("ints").unwrap(), 0)
+        .join(
+            PlanBuilder::scan("dates", catalog.table_schema("dates").unwrap(), 1),
+            JoinKind::Inner,
+            Some(cond),
+        )
+        .build();
+    assert_four_way(&catalog, &plan, "Int = Date equi-join");
+    // The hash join must find exactly the numeric match (5 = day 5), like the nested loop.
+    assert_eq!(Executor::new(catalog.clone()).execute(&plan).unwrap().num_rows(), 1);
+
+    // NaN keys: no match under `=`, self-match under IS NOT DISTINCT FROM — identical on
+    // every pipeline (hash tables would otherwise match NaN to NaN via grouping equality).
+    let floats = Schema::from_pairs(&[("f", DataType::Float)]);
+    let rows = vec![Tuple::new(vec![Value::Float(f64::NAN)]), Tuple::new(vec![Value::Float(1.0)])];
+    catalog
+        .create_table_with_data("fa", Relation::from_parts(floats.clone(), rows.clone()))
+        .unwrap();
+    catalog.create_table_with_data("fb", Relation::from_parts(floats, rows)).unwrap();
+    for (null_safe, expected_rows) in [(false, 1usize), (true, 2)] {
+        let a = PlanBuilder::scan("fa", catalog.table_schema("fa").unwrap(), 0);
+        let b = PlanBuilder::scan("fb", catalog.table_schema("fb").unwrap(), 1);
+        let cond = if null_safe {
+            ScalarExpr::column(0, "f").null_safe_eq(ScalarExpr::column(1, "f"))
+        } else {
+            ScalarExpr::column(0, "f").eq(ScalarExpr::column(1, "f"))
+        };
+        let plan = a.join(b, JoinKind::Inner, Some(cond)).build();
+        assert_four_way(&catalog, &plan, "NaN equi-join key");
+        assert_eq!(
+            Executor::new(catalog.clone()).execute(&plan).unwrap().num_rows(),
+            expected_rows,
+            "null_safe={null_safe}"
+        );
     }
 }
