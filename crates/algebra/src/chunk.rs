@@ -114,7 +114,9 @@ impl FromIterator<bool> for Bitmap {
 ///
 /// The typed variants store unboxed native values; [`Array::Null`] is the degenerate all-NULL
 /// column and [`Array::Any`] is the boxed fallback for columns whose rows mix scalar types.
-#[derive(Debug, Clone, PartialEq)]
+/// [`Array::Dict`] and [`Array::RunLength`] are *encoded* views over another array; equality
+/// ([`PartialEq`]) is logical, so an encoded array equals its decoded form row for row.
+#[derive(Debug, Clone)]
 pub enum Array {
     /// Booleans.
     Bool {
@@ -161,6 +163,33 @@ pub enum Array {
         /// One boxed value per row.
         values: Vec<Value>,
     },
+    /// Dictionary-encoded view: row `i` is row `indices[i]` of the shared `dict` array.
+    ///
+    /// Join gathers over duplicating provenance joins produce this instead of materializing
+    /// the repeated source tuples: the dictionary is the (already materialized) build-side
+    /// column shared by refcount, and only the 4-byte indices are per-output-row. NULLs live
+    /// in the dictionary (`dict.is_null(indices[i])`), so there is no separate validity map.
+    Dict {
+        /// One dictionary row index per output row.
+        indices: Vec<u32>,
+        /// The shared dictionary of distinct (or at least source) rows.
+        dict: Arc<Array>,
+    },
+    /// Run-length-encoded column: run `k` covers rows `[run_ends[k-1], run_ends[k])` and holds
+    /// row `k` of `values`. Produced by wire serialization for long constant stretches; the
+    /// executor never creates it on the hot path.
+    RunLength {
+        /// One representative row per run.
+        values: Arc<Array>,
+        /// Cumulative exclusive end offsets, strictly increasing; the last equals the length.
+        run_ends: Vec<u32>,
+    },
+}
+
+/// The run index covering row `i` of a run-length array with the given cumulative ends.
+#[inline]
+fn rle_run_index(run_ends: &[u32], i: usize) -> usize {
+    run_ends.partition_point(|&end| end as usize <= i)
 }
 
 impl Array {
@@ -174,12 +203,39 @@ impl Array {
             Array::Date { values, .. } => values.len(),
             Array::Null { len } => *len,
             Array::Any { values } => values.len(),
+            Array::Dict { indices, .. } => indices.len(),
+            Array::RunLength { run_ends, .. } => run_ends.last().map_or(0, |&end| end as usize),
         }
     }
 
     /// Is the array empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Is this a [`Array::Dict`] or [`Array::RunLength`] view (as opposed to a plain array)?
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, Array::Dict { .. } | Array::RunLength { .. })
+    }
+
+    /// Resolve logical row `i` to the plain array and physical row that actually hold it,
+    /// following any chain of encoded views.
+    #[inline]
+    fn resolve_row(&self, i: usize) -> (&Array, usize) {
+        let (mut array, mut idx) = (self, i);
+        loop {
+            match array {
+                Array::Dict { indices, dict } => {
+                    idx = indices[idx] as usize;
+                    array = dict;
+                }
+                Array::RunLength { values, run_ends } => {
+                    idx = rle_run_index(run_ends, idx);
+                    array = values;
+                }
+                _ => return (array, idx),
+            }
+        }
     }
 
     /// Is row `i` NULL?
@@ -193,6 +249,10 @@ impl Array {
             | Array::Date { validity, .. } => !validity.get(i),
             Array::Null { .. } => true,
             Array::Any { values } => values[i].is_null(),
+            Array::Dict { .. } | Array::RunLength { .. } => {
+                let (array, idx) = self.resolve_row(i);
+                array.is_null(idx)
+            }
         }
     }
 
@@ -237,6 +297,10 @@ impl Array {
             }
             Array::Null { .. } => Value::Null,
             Array::Any { values } => values[i].clone(),
+            Array::Dict { .. } | Array::RunLength { .. } => {
+                let (array, idx) = self.resolve_row(i);
+                array.value(idx)
+            }
         }
     }
 
@@ -249,6 +313,8 @@ impl Array {
             Array::Text { .. } => DataType::Text,
             Array::Date { .. } => DataType::Date,
             Array::Null { .. } | Array::Any { .. } => DataType::Null,
+            Array::Dict { dict, .. } => dict.data_type(),
+            Array::RunLength { values, .. } => values.data_type(),
         }
     }
 
@@ -331,6 +397,17 @@ impl Array {
                     .map(|(v, _)| v.clone())
                     .collect(),
             },
+            // A dict view filters by compacting its indices; the dictionary is untouched.
+            Array::Dict { indices, dict } => Array::Dict {
+                indices: indices
+                    .iter()
+                    .zip(mask)
+                    .filter(|(_, keep)| **keep)
+                    .map(|(&i, _)| i)
+                    .collect(),
+                dict: dict.clone(),
+            },
+            Array::RunLength { .. } => self.to_plain().filter(mask),
         }
     }
 
@@ -375,6 +452,18 @@ impl Array {
             Array::Any { values } => {
                 Array::Any { values: indices.iter().map(|&i| values[i as usize].clone()).collect() }
             }
+            // A dict view gathers by gathering its indices; the dictionary is untouched.
+            Array::Dict { indices: inner, dict } => Array::Dict {
+                indices: indices.iter().map(|&i| inner[i as usize]).collect(),
+                dict: dict.clone(),
+            },
+            Array::RunLength { values, run_ends } => Array::Dict {
+                indices: indices
+                    .iter()
+                    .map(|&i| rle_run_index(run_ends, i as usize) as u32)
+                    .collect(),
+                dict: values.clone(),
+            },
         }
     }
 
@@ -445,6 +534,11 @@ impl Array {
                     })
                     .collect(),
             },
+            // Encoded views cannot represent the injected NULL padding rows natively; the
+            // padded gather is rare (outer-join NULL extension), so go through boxed values.
+            Array::Dict { .. } | Array::RunLength { .. } => Array::from_values(
+                indices.iter().map(|idx| idx.map_or(Value::Null, |i| self.value(i as usize))),
+            ),
         }
     }
 
@@ -486,6 +580,10 @@ impl Array {
             }
             Array::Null { .. } => Array::Null { len },
             Array::Any { values } => Array::Any { values: values[offset..offset + len].to_vec() },
+            Array::Dict { indices, dict } => {
+                Array::Dict { indices: indices[offset..offset + len].to_vec(), dict: dict.clone() }
+            }
+            Array::RunLength { .. } => self.to_plain().slice(offset, len),
         }
     }
 
@@ -512,6 +610,31 @@ impl Array {
             [] => Array::Null { len: 0 },
             [only] => (*only).clone(),
             _ => {
+                // Dict views over the *same* dictionary concatenate by index; this keeps the
+                // factorized form through chunk reassembly (e.g. Relation::from_chunks).
+                if let Array::Dict { dict: first_dict, .. } = arrays[0] {
+                    if arrays.iter().all(
+                        |a| matches!(a, Array::Dict { dict, .. } if Arc::ptr_eq(dict, first_dict)),
+                    ) {
+                        let mut indices = Vec::with_capacity(arrays.iter().map(|a| a.len()).sum());
+                        for a in arrays {
+                            if let Array::Dict { indices: i, .. } = a {
+                                indices.extend_from_slice(i);
+                            }
+                        }
+                        return Array::Dict { indices, dict: first_dict.clone() };
+                    }
+                }
+                // Mixed or differently-backed encoded inputs: decode them once, then the plain
+                // typed fast paths below apply.
+                if arrays.iter().any(|a| a.is_encoded()) {
+                    let decoded: Vec<Array> = arrays
+                        .iter()
+                        .map(|a| if a.is_encoded() { a.to_plain() } else { (*a).clone() })
+                        .collect();
+                    let refs: Vec<&Array> = decoded.iter().collect();
+                    return Array::concat(&refs);
+                }
                 typed_concat!(Int);
                 typed_concat!(Text);
                 typed_concat!(Float);
@@ -532,8 +655,11 @@ impl Array {
     /// sorting ([`Value::cmp`]: NULLs first, then type rank, then value).
     pub fn compare(&self, i: usize, other: &Array, j: usize) -> std::cmp::Ordering {
         use std::cmp::Ordering;
+        // Resolve encoded views first so the typed fast paths below apply to them too.
+        let (this, i) = self.resolve_row(i);
+        let (other, j) = other.resolve_row(j);
         // Typed fast path when both sides are the same native variant and non-null.
-        match (self, other) {
+        match (this, other) {
             (Array::Int { values: a, validity: va }, Array::Int { values: b, validity: vb })
                 if va.get(i) && vb.get(j) =>
             {
@@ -559,11 +685,11 @@ impl Array {
             }
             _ => {}
         }
-        match (self.is_null(i), other.is_null(j)) {
+        match (this.is_null(i), other.is_null(j)) {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
-            (false, false) => self.value(i).cmp(&other.value(j)),
+            (false, false) => this.value(i).cmp(&other.value(j)),
         }
     }
 
@@ -571,6 +697,10 @@ impl Array {
     /// [`Value`]. Used by the wire protocol's chunk-wise result rendering.
     pub fn format_into(&self, i: usize, out: &mut String) {
         use std::fmt::Write;
+        if self.is_encoded() {
+            let (array, idx) = self.resolve_row(i);
+            return array.format_into(idx, out);
+        }
         match self {
             Array::Bool { values, validity } if validity.get(i) => {
                 out.push_str(if values[i] { "true" } else { "false" });
@@ -590,6 +720,186 @@ impl Array {
             }
             _ => out.push_str("NULL"),
         }
+    }
+
+    /// Decode an encoded view into a plain (unencoded) array; plain arrays are cloned as-is.
+    pub fn to_plain(&self) -> Array {
+        match self {
+            Array::Dict { indices, dict } => {
+                if dict.is_encoded() {
+                    dict.to_plain().take(indices)
+                } else {
+                    dict.take(indices)
+                }
+            }
+            Array::RunLength { values, run_ends } => {
+                let mut indices = Vec::with_capacity(self.len());
+                let mut start = 0u32;
+                for (run, &end) in run_ends.iter().enumerate() {
+                    indices.extend(std::iter::repeat_n(run as u32, (end - start) as usize));
+                    start = end;
+                }
+                if values.is_encoded() {
+                    values.to_plain().take(&indices)
+                } else {
+                    values.take(&indices)
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Gather the rows at `indices` as a dictionary *view* of `self` instead of materializing
+    /// copies — the factorized join-output gather. Composes with an existing dict view by
+    /// remapping through its indices (never nests), and degenerates to a plain gather for
+    /// all-NULL columns where a view would save nothing.
+    pub fn take_dict(self: &Arc<Array>, indices: &[u32]) -> Array {
+        match self.as_ref() {
+            Array::Null { .. } => Array::Null { len: indices.len() },
+            Array::Dict { indices: inner, dict } => Array::Dict {
+                indices: indices.iter().map(|&i| inner[i as usize]).collect(),
+                dict: dict.clone(),
+            },
+            Array::RunLength { values, run_ends } => Array::Dict {
+                indices: indices
+                    .iter()
+                    .map(|&i| rle_run_index(run_ends, i as usize) as u32)
+                    .collect(),
+                dict: values.clone(),
+            },
+            _ => Array::Dict { indices: indices.to_vec(), dict: self.clone() },
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used for per-session stream memory accounting).
+    /// A dict view charges its shared dictionary in full; callers holding many views over one
+    /// dictionary therefore over-count, which errs on the safe side for admission decisions.
+    pub fn byte_size(&self) -> usize {
+        fn bitmap_bytes(b: &Bitmap) -> usize {
+            b.words.len() * 8
+        }
+        match self {
+            Array::Bool { values, validity } => values.len() + bitmap_bytes(validity),
+            Array::Int { values, validity } => values.len() * 8 + bitmap_bytes(validity),
+            Array::Float { values, validity } => values.len() * 8 + bitmap_bytes(validity),
+            Array::Text { values, validity } => {
+                values.iter().map(|s| s.len() + std::mem::size_of::<Arc<str>>()).sum::<usize>()
+                    + bitmap_bytes(validity)
+            }
+            Array::Date { values, validity } => values.len() * 4 + bitmap_bytes(validity),
+            Array::Null { .. } => 0,
+            Array::Any { values } => {
+                values.len() * std::mem::size_of::<Value>()
+                    + values
+                        .iter()
+                        .map(|v| if let Value::Text(s) = v { s.len() } else { 0 })
+                        .sum::<usize>()
+            }
+            Array::Dict { indices, dict } => indices.len() * 4 + dict.byte_size(),
+            Array::RunLength { values, run_ends } => run_ends.len() * 4 + values.byte_size(),
+        }
+    }
+
+    /// Attempt run-length compression of a plain array. Returns `Some` only when the array
+    /// compresses well (at most one run per three rows); encoded or short inputs return `None`.
+    /// Used by wire serialization — the executor itself never produces run-length arrays.
+    pub fn rle_compress(&self) -> Option<Array> {
+        let len = self.len();
+        if len < 4 || self.is_encoded() || matches!(self, Array::Null { .. }) {
+            return None;
+        }
+        // One pass to find run boundaries (logical equality, NULL == NULL).
+        fn runs_of<T: PartialEq>(
+            values: &[T],
+            validity: &Bitmap,
+            same: impl Fn(&T, &T) -> bool,
+        ) -> Vec<u32> {
+            let mut ends = Vec::new();
+            for i in 1..values.len() {
+                let equal = match (validity.get(i - 1), validity.get(i)) {
+                    (true, true) => same(&values[i - 1], &values[i]),
+                    (false, false) => true,
+                    _ => false,
+                };
+                if !equal {
+                    ends.push(i as u32);
+                }
+            }
+            ends.push(values.len() as u32);
+            ends
+        }
+        let run_ends = match self {
+            Array::Bool { values, validity } => runs_of(values, validity, |a, b| a == b),
+            Array::Int { values, validity } => runs_of(values, validity, |a, b| a == b),
+            Array::Date { values, validity } => runs_of(values, validity, |a, b| a == b),
+            // Floats compare bitwise so NaN runs still compress deterministically.
+            Array::Float { values, validity } => {
+                runs_of(values, validity, |a, b| a.to_bits() == b.to_bits())
+            }
+            Array::Text { values, validity } => {
+                runs_of(values, validity, |a, b| Arc::ptr_eq(a, b) || a == b)
+            }
+            _ => return None,
+        };
+        if run_ends.len() * 3 > len {
+            return None;
+        }
+        // Gather one representative row per run.
+        let representatives: Vec<u32> =
+            std::iter::once(0).chain(run_ends[..run_ends.len() - 1].iter().copied()).collect();
+        Some(Array::RunLength { values: Arc::new(self.take(&representatives)), run_ends })
+    }
+}
+
+/// Logical row-wise equality: an encoded array equals its decoded form. Plain same-variant
+/// pairs compare their native buffers; everything else falls back to per-row values (invalid
+/// slots compare as NULL regardless of the padding stored in the native buffer).
+impl PartialEq for Array {
+    fn eq(&self, other: &Array) -> bool {
+        fn plain_pair_eq(a: &Array, b: &Array) -> Option<bool> {
+            macro_rules! typed_eq {
+                ($variant:ident) => {
+                    if let (
+                        Array::$variant { values: va, validity: ba },
+                        Array::$variant { values: vb, validity: bb },
+                    ) = (a, b)
+                    {
+                        return Some(
+                            ba == bb
+                                && va
+                                    .iter()
+                                    .zip(vb)
+                                    .enumerate()
+                                    .all(|(i, (x, y))| !ba.get(i) || x == y),
+                        );
+                    }
+                };
+            }
+            typed_eq!(Bool);
+            typed_eq!(Int);
+            typed_eq!(Float);
+            typed_eq!(Text);
+            typed_eq!(Date);
+            if let (Array::Null { len: a }, Array::Null { len: b }) = (a, b) {
+                return Some(a == b);
+            }
+            None
+        }
+        if self.len() != other.len() {
+            return false;
+        }
+        if let Some(eq) = plain_pair_eq(self, other) {
+            return eq;
+        }
+        (0..self.len()).all(|i| {
+            let (a, ai) = self.resolve_row(i);
+            let (b, bi) = other.resolve_row(i);
+            match (a.is_null(ai), b.is_null(bi)) {
+                (true, true) => true,
+                (false, false) => a.value(ai) == b.value(bi),
+                _ => false,
+            }
+        })
     }
 }
 
@@ -862,6 +1172,26 @@ impl DataChunk {
         }
     }
 
+    /// Approximate heap footprint in bytes (used for per-session stream memory accounting).
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Decode any encoded (dict / run-length) columns into plain arrays.
+    pub fn to_plain(&self) -> DataChunk {
+        if self.columns.iter().all(|c| !c.is_encoded()) {
+            return self.clone();
+        }
+        DataChunk {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| if c.is_encoded() { Arc::new(c.to_plain()) } else { c.clone() })
+                .collect(),
+            rows: self.rows,
+        }
+    }
+
     /// Concatenate chunks of the same arity into one chunk.
     pub fn concat(arity: usize, chunks: &[DataChunk]) -> DataChunk {
         if chunks.len() == 1 {
@@ -1011,5 +1341,112 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.value(2), Value::text("p"));
         assert!(matches!(Array::repeat(&Value::Null, 2), Array::Null { len: 2 }));
+    }
+
+    #[test]
+    fn dict_views_behave_like_their_decoded_form() {
+        let dict =
+            Arc::new(Array::from_values(vec![Value::text("a"), Value::Null, Value::text("c")]));
+        let view = dict.take_dict(&[2, 0, 1, 2, 2]);
+        assert!(matches!(view, Array::Dict { .. }));
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.value(0), Value::text("c"));
+        assert_eq!(view.value(1), Value::text("a"));
+        assert!(view.is_null(2));
+        assert_eq!(view.data_type(), DataType::Text);
+
+        // Logical equality against the decoded form.
+        let plain = view.to_plain();
+        assert!(!plain.is_encoded());
+        assert_eq!(view, plain);
+
+        // take composes without nesting: the result still points at the original dict.
+        let taken = Arc::new(view.clone()).take_dict(&[4, 2]);
+        match &taken {
+            Array::Dict { indices, dict: d } => {
+                assert_eq!(indices, &[2, 1]);
+                assert!(Arc::ptr_eq(d, &dict));
+            }
+            other => panic!("expected dict view, got {other:?}"),
+        }
+        assert_eq!(view.take(&[4, 2]), taken);
+
+        // filter and slice stay views.
+        let filtered = view.filter(&[true, false, true, false, true]);
+        assert!(filtered.is_encoded());
+        assert_eq!(filtered.to_plain(), plain.filter(&[true, false, true, false, true]));
+        let sliced = view.slice(1, 3);
+        assert!(sliced.is_encoded());
+        assert_eq!(sliced.to_plain(), plain.slice(1, 3));
+
+        // take_opt pads NULLs like the plain form.
+        let padded = view.take_opt(&[Some(0), None, Some(3)]);
+        assert_eq!(padded, plain.take_opt(&[Some(0), None, Some(3)]));
+
+        // compare resolves through the encoding.
+        assert_eq!(view.compare(0, &plain, 0), std::cmp::Ordering::Equal);
+        assert_eq!(view.compare(1, &view, 0), std::cmp::Ordering::Less);
+
+        // format_into matches the plain rendering.
+        let (mut a, mut b) = (String::new(), String::new());
+        for i in 0..view.len() {
+            view.format_into(i, &mut a);
+            plain.format_into(i, &mut b);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dict_concat_over_shared_dictionary_stays_encoded() {
+        let dict = Arc::new(Array::from_values((0..4i64).map(Value::Int).collect::<Vec<_>>()));
+        let a = dict.take_dict(&[0, 1]);
+        let b = dict.take_dict(&[3, 3, 2]);
+        let joined = Array::concat(&[&a, &b]);
+        match &joined {
+            Array::Dict { indices, dict: d } => {
+                assert_eq!(indices, &[0, 1, 3, 3, 2]);
+                assert!(Arc::ptr_eq(d, &dict));
+            }
+            other => panic!("expected dict concat to stay encoded, got {other:?}"),
+        }
+        // Mixed dict + plain decodes to a typed plain array.
+        let plain_tail = Array::from_values(vec![Value::Int(9)]);
+        let mixed = Array::concat(&[&a, &plain_tail]);
+        assert!(matches!(mixed, Array::Int { .. }));
+        assert_eq!(mixed.value(2), Value::Int(9));
+    }
+
+    #[test]
+    fn rle_round_trip_and_threshold() {
+        let long = Array::from_values(
+            std::iter::repeat_n(Value::Int(7), 5)
+                .chain(std::iter::repeat_n(Value::Null, 3))
+                .chain(std::iter::repeat_n(Value::Int(1), 4))
+                .collect::<Vec<_>>(),
+        );
+        let rle = long.rle_compress().expect("3 runs over 12 rows compresses");
+        assert!(matches!(rle, Array::RunLength { .. }));
+        assert_eq!(rle.len(), 12);
+        assert_eq!(rle, long);
+        assert_eq!(rle.to_plain(), long);
+        assert_eq!(rle.value(4), Value::Int(7));
+        assert!(rle.is_null(6));
+        assert_eq!(rle.value(8), Value::Int(1));
+        // take over RLE produces a dict view over the run values.
+        let taken = rle.take(&[0, 6, 11]);
+        assert_eq!(taken, long.take(&[0, 6, 11]));
+
+        // Unique values do not compress.
+        let unique = Array::from_values((0..12i64).map(Value::Int).collect::<Vec<_>>());
+        assert!(unique.rle_compress().is_none());
+    }
+
+    #[test]
+    fn byte_size_counts_encodings_once_per_reference() {
+        let dict = Arc::new(Array::from_values(vec![Value::text("abcd"), Value::text("ef")]));
+        let dict_bytes = dict.byte_size();
+        assert!(dict_bytes >= 6);
+        let view = dict.take_dict(&[0, 1, 0, 1]);
+        assert_eq!(view.byte_size(), 4 * 4 + dict_bytes);
     }
 }

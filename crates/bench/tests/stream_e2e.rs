@@ -1,0 +1,46 @@
+//! End-to-end timing probe for the streamed result path: TPC-H `provenance/15` measured as
+//! execute + render/serialize (the metric tracked in BENCH_NOTES.md for the factorized-chunk
+//! work). Ignored by default — run explicitly with
+//! `cargo test -p perm_bench --release --test stream_e2e -- --ignored --nocapture`.
+
+use std::time::Instant;
+
+use perm_bench::harness::{BenchConfig, ScalePreset};
+use perm_tpch::queries::{add_provenance_keyword, tpch_query, variant_rng};
+
+#[test]
+#[ignore = "timing probe; run explicitly with --ignored --nocapture"]
+fn provenance_15_execute_plus_render() {
+    let config = BenchConfig::quick();
+    let db = config.database(ScalePreset::Small);
+    let normal_sql = tpch_query(15).generate(&mut variant_rng(15, 0));
+    let sql = add_provenance_keyword(&normal_sql);
+
+    // Warm-up run (populates storage chunk caches and the plan cache).
+    let warm = db.execute_sql(&sql).expect("provenance query runs");
+    println!("provenance/15 rows: {}", warm.num_rows());
+    let start = Instant::now();
+    let normal = db.execute_sql(&normal_sql).expect("normal query runs");
+    println!(
+        "normal/15: {:.1} ms, {} rows",
+        start.elapsed().as_secs_f64() * 1e3,
+        normal.num_rows()
+    );
+
+    let mut exec_ms = Vec::new();
+    let mut e2e_ms = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        let result = db.execute_sql(&sql).expect("provenance query runs");
+        let exec = start.elapsed();
+        let rendered = perm_service::wire::render_relation(&result);
+        let e2e = start.elapsed();
+        exec_ms.push(exec.as_secs_f64() * 1e3);
+        e2e_ms.push(e2e.as_secs_f64() * 1e3);
+        std::hint::black_box(rendered.len());
+    }
+    exec_ms.sort_by(f64::total_cmp);
+    e2e_ms.sort_by(f64::total_cmp);
+    println!("provenance/15 execute median: {:.1} ms", exec_ms[1]);
+    println!("provenance/15 execute+render median: {:.1} ms", e2e_ms[1]);
+}

@@ -35,8 +35,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use perm_algebra::{
-    BinaryOperator, JoinKind, LogicalPlan, ScalarExpr, Schema, SetOpKind, SetSemantics, SortOrder,
-    Tuple, Value,
+    BinaryOperator, DataChunk, JoinKind, LogicalPlan, ScalarExpr, Schema, SetOpKind, SetSemantics,
+    SortOrder, Tuple, Value,
 };
 use perm_storage::{Catalog, CatalogSnapshot, Relation};
 
@@ -157,6 +157,34 @@ impl RowGuard {
 /// The item stream flowing between operators.
 pub(crate) type TupleIter<'a> = Box<dyn Iterator<Item = Result<Tuple, ExecError>> + 'a>;
 
+/// A pull-based stream of result [`DataChunk`]s from [`Executor::execute_chunked`], carrying
+/// the plan's output schema so consumers can describe results before the first chunk arrives.
+pub struct ChunkStream<'a> {
+    schema: Schema,
+    inner: crate::vector::ChunkIter<'a>,
+}
+
+impl ChunkStream<'_> {
+    /// The output schema of the plan this stream executes.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+impl Iterator for ChunkStream<'_> {
+    type Item = Result<DataChunk, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl std::fmt::Debug for ChunkStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkStream").field("schema", &self.schema).finish_non_exhaustive()
+    }
+}
+
 /// Executes logical plans against a [`Catalog`].
 ///
 /// The executor captures a [`CatalogSnapshot`] at construction time and every base-relation
@@ -218,6 +246,22 @@ impl Executor {
         let schema = plan.schema();
         let chunks = self.stream_chunks(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
         Ok(Relation::from_chunks(schema, chunks))
+    }
+
+    /// Execute a plan through the vectorized chunk pipeline, returning a pull-based stream of
+    /// result chunks instead of a materialized [`Relation`]. Blocking operators (sorts,
+    /// aggregations, join builds) still materialize internally, but pipeline-able results are
+    /// produced one [`DataChunk`] at a time, so a consumer that forwards chunks as it pulls them
+    /// holds O(chunk) memory regardless of result size. This is the execution entry point behind
+    /// the service layer's streaming result API.
+    pub fn execute_chunked<'a>(
+        &'a self,
+        plan: &'a LogicalPlan,
+    ) -> Result<ChunkStream<'a>, ExecError> {
+        let ctx = ExecContext::new(&self.options);
+        let schema = plan.schema();
+        let inner = self.stream_chunks(plan, ctx)?;
+        Ok(ChunkStream { schema, inner })
     }
 
     /// Execute a plan through the tuple-at-a-time streaming pipeline. Kept as a second

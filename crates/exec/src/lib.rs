@@ -39,7 +39,7 @@ mod vector;
 
 pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate, like_match};
-pub use executor::{execute_plan, execute_plan_with_options, ExecOptions, Executor};
+pub use executor::{execute_plan, execute_plan_with_options, ChunkStream, ExecOptions, Executor};
 pub use optimizer::{fold_expr, Optimizer};
 pub use parallel::WorkerPool;
 pub use reference::execute_reference;

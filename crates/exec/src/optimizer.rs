@@ -221,6 +221,74 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecE
                 condition: new_condition,
             })
         }
+        // A selection above an outer join: conjuncts that reference only the *preserved* side
+        // commute with the join and push into that input — for LEFT OUTER a left-only
+        // conjunct filters the same left rows whether applied before or after the join (NULL
+        // padding only affects right columns), and symmetrically for RIGHT OUTER. Conjuncts
+        // touching the padded side (or referencing no columns) stay above the join. The
+        // provenance rewriter's sublink rules emit exactly this shape: the original WHERE
+        // clause ends up above the LEFT OUTER join it introduces.
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: kind @ (JoinKind::LeftOuter | JoinKind::RightOuter),
+            condition,
+        } => {
+            let left_arity = left.output_arity();
+            let mut pushable: Vec<ScalarExpr> = Vec::new();
+            let mut kept: Vec<ScalarExpr> = Vec::new();
+            for conjunct in predicate.split_conjunction() {
+                let cols = conjunct.columns_used();
+                let fits = !cols.is_empty()
+                    && match kind {
+                        JoinKind::LeftOuter => cols.iter().all(|&c| c < left_arity),
+                        _ => cols.iter().all(|&c| c >= left_arity),
+                    };
+                if fits {
+                    pushable.push(conjunct.clone());
+                } else {
+                    kept.push(conjunct.clone());
+                }
+            }
+            if pushable.is_empty() {
+                rebuilt
+            } else {
+                let (new_left, new_right) = match kind {
+                    JoinKind::LeftOuter => {
+                        let filtered = push_down_owned(LogicalPlan::Selection {
+                            input: left.clone(),
+                            predicate: ScalarExpr::conjunction(pushable),
+                        })?;
+                        (Arc::new(filtered), right.clone())
+                    }
+                    _ => {
+                        let remapped = pushable
+                            .into_iter()
+                            .map(|c| c.map_columns(&mut |i| i - left_arity))
+                            .collect();
+                        let filtered = push_down_owned(LogicalPlan::Selection {
+                            input: right.clone(),
+                            predicate: ScalarExpr::conjunction(remapped),
+                        })?;
+                        (left.clone(), Arc::new(filtered))
+                    }
+                };
+                let joined = LogicalPlan::Join {
+                    left: new_left,
+                    right: new_right,
+                    kind: *kind,
+                    condition: condition.clone(),
+                };
+                if kept.is_empty() {
+                    Some(joined)
+                } else {
+                    Some(LogicalPlan::Selection {
+                        input: Arc::new(joined),
+                        predicate: ScalarExpr::conjunction(kept),
+                    })
+                }
+            }
+        }
         // Push through operators that do not change column positions.
         LogicalPlan::SubqueryAlias { input: inner, alias } => {
             let pushed = push_down_owned(LogicalPlan::Selection {
@@ -327,7 +395,7 @@ fn fold_plan_constants(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecEr
     let current = rebuilt.as_ref().unwrap_or(plan);
     Ok(match current {
         LogicalPlan::Selection { input, predicate } => {
-            let folded = fold_expr_opt(predicate);
+            let folded = fold_filter_opt(predicate);
             let effective = folded.as_ref().unwrap_or(predicate);
             if *effective == ScalarExpr::Literal(Value::Bool(true)) {
                 Some((**input).clone())
@@ -357,7 +425,7 @@ fn fold_plan_constants(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecEr
                 })
             }
         }
-        LogicalPlan::Join { left, right, kind, condition: Some(c) } => match fold_expr_opt(c) {
+        LogicalPlan::Join { left, right, kind, condition: Some(c) } => match fold_filter_opt(c) {
             Some(folded) => Some(LogicalPlan::Join {
                 left: left.clone(),
                 right: right.clone(),
@@ -368,6 +436,139 @@ fn fold_plan_constants(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecEr
         },
         _ => rebuilt,
     })
+}
+
+/// Fold constants, then normalize under *filter semantics* (a row passes only when the
+/// expression is TRUE, so NULL and FALSE are interchangeable at the top level). Applied to
+/// selection predicates and join conditions — the two places where expressions act as filters.
+fn fold_filter_opt(expr: &ScalarExpr) -> Option<ScalarExpr> {
+    let folded = fold_expr_opt(expr);
+    let effective = folded.as_ref().unwrap_or(expr);
+    match normalize_filter(effective) {
+        Some(normalized) => Some(normalized),
+        None => folded,
+    }
+}
+
+/// Normalize a filter expression. Returns `None` when nothing changed.
+///
+/// The provenance rewriter's sublink rules (§IV-E) leave behind exactly the shapes this pass
+/// targets: a scalar sublink inside an `OR` becomes `(p AND a = b) OR (p AND a = NULL)` on a
+/// join, which as written defeats equi-key extraction and forces a nested-loop join. Under
+/// filter semantics this pass (a) turns comparisons against a NULL literal into NULL, (b)
+/// drops never-true disjuncts and collapses never-true conjuncts, and (c) factors conjuncts
+/// common to every `OR` disjunct out of the disjunction — yielding `p AND a = b`, which the
+/// executor runs as a hash join.
+fn normalize_filter(expr: &ScalarExpr) -> Option<ScalarExpr> {
+    let normalized = normalize_filter_expr(expr);
+    if normalized == *expr {
+        None
+    } else {
+        Some(normalized)
+    }
+}
+
+/// Is this literal never TRUE (so a row can never pass a filter made of it)?
+fn never_true(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Literal(Value::Null) | ScalarExpr::Literal(Value::Bool(false)))
+}
+
+fn normalize_filter_expr(expr: &ScalarExpr) -> ScalarExpr {
+    use perm_algebra::BinaryOperator::{And, Or};
+    match expr {
+        // Conjuncts and disjuncts of a filter are themselves filter contexts: `a AND b` is
+        // TRUE iff both are TRUE, `a OR b` iff either is — so recursion is sound here (and
+        // only here; inside NOT or general expressions NULL is not interchangeable with
+        // FALSE).
+        ScalarExpr::BinaryOp { op: And, left, right } => {
+            let l = normalize_filter_expr(left);
+            let r = normalize_filter_expr(right);
+            if never_true(&l) || never_true(&r) {
+                return ScalarExpr::Literal(Value::Bool(false));
+            }
+            l.and(r)
+        }
+        ScalarExpr::BinaryOp { op: Or, .. } => {
+            let mut disjuncts = Vec::new();
+            collect_disjuncts(expr, &mut disjuncts);
+            let live: Vec<ScalarExpr> = disjuncts
+                .into_iter()
+                .map(normalize_filter_expr)
+                .filter(|d| !never_true(d))
+                .collect();
+            match live.len() {
+                0 => ScalarExpr::Literal(Value::Bool(false)),
+                1 => live.into_iter().next().expect("checked: one disjunct"),
+                _ => factor_common_conjuncts(live),
+            }
+        }
+        // A null-propagating comparison against a NULL literal is NULL on every row.
+        ScalarExpr::BinaryOp { op, left, right }
+            if op.is_comparison()
+                && !matches!(
+                    op,
+                    perm_algebra::BinaryOperator::IsDistinctFrom
+                        | perm_algebra::BinaryOperator::IsNotDistinctFrom
+                )
+                && (matches!(**left, ScalarExpr::Literal(Value::Null))
+                    || matches!(**right, ScalarExpr::Literal(Value::Null))) =>
+        {
+            ScalarExpr::Literal(Value::Null)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Flatten an `OR` tree into its disjuncts, in source order.
+fn collect_disjuncts<'a>(expr: &'a ScalarExpr, out: &mut Vec<&'a ScalarExpr>) {
+    if let ScalarExpr::BinaryOp { op: perm_algebra::BinaryOperator::Or, left, right } = expr {
+        collect_disjuncts(left, out);
+        collect_disjuncts(right, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Factor conjuncts common to every disjunct out of a disjunction:
+/// `(A AND B) OR (A AND C)` becomes `A AND (B OR C)`. If some disjunct consists entirely of
+/// common conjuncts the residual disjunction is vacuously true and only the common part
+/// remains.
+fn factor_common_conjuncts(disjuncts: Vec<ScalarExpr>) -> ScalarExpr {
+    let conjunct_lists: Vec<Vec<&ScalarExpr>> =
+        disjuncts.iter().map(|d| d.split_conjunction()).collect();
+    let mut common: Vec<ScalarExpr> = Vec::new();
+    for candidate in &conjunct_lists[0] {
+        if common.iter().any(|c| c == *candidate) {
+            continue; // duplicate conjunct already factored
+        }
+        if conjunct_lists[1..].iter().all(|list| list.iter().any(|c| c == candidate)) {
+            common.push((*candidate).clone());
+        }
+    }
+    if common.is_empty() {
+        return disjunction(disjuncts);
+    }
+    let mut residuals: Vec<ScalarExpr> = Vec::with_capacity(conjunct_lists.len());
+    for list in &conjunct_lists {
+        let rest: Vec<ScalarExpr> = list
+            .iter()
+            .filter(|c| !common.iter().any(|f| f == **c))
+            .map(|c| (*c).clone())
+            .collect();
+        if rest.is_empty() {
+            // This disjunct is exactly the common part: the residual disjunction is TRUE.
+            return ScalarExpr::conjunction(common);
+        }
+        residuals.push(ScalarExpr::conjunction(rest));
+    }
+    ScalarExpr::conjunction(common).and(disjunction(residuals))
+}
+
+/// Left-fold a non-empty list into an `OR` chain (the shape [`collect_disjuncts`] re-flattens,
+/// keeping [`normalize_filter`] idempotent).
+fn disjunction(mut disjuncts: Vec<ScalarExpr>) -> ScalarExpr {
+    let first = disjuncts.remove(0);
+    disjuncts.into_iter().fold(first, |acc, d| acc.or(d))
 }
 
 /// Recursively fold constant sub-expressions and simplify boolean connectives with literal
@@ -877,6 +1078,67 @@ mod tests {
             .build();
         let optimized = Optimizer::new().optimize(&plan).unwrap();
         assert!(matches!(optimized, LogicalPlan::Selection { .. }));
+    }
+
+    #[test]
+    fn filter_normalization_simplifies_null_comparison_disjuncts() {
+        // The provenance rewriter's scalar-sublink rule emits join conditions shaped like
+        // `(A AND B) OR (A AND col = NULL)`. Under filter semantics `col = NULL` can never be
+        // true, so the condition must normalize to `A AND B` — which then yields equi keys for a
+        // hash join instead of a nested loop.
+        let a = ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z"));
+        let b = ScalarExpr::column(1, "y").eq(ScalarExpr::column(2, "z"));
+        let never = ScalarExpr::column(2, "z").eq(ScalarExpr::literal(Value::Null));
+        let cond = a.clone().and(b.clone()).or(a.clone().and(never));
+        assert_eq!(fold_filter_opt(&cond), Some(a.and(b)));
+    }
+
+    #[test]
+    fn filter_normalization_factors_common_conjuncts_out_of_or() {
+        let a = ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z"));
+        let b = ScalarExpr::column(1, "y").eq(ScalarExpr::literal(1i64));
+        let c = ScalarExpr::column(1, "y").eq(ScalarExpr::literal(2i64));
+        let cond = a.clone().and(b.clone()).or(a.clone().and(c.clone()));
+        assert_eq!(fold_filter_opt(&cond), Some(a.and(b.or(c))));
+    }
+
+    #[test]
+    fn left_only_conjunct_pushes_through_left_outer_join() {
+        // A conjunct that references only the preserved (left) side of a LEFT OUTER join filters
+        // the same rows whether applied above or below the join, so it must be pushed down; the
+        // right-side conjunct has to stay above the join.
+        let (a, b) = scans();
+        let cond = ScalarExpr::column(0, "x").eq(ScalarExpr::column(2, "z"));
+        let plan = a
+            .join(b, JoinKind::LeftOuter, Some(cond))
+            .filter(
+                ScalarExpr::column(1, "y")
+                    .eq(ScalarExpr::literal(7i64))
+                    .and(ScalarExpr::column(2, "z").eq(ScalarExpr::literal(1i64))),
+            )
+            .build();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        optimized.validate().unwrap();
+        match &optimized {
+            LogicalPlan::Selection { predicate, input } => {
+                // Only the right-side conjunct remains above the join.
+                assert_eq!(predicate.columns_used(), vec![2]);
+                match input.as_ref() {
+                    LogicalPlan::Join { kind: JoinKind::LeftOuter, left, .. } => {
+                        match left.as_ref() {
+                            LogicalPlan::Selection { predicate, .. } => {
+                                assert_eq!(predicate.columns_used(), vec![1]);
+                            }
+                            other => {
+                                panic!("expected pushed selection on left input, got {other:?}")
+                            }
+                        }
+                    }
+                    other => panic!("expected left outer join below selection, got {other:?}"),
+                }
+            }
+            other => panic!("expected selection above the join, got {other:?}"),
+        }
     }
 
     #[test]

@@ -913,8 +913,9 @@ fn probe_morsel(
             columns.push(Arc::new(probe.column(c).take(left_idx)));
         }
         if *pads == 0 {
+            // Factorized gather: wide build columns become dict views (see `gather_build`).
             for c in 0..right_arity {
-                columns.push(Arc::new(build.column(c).take(right_idx)));
+                columns.push(Arc::new(crate::vector::gather_build(build.column(c), right_idx)));
             }
         } else {
             let opt: Vec<Option<u32>> =

@@ -631,9 +631,10 @@ impl<'a> ChunkJoinIter<'a> {
             columns.push(Arc::new(probe.column(c).take(&self.left_idx)));
         }
         if self.pads == 0 {
-            // Pure-match batch (every inner join): plain gathers on the build columns.
+            // Pure-match batch (every inner join): gather the build columns, factorizing the
+            // wide ones into dictionary views instead of materializing duplicates.
             for c in 0..self.right_arity {
-                columns.push(Arc::new(self.build.column(c).take(&self.right_idx)));
+                columns.push(Arc::new(gather_build(self.build.column(c), &self.right_idx)));
             }
         } else {
             let opt: Vec<Option<u32>> =
@@ -659,6 +660,20 @@ impl<'a> ChunkJoinIter<'a> {
             columns.push(Arc::new(self.build.column(c).take(indices)));
         }
         Ok(chunk_from_columns(columns, indices.len()))
+    }
+}
+
+/// Build-side join gather. Provenance rewrites duplicate whole source tuples through joins, so
+/// columns whose copies are expensive (text, boxed values) — or that are already dictionary
+/// views from an upstream join — become [`Array::Dict`] views sharing the build column as the
+/// dictionary: per output row only a 4-byte index is written. Cheap native columns gather
+/// plainly; a view would only add a resolution hop to every downstream read.
+pub(crate) fn gather_build(col: &Arc<Array>, indices: &[u32]) -> Array {
+    match col.as_ref() {
+        Array::Text { .. } | Array::Any { .. } | Array::Dict { .. } | Array::RunLength { .. } => {
+            col.take_dict(indices)
+        }
+        _ => col.take(indices),
     }
 }
 
@@ -975,6 +990,8 @@ fn bool_view(a: &Array) -> Vec<Option<bool>> {
             values.iter().enumerate().map(|(i, v)| validity.get(i).then_some(*v != 0)).collect()
         }
         Array::Any { values } => values.iter().map(|v| v.as_bool()).collect(),
+        // Encoded views must be decoded, not treated as the untyped all-NULL fallback.
+        encoded if encoded.is_encoded() => bool_view(&encoded.to_plain()),
         other => vec![None; other.len()],
     }
 }
@@ -1160,6 +1177,12 @@ fn checked_arith_kernel<T: Copy, U: Copy, O: Default>(
 fn vectorized_binary(op: BinaryOperator, l: &Array, r: &Array) -> Result<Array, ExecError> {
     use BinaryOperator::*;
     debug_assert_eq!(l.len(), r.len());
+    // Encoded operands are decoded up front so the typed kernels below apply; computing on a
+    // factorized column pays the materialization the gather deferred, exactly once.
+    if l.is_encoded() || r.is_encoded() {
+        let (lp, rp) = (l.to_plain(), r.to_plain());
+        return vectorized_binary(op, &lp, &rp);
+    }
     // All-NULL operands: every row-wise result is NULL for the null-propagating operators.
     if !matches!(op, IsDistinctFrom | IsNotDistinctFrom)
         && (matches!(l, Array::Null { .. }) || matches!(r, Array::Null { .. }))

@@ -1,0 +1,636 @@
+//! Binary payload codec for protocol-v2 response frames.
+//!
+//! Requests stay single-line UTF-8 text; *responses* are tagged binary payloads inside the
+//! same length-prefixed framing (see [`crate::wire`]). The first payload byte is the frame
+//! tag:
+//!
+//! | tag   | frame    | body                                                          |
+//! |-------|----------|---------------------------------------------------------------|
+//! | `+`   | text     | UTF-8 text (simple command responses, `hello` ack)            |
+//! | `-`   | error    | UTF-8 error message                                           |
+//! | `S`   | schema   | u16 ncols, then per column u16 name-len + name + u8 type tag  |
+//! | `R`   | chunk    | u32 rows, u16 ncols, then one encoded array per column        |
+//! | `D`   | done     | u64 total row count                                           |
+//!
+//! All integers are big-endian (matching the frame length prefix). Arrays ship in their
+//! *factorized* form: a dictionary-encoded join output keeps its 4-byte indices and sends each
+//! distinct dictionary row once (after compacting away unreferenced rows), and long constant
+//! stretches are run-length compressed at encode time. Array encoding:
+//!
+//! ```text
+//! array     := enc-tag:u8 body
+//! enc-tag   := 0 (plain) | 1 (dict) | 2 (run-length)
+//! plain     := type-tag:u8 len:u32 payload            ; type-specific, see below
+//! dict      := count:u32 index:u32{count} array       ; the shared dictionary, recursively
+//! rle       := runs:u32 run-end:u32{runs} array       ; one representative row per run
+//! ```
+//!
+//! Plain payloads carry a validity bitmap (`ceil(len/8)` bytes, bit `i` of byte `i/8` set iff
+//! row `i` is non-NULL) followed by native values: bit-packed bools, 8-byte ints/floats,
+//! 4-byte dates, or `u32`-length-prefixed UTF-8 for text. `Null` columns have no payload and
+//! `Any` columns (mixed types) carry one tagged [`Value`] per row.
+
+use std::sync::Arc;
+
+use perm_algebra::{Array, Bitmap, DataChunk, DataType, Schema, Value};
+
+use crate::error::ServiceError;
+
+/// The protocol version this build speaks (negotiated by the `hello` handshake).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Frame tag bytes.
+pub mod tag {
+    /// Simple text response.
+    pub const TEXT: u8 = b'+';
+    /// Error response (possibly mid-stream, invalidating earlier chunk frames).
+    pub const ERROR: u8 = b'-';
+    /// Result schema header.
+    pub const SCHEMA: u8 = b'S';
+    /// One chunk of result rows.
+    pub const RESULT: u8 = b'R';
+    /// End-of-stream trailer.
+    pub const DONE: u8 = b'D';
+}
+
+/// Dictionaries at most this large are compacted with a dense `Vec` remap table; larger ones
+/// fall back to a hash map so a huge build side referenced by a tiny chunk stays cheap.
+const DENSE_REMAP_LIMIT: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encode a schema frame (`S`).
+pub fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut out = vec![tag::SCHEMA];
+    out.extend_from_slice(&(schema.arity() as u16).to_be_bytes());
+    for attr in schema.attributes() {
+        let name = attr.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        out.extend_from_slice(name);
+        out.push(type_tag(attr.data_type));
+    }
+    out
+}
+
+/// Encode a result-chunk frame (`R`), factorizing each column: dict views are compacted to
+/// their referenced rows, and plain columns with long constant stretches are run-length
+/// compressed.
+pub fn encode_chunk(chunk: &DataChunk) -> Vec<u8> {
+    let mut out = vec![tag::RESULT];
+    out.extend_from_slice(&(chunk.num_rows() as u32).to_be_bytes());
+    out.extend_from_slice(&(chunk.num_columns() as u16).to_be_bytes());
+    for c in 0..chunk.num_columns() {
+        encode_array(chunk.column(c), &mut out);
+    }
+    out
+}
+
+/// Encode a done trailer (`D`) carrying the stream's total row count.
+pub fn encode_done(rows: u64) -> Vec<u8> {
+    let mut out = vec![tag::DONE];
+    out.extend_from_slice(&rows.to_be_bytes());
+    out
+}
+
+/// Encode a text (`+`) or error (`-`) frame.
+pub fn encode_text(tag_byte: u8, text: &str) -> Vec<u8> {
+    let mut out = vec![tag_byte];
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+fn type_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Date => 4,
+        DataType::Null => 5,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Result<DataType, ServiceError> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Date,
+        5 => DataType::Null,
+        other => return Err(ServiceError::protocol(format!("unknown type tag {other}"))),
+    })
+}
+
+/// Encode one array in its most compact of the three wire forms.
+fn encode_array(array: &Array, out: &mut Vec<u8>) {
+    match array {
+        Array::Dict { indices, dict } => {
+            let plain_dict = dict.to_plain();
+            let (indices, compacted) = compact_dictionary(indices, &plain_dict);
+            // A dictionary that is (almost) as long as the chunk saves nothing over sending
+            // the rows plainly — only keep the factorized form when rows actually repeat.
+            if compacted.len() >= indices.len() {
+                encode_plain(&array.to_plain(), out);
+                return;
+            }
+            out.push(1);
+            out.extend_from_slice(&(indices.len() as u32).to_be_bytes());
+            for i in &indices {
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            encode_plain(&compacted, out);
+        }
+        Array::RunLength { values, run_ends } => {
+            out.push(2);
+            out.extend_from_slice(&(run_ends.len() as u32).to_be_bytes());
+            for end in run_ends {
+                out.extend_from_slice(&end.to_be_bytes());
+            }
+            encode_plain(&values.to_plain(), out);
+        }
+        plain => match plain.rle_compress() {
+            Some(rle) => encode_array(&rle, out),
+            None => encode_plain(plain, out),
+        },
+    }
+}
+
+/// Drop dictionary rows no index references and remap the indices accordingly, so a frame
+/// never ships build-side rows that its chunk does not use.
+fn compact_dictionary(indices: &[u32], dict: &Array) -> (Vec<u32>, Array) {
+    if dict.len() <= DENSE_REMAP_LIMIT {
+        let mut remap = vec![u32::MAX; dict.len()];
+        let mut keep: Vec<u32> = Vec::new();
+        let new_indices = indices
+            .iter()
+            .map(|&i| {
+                if remap[i as usize] == u32::MAX {
+                    remap[i as usize] = keep.len() as u32;
+                    keep.push(i);
+                }
+                remap[i as usize]
+            })
+            .collect();
+        (new_indices, dict.take(&keep))
+    } else {
+        let mut remap = std::collections::HashMap::new();
+        let mut keep: Vec<u32> = Vec::new();
+        let new_indices = indices
+            .iter()
+            .map(|&i| {
+                *remap.entry(i).or_insert_with(|| {
+                    keep.push(i);
+                    keep.len() as u32 - 1
+                })
+            })
+            .collect();
+        (new_indices, dict.take(&keep))
+    }
+}
+
+fn encode_validity(validity: &Bitmap, out: &mut Vec<u8>) {
+    let mut bytes = vec![0u8; validity.len().div_ceil(8)];
+    for (i, set) in validity.iter().enumerate() {
+        if set {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bytes);
+}
+
+fn encode_plain(array: &Array, out: &mut Vec<u8>) {
+    debug_assert!(!array.is_encoded());
+    out.push(0);
+    let len = array.len() as u32;
+    match array {
+        Array::Bool { values, validity } => {
+            out.push(0);
+            out.extend_from_slice(&len.to_be_bytes());
+            encode_validity(validity, out);
+            let mut bytes = vec![0u8; values.len().div_ceil(8)];
+            for (i, &v) in values.iter().enumerate() {
+                if v {
+                    bytes[i / 8] |= 1 << (i % 8);
+                }
+            }
+            out.extend_from_slice(&bytes);
+        }
+        Array::Int { values, validity } => {
+            out.push(1);
+            out.extend_from_slice(&len.to_be_bytes());
+            encode_validity(validity, out);
+            for v in values {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        Array::Float { values, validity } => {
+            out.push(2);
+            out.extend_from_slice(&len.to_be_bytes());
+            encode_validity(validity, out);
+            for v in values {
+                out.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+        }
+        Array::Text { values, validity } => {
+            out.push(3);
+            out.extend_from_slice(&len.to_be_bytes());
+            encode_validity(validity, out);
+            for v in values {
+                out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                out.extend_from_slice(v.as_bytes());
+            }
+        }
+        Array::Date { values, validity } => {
+            out.push(4);
+            out.extend_from_slice(&len.to_be_bytes());
+            encode_validity(validity, out);
+            for v in values {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        Array::Null { .. } => {
+            out.push(5);
+            out.extend_from_slice(&len.to_be_bytes());
+        }
+        Array::Any { values } => {
+            out.push(6);
+            out.extend_from_slice(&len.to_be_bytes());
+            for v in values {
+                encode_value(v, out);
+            }
+        }
+        Array::Dict { .. } | Array::RunLength { .. } => unreachable!("encoded array"),
+    }
+}
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Value::Text(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.to_be_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A byte cursor over one frame payload with protocol-error reporting.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServiceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| ServiceError::protocol("truncated response frame"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServiceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServiceError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServiceError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServiceError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, ServiceError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ServiceError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), ServiceError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ServiceError::protocol("trailing bytes after response frame"))
+        }
+    }
+}
+
+/// Decode a schema frame body (the payload after the `S` tag byte).
+pub fn decode_schema(body: &[u8]) -> Result<Schema, ServiceError> {
+    let mut cur = Cursor::new(body);
+    let ncols = cur.u16()? as usize;
+    let mut pairs: Vec<(String, DataType)> = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name_len = cur.u16()? as usize;
+        let name = String::from_utf8(cur.take(name_len)?.to_vec())
+            .map_err(|_| ServiceError::protocol("schema name is not valid UTF-8"))?;
+        let data_type = type_from_tag(cur.u8()?)?;
+        pairs.push((name, data_type));
+    }
+    cur.finish()?;
+    let refs: Vec<(&str, DataType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Ok(Schema::from_pairs(&refs))
+}
+
+/// Decode a result-chunk frame body (the payload after the `R` tag byte).
+pub fn decode_chunk(body: &[u8]) -> Result<DataChunk, ServiceError> {
+    let mut cur = Cursor::new(body);
+    let rows = cur.u32()? as usize;
+    let ncols = cur.u16()? as usize;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let array = decode_array(&mut cur)?;
+        if array.len() != rows {
+            return Err(ServiceError::protocol("chunk column length mismatch"));
+        }
+        columns.push(Arc::new(array));
+    }
+    cur.finish()?;
+    if columns.is_empty() {
+        Ok(DataChunk::zero_width(rows))
+    } else {
+        Ok(DataChunk::new(columns))
+    }
+}
+
+/// Decode a done trailer body (the payload after the `D` tag byte).
+pub fn decode_done(body: &[u8]) -> Result<u64, ServiceError> {
+    let mut cur = Cursor::new(body);
+    let rows = cur.u64()?;
+    cur.finish()?;
+    Ok(rows)
+}
+
+fn decode_array(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
+    match cur.u8()? {
+        0 => decode_plain(cur),
+        1 => {
+            let count = cur.u32()? as usize;
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(cur.u32()?);
+            }
+            let dict = decode_array(cur)?;
+            if indices.iter().any(|&i| i as usize >= dict.len()) {
+                return Err(ServiceError::protocol("dictionary index out of bounds"));
+            }
+            Ok(Array::Dict { indices, dict: Arc::new(dict) })
+        }
+        2 => {
+            let runs = cur.u32()? as usize;
+            let mut run_ends = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                run_ends.push(cur.u32()?);
+            }
+            if run_ends.windows(2).any(|w| w[0] >= w[1]) || run_ends.first() == Some(&0) {
+                return Err(ServiceError::protocol("run ends are not strictly increasing"));
+            }
+            let values = decode_array(cur)?;
+            if values.len() != run_ends.len() {
+                return Err(ServiceError::protocol("run values length mismatch"));
+            }
+            Ok(Array::RunLength { values: Arc::new(values), run_ends })
+        }
+        other => Err(ServiceError::protocol(format!("unknown array encoding tag {other}"))),
+    }
+}
+
+fn decode_validity(cur: &mut Cursor<'_>, len: usize) -> Result<Bitmap, ServiceError> {
+    let bytes = cur.take(len.div_ceil(8))?;
+    Ok((0..len).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
+}
+
+fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
+    let type_tag = cur.u8()?;
+    let len = cur.u32()? as usize;
+    Ok(match type_tag {
+        0 => {
+            let validity = decode_validity(cur, len)?;
+            let bytes = cur.take(len.div_ceil(8))?;
+            let values = (0..len).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect();
+            Array::Bool { values, validity }
+        }
+        1 => {
+            let validity = decode_validity(cur, len)?;
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(cur.i64()?);
+            }
+            Array::Int { values, validity }
+        }
+        2 => {
+            let validity = decode_validity(cur, len)?;
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(f64::from_bits(cur.u64()?));
+            }
+            Array::Float { values, validity }
+        }
+        3 => {
+            let validity = decode_validity(cur, len)?;
+            let mut values: Vec<Arc<str>> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let text_len = cur.u32()? as usize;
+                let text = std::str::from_utf8(cur.take(text_len)?)
+                    .map_err(|_| ServiceError::protocol("text value is not valid UTF-8"))?;
+                values.push(Arc::from(text));
+            }
+            Array::Text { values, validity }
+        }
+        4 => {
+            let validity = decode_validity(cur, len)?;
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(cur.i32()?);
+            }
+            Array::Date { values, validity }
+        }
+        5 => Array::Null { len },
+        6 => {
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(decode_value(cur)?);
+            }
+            Array::Any { values }
+        }
+        other => return Err(ServiceError::protocol(format!("unknown array type tag {other}"))),
+    })
+}
+
+fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, ServiceError> {
+    Ok(match cur.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(cur.u8()? != 0),
+        2 => Value::Int(cur.i64()?),
+        3 => Value::Float(f64::from_bits(cur.u64()?)),
+        4 => {
+            let len = cur.u32()? as usize;
+            let text = std::str::from_utf8(cur.take(len)?)
+                .map_err(|_| ServiceError::protocol("text value is not valid UTF-8"))?;
+            Value::text(text)
+        }
+        5 => Value::Date(cur.i32()?),
+        other => return Err(ServiceError::protocol(format!("unknown value tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(chunk: &DataChunk) -> DataChunk {
+        let bytes = encode_chunk(chunk);
+        assert_eq!(bytes[0], tag::RESULT);
+        decode_chunk(&bytes[1..]).unwrap()
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Text),
+            ("price", DataType::Float),
+            ("since", DataType::Date),
+            ("flag", DataType::Bool),
+            ("nothing", DataType::Null),
+        ]);
+        let bytes = encode_schema(&schema);
+        assert_eq!(bytes[0], tag::SCHEMA);
+        let decoded = decode_schema(&bytes[1..]).unwrap();
+        assert_eq!(decoded.arity(), schema.arity());
+        for (a, b) in decoded.attributes().iter().zip(schema.attributes()) {
+            assert_eq!((a.name.as_str(), a.data_type), (b.name.as_str(), b.data_type));
+        }
+    }
+
+    #[test]
+    fn plain_chunks_round_trip_bit_identically() {
+        let chunk = DataChunk::new(vec![
+            Arc::new(Array::from_values([Value::Int(1), Value::Null, Value::Int(-7)].into_iter())),
+            Arc::new(Array::from_values(
+                [Value::text("a"), Value::text(""), Value::Null].into_iter(),
+            )),
+            Arc::new(Array::from_values(
+                [Value::Float(1.5), Value::Float(f64::NAN), Value::Null].into_iter(),
+            )),
+            Arc::new(Array::from_values(
+                [Value::Bool(true), Value::Null, Value::Bool(false)].into_iter(),
+            )),
+            Arc::new(Array::from_values(
+                [Value::Date(0), Value::Date(-400), Value::Null].into_iter(),
+            )),
+            Arc::new(Array::Null { len: 3 }),
+            Arc::new(Array::Any { values: vec![Value::Int(1), Value::text("mixed"), Value::Null] }),
+        ]);
+        let decoded = round_trip(&chunk);
+        // NaN defeats PartialEq; compare everything but the float column logically and the
+        // float column bitwise.
+        for c in [0usize, 1, 3, 4, 5, 6] {
+            assert_eq!(decoded.column(c), chunk.column(c), "column {c}");
+        }
+        match (decoded.column(2).as_ref(), chunk.column(2).as_ref()) {
+            (
+                Array::Float { values: d, validity: dv },
+                Array::Float { values: o, validity: ov },
+            ) => {
+                assert_eq!(dv, ov);
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(d), bits(o));
+            }
+            other => panic!("expected float columns, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dict_views_ship_factorized_and_compacted() {
+        // 6 rows over a 5-row dictionary of which only 2 rows are referenced: the frame must
+        // stay dictionary-encoded and carry exactly the 2 referenced dictionary rows.
+        let dict = Arc::new(Array::from_values(
+            (0..5).map(|i| Value::text(format!("payload-{i}").as_str())),
+        ));
+        let view = Array::Dict { indices: vec![3, 1, 3, 1, 1, 3], dict };
+        let chunk = DataChunk::new(vec![Arc::new(view.clone())]);
+        let bytes = encode_chunk(&chunk);
+        let decoded = decode_chunk(&bytes[1..]).unwrap();
+        match decoded.column(0).as_ref() {
+            Array::Dict { dict, .. } => assert_eq!(dict.len(), 2, "dictionary is compacted"),
+            other => panic!("expected a dict column on the wire, got {other:?}"),
+        }
+        assert_eq!(decoded.column(0).as_ref(), &view, "logical content survives");
+    }
+
+    #[test]
+    fn unique_dict_views_degrade_to_plain() {
+        // Every row distinct: the dictionary saves nothing, so the wire form is plain.
+        let dict = Arc::new(Array::from_values((0..4).map(Value::Int)));
+        let view = Array::Dict { indices: vec![2, 0, 3, 1], dict };
+        let chunk = DataChunk::new(vec![Arc::new(view.clone())]);
+        let bytes = encode_chunk(&chunk);
+        let decoded = decode_chunk(&bytes[1..]).unwrap();
+        assert!(!decoded.column(0).is_encoded());
+        assert_eq!(decoded.column(0).as_ref(), &view);
+    }
+
+    #[test]
+    fn constant_columns_run_length_compress_on_the_wire() {
+        let array = Array::from_values(std::iter::repeat_n(Value::Int(42), 1000));
+        let chunk = DataChunk::new(vec![Arc::new(array.clone())]);
+        let bytes = encode_chunk(&chunk);
+        assert!(bytes.len() < 100, "1000 constant ints must compress, got {} bytes", bytes.len());
+        let decoded = decode_chunk(&bytes[1..]).unwrap();
+        assert!(matches!(decoded.column(0).as_ref(), Array::RunLength { .. }));
+        assert_eq!(decoded.column(0).as_ref(), &array);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked_on() {
+        assert!(decode_chunk(&[]).is_err());
+        assert!(decode_schema(&[0, 3, 0, 1]).is_err());
+        assert!(decode_done(&[1, 2, 3]).is_err());
+        // Dict index out of bounds.
+        let dict = Arc::new(Array::from_values((0..2).map(Value::Int)));
+        let chunk = DataChunk::new(vec![Arc::new(Array::Dict { indices: vec![0, 1, 0], dict })]);
+        let mut bytes = encode_chunk(&chunk);
+        // Corrupt the first dictionary index to a huge value.
+        let idx_pos = 1 + 4 + 2 + 1 + 4; // tag, rows, ncols, enc tag, index count
+        bytes[idx_pos..idx_pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_chunk(&bytes[1..]).is_err());
+    }
+}

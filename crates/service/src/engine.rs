@@ -11,6 +11,7 @@ use perm_storage::{Catalog, Relation};
 use crate::cache::{normalize_sql, CacheStats, PlanCache};
 use crate::error::ServiceError;
 use crate::session::Session;
+use crate::stream::QueryStream;
 
 /// A fully planned query: analyzed, provenance-rewritten and optimized exactly once, ready to
 /// be executed any number of times (with fresh parameter bindings each time).
@@ -41,6 +42,9 @@ pub struct Engine {
     /// The shared pool, spawned lazily on first use so builder-style reconfiguration
     /// (`Engine::new().with_workers(n)`) never spawns and immediately discards threads.
     pool: std::sync::OnceLock<Arc<WorkerPool>>,
+    /// Bytes currently buffered in streaming result channels across all sessions (a gauge:
+    /// stream producers add on send, consumers subtract on receive).
+    stream_buffered: Arc<std::sync::atomic::AtomicUsize>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -86,6 +90,7 @@ impl Engine {
             cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             workers: workers.max(1),
             pool: std::sync::OnceLock::new(),
+            stream_buffered: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
         }
     }
 
@@ -199,22 +204,58 @@ impl Engine {
         }
     }
 
+    /// Bytes currently buffered in streaming result channels across all sessions.
+    pub fn stream_buffered_bytes(&self) -> usize {
+        self.stream_buffered.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Execute an already-planned query under `options`, binding `params` to its `$n` slots.
     ///
     /// The executor captures an atomic catalog snapshot, so the execution observes one
     /// consistent state of every table regardless of concurrent commits. A `SELECT ... INTO`
     /// target is written back to the shared catalog after execution.
+    ///
+    /// This is the materializing convenience wrapper over
+    /// [`run_plan_streaming`](Engine::run_plan_streaming): it collects the stream before it
+    /// starts, which runs the parallel executor inline.
     pub fn execute_prepared_plan(
         &self,
         prepared: &PreparedPlan,
         options: ExecOptions,
         params: Vec<Value>,
     ) -> Result<Relation, ServiceError> {
-        let result = self.run_plan(&prepared.plan, options, params)?;
+        let stream = self.run_plan_streaming(Arc::new(prepared.clone()), options, params)?;
+        let result = stream.collect_relation()?;
         if let Some(target) = &prepared.into {
             self.catalog.overwrite(target, result.clone())?;
         }
         Ok(result)
+    }
+
+    /// Execute an already-planned query as a [`QueryStream`] of result chunks.
+    ///
+    /// The stream is lazy: no execution work happens until the first chunk is pulled (or the
+    /// stream is collected). Single-worker engines and sessions with a row budget stream
+    /// through the executor's pull-based chunk pipeline, which holds
+    /// O(window × chunk size) memory end to end regardless of result size; multi-worker
+    /// engines execute in parallel inside the stream's producer thread and feed the result out
+    /// chunk-wise. **`SELECT ... INTO` is not handled here** — callers that support it
+    /// materialize first (see [`Session::execute_streaming`]).
+    pub fn run_plan_streaming(
+        &self,
+        prepared: Arc<PreparedPlan>,
+        options: ExecOptions,
+        params: Vec<Value>,
+    ) -> Result<QueryStream, ServiceError> {
+        let pull = self.workers <= 1 || options.row_budget.is_some();
+        let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
+        Ok(QueryStream::pending(
+            executor,
+            prepared,
+            self.worker_pool().clone(),
+            pull,
+            self.stream_buffered.clone(),
+        ))
     }
 
     /// Execute a bound plan as-is (no optimization) under `options` with `params` bound.

@@ -38,16 +38,20 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod server;
 pub mod session;
 pub mod shell;
+pub mod stream;
 pub mod wire;
 
 pub use cache::{normalize_sql, CacheStats, PlanCache};
+pub use codec::PROTOCOL_VERSION;
 pub use engine::{Engine, PreparedPlan};
 pub use error::ServiceError;
 pub use server::{serve, ServerHandle};
 pub use session::{Session, SessionOptions};
 pub use shell::Client;
+pub use stream::QueryStream;

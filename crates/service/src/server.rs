@@ -1,5 +1,11 @@
 //! The `permd` TCP server: one thread per connection, each owning a [`Session`], with a
 //! graceful shutdown path (the `shutdown` wire command or [`ServerHandle::shutdown`]).
+//!
+//! Connections speak protocol version 2 (see [`crate::codec`] and `docs/PROTOCOL.md`): the
+//! first request must be the `hello <version>` handshake, query results stream out as
+//! `S` / `R`* / `D` frames, and the client paces the server by acknowledging each `R` frame —
+//! at most [`BACKPRESSURE_WINDOW`] chunks are ever in flight, so one slow client buffers a
+//! bounded number of chunks on the server no matter how large its result is.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -11,10 +17,12 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use perm_algebra::Value;
 
+use crate::codec::{self, tag, PROTOCOL_VERSION};
 use crate::engine::Engine;
 use crate::error::ServiceError;
 use crate::session::Session;
-use crate::wire::{parse_param_values, read_frame_rest, render_relation, write_frame};
+use crate::stream::QueryStream;
+use crate::wire::{parse_param_values, read_frame_rest, render_relation, write_bytes_frame};
 
 /// How long a connection blocks waiting for the *start* of a frame before re-checking the
 /// shutdown flag.
@@ -23,6 +31,11 @@ const READ_POLL_INTERVAL: Duration = Duration::from_millis(200);
 /// How long a started frame may take to arrive completely; a stall this long mid-frame is
 /// treated as a broken client and drops the connection.
 const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Maximum number of unacknowledged `R` frames the server keeps in flight per stream. With
+/// ~[`perm_algebra::DEFAULT_CHUNK_SIZE`]-row chunks this bounds per-session result buffering
+/// at O(window × chunk size) regardless of result cardinality.
+pub const BACKPRESSURE_WINDOW: usize = 8;
 
 /// A handle to a running server: its bound address and a way to stop it.
 pub struct ServerHandle {
@@ -100,6 +113,34 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
     Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread) })
 }
 
+/// Read one complete request frame, polling for its first byte so the shutdown flag is honored
+/// while the connection is idle. Returns `None` on clean EOF or shutdown.
+fn read_request(reader: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<String>> {
+    loop {
+        // Poll for the *first byte* of the next frame. The short timeout is only safe at a
+        // frame boundary: a timed-out 1-byte read consumes nothing, whereas timing out inside
+        // `read_frame`'s `read_exact` would silently discard a partially received frame and
+        // desync the protocol for a client that delivers a frame in pieces.
+        let mut first = [0u8; 1];
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(None), // client closed the connection
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        // The frame has started: give the remainder a generous window, then restore polling.
+        reader.set_read_timeout(Some(FRAME_COMPLETION_TIMEOUT))?;
+        let request = read_frame_rest(reader, first[0])?;
+        reader.set_read_timeout(Some(READ_POLL_INTERVAL))?;
+        return Ok(Some(request));
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
     engine: Arc<Engine>,
@@ -109,30 +150,68 @@ fn handle_connection(
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
     let mut session = Session::new(engine);
+    let mut negotiated = false;
     loop {
-        // Poll for the *first byte* of the next frame so the shutdown flag is honored while
-        // the connection is idle. The short timeout is only safe at a frame boundary: a
-        // timed-out 1-byte read consumes nothing, whereas timing out inside `read_frame`'s
-        // `read_exact` would silently discard a partially received frame and desync the
-        // protocol for a client that delivers a frame in pieces.
-        let mut first = [0u8; 1];
-        match reader.read(&mut first) {
-            Ok(0) => return Ok(()), // client closed the connection
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
+        let Some(request) = read_request(&mut reader, &shutdown)? else {
+            return Ok(());
+        };
+        // Version negotiation gates everything else: a legacy (pre-v2) client that opens with
+        // `query ...` instead of `hello` gets a clean, versioned error it can render as text
+        // (v1 responses were `-`-prefixed text too) instead of a hang or a binary surprise.
+        if !negotiated {
+            match parse_hello(&request) {
+                Some(v) if v == PROTOCOL_VERSION => {
+                    negotiated = true;
+                    write_bytes_frame(
+                        &mut writer,
+                        &codec::encode_text(tag::TEXT, &format!("hello {PROTOCOL_VERSION}")),
+                    )?;
+                    continue;
                 }
-                continue;
+                Some(v) => {
+                    write_bytes_frame(
+                        &mut writer,
+                        &codec::encode_text(
+                            tag::ERROR,
+                            &format!(
+                                "unsupported protocol version {v}; this server speaks version \
+                                 {PROTOCOL_VERSION}"
+                            ),
+                        ),
+                    )?;
+                    continue;
+                }
+                None => {
+                    write_bytes_frame(
+                        &mut writer,
+                        &codec::encode_text(
+                            tag::ERROR,
+                            &format!(
+                                "protocol error: expected 'hello <version>' handshake before \
+                                 '{}' (this server speaks protocol version {PROTOCOL_VERSION}; \
+                                 upgrade the client)",
+                                request.split_whitespace().next().unwrap_or("")
+                            ),
+                        ),
+                    )?;
+                    continue;
+                }
             }
-            Err(e) => return Err(e),
         }
-        // The frame has started: give the remainder a generous window, then restore polling.
-        reader.set_read_timeout(Some(FRAME_COMPLETION_TIMEOUT))?;
-        let request = read_frame_rest(&mut reader, first[0])?;
-        reader.set_read_timeout(Some(READ_POLL_INTERVAL))?;
-        let (response, stop) = handle_request(&mut session, &request, &shutdown);
-        write_frame(&mut writer, &response)?;
+        let stop = match dispatch(&mut session, &request, &shutdown) {
+            Ok((Response::Text(text), stop)) => {
+                write_bytes_frame(&mut writer, &codec::encode_text(tag::TEXT, &text))?;
+                stop
+            }
+            Ok((Response::Stream(stream), stop)) => {
+                stream_result(&mut reader, &mut writer, stream, &shutdown)?;
+                stop
+            }
+            Err(e) => {
+                write_bytes_frame(&mut writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
+                false
+            }
+        };
         if stop {
             // Wake the accept loop so it notices the flag even with no further clients.
             if let Ok(addr) = writer.local_addr() {
@@ -143,16 +222,89 @@ fn handle_connection(
     }
 }
 
-/// Dispatch one wire request against a session. Returns the response payload and whether the
-/// server should shut down. Public so tests (and the shell's offline mode) can drive the
-/// protocol without a socket.
+/// Parse a `hello <version>` handshake request; `None` if this is some other command.
+fn parse_hello(request: &str) -> Option<u32> {
+    let rest = request.trim().strip_prefix("hello")?;
+    rest.trim().parse().ok()
+}
+
+/// Stream one query result: `S`, then `R` frames paced by client `ack`s, then `D` — or a `-`
+/// error frame, which invalidates every `R` frame sent before it.
+fn stream_result(
+    reader: &mut TcpStream,
+    writer: &mut TcpStream,
+    mut stream: QueryStream,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    write_bytes_frame(writer, &codec::encode_schema(stream.schema()))?;
+    let mut unacked = 0usize;
+    loop {
+        match stream.next_chunk() {
+            Some(Ok(chunk)) => {
+                while unacked >= BACKPRESSURE_WINDOW {
+                    read_ack(reader, shutdown)?;
+                    unacked -= 1;
+                }
+                write_bytes_frame(writer, &codec::encode_chunk(&chunk))?;
+                unacked += 1;
+            }
+            Some(Err(e)) => {
+                write_bytes_frame(writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
+                break;
+            }
+            None => {
+                write_bytes_frame(writer, &codec::encode_done(stream.rows()))?;
+                break;
+            }
+        }
+    }
+    // Consume the acknowledgements still owed for sent frames, so they are not misread as the
+    // connection's next command.
+    while unacked > 0 {
+        read_ack(reader, shutdown)?;
+        unacked -= 1;
+    }
+    Ok(())
+}
+
+/// Read one request mid-stream and require it to be an `ack`; anything else desyncs the
+/// protocol and drops the connection.
+fn read_ack(reader: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<()> {
+    match read_request(reader, shutdown)? {
+        Some(request) if request.trim().eq_ignore_ascii_case("ack") => Ok(()),
+        Some(other) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected 'ack' during result stream, got '{other}'"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed while awaiting stream acknowledgement",
+        )),
+    }
+}
+
+/// One dispatched response: either a simple text payload or a result stream.
+enum Response {
+    Text(String),
+    Stream(QueryStream),
+}
+
+/// Dispatch one wire request against a session and render the response as text (streamed
+/// results are collected and rendered whole). Returns the response payload — `+`-prefixed on
+/// success, `-`-prefixed on error — and whether the server should shut down. Public so tests
+/// (and the shell's offline mode) can drive the protocol without a socket; the TCP path
+/// streams instead of calling this.
 pub fn handle_request(
     session: &mut Session,
     request: &str,
     shutdown: &AtomicBool,
 ) -> (String, bool) {
     match dispatch(session, request, shutdown) {
-        Ok((response, stop)) => (format!("+{response}"), stop),
+        Ok((Response::Text(response), stop)) => (format!("+{response}"), stop),
+        Ok((Response::Stream(stream), stop)) => match stream.collect_relation() {
+            Ok(relation) => (format!("+{}", render_relation(&relation)), stop),
+            Err(e) => (format!("-{e}"), false),
+        },
         Err(e) => (format!("-{e}"), false),
     }
 }
@@ -161,26 +313,26 @@ fn dispatch(
     session: &mut Session,
     request: &str,
     shutdown: &AtomicBool,
-) -> Result<(String, bool), ServiceError> {
+) -> Result<(Response, bool), ServiceError> {
     let request = request.trim();
     let (command, rest) = match request.split_once(char::is_whitespace) {
         Some((command, rest)) => (command, rest.trim()),
         None => (request, ""),
     };
+    let text = |t: String| Response::Text(t);
     match command.to_ascii_lowercase().as_str() {
         "query" => {
             if rest.is_empty() {
                 return Err(ServiceError::protocol("query requires SQL text"));
             }
-            let result = session.execute(rest)?;
-            Ok((render_relation(&result), false))
+            Ok((Response::Stream(session.execute_streaming(rest)?), false))
         }
         "prepare" => {
             let (name, sql) = rest
                 .split_once(char::is_whitespace)
                 .ok_or_else(|| ServiceError::protocol("usage: prepare <name> <sql>"))?;
             let params = session.prepare(name, sql.trim())?;
-            Ok((format!("prepared {name} ({params} parameter(s))"), false))
+            Ok((text(format!("prepared {name} ({params} parameter(s))")), false))
         }
         "exec" => {
             let (name, params_text) = match rest.split_once(char::is_whitespace) {
@@ -191,12 +343,11 @@ fn dispatch(
                 return Err(ServiceError::protocol("usage: exec <name> [(v1, v2, ...)]"));
             }
             let params: Vec<Value> = parse_param_values(params_text)?;
-            let result = session.execute_prepared(name, params)?;
-            Ok((render_relation(&result), false))
+            Ok((Response::Stream(session.execute_prepared_streaming(name, params)?), false))
         }
         "deallocate" => {
             if session.deallocate(rest) {
-                Ok((format!("deallocated {rest}"), false))
+                Ok((text(format!("deallocated {rest}")), false))
             } else {
                 Err(ServiceError::UnknownPrepared(rest.to_string()))
             }
@@ -218,22 +369,32 @@ fn dispatch(
                 "timeout_ms" => session.set_timeout(parsed.map(Duration::from_millis)),
                 other => return Err(ServiceError::protocol(format!("unknown setting '{other}'"))),
             }
-            Ok((format!("set {setting}"), false))
+            Ok((text(format!("set {setting}")), false))
         }
         "stats" => {
             let stats = session.engine().cache_stats();
             Ok((
-                format!(
-                    "plan_cache hits={} misses={} invalidations={} entries={}",
-                    stats.hits, stats.misses, stats.invalidations, stats.entries
-                ),
+                text(format!(
+                    "plan_cache hits={} misses={} invalidations={} entries={}\nstreams \
+                     buffered_bytes={} window={}",
+                    stats.hits,
+                    stats.misses,
+                    stats.invalidations,
+                    stats.entries,
+                    session.engine().stream_buffered_bytes(),
+                    BACKPRESSURE_WINDOW,
+                )),
                 false,
             ))
         }
-        "ping" => Ok(("pong".to_string(), false)),
+        "hello" => {
+            Err(ServiceError::protocol("hello is only valid as a connection's first request"))
+        }
+        "ack" => Err(ServiceError::protocol("ack is only valid during a result stream")),
+        "ping" => Ok((text("pong".to_string()), false)),
         "shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
-            Ok(("bye".to_string(), true))
+            Ok((text("bye".to_string()), true))
         }
         other => Err(ServiceError::protocol(format!("unknown command '{other}'"))),
     }

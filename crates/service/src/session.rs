@@ -10,6 +10,7 @@ use perm_storage::Relation;
 
 use crate::engine::{is_query_sql, Engine, PreparedPlan};
 use crate::error::ServiceError;
+use crate::stream::QueryStream;
 
 /// Per-session settings, applied to every statement the session executes.
 #[derive(Debug, Clone)]
@@ -82,13 +83,14 @@ impl Session {
         self.options.timeout = timeout;
     }
 
-    /// Execute a single SQL statement (DDL, DML or query). Queries go through the shared plan
-    /// cache; DDL statements return an empty relation.
+    /// Execute a single SQL statement and stream the result: the output schema is available
+    /// immediately, rows arrive as [`perm_algebra::DataChunk`]s on demand, and dropping the
+    /// stream cancels the execution at its next chunk boundary.
     ///
-    /// Query results come back as chunk-backed [`Relation`]s straight from the vectorized
-    /// executor: rows stay columnar through the session and the wire renderer, and are only
-    /// boxed into tuples if a caller asks for [`Relation::tuples`].
-    pub fn execute(&self, sql: &str) -> Result<Relation, ServiceError> {
+    /// Queries go through the shared plan cache. Statements whose results are side effects
+    /// rather than streams — DDL, DML and `SELECT ... INTO` (which must complete its catalog
+    /// write atomically) — execute eagerly and come back as an already-materialized stream.
+    pub fn execute_streaming(&self, sql: &str) -> Result<QueryStream, ServiceError> {
         if is_query_sql(sql) {
             let prepared = self.engine.plan_query(sql, self.options.optimize)?;
             if prepared.param_count > 0 {
@@ -97,17 +99,44 @@ impl Session {
                      values",
                 ));
             }
-            return self.engine.execute_prepared_plan(
-                &prepared,
+            if prepared.into.is_some() {
+                let result = self.engine.execute_prepared_plan(
+                    &prepared,
+                    self.options.exec_options(),
+                    Vec::new(),
+                )?;
+                return Ok(QueryStream::from_relation(result));
+            }
+            return self.engine.run_plan_streaming(
+                prepared,
                 self.options.exec_options(),
                 Vec::new(),
             );
         }
         let statement = self.engine.analyzer().analyze_sql(sql)?;
-        self.engine.execute_statement(statement, self.options.exec_options(), self.options.optimize)
+        let result = self.engine.execute_statement(
+            statement,
+            self.options.exec_options(),
+            self.options.optimize,
+        )?;
+        Ok(QueryStream::from_relation(result))
+    }
+
+    /// Execute a single SQL statement (DDL, DML or query). Queries go through the shared plan
+    /// cache; DDL statements return an empty relation.
+    ///
+    /// Query results come back as chunk-backed [`Relation`]s straight from the vectorized
+    /// executor: rows stay columnar through the session and the wire renderer, and are only
+    /// boxed into tuples if a caller asks for [`Relation::tuples`].
+    #[doc = "Convenience wrapper that drains [`Session::execute_streaming`] into a \
+             materialized `Relation`; prefer `execute_streaming` for large results."]
+    pub fn execute(&self, sql: &str) -> Result<Relation, ServiceError> {
+        self.execute_streaming(sql)?.collect_relation()
     }
 
     /// Execute a `;`-separated script, returning one result per statement.
+    #[doc = "Convenience wrapper that materializes every statement's result; prefer \
+             [`Session::execute_streaming`] per statement for large results."]
     pub fn execute_script(&self, sql: &str) -> Result<Vec<Relation>, ServiceError> {
         let statements = perm_sql::parse_statements(sql)?;
         let analyzer = self.engine.analyzer();
@@ -138,13 +167,13 @@ impl Session {
         Ok(param_count)
     }
 
-    /// Execute a prepared statement with `params` bound to its `$1..$n` slots (exact arity
-    /// required; pass `Value::Null` explicitly for SQL NULL).
-    pub fn execute_prepared(
+    /// Execute a prepared statement with `params` bound to its `$1..$n` slots, streaming the
+    /// result (see [`Session::execute_streaming`] for stream semantics).
+    pub fn execute_prepared_streaming(
         &self,
         name: &str,
         params: Vec<Value>,
-    ) -> Result<Relation, ServiceError> {
+    ) -> Result<QueryStream, ServiceError> {
         let prepared = self
             .prepared
             .get(name)
@@ -156,7 +185,24 @@ impl Session {
                 got: params.len(),
             });
         }
-        self.engine.execute_prepared_plan(prepared, self.options.exec_options(), params)
+        if prepared.into.is_some() {
+            let result =
+                self.engine.execute_prepared_plan(prepared, self.options.exec_options(), params)?;
+            return Ok(QueryStream::from_relation(result));
+        }
+        self.engine.run_plan_streaming(prepared.clone(), self.options.exec_options(), params)
+    }
+
+    /// Execute a prepared statement with `params` bound to its `$1..$n` slots (exact arity
+    /// required; pass `Value::Null` explicitly for SQL NULL).
+    #[doc = "Convenience wrapper that drains [`Session::execute_prepared_streaming`] into a \
+             materialized `Relation`; prefer the streaming variant for large results."]
+    pub fn execute_prepared(
+        &self,
+        name: &str,
+        params: Vec<Value>,
+    ) -> Result<Relation, ServiceError> {
+        self.execute_prepared_streaming(name, params)?.collect_relation()
     }
 
     /// Drop a prepared statement; returns whether it existed.

@@ -7,45 +7,168 @@
 //! * `\exec <name> (v1, ...)` — execute a prepared statement
 //! * `\deallocate <name>` — drop a prepared statement
 //! * `\set <budget|timeout_ms> <n|none>` — session settings
-//! * `\stats` — shared plan-cache counters
+//! * `\stats` — shared plan-cache counters and the stream memory gauge
 //! * `\ping`, `\shutdown`, `\q`
 //!
 //! Empty lines and `--` comments are skipped.
+//!
+//! The client speaks wire protocol version 2: [`Client::connect`] performs the `hello`
+//! handshake, and query results arrive as a schema frame plus a sequence of chunk frames that
+//! [`run_shell`] prints *incrementally* — rows appear as chunks arrive, acknowledged one `ack`
+//! per chunk so the server never buffers more than its backpressure window. A mid-stream error
+//! frame invalidates everything already printed for that statement; the shell says so
+//! explicitly (no silent truncated tables), and the buffering [`Client::roundtrip`] discards
+//! the partial rows entirely.
 
 use std::io::{self, BufRead, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::wire::{read_frame, write_frame};
+use perm_algebra::{DataChunk, Schema};
 
-/// A connected wire-protocol client.
+use crate::codec::{self, tag, PROTOCOL_VERSION};
+use crate::wire::{read_bytes_frame, write_frame};
+
+/// One decoded response frame from the server.
+#[derive(Debug)]
+pub enum ResponseFrame {
+    /// Simple success (`+`) with its text payload.
+    Ok(String),
+    /// Error (`-`); mid-stream this invalidates every chunk of the current result.
+    Err(String),
+    /// Result schema: a stream of chunk frames follows.
+    Schema(Schema),
+    /// One chunk of result rows (already acknowledged to the server).
+    Chunk(DataChunk),
+    /// End of a result stream with the server's total row count.
+    Done {
+        /// Total rows delivered by the stream.
+        rows: u64,
+    },
+}
+
+/// A connected wire-protocol client (protocol version 2, handshake already performed).
 pub struct Client {
     reader: TcpStream,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connect to a running `permd`.
+    /// Connect to a running `permd` and negotiate the protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         let reader = writer.try_clone()?;
-        Ok(Client { reader, writer })
+        let mut client = Client { reader, writer };
+        client.send(&format!("hello {PROTOCOL_VERSION}"))?;
+        match client.read_response()? {
+            ResponseFrame::Ok(_) => Ok(client),
+            ResponseFrame::Err(message) => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, message))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected handshake response: {other:?}"),
+            )),
+        }
     }
 
-    /// Send one raw request and return the raw response payload (including its `+`/`-` prefix).
-    pub fn request(&mut self, command: &str) -> io::Result<String> {
-        write_frame(&mut self.writer, command)?;
-        read_frame(&mut self.reader)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+    /// Send one request frame.
+    pub fn send(&mut self, command: &str) -> io::Result<()> {
+        write_frame(&mut self.writer, command)
     }
 
-    /// Send one request and split the response into `Ok(body)` / `Err(message)`.
+    /// Read and decode one response frame. Chunk frames are acknowledged automatically, so a
+    /// caller that simply keeps reading paces the server.
+    pub fn read_response(&mut self) -> io::Result<ResponseFrame> {
+        let payload = read_bytes_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        let (&tag_byte, body) = payload
+            .split_first()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response frame"))?;
+        let invalid = |e: crate::error::ServiceError| {
+            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        };
+        match tag_byte {
+            tag::TEXT => Ok(ResponseFrame::Ok(decode_utf8(body)?)),
+            tag::ERROR => Ok(ResponseFrame::Err(decode_utf8(body)?)),
+            tag::SCHEMA => Ok(ResponseFrame::Schema(codec::decode_schema(body).map_err(invalid)?)),
+            tag::RESULT => {
+                let chunk = codec::decode_chunk(body).map_err(invalid)?;
+                self.send("ack")?;
+                Ok(ResponseFrame::Chunk(chunk))
+            }
+            tag::DONE => {
+                Ok(ResponseFrame::Done { rows: codec::decode_done(body).map_err(invalid)? })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown response frame tag {other}"),
+            )),
+        }
+    }
+
+    /// Send one request and collect the complete response: `Ok(body)` with streamed results
+    /// rendered as tab-separated text (header line + one line per row, `ok` for statements
+    /// without columns), or `Err(message)`. A mid-stream error discards the partial rows — the
+    /// caller never sees a silently truncated table.
     pub fn roundtrip(&mut self, command: &str) -> io::Result<Result<String, String>> {
-        let response = self.request(command)?;
-        Ok(match response.strip_prefix('+') {
-            Some(body) => Ok(body.to_string()),
-            None => Err(response.strip_prefix('-').unwrap_or(&response).to_string()),
-        })
+        self.send(command)?;
+        match self.read_response()? {
+            ResponseFrame::Ok(body) => Ok(Ok(body)),
+            ResponseFrame::Err(message) => Ok(Err(message)),
+            ResponseFrame::Schema(schema) => {
+                let mut body = render_header(&schema);
+                loop {
+                    match self.read_response()? {
+                        ResponseFrame::Chunk(chunk) => render_rows(&chunk, &mut body),
+                        ResponseFrame::Done { .. } => return Ok(Ok(body)),
+                        ResponseFrame::Err(message) => return Ok(Err(message)),
+                        other => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("unexpected frame inside result stream: {other:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response frame: {other:?}"),
+            )),
+        }
     }
+}
+
+/// The header line of a streamed result (`ok` for column-less statements, matching the
+/// pre-streaming text rendering).
+fn render_header(schema: &Schema) -> String {
+    if schema.arity() == 0 {
+        "ok".to_string()
+    } else {
+        schema.attribute_names().join("\t")
+    }
+}
+
+/// Append one chunk's rows as tab-separated lines.
+fn render_rows(chunk: &DataChunk, out: &mut String) {
+    for row in 0..chunk.num_rows() {
+        if chunk.num_columns() == 0 {
+            continue;
+        }
+        out.push('\n');
+        for col in 0..chunk.num_columns() {
+            if col > 0 {
+                out.push('\t');
+            }
+            chunk.column(col).format_into(row, out);
+        }
+    }
+}
+
+fn decode_utf8(bytes: &[u8]) -> io::Result<String> {
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not valid UTF-8"))
 }
 
 /// Translate one shell input line into a wire request; `None` means "skip" and `Some(None)`
@@ -67,6 +190,11 @@ fn translate(line: &str) -> Option<Option<String>> {
 
 /// Drive a shell session: read lines from `input`, send them to the server, print responses to
 /// `output`. Returns the number of server-reported errors (scripts use this as an exit code).
+///
+/// Streamed results print incrementally — each chunk's rows are written (and flushed) as the
+/// chunk arrives. If an error frame arrives after rows were already printed, the shell prints
+/// an explicit invalidation notice counting the rows to disregard, so a truncated table is
+/// never mistaken for a complete result.
 pub fn run_shell(
     client: &mut Client,
     input: impl BufRead,
@@ -80,11 +208,46 @@ pub fn run_shell(
             Some(None) => break,
             Some(Some(request)) => request,
         };
-        match client.roundtrip(&request)? {
-            Ok(body) => writeln!(output, "{body}")?,
-            Err(message) => {
-                errors += 1;
-                writeln!(output, "error: {message}")?;
+        client.send(&request)?;
+        let mut streamed_rows: u64 = 0;
+        let mut in_stream = false;
+        loop {
+            match client.read_response()? {
+                ResponseFrame::Ok(body) => {
+                    writeln!(output, "{body}")?;
+                    break;
+                }
+                ResponseFrame::Err(message) => {
+                    errors += 1;
+                    if streamed_rows > 0 {
+                        writeln!(
+                            output,
+                            "error: {message} (result invalid — disregard the {streamed_rows} \
+                             row(s) above)"
+                        )?;
+                    } else {
+                        writeln!(output, "error: {message}")?;
+                    }
+                    break;
+                }
+                ResponseFrame::Schema(schema) => {
+                    in_stream = true;
+                    writeln!(output, "{}", render_header(&schema))?;
+                    output.flush()?;
+                }
+                ResponseFrame::Chunk(chunk) => {
+                    let mut text = String::new();
+                    render_rows(&chunk, &mut text);
+                    if let Some(rows) = text.strip_prefix('\n') {
+                        writeln!(output, "{rows}")?;
+                        output.flush()?;
+                    }
+                    streamed_rows += chunk.num_rows() as u64;
+                }
+                ResponseFrame::Done { .. } => break,
+            }
+            if !in_stream {
+                break;
             }
         }
         if request.trim().eq_ignore_ascii_case("shutdown") {

@@ -1,0 +1,300 @@
+//! Streaming query results: [`QueryStream`], an iterator of [`DataChunk`]s with a schema
+//! header, cancellation and per-engine buffered-memory accounting.
+//!
+//! A stream starts *pending*: planning has happened but no execution work has been done, so a
+//! caller that wants the whole result materialized ([`QueryStream::collect_relation`], the path
+//! behind the convenience `Session::execute`) runs the morsel-driven parallel executor inline —
+//! exactly the pre-streaming behavior, at zero extra cost. Pulling the first chunk instead
+//! promotes the stream to *running*: a producer thread executes the plan and hands chunks over
+//! a bounded channel, so a consumer that forwards chunks as it pulls them (the wire server)
+//! holds at most `window` chunks in memory no matter how large the result is.
+//!
+//! On the truly incremental path (single-worker pools, or any session with a row budget) the
+//! producer drives `Executor::execute_chunked`, the executor's pull-based pipeline; with a
+//! multi-worker pool the producer runs the parallel executor — the result is materialized
+//! inside the producer, but the consumer still sees bounded chunks and wire backpressure still
+//! applies.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use perm_algebra::{DataChunk, Schema};
+use perm_exec::{Executor, WorkerPool};
+use perm_storage::Relation;
+
+use crate::engine::PreparedPlan;
+use crate::error::ServiceError;
+
+/// How many chunks a running stream's producer may buffer ahead of the consumer.
+pub const STREAM_CHANNEL_WINDOW: usize = 4;
+
+/// A streaming query result: the output schema up front, then chunks on demand.
+///
+/// Dropping the stream mid-way cancels the producer at its next chunk boundary; collecting it
+/// ([`collect_relation`](QueryStream::collect_relation)) before the first pull runs the
+/// parallel executor inline instead of spawning a producer.
+pub struct QueryStream {
+    schema: Schema,
+    state: State,
+    /// Engine-wide gauge of bytes buffered in stream channels (incremented by producers when
+    /// they send, decremented here when the consumer takes a chunk).
+    buffered: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+    rows: u64,
+}
+
+enum State {
+    /// Planned but not started; holds everything needed to execute.
+    Pending { executor: Executor, prepared: Arc<PreparedPlan>, pool: Arc<WorkerPool>, pull: bool },
+    /// Producer thread running; chunks arrive over the bounded channel.
+    Running { rx: Receiver<Result<DataChunk, ServiceError>>, _producer: JoinHandle<()> },
+    /// Result already materialized (DDL/DML, `SELECT ... INTO`): chunks are served from it.
+    Materialized { chunks: std::vec::IntoIter<DataChunk> },
+    /// Exhausted or failed.
+    Done,
+}
+
+impl std::fmt::Debug for QueryStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &self.state {
+            State::Pending { .. } => "pending",
+            State::Running { .. } => "running",
+            State::Materialized { .. } => "materialized",
+            State::Done => "done",
+        };
+        f.debug_struct("QueryStream")
+            .field("schema", &self.schema)
+            .field("state", &state)
+            .field("rows", &self.rows)
+            .finish()
+    }
+}
+
+impl QueryStream {
+    /// A pending stream over a planned query (started lazily on the first chunk pull).
+    ///
+    /// `pull` selects the producer's execution mode: `true` drives the executor's pull-based
+    /// chunk pipeline (bounded memory end to end), `false` the parallel executor.
+    pub(crate) fn pending(
+        executor: Executor,
+        prepared: Arc<PreparedPlan>,
+        pool: Arc<WorkerPool>,
+        pull: bool,
+        buffered: Arc<AtomicUsize>,
+    ) -> QueryStream {
+        QueryStream {
+            schema: prepared.plan.schema(),
+            state: State::Pending { executor, prepared, pool, pull },
+            buffered,
+            cancel: Arc::new(AtomicBool::new(false)),
+            rows: 0,
+        }
+    }
+
+    /// A stream over an already-materialized relation (DDL/DML results, `SELECT ... INTO`).
+    pub fn from_relation(relation: Relation) -> QueryStream {
+        let schema = relation.schema().clone();
+        let chunks: Vec<DataChunk> =
+            relation.chunks().iter().filter(|c| !c.is_empty()).cloned().collect();
+        QueryStream {
+            schema,
+            state: State::Materialized { chunks: chunks.into_iter() },
+            buffered: Arc::new(AtomicUsize::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
+            rows: 0,
+        }
+    }
+
+    /// The output schema (available before any chunk).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rows delivered so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Ask the producer to stop at its next chunk boundary. Already-buffered chunks still
+    /// drain; `next_chunk` keeps returning them until the channel closes.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Pull the next chunk. `None` means the stream finished cleanly; an `Err` is terminal and
+    /// invalidates every chunk delivered before it (partial results must not be trusted).
+    pub fn next_chunk(&mut self) -> Option<Result<DataChunk, ServiceError>> {
+        loop {
+            match &mut self.state {
+                State::Pending { .. } => {
+                    let state = std::mem::replace(&mut self.state, State::Done);
+                    let State::Pending { executor, prepared, pool, pull } = state else {
+                        unreachable!()
+                    };
+                    self.state = spawn_producer(
+                        executor,
+                        prepared,
+                        pool,
+                        pull,
+                        self.buffered.clone(),
+                        self.cancel.clone(),
+                    );
+                }
+                State::Running { rx, .. } => match rx.recv() {
+                    Ok(Ok(chunk)) => {
+                        self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
+                        self.rows += chunk.num_rows() as u64;
+                        return Some(Ok(chunk));
+                    }
+                    Ok(Err(e)) => {
+                        self.state = State::Done;
+                        return Some(Err(e));
+                    }
+                    Err(_) => {
+                        self.state = State::Done;
+                        return None;
+                    }
+                },
+                State::Materialized { chunks } => match chunks.next() {
+                    Some(chunk) => {
+                        self.rows += chunk.num_rows() as u64;
+                        return Some(Ok(chunk));
+                    }
+                    None => {
+                        self.state = State::Done;
+                        return None;
+                    }
+                },
+                State::Done => return None,
+            }
+        }
+    }
+
+    /// Drain the stream into a materialized [`Relation`].
+    ///
+    /// On a stream that has not started yet this runs the parallel executor inline — the exact
+    /// code path (and performance) of the pre-streaming API; otherwise it concatenates the
+    /// remaining chunks.
+    pub fn collect_relation(mut self) -> Result<Relation, ServiceError> {
+        if let State::Pending { .. } = &self.state {
+            let state = std::mem::replace(&mut self.state, State::Done);
+            let State::Pending { executor, prepared, pool, .. } = state else { unreachable!() };
+            // The parallel executor handles the row-budget fallback internally; this is the
+            // exact pre-streaming execution path.
+            return Ok(executor.execute_parallel(&prepared.plan, &pool)?);
+        }
+        let mut chunks = Vec::new();
+        while let Some(item) = self.next_chunk() {
+            chunks.push(item?);
+        }
+        Ok(Relation::from_chunks(self.schema.clone(), chunks))
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = Result<DataChunk, ServiceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_chunk()
+    }
+}
+
+impl Drop for QueryStream {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+        // Drain whatever the producer already buffered so the engine-wide gauge never leaks;
+        // the producer observes the cancel flag (or the closed channel) and exits.
+        if let State::Running { rx, .. } = &self.state {
+            while let Ok(Ok(chunk)) = rx.recv() {
+                self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Spawn the producer thread for a pending stream and return the running state.
+fn spawn_producer(
+    executor: Executor,
+    prepared: Arc<PreparedPlan>,
+    pool: Arc<WorkerPool>,
+    pull: bool,
+    buffered: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+) -> State {
+    let (tx, rx) = std::sync::mpsc::sync_channel(STREAM_CHANNEL_WINDOW);
+    let producer = std::thread::Builder::new()
+        .name("perm-stream".into())
+        .spawn(move || produce(&executor, &prepared, &pool, pull, &tx, &buffered, &cancel))
+        .expect("spawn stream producer thread");
+    State::Running { rx, _producer: producer }
+}
+
+fn produce(
+    executor: &Executor,
+    prepared: &PreparedPlan,
+    pool: &WorkerPool,
+    pull: bool,
+    tx: &SyncSender<Result<DataChunk, ServiceError>>,
+    buffered: &AtomicUsize,
+    cancel: &AtomicBool,
+) {
+    let send = |item: Result<DataChunk, ServiceError>| -> bool {
+        let bytes = item.as_ref().map_or(0, DataChunk::byte_size);
+        buffered.fetch_add(bytes, Ordering::Relaxed);
+        if tx.send(item).is_err() {
+            // Consumer went away; roll the accounting back and stop.
+            buffered.fetch_sub(bytes, Ordering::Relaxed);
+            return false;
+        }
+        true
+    };
+    if pull {
+        // Pull-based pipeline: chunks leave the executor one at a time; with the bounded
+        // channel this caps producer-side memory at O(window × chunk size) for pipelined
+        // plans.
+        let chunks = match executor.execute_chunked(&prepared.plan) {
+            Ok(chunks) => chunks,
+            Err(e) => {
+                send(Err(e.into()));
+                return;
+            }
+        };
+        for item in chunks {
+            if cancel.load(Ordering::Relaxed) {
+                return;
+            }
+            match item {
+                Ok(chunk) if chunk.is_empty() => continue,
+                Ok(chunk) => {
+                    if !send(Ok(chunk)) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    send(Err(e.into()));
+                    return;
+                }
+            }
+        }
+    } else {
+        // Parallel execution materializes the result inside this thread, then feeds it out
+        // chunk-wise (the consumer still gets bounded buffering and wire backpressure).
+        match executor.execute_parallel(&prepared.plan, pool) {
+            Ok(relation) => {
+                for chunk in relation.chunks().iter() {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    if cancel.load(Ordering::Relaxed) || !send(Ok(chunk.clone())) {
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                send(Err(e.into()));
+            }
+        }
+    }
+}

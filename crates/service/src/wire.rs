@@ -1,22 +1,29 @@
-//! The `permd` wire protocol: length-prefixed UTF-8 text frames over TCP.
+//! The `permd` wire protocol (version 2): length-prefixed frames over TCP.
 //!
 //! Every message — request or response — is one frame: a 4-byte big-endian payload length
-//! followed by that many bytes of UTF-8 text. Requests are single-line commands:
+//! followed by that many payload bytes. Requests are single-line UTF-8 commands; a connection
+//! must open with the `hello <version>` handshake before anything else:
 //!
 //! | request                          | effect                                                |
 //! |----------------------------------|-------------------------------------------------------|
+//! | `hello <version>`                | negotiate the protocol version (must be first)        |
 //! | `query <sql>`                    | execute one statement (DDL, DML or query)             |
 //! | `prepare <name> <sql>`           | plan a query once under `name`                        |
 //! | `exec <name> (v1, v2, ...)`      | execute a prepared statement with literal bindings    |
 //! | `deallocate <name>`              | drop a prepared statement                             |
 //! | `set budget <n\|none>`           | session row budget                                    |
 //! | `set timeout_ms <n\|none>`       | session wall-clock timeout                            |
-//! | `stats`                          | shared plan-cache counters                            |
+//! | `stats`                          | plan-cache counters and stream memory gauge           |
+//! | `ack`                            | acknowledge one `R` frame (backpressure; see below)   |
 //! | `ping`                           | liveness check                                        |
 //! | `shutdown`                       | stop the server gracefully                            |
 //!
-//! Responses start with `+` (success) or `-` (error message). Successful query responses carry
-//! a tab-separated header line followed by one tab-separated line per row.
+//! Responses are *tagged binary* payloads (see [`crate::codec`]): `+` text / `-` error for
+//! simple commands, and for query results a streamed sequence `S` (schema), `R`* (chunks),
+//! then `D` (done) or `-` (error — which **invalidates** every `R` frame before it). The
+//! server sends at most [`crate::server::BACKPRESSURE_WINDOW`] unacknowledged `R` frames; the
+//! client returns one `ack` request per `R` frame to open the window. Full layout:
+//! `docs/PROTOCOL.md`.
 
 use std::io::{self, Read, Write};
 
@@ -29,15 +36,36 @@ use crate::error::ServiceError;
 /// Upper bound on a single frame's payload (16 MiB): protects the server from bogus lengths.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
-/// Write one length-prefixed frame.
+/// Write one length-prefixed text frame.
 pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<()> {
-    let bytes = payload.as_bytes();
-    if bytes.len() > MAX_FRAME_LEN {
+    write_bytes_frame(writer, payload.as_bytes())
+}
+
+/// Write one length-prefixed binary frame (protocol-v2 responses).
+pub fn write_bytes_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
     }
-    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    writer.write_all(bytes)?;
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
     writer.flush()
+}
+
+/// Read one length-prefixed binary frame. Returns `None` on a clean EOF at a frame boundary.
+pub fn read_bytes_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
 }
 
 /// Read one length-prefixed frame. Returns `None` on a clean EOF at a frame boundary.

@@ -92,6 +92,22 @@ fn concurrent_connections_share_the_catalog() {
     handle.shutdown();
 }
 
+/// Read one raw length-prefixed response frame.
+fn read_raw_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).unwrap();
+    let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+    stream.read_exact(&mut body).unwrap();
+    body
+}
+
+/// Write one raw length-prefixed request frame.
+fn write_raw_frame(stream: &mut TcpStream, payload: &[u8]) {
+    stream.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
+    stream.write_all(payload).unwrap();
+    stream.flush().unwrap();
+}
+
 /// A client that delivers a frame in pieces — with stalls longer than the server's idle poll
 /// interval both between the length prefix and the payload and inside the payload — must not
 /// desync the protocol: the read timeout may only ever fire at a frame boundary.
@@ -99,6 +115,8 @@ fn concurrent_connections_share_the_catalog() {
 fn slow_clients_do_not_desync_the_protocol() {
     let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
     let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    write_raw_frame(&mut stream, b"hello 2");
+    assert_eq!(read_raw_frame(&mut stream), b"+hello 2");
 
     let payload = b"ping";
     stream.write_all(&(payload.len() as u32).to_be_bytes()).unwrap();
@@ -110,17 +128,174 @@ fn slow_clients_do_not_desync_the_protocol() {
     stream.write_all(&payload[2..]).unwrap();
     stream.flush().unwrap();
 
-    // Response: 4-byte length + "+pong".
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len).unwrap();
-    let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
-    stream.read_exact(&mut body).unwrap();
-    assert_eq!(body, b"+pong");
+    assert_eq!(read_raw_frame(&mut stream), b"+pong");
 
     // The connection is still healthy for a normally-framed follow-up request.
     let mut client = Client::connect(handle.addr()).unwrap();
     assert_eq!(client.roundtrip("ping").unwrap().unwrap(), "pong");
     handle.shutdown();
+}
+
+/// A legacy (pre-v2) client that skips the handshake and opens with a v1 command must get a
+/// clean, versioned error it can render as text — not a hang and not a binary surprise.
+#[test]
+fn legacy_first_command_gets_a_versioned_error() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+    write_raw_frame(&mut stream, b"query SELECT 1");
+    let body = String::from_utf8(read_raw_frame(&mut stream)).unwrap();
+    assert!(body.starts_with('-'), "v1-compatible error prefix: {body}");
+    assert!(body.contains("hello"), "tells the client how to handshake: {body}");
+    assert!(body.contains("version 2"), "names the server's protocol version: {body}");
+
+    // The connection survives and can still handshake afterwards.
+    write_raw_frame(&mut stream, b"hello 2");
+    assert_eq!(read_raw_frame(&mut stream), b"+hello 2");
+    write_raw_frame(&mut stream, b"ping");
+    assert_eq!(read_raw_frame(&mut stream), b"+pong");
+    handle.shutdown();
+}
+
+/// A client asking for a version the server does not speak is refused by name, and the
+/// refusal states the version the server does speak.
+#[test]
+fn unsupported_hello_version_is_refused_with_the_supported_version() {
+    let handle = serve(provenance_engine(), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+    write_raw_frame(&mut stream, b"hello 99");
+    let body = String::from_utf8(read_raw_frame(&mut stream)).unwrap();
+    assert!(body.starts_with('-'));
+    assert!(body.contains("99"), "names the rejected version: {body}");
+    assert!(body.contains('2'), "names the supported version: {body}");
+
+    // Retrying with the right version on the same connection works.
+    write_raw_frame(&mut stream, b"hello 2");
+    assert_eq!(read_raw_frame(&mut stream), b"+hello 2");
+    handle.shutdown();
+}
+
+/// An error frame after partial RESULT frames must invalidate the partial result: the
+/// buffering client discards the rows, and the incremental shell prints an explicit
+/// invalidation notice.
+#[test]
+fn mid_stream_errors_invalidate_partial_results() {
+    let engine = provenance_engine();
+    let handle = serve(engine, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client.roundtrip("query CREATE TABLE big (x INT)").unwrap().unwrap();
+    for batch in 0..4 {
+        let values: Vec<String> = (0..1000).map(|i| format!("({})", batch * 1000 + i)).collect();
+        client
+            .roundtrip(&format!("query INSERT INTO big VALUES {}", values.join(", ")))
+            .unwrap()
+            .unwrap();
+    }
+    // A budget larger than one chunk but smaller than the result: the stream delivers at
+    // least one RESULT frame and then aborts.
+    client.roundtrip("set budget 2500").unwrap().unwrap();
+    let err = client.roundtrip("query SELECT x FROM big").unwrap().unwrap_err();
+    assert!(err.contains("row budget"), "mid-stream error surfaces: {err}");
+
+    // The same statement through the shell prints rows incrementally, then an explicit
+    // invalidation notice (no silent truncated table).
+    let script = "SELECT x FROM big\n\\q\n";
+    let mut output = Vec::new();
+    let errors =
+        perm_service::shell::run_shell(&mut client, Cursor::new(script), &mut output).unwrap();
+    assert_eq!(errors, 1);
+    let text = String::from_utf8(output).unwrap();
+    assert!(text.contains("row budget"), "error message printed: {text}");
+    assert!(
+        text.contains("result invalid") && text.contains("disregard"),
+        "explicit invalidation notice: {text}"
+    );
+
+    // The connection stays usable after both shapes of failed stream.
+    client.roundtrip("set budget none").unwrap().unwrap();
+    assert_eq!(client.roundtrip("ping").unwrap().unwrap(), "pong");
+    handle.shutdown();
+}
+
+/// The server must stop sending RESULT frames once the backpressure window is full of
+/// unacknowledged chunks, and resume when the client acks.
+#[test]
+fn server_respects_the_backpressure_window() {
+    // A single-worker engine streams through the executor's pull pipeline with deterministic
+    // 1024-row chunks: 100 × 100 cross-joined rows = 10 chunks, more than the window of 8.
+    let engine =
+        Arc::new(Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new())).with_workers(1));
+    let handle = serve(engine, "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    write_raw_frame(&mut stream, b"hello 2");
+    assert_eq!(read_raw_frame(&mut stream), b"+hello 2");
+
+    write_raw_frame(&mut stream, b"query CREATE TABLE t (x INT)");
+    assert_eq!(read_raw_frame(&mut stream)[0], b'S');
+    assert_eq!(read_raw_frame(&mut stream)[0], b'D');
+    let values: Vec<String> = (0..100).map(|i| format!("({i})")).collect();
+    write_raw_frame(
+        &mut stream,
+        format!("query INSERT INTO t VALUES {}", values.join(", ")).as_bytes(),
+    );
+    assert_eq!(read_raw_frame(&mut stream)[0], b'S');
+    assert_eq!(read_raw_frame(&mut stream)[0], b'D');
+
+    write_raw_frame(&mut stream, b"query SELECT a.x FROM t a, t b");
+    assert_eq!(read_raw_frame(&mut stream)[0], b'S');
+
+    // Without acks, the server may send at most BACKPRESSURE_WINDOW chunk frames. Count what
+    // arrives until the socket goes quiet.
+    stream.set_read_timeout(Some(Duration::from_millis(1500))).unwrap();
+    let mut rows = 0u64;
+    let mut unacked_chunks = 0;
+    loop {
+        let mut len = [0u8; 4];
+        match stream.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(_) => break, // quiet: the window is exhausted
+        }
+        let mut body = vec![0u8; u32::from_be_bytes(len) as usize];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(body[0], b'R', "only chunk frames before the window closes");
+        rows += u32::from_be_bytes(body[1..5].try_into().unwrap()) as u64;
+        unacked_chunks += 1;
+        assert!(
+            unacked_chunks <= perm_service::server::BACKPRESSURE_WINDOW,
+            "server sent more than the window without acks"
+        );
+    }
+    assert_eq!(
+        unacked_chunks,
+        perm_service::server::BACKPRESSURE_WINDOW,
+        "the full window is in flight before the server blocks"
+    );
+    assert!(rows < 10_000, "the stall happened before the result finished");
+
+    // Ack everything received; the stream resumes and finishes.
+    stream.set_read_timeout(None).unwrap();
+    for _ in 0..unacked_chunks {
+        write_raw_frame(&mut stream, b"ack");
+    }
+    let done_rows = loop {
+        let body = read_raw_frame(&mut stream);
+        match body[0] {
+            b'R' => {
+                rows += u32::from_be_bytes(body[1..5].try_into().unwrap()) as u64;
+                write_raw_frame(&mut stream, b"ack");
+            }
+            b'D' => break u64::from_be_bytes(body[1..9].try_into().unwrap()),
+            other => panic!("unexpected frame tag {other}"),
+        }
+    };
+    assert_eq!(done_rows, 10_000, "trailer reports the full result size");
+    assert_eq!(rows, 10_000, "every row arrived across the stall");
+
+    write_raw_frame(&mut stream, b"shutdown");
+    assert_eq!(read_raw_frame(&mut stream), b"+bye");
+    handle.wait();
 }
 
 #[test]

@@ -43,7 +43,6 @@ SELECT PROVENANCE name, sum(price) AS total FROM shop, sales, items WHERE name =
 \exec pricey (20)
 \exec pricey (99)
 \stats
-\shutdown
 SQL
 )"
 
@@ -53,6 +52,42 @@ echo "$OUT" | grep -q "Joba	50	Joba	14" || { echo "FAIL: provenance row missing"
 # The prepared statement found items 1 and 3 for $1 = 20, then only item 1 for $1 = 99.
 echo "$OUT" | grep -qx "3" || { echo "FAIL: prepared execution (20) wrong"; exit 1; }
 echo "$OUT" | grep -q "plan_cache" || { echo "FAIL: stats line missing"; exit 1; }
+
+# --- Streaming at scale: a 1M-row duplicated-provenance result must flow through the chunked
+# RESULT frames without the server materializing it per session. Two 1000-row tables joined on
+# a constant key give 1,000,000 output rows, each duplicating a 64-char build-side payload
+# (the factorized dict encoding's home turf).
+BIG_SQL="$(mktemp)"
+{
+    echo "CREATE TABLE big_probe (k INT)"
+    echo "CREATE TABLE big_build (k INT, payload TEXT)"
+    awk 'BEGIN {
+        printf "INSERT INTO big_probe VALUES ";
+        for (i = 0; i < 1000; i++) printf "(7)%s", (i < 999 ? ", " : "\n");
+        pay = ""; for (j = 0; j < 64; j++) pay = pay "p";
+        printf "INSERT INTO big_build VALUES ";
+        for (i = 0; i < 1000; i++) printf "(7, \047%s\047)%s", pay, (i < 999 ? ", " : "\n");
+    }'
+    echo "SELECT PROVENANCE b.payload FROM big_probe a, big_build b WHERE a.k = b.k"
+} >"$BIG_SQL"
+
+STREAM_LINES="$("$BIN_DIR/perm-shell" --port "$PORT" <"$BIG_SQL" | wc -l)"
+rm -f "$BIG_SQL"
+# 4 ok lines (2 CREATE + 2 INSERT) + 1 header + 1,000,000 rows.
+[ "$STREAM_LINES" -eq 1000005 ] \
+    || { echo "FAIL: streamed 1M-row result has $STREAM_LINES lines, want 1000005"; exit 1; }
+
+# Peak server RSS must stay flat: the streamed result is ~170 MB as text, but backpressure
+# (8 unacked chunk frames) bounds what the server ever buffers.
+RSS_KB="$(awk '/^VmHWM/ {print $2}' "/proc/$SERVER_PID/status")"
+RSS_CAP_KB=153600 # 150 MB
+[ "$RSS_KB" -le "$RSS_CAP_KB" ] \
+    || { echo "FAIL: server peak RSS ${RSS_KB} kB exceeds ${RSS_CAP_KB} kB"; exit 1; }
+echo "streamed 1M rows, server peak RSS ${RSS_KB} kB (cap ${RSS_CAP_KB} kB)"
+
+"$BIN_DIR/perm-shell" --port "$PORT" <<'SQL'
+\shutdown
+SQL
 
 wait "$SERVER_PID"
 echo "service smoke OK (workers=$WORKERS)"
