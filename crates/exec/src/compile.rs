@@ -97,7 +97,7 @@ impl CompiledExpr {
     pub(crate) fn compile(
         expr: &ScalarExpr,
         executor: &Executor,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<CompiledExpr, ExecError> {
         Ok(match expr {
             ScalarExpr::Column { index, .. } => CompiledExpr::Column(*index),
@@ -373,7 +373,7 @@ impl CompiledAggregate {
     pub(crate) fn compile(
         agg: &AggregateExpr,
         executor: &Executor,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<CompiledAggregate, ExecError> {
         let arg = agg.arg.as_ref().map(|e| CompiledExpr::compile(e, executor, ctx)).transpose()?;
         Ok(CompiledAggregate { spec: agg.clone(), arg })

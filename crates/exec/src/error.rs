@@ -26,6 +26,17 @@ pub enum ExecError {
         /// The configured timeout in milliseconds.
         millis: u64,
     },
+    /// The query was cancelled (client request, session shutdown or a dropped stream).
+    ///
+    /// Raised cooperatively: every pipeline checks its [`crate::CancelToken`] at
+    /// morsel/chunk/row-batch boundaries, so cancellation lands within one scheduling quantum
+    /// and never mid-operator.
+    Cancelled,
+    /// A memory reservation was denied by the resource governor.
+    ///
+    /// The payload is the governor's explanation (which limit was hit and at what size);
+    /// the service layer maps this to a clean wire error instead of letting the process OOM.
+    ResourceExhausted(String),
     /// Integer arithmetic overflowed the 64-bit value range.
     ///
     /// All three execution pipelines (row-at-a-time, vectorized and parallel) surface integer
@@ -64,6 +75,8 @@ impl fmt::Display for ExecError {
             ExecError::Timeout { millis } => {
                 write!(f, "execution aborted: timeout of {millis} ms exceeded")
             }
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
             ExecError::ArithmeticOverflow { operation } => {
                 write!(f, "arithmetic overflow in {operation}")
             }

@@ -31,7 +31,8 @@
 //! executable specification; property tests assert both paths produce identical relations.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use perm_algebra::{
@@ -43,6 +44,70 @@ use perm_storage::{Catalog, CatalogSnapshot, Relation};
 use crate::compile::{CompiledAggregate, CompiledExpr};
 use crate::error::ExecError;
 
+/// A cooperative cancellation flag shared between a running query and whoever controls it
+/// (the wire server's `cancel` request, a dropped stream, the governor shedding a query, or
+/// graceful shutdown).
+///
+/// Cancellation is *checked*, never forced: every pipeline polls the token at its existing
+/// deadline checkpoints (row batches, morsel boundaries, join probe strides), so a cancel lands
+/// within one scheduling quantum and operators always unwind through normal error paths.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    /// 0 = live, 1 = cancelled, 2 = shed by the governor (resource exhausted).
+    state: AtomicU8,
+    /// The governor's explanation when `state == 2`.
+    message: OnceLock<String>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Cancel the query (client request, dropped stream, shutdown). Idempotent; a
+    /// resource-exhausted cancellation is never downgraded to a plain cancel.
+    pub fn cancel(&self) {
+        let _ = self.state.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Cancel the query because the governor shed it; `message` explains which limit was hit.
+    pub fn cancel_resource_exhausted(&self, message: impl Into<String>) {
+        let _ = self.message.set(message.into());
+        self.state.store(2, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled (one relaxed atomic load).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != 0
+    }
+
+    /// Error if cancelled: [`ExecError::Cancelled`] for plain cancellation,
+    /// [`ExecError::ResourceExhausted`] when the governor shed the query.
+    pub fn check(&self) -> Result<(), ExecError> {
+        match self.state.load(Ordering::Relaxed) {
+            0 => Ok(()),
+            2 => Err(ExecError::ResourceExhausted(
+                self.message.get().cloned().unwrap_or_else(|| "query shed by governor".into()),
+            )),
+            _ => Err(ExecError::Cancelled),
+        }
+    }
+}
+
+/// Memory accounting hook for one query: the service layer's governor implements this so the
+/// executor can charge its materializations (join build sides, sort/aggregation buffers)
+/// against per-session and engine-wide budgets.
+///
+/// Reservations are *coarse*: the executor reserves at materialization points (never per row)
+/// and the implementor releases everything when the query ends, so accounting stays out of the
+/// per-row hot path.
+pub trait QueryMemory: Send + Sync + std::fmt::Debug {
+    /// Reserve `bytes` against the query's budget. An `Err` (typically
+    /// [`ExecError::ResourceExhausted`]) aborts the query cleanly instead of letting it OOM.
+    fn reserve(&self, bytes: usize) -> Result<(), ExecError>;
+}
+
 /// Resource limits applied to a single plan execution.
 #[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
@@ -50,6 +115,10 @@ pub struct ExecOptions {
     pub row_budget: Option<usize>,
     /// Wall-clock timeout.
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation token, polled at the same checkpoints as the deadline.
+    pub cancel: Option<Arc<CancelToken>>,
+    /// Memory-accounting hook charged at materialization points.
+    pub memory: Option<Arc<dyn QueryMemory>>,
 }
 
 impl ExecOptions {
@@ -69,14 +138,29 @@ impl ExecOptions {
         self.timeout = Some(timeout);
         self
     }
+
+    /// Attach a cancellation token (see [`CancelToken`]).
+    pub fn with_cancel_token(mut self, token: Arc<CancelToken>) -> ExecOptions {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a memory-accounting hook (see [`QueryMemory`]).
+    pub fn with_memory(mut self, memory: Arc<dyn QueryMemory>) -> ExecOptions {
+        self.memory = Some(memory);
+        self
+    }
 }
 
-/// Per-execution limits, resolved once per [`Executor::execute`] call and passed *by value*
-/// (it is two words) down the operator tree — [`ExecOptions`] itself is never cloned per call.
-#[derive(Debug, Clone, Copy)]
+/// Per-execution limits, resolved once per [`Executor::execute`] call and passed *by
+/// reference* down the operator tree; operators that outlive the call (iterators, parallel
+/// closures) keep a clone — two words plus two optional `Arc`s.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ExecContext {
     row_budget: Option<usize>,
     deadline: Option<Deadline>,
+    cancel: Option<Arc<CancelToken>>,
+    memory: Option<Arc<dyn QueryMemory>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +176,8 @@ impl ExecContext {
             deadline: options
                 .timeout
                 .map(|t| Deadline { at: Instant::now() + t, millis: t.as_millis() as u64 }),
+            cancel: options.cancel.clone(),
+            memory: options.memory.clone(),
         }
     }
 
@@ -101,13 +187,29 @@ impl ExecContext {
         self.row_budget
     }
 
+    /// Check the wall-clock deadline *and* the cancellation token. Every pre-existing deadline
+    /// checkpoint in the four pipelines doubles as a cancellation point, so cancel latency is
+    /// bounded by the same strides that bound timeout latency.
     pub(crate) fn check_deadline(&self) -> Result<(), ExecError> {
+        if let Some(cancel) = &self.cancel {
+            cancel.check()?;
+        }
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline.at {
                 return Err(ExecError::Timeout { millis: deadline.millis });
             }
         }
         Ok(())
+    }
+
+    /// Charge `bytes` of materialized state (join build side, sort/aggregation buffer) against
+    /// the query's memory grant, if one is attached. Called at materialization points only —
+    /// never per row.
+    pub(crate) fn reserve_memory(&self, bytes: usize) -> Result<(), ExecError> {
+        match &self.memory {
+            Some(memory) => memory.reserve(bytes),
+            None => Ok(()),
+        }
     }
 }
 
@@ -122,8 +224,8 @@ pub(crate) struct RowGuard {
 }
 
 impl RowGuard {
-    pub(crate) fn new(ctx: ExecContext) -> RowGuard {
-        RowGuard { produced: 0, ctx }
+    pub(crate) fn new(ctx: &ExecContext) -> RowGuard {
+        RowGuard { produced: 0, ctx: ctx.clone() }
     }
 
     #[inline]
@@ -244,7 +346,7 @@ impl Executor {
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
         let ctx = ExecContext::new(&self.options);
         let schema = plan.schema();
-        let chunks = self.stream_chunks(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
+        let chunks = self.stream_chunks(plan, &ctx)?.collect::<Result<Vec<_>, _>>()?;
         Ok(Relation::from_chunks(schema, chunks))
     }
 
@@ -260,7 +362,7 @@ impl Executor {
     ) -> Result<ChunkStream<'a>, ExecError> {
         let ctx = ExecContext::new(&self.options);
         let schema = plan.schema();
-        let inner = self.stream_chunks(plan, ctx)?;
+        let inner = self.stream_chunks(plan, &ctx)?;
         Ok(ChunkStream { schema, inner })
     }
 
@@ -270,7 +372,7 @@ impl Executor {
     pub fn execute_streaming(&self, plan: &LogicalPlan) -> Result<Relation, ExecError> {
         let ctx = ExecContext::new(&self.options);
         let schema = plan.schema();
-        let tuples = self.stream(plan, ctx)?.collect::<Result<Vec<_>, _>>()?;
+        let tuples = self.stream(plan, &ctx)?.collect::<Result<Vec<_>, _>>()?;
         Ok(Relation::from_parts(schema, tuples))
     }
 
@@ -285,7 +387,7 @@ impl Executor {
     pub(crate) fn stream<'a>(
         &'a self,
         plan: &'a LogicalPlan,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<TupleIter<'a>, ExecError> {
         Ok(match plan {
             LogicalPlan::BaseRelation { name, schema, .. } => {
@@ -404,7 +506,7 @@ impl Executor {
                     drain: 0,
                     probing: true,
                     evals: 0,
-                    ctx,
+                    ctx: ctx.clone(),
                 };
                 Box::new(join.map(move |r| {
                     let t = r?;
@@ -480,7 +582,7 @@ impl Executor {
         schema: &Schema,
         predicate: Option<CompiledExpr>,
         exprs: Option<Vec<CompiledExpr>>,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<ScanIter, ExecError> {
         let rel = self.snapshot.table(name)?;
         if rel.schema().arity() != schema.arity() {

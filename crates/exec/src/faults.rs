@@ -1,0 +1,191 @@
+//! Fault injection: named failpoints that are zero-cost unless armed.
+//!
+//! A failpoint is a named site in the code (`faults::fire("join-build")?`) that normally does
+//! nothing: the only cost of a disarmed site is one relaxed atomic load. Arming happens either
+//! through the `PERM_FAILPOINTS` environment variable (read by `permd` at startup) or
+//! programmatically via [`configure`] (used by the chaos tests). The spec is a comma- or
+//! semicolon-separated list of `site=action` entries:
+//!
+//! ```text
+//! PERM_FAILPOINTS="join-build=panic,socket-write=error*3,sort-flat=sleep:50"
+//! ```
+//!
+//! Actions:
+//!
+//! * `panic` — panic at the site (exercises the `catch_unwind` fences)
+//! * `error` — return an injected [`ExecError::Internal`] / `io::Error`
+//! * `sleep:MS` — delay the site by `MS` milliseconds (latency injection)
+//!
+//! An optional `*N` suffix fires the action `N` times and then disarms the site, so a test can
+//! inject exactly one worker panic or exactly three socket errors and assert recovery.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::error::ExecError;
+
+/// Fast-path switch: disarmed means every [`fire`] call is a single relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+static SITES: OnceLock<Mutex<HashMap<String, Failpoint>>> = OnceLock::new();
+
+/// One armed site: what to do and how many times (`None` = forever).
+#[derive(Debug, Clone, PartialEq)]
+struct Failpoint {
+    action: Action,
+    remaining: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Action {
+    Panic,
+    Error,
+    Sleep(u64),
+}
+
+fn sites() -> &'static Mutex<HashMap<String, Failpoint>> {
+    SITES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_sites() -> std::sync::MutexGuard<'static, HashMap<String, Failpoint>> {
+    // A panic while holding this lock can only come from an armed `panic` action, which
+    // releases the lock before panicking; recover instead of propagating the poison.
+    sites().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Arm failpoints from a spec string (see the module docs for the format). Replaces the current
+/// configuration. An empty spec disarms everything.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut parsed = HashMap::new();
+    for entry in spec.split([',', ';']).map(str::trim).filter(|e| !e.is_empty()) {
+        let (site, action) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry '{entry}' is not site=action"))?;
+        let (action, count) = match action.split_once('*') {
+            Some((action, count)) => {
+                let count: usize =
+                    count.parse().map_err(|_| format!("invalid failpoint count in '{entry}'"))?;
+                (action, Some(count))
+            }
+            None => (action, None),
+        };
+        let action = match action {
+            "panic" => Action::Panic,
+            "error" => Action::Error,
+            _ => match action.strip_prefix("sleep:") {
+                Some(ms) => Action::Sleep(
+                    ms.parse().map_err(|_| format!("invalid sleep duration in '{entry}'"))?,
+                ),
+                None => return Err(format!("unknown failpoint action '{action}' in '{entry}'")),
+            },
+        };
+        parsed.insert(site.trim().to_string(), Failpoint { action, remaining: count });
+    }
+    let armed = !parsed.is_empty();
+    *lock_sites() = parsed;
+    ARMED.store(armed, Ordering::Release);
+    Ok(())
+}
+
+/// Disarm every failpoint.
+pub fn clear() {
+    lock_sites().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Arm failpoints from the `PERM_FAILPOINTS` environment variable, if set. Returns an error for
+/// a malformed spec so the daemon can refuse to start half-armed.
+pub fn init_from_env() -> Result<(), String> {
+    match std::env::var("PERM_FAILPOINTS") {
+        Ok(spec) => configure(&spec),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Look up and consume one firing of `site`. `None` when disarmed (the common case is handled
+/// before this by the `ARMED` fast path).
+fn consume(site: &str) -> Option<Action> {
+    let mut map = lock_sites();
+    let fp = map.get_mut(site)?;
+    let action = fp.action.clone();
+    if let Some(remaining) = &mut fp.remaining {
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            map.remove(site);
+        }
+    }
+    Some(action)
+}
+
+/// Hit a failpoint in executor code. Disarmed sites cost one relaxed atomic load.
+#[inline]
+pub fn fire(site: &str) -> Result<(), ExecError> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match consume(site) {
+        None => Ok(()),
+        Some(Action::Panic) => panic!("failpoint '{site}' fired: injected panic"),
+        Some(Action::Error) => {
+            Err(ExecError::Internal(format!("failpoint '{site}' fired: injected error")))
+        }
+        Some(Action::Sleep(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+/// Hit a failpoint in I/O code (socket read/write paths). Disarmed sites cost one relaxed
+/// atomic load.
+#[inline]
+pub fn fire_io(site: &str) -> io::Result<()> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    match consume(site) {
+        None => Ok(()),
+        Some(Action::Panic) => panic!("failpoint '{site}' fired: injected panic"),
+        Some(Action::Error) => Err(io::Error::other(format!("failpoint '{site}' fired"))),
+        Some(Action::Sleep(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; keep every assertion in one test so parallel test
+    // threads cannot interleave configurations.
+    #[test]
+    fn configure_fire_and_exhaust() {
+        clear();
+        assert!(fire("anything").is_ok(), "disarmed sites never fire");
+
+        configure("a=error*2,b=sleep:1").unwrap();
+        assert!(fire("c").is_ok(), "unarmed site while others are armed");
+        assert!(fire("a").is_err());
+        assert!(fire("a").is_err());
+        assert!(fire("a").is_ok(), "count exhausted after two firings");
+        assert!(fire("b").is_ok(), "sleep action returns Ok");
+        assert!(fire_io("b").is_ok());
+
+        configure("io=error").unwrap();
+        assert!(fire_io("io").is_err());
+        assert!(fire_io("io").is_err(), "no count means fire forever");
+
+        assert!(configure("bad").is_err());
+        assert!(configure("x=unknown").is_err());
+        assert!(configure("x=sleep:abc").is_err());
+        assert!(configure("x=error*z").is_err());
+
+        clear();
+        assert!(fire("io").is_ok());
+    }
+}

@@ -32,6 +32,7 @@ mod compile;
 pub mod error;
 pub mod eval;
 pub mod executor;
+pub mod faults;
 pub mod optimizer;
 pub mod parallel;
 pub mod reference;
@@ -39,7 +40,10 @@ mod vector;
 
 pub use error::ExecError;
 pub use eval::{evaluate, evaluate_predicate, like_match};
-pub use executor::{execute_plan, execute_plan_with_options, ChunkStream, ExecOptions, Executor};
+pub use executor::{
+    execute_plan, execute_plan_with_options, CancelToken, ChunkStream, ExecOptions, Executor,
+    QueryMemory,
+};
 pub use optimizer::{fold_expr, Optimizer};
 pub use parallel::WorkerPool;
 pub use reference::execute_reference;

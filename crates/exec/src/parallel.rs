@@ -138,7 +138,7 @@ impl WorkerPool {
     }
 
     fn submit(&self, job: Job) {
-        let mut state = self.shared.state.lock().expect("pool mutex");
+        let mut state = self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         state.jobs.push_back(job);
         drop(state);
         self.shared.work_ready.notify_one();
@@ -209,12 +209,14 @@ impl WorkerPool {
         // The inline loop exited, so no *new* morsel can be claimed (the morsels are exhausted,
         // the stop target is covered, or the region aborted — all sticky conditions every
         // claimer re-checks). Wait only for morsels other workers are still executing.
-        let mut in_flight = region.in_flight.lock().expect("region mutex");
+        let mut in_flight =
+            region.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         while *in_flight > 0 {
-            in_flight = region.idle.wait(in_flight).expect("region condvar");
+            in_flight =
+                region.idle.wait(in_flight).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(in_flight);
-        let mut slots = region.slots.lock().expect("region mutex");
+        let mut slots = region.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         std::mem::take(&mut *slots)
     }
 }
@@ -222,7 +224,8 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool mutex");
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -235,7 +238,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool mutex");
+            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -243,10 +246,15 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work_ready.wait(state).expect("pool condvar");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        job();
+        // Fence the job as a whole so a panic that escapes the per-morsel fence (or strikes
+        // region bookkeeping) retires this job without killing the worker thread.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
     }
 }
 
@@ -281,7 +289,7 @@ where
         // or observes the sticky exit condition and leaves without claiming a morsel. Checking
         // before registering would let a straggler claim a morsel after the dispatcher already
         // harvested the result slots.
-        *region.in_flight.lock().expect("region mutex") += 1;
+        *region.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         if region.abort.load(AtomicOrdering::Relaxed)
             || region.produced.load(AtomicOrdering::Relaxed) >= region.stop_rows
         {
@@ -293,7 +301,12 @@ where
             finish_morsel(region);
             return;
         }
-        let slot = match task(i) {
+        // Panic fence: a panicking morsel (a bug, or an injected failpoint) fails *this query*
+        // with an internal error instead of unwinding through the pool — the worker thread,
+        // the region bookkeeping and every other session keep working.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)))
+            .unwrap_or_else(|payload| Err(ExecError::Internal(panic_message(&payload))));
+        let slot = match outcome {
             Ok((value, rows)) => {
                 region.produced.fetch_add(rows, AtomicOrdering::Relaxed);
                 Ok(value)
@@ -303,13 +316,30 @@ where
                 Err(e)
             }
         };
-        region.slots.lock().expect("region mutex")[i] = Some(slot);
+        lock_recovered(&region.slots)[i] = Some(slot);
         finish_morsel(region);
     }
 }
 
+/// Render a panic payload into the message of the internal error that replaces it.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string());
+    format!("worker panicked: {msg}")
+}
+
+/// Lock a mutex, recovering from poison: with the panic fence above, a poisoned lock can only
+/// mean a panic struck between guard acquisition and release in bookkeeping code that performs
+/// no fallible work while holding the guard, so the data is consistent and safe to reuse.
+fn lock_recovered<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn finish_morsel<T>(region: &Region<T>) {
-    let mut in_flight = region.in_flight.lock().expect("region mutex");
+    let mut in_flight = region.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     *in_flight -= 1;
     if *in_flight == 0 {
         region.idle.notify_all();
@@ -372,7 +402,7 @@ impl Executor {
             return self.execute(plan);
         }
         let schema = plan.schema();
-        let chunks = self.par_chunks(plan, ctx, pool, None)?;
+        let chunks = self.par_chunks(plan, &ctx, pool, None)?;
         Ok(Relation::from_chunks(schema, chunks))
     }
 
@@ -382,7 +412,7 @@ impl Executor {
     fn par_chunks(
         &self,
         plan: &LogicalPlan,
-        ctx: ExecContext,
+        ctx: &ExecContext,
         pool: &WorkerPool,
         limit: Option<usize>,
     ) -> Result<Vec<DataChunk>, ExecError> {
@@ -480,7 +510,7 @@ impl Executor {
     fn par_source(
         &self,
         input: &LogicalPlan,
-        ctx: ExecContext,
+        ctx: &ExecContext,
         pool: &WorkerPool,
     ) -> Result<Arc<Vec<DataChunk>>, ExecError> {
         Ok(Arc::new(self.par_chunks(input, ctx, pool, None)?))
@@ -491,11 +521,13 @@ impl Executor {
     fn par_tuples(
         &self,
         plan: &LogicalPlan,
-        ctx: ExecContext,
+        ctx: &ExecContext,
         pool: &WorkerPool,
     ) -> Result<Vec<Tuple>, ExecError> {
         let chunks = Arc::new(self.par_chunks(plan, ctx, pool, None)?);
+        ctx.reserve_memory(chunks.iter().map(DataChunk::byte_size).sum())?;
         let source = chunks.clone();
+        let ctx = ctx.clone();
         let slots = pool.run_region(chunks.len(), None, move |i| {
             ctx.check_deadline()?;
             let rows: Vec<Tuple> = source[i].iter_tuples().collect();
@@ -514,13 +546,15 @@ impl Executor {
         right: &LogicalPlan,
         kind: JoinKind,
         condition: Option<&ScalarExpr>,
-        ctx: ExecContext,
+        ctx: &ExecContext,
         pool: &WorkerPool,
         limit: Option<usize>,
     ) -> Result<Vec<DataChunk>, ExecError> {
         let left_arity = left.output_arity();
         let right_arity = right.output_arity();
         let build_chunks = self.par_chunks(right, ctx, pool, None)?;
+        crate::faults::fire("join-build")?;
+        ctx.reserve_memory(build_chunks.iter().map(DataChunk::byte_size).sum())?;
         let build = Arc::new(DataChunk::concat(right_arity, &build_chunks));
         let (equi_keys, residual) = match condition {
             Some(c) => split_equi_join_condition(c, left_arity),
@@ -557,6 +591,7 @@ impl Executor {
         let task_build = build.clone();
         let task_mode = mode;
         let task_matched = matched.clone();
+        let task_ctx = ctx.clone();
         let slots = pool.run_region(probe_chunks.len(), limit, move |i| {
             let out = probe_morsel(
                 &task_probe[i],
@@ -565,7 +600,7 @@ impl Executor {
                 filter.as_ref(),
                 kind,
                 task_matched.as_deref().map(|v| &**v),
-                ctx,
+                &task_ctx,
             )?;
             let rows = out.iter().map(DataChunk::num_rows).sum();
             Ok((out, rows))
@@ -607,13 +642,14 @@ impl Executor {
 /// compacting and projecting independently; empty outputs are dropped, order is morsel order.
 fn map_region(
     pool: &WorkerPool,
-    ctx: ExecContext,
+    ctx: &ExecContext,
     source: Arc<Vec<DataChunk>>,
     predicate: Option<CompiledExpr>,
     exprs: Option<Vec<CompiledExpr>>,
     limit: Option<usize>,
 ) -> Result<Vec<DataChunk>, ExecError> {
     let task_source = source.clone();
+    let ctx = ctx.clone();
     let slots = pool.run_region(source.len(), limit, move |i| {
         ctx.check_deadline()?;
         let chunk = &task_source[i];
@@ -714,7 +750,7 @@ enum ParJoinMode {
 /// no routing is needed, so only joinability is computed (hash 0).
 fn build_key_hashes(
     pool: &WorkerPool,
-    ctx: ExecContext,
+    ctx: &ExecContext,
     build: &Arc<DataChunk>,
     keys: &Arc<Vec<EquiKey>>,
     nparts: usize,
@@ -723,6 +759,7 @@ fn build_key_hashes(
     let morsels = rows.div_ceil(DEFAULT_CHUNK_SIZE);
     let build = build.clone();
     let keys = keys.clone();
+    let ctx = ctx.clone();
     let slots = pool.run_region(morsels, None, move |m| {
         ctx.check_deadline()?;
         let start = m * DEFAULT_CHUNK_SIZE;
@@ -763,11 +800,14 @@ fn hash_build_row(build: &DataChunk, keys: &[EquiKey], i: usize, route: bool) ->
 /// inserting its rows (in reverse global order, so bucket chains run forward).
 fn build_partitioned_table(
     pool: &WorkerPool,
-    ctx: ExecContext,
+    ctx: &ExecContext,
     build: &Arc<DataChunk>,
     keys: Vec<EquiKey>,
 ) -> Result<ParHashTable, ExecError> {
     let rows = build.num_rows();
+    // The table's bucket heads and chain links cost ~12 bytes per build row on top of the
+    // (already reserved) build chunk itself.
+    ctx.reserve_memory(rows.saturating_mul(12))?;
     let keys = Arc::new(keys);
     let nparts = pool.workers();
     let hashes = Arc::new(build_key_hashes(pool, ctx, build, &keys, nparts)?);
@@ -782,6 +822,7 @@ fn build_partitioned_table(
     let task_build = build.clone();
     let task_keys = keys.clone();
     let task_hashes = hashes.clone();
+    let ctx = ctx.clone();
     let slots = pool.run_region(nparts, None, move |p| {
         ctx.check_deadline()?;
         let mut links: Vec<(u32, u32)> = Vec::new();
@@ -890,7 +931,7 @@ fn probe_morsel(
     filter: Option<&CompiledExpr>,
     kind: JoinKind,
     matched: Option<&[AtomicBool]>,
-    ctx: ExecContext,
+    ctx: &ExecContext,
 ) -> Result<Vec<DataChunk>, ExecError> {
     let left_arity = probe.num_columns();
     let right_arity = build.num_columns();
@@ -1024,7 +1065,7 @@ struct AggMorsel {
 /// Results are restored to global first-seen order.
 fn par_aggregate(
     pool: &WorkerPool,
-    ctx: ExecContext,
+    ctx: &ExecContext,
     input: Vec<DataChunk>,
     group_by: Vec<CompiledExpr>,
     aggregates: Vec<CompiledAggregate>,
@@ -1040,7 +1081,10 @@ fn par_aggregate(
         return Ok(Vec::new());
     }
 
-    // Phase 1: evaluate key/argument columns and key hashes, morsel-parallel.
+    // Phase 1: evaluate key/argument columns and key hashes, morsel-parallel. The phase-1
+    // morsel buffers (key/argument arrays plus hashes) scale with the input, so charge the
+    // input size against the query's memory grant up front.
+    ctx.reserve_memory(input.iter().map(DataChunk::byte_size).sum())?;
     let nparts = pool.workers();
     let source = Arc::new(input);
     let task_source = source.clone();
@@ -1048,8 +1092,9 @@ fn par_aggregate(
     let task_aggregates = Arc::new(aggregates);
     let phase1_group_by = task_group_by.clone();
     let phase1_aggregates = task_aggregates.clone();
+    let phase1_ctx = ctx.clone();
     let slots = pool.run_region(source.len(), None, move |m| {
-        ctx.check_deadline()?;
+        phase1_ctx.check_deadline()?;
         let chunk = &task_source[m];
         let keys: Vec<Arc<Array>> =
             phase1_group_by.iter().map(|e| e.eval_array(chunk)).collect::<Result<_, _>>()?;
@@ -1084,8 +1129,9 @@ fn par_aggregate(
     }
     let task_morsels = morsels.clone();
     let phase2_aggregates = task_aggregates.clone();
+    let phase2_ctx = ctx.clone();
     let slots = pool.run_region(nparts, None, move |p| {
-        ctx.check_deadline()?;
+        phase2_ctx.check_deadline()?;
         let mut index: HashMap<Tuple, usize> = HashMap::new();
         let mut groups: Vec<(u64, Tuple, Vec<Accumulator>)> = Vec::new();
         let mut since_check = 0usize;
@@ -1093,7 +1139,7 @@ fn par_aggregate(
             for i in 0..morsel.rows {
                 since_check += 1;
                 if since_check & 0xFFF == 0 {
-                    ctx.check_deadline()?;
+                    phase2_ctx.check_deadline()?;
                 }
                 if nparts > 1 && morsel.hashes[i] as usize % nparts != p {
                     continue;
@@ -1155,11 +1201,13 @@ struct SortRun {
 /// deterministic regardless of worker count.
 fn par_sort(
     pool: &WorkerPool,
-    ctx: ExecContext,
+    ctx: &ExecContext,
     arity: usize,
     chunks: Vec<DataChunk>,
     keys: Vec<(CompiledExpr, SortOrder)>,
 ) -> Result<Vec<DataChunk>, ExecError> {
+    crate::faults::fire("sort")?;
+    ctx.reserve_memory(chunks.iter().map(DataChunk::byte_size).sum())?;
     let flat = Arc::new(DataChunk::concat(arity, &chunks));
     let rows = flat.num_rows();
     if rows == 0 {
@@ -1169,8 +1217,9 @@ fn par_sort(
     let keys = Arc::new(keys);
     let task_flat = flat.clone();
     let task_keys = keys.clone();
+    let task_ctx = ctx.clone();
     let slots = pool.run_region(morsels, None, move |m| {
-        ctx.check_deadline()?;
+        task_ctx.check_deadline()?;
         let start = m * DEFAULT_CHUNK_SIZE;
         let len = DEFAULT_CHUNK_SIZE.min(task_flat.num_rows() - start);
         let piece = task_flat.slice(start, len);

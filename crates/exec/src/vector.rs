@@ -46,7 +46,7 @@ pub(crate) type ChunkIter<'a> = Box<dyn Iterator<Item = Result<DataChunk, ExecEr
 
 /// The batch size of this execution: the default chunk size, shrunk to the row budget (if any)
 /// so that budget overruns surface at the same row counts as in tuple-at-a-time execution.
-fn chunk_capacity(ctx: ExecContext) -> usize {
+fn chunk_capacity(ctx: &ExecContext) -> usize {
     ctx.row_budget().map_or(DEFAULT_CHUNK_SIZE, |b| b.clamp(1, DEFAULT_CHUNK_SIZE))
 }
 
@@ -73,7 +73,7 @@ impl Executor {
     pub(crate) fn stream_chunks<'a>(
         &'a self,
         plan: &'a LogicalPlan,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<ChunkIter<'a>, ExecError> {
         Ok(match plan {
             LogicalPlan::BaseRelation { name, schema, .. } => {
@@ -166,6 +166,8 @@ impl Executor {
                 // the probe side streams chunk by chunk.
                 let build_chunks: Vec<DataChunk> =
                     self.stream_chunks(right, ctx)?.collect::<Result<_, _>>()?;
+                crate::faults::fire("join-build")?;
+                ctx.reserve_memory(build_chunks.iter().map(DataChunk::byte_size).sum())?;
                 let build = DataChunk::concat(right_arity, &build_chunks);
                 let (equi_keys, residual) = match condition {
                     Some(c) => split_equi_join_condition(c, left_arity),
@@ -212,7 +214,7 @@ impl Executor {
                     evals: 0,
                     capacity: chunk_capacity(ctx),
                     guard: RowGuard::new(ctx),
-                    ctx,
+                    ctx: ctx.clone(),
                 })
             }
             LogicalPlan::Aggregation { input, group_by, aggregates } => {
@@ -230,8 +232,8 @@ impl Executor {
                 Box::new(ChunkedRows::new(rows, arity, chunk_capacity(ctx)))
             }
             LogicalPlan::SetOp { left, right, kind, semantics } => {
-                let left_rows = collect_tuples(self.stream_chunks(left, ctx)?)?;
-                let right_rows = collect_tuples(self.stream_chunks(right, ctx)?)?;
+                let left_rows = collect_tuples(self.stream_chunks(left, ctx)?, ctx)?;
+                let right_rows = collect_tuples(self.stream_chunks(right, ctx)?, ctx)?;
                 let out = set_operation(left_rows, right_rows, *kind, *semantics);
                 let arity = plan.output_arity();
                 let capacity = chunk_capacity(ctx);
@@ -256,6 +258,8 @@ impl Executor {
                     .collect::<Result<_, ExecError>>()?;
                 let chunks: Vec<DataChunk> =
                     self.stream_chunks(input, ctx)?.collect::<Result<_, _>>()?;
+                crate::faults::fire("sort")?;
+                ctx.reserve_memory(chunks.iter().map(DataChunk::byte_size).sum())?;
                 let arity = plan.output_arity();
                 let sorted = sort_chunks(arity, chunks, &compiled, chunk_capacity(ctx))?;
                 Box::new(sorted.into_iter().map(Ok))
@@ -307,7 +311,7 @@ impl Executor {
         schema: &Schema,
         predicate: Option<CompiledExpr>,
         exprs: Option<Vec<CompiledExpr>>,
-        ctx: ExecContext,
+        ctx: &ExecContext,
     ) -> Result<ChunkScanIter, ExecError> {
         let rel = self.snapshot().table(name)?;
         if rel.schema().arity() != schema.arity() {
@@ -343,11 +347,13 @@ pub(crate) fn project_chunk(
 }
 
 /// Collect a chunk stream into tuples (the compatibility edge used by set operations, whose
-/// hash-multiset algebra is row-shaped).
-fn collect_tuples(iter: ChunkIter<'_>) -> Result<Vec<Tuple>, ExecError> {
+/// hash-multiset algebra is row-shaped). Reserves governed memory chunk-wise as the
+/// materialization grows.
+fn collect_tuples(iter: ChunkIter<'_>, ctx: &ExecContext) -> Result<Vec<Tuple>, ExecError> {
     let mut out = Vec::new();
     for chunk in iter {
         let chunk = chunk?;
+        ctx.reserve_memory(chunk.byte_size())?;
         out.extend(chunk.iter_tuples());
     }
     Ok(out)
@@ -692,6 +698,9 @@ impl Iterator for ChunkJoinIter<'_> {
                     Some(Ok(chunk)) => {
                         if chunk.is_empty() {
                             continue;
+                        }
+                        if let Err(e) = crate::faults::fire("join-probe") {
+                            return Some(Err(e));
                         }
                         self.cursor = self.mode.cursor_for(&chunk, 0);
                         self.row_matched = false;

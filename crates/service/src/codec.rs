@@ -319,28 +319,43 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Take exactly `N` bytes as a fixed-size array (`take` guarantees the length).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ServiceError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, ServiceError> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, ServiceError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, ServiceError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, ServiceError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     fn i32(&mut self) -> Result<i32, ServiceError> {
-        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_be_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64, ServiceError> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_be_bytes(self.array()?))
+    }
+
+    /// Bytes not yet consumed. Every length-prefixed preallocation below is capped by this
+    /// (divided by the element's minimum encoded size), so a corrupt or hostile frame
+    /// claiming a huge element count can never force an allocation larger than the frame
+    /// itself — decoding then fails with a clean truncation error instead.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 
     fn finish(&self) -> Result<(), ServiceError> {
@@ -356,7 +371,7 @@ impl<'a> Cursor<'a> {
 pub fn decode_schema(body: &[u8]) -> Result<Schema, ServiceError> {
     let mut cur = Cursor::new(body);
     let ncols = cur.u16()? as usize;
-    let mut pairs: Vec<(String, DataType)> = Vec::with_capacity(ncols);
+    let mut pairs: Vec<(String, DataType)> = Vec::with_capacity(ncols.min(cur.remaining()));
     for _ in 0..ncols {
         let name_len = cur.u16()? as usize;
         let name = String::from_utf8(cur.take(name_len)?.to_vec())
@@ -374,7 +389,7 @@ pub fn decode_chunk(body: &[u8]) -> Result<DataChunk, ServiceError> {
     let mut cur = Cursor::new(body);
     let rows = cur.u32()? as usize;
     let ncols = cur.u16()? as usize;
-    let mut columns = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols.min(cur.remaining()));
     for _ in 0..ncols {
         let array = decode_array(&mut cur)?;
         if array.len() != rows {
@@ -403,7 +418,7 @@ fn decode_array(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         0 => decode_plain(cur),
         1 => {
             let count = cur.u32()? as usize;
-            let mut indices = Vec::with_capacity(count);
+            let mut indices = Vec::with_capacity(count.min(cur.remaining() / 4));
             for _ in 0..count {
                 indices.push(cur.u32()?);
             }
@@ -415,7 +430,7 @@ fn decode_array(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         2 => {
             let runs = cur.u32()? as usize;
-            let mut run_ends = Vec::with_capacity(runs);
+            let mut run_ends = Vec::with_capacity(runs.min(cur.remaining() / 4));
             for _ in 0..runs {
                 run_ends.push(cur.u32()?);
             }
@@ -449,7 +464,7 @@ fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         1 => {
             let validity = decode_validity(cur, len)?;
-            let mut values = Vec::with_capacity(len);
+            let mut values = Vec::with_capacity(len.min(cur.remaining() / 8));
             for _ in 0..len {
                 values.push(cur.i64()?);
             }
@@ -457,7 +472,7 @@ fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         2 => {
             let validity = decode_validity(cur, len)?;
-            let mut values = Vec::with_capacity(len);
+            let mut values = Vec::with_capacity(len.min(cur.remaining() / 8));
             for _ in 0..len {
                 values.push(f64::from_bits(cur.u64()?));
             }
@@ -465,7 +480,7 @@ fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         3 => {
             let validity = decode_validity(cur, len)?;
-            let mut values: Vec<Arc<str>> = Vec::with_capacity(len);
+            let mut values: Vec<Arc<str>> = Vec::with_capacity(len.min(cur.remaining() / 4));
             for _ in 0..len {
                 let text_len = cur.u32()? as usize;
                 let text = std::str::from_utf8(cur.take(text_len)?)
@@ -476,7 +491,7 @@ fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         4 => {
             let validity = decode_validity(cur, len)?;
-            let mut values = Vec::with_capacity(len);
+            let mut values = Vec::with_capacity(len.min(cur.remaining() / 4));
             for _ in 0..len {
                 values.push(cur.i32()?);
             }
@@ -484,7 +499,7 @@ fn decode_plain(cur: &mut Cursor<'_>) -> Result<Array, ServiceError> {
         }
         5 => Array::Null { len },
         6 => {
-            let mut values = Vec::with_capacity(len);
+            let mut values = Vec::with_capacity(len.min(cur.remaining()));
             for _ in 0..len {
                 values.push(decode_value(cur)?);
             }

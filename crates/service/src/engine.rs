@@ -4,12 +4,13 @@
 use std::sync::Arc;
 
 use perm_algebra::{LogicalPlan, Schema, Value};
-use perm_exec::{ExecOptions, Executor, Optimizer, WorkerPool};
+use perm_exec::{CancelToken, ExecOptions, Executor, Optimizer, WorkerPool};
 use perm_sql::{AnalyzedStatement, Analyzer, ProvenanceRewrite};
 use perm_storage::{Catalog, Relation};
 
 use crate::cache::{normalize_sql, CacheStats, PlanCache};
 use crate::error::ServiceError;
+use crate::governor::{Governor, GovernorLimits};
 use crate::session::Session;
 use crate::stream::QueryStream;
 
@@ -45,6 +46,9 @@ pub struct Engine {
     /// Bytes currently buffered in streaming result channels across all sessions (a gauge:
     /// stream producers add on send, consumers subtract on receive).
     stream_buffered: Arc<std::sync::atomic::AtomicUsize>,
+    /// Memory governor: every statement is admitted here and charged for its
+    /// materializations; see [`Governor`].
+    governor: Arc<Governor>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -91,6 +95,7 @@ impl Engine {
             workers: workers.max(1),
             pool: std::sync::OnceLock::new(),
             stream_buffered: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            governor: Arc::new(Governor::new(GovernorLimits::default())),
         }
     }
 
@@ -113,6 +118,18 @@ impl Engine {
         self.workers = workers.max(1);
         self.pool = std::sync::OnceLock::new();
         self
+    }
+
+    /// Enforce memory limits: every statement is admitted against the engine-wide cap and
+    /// charged against the per-query cap (`permd --mem-limit` / `--session-mem-limit`).
+    pub fn with_memory_limits(mut self, limits: GovernorLimits) -> Engine {
+        self.governor = Arc::new(Governor::new(limits));
+        self
+    }
+
+    /// The engine's memory governor (admission gauges, shutdown draining).
+    pub fn governor(&self) -> &Arc<Governor> {
+        &self.governor
     }
 
     /// The parallelism degree of the shared worker pool.
@@ -244,9 +261,10 @@ impl Engine {
     pub fn run_plan_streaming(
         &self,
         prepared: Arc<PreparedPlan>,
-        options: ExecOptions,
+        mut options: ExecOptions,
         params: Vec<Value>,
     ) -> Result<QueryStream, ServiceError> {
+        let token = self.govern(&mut options)?;
         let pull = self.workers <= 1 || options.row_budget.is_some();
         let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
         Ok(QueryStream::pending(
@@ -255,6 +273,7 @@ impl Engine {
             self.worker_pool().clone(),
             pull,
             self.stream_buffered.clone(),
+            token,
         ))
     }
 
@@ -266,11 +285,36 @@ impl Engine {
     pub fn run_plan(
         &self,
         plan: &LogicalPlan,
-        options: ExecOptions,
+        mut options: ExecOptions,
         params: Vec<Value>,
     ) -> Result<Relation, ServiceError> {
+        self.govern(&mut options)?;
         let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
         Ok(executor.execute_parallel(plan, self.worker_pool())?)
+    }
+
+    /// Register one statement with the governor: ensure `options` carries a cancellation
+    /// token (creating one when the caller did not supply its own), admit the statement
+    /// against the engine-wide memory limit and thread its [`crate::governor::QueryGrant`]
+    /// into the executor as the memory-accounting hook. The grant rides inside the executor's
+    /// options and is released when the executor is dropped (query finished or unwound).
+    ///
+    /// Returns the token so callers that stay in control of the statement (streaming results,
+    /// the wire server) can cancel it mid-flight.
+    fn govern(&self, options: &mut ExecOptions) -> Result<Arc<CancelToken>, ServiceError> {
+        let token = match &options.cancel {
+            Some(token) => token.clone(),
+            None => {
+                let token = Arc::new(CancelToken::new());
+                options.cancel = Some(token.clone());
+                token
+            }
+        };
+        if options.memory.is_none() {
+            let grant = self.governor.admit(token.clone())?;
+            options.memory = Some(Arc::new(grant));
+        }
+        Ok(token)
     }
 
     /// Execute an analyzed statement (DDL, DML or query) under `options`.

@@ -34,6 +34,9 @@ pub enum ServiceError {
     Unsupported(String),
     /// A malformed wire-protocol request.
     Protocol(String),
+    /// An internal server failure (a caught panic in a worker or connection thread). The query
+    /// that hit it fails with this error; the server itself keeps serving.
+    Internal(String),
 }
 
 impl ServiceError {
@@ -62,6 +65,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -1,0 +1,331 @@
+//! The resource governor: engine-wide memory admission, per-query accounting and shedding.
+//!
+//! Every governed statement registers with the [`Governor`] before execution and receives a
+//! [`QueryGrant`] — the engine threads the grant into the executor as its
+//! [`perm_exec::QueryMemory`] hook, so join build sides, sort/aggregation buffers and other
+//! materializations are charged here at allocation time (coarsely, never per row). Two limits
+//! apply:
+//!
+//! * **per-query** (`permd --session-mem-limit`): a single statement exceeding its budget gets
+//!   a clean `ResourceExhausted` error instead of taking the process towards OOM.
+//! * **engine-wide** (`permd --mem-limit`): admission waits briefly for reserved memory to
+//!   drain before rejecting new statements, and when running queries collectively overrun the
+//!   limit the governor sheds the *largest* one — its [`perm_exec::CancelToken`] is cancelled
+//!   with a resource-exhausted reason and its memory frees as it unwinds.
+//!
+//! Dropping a grant (query finished, failed, or was cancelled) releases everything it reserved
+//! and wakes admission waiters, so the gauges return to zero at quiescence by construction.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use perm_exec::{CancelToken, ExecError, QueryMemory};
+
+/// How long admission waits for reserved memory to drain before rejecting a statement.
+pub const ADMISSION_WAIT: Duration = Duration::from_secs(2);
+
+/// Memory limits enforced by the governor (`None` = unlimited).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GovernorLimits {
+    /// Engine-wide cap on reserved bytes across all running statements.
+    pub engine_bytes: Option<usize>,
+    /// Cap on the bytes any single statement may reserve.
+    pub query_bytes: Option<usize>,
+}
+
+/// Point-in-time governor gauges (reported by the wire `stats` command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Statements currently registered (admitted and not yet finished).
+    pub active_queries: usize,
+    /// Bytes currently reserved across all registered statements.
+    pub reserved_bytes: usize,
+    /// Statements shed (cancelled with `ResourceExhausted`) under engine-wide pressure.
+    pub shed_queries: u64,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    reserved: usize,
+    cancel: Arc<CancelToken>,
+}
+
+#[derive(Debug, Default)]
+struct GovState {
+    next_id: u64,
+    total: usize,
+    shed: u64,
+    queries: HashMap<u64, QueryState>,
+}
+
+/// Engine-wide memory governor; see the module docs.
+#[derive(Debug)]
+pub struct Governor {
+    limits: GovernorLimits,
+    state: Mutex<GovState>,
+    /// Signalled whenever reserved memory drains (a grant drops), waking admission waiters.
+    drained: Condvar,
+}
+
+impl Governor {
+    /// A governor enforcing `limits`.
+    pub fn new(limits: GovernorLimits) -> Governor {
+        Governor { limits, state: Mutex::new(GovState::default()), drained: Condvar::new() }
+    }
+
+    /// The limits this governor enforces.
+    pub fn limits(&self) -> GovernorLimits {
+        self.limits
+    }
+
+    /// Lock the governor state, recovering from poisoning: the state is a set of counters kept
+    /// consistent at every await point, so a panicking holder leaves nothing half-updated that
+    /// could justify taking the whole engine down.
+    fn lock_state(&self) -> MutexGuard<'_, GovState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit one statement: waits up to [`ADMISSION_WAIT`] for engine-wide reserved memory to
+    /// drop below the limit, then registers the statement and returns its grant. `cancel` is
+    /// the statement's cancellation token, kept so shutdown and shedding can reach it.
+    pub fn admit(self: &Arc<Self>, cancel: Arc<CancelToken>) -> Result<QueryGrant, ExecError> {
+        let mut state = self.lock_state();
+        if let Some(limit) = self.limits.engine_bytes {
+            let mut waited = false;
+            while state.total >= limit && !state.queries.is_empty() {
+                if waited {
+                    return Err(ExecError::ResourceExhausted(format!(
+                        "engine memory limit of {limit} bytes is fully reserved; admission \
+                         timed out"
+                    )));
+                }
+                state = self
+                    .drained
+                    .wait_timeout(state, ADMISSION_WAIT)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                waited = true;
+            }
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        state.queries.insert(id, QueryState { reserved: 0, cancel });
+        Ok(QueryGrant { governor: self.clone(), id })
+    }
+
+    /// Cancel every registered statement (graceful shutdown). Grants stay registered until
+    /// their queries unwind and drop them.
+    pub fn cancel_all(&self) {
+        let state = self.lock_state();
+        for query in state.queries.values() {
+            query.cancel.cancel();
+        }
+    }
+
+    /// Current gauges.
+    pub fn stats(&self) -> GovernorStats {
+        let state = self.lock_state();
+        GovernorStats {
+            active_queries: state.queries.len(),
+            reserved_bytes: state.total,
+            shed_queries: state.shed,
+        }
+    }
+
+    /// Block until no statement is registered or `deadline` elapses; returns whether the
+    /// governor is quiescent. Used by graceful shutdown to drain in-flight queries.
+    pub fn wait_quiescent(&self, deadline: Duration) -> bool {
+        let started = std::time::Instant::now();
+        let mut state = self.lock_state();
+        while !state.queries.is_empty() {
+            let Some(remaining) = deadline.checked_sub(started.elapsed()) else {
+                return false;
+            };
+            state = self
+                .drained
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        true
+    }
+
+    fn reserve(&self, id: u64, bytes: usize) -> Result<(), ExecError> {
+        let mut state = self.lock_state();
+        let reserved = match state.queries.get(&id) {
+            Some(q) => q.reserved,
+            None => return Ok(()), // Grant already deregistered (unwinding); nothing to track.
+        };
+        if let Some(limit) = self.limits.query_bytes {
+            if reserved.saturating_add(bytes) > limit {
+                return Err(ExecError::ResourceExhausted(format!(
+                    "query memory limit exceeded: {} + {bytes} bytes over the per-query limit \
+                     of {limit}",
+                    reserved
+                )));
+            }
+        }
+        if let Some(limit) = self.limits.engine_bytes {
+            if state.total.saturating_add(bytes) > limit {
+                // Shed the largest *other* statement: its memory frees as it unwinds, and this
+                // reservation proceeds with a transient overshoot. If this statement is itself
+                // the largest (or alone), shedding others cannot help — fail it instead.
+                let largest = state
+                    .queries
+                    .iter()
+                    .filter(|(qid, q)| **qid != id && !q.cancel.is_cancelled())
+                    .max_by_key(|(_, q)| q.reserved)
+                    .map(|(qid, q)| (*qid, q.reserved));
+                match largest {
+                    Some((_, largest_reserved)) if largest_reserved > reserved => {
+                        state.shed += 1;
+                        let victim = largest
+                            .and_then(|(qid, _)| state.queries.get(&qid))
+                            .map(|q| q.cancel.clone());
+                        if let Some(token) = victim {
+                            token.cancel_resource_exhausted(format!(
+                                "shed by governor: engine memory limit of {limit} bytes \
+                                 exceeded and this was the largest query \
+                                 ({largest_reserved} bytes reserved)"
+                            ));
+                        }
+                    }
+                    _ => {
+                        return Err(ExecError::ResourceExhausted(format!(
+                            "engine memory limit exceeded: {} + {bytes} bytes over the \
+                             engine-wide limit of {limit}",
+                            state.total
+                        )));
+                    }
+                }
+            }
+        }
+        state.total = state.total.saturating_add(bytes);
+        if let Some(q) = state.queries.get_mut(&id) {
+            q.reserved = q.reserved.saturating_add(bytes);
+        }
+        Ok(())
+    }
+
+    fn finish(&self, id: u64) {
+        let mut state = self.lock_state();
+        if let Some(query) = state.queries.remove(&id) {
+            state.total = state.total.saturating_sub(query.reserved);
+        }
+        drop(state);
+        self.drained.notify_all();
+    }
+}
+
+/// One admitted statement's handle on the governor: the executor charges materializations
+/// through the [`QueryMemory`] impl, and dropping the grant (the query finished or unwound)
+/// releases everything it reserved.
+#[derive(Debug)]
+pub struct QueryGrant {
+    governor: Arc<Governor>,
+    id: u64,
+}
+
+impl QueryMemory for QueryGrant {
+    fn reserve(&self, bytes: usize) -> Result<(), ExecError> {
+        perm_exec::faults::fire("alloc-reserve")?;
+        self.governor.reserve(self.id, bytes)
+    }
+}
+
+impl Drop for QueryGrant {
+    fn drop(&mut self) {
+        self.governor.finish(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor(engine: Option<usize>, query: Option<usize>) -> Arc<Governor> {
+        Arc::new(Governor::new(GovernorLimits { engine_bytes: engine, query_bytes: query }))
+    }
+
+    #[test]
+    fn unlimited_governor_tracks_and_releases() {
+        let gov = governor(None, None);
+        let token = Arc::new(CancelToken::new());
+        let grant = gov.admit(token).unwrap();
+        grant.reserve(1000).unwrap();
+        grant.reserve(500).unwrap();
+        assert_eq!(gov.stats().reserved_bytes, 1500);
+        assert_eq!(gov.stats().active_queries, 1);
+        drop(grant);
+        assert_eq!(gov.stats().reserved_bytes, 0);
+        assert_eq!(gov.stats().active_queries, 0);
+    }
+
+    #[test]
+    fn per_query_limit_rejects_cleanly() {
+        let gov = governor(None, Some(1000));
+        let grant = gov.admit(Arc::new(CancelToken::new())).unwrap();
+        grant.reserve(800).unwrap();
+        let err = grant.reserve(300).unwrap_err();
+        assert!(matches!(err, ExecError::ResourceExhausted(_)), "got {err:?}");
+        // The failed reservation is not charged.
+        assert_eq!(gov.stats().reserved_bytes, 800);
+    }
+
+    #[test]
+    fn engine_limit_sheds_largest_other_query() {
+        let gov = governor(Some(1000), None);
+        let big_token = Arc::new(CancelToken::new());
+        let big = gov.admit(big_token.clone()).unwrap();
+        big.reserve(900).unwrap();
+        let small = gov.admit(Arc::new(CancelToken::new())).unwrap();
+        // The small query pushes the engine over: the big one is shed, the small proceeds.
+        small.reserve(200).unwrap();
+        assert!(big_token.is_cancelled());
+        assert!(matches!(big_token.check(), Err(ExecError::ResourceExhausted(_))));
+        assert_eq!(gov.stats().shed_queries, 1);
+        // The big query unwinds and frees its memory.
+        drop(big);
+        assert_eq!(gov.stats().reserved_bytes, 200);
+    }
+
+    #[test]
+    fn largest_query_cannot_shed_smaller_ones() {
+        let gov = governor(Some(1000), None);
+        let small = gov.admit(Arc::new(CancelToken::new())).unwrap();
+        small.reserve(100).unwrap();
+        let big_token = Arc::new(CancelToken::new());
+        let big = gov.admit(big_token.clone()).unwrap();
+        big.reserve(500).unwrap();
+        // `big` is the largest; its own over-limit reservation fails rather than shedding
+        // the smaller query.
+        let err = big.reserve(600).unwrap_err();
+        assert!(matches!(err, ExecError::ResourceExhausted(_)), "got {err:?}");
+        assert!(!big_token.is_cancelled(), "requester fails, is not cancelled");
+        assert_eq!(gov.stats().reserved_bytes, 600);
+    }
+
+    #[test]
+    fn cancel_all_reaches_every_registered_token() {
+        let gov = governor(None, None);
+        let tokens: Vec<Arc<CancelToken>> = (0..3).map(|_| Arc::new(CancelToken::new())).collect();
+        let grants: Vec<QueryGrant> =
+            tokens.iter().map(|t| gov.admit(t.clone()).unwrap()).collect();
+        gov.cancel_all();
+        assert!(tokens.iter().all(|t| t.is_cancelled()));
+        drop(grants);
+        assert!(gov.wait_quiescent(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn admission_times_out_when_fully_reserved() {
+        let gov = governor(Some(100), None);
+        let holder = gov.admit(Arc::new(CancelToken::new())).unwrap();
+        holder.reserve(100).unwrap();
+        let started = std::time::Instant::now();
+        let err = gov.admit(Arc::new(CancelToken::new())).unwrap_err();
+        assert!(matches!(err, ExecError::ResourceExhausted(_)), "got {err:?}");
+        assert!(started.elapsed() >= ADMISSION_WAIT, "admission waited before rejecting");
+    }
+}

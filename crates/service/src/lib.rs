@@ -36,11 +36,16 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The serving layer must never take the process down on a recoverable condition: every
+// would-be `unwrap`/`expect` in non-test code has to surface as a `ServiceError` instead
+// (tests are exempt via clippy.toml).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
 pub mod codec;
 pub mod engine;
 pub mod error;
+pub mod governor;
 pub mod server;
 pub mod session;
 pub mod shell;
@@ -51,6 +56,7 @@ pub use cache::{normalize_sql, CacheStats, PlanCache};
 pub use codec::PROTOCOL_VERSION;
 pub use engine::{Engine, PreparedPlan};
 pub use error::ServiceError;
+pub use governor::{Governor, GovernorLimits, GovernorStats, QueryGrant};
 pub use server::{serve, ServerHandle};
 pub use session::{Session, SessionOptions};
 pub use shell::Client;

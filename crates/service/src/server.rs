@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use perm_algebra::Value;
+use perm_exec::{faults, ExecError};
 
 use crate::codec::{self, tag, PROTOCOL_VERSION};
 use crate::engine::Engine;
@@ -36,6 +37,10 @@ const FRAME_COMPLETION_TIMEOUT: Duration = Duration::from_secs(30);
 /// ~[`perm_algebra::DEFAULT_CHUNK_SIZE`]-row chunks this bounds per-session result buffering
 /// at O(window × chunk size) regardless of result cardinality.
 pub const BACKPRESSURE_WINDOW: usize = 8;
+
+/// How long a graceful shutdown waits for in-flight statements to drain before cancelling
+/// whatever is still running (the hard deadline of the drain phase).
+pub const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
 
 /// A handle to a running server: its bound address and a way to stop it.
 pub struct ServerHandle {
@@ -104,6 +109,11 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
                 // Opportunistically reap finished connection threads.
                 connections.retain(|h| !h.is_finished());
             }
+            // Graceful drain: give in-flight statements a bounded window to finish on their
+            // own, then cancel the stragglers so every connection thread can be joined.
+            if !engine.governor().wait_quiescent(SHUTDOWN_DRAIN) {
+                engine.governor().cancel_all();
+            }
             for handle in connections.lock().drain(..) {
                 let _ = handle.join();
             }
@@ -116,6 +126,7 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
 /// Read one complete request frame, polling for its first byte so the shutdown flag is honored
 /// while the connection is idle. Returns `None` on clean EOF or shutdown.
 fn read_request(reader: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<String>> {
+    faults::fire_io("socket-read")?;
     loop {
         // Poll for the *first byte* of the next frame. The short timeout is only safe at a
         // frame boundary: a timed-out 1-byte read consumes nothing, whereas timing out inside
@@ -162,14 +173,14 @@ fn handle_connection(
             match parse_hello(&request) {
                 Some(v) if v == PROTOCOL_VERSION => {
                     negotiated = true;
-                    write_bytes_frame(
+                    send_frame(
                         &mut writer,
                         &codec::encode_text(tag::TEXT, &format!("hello {PROTOCOL_VERSION}")),
                     )?;
                     continue;
                 }
                 Some(v) => {
-                    write_bytes_frame(
+                    send_frame(
                         &mut writer,
                         &codec::encode_text(
                             tag::ERROR,
@@ -182,7 +193,7 @@ fn handle_connection(
                     continue;
                 }
                 None => {
-                    write_bytes_frame(
+                    send_frame(
                         &mut writer,
                         &codec::encode_text(
                             tag::ERROR,
@@ -198,9 +209,9 @@ fn handle_connection(
                 }
             }
         }
-        let stop = match dispatch(&mut session, &request, &shutdown) {
+        let stop = match dispatch_fenced(&mut session, &request, &shutdown) {
             Ok((Response::Text(text), stop)) => {
-                write_bytes_frame(&mut writer, &codec::encode_text(tag::TEXT, &text))?;
+                send_frame(&mut writer, &codec::encode_text(tag::TEXT, &text))?;
                 stop
             }
             Ok((Response::Stream(stream), stop)) => {
@@ -208,7 +219,7 @@ fn handle_connection(
                 stop
             }
             Err(e) => {
-                write_bytes_frame(&mut writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
+                send_frame(&mut writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
                 false
             }
         };
@@ -228,58 +239,147 @@ fn parse_hello(request: &str) -> Option<u32> {
     rest.trim().parse().ok()
 }
 
+/// Write one frame, with the `socket-write` failpoint in front (fault-injection tests use it
+/// to simulate I/O failures mid-response).
+fn send_frame(writer: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    faults::fire_io("socket-write")?;
+    write_bytes_frame(writer, payload)
+}
+
 /// Stream one query result: `S`, then `R` frames paced by client `ack`s, then `D` — or a `-`
 /// error frame, which invalidates every `R` frame sent before it.
+///
+/// The client may send `cancel` at any point during the stream (it still acknowledges every
+/// `R` frame it receives, cancelled or not — the ack ledger is what keeps the connection in
+/// sync). The query is cancelled at its next executor checkpoint, buffered chunks are
+/// discarded and the stream ends with a `-` frame carrying the `Cancelled` error. Before each
+/// `R` frame the server also *polls* the socket without blocking, so a cancel takes effect
+/// within one chunk boundary even when the backpressure window is far from full.
 fn stream_result(
     reader: &mut TcpStream,
     writer: &mut TcpStream,
     mut stream: QueryStream,
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
-    write_bytes_frame(writer, &codec::encode_schema(stream.schema()))?;
+    send_frame(writer, &codec::encode_schema(stream.schema()))?;
     let mut unacked = 0usize;
+    let mut cancelled = false;
     loop {
         match stream.next_chunk() {
             Some(Ok(chunk)) => {
-                while unacked >= BACKPRESSURE_WINDOW {
-                    read_ack(reader, shutdown)?;
-                    unacked -= 1;
+                // Consume everything the client pushed while the chunk was produced.
+                while let Some(signal) = poll_stream_signal(reader)? {
+                    match signal {
+                        StreamSignal::Ack if unacked > 0 => unacked -= 1,
+                        StreamSignal::Ack => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "received 'ack' with no outstanding result frame",
+                            ));
+                        }
+                        StreamSignal::Cancel => {
+                            cancelled = true;
+                            break;
+                        }
+                    }
                 }
-                write_bytes_frame(writer, &codec::encode_chunk(&chunk))?;
+                while !cancelled && unacked >= BACKPRESSURE_WINDOW {
+                    match read_stream_signal(reader, shutdown)? {
+                        StreamSignal::Ack => unacked -= 1,
+                        StreamSignal::Cancel => cancelled = true,
+                    }
+                }
+                if cancelled {
+                    stream.cancel();
+                    let message = ServiceError::Exec(ExecError::Cancelled).to_string();
+                    send_frame(writer, &codec::encode_text(tag::ERROR, &message))?;
+                    break;
+                }
+                send_frame(writer, &codec::encode_chunk(&chunk))?;
                 unacked += 1;
             }
             Some(Err(e)) => {
-                write_bytes_frame(writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
+                send_frame(writer, &codec::encode_text(tag::ERROR, &e.to_string()))?;
                 break;
             }
             None => {
-                write_bytes_frame(writer, &codec::encode_done(stream.rows()))?;
+                send_frame(writer, &codec::encode_done(stream.rows()))?;
                 break;
             }
         }
     }
+    // Drop the stream before settling the ack ledger: this drains whatever the producer still
+    // buffered (the engine-wide gauge returns to zero) and joins the producer thread, so a
+    // cancelled query's memory is released by the time the client gets control back.
+    drop(stream);
     // Consume the acknowledgements still owed for sent frames, so they are not misread as the
-    // connection's next command.
+    // connection's next command. A `cancel` here is not an ack: either it lost the race with
+    // query completion or it arrived after the error frame — both are no-ops by then.
     while unacked > 0 {
-        read_ack(reader, shutdown)?;
-        unacked -= 1;
+        match read_stream_signal(reader, shutdown)? {
+            StreamSignal::Ack => unacked -= 1,
+            StreamSignal::Cancel => {}
+        }
     }
     Ok(())
 }
 
-/// Read one request mid-stream and require it to be an `ack`; anything else desyncs the
-/// protocol and drops the connection.
-fn read_ack(reader: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<()> {
-    match read_request(reader, shutdown)? {
-        Some(request) if request.trim().eq_ignore_ascii_case("ack") => Ok(()),
-        Some(other) => Err(io::Error::new(
+/// A request the client may send while a result stream is in progress.
+enum StreamSignal {
+    /// Acknowledge one `R` frame.
+    Ack,
+    /// Cancel the query behind the stream.
+    Cancel,
+}
+
+fn parse_stream_signal(request: &str) -> io::Result<StreamSignal> {
+    let trimmed = request.trim();
+    if trimmed.eq_ignore_ascii_case("ack") {
+        Ok(StreamSignal::Ack)
+    } else if trimmed.eq_ignore_ascii_case("cancel") {
+        Ok(StreamSignal::Cancel)
+    } else {
+        Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("expected 'ack' during result stream, got '{other}'"),
-        )),
+            format!("expected 'ack' or 'cancel' during result stream, got '{trimmed}'"),
+        ))
+    }
+}
+
+/// Block until the client sends its next mid-stream request (`ack` or `cancel`).
+fn read_stream_signal(reader: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<StreamSignal> {
+    match read_request(reader, shutdown)? {
+        Some(request) => parse_stream_signal(&request),
         None => Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "connection closed while awaiting stream acknowledgement",
         )),
+    }
+}
+
+/// Non-blocking check for a pending mid-stream request: returns `Ok(None)` when the client
+/// has sent nothing, without waiting. A started frame is then read to completion under the
+/// usual frame timeout.
+fn poll_stream_signal(reader: &mut TcpStream) -> io::Result<Option<StreamSignal>> {
+    reader.set_nonblocking(true)?;
+    let mut first = [0u8; 1];
+    let polled = reader.read(&mut first);
+    reader.set_nonblocking(false)?;
+    match polled {
+        Ok(0) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed during result stream",
+        )),
+        Ok(_) => {
+            reader.set_read_timeout(Some(FRAME_COMPLETION_TIMEOUT))?;
+            let request = read_frame_rest(reader, first[0])?;
+            reader.set_read_timeout(Some(READ_POLL_INTERVAL))?;
+            parse_stream_signal(&request).map(Some)
+        }
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Ok(None)
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -299,7 +399,7 @@ pub fn handle_request(
     request: &str,
     shutdown: &AtomicBool,
 ) -> (String, bool) {
-    match dispatch(session, request, shutdown) {
+    match dispatch_fenced(session, request, shutdown) {
         Ok((Response::Text(response), stop)) => (format!("+{response}"), stop),
         Ok((Response::Stream(stream), stop)) => match stream.collect_relation() {
             Ok(relation) => (format!("+{}", render_relation(&relation)), stop),
@@ -307,6 +407,20 @@ pub fn handle_request(
         },
         Err(e) => (format!("-{e}"), false),
     }
+}
+
+/// [`dispatch`] behind a panic fence: a panic anywhere in planning or eager execution (a bug,
+/// an injected fault) fails the one request with [`ServiceError::Internal`] instead of
+/// unwinding the connection thread — the session and the server keep serving.
+fn dispatch_fenced(
+    session: &mut Session,
+    request: &str,
+    shutdown: &AtomicBool,
+) -> Result<(Response, bool), ServiceError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(session, request, shutdown)))
+        .unwrap_or_else(|payload| {
+            Err(ServiceError::Internal(crate::stream::panic_message(payload.as_ref())))
+        })
 }
 
 fn dispatch(
@@ -373,16 +487,21 @@ fn dispatch(
         }
         "stats" => {
             let stats = session.engine().cache_stats();
+            let governor = session.engine().governor().stats();
             Ok((
                 text(format!(
                     "plan_cache hits={} misses={} invalidations={} entries={}\nstreams \
-                     buffered_bytes={} window={}",
+                     buffered_bytes={} window={}\ngovernor active_queries={} \
+                     reserved_bytes={} shed_queries={}",
                     stats.hits,
                     stats.misses,
                     stats.invalidations,
                     stats.entries,
                     session.engine().stream_buffered_bytes(),
                     BACKPRESSURE_WINDOW,
+                    governor.active_queries,
+                    governor.reserved_bytes,
+                    governor.shed_queries,
                 )),
                 false,
             ))
@@ -391,6 +510,7 @@ fn dispatch(
             Err(ServiceError::protocol("hello is only valid as a connection's first request"))
         }
         "ack" => Err(ServiceError::protocol("ack is only valid during a result stream")),
+        "cancel" => Err(ServiceError::protocol("cancel is only valid during a result stream")),
         "ping" => Ok((text("pong".to_string()), false)),
         "shutdown" => {
             shutdown.store(true, Ordering::SeqCst);

@@ -22,6 +22,7 @@
 
 use std::io::{self, BufRead, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use perm_algebra::{DataChunk, Schema};
 
@@ -52,10 +53,40 @@ pub struct Client {
     writer: TcpStream,
 }
 
+/// First delay of [`Client::connect_with_retry`]'s backoff; doubles after every failed
+/// attempt.
+const RETRY_INITIAL_DELAY: Duration = Duration::from_millis(100);
+
 impl Client {
     /// Connect to a running `permd` and negotiate the protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        Client::handshake(TcpStream::connect(addr)?)
+    }
+
+    /// Connect with bounded exponential backoff: up to `attempts` tries, sleeping 100ms,
+    /// 200ms, 400ms, ... between them. Only *connection* failures are retried — a server that
+    /// accepts the socket but rejects the handshake fails immediately. Useful when the shell
+    /// races a just-started `permd` (scripts, CI).
+    pub fn connect_with_retry(addr: impl ToSocketAddrs, attempts: u32) -> io::Result<Client> {
+        let mut delay = RETRY_INITIAL_DELAY;
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match TcpStream::connect(&addr) {
+                Ok(stream) => return Client::handshake(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "no connection attempts made")
+        }))
+    }
+
+    /// Perform the protocol handshake over a freshly connected socket.
+    fn handshake(writer: TcpStream) -> io::Result<Client> {
         let reader = writer.try_clone()?;
         let mut client = Client { reader, writer };
         client.send(&format!("hello {PROTOCOL_VERSION}"))?;
@@ -79,9 +110,24 @@ impl Client {
     /// Read and decode one response frame. Chunk frames are acknowledged automatically, so a
     /// caller that simply keeps reading paces the server.
     pub fn read_response(&mut self) -> io::Result<ResponseFrame> {
-        let payload = read_bytes_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
-        })?;
+        // A clean EOF at a frame boundary is the server closing the connection; an EOF *inside*
+        // a frame means it went away mid-response (crash, kill, network drop) — report that as
+        // a clear message instead of the raw "failed to fill whole buffer" read error.
+        let payload = read_bytes_frame(&mut self.reader)
+            .map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-frame (it may have crashed or been \
+                         shut down while responding)",
+                    )
+                } else {
+                    e
+                }
+            })?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+            })?;
         let (&tag_byte, body) = payload
             .split_first()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response frame"))?;

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use perm_algebra::{DataChunk, Schema};
-use perm_exec::{Executor, WorkerPool};
+use perm_exec::{CancelToken, Executor, WorkerPool};
 use perm_storage::Relation;
 
 use crate::engine::PreparedPlan;
@@ -42,14 +42,19 @@ pub struct QueryStream {
     /// they send, decremented here when the consumer takes a chunk).
     buffered: Arc<AtomicUsize>,
     cancel: Arc<AtomicBool>,
+    /// The executor-level cancellation token of the governed statement behind this stream;
+    /// [`cancel`](QueryStream::cancel) trips it so execution aborts at its next checkpoint
+    /// (not just at the next chunk boundary of the producer loop).
+    token: Option<Arc<CancelToken>>,
     rows: u64,
 }
 
 enum State {
     /// Planned but not started; holds everything needed to execute.
     Pending { executor: Executor, prepared: Arc<PreparedPlan>, pool: Arc<WorkerPool>, pull: bool },
-    /// Producer thread running; chunks arrive over the bounded channel.
-    Running { rx: Receiver<Result<DataChunk, ServiceError>>, _producer: JoinHandle<()> },
+    /// Producer thread running; chunks arrive over the bounded channel. The handle is `None`
+    /// only when spawning the thread itself failed (the error is queued in the channel).
+    Running { rx: Receiver<Result<DataChunk, ServiceError>>, producer: Option<JoinHandle<()>> },
     /// Result already materialized (DDL/DML, `SELECT ... INTO`): chunks are served from it.
     Materialized { chunks: std::vec::IntoIter<DataChunk> },
     /// Exhausted or failed.
@@ -83,12 +88,14 @@ impl QueryStream {
         pool: Arc<WorkerPool>,
         pull: bool,
         buffered: Arc<AtomicUsize>,
+        token: Arc<CancelToken>,
     ) -> QueryStream {
         QueryStream {
             schema: prepared.plan.schema(),
             state: State::Pending { executor, prepared, pool, pull },
             buffered,
             cancel: Arc::new(AtomicBool::new(false)),
+            token: Some(token),
             rows: 0,
         }
     }
@@ -103,6 +110,7 @@ impl QueryStream {
             state: State::Materialized { chunks: chunks.into_iter() },
             buffered: Arc::new(AtomicUsize::new(0)),
             cancel: Arc::new(AtomicBool::new(false)),
+            token: None,
             rows: 0,
         }
     }
@@ -117,10 +125,21 @@ impl QueryStream {
         self.rows
     }
 
-    /// Ask the producer to stop at its next chunk boundary. Already-buffered chunks still
-    /// drain; `next_chunk` keeps returning them until the channel closes.
+    /// Cancel the query behind this stream: the executor aborts at its next cancellation
+    /// checkpoint (freeing reserved memory as it unwinds) and the producer stops at its next
+    /// chunk boundary. Already-buffered chunks still drain; `next_chunk` keeps returning them
+    /// until the channel closes.
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
+        if let Some(token) = &self.token {
+            token.cancel();
+        }
+    }
+
+    /// The cancellation token of the governed statement behind this stream, if any (streams
+    /// over already-materialized results have none).
+    pub fn cancel_token(&self) -> Option<&Arc<CancelToken>> {
+        self.token.as_ref()
     }
 
     /// Pull the next chunk. `None` means the stream finished cleanly; an `Err` is terminal and
@@ -142,21 +161,27 @@ impl QueryStream {
                         self.cancel.clone(),
                     );
                 }
-                State::Running { rx, .. } => match rx.recv() {
-                    Ok(Ok(chunk)) => {
-                        self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
-                        self.rows += chunk.num_rows() as u64;
-                        return Some(Ok(chunk));
+                State::Running { rx, .. } => {
+                    let item = rx.recv();
+                    match item {
+                        Ok(Ok(chunk)) => {
+                            self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
+                            self.rows += chunk.num_rows() as u64;
+                            return Some(Ok(chunk));
+                        }
+                        // Terminal outcomes retire the producer thread *before* returning, so
+                        // its executor (and the memory grant riding in it) is released by the
+                        // time the caller sees the end of the stream — not eventually.
+                        Ok(Err(e)) => {
+                            self.finish_running();
+                            return Some(Err(e));
+                        }
+                        Err(_) => {
+                            self.finish_running();
+                            return None;
+                        }
                     }
-                    Ok(Err(e)) => {
-                        self.state = State::Done;
-                        return Some(Err(e));
-                    }
-                    Err(_) => {
-                        self.state = State::Done;
-                        return None;
-                    }
-                },
+                }
                 State::Materialized { chunks } => match chunks.next() {
                     Some(chunk) => {
                         self.rows += chunk.num_rows() as u64;
@@ -168,6 +193,25 @@ impl QueryStream {
                     }
                 },
                 State::Done => return None,
+            }
+        }
+    }
+
+    /// Retire a running producer: drain every buffered item (keeping the engine-wide gauge
+    /// exact) and join the thread, so the producer's executor — and with it the governor's
+    /// memory reservation — is provably gone when this returns. A `while let Ok(Ok(..))`
+    /// drain would stop at the first queued error and leak the accounting of chunks behind
+    /// it.
+    fn finish_running(&mut self) {
+        if let State::Running { rx, producer } = std::mem::replace(&mut self.state, State::Done) {
+            for chunk in rx.iter().flatten() {
+                self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
+            }
+            // The channel is drained and the producer has observed the cancel flag, finished,
+            // or had its send fail; joining makes "gauge reads zero afterwards" a guarantee
+            // rather than a race. A panicked producer already reported through the channel.
+            if let Some(handle) = producer {
+                let _ = handle.join();
             }
         }
     }
@@ -203,18 +247,17 @@ impl Iterator for QueryStream {
 
 impl Drop for QueryStream {
     fn drop(&mut self) {
-        self.cancel.store(true, Ordering::Relaxed);
-        // Drain whatever the producer already buffered so the engine-wide gauge never leaks;
-        // the producer observes the cancel flag (or the closed channel) and exits.
-        if let State::Running { rx, .. } = &self.state {
-            while let Ok(Ok(chunk)) = rx.recv() {
-                self.buffered.fetch_sub(chunk.byte_size(), Ordering::Relaxed);
-            }
-        }
+        self.cancel();
+        self.finish_running();
     }
 }
 
 /// Spawn the producer thread for a pending stream and return the running state.
+///
+/// Failure to spawn the thread (resource exhaustion) is reported through the channel as a
+/// [`ServiceError::Internal`] rather than panicking, and a producer that *panics* mid-query
+/// (a worker bug, an injected fault) is caught and surfaced the same way — the stream fails,
+/// the process does not.
 fn spawn_producer(
     executor: Executor,
     prepared: Arc<PreparedPlan>,
@@ -224,11 +267,41 @@ fn spawn_producer(
     cancel: Arc<AtomicBool>,
 ) -> State {
     let (tx, rx) = std::sync::mpsc::sync_channel(STREAM_CHANNEL_WINDOW);
-    let producer = std::thread::Builder::new()
-        .name("perm-stream".into())
-        .spawn(move || produce(&executor, &prepared, &pool, pull, &tx, &buffered, &cancel))
-        .expect("spawn stream producer thread");
-    State::Running { rx, _producer: producer }
+    let spawned = std::thread::Builder::new().name("perm-stream".into()).spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            produce(&executor, &prepared, &pool, pull, &tx, &buffered, &cancel)
+        }));
+        if let Err(payload) = outcome {
+            // Errors carry no buffered bytes, so no gauge accounting is needed here; the
+            // consumer (or `Drop`) drains the channel as usual.
+            let _ = tx.send(Err(ServiceError::Internal(panic_message(payload.as_ref()))));
+        }
+    });
+    match spawned {
+        Ok(producer) => State::Running { rx, producer: Some(producer) },
+        Err(e) => {
+            // The closure (with `tx` inside) was dropped, closing the channel; report the
+            // spawn failure over a fresh channel instead.
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            let _ = tx.send(Err(ServiceError::Internal(format!(
+                "failed to spawn stream producer thread: {e}"
+            ))));
+            State::Running { rx, producer: None }
+        }
+    }
+}
+
+/// Render a caught panic payload as an error message (shared with the server's dispatch
+/// fence).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    };
+    format!("worker panicked: {msg}")
 }
 
 fn produce(

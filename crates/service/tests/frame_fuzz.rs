@@ -1,0 +1,115 @@
+//! Property fuzz of the protocol-v2 frame decoders: take valid encoded frames, flip random
+//! bytes, and feed the result to every decoder. A mutation may happen to produce another
+//! valid frame (fine) or a corrupt one (must return a clean `ServiceError`) — but decoding
+//! must never panic, hang, or allocate beyond the frame's own size. The deterministic tests
+//! at the bottom pin the no-over-allocation guarantee directly: frames *claiming* huge
+//! element counts with tiny bodies must fail fast instead of pre-allocating gigabytes.
+
+use std::sync::Arc;
+
+use perm_algebra::{Array, DataChunk, DataType, Schema, Value};
+use perm_service::codec::{
+    decode_chunk, decode_done, decode_schema, encode_chunk, encode_done, encode_schema,
+};
+use proptest::prelude::*;
+
+/// A spread of valid frames covering every frame kind, array type and array encoding.
+fn sample_frames() -> Vec<Vec<u8>> {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("name", DataType::Text),
+        ("price", DataType::Float),
+        ("since", DataType::Date),
+        ("flag", DataType::Bool),
+        ("nothing", DataType::Null),
+    ]);
+    let plain = DataChunk::new(vec![
+        Arc::new(Array::from_values([Value::Int(1), Value::Null, Value::Int(-7)].into_iter())),
+        Arc::new(Array::from_values(
+            [Value::text("a"), Value::text("bc"), Value::Null].into_iter(),
+        )),
+        Arc::new(Array::from_values(
+            [Value::Float(1.5), Value::Float(-0.25), Value::Null].into_iter(),
+        )),
+        Arc::new(Array::from_values(
+            [Value::Bool(true), Value::Null, Value::Bool(false)].into_iter(),
+        )),
+        Arc::new(Array::from_values([Value::Date(1), Value::Date(-400), Value::Null].into_iter())),
+        Arc::new(Array::Null { len: 3 }),
+        Arc::new(Array::Any { values: vec![Value::Int(1), Value::text("mixed"), Value::Null] }),
+    ]);
+    let dict = Arc::new(Array::from_values((0..4).map(|i| Value::text(format!("v{i}").as_str()))));
+    let dict_chunk =
+        DataChunk::new(vec![Arc::new(Array::Dict { indices: vec![1, 1, 3, 3, 1], dict })]);
+    let rle_chunk =
+        DataChunk::new(vec![Arc::new(Array::from_values(std::iter::repeat_n(Value::Int(9), 300)))]);
+    vec![
+        encode_schema(&schema),
+        encode_chunk(&plain),
+        encode_chunk(&dict_chunk),
+        encode_chunk(&rle_chunk),
+        encode_done(12345),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn mutated_frames_decode_or_error_but_never_panic(
+        which in 0usize..5,
+        mutations in proptest::collection::vec((0usize..4096, 0u16..256), 1..8),
+        truncate in 0usize..4096,
+    ) {
+        let frames = sample_frames();
+        let mut bytes = frames[which].clone();
+        for &(pos, val) in &mutations {
+            let len = bytes.len();
+            bytes[pos % len] = val as u8;
+        }
+        // Also exercise truncation, the most common real-world corruption.
+        bytes.truncate(1 + truncate % bytes.len());
+        // The server routes on the frame kind it *expects*, so a mutated body can reach any
+        // decoder regardless of its (possibly mutated) tag byte — run all of them. The
+        // property is the absence of panics and runaway allocations; Ok results are fine.
+        let body = &bytes[1..];
+        let _ = decode_schema(body);
+        let _ = decode_chunk(body);
+        let _ = decode_done(body);
+    }
+}
+
+/// A frame claiming `u32::MAX` plain values with an empty body must fail fast. Before the
+/// decoder capped preallocations by the bytes actually remaining, this aborted the process
+/// trying to reserve 32 GiB.
+#[test]
+fn huge_claimed_plain_length_errors_without_allocating() {
+    for type_tag in [1u8, 2, 3, 4, 6] {
+        let mut body = Vec::new();
+        body.extend_from_slice(&3u32.to_be_bytes()); // rows
+        body.extend_from_slice(&1u16.to_be_bytes()); // ncols
+        body.push(0); // plain encoding
+        body.push(type_tag);
+        body.extend_from_slice(&u32::MAX.to_be_bytes()); // claimed len, no payload
+        assert!(decode_chunk(&body).is_err(), "type tag {type_tag}");
+    }
+}
+
+/// Same for the encoded forms: dictionary index counts and run counts are wire-controlled.
+#[test]
+fn huge_claimed_encoded_counts_error_without_allocating() {
+    for enc_tag in [1u8, 2] {
+        let mut body = Vec::new();
+        body.extend_from_slice(&3u32.to_be_bytes()); // rows
+        body.extend_from_slice(&1u16.to_be_bytes()); // ncols
+        body.push(enc_tag);
+        body.extend_from_slice(&u32::MAX.to_be_bytes()); // claimed count, no payload
+        assert!(decode_chunk(&body).is_err(), "encoding tag {enc_tag}");
+    }
+}
+
+/// And for the schema header's column count.
+#[test]
+fn huge_claimed_schema_arity_errors_without_allocating() {
+    let body = u16::MAX.to_be_bytes().to_vec();
+    assert!(decode_schema(&body).is_err());
+}

@@ -1,0 +1,206 @@
+//! Lifecycle-governor robustness tests: the engine-wide buffered-bytes gauge and the
+//! governor's reservation ledger must return to exactly zero however a query ends — drained,
+//! dropped mid-iteration, cancelled in process, cancelled over the wire, or rejected by a
+//! memory limit — and the session must stay usable afterwards.
+//!
+//! No test here arms failpoints (those are process-global and live in `chaos.rs`).
+
+use std::sync::Arc;
+
+use perm_algebra::{DataType, Schema, Tuple, Value, DEFAULT_CHUNK_SIZE};
+use perm_service::shell::ResponseFrame;
+use perm_service::{serve, Client, Engine, GovernorLimits};
+use perm_storage::{Catalog, Relation};
+
+/// Rows in the `big` table — enough for several dozen chunks, so every test has a genuine
+/// mid-stream to interrupt.
+const BIG_ROWS: usize = 64 * DEFAULT_CHUNK_SIZE;
+
+/// An engine over a catalog with a 64-chunk `big` table and a 3-row `tiny` table.
+fn big_engine() -> Arc<Engine> {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("payload", DataType::Text)]);
+    let rows = (0..BIG_ROWS as i64)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::text(format!("payload-{:06}", i % 97))]))
+        .collect::<Vec<_>>();
+    catalog.create_table_with_data("big", Relation::from_parts(schema, rows)).unwrap();
+
+    let tiny_schema = Schema::from_pairs(&[("id", DataType::Int)]);
+    let tiny = (0..3).map(|i| Tuple::new(vec![Value::Int(i)])).collect::<Vec<_>>();
+    catalog.create_table_with_data("tiny", Relation::from_parts(tiny_schema, tiny)).unwrap();
+
+    Arc::new(Engine::with_catalog(catalog).with_workers(2))
+}
+
+fn assert_quiescent(engine: &Engine) {
+    // The stream gauge is exact: producers roll back on failed sends and the consumer (or
+    // `Drop`) drains and joins, so zero is guaranteed the moment a stream ends.
+    assert_eq!(engine.stream_buffered_bytes(), 0, "stream gauge must drain to zero");
+    // Governor stats quiesce within an instant rather than atomically with the query's end:
+    // helper jobs queued on the shared worker pool can hold a context clone (and with it the
+    // query's grant) until a worker pops them and finds nothing left to claim.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = engine.governor().stats();
+        if stats.active_queries == 0 && stats.reserved_bytes == 0 {
+            return;
+        }
+        if std::time::Instant::now() > deadline {
+            panic!("governor did not quiesce: {stats:?}");
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Regression for the gauge leak: dropping a stream after pulling only one chunk used to
+/// strand the byte accounting of everything the producer had already buffered. `Drop` now
+/// drains the channel and joins the producer, so the gauge is zero the instant `drop`
+/// returns — no retries, no sleeps.
+#[test]
+fn dropped_stream_mid_iteration_releases_gauge_and_reservations() {
+    let engine = big_engine();
+    let session = engine.session();
+
+    let mut stream = session.execute_streaming("SELECT * FROM big").unwrap();
+    let first = stream.next_chunk().unwrap().unwrap();
+    assert!(first.num_rows() > 0);
+    drop(stream);
+    assert_quiescent(&engine);
+
+    // The same holds on the pull-based pipeline (row budgets force it) when the producer
+    // *errors* mid-stream rather than being abandoned.
+    let mut session = engine.session();
+    session.set_row_budget(Some(DEFAULT_CHUNK_SIZE * 2));
+    let mut stream = session.execute_streaming("SELECT * FROM big").unwrap();
+    let mut saw_error = false;
+    while let Some(item) = stream.next_chunk() {
+        if let Err(e) = item {
+            assert!(e.to_string().contains("row budget"), "unexpected error: {e}");
+            saw_error = true;
+            break;
+        }
+    }
+    assert!(saw_error, "the row budget must trip mid-stream");
+    drop(stream);
+    assert_quiescent(&engine);
+
+    // And the session (engine) stays fully usable.
+    let relation = engine.session().execute("SELECT * FROM tiny").unwrap();
+    assert_eq!(relation.num_rows(), 3);
+}
+
+/// In-process cancellation: `QueryStream::cancel` trips the executor token, the stream ends
+/// early (never delivering the full result), and every gauge returns to zero.
+#[test]
+fn cancelled_stream_stops_early_and_frees_memory() {
+    let engine = big_engine();
+    let session = engine.session();
+
+    let mut stream = session.execute_streaming("SELECT * FROM big").unwrap();
+    let first = stream.next_chunk().unwrap().unwrap();
+    let mut delivered = first.num_rows();
+    stream.cancel();
+    // Drain whatever was already buffered; the producer must stop at a chunk boundary.
+    for item in stream.by_ref() {
+        match item {
+            Ok(chunk) => delivered += chunk.num_rows(),
+            Err(e) => {
+                assert!(e.to_string().contains("cancelled"), "unexpected error: {e}");
+                break;
+            }
+        }
+    }
+    assert!(delivered < BIG_ROWS, "cancel must cut the stream short, got all {delivered} rows");
+    drop(stream);
+    assert_quiescent(&engine);
+}
+
+/// Wire-level mid-stream cancel: the client sends `cancel` while result frames are in
+/// flight, keeps acknowledging the frames it still receives, and the server answers with a
+/// terminal `cancelled` error — never `Done` — then serves the next request as if nothing
+/// happened.
+#[test]
+fn wire_cancel_mid_stream_stops_promptly_and_session_survives() {
+    let engine = big_engine();
+    let handle = serve(engine.clone(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client.send("query SELECT * FROM big").unwrap();
+    match client.read_response().unwrap() {
+        ResponseFrame::Schema(schema) => assert_eq!(schema.arity(), 2),
+        other => panic!("expected schema frame, got {other:?}"),
+    }
+    match client.read_response().unwrap() {
+        ResponseFrame::Chunk(chunk) => assert!(chunk.num_rows() > 0),
+        other => panic!("expected a result chunk, got {other:?}"),
+    }
+
+    client.send("cancel").unwrap();
+    // Frames already in flight (bounded by the backpressure window) may still arrive and are
+    // acknowledged by `read_response` as usual; then the terminal error must come.
+    let mut in_flight = 0;
+    loop {
+        match client.read_response().unwrap() {
+            ResponseFrame::Chunk(_) => {
+                in_flight += 1;
+                assert!(in_flight < 32, "server failed to stop within the in-flight window");
+            }
+            ResponseFrame::Err(message) => {
+                assert!(message.contains("cancelled"), "unexpected terminal frame: {message}");
+                break;
+            }
+            other => panic!("stream must end in a cancelled error, got {other:?}"),
+        }
+    }
+
+    // The connection is back in request/response sync and the engine is clean.
+    assert_eq!(client.roundtrip("ping").unwrap().unwrap(), "pong");
+    assert_quiescent(&engine);
+    let body = client.roundtrip("query SELECT * FROM tiny").unwrap().unwrap();
+    assert_eq!(body.lines().count(), 4, "header plus three rows");
+
+    // `cancel` outside a stream is a protocol error, not a hang.
+    let err = client.roundtrip("cancel").unwrap().unwrap_err();
+    assert!(err.contains("only valid during a result stream"), "got: {err}");
+
+    drop(client);
+    handle.shutdown();
+}
+
+/// Per-query memory limits reject oversized queries with a clean `resource exhausted` error
+/// while the engine keeps serving everything that fits.
+#[test]
+fn per_query_memory_limit_rejects_cleanly() {
+    let catalog = Catalog::new();
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("payload", DataType::Text)]);
+    let rows = (0..BIG_ROWS as i64)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::text(format!("payload-{:06}", i % 97))]))
+        .collect::<Vec<_>>();
+    catalog.create_table_with_data("big", Relation::from_parts(schema, rows)).unwrap();
+    let tiny_schema = Schema::from_pairs(&[("id", DataType::Int)]);
+    let tiny = (0..3).map(|i| Tuple::new(vec![Value::Int(i)])).collect::<Vec<_>>();
+    catalog.create_table_with_data("tiny", Relation::from_parts(tiny_schema, tiny)).unwrap();
+
+    let engine =
+        Arc::new(Engine::with_catalog(catalog).with_workers(2).with_memory_limits(
+            GovernorLimits { engine_bytes: None, query_bytes: Some(64 * 1024) },
+        ));
+    let session = engine.session();
+
+    let err = session.execute("SELECT * FROM big ORDER BY id DESC").unwrap_err();
+    assert!(err.to_string().contains("resource exhausted"), "got: {err}");
+    assert_quiescent(&engine);
+
+    // Queries under the limit still run, on the same session.
+    let relation = session.execute("SELECT * FROM tiny ORDER BY id").unwrap();
+    assert_eq!(relation.num_rows(), 3);
+    assert_quiescent(&engine);
+
+    // The failure is visible in the governor's shed counter via server stats.
+    let handle = serve(engine.clone(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.roundtrip("stats").unwrap().unwrap();
+    assert!(stats.contains("governor active_queries=0"), "stats missing governor line: {stats}");
+    drop(client);
+    handle.shutdown();
+}

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Boots permd, drives it over the wire with perm-shell (DDL + INSERT + SELECT PROVENANCE +
 # prepared statements), and shuts it down. Used by the `service-smoke` CI job and runnable
-# locally: scripts/service_smoke.sh [PORT] [WORKERS]
+# locally: scripts/service_smoke.sh [PORT] [WORKERS] [FAILPOINTS]
 #
 # WORKERS (default 1) sizes the engine's worker pool for morsel-driven parallel execution;
 # CI drives the same script at 1 and 4 workers so the serving path is smoke-tested both
 # single-threaded and with intra-query parallelism.
+#
+# FAILPOINTS (optional) switches the script into fault-injection mode: permd is started with
+# PERM_FAILPOINTS set to this spec (e.g. "socket-write=error*1,sort=panic*1"), sacrificial
+# sessions absorb the injected faults, and the script asserts the daemon survives and serves
+# a clean follow-up session. The regular smoke flow is skipped in this mode — armed faults
+# would fail its assertions by design.
 #
 # Exits non-zero if the server fails to boot, any statement errors, or the provenance result
 # does not match the paper's running example.
@@ -13,11 +19,16 @@ set -euo pipefail
 
 PORT="${1:-7661}"
 WORKERS="${2:-1}"
+FAILPOINTS="${3:-}"
 BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
 LOG="$(mktemp)"
 trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
-"$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
+if [ -n "$FAILPOINTS" ]; then
+    PERM_FAILPOINTS="$FAILPOINTS" "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
+else
+    "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
+fi
 SERVER_PID=$!
 
 # Wait for the listening line (the server prints it once the socket is bound).
@@ -27,6 +38,38 @@ for _ in $(seq 1 50); do
     sleep 0.2
 done
 grep -q "permd listening" "$LOG" || { echo "permd never came up:"; cat "$LOG"; exit 1; }
+
+if [ -n "$FAILPOINTS" ]; then
+    # Sacrificial session 1: with an injected socket-write error armed, the server's first
+    # response write (often the handshake reply) fails and this connection dies. Tolerated —
+    # only the daemon's survival matters.
+    "$BIN_DIR/perm-shell" --port "$PORT" <<'SQL' || true
+\ping
+SQL
+    # Sacrificial session 2: set up a table and run an ORDER BY so an injected worker panic
+    # fires inside the executor; the panic fence must turn it into an error frame on this
+    # connection only.
+    "$BIN_DIR/perm-shell" --port "$PORT" <<'SQL' || true
+CREATE TABLE chaos (id INT)
+INSERT INTO chaos VALUES (3), (1), (2)
+SELECT * FROM chaos ORDER BY id
+SQL
+    kill -0 "$SERVER_PID" 2>/dev/null \
+        || { echo "FAIL: permd died under failpoints"; cat "$LOG"; exit 1; }
+    # The count-bounded faults are spent; a fresh session must work end to end.
+    OUT="$("$BIN_DIR/perm-shell" --port "$PORT" <<'SQL'
+SELECT * FROM chaos ORDER BY id
+\ping
+\shutdown
+SQL
+)"
+    echo "$OUT"
+    echo "$OUT" | grep -qx "1" || { echo "FAIL: follow-up query wrong after failpoints"; exit 1; }
+    echo "$OUT" | grep -q "pong" || { echo "FAIL: ping failed after failpoints"; exit 1; }
+    wait "$SERVER_PID"
+    echo "service smoke with failpoints OK (workers=$WORKERS, PERM_FAILPOINTS=$FAILPOINTS)"
+    exit 0
+fi
 
 OUT="$("$BIN_DIR/perm-shell" --port "$PORT" <<'SQL'
 -- schema + data (the paper's Figure 2 example database)

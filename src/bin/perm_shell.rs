@@ -38,7 +38,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut client = match Client::connect(("127.0.0.1", port)) {
+    // Bounded exponential backoff on the initial connect: scripts routinely start the shell
+    // right after `permd` and would otherwise race its bind.
+    let mut client = match Client::connect_with_retry(("127.0.0.1", port), 5) {
         Ok(client) => client,
         Err(e) => {
             eprintln!("perm-shell: cannot connect to 127.0.0.1:{port}: {e}");

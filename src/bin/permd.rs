@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N]
+//!       [--mem-limit BYTES] [--session-mem-limit BYTES]
 //! ```
 //!
 //! `--bind` sets the listen address (default `127.0.0.1`); with `--port 0` (the default is
@@ -17,14 +18,20 @@
 //! shared plan cache (`--cache-capacity` is accepted as an alias; 0 disables caching).
 //! `--workers` sizes the engine's shared worker pool for intra-query (morsel-driven) parallel
 //! execution; the default is the number of logical CPUs, and `--workers 1` runs every query
-//! single-threaded. Stop the server with the wire command `shutdown` (e.g. `\shutdown` in
-//! `perm-shell`).
+//! single-threaded. `--mem-limit` caps the bytes all running queries may reserve engine-wide
+//! and `--session-mem-limit` caps any single query (both accept `k`/`m`/`g` suffixes, e.g.
+//! `--mem-limit 512m`); over-limit queries fail with a clean `resource exhausted` error while
+//! the server keeps serving. Stop the server with the wire command `shutdown` (e.g.
+//! `\shutdown` in `perm-shell`).
+//!
+//! The `PERM_FAILPOINTS` environment variable arms the fault-injection harness (testing only;
+//! see `perm_exec::faults`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use perm_core::ProvenanceRewriter;
-use perm_service::{serve, Engine};
+use perm_service::{serve, Engine, GovernorLimits};
 
 const DEFAULT_PORT: u16 = 7654;
 const DEFAULT_BIND: &str = "127.0.0.1";
@@ -36,6 +43,8 @@ struct Config {
     port: u16,
     plan_cache_capacity: Option<usize>,
     workers: Option<usize>,
+    mem_limit: Option<usize>,
+    session_mem_limit: Option<usize>,
 }
 
 impl Default for Config {
@@ -45,8 +54,23 @@ impl Default for Config {
             port: DEFAULT_PORT,
             plan_cache_capacity: None,
             workers: None,
+            mem_limit: None,
+            session_mem_limit: None,
         }
     }
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (case-insensitive, powers of 1024).
+fn parse_bytes(text: &str) -> Option<usize> {
+    let text = text.trim();
+    let (digits, shift) = match text.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&text[..i], 10),
+        (i, 'm') | (i, 'M') => (&text[..i], 20),
+        (i, 'g') | (i, 'G') => (&text[..i], 30),
+        _ => (text, 0),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
 }
 
 impl Config {
@@ -75,6 +99,18 @@ impl Config {
                     Some(v) if v >= 1 => config.workers = Some(v),
                     _ => return Err("--workers requires a number >= 1".into()),
                 },
+                "--mem-limit" => match args.next().and_then(|v| parse_bytes(&v)) {
+                    Some(v) if v >= 1 => config.mem_limit = Some(v),
+                    _ => return Err("--mem-limit requires a byte count (k/m/g suffixes ok)".into()),
+                },
+                "--session-mem-limit" => match args.next().and_then(|v| parse_bytes(&v)) {
+                    Some(v) if v >= 1 => config.session_mem_limit = Some(v),
+                    _ => {
+                        return Err(
+                            "--session-mem-limit requires a byte count (k/m/g suffixes ok)".into()
+                        )
+                    }
+                },
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -91,6 +127,12 @@ impl Config {
         if let Some(workers) = self.workers {
             engine = engine.with_workers(workers);
         }
+        if self.mem_limit.is_some() || self.session_mem_limit.is_some() {
+            engine = engine.with_memory_limits(GovernorLimits {
+                engine_bytes: self.mem_limit,
+                query_bytes: self.session_mem_limit,
+            });
+        }
         engine
     }
 }
@@ -100,6 +142,12 @@ fn main() -> ExitCode {
         Ok(config) => config,
         Err(error) => return usage(&error),
     };
+    // Arm the fault-injection harness when PERM_FAILPOINTS is set (testing only; a no-op
+    // otherwise).
+    if let Err(e) = perm_exec::faults::init_from_env() {
+        eprintln!("permd: invalid PERM_FAILPOINTS: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let handle = match serve(Arc::new(config.engine()), (config.bind.as_str(), config.port)) {
         Ok(handle) => handle,
@@ -118,7 +166,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("permd: {error}");
     }
-    eprintln!("usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N]");
+    eprintln!(
+        "usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N] \
+         [--mem-limit BYTES] [--session-mem-limit BYTES]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -180,6 +231,27 @@ mod tests {
         assert!(parse(&["--workers"]).is_err());
         assert!(parse(&["--workers", "0"]).is_err());
         assert!(parse(&["--workers", "abc"]).is_err());
+    }
+
+    #[test]
+    fn memory_limit_flags_parse_byte_suffixes() {
+        assert_eq!(parse_bytes("1024"), Some(1024));
+        assert_eq!(parse_bytes("4k"), Some(4096));
+        assert_eq!(parse_bytes("2M"), Some(2 << 20));
+        assert_eq!(parse_bytes("1g"), Some(1 << 30));
+        assert_eq!(parse_bytes("abc"), None);
+        assert_eq!(parse_bytes(""), None);
+        let config = parse(&["--mem-limit", "64m", "--session-mem-limit", "16m"]).unwrap();
+        assert_eq!(config.mem_limit, Some(64 << 20));
+        assert_eq!(config.session_mem_limit, Some(16 << 20));
+        let limits = config.engine().governor().limits();
+        assert_eq!(limits.engine_bytes, Some(64 << 20));
+        assert_eq!(limits.query_bytes, Some(16 << 20));
+        // Without the flags the governor is unlimited.
+        assert_eq!(parse(&[]).unwrap().engine().governor().limits().engine_bytes, None);
+        assert!(parse(&["--mem-limit"]).is_err());
+        assert!(parse(&["--mem-limit", "0"]).is_err());
+        assert!(parse(&["--session-mem-limit", "x"]).is_err());
     }
 
     #[test]
