@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use perm_bench::harness::{BenchConfig, ScalePreset};
 use perm_tpch::queries::add_provenance_keyword;
 use perm_tpch::workloads::{spj_query, workload_rng};
@@ -22,9 +22,15 @@ fn bench_spj(c: &mut Criterion) {
     for num_sub in 1..=6usize {
         let sql = spj_query(&mut workload_rng("spj", num_sub as u64), num_sub, parts);
         let provenance_sql = add_provenance_keyword(&sql);
+        // Result cardinality recorded as throughput so the JSON baseline carries row counts.
+        let normal_rows = db.execute_sql(&sql).expect("query runs").num_rows() as u64;
+        let provenance_rows =
+            db.execute_sql(&provenance_sql).expect("provenance query runs").num_rows() as u64;
+        group.throughput(Throughput::Elements(normal_rows));
         group.bench_with_input(BenchmarkId::new("normal", num_sub), &sql, |b, sql| {
             b.iter(|| db.execute_sql(sql).expect("query runs"));
         });
+        group.throughput(Throughput::Elements(provenance_rows));
         group.bench_with_input(
             BenchmarkId::new("provenance", num_sub),
             &provenance_sql,

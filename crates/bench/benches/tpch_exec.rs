@@ -3,7 +3,7 @@
 //! `paper_tables` binary; this Criterion harness provides statistically robust per-query
 //! timings for a single configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use perm_bench::harness::{BenchConfig, ScalePreset};
 use perm_tpch::queries::{add_provenance_keyword, supported_query_ids, tpch_query, variant_rng};
 
@@ -24,9 +24,15 @@ fn bench_tpch(c: &mut Criterion) {
         }
         let sql = tpch_query(id).generate(&mut variant_rng(id, 0));
         let provenance_sql = add_provenance_keyword(&sql);
+        // Result cardinality recorded as throughput so the JSON baseline carries row counts.
+        let normal_rows = db.execute_sql(&sql).expect("query runs").num_rows() as u64;
+        let provenance_rows =
+            db.execute_sql(&provenance_sql).expect("provenance query runs").num_rows() as u64;
+        group.throughput(Throughput::Elements(normal_rows));
         group.bench_with_input(BenchmarkId::new("normal", id), &sql, |b, sql| {
             b.iter(|| db.execute_sql(sql).expect("query runs"));
         });
+        group.throughput(Throughput::Elements(provenance_rows));
         group.bench_with_input(BenchmarkId::new("provenance", id), &provenance_sql, |b, sql| {
             b.iter(|| db.execute_sql(sql).expect("provenance query runs"));
         });

@@ -119,6 +119,9 @@ pub struct ExecOptions {
     pub cancel: Option<Arc<CancelToken>>,
     /// Memory-accounting hook charged at materialization points.
     pub memory: Option<Arc<dyn QueryMemory>>,
+    /// Per-operator instrumentation sink (`EXPLAIN ANALYZE`); `None` means no profiling, and
+    /// the pipelines then pay only one `Option` check per operator at construction.
+    pub profile: Option<Arc<crate::profile::ProfileSink>>,
 }
 
 impl ExecOptions {
@@ -150,6 +153,12 @@ impl ExecOptions {
         self.memory = Some(memory);
         self
     }
+
+    /// Attach a per-operator instrumentation sink (see [`crate::profile::ProfileSink`]).
+    pub fn with_profile(mut self, profile: Arc<crate::profile::ProfileSink>) -> ExecOptions {
+        self.profile = Some(profile);
+        self
+    }
 }
 
 /// Per-execution limits, resolved once per [`Executor::execute`] call and passed *by
@@ -161,6 +170,7 @@ pub(crate) struct ExecContext {
     deadline: Option<Deadline>,
     cancel: Option<Arc<CancelToken>>,
     memory: Option<Arc<dyn QueryMemory>>,
+    profile: Option<Arc<crate::profile::ProfileSink>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +188,7 @@ impl ExecContext {
                 .map(|t| Deadline { at: Instant::now() + t, millis: t.as_millis() as u64 }),
             cancel: options.cancel.clone(),
             memory: options.memory.clone(),
+            profile: options.profile.clone(),
         }
     }
 
@@ -211,7 +222,27 @@ impl ExecContext {
             None => Ok(()),
         }
     }
+
+    /// The profile slot for `plan`, when a sink is attached and knows this node. `None` (the
+    /// common case) makes instrumentation a single `Option` check.
+    pub(crate) fn profile_op(&self, plan: &LogicalPlan) -> Option<(ProfileHandle, usize)> {
+        let sink = self.profile.as_ref()?;
+        sink.op(plan).map(|idx| (sink.clone(), idx))
+    }
+
+    /// Record that the operator owning slot `idx` holds `bytes` materialized (no-op without a
+    /// sink). Called at the same coarse materialization points as [`Self::reserve_memory`].
+    pub(crate) fn record_buffered(&self, plan: &LogicalPlan, bytes: usize) {
+        if let Some(sink) = &self.profile {
+            if let Some(idx) = sink.op(plan) {
+                sink.record_buffered(idx, bytes as u64);
+            }
+        }
+    }
 }
+
+/// An attached profile sink, cloned into operator iterators that outlive the context borrow.
+pub(crate) type ProfileHandle = Arc<crate::profile::ProfileSink>;
 
 /// Incremental row-budget / timeout enforcement for one operator's output.
 ///

@@ -46,6 +46,16 @@ enum Action {
     Sleep(u64),
 }
 
+impl Action {
+    fn name(&self) -> &'static str {
+        match self {
+            Action::Panic => "panic",
+            Action::Error => "error",
+            Action::Sleep(_) => "sleep",
+        }
+    }
+}
+
 fn sites() -> &'static Mutex<HashMap<String, Failpoint>> {
     SITES.get_or_init(|| Mutex::new(HashMap::new()))
 }
@@ -106,17 +116,22 @@ pub fn init_from_env() -> Result<(), String> {
 }
 
 /// Look up and consume one firing of `site`. `None` when disarmed (the common case is handled
-/// before this by the `ARMED` fast path).
+/// before this by the `ARMED` fast path). Every actual trip is logged with its site and action
+/// (plus the ambient query id, when the firing thread serves one).
 fn consume(site: &str) -> Option<Action> {
-    let mut map = lock_sites();
-    let fp = map.get_mut(site)?;
-    let action = fp.action.clone();
-    if let Some(remaining) = &mut fp.remaining {
-        *remaining = remaining.saturating_sub(1);
-        if *remaining == 0 {
-            map.remove(site);
+    let action = {
+        let mut map = lock_sites();
+        let fp = map.get_mut(site)?;
+        let action = fp.action.clone();
+        if let Some(remaining) = &mut fp.remaining {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                map.remove(site);
+            }
         }
-    }
+        action
+    };
+    crate::log_warn!("failpoint_trip", site = site, action = action.name());
     Some(action)
 }
 

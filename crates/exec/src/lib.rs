@@ -33,8 +33,10 @@ pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod faults;
+pub mod log;
 pub mod optimizer;
 pub mod parallel;
+pub mod profile;
 pub mod reference;
 mod vector;
 
@@ -44,6 +46,8 @@ pub use executor::{
     execute_plan, execute_plan_with_options, CancelToken, ChunkStream, ExecOptions, Executor,
     QueryMemory,
 };
+pub use log::{Level, QueryIdGuard};
 pub use optimizer::{fold_expr, Optimizer};
 pub use parallel::WorkerPool;
+pub use profile::{ProfileSink, QueryProfile};
 pub use reference::execute_reference;

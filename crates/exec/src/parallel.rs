@@ -50,6 +50,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use perm_algebra::{
     Array, DataChunk, JoinKind, LogicalPlan, ScalarExpr, SortOrder, Tuple, Value,
@@ -193,6 +194,9 @@ impl WorkerPool {
             slots: Mutex::new((0..total).map(|_| None).collect()),
             in_flight: Mutex::new(0),
             idle: Condvar::new(),
+            // The dispatching thread carries the query id in TLS (set by the server / stream
+            // producer); capture it so worker threads tag their log lines with the same query.
+            qid: crate::log::current_query_id(),
         });
         let task = Arc::new(task);
         // One claim-loop job per background thread (capped by the morsel count); the calling
@@ -254,7 +258,9 @@ fn worker_loop(shared: &PoolShared) {
         };
         // Fence the job as a whole so a panic that escapes the per-morsel fence (or strikes
         // region bookkeeping) retires this job without killing the worker thread.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+            crate::log_error!("worker_panic", site = "pool_job", error = panic_message(&payload));
+        }
     }
 }
 
@@ -275,12 +281,15 @@ struct Region<T> {
     /// in-flight means the region is complete even if some helper jobs never got scheduled.
     in_flight: Mutex<usize>,
     idle: Condvar,
+    /// Query id of the dispatching thread, re-established on workers for log attribution.
+    qid: u64,
 }
 
 fn claim_loop<T, F>(region: &Region<T>, task: &F)
 where
     F: Fn(usize) -> Result<(T, usize), ExecError>,
 {
+    let _qid_guard = crate::log::QueryIdGuard::new(region.qid);
     loop {
         // Register as in-flight *before* checking the exit conditions: the dispatcher declares
         // the region complete when it observes zero in-flight after its own loop exits, and all
@@ -305,7 +314,11 @@ where
         // with an internal error instead of unwinding through the pool — the worker thread,
         // the region bookkeeping and every other session keep working.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)))
-            .unwrap_or_else(|payload| Err(ExecError::Internal(panic_message(&payload))));
+            .unwrap_or_else(|payload| {
+                let message = panic_message(&payload);
+                crate::log_error!("worker_panic", site = "morsel", morsel = i, error = message);
+                Err(ExecError::Internal(message))
+            });
         let slot = match outcome {
             Ok((value, rows)) => {
                 region.produced.fetch_add(rows, AtomicOrdering::Relaxed);
@@ -409,7 +422,32 @@ impl Executor {
     /// Evaluate `plan` to a materialized chunk list, parallelizing every operator. `limit`
     /// carries a downstream LIMIT's row target into the directly-feeding morsel region so it
     /// can stop claiming morsels early (shared atomic counter; see [`Region`]).
+    ///
+    /// With a profile sink attached (`EXPLAIN ANALYZE`) each operator records its inclusive
+    /// wall time and materialized output — one timestamp pair and two relaxed increments per
+    /// *operator*, since this pipeline materializes per node anyway. Without a sink the cost
+    /// is one `Option` check per operator.
     fn par_chunks(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &ExecContext,
+        pool: &WorkerPool,
+        limit: Option<usize>,
+    ) -> Result<Vec<DataChunk>, ExecError> {
+        let Some((sink, idx)) = ctx.profile_op(plan) else {
+            return self.par_chunks_inner(plan, ctx, pool, limit);
+        };
+        let started = Instant::now();
+        let result = self.par_chunks_inner(plan, ctx, pool, limit);
+        sink.add_nanos(idx, started.elapsed().as_nanos() as u64);
+        if let Ok(chunks) = &result {
+            let rows: u64 = chunks.iter().map(|c| c.num_rows() as u64).sum();
+            sink.add_output(idx, rows, chunks.len() as u64);
+        }
+        result
+    }
+
+    fn par_chunks_inner(
         &self,
         plan: &LogicalPlan,
         ctx: &ExecContext,
@@ -463,7 +501,7 @@ impl Executor {
                 }
             }
             LogicalPlan::Join { left, right, kind, condition } => {
-                self.par_join(left, right, *kind, condition.as_ref(), ctx, pool, limit)
+                self.par_join(plan, left, right, *kind, condition.as_ref(), ctx, pool, limit)
             }
             LogicalPlan::Aggregation { input, group_by, aggregates } => {
                 let group_by: Vec<CompiledExpr> = group_by
@@ -490,6 +528,7 @@ impl Executor {
                     .map(|k| Ok((CompiledExpr::compile(&k.expr, self, ctx)?, k.order)))
                     .collect::<Result<_, ExecError>>()?;
                 let chunks = self.par_chunks(input, ctx, pool, None)?;
+                ctx.record_buffered(plan, chunks.iter().map(DataChunk::byte_size).sum());
                 par_sort(pool, ctx, plan.output_arity(), chunks, compiled)
             }
             LogicalPlan::Limit { input, limit: n, offset } => {
@@ -539,9 +578,11 @@ impl Executor {
     }
 
     /// Parallel join: recursive build + partitioned hash table + morsel-parallel probe.
+    /// `plan` is the `Join` node itself, used to attribute the build side's buffered bytes.
     #[allow(clippy::too_many_arguments)]
     fn par_join(
         &self,
+        plan: &LogicalPlan,
         left: &LogicalPlan,
         right: &LogicalPlan,
         kind: JoinKind,
@@ -554,7 +595,9 @@ impl Executor {
         let right_arity = right.output_arity();
         let build_chunks = self.par_chunks(right, ctx, pool, None)?;
         crate::faults::fire("join-build")?;
-        ctx.reserve_memory(build_chunks.iter().map(DataChunk::byte_size).sum())?;
+        let build_bytes: usize = build_chunks.iter().map(DataChunk::byte_size).sum();
+        ctx.record_buffered(plan, build_bytes);
+        ctx.reserve_memory(build_bytes)?;
         let build = Arc::new(DataChunk::concat(right_arity, &build_chunks));
         let (equi_keys, residual) = match condition {
             Some(c) => split_equi_join_condition(c, left_arity),

@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use perm_algebra::{
     Array, ArrayBuilder, BinaryOperator, Bitmap, DataChunk, JoinKind, LogicalPlan, ScalarExpr,
@@ -38,7 +39,7 @@ use crate::error::ExecError;
 use crate::eval::{binary_op_values, evaluate_function, logical_combine, unary_op_value};
 use crate::executor::{
     hash_joinable, set_operation, split_equi_join_condition, strip_transparent, Accumulator,
-    EquiKey, ExecContext, Executor, RowGuard,
+    EquiKey, ExecContext, Executor, ProfileHandle, RowGuard,
 };
 
 /// The batch stream flowing between vectorized operators.
@@ -60,6 +61,28 @@ pub(crate) fn chunk_from_columns(columns: Vec<Arc<Array>>, rows: usize) -> DataC
     }
 }
 
+/// One operator's stream with `EXPLAIN ANALYZE` instrumentation: times every pull (inclusive
+/// of children, which are themselves wrapped) and counts rows/chunks per produced batch.
+struct ProfiledIter<'a> {
+    inner: ChunkIter<'a>,
+    sink: ProfileHandle,
+    idx: usize,
+}
+
+impl Iterator for ProfiledIter<'_> {
+    type Item = Result<DataChunk, ExecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let started = Instant::now();
+        let item = self.inner.next();
+        self.sink.add_nanos(self.idx, started.elapsed().as_nanos() as u64);
+        if let Some(Ok(chunk)) = &item {
+            self.sink.add_output(self.idx, chunk.num_rows() as u64, 1);
+        }
+        item
+    }
+}
+
 /// Drop empty batches from a stream (errors always pass through).
 fn skip_empty(iter: ChunkIter<'_>) -> ChunkIter<'_> {
     Box::new(iter.filter(|r| match r {
@@ -70,7 +93,28 @@ fn skip_empty(iter: ChunkIter<'_>) -> ChunkIter<'_> {
 
 impl Executor {
     /// Build the vectorized iterator pipeline for `plan`.
+    ///
+    /// When a profile sink is attached (`EXPLAIN ANALYZE`), each operator's stream is wrapped
+    /// to record wall time per pull and rows/chunks per produced batch — one timestamp pair and
+    /// two relaxed increments per *chunk*, nothing per row. Without a sink the only cost is the
+    /// `Option` check below, once per operator at pipeline construction.
     pub(crate) fn stream_chunks<'a>(
+        &'a self,
+        plan: &'a LogicalPlan,
+        ctx: &ExecContext,
+    ) -> Result<ChunkIter<'a>, ExecError> {
+        let Some((sink, idx)) = ctx.profile_op(plan) else {
+            return self.stream_chunks_inner(plan, ctx);
+        };
+        // Construction time covers eager work (join build sides, sort buffers) done before the
+        // first pull; per-pull time is added by the wrapper. Both are inclusive of children.
+        let started = Instant::now();
+        let inner = self.stream_chunks_inner(plan, ctx)?;
+        sink.add_nanos(idx, started.elapsed().as_nanos() as u64);
+        Ok(Box::new(ProfiledIter { inner, sink, idx }))
+    }
+
+    fn stream_chunks_inner<'a>(
         &'a self,
         plan: &'a LogicalPlan,
         ctx: &ExecContext,
@@ -167,7 +211,9 @@ impl Executor {
                 let build_chunks: Vec<DataChunk> =
                     self.stream_chunks(right, ctx)?.collect::<Result<_, _>>()?;
                 crate::faults::fire("join-build")?;
-                ctx.reserve_memory(build_chunks.iter().map(DataChunk::byte_size).sum())?;
+                let build_bytes: usize = build_chunks.iter().map(DataChunk::byte_size).sum();
+                ctx.record_buffered(plan, build_bytes);
+                ctx.reserve_memory(build_bytes)?;
                 let build = DataChunk::concat(right_arity, &build_chunks);
                 let (equi_keys, residual) = match condition {
                     Some(c) => split_equi_join_condition(c, left_arity),
@@ -259,7 +305,9 @@ impl Executor {
                 let chunks: Vec<DataChunk> =
                     self.stream_chunks(input, ctx)?.collect::<Result<_, _>>()?;
                 crate::faults::fire("sort")?;
-                ctx.reserve_memory(chunks.iter().map(DataChunk::byte_size).sum())?;
+                let sort_bytes: usize = chunks.iter().map(DataChunk::byte_size).sum();
+                ctx.record_buffered(plan, sort_bytes);
+                ctx.reserve_memory(sort_bytes)?;
                 let arity = plan.output_arity();
                 let sorted = sort_chunks(arity, chunks, &compiled, chunk_capacity(ctx))?;
                 Box::new(sorted.into_iter().map(Ok))

@@ -204,6 +204,7 @@ mod tests {
             },
             into: None,
             param_count: 0,
+            sql: String::new(),
         })
     }
 

@@ -11,6 +11,7 @@ use perm_storage::{Catalog, Relation};
 use crate::cache::{normalize_sql, CacheStats, PlanCache};
 use crate::error::ServiceError;
 use crate::governor::{Governor, GovernorLimits};
+use crate::metrics::{outcome_of, Metrics, StatsSnapshot};
 use crate::session::Session;
 use crate::stream::QueryStream;
 
@@ -24,6 +25,9 @@ pub struct PreparedPlan {
     pub into: Option<String>,
     /// Number of parameter values an execution must bind (`$1..$param_count`).
     pub param_count: usize,
+    /// The source SQL text (for query logging and the slow-query record; empty when the plan
+    /// was built from an already-analyzed statement rather than SQL text).
+    pub sql: String,
 }
 
 /// The shared, thread-safe query engine.
@@ -49,6 +53,9 @@ pub struct Engine {
     /// Memory governor: every statement is admitted here and charged for its
     /// materializations; see [`Governor`].
     governor: Arc<Governor>,
+    /// The engine-wide metrics registry: query outcomes, latency, streamed volume, the recent
+    /// query ring buffer; see [`crate::metrics`].
+    metrics: Arc<Metrics>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -96,6 +103,7 @@ impl Engine {
             pool: std::sync::OnceLock::new(),
             stream_buffered: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
             governor: Arc::new(Governor::new(GovernorLimits::default())),
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
@@ -130,6 +138,23 @@ impl Engine {
     /// The engine's memory governor (admission gauges, shutdown draining).
     pub fn governor(&self) -> &Arc<Governor> {
         &self.governor
+    }
+
+    /// The engine-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// One consistent snapshot of every stat the engine exposes: plan cache, governor, stream
+    /// gauge and the metrics registry, collected in a single call so the wire `stats` text and
+    /// the Prometheus exposition describe the same instant.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cache: self.cache.stats(),
+            governor: self.governor.stats(),
+            stream_buffered: self.stream_buffered_bytes(),
+            metrics: self.metrics.snapshot(),
+        }
     }
 
     /// The parallelism degree of the shared worker pool.
@@ -213,7 +238,7 @@ impl Engine {
             AnalyzedStatement::Query { plan, into } => {
                 let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
                 let param_count = plan.max_parameter().map_or(0, |max| max + 1);
-                Ok(PreparedPlan { plan, into, param_count })
+                Ok(PreparedPlan { plan, into, param_count, sql: sql.to_string() })
             }
             _ => Err(ServiceError::unsupported(
                 "only queries (SELECT ...) can be planned; execute DDL/DML statements directly",
@@ -264,7 +289,16 @@ impl Engine {
         mut options: ExecOptions,
         params: Vec<Value>,
     ) -> Result<QueryStream, ServiceError> {
-        let token = self.govern(&mut options)?;
+        // The ticket opens *before* admission so a statement the governor rejects at the door
+        // (admission timeout under the engine-wide limit) is still counted — as shed.
+        let mut ticket = self.metrics.start_query(&prepared.sql, options.profile.clone());
+        let token = match self.govern(&mut options) {
+            Ok(token) => token,
+            Err(e) => {
+                ticket.finish(outcome_of(&e), 0);
+                return Err(e);
+            }
+        };
         let pull = self.workers <= 1 || options.row_budget.is_some();
         let executor = Executor::with_options(self.catalog.clone(), options).with_params(params);
         Ok(QueryStream::pending(
@@ -274,6 +308,7 @@ impl Engine {
             pull,
             self.stream_buffered.clone(),
             token,
+            ticket,
         ))
     }
 
@@ -354,7 +389,7 @@ impl Engine {
             }
             AnalyzedStatement::Query { plan, into } => {
                 let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
-                let prepared = PreparedPlan { plan, into, param_count: 0 };
+                let prepared = PreparedPlan { plan, into, param_count: 0, sql: String::new() };
                 self.execute_prepared_plan(&prepared, options, Vec::new())
             }
         }

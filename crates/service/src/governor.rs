@@ -41,6 +41,8 @@ pub struct GovernorStats {
     pub active_queries: usize,
     /// Bytes currently reserved across all registered statements.
     pub reserved_bytes: usize,
+    /// Statements admitted since startup.
+    pub admitted: u64,
     /// Statements shed (cancelled with `ResourceExhausted`) under engine-wide pressure.
     pub shed_queries: u64,
 }
@@ -55,6 +57,7 @@ struct QueryState {
 struct GovState {
     next_id: u64,
     total: usize,
+    admitted: u64,
     shed: u64,
     queries: HashMap<u64, QueryState>,
 }
@@ -109,6 +112,7 @@ impl Governor {
             }
         }
         state.next_id += 1;
+        state.admitted += 1;
         let id = state.next_id;
         state.queries.insert(id, QueryState { reserved: 0, cancel });
         Ok(QueryGrant { governor: self.clone(), id })
@@ -129,6 +133,7 @@ impl Governor {
         GovernorStats {
             active_queries: state.queries.len(),
             reserved_bytes: state.total,
+            admitted: state.admitted,
             shed_queries: state.shed,
         }
     }
@@ -180,6 +185,12 @@ impl Governor {
                 match largest {
                     Some((_, largest_reserved)) if largest_reserved > reserved => {
                         state.shed += 1;
+                        perm_exec::log_warn!(
+                            "governor_shed",
+                            victim_reserved = largest_reserved,
+                            requested = bytes,
+                            limit = limit,
+                        );
                         let victim = largest
                             .and_then(|(qid, _)| state.queries.get(&qid))
                             .map(|q| q.cancel.clone());

@@ -46,6 +46,7 @@ pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod governor;
+pub mod metrics;
 pub mod server;
 pub mod session;
 pub mod shell;
@@ -57,6 +58,7 @@ pub use codec::PROTOCOL_VERSION;
 pub use engine::{Engine, PreparedPlan};
 pub use error::ServiceError;
 pub use governor::{Governor, GovernorLimits, GovernorStats, QueryGrant};
+pub use metrics::{Metrics, MetricsSnapshot, QueryOutcome, QueryTicket, StatsSnapshot};
 pub use server::{serve, ServerHandle};
 pub use session::{Session, SessionOptions};
 pub use shell::Client;

@@ -9,7 +9,7 @@
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -21,9 +21,13 @@ use perm_exec::{faults, ExecError};
 use crate::codec::{self, tag, PROTOCOL_VERSION};
 use crate::engine::Engine;
 use crate::error::ServiceError;
+use crate::metrics::{render_prometheus, render_stats_text, Metrics};
 use crate::session::Session;
 use crate::stream::QueryStream;
 use crate::wire::{parse_param_values, read_frame_rest, render_relation, write_bytes_frame};
+
+/// Server-wide connection id sequence (tags each connection's log lines as `conn=N`).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(0);
 
 /// How long a connection blocks waiting for the *start* of a frame before re-checking the
 /// shutdown flag.
@@ -101,8 +105,27 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
                 }
                 let engine = engine.clone();
                 let shutdown = shutdown.clone();
+                let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed) + 1;
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "unknown".to_string());
                 let handle = thread::spawn(move || {
-                    let _ = handle_connection(stream, engine, shutdown);
+                    let metrics = engine.metrics().clone();
+                    metrics.connections_opened.inc();
+                    metrics.connections_active.inc();
+                    perm_exec::log_info!("connection_open", conn = conn_id, peer = peer);
+                    let result = handle_connection(stream, engine, shutdown);
+                    metrics.connections_active.dec();
+                    match result {
+                        Ok(()) => {
+                            perm_exec::log_info!("connection_close", conn = conn_id);
+                        }
+                        Err(e) => {
+                            let error = e.to_string();
+                            perm_exec::log_warn!("connection_close", conn = conn_id, error = error,);
+                        }
+                    }
                 });
                 let mut connections = connections.lock();
                 connections.push(handle);
@@ -160,6 +183,7 @@ fn handle_connection(
     stream.set_read_timeout(Some(READ_POLL_INTERVAL))?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
+    let metrics = engine.metrics().clone();
     let mut session = Session::new(engine);
     let mut negotiated = false;
     loop {
@@ -215,7 +239,7 @@ fn handle_connection(
                 stop
             }
             Ok((Response::Stream(stream), stop)) => {
-                stream_result(&mut reader, &mut writer, stream, &shutdown)?;
+                stream_result(&mut reader, &mut writer, *stream, &shutdown, &metrics)?;
                 stop
             }
             Err(e) => {
@@ -260,7 +284,10 @@ fn stream_result(
     writer: &mut TcpStream,
     mut stream: QueryStream,
     shutdown: &AtomicBool,
+    metrics: &Arc<Metrics>,
 ) -> io::Result<()> {
+    // Tag this thread's log lines (socket errors, cancellations) with the streaming query.
+    let _qid_guard = perm_exec::QueryIdGuard::new(stream.query_id());
     send_frame(writer, &codec::encode_schema(stream.schema()))?;
     let mut unacked = 0usize;
     let mut cancelled = false;
@@ -296,6 +323,8 @@ fn stream_result(
                     break;
                 }
                 send_frame(writer, &codec::encode_chunk(&chunk))?;
+                metrics.rows_streamed.add(chunk.num_rows() as u64);
+                metrics.bytes_streamed.add(chunk.byte_size() as u64);
                 unacked += 1;
             }
             Some(Err(e)) => {
@@ -383,10 +412,12 @@ fn poll_stream_signal(reader: &mut TcpStream) -> io::Result<Option<StreamSignal>
     }
 }
 
-/// One dispatched response: either a simple text payload or a result stream.
+/// One dispatched response: either a simple text payload or a result stream. The stream is
+/// boxed — `QueryStream` is a wide struct (prepared plan, producer state, metrics ticket) and
+/// would otherwise dominate the enum's size.
 enum Response {
     Text(String),
-    Stream(QueryStream),
+    Stream(Box<QueryStream>),
 }
 
 /// Dispatch one wire request against a session and render the response as text (streamed
@@ -419,7 +450,9 @@ fn dispatch_fenced(
 ) -> Result<(Response, bool), ServiceError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(session, request, shutdown)))
         .unwrap_or_else(|payload| {
-            Err(ServiceError::Internal(crate::stream::panic_message(payload.as_ref())))
+            let message = crate::stream::panic_message(payload.as_ref());
+            perm_exec::log_error!("panic_recovered", site = "dispatch", error = message);
+            Err(ServiceError::Internal(message))
         })
 }
 
@@ -439,7 +472,7 @@ fn dispatch(
             if rest.is_empty() {
                 return Err(ServiceError::protocol("query requires SQL text"));
             }
-            Ok((Response::Stream(session.execute_streaming(rest)?), false))
+            Ok((Response::Stream(Box::new(session.execute_streaming(rest)?)), false))
         }
         "prepare" => {
             let (name, sql) = rest
@@ -457,7 +490,10 @@ fn dispatch(
                 return Err(ServiceError::protocol("usage: exec <name> [(v1, v2, ...)]"));
             }
             let params: Vec<Value> = parse_param_values(params_text)?;
-            Ok((Response::Stream(session.execute_prepared_streaming(name, params)?), false))
+            Ok((
+                Response::Stream(Box::new(session.execute_prepared_streaming(name, params)?)),
+                false,
+            ))
         }
         "deallocate" => {
             if session.deallocate(rest) {
@@ -486,26 +522,16 @@ fn dispatch(
             Ok((text(format!("set {setting}")), false))
         }
         "stats" => {
-            let stats = session.engine().cache_stats();
-            let governor = session.engine().governor().stats();
-            Ok((
-                text(format!(
-                    "plan_cache hits={} misses={} invalidations={} entries={}\nstreams \
-                     buffered_bytes={} window={}\ngovernor active_queries={} \
-                     reserved_bytes={} shed_queries={}",
-                    stats.hits,
-                    stats.misses,
-                    stats.invalidations,
-                    stats.entries,
-                    session.engine().stream_buffered_bytes(),
-                    BACKPRESSURE_WINDOW,
-                    governor.active_queries,
-                    governor.reserved_bytes,
-                    governor.shed_queries,
-                )),
-                false,
-            ))
+            // One consistent snapshot: every line below describes the same instant (three
+            // separate lock acquisitions previously let the numbers drift mid-render).
+            let snap = session.engine().stats_snapshot();
+            Ok((text(render_stats_text(&snap, BACKPRESSURE_WINDOW)), false))
         }
+        "metrics" => {
+            let snap = session.engine().stats_snapshot();
+            Ok((text(render_prometheus(&snap)), false))
+        }
+        "profile" => Ok((text(session.engine().metrics().render_profile()), false)),
         "hello" => {
             Err(ServiceError::protocol("hello is only valid as a connection's first request"))
         }

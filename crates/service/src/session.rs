@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use perm_algebra::Value;
+use perm_algebra::{Attribute, DataType, Schema, Tuple, Value};
+use perm_exec::profile::ProfileSink;
 use perm_exec::ExecOptions;
 use perm_storage::Relation;
 
@@ -91,6 +92,9 @@ impl Session {
     /// rather than streams — DDL, DML and `SELECT ... INTO` (which must complete its catalog
     /// write atomically) — execute eagerly and come back as an already-materialized stream.
     pub fn execute_streaming(&self, sql: &str) -> Result<QueryStream, ServiceError> {
+        if let Some(inner) = strip_explain_analyze(sql) {
+            return self.explain_analyze(inner);
+        }
         if is_query_sql(sql) {
             let prepared = self.engine.plan_query(sql, self.options.optimize)?;
             if prepared.param_count > 0 {
@@ -120,6 +124,48 @@ impl Session {
             self.options.optimize,
         )?;
         Ok(QueryStream::from_relation(result))
+    }
+
+    /// Execute `EXPLAIN ANALYZE <query>`: run the (provenance-rewritten, optimized) plan to
+    /// completion with per-operator instrumentation attached, then return the annotated plan
+    /// tree — each operator with its actual wall time (inclusive of children), output rows,
+    /// chunks and peak materialized bytes — as a one-column result.
+    ///
+    /// The plan shown is the plan that *ran*: for `SELECT PROVENANCE` queries that is the
+    /// join stack the provenance rewrite produced, not the query the user typed. The query
+    /// executes fully (it is counted in the metrics registry and the recent-query ring like
+    /// any other statement); only its result rows are discarded in favor of the profile.
+    fn explain_analyze(&self, sql: &str) -> Result<QueryStream, ServiceError> {
+        if !is_query_sql(sql) {
+            return Err(ServiceError::unsupported(
+                "EXPLAIN ANALYZE supports queries (SELECT ...) only",
+            ));
+        }
+        let prepared = self.engine.plan_query(sql, self.options.optimize)?;
+        if prepared.param_count > 0 {
+            return Err(ServiceError::unsupported(
+                "EXPLAIN ANALYZE cannot bind $n parameters; run the query via \
+                 prepare/execute_prepared instead",
+            ));
+        }
+        if prepared.into.is_some() {
+            return Err(ServiceError::unsupported(
+                "EXPLAIN ANALYZE does not support SELECT ... INTO (it would write the target \
+                 table)",
+            ));
+        }
+        let sink = Arc::new(ProfileSink::new(&prepared.plan));
+        let options = self.options.exec_options().with_profile(sink.clone());
+        let result =
+            self.engine.run_plan_streaming(prepared, options, Vec::new())?.collect_relation()?;
+        let profile = sink.snapshot();
+        let mut lines: Vec<String> = profile.render().lines().map(str::to_string).collect();
+        lines.push(format!("Total rows: {}", result.num_rows()));
+        let schema = Schema::new(vec![Attribute::new("QUERY PLAN", DataType::Text)]);
+        let tuples = lines.into_iter().map(|l| Tuple::new(vec![Value::Text(l.into())])).collect();
+        let rendered = Relation::new(schema, tuples)
+            .map_err(|e| ServiceError::Internal(format!("failed to render profile: {e}")))?;
+        Ok(QueryStream::from_relation(rendered))
     }
 
     /// Execute a single SQL statement (DDL, DML or query). Queries go through the shared plan
@@ -221,4 +267,30 @@ impl Session {
         names.sort();
         names
     }
+}
+
+/// If `sql` is `EXPLAIN ANALYZE <inner>` (case-insensitive, any whitespace), return `inner`.
+///
+/// Detection is purely lexical on the two leading words: `EXPLAIN` is not a statement keyword
+/// anywhere else in the grammar, so this cannot shadow a valid query.
+fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let rest = sql.trim_start();
+    let rest = strip_keyword(rest, "EXPLAIN")?;
+    let rest = strip_keyword(rest, "ANALYZE")?;
+    Some(rest)
+}
+
+/// Strip a leading case-insensitive `keyword` followed by at least one whitespace character.
+fn strip_keyword<'a>(sql: &'a str, keyword: &str) -> Option<&'a str> {
+    let head = sql.get(..keyword.len())?;
+    if !head.eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = &sql[keyword.len()..];
+    let trimmed = rest.trim_start();
+    // Require a word boundary: `EXPLAINX` must not match.
+    if trimmed.len() == rest.len() {
+        return None;
+    }
+    Some(trimmed)
 }

@@ -7,7 +7,11 @@
 //! * `\exec <name> (v1, ...)` — execute a prepared statement
 //! * `\deallocate <name>` — drop a prepared statement
 //! * `\set <budget|timeout_ms> <n|none>` — session settings
-//! * `\stats` — shared plan-cache counters and the stream memory gauge
+//! * `\stats` — one consistent snapshot of every engine counter (cache, governor, queries,
+//!   latency, streams, connections)
+//! * `\metrics` — the same snapshot as a Prometheus text exposition
+//! * `\profile` — the recent-query ring: outcome, latency, rows and (for `EXPLAIN ANALYZE`
+//!   runs) the annotated operator tree
 //! * `\ping`, `\shutdown`, `\q`
 //!
 //! Empty lines and `--` comments are skipped.

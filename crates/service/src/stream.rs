@@ -26,6 +26,7 @@ use perm_storage::Relation;
 
 use crate::engine::PreparedPlan;
 use crate::error::ServiceError;
+use crate::metrics::{outcome_of, QueryOutcome, QueryTicket};
 
 /// How many chunks a running stream's producer may buffer ahead of the consumer.
 pub const STREAM_CHANNEL_WINDOW: usize = 4;
@@ -46,6 +47,10 @@ pub struct QueryStream {
     /// [`cancel`](QueryStream::cancel) trips it so execution aborts at its next checkpoint
     /// (not just at the next chunk boundary of the producer loop).
     token: Option<Arc<CancelToken>>,
+    /// The metrics ticket of the governed statement: finished with the stream's terminal
+    /// outcome (ok / error / cancelled / shed) exactly once; a stream dropped mid-flight
+    /// settles it as cancelled.
+    ticket: Option<QueryTicket>,
     rows: u64,
 }
 
@@ -89,6 +94,7 @@ impl QueryStream {
         pull: bool,
         buffered: Arc<AtomicUsize>,
         token: Arc<CancelToken>,
+        ticket: QueryTicket,
     ) -> QueryStream {
         QueryStream {
             schema: prepared.plan.schema(),
@@ -96,6 +102,7 @@ impl QueryStream {
             buffered,
             cancel: Arc::new(AtomicBool::new(false)),
             token: Some(token),
+            ticket: Some(ticket),
             rows: 0,
         }
     }
@@ -111,6 +118,7 @@ impl QueryStream {
             buffered: Arc::new(AtomicUsize::new(0)),
             cancel: Arc::new(AtomicBool::new(false)),
             token: None,
+            ticket: None,
             rows: 0,
         }
     }
@@ -123,6 +131,20 @@ impl QueryStream {
     /// Rows delivered so far.
     pub fn rows(&self) -> u64 {
         self.rows
+    }
+
+    /// The engine-wide query id of the governed statement behind this stream (0 for streams
+    /// over already-materialized results). Tags the query's log lines as `qid=<id>`.
+    pub fn query_id(&self) -> u64 {
+        self.ticket.as_ref().map(QueryTicket::query_id).unwrap_or(0)
+    }
+
+    /// Settle the metrics ticket with `outcome` and the rows delivered so far (idempotent;
+    /// no-op for ticketless streams).
+    fn finish_ticket(&mut self, outcome: QueryOutcome) {
+        if let Some(ticket) = &mut self.ticket {
+            ticket.finish(outcome, self.rows);
+        }
     }
 
     /// Cancel the query behind this stream: the executor aborts at its next cancellation
@@ -159,6 +181,7 @@ impl QueryStream {
                         pull,
                         self.buffered.clone(),
                         self.cancel.clone(),
+                        self.query_id(),
                     );
                 }
                 State::Running { rx, .. } => {
@@ -174,10 +197,20 @@ impl QueryStream {
                         // time the caller sees the end of the stream — not eventually.
                         Ok(Err(e)) => {
                             self.finish_running();
+                            self.finish_ticket(outcome_of(&e));
                             return Some(Err(e));
                         }
                         Err(_) => {
                             self.finish_running();
+                            // The channel closed without an error: a clean end — unless this
+                            // stream was cancelled and the producer simply stopped sending, in
+                            // which case the partial result must not count as ok.
+                            let outcome = if self.cancel.load(Ordering::Relaxed) {
+                                QueryOutcome::Cancelled
+                            } else {
+                                QueryOutcome::Ok
+                            };
+                            self.finish_ticket(outcome);
                             return None;
                         }
                     }
@@ -227,7 +260,18 @@ impl QueryStream {
             let State::Pending { executor, prepared, pool, .. } = state else { unreachable!() };
             // The parallel executor handles the row-budget fallback internally; this is the
             // exact pre-streaming execution path.
-            return Ok(executor.execute_parallel(&prepared.plan, &pool)?);
+            return match executor.execute_parallel(&prepared.plan, &pool) {
+                Ok(relation) => {
+                    self.rows = relation.num_rows() as u64;
+                    self.finish_ticket(QueryOutcome::Ok);
+                    Ok(relation)
+                }
+                Err(e) => {
+                    let e = ServiceError::from(e);
+                    self.finish_ticket(outcome_of(&e));
+                    Err(e)
+                }
+            };
         }
         let mut chunks = Vec::new();
         while let Some(item) = self.next_chunk() {
@@ -249,6 +293,9 @@ impl Drop for QueryStream {
     fn drop(&mut self) {
         self.cancel();
         self.finish_running();
+        // A stream abandoned before its terminal outcome was observed counts as cancelled
+        // (idempotent: a finished ticket keeps its recorded outcome).
+        self.finish_ticket(QueryOutcome::Cancelled);
     }
 }
 
@@ -265,9 +312,13 @@ fn spawn_producer(
     pull: bool,
     buffered: Arc<AtomicUsize>,
     cancel: Arc<AtomicBool>,
+    qid: u64,
 ) -> State {
     let (tx, rx) = std::sync::mpsc::sync_channel(STREAM_CHANNEL_WINDOW);
     let spawned = std::thread::Builder::new().name("perm-stream".into()).spawn(move || {
+        // Tag everything this producer (and the morsel workers it drives) logs with the
+        // query's id.
+        let _qid_guard = perm_exec::QueryIdGuard::new(qid);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             produce(&executor, &prepared, &pool, pull, &tx, &buffered, &cancel)
         }));

@@ -20,16 +20,43 @@ set -euo pipefail
 PORT="${1:-7661}"
 WORKERS="${2:-1}"
 FAILPOINTS="${3:-}"
+METRICS_PORT=$((PORT + 1000))
 BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
 LOG="$(mktemp)"
 trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -f "$LOG"' EXIT
 
 if [ -n "$FAILPOINTS" ]; then
-    PERM_FAILPOINTS="$FAILPOINTS" "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
+    PERM_FAILPOINTS="$FAILPOINTS" "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" \
+        --metrics-addr "127.0.0.1:$METRICS_PORT" >"$LOG" 2>&1 &
 else
-    "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" >"$LOG" 2>&1 &
+    "$BIN_DIR/permd" --port "$PORT" --workers "$WORKERS" \
+        --metrics-addr "127.0.0.1:$METRICS_PORT" >"$LOG" 2>&1 &
 fi
 SERVER_PID=$!
+
+# Scrape the Prometheus endpoint over bash's /dev/tcp (no curl dependency in the CI image).
+scrape_metrics() {
+    exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" || return 1
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+# Assert one scrape is a valid exposition: HTTP 200, the right content type, HELP/TYPE
+# comments, and every sample line shaped `perm_name{labels} value`.
+check_exposition() {
+    local body="$1" context="$2"
+    echo "$body" | head -1 | grep -q "HTTP/1.0 200" \
+        || { echo "FAIL: $context scrape not 200:"; echo "$body" | head -3; exit 1; }
+    echo "$body" | grep -q "Content-Type: text/plain; version=0.0.4" \
+        || { echo "FAIL: $context scrape content type wrong"; exit 1; }
+    echo "$body" | grep -q "^# TYPE perm_queries_total counter" \
+        || { echo "FAIL: $context scrape missing TYPE comment"; exit 1; }
+    local bad
+    bad="$(echo "$body" | sed '1,/^\r*$/d' | grep -v '^#' | grep -v '^\r*$' \
+        | grep -cv '^perm_[a-z_]*\({[^}]*}\)\? -\?[0-9.e+]*\r*$' || true)"
+    [ "$bad" -eq 0 ] || { echo "FAIL: $context scrape has $bad malformed sample lines"; exit 1; }
+}
 
 # Wait for the listening line (the server prints it once the socket is bound).
 for _ in $(seq 1 50); do
@@ -114,11 +141,42 @@ BIG_SQL="$(mktemp)"
     echo "SELECT PROVENANCE b.payload FROM big_probe a, big_build b WHERE a.k = b.k"
 } >"$BIG_SQL"
 
-STREAM_LINES="$("$BIN_DIR/perm-shell" --port "$PORT" <"$BIG_SQL" | wc -l)"
-rm -f "$BIG_SQL"
+STREAM_OUT="$(mktemp)"
+"$BIN_DIR/perm-shell" --port "$PORT" <"$BIG_SQL" >"$STREAM_OUT" &
+STREAM_PID=$!
+
+# Scrape the metrics endpoint while the 1M-row stream is (most likely) in flight: the endpoint
+# must answer valid expositions concurrently with query traffic, not just when idle.
+MID_SCRAPES=0
+while kill -0 "$STREAM_PID" 2>/dev/null && [ "$MID_SCRAPES" -lt 5 ]; do
+    if BODY="$(scrape_metrics)"; then
+        check_exposition "$BODY" "mid-stream"
+        MID_SCRAPES=$((MID_SCRAPES + 1))
+    fi
+    sleep 0.1
+done
+wait "$STREAM_PID"
+[ "$MID_SCRAPES" -ge 1 ] || { echo "FAIL: no successful mid-stream metrics scrape"; exit 1; }
+echo "mid-stream metrics scrapes: $MID_SCRAPES"
+
+STREAM_LINES="$(wc -l <"$STREAM_OUT")"
+rm -f "$BIG_SQL" "$STREAM_OUT"
 # 4 ok lines (2 CREATE + 2 INSERT) + 1 header + 1,000,000 rows.
 [ "$STREAM_LINES" -eq 1000005 ] \
     || { echo "FAIL: streamed 1M-row result has $STREAM_LINES lines, want 1000005"; exit 1; }
+
+# Idle scrape: with every session drained, the in-flight gauges must read exactly zero and the
+# outcome counters must have seen the smoke traffic.
+IDLE="$(scrape_metrics)" || { echo "FAIL: idle metrics scrape refused"; exit 1; }
+check_exposition "$IDLE" "idle"
+for GAUGE in perm_queries_active perm_governor_active_queries perm_stream_buffered_bytes; do
+    echo "$IDLE" | grep -q "^$GAUGE 0\r*$" \
+        || { echo "FAIL: idle scrape: $GAUGE not zero"; echo "$IDLE" | grep "^$GAUGE"; exit 1; }
+done
+echo "$IDLE" | grep -q '^perm_queries_total{outcome="ok"} [1-9]' \
+    || { echo "FAIL: idle scrape shows no completed queries"; exit 1; }
+echo "$IDLE" | grep -q '^perm_rows_streamed_total 10[0-9]\{5\}' \
+    || { echo "FAIL: idle scrape rows_streamed_total missing the 1M-row stream"; exit 1; }
 
 # Peak server RSS must stay flat: the streamed result is ~170 MB as text, but backpressure
 # (8 unacked chunk frames) bounds what the server ever buffers.
@@ -133,4 +191,8 @@ echo "streamed 1M rows, server peak RSS ${RSS_KB} kB (cap ${RSS_CAP_KB} kB)"
 SQL
 
 wait "$SERVER_PID"
+# The metrics endpoint must go down with the daemon.
+if scrape_metrics >/dev/null 2>&1; then
+    echo "FAIL: metrics endpoint still answering after shutdown"; exit 1
+fi
 echo "service smoke OK (workers=$WORKERS)"

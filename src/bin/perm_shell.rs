@@ -3,7 +3,8 @@
 //! Reads one request per line from stdin (or `-c` commands) and prints server responses.
 //! Plain lines are sent as SQL (`query <line>`); `\`-prefixed lines are meta commands:
 //! `\prepare <name> <sql>`, `\exec <name> (v1, ...)`, `\deallocate <name>`,
-//! `\set <budget|timeout_ms> <n|none>`, `\stats`, `\ping`, `\shutdown`, `\q`.
+//! `\set <budget|timeout_ms> <n|none>`, `\stats`, `\metrics`, `\profile`, `\ping`,
+//! `\shutdown`, `\q`.
 //!
 //! ```text
 //! perm-shell [--port N] [-c COMMAND]...

@@ -10,6 +10,7 @@
 //! ```text
 //! permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N]
 //!       [--mem-limit BYTES] [--session-mem-limit BYTES]
+//!       [--metrics-addr ADDR:PORT] [--log-level LEVEL] [--slow-query-ms N]
 //! ```
 //!
 //! `--bind` sets the listen address (default `127.0.0.1`); with `--port 0` (the default is
@@ -24,13 +25,32 @@
 //! the server keeps serving. Stop the server with the wire command `shutdown` (e.g.
 //! `\shutdown` in `perm-shell`).
 //!
+//! Observability:
+//!
+//! * `--metrics-addr ADDR:PORT` serves the engine's metrics registry as Prometheus text
+//!   exposition over plain HTTP (GET `/metrics`); the bound address is printed as
+//!   `permd metrics on ADDR:PORT`. The same text is available in-band as the wire `metrics`
+//!   command.
+//! * `--log-level error|warn|info|debug|trace` sets the structured-log level (default `info`:
+//!   connection open/close, query start/end with latency and outcome; `warn` adds only
+//!   degraded events — shed queries, slow queries, failpoint trips).
+//! * `--slow-query-ms N` logs a `slow_query` warning for every statement slower than `N`
+//!   milliseconds (0, the default, disables the slow-query log).
+//!
 //! The `PERM_FAILPOINTS` environment variable arms the fault-injection harness (testing only;
 //! see `perm_exec::faults`).
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use perm_core::ProvenanceRewriter;
+use perm_exec::log_error;
+use perm_service::metrics::render_prometheus;
 use perm_service::{serve, Engine, GovernorLimits};
 
 const DEFAULT_PORT: u16 = 7654;
@@ -45,6 +65,9 @@ struct Config {
     workers: Option<usize>,
     mem_limit: Option<usize>,
     session_mem_limit: Option<usize>,
+    metrics_addr: Option<String>,
+    log_level: perm_exec::Level,
+    slow_query_ms: u64,
 }
 
 impl Default for Config {
@@ -56,6 +79,9 @@ impl Default for Config {
             workers: None,
             mem_limit: None,
             session_mem_limit: None,
+            metrics_addr: None,
+            log_level: perm_exec::Level::Info,
+            slow_query_ms: 0,
         }
     }
 }
@@ -111,6 +137,18 @@ impl Config {
                         )
                     }
                 },
+                "--metrics-addr" => match args.next() {
+                    Some(v) if !v.is_empty() => config.metrics_addr = Some(v),
+                    _ => return Err("--metrics-addr requires an ADDR:PORT".into()),
+                },
+                "--log-level" => match args.next() {
+                    Some(v) => config.log_level = perm_exec::Level::parse(&v)?,
+                    None => return Err("--log-level requires error|warn|info|debug|trace".into()),
+                },
+                "--slow-query-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => config.slow_query_ms = v,
+                    None => return Err("--slow-query-ms requires a number".into()),
+                },
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -133,7 +171,74 @@ impl Config {
                 query_bytes: self.session_mem_limit,
             });
         }
+        engine.metrics().set_slow_query_ms(self.slow_query_ms);
         engine
+    }
+}
+
+/// Serve the Prometheus text exposition over plain HTTP/1.0 (one response per connection,
+/// `Connection: close`) until `stop` is set. No HTTP library: the endpoint answers
+/// `GET /metrics` (or `/`) and nothing else, which a hand-rolled request line parse covers.
+fn serve_metrics(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = answer_metrics_request(&mut stream, &engine);
+    }
+}
+
+fn answer_metrics_request(stream: &mut TcpStream, engine: &Engine) -> std::io::Result<()> {
+    // Only the request line matters; whatever headers fit in one read are discarded with it.
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if !method.eq_ignore_ascii_case("GET") {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", render_prometheus(&engine.stats_snapshot()))
+    } else {
+        ("404 Not Found", "not found; metrics are at /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// A running metrics endpoint: its bound address, stop flag and serving thread.
+struct MetricsEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl MetricsEndpoint {
+    fn spawn(addr: &str, engine: Arc<Engine>) -> std::io::Result<MetricsEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("perm-metrics".into())
+                .spawn(move || serve_metrics(listener, engine, stop))?
+        };
+        Ok(MetricsEndpoint { addr, stop, thread })
+    }
+
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
     }
 }
 
@@ -142,22 +247,43 @@ fn main() -> ExitCode {
         Ok(config) => config,
         Err(error) => return usage(&error),
     };
+    perm_exec::log::set_level(config.log_level);
     // Arm the fault-injection harness when PERM_FAILPOINTS is set (testing only; a no-op
     // otherwise).
     if let Err(e) = perm_exec::faults::init_from_env() {
-        eprintln!("permd: invalid PERM_FAILPOINTS: {e}");
+        log_error!("startup_failed", reason = "invalid PERM_FAILPOINTS", error = e);
         return ExitCode::FAILURE;
     }
 
-    let handle = match serve(Arc::new(config.engine()), (config.bind.as_str(), config.port)) {
+    let engine = Arc::new(config.engine());
+    let metrics_endpoint = match &config.metrics_addr {
+        Some(addr) => match MetricsEndpoint::spawn(addr, engine.clone()) {
+            Ok(endpoint) => Some(endpoint),
+            Err(e) => {
+                let error = e.to_string();
+                log_error!("startup_failed", reason = "metrics bind", addr = addr, error = error);
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let handle = match serve(engine, (config.bind.as_str(), config.port)) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("permd: failed to bind {}:{}: {e}", config.bind, config.port);
+            let addr = format!("{}:{}", config.bind, config.port);
+            let error = e.to_string();
+            log_error!("startup_failed", reason = "bind", addr = addr, error = error);
             return ExitCode::FAILURE;
         }
     };
     println!("permd listening on {}", handle.addr());
+    if let Some(endpoint) = &metrics_endpoint {
+        println!("permd metrics on {}", endpoint.addr);
+    }
     handle.wait();
+    if let Some(endpoint) = metrics_endpoint {
+        endpoint.shutdown();
+    }
     println!("permd: shut down");
     ExitCode::SUCCESS
 }
@@ -168,7 +294,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: permd [--bind ADDR] [--port N] [--plan-cache-capacity N] [--workers N] \
-         [--mem-limit BYTES] [--session-mem-limit BYTES]"
+         [--mem-limit BYTES] [--session-mem-limit BYTES] [--metrics-addr ADDR:PORT] \
+         [--log-level error|warn|info|debug|trace] [--slow-query-ms N]"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -252,6 +379,46 @@ mod tests {
         assert!(parse(&["--mem-limit"]).is_err());
         assert!(parse(&["--mem-limit", "0"]).is_err());
         assert!(parse(&["--session-mem-limit", "x"]).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let config = parse(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--log-level",
+            "debug",
+            "--slow-query-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(config.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(config.log_level, perm_exec::Level::Debug);
+        assert_eq!(config.slow_query_ms, 250);
+        assert_eq!(parse(&[]).unwrap().log_level, perm_exec::Level::Info);
+        assert!(parse(&["--log-level", "loud"]).is_err());
+        assert!(parse(&["--metrics-addr"]).is_err());
+        assert!(parse(&["--slow-query-ms", "abc"]).is_err());
+    }
+
+    #[test]
+    fn metrics_endpoint_answers_http_scrapes() {
+        let engine = Arc::new(Config::default().engine());
+        let endpoint = MetricsEndpoint::spawn("127.0.0.1:0", engine).unwrap();
+        let mut conn = TcpStream::connect(endpoint.addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("perm_queries_active 0"), "{response}");
+        // Unknown paths 404; the endpoint keeps serving connection after connection.
+        let mut conn = TcpStream::connect(endpoint.addr).unwrap();
+        conn.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+        endpoint.shutdown();
     }
 
     #[test]

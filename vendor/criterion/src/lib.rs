@@ -11,8 +11,15 @@
 //! total wall time is about `measurement_time`, and reports `min / median / max` per-iteration
 //! times on stdout. There are no plots, no statistics beyond the three quantiles, and no
 //! comparison to saved baselines — enough to track relative performance in `BENCH_NOTES.md`.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every finished benchmark
+//! additionally appends one JSON line to it — `{"name", "median_ns", "p95_ns", "min_ns",
+//! "max_ns", "samples", "iters", "rows"}` (`rows` comes from
+//! [`Throughput::Elements`], `null` when the benchmark set no throughput) — so CI can check
+//! machine-readable baselines in and diff them across runs.
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard black box, used to defeat constant folding.
@@ -62,7 +69,14 @@ impl Criterion {
         println!("\nbenchmark group: {name}");
         let (warm_up_time, measurement_time, sample_size) =
             (self.warm_up_time, self.measurement_time, self.sample_size);
-        BenchmarkGroup { _criterion: self, name, warm_up_time, measurement_time, sample_size }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            warm_up_time,
+            measurement_time,
+            sample_size,
+            throughput: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F)
@@ -70,7 +84,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let settings = (self.warm_up_time, self.measurement_time, self.sample_size);
-        run_benchmark(&id.into().label, settings, &mut body);
+        run_benchmark(&id.into().label, settings, None, &mut body);
     }
 }
 
@@ -81,6 +95,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -99,8 +114,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for API compatibility; throughput is not reported by the shim.
-    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+    /// Declare the per-iteration throughput of subsequent benchmarks in this group. The shim
+    /// does not print rates, but [`Throughput::Elements`] flows into the `rows` field of the
+    /// `CRITERION_JSON` record so baselines carry result cardinality.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -112,6 +130,7 @@ impl BenchmarkGroup<'_> {
         run_benchmark(
             &label,
             (self.warm_up_time, self.measurement_time, self.sample_size),
+            self.throughput,
             &mut body,
         );
         self
@@ -233,6 +252,7 @@ pub enum BatchSize {
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
     (warm_up_time, measurement_time, sample_size): (Duration, Duration, usize),
+    throughput: Option<Throughput>,
     body: &mut F,
 ) {
     let mut bencher = Bencher { warm_up_time, measurement_time, sample_size, result: None };
@@ -251,9 +271,69 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
                 samples.per_iter_ns.len(),
                 samples.iterations,
             );
+            if let Ok(path) = std::env::var("CRITERION_JSON") {
+                if !path.is_empty() {
+                    let line = json_record(label, &samples, throughput);
+                    if let Err(e) = append_line(&path, &line) {
+                        eprintln!("criterion shim: cannot append to {path}: {e}");
+                    }
+                }
+            }
         }
         None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
     }
+}
+
+/// Render the one-line JSON baseline record for a finished benchmark. `samples.per_iter_ns`
+/// must already be sorted ascending.
+fn json_record(label: &str, samples: &Samples, throughput: Option<Throughput>) -> String {
+    let n = samples.per_iter_ns.len();
+    let min = samples.per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = samples.per_iter_ns.last().copied().unwrap_or(0.0);
+    let median = if n == 0 { 0.0 } else { samples.per_iter_ns[n / 2] };
+    // Nearest-rank p95: smallest sample >= 95% of the distribution.
+    let p95 = if n == 0 {
+        0.0
+    } else {
+        let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+        samples.per_iter_ns[rank - 1]
+    };
+    let rows = match throughput {
+        Some(Throughput::Elements(rows)) => rows.to_string(),
+        Some(Throughput::Bytes(_)) | None => "null".to_string(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"median_ns\":{:.0},\"p95_ns\":{:.0},\"min_ns\":{:.0},\
+         \"max_ns\":{:.0},\"samples\":{},\"iters\":{},\"rows\":{}}}",
+        escape_json(label),
+        median,
+        p95,
+        min,
+        max,
+        n,
+        samples.iterations,
+        rows,
+    )
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{line}")
 }
 
 fn format_ns(ns: f64) -> String {
@@ -318,6 +398,20 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0, "routine should have been exercised");
+    }
+
+    #[test]
+    fn json_record_shape_and_escaping() {
+        let samples =
+            Samples { per_iter_ns: vec![100.0, 200.0, 300.0, 400.0, 1000.0], iterations: 50 };
+        let line = json_record("fig13/pro\"v\\e", &samples, Some(Throughput::Elements(7)));
+        assert_eq!(
+            line,
+            "{\"name\":\"fig13/pro\\\"v\\\\e\",\"median_ns\":300,\"p95_ns\":1000,\
+             \"min_ns\":100,\"max_ns\":1000,\"samples\":5,\"iters\":50,\"rows\":7}"
+        );
+        let no_rows = json_record("x", &samples, None);
+        assert!(no_rows.ends_with("\"rows\":null}"), "{no_rows}");
     }
 
     #[test]
