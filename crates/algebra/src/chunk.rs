@@ -72,6 +72,29 @@ impl Bitmap {
         self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
+    /// Append all bits of `other`, a word at a time (the per-bit [`Bitmap::push`] loop is too
+    /// slow for column concatenation).
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        if other.len == 0 {
+            return;
+        }
+        let offset = self.len % 64;
+        if offset == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            let shift = 64 - offset;
+            for &w in &other.words {
+                if let Some(last) = self.words.last_mut() {
+                    *last |= w << offset;
+                }
+                self.words.push(w >> shift);
+            }
+        }
+        self.len += other.len;
+        self.words.truncate(self.len.div_ceil(64));
+        self.clear_tail();
+    }
+
     /// Append a bit.
     #[inline]
     pub fn push(&mut self, set: bool) {
@@ -599,7 +622,7 @@ impl Array {
                     for a in arrays {
                         if let Array::$variant { values: v, validity: b } = a {
                             values.extend_from_slice(v);
-                            b.iter().for_each(|bit| validity.push(bit));
+                            validity.extend_from(b);
                         }
                     }
                     return Array::$variant { values, validity };
@@ -648,6 +671,23 @@ impl Array {
                 }
                 builder.finish()
             }
+        }
+    }
+
+    /// Like [`Array::take`], but gathers plain arrays into a [`Array::Dict`] view sharing
+    /// `self` as the dictionary (a u32 index per output row) instead of cloning every value.
+    /// Existing views compose by index so the result never nests. `ORDER BY` uses this to
+    /// re-chunk wide sorted payloads: the per-cell cost is an index write, and the values —
+    /// text columns of provenance results in particular — stay shared by refcount.
+    pub fn take_view(self: &Arc<Array>, indices: &[u32]) -> Array {
+        match self.as_ref() {
+            Array::Null { .. } => Array::Null { len: indices.len() },
+            Array::Dict { indices: inner, dict } => Array::Dict {
+                indices: indices.iter().map(|&i| inner[i as usize]).collect(),
+                dict: dict.clone(),
+            },
+            Array::RunLength { .. } => self.take(indices),
+            _ => Array::Dict { indices: indices.to_vec(), dict: self.clone() },
         }
     }
 

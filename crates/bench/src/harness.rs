@@ -118,6 +118,10 @@ impl BenchConfig {
     /// Build a [`PermDb`] for one scale, with this configuration's execution limits.
     pub fn database(&self, scale: ScalePreset) -> PermDb {
         let catalog = generate_catalog(scale.tpch_scale(), self.seed);
+        // Post-load ANALYZE: statistics otherwise build lazily inside the first measured
+        // query, which would charge a whole-table collection scan to that query's latency
+        // (the paper's figures measure warm-catalog execution).
+        catalog.analyze();
         let options = ProvenanceOptions::default()
             .with_row_budget(self.row_budget)
             .with_timeout(self.timeout);

@@ -38,6 +38,8 @@ pub mod optimizer;
 pub mod parallel;
 pub mod profile;
 pub mod reference;
+pub mod reorder;
+pub mod stats;
 mod vector;
 
 pub use error::ExecError;
@@ -47,7 +49,11 @@ pub use executor::{
     QueryMemory,
 };
 pub use log::{Level, QueryIdGuard};
-pub use optimizer::{fold_expr, Optimizer};
+pub use optimizer::{fold_expr, Optimizer, OptimizerReport};
 pub use parallel::WorkerPool;
 pub use profile::{ProfileSink, QueryProfile};
 pub use reference::execute_reference;
+pub use reorder::{ReorderPolicy, ReorderReport};
+pub use stats::{
+    render_plan_with_estimates, ColumnEstimate, Estimator, PlanEstimate, TableStatsView,
+};

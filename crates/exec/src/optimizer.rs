@@ -34,22 +34,72 @@ use perm_algebra::{JoinKind, LogicalPlan, ScalarExpr, Tuple, Value};
 
 use crate::error::ExecError;
 use crate::eval::evaluate;
+use crate::reorder::{reorder_joins, swap_build_sides, ReorderPolicy, ReorderReport};
+use crate::stats::{Estimator, TableStatsView};
 
-/// The rule-based optimizer.
-#[derive(Debug, Clone, Default)]
+/// What the cost-based passes did during one [`Optimizer::optimize_with_stats`] run;
+/// the engine feeds these counters into the metrics registry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerReport {
+    /// Join regions whose order was changed by the cost-based search.
+    pub joins_reordered: u64,
+    /// Joins whose build (right) side was swapped to the estimated-smaller input.
+    pub build_sides_swapped: u64,
+    /// How many plan nodes the cardinality estimator was asked about.
+    pub estimator_invocations: u64,
+}
+
+/// The rule-based optimizer, extended with statistics-driven join reordering.
+#[derive(Debug, Clone)]
 pub struct Optimizer {
     /// Maximum number of rule application passes.
     max_passes: usize,
+    /// Whether the cost-based join-reordering pass runs (build-side swapping always runs
+    /// when statistics are available).
+    reorder: bool,
+    /// Thresholds the cost-based passes must clear before rewriting a plan.
+    policy: ReorderPolicy,
+}
+
+impl Default for Optimizer {
+    fn default() -> Optimizer {
+        Optimizer::new()
+    }
 }
 
 impl Optimizer {
     /// Create an optimizer with the default number of passes.
     pub fn new() -> Optimizer {
-        Optimizer { max_passes: 5 }
+        Optimizer { max_passes: 5, reorder: true, policy: ReorderPolicy::default() }
     }
 
-    /// Optimize a plan.
+    /// Enable or disable the join-reordering pass. Build-side selection stays on: the hash
+    /// join should build on the smaller input even when full reordering is off.
+    pub fn with_reorder(mut self, reorder: bool) -> Optimizer {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Override the thresholds the cost-based passes must clear before rewriting a plan
+    /// (the differential tests use [`ReorderPolicy::aggressive`] to maximize plan churn).
+    pub fn with_reorder_policy(mut self, policy: ReorderPolicy) -> Optimizer {
+        self.policy = policy;
+        self
+    }
+
+    /// Optimize a plan without table statistics (rule-based passes only; the cost-based
+    /// passes see no stats and leave join shapes untouched).
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan, ExecError> {
+        Ok(self.optimize_with_stats(plan, &TableStatsView::empty())?.0)
+    }
+
+    /// Optimize a plan with table statistics: the rule-based normalization fixpoint, then
+    /// cost-based join reordering and build-side selection, then column pruning.
+    pub fn optimize_with_stats(
+        &self,
+        plan: &LogicalPlan,
+        stats: &TableStatsView,
+    ) -> Result<(LogicalPlan, OptimizerReport), ExecError> {
         let mut current = plan.clone();
         let passes = if self.max_passes == 0 { 5 } else { self.max_passes };
         for _ in 0..passes {
@@ -70,13 +120,37 @@ impl Optimizer {
                 break;
             }
         }
+        let mut report = OptimizerReport::default();
+        // Cost-based passes run downstream of normalization (joins exist, selections are
+        // pushed) and upstream of pruning (which cleans up the permutation projections the
+        // passes insert). Without statistics every estimate is the same default, so the
+        // passes could only churn; skip them entirely.
+        if !stats.is_empty() {
+            let estimator = Estimator::new(stats);
+            let mut counters = ReorderReport::default();
+            if self.reorder {
+                if let Some(reordered) =
+                    reorder_joins(&current, &estimator, &self.policy, &mut counters)?
+                {
+                    current = reordered;
+                }
+            }
+            if let Some(swapped) =
+                swap_build_sides(&current, &estimator, &self.policy, &mut counters)?
+            {
+                current = swapped;
+            }
+            report.joins_reordered = counters.joins_reordered;
+            report.build_sides_swapped = counters.build_sides_swapped;
+            report.estimator_invocations = estimator.invocations();
+        }
         let pruned = prune_columns(&current)?;
         // Sub-plans of uncorrelated sublinks run as independent queries; give each the full
         // treatment exactly once (the fixpoint loop above deliberately skips them so that it
         // does not re-optimize them every pass).
         match self.optimize_sublinks(&pruned)? {
-            Some(with_sublinks) => Ok(with_sublinks),
-            None => Ok(pruned),
+            Some(with_sublinks) => Ok((with_sublinks, report)),
+            None => Ok((pruned, report)),
         }
     }
 
@@ -892,7 +966,7 @@ fn fusible_leaf(plan: &LogicalPlan) -> bool {
 }
 
 /// Wrap `plan` in a plain-column projection onto `positions` (preserving attribute names).
-fn project_onto(plan: LogicalPlan, positions: &[usize]) -> LogicalPlan {
+pub(crate) fn project_onto(plan: LogicalPlan, positions: &[usize]) -> LogicalPlan {
     let schema = plan.schema();
     let exprs = positions
         .iter()
@@ -943,7 +1017,10 @@ fn remap_expr(expr: &ScalarExpr, kept: &[usize]) -> ScalarExpr {
 }
 
 /// Apply `f` to every child of `plan`; `None` when no child changed (so `plan` can be shared).
-fn rebuild_children<F>(plan: &LogicalPlan, f: &F) -> Result<Option<LogicalPlan>, ExecError>
+pub(crate) fn rebuild_children<F>(
+    plan: &LogicalPlan,
+    f: &F,
+) -> Result<Option<LogicalPlan>, ExecError>
 where
     F: Fn(&LogicalPlan) -> Result<Option<LogicalPlan>, ExecError>,
 {

@@ -64,7 +64,7 @@ use crate::executor::{
     hash_joinable, set_operation, split_equi_join_condition, strip_transparent, Accumulator,
     EquiKey, ExecContext, Executor,
 };
-use crate::vector::{chunk_from_columns, project_chunk};
+use crate::vector::{chunk_from_columns, project_chunk, JoinFilter};
 
 /// Sentinel terminating a hash-join bucket chain.
 const CHAIN_END: u32 = u32::MAX;
@@ -604,17 +604,27 @@ impl Executor {
             None => (Vec::new(), Vec::new()),
         };
         let (mode, filter) = if equi_keys.is_empty() {
-            let filter = condition.map(|c| CompiledExpr::compile(c, self, ctx)).transpose()?;
+            let filter = match condition {
+                Some(c) => Some(JoinFilter::new(
+                    CompiledExpr::compile(c, self, ctx)?,
+                    c,
+                    left_arity,
+                    right_arity,
+                )),
+                None => None,
+            };
             (ParJoinMode::Loop, filter)
         } else {
             let filter = if residual.is_empty() {
                 None
             } else {
-                Some(CompiledExpr::compile(
-                    &ScalarExpr::conjunction(residual.into_iter().cloned().collect()),
-                    self,
-                    ctx,
-                )?)
+                let source = ScalarExpr::conjunction(residual.into_iter().cloned().collect());
+                Some(JoinFilter::new(
+                    CompiledExpr::compile(&source, self, ctx)?,
+                    &source,
+                    left_arity,
+                    right_arity,
+                ))
             };
             // `EquiKey.right` indexes the combined schema; rebase it onto the build side.
             let build_keys: Vec<EquiKey> = equi_keys
@@ -971,7 +981,7 @@ fn probe_morsel(
     probe: &DataChunk,
     build: &DataChunk,
     mode: &ParJoinMode,
-    filter: Option<&CompiledExpr>,
+    filter: Option<&JoinFilter>,
     kind: JoinKind,
     matched: Option<&[AtomicBool]>,
     ctx: &ExecContext,
@@ -1014,12 +1024,36 @@ fn probe_morsel(
         out.push(chunk_from_columns(columns, rows));
     };
 
+    let mut chain: Vec<u32> = Vec::new();
     for row in 0..probe.num_rows() {
-        let mut cursor: ProbeCursor = match mode {
-            ParJoinMode::Hash(table) => ProbeCursor::Chain(table.chain_start(probe, row)),
-            ParJoinMode::Loop => ProbeCursor::Index(0),
+        // Loop mode with a filter and long filtered hash chains evaluate the condition
+        // vectorized for the whole probe row (see `JoinFilter`); short chains stay lazy.
+        let mut cursor: ProbeCursor = match (mode, filter) {
+            (ParJoinMode::Loop, Some(f)) => {
+                ctx.check_deadline()?;
+                ProbeCursor::Matches(f.matches_vectorized(probe, row, build, None)?.into_iter())
+            }
+            (ParJoinMode::Hash(table), Some(f)) => {
+                let start = table.chain_start(probe, row);
+                chain.clear();
+                let mut pos = start;
+                while pos != CHAIN_END {
+                    chain.push(pos);
+                    pos = table.next[pos as usize];
+                }
+                if chain.len() >= crate::vector::VECTORIZED_FILTER_THRESHOLD {
+                    ctx.check_deadline()?;
+                    ProbeCursor::Matches(
+                        f.matches_vectorized(probe, row, build, Some(&chain))?.into_iter(),
+                    )
+                } else {
+                    ProbeCursor::Chain(start)
+                }
+            }
+            (ParJoinMode::Hash(table), None) => ProbeCursor::Chain(table.chain_start(probe, row)),
+            (ParJoinMode::Loop, None) => ProbeCursor::Index(0),
         };
-        let mut probe_tuple: Option<Tuple> = None;
+        let prefiltered = matches!(cursor, ProbeCursor::Matches(_));
         let mut row_matched = false;
         loop {
             let candidate = match &mut cursor {
@@ -1042,18 +1076,18 @@ fn probe_morsel(
                     *pos += 1;
                     i
                 }
+                ProbeCursor::Matches(matches) => match matches.next() {
+                    Some(i) => i as usize,
+                    None => break,
+                },
             };
             evals += 1;
             if evals & 0x3FF == 0 {
                 ctx.check_deadline()?;
             }
             let keep = match filter {
-                None => true,
-                Some(f) => {
-                    let left = probe_tuple.get_or_insert_with(|| probe.tuple_at(row));
-                    let combined = left.concat(&build.tuple_at(candidate));
-                    f.eval_predicate(&combined)?
-                }
+                Some(f) if !prefiltered => f.matches_pair(probe, row, build, candidate)?,
+                _ => true,
             };
             if keep {
                 row_matched = true;
@@ -1084,6 +1118,8 @@ fn probe_morsel(
 enum ProbeCursor {
     Chain(u32),
     Index(usize),
+    /// Pre-filtered matches: build rows that already passed the vectorized join filter.
+    Matches(std::vec::IntoIter<u32>),
 }
 
 // ---------------------------------------------------------------------------

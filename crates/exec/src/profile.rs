@@ -23,6 +23,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use perm_algebra::LogicalPlan;
 
+use crate::stats::{Estimator, TableStatsView};
+
 /// Per-operator accumulators. All increments are relaxed: slots are only read after the query
 /// finished (or for a monotone snapshot), never for synchronization.
 #[derive(Debug, Default)]
@@ -43,6 +45,9 @@ struct NodeStats {
 struct NodeSlot {
     label: String,
     depth: usize,
+    /// The optimizer's estimated output rows for this operator, when statistics were
+    /// available at planning time (rendered as `est_rows=` next to the actuals).
+    est_rows: Option<u64>,
     stats: NodeStats,
 }
 
@@ -68,10 +73,35 @@ impl ProfileSink {
 
     fn walk(&mut self, plan: &LogicalPlan, depth: usize) {
         let idx = self.nodes.len();
-        self.nodes.push(NodeSlot { label: plan.describe(), depth, stats: NodeStats::default() });
+        self.nodes.push(NodeSlot {
+            label: plan.describe(),
+            depth,
+            est_rows: None,
+            stats: NodeStats::default(),
+        });
         self.index.insert(node_key(plan), idx);
         for child in plan.children() {
             self.walk(child, depth + 1);
+        }
+    }
+
+    /// Annotate every slot with the cardinality estimator's predicted output rows, so the
+    /// rendered profile shows estimate vs. actual per operator (mis-estimation made visible).
+    /// Must be called with the same plan the sink was built from, before execution starts.
+    pub fn annotate_estimates(&mut self, plan: &LogicalPlan, stats: &TableStatsView) {
+        let estimator = Estimator::new(stats);
+        self.annotate_node(plan, &estimator);
+    }
+
+    fn annotate_node(&mut self, plan: &LogicalPlan, estimator: &Estimator<'_>) {
+        if let Some(idx) = self.index.get(&node_key(plan)).copied() {
+            let est = estimator.estimate(plan);
+            if let Some(slot) = self.nodes.get_mut(idx) {
+                slot.est_rows = Some(est.rows.round() as u64);
+            }
+        }
+        for child in plan.children() {
+            self.annotate_node(child, estimator);
         }
     }
 
@@ -115,6 +145,7 @@ impl ProfileSink {
                 .map(|slot| OpProfile {
                     label: slot.label.clone(),
                     depth: slot.depth,
+                    est_rows: slot.est_rows,
                     nanos: slot.stats.nanos.load(Ordering::Relaxed),
                     rows_out: slot.stats.rows_out.load(Ordering::Relaxed),
                     chunks: slot.stats.chunks.load(Ordering::Relaxed),
@@ -133,6 +164,8 @@ pub struct OpProfile {
     pub label: String,
     /// Depth in the plan tree (root = 0); drives the indented rendering.
     pub depth: usize,
+    /// The optimizer's estimated output rows (None when no statistics were available).
+    pub est_rows: Option<u64>,
     /// Wall time in this operator, inclusive of its children (nanoseconds).
     pub nanos: u64,
     /// Rows the operator produced.
@@ -169,6 +202,9 @@ impl QueryProfile {
                 out.push_str("  ");
             }
             out.push_str(&op.label);
+            if let Some(est) = op.est_rows {
+                let _ = write!(out, "  (est_rows={est})");
+            }
             if op.touched {
                 let _ = write!(
                     out,

@@ -220,20 +220,28 @@ impl Executor {
                     None => (Vec::new(), Vec::new()),
                 };
                 let (mode, filter) = if equi_keys.is_empty() {
-                    let filter = condition
-                        .as_ref()
-                        .map(|c| CompiledExpr::compile(c, self, ctx))
-                        .transpose()?;
+                    let filter = match condition {
+                        Some(c) => Some(JoinFilter::new(
+                            CompiledExpr::compile(c, self, ctx)?,
+                            c,
+                            left_arity,
+                            right_arity,
+                        )),
+                        None => None,
+                    };
                     (ChunkJoinMode::Loop, filter)
                 } else {
                     let filter = if residual.is_empty() {
                         None
                     } else {
-                        Some(CompiledExpr::compile(
-                            &ScalarExpr::conjunction(residual.into_iter().cloned().collect()),
-                            self,
-                            ctx,
-                        )?)
+                        let source =
+                            ScalarExpr::conjunction(residual.into_iter().cloned().collect());
+                        Some(JoinFilter::new(
+                            CompiledExpr::compile(&source, self, ctx)?,
+                            &source,
+                            left_arity,
+                            right_arity,
+                        ))
                     };
                     (ChunkJoinMode::hash(&build, equi_keys, left_arity), filter)
                 };
@@ -249,7 +257,6 @@ impl Executor {
                     build_matched: vec![false; build_rows],
                     probe: None,
                     probe_row: 0,
-                    probe_tuple: None,
                     row_matched: false,
                     cursor: Cursor::Index(0),
                     left_idx: Vec::new(),
@@ -517,6 +524,114 @@ impl Iterator for ChunkDistinctIter<'_> {
 /// Sentinel terminating a hash-join bucket chain.
 const CHAIN_END: u32 = u32::MAX;
 
+/// Candidate count at which a join filter switches from per-pair tuple evaluation to the
+/// vectorized path: below this the per-call chunk assembly costs more than it saves.
+pub(crate) const VECTORIZED_FILTER_THRESHOLD: usize = 8;
+
+/// A compiled join condition (loop-mode full condition or hash-mode residual) plus the
+/// combined-schema columns it actually reads, split by side.
+///
+/// Provenance rewrites push joins whose inputs carry dozens of duplicated payload columns;
+/// deciding a match must not materialize those payloads. Both evaluation strategies below touch
+/// only the columns the condition references: the vectorized path broadcasts the probe row's
+/// used values and gathers the used build columns into a narrow chunk (everything else is a
+/// NULL placeholder column that is never read), the per-pair path boxes used cells into a
+/// sparse tuple.
+pub(crate) struct JoinFilter {
+    expr: CompiledExpr,
+    /// Probe-side columns the condition reads.
+    probe_cols: Vec<usize>,
+    /// Build-side columns the condition reads, rebased onto the build chunk.
+    build_cols: Vec<usize>,
+    left_arity: usize,
+    right_arity: usize,
+}
+
+impl JoinFilter {
+    /// `source` is the uncompiled condition `expr` came from (used for column analysis); a
+    /// sublink-bearing condition may read columns invisible to `columns_used`, so it
+    /// conservatively reads everything.
+    pub(crate) fn new(
+        expr: CompiledExpr,
+        source: &ScalarExpr,
+        left_arity: usize,
+        right_arity: usize,
+    ) -> JoinFilter {
+        let used: Vec<usize> = if source.has_sublink() {
+            (0..left_arity + right_arity).collect()
+        } else {
+            source.columns_used()
+        };
+        let probe_cols: Vec<usize> = used.iter().copied().filter(|&c| c < left_arity).collect();
+        let build_cols: Vec<usize> =
+            used.iter().filter(|&&c| c >= left_arity).map(|&c| c - left_arity).collect();
+        JoinFilter { expr, probe_cols, build_cols, left_arity, right_arity }
+    }
+
+    /// Evaluate the condition for probe row `row` against `candidates` build rows (`None` =
+    /// the whole build side) in one vectorized pass; returns the matching build-row indices in
+    /// candidate order. Error semantics match per-pair evaluation: kernels run in row order,
+    /// so the first failing candidate raises.
+    pub(crate) fn matches_vectorized(
+        &self,
+        probe: &DataChunk,
+        row: usize,
+        build: &DataChunk,
+        candidates: Option<&[u32]>,
+    ) -> Result<Vec<u32>, ExecError> {
+        let rows = candidates.map_or(build.num_rows(), <[u32]>::len);
+        if rows == 0 {
+            return Ok(Vec::new());
+        }
+        let mut columns: Vec<Arc<Array>> = Vec::with_capacity(self.left_arity + self.right_arity);
+        let mut probe_used = self.probe_cols.iter().peekable();
+        for c in 0..self.left_arity {
+            if probe_used.next_if(|&&u| u == c).is_some() {
+                columns.push(Arc::new(Array::repeat(&probe.column(c).value(row), rows)));
+            } else {
+                columns.push(Arc::new(Array::Null { len: rows }));
+            }
+        }
+        let mut build_used = self.build_cols.iter().peekable();
+        for c in 0..self.right_arity {
+            if build_used.next_if(|&&u| u == c).is_some() {
+                match candidates {
+                    Some(idx) => columns.push(Arc::new(gather_build(build.column(c), idx))),
+                    None => columns.push(build.column(c).clone()),
+                }
+            } else {
+                columns.push(Arc::new(Array::Null { len: rows }));
+            }
+        }
+        let mask = self.expr.eval_mask(&chunk_from_columns(columns, rows))?;
+        Ok(mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| candidates.map_or(i as u32, |idx| idx[i]))
+            .collect())
+    }
+
+    /// Evaluate one (probe row, build row) pair through a sparse tuple: only used cells are
+    /// boxed, the rest stay NULL. Used for short hash chains where vectorization doesn't pay.
+    pub(crate) fn matches_pair(
+        &self,
+        probe: &DataChunk,
+        row: usize,
+        build: &DataChunk,
+        candidate: usize,
+    ) -> Result<bool, ExecError> {
+        let mut values = vec![Value::Null; self.left_arity + self.right_arity];
+        for &c in &self.probe_cols {
+            values[c] = probe.column(c).value(row);
+        }
+        for &c in &self.build_cols {
+            values[self.left_arity + c] = build.column(c).value(candidate);
+        }
+        self.expr.eval_predicate(&Tuple::new(values))
+    }
+}
+
 /// The probe strategy of a vectorized join: hash buckets over the flattened build-side key
 /// columns, or plain nested loops.
 enum ChunkJoinMode {
@@ -611,6 +726,8 @@ enum Cursor {
     Chain(u32),
     /// Loop mode: next build-row index.
     Index(usize),
+    /// Pre-filtered matches: build rows that already passed the vectorized join filter.
+    Matches(std::vec::IntoIter<u32>),
 }
 
 /// Vectorized join: the probe side streams chunk-wise, the build side is flattened column-wise.
@@ -625,13 +742,11 @@ struct ChunkJoinIter<'a> {
     right_arity: usize,
     mode: ChunkJoinMode,
     /// Residual predicate (hash mode) or the full join condition (loop mode).
-    filter: Option<CompiledExpr>,
+    filter: Option<JoinFilter>,
     build_matched: Vec<bool>,
     /// Current probe chunk and scan position within it.
     probe: Option<DataChunk>,
     probe_row: usize,
-    /// Current probe row materialized as a tuple (only when a residual filter needs it).
-    probe_tuple: Option<Tuple>,
     row_matched: bool,
     cursor: Cursor,
     /// Accumulated output pairs: indices into `probe` / `build` (`u32::MAX` = NULL padding).
@@ -672,7 +787,48 @@ impl<'a> ChunkJoinIter<'a> {
                 *pos += 1;
                 Some(i)
             }
+            Cursor::Matches(matches) => matches.next().map(|i| i as usize),
         }
+    }
+
+    /// Position the cursor at probe row `row`'s candidates. Loop mode with a filter and long
+    /// filtered hash chains evaluate the condition vectorized up front (the cursor then walks
+    /// the precomputed matches); short chains keep the lazy per-candidate cursor.
+    fn start_row(&mut self, probe: &DataChunk, row: usize) -> Result<(), ExecError> {
+        if let Some(f) = &self.filter {
+            match &self.mode {
+                ChunkJoinMode::Loop => {
+                    self.ctx.check_deadline()?;
+                    self.cursor = Cursor::Matches(
+                        f.matches_vectorized(probe, row, &self.build, None)?.into_iter(),
+                    );
+                    return Ok(());
+                }
+                ChunkJoinMode::Hash { next, .. } => {
+                    let Cursor::Chain(start) = self.mode.cursor_for(probe, row) else {
+                        unreachable!("hash mode yields chain cursors");
+                    };
+                    let mut chain: Vec<u32> = Vec::new();
+                    let mut pos = start;
+                    while pos != CHAIN_END {
+                        chain.push(pos);
+                        pos = next[pos as usize];
+                    }
+                    if chain.len() >= VECTORIZED_FILTER_THRESHOLD {
+                        self.ctx.check_deadline()?;
+                        self.cursor = Cursor::Matches(
+                            f.matches_vectorized(probe, row, &self.build, Some(&chain))?
+                                .into_iter(),
+                        );
+                    } else {
+                        self.cursor = Cursor::Chain(start);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        self.cursor = self.mode.cursor_for(probe, row);
+        Ok(())
     }
 
     /// Gather the accumulated index pairs into an output chunk and charge the row guard.
@@ -750,10 +906,11 @@ impl Iterator for ChunkJoinIter<'_> {
                         if let Err(e) = crate::faults::fire("join-probe") {
                             return Some(Err(e));
                         }
-                        self.cursor = self.mode.cursor_for(&chunk, 0);
+                        if let Err(e) = self.start_row(&chunk, 0) {
+                            return Some(Err(e));
+                        }
                         self.row_matched = false;
                         self.probe_row = 0;
-                        self.probe_tuple = None;
                         self.probe = Some(chunk);
                         continue;
                     }
@@ -769,16 +926,15 @@ impl Iterator for ChunkJoinIter<'_> {
                             return Some(Err(e));
                         }
                     }
-                    let keep = match (&self.filter, &mut self.probe_tuple) {
-                        (None, _) => true,
-                        (Some(f), probe_tuple) => {
-                            let left = probe_tuple.get_or_insert_with(|| probe.tuple_at(i));
-                            let combined = left.concat(&self.build.tuple_at(ri));
-                            match f.eval_predicate(&combined) {
+                    let prefiltered = matches!(self.cursor, Cursor::Matches(_));
+                    let keep = match &self.filter {
+                        Some(f) if !prefiltered => {
+                            match f.matches_pair(&probe, i, &self.build, ri) {
                                 Ok(keep) => keep,
                                 Err(e) => return Some(Err(e)),
                             }
                         }
+                        _ => true,
                     };
                     if keep {
                         self.row_matched = true;
@@ -800,10 +956,11 @@ impl Iterator for ChunkJoinIter<'_> {
                     self.pads += 1;
                 }
                 self.probe_row += 1;
-                self.probe_tuple = None;
                 self.row_matched = false;
                 if self.probe_row < probe.num_rows() {
-                    self.cursor = self.mode.cursor_for(&probe, self.probe_row);
+                    if let Err(e) = self.start_row(&probe, self.probe_row) {
+                        return Some(Err(e));
+                    }
                 }
                 if self.left_idx.len() >= self.capacity {
                     return Some(self.emit());
@@ -893,6 +1050,45 @@ fn aggregate_chunks(
     Ok(out)
 }
 
+/// Order-preserving `(valid, bits)` encoding of a native single-column sort key, matching
+/// [`Array::compare`]'s total order: NULLs first, then values, NaN last among floats. Lets the
+/// hot single-key sort run on plain integer comparisons instead of the polymorphic comparator.
+fn encoded_sort_keys(col: &Array) -> Option<Vec<(bool, u64)>> {
+    const SIGN: u64 = 1 << 63;
+    match col {
+        Array::Int { values, validity } => Some(
+            values.iter().enumerate().map(|(i, &v)| (validity.get(i), (v as u64) ^ SIGN)).collect(),
+        ),
+        Array::Date { values, validity } => Some(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (validity.get(i), (v as i64 as u64) ^ SIGN))
+                .collect(),
+        ),
+        Array::Float { values, validity } => Some(
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let enc = if v.is_nan() {
+                        u64::MAX
+                    } else {
+                        let bits = v.to_bits();
+                        if bits & SIGN != 0 {
+                            !bits
+                        } else {
+                            bits | SIGN
+                        }
+                    };
+                    (validity.get(i), enc)
+                })
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
 /// Columnar sort: flatten the input chunks, evaluate the key expressions once into key columns,
 /// sort a row-index permutation with `sort_unstable_by` (bag semantics — tie order is
 /// unspecified) and gather the output batches. No row is ever materialized.
@@ -902,28 +1098,50 @@ fn sort_chunks(
     keys: &[(CompiledExpr, SortOrder)],
     capacity: usize,
 ) -> Result<Vec<DataChunk>, ExecError> {
-    let flat = DataChunk::concat(arity, &chunks);
-    let rows = flat.num_rows();
+    let rows: usize = chunks.iter().map(DataChunk::num_rows).sum();
     if rows == 0 {
         return Ok(Vec::new());
     }
+    let flat = DataChunk::concat(arity, &chunks);
     let key_cols: Vec<Arc<Array>> =
         keys.iter().map(|(e, _)| e.eval_array(&flat)).collect::<Result<_, _>>()?;
     let mut permutation: Vec<u32> = (0..rows as u32).collect();
-    permutation.sort_unstable_by(|&a, &b| {
-        for (col, (_, order)) in key_cols.iter().zip(keys) {
-            let ord = col.compare(a as usize, col, b as usize);
-            let ord = match order {
-                SortOrder::Ascending => ord,
-                SortOrder::Descending => ord.reverse(),
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
+    let encoded = match keys {
+        [(_, order)] => encoded_sort_keys(&key_cols[0]).map(|enc| (*order, enc)),
+        _ => None,
+    };
+    match encoded {
+        // Single native key: sort on a precomputed order-preserving integer encoding instead
+        // of the polymorphic comparator.
+        Some((SortOrder::Ascending, enc)) => {
+            permutation.sort_unstable_by_key(|&i| enc[i as usize]);
         }
-        std::cmp::Ordering::Equal
-    });
-    Ok(permutation.chunks(capacity).map(|batch| flat.take(batch)).collect())
+        Some((SortOrder::Descending, enc)) => {
+            permutation.sort_unstable_by_key(|&i| std::cmp::Reverse(enc[i as usize]));
+        }
+        None => permutation.sort_unstable_by(|&a, &b| {
+            for (col, (_, order)) in key_cols.iter().zip(keys) {
+                let ord = col.compare(a as usize, col, b as usize);
+                let ord = match order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        }),
+    }
+    // Emit each output batch as dictionary views over the flattened columns: re-chunking the
+    // wide sorted payload costs a u32 index per cell instead of cloning every value.
+    Ok(permutation
+        .chunks(capacity)
+        .map(|batch| {
+            let columns = flat.columns().iter().map(|col| Arc::new(col.take_view(batch))).collect();
+            chunk_from_columns(columns, batch.len())
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use perm_algebra::{LogicalPlan, Schema, Value};
-use perm_exec::{CancelToken, ExecOptions, Executor, Optimizer, WorkerPool};
+use perm_exec::{CancelToken, ExecOptions, Executor, Optimizer, TableStatsView, WorkerPool};
 use perm_sql::{AnalyzedStatement, Analyzer, ProvenanceRewrite};
 use perm_storage::{Catalog, Relation};
 
@@ -154,6 +154,7 @@ impl Engine {
             governor: self.governor.stats(),
             stream_buffered: self.stream_buffered_bytes(),
             metrics: self.metrics.snapshot(),
+            tables: self.catalog.table_infos(),
         }
     }
 
@@ -201,9 +202,19 @@ impl Engine {
         Session::new(self.clone())
     }
 
-    /// Run a plan through the optimizer.
+    /// A statistics view over every stored table, consistent with the current catalog state
+    /// (per-table stats are cached on the relations, so repeat calls are cheap Arc clones).
+    pub fn table_stats_view(&self) -> TableStatsView {
+        TableStatsView::from_snapshot(&self.catalog.snapshot())
+    }
+
+    /// Run a plan through the optimizer with current table statistics, folding the
+    /// cost-based pass counters into the metrics registry.
     pub fn optimize_plan(&self, plan: &LogicalPlan) -> Result<LogicalPlan, ServiceError> {
-        Ok(self.optimizer.optimize(plan)?)
+        let stats = self.table_stats_view();
+        let (optimized, report) = self.optimizer.optimize_with_stats(plan, &stats)?;
+        self.metrics.record_optimizer(&report);
+        Ok(optimized)
     }
 
     /// Plan a query: analyze (view unfolding + provenance rewriting) and optimize, consulting
@@ -236,7 +247,7 @@ impl Engine {
     ) -> Result<PreparedPlan, ServiceError> {
         match self.analyzer().analyze_sql(sql)? {
             AnalyzedStatement::Query { plan, into } => {
-                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let plan = if optimize { self.optimize_plan(&plan)? } else { plan };
                 let param_count = plan.max_parameter().map_or(0, |max| max + 1);
                 Ok(PreparedPlan { plan, into, param_count, sql: sql.to_string() })
             }
@@ -382,13 +393,13 @@ impl Engine {
                 Ok(empty())
             }
             AnalyzedStatement::InsertFromQuery { table, plan } => {
-                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let plan = if optimize { self.optimize_plan(&plan)? } else { plan };
                 let result = self.run_plan(&plan, options, Vec::new())?;
                 self.catalog.insert(&table, result.into_tuples())?;
                 Ok(empty())
             }
             AnalyzedStatement::Query { plan, into } => {
-                let plan = if optimize { self.optimizer.optimize(&plan)? } else { plan };
+                let plan = if optimize { self.optimize_plan(&plan)? } else { plan };
                 let prepared = PreparedPlan { plan, into, param_count: 0, sql: String::new() };
                 self.execute_prepared_plan(&prepared, options, Vec::new())
             }

@@ -58,7 +58,9 @@ pub use codec::PROTOCOL_VERSION;
 pub use engine::{Engine, PreparedPlan};
 pub use error::ServiceError;
 pub use governor::{Governor, GovernorLimits, GovernorStats, QueryGrant};
-pub use metrics::{Metrics, MetricsSnapshot, QueryOutcome, QueryTicket, StatsSnapshot};
+pub use metrics::{
+    render_stats_text, Metrics, MetricsSnapshot, QueryOutcome, QueryTicket, StatsSnapshot,
+};
 pub use server::{serve, ServerHandle};
 pub use session::{Session, SessionOptions};
 pub use shell::Client;

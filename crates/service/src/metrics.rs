@@ -23,7 +23,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use perm_exec::profile::ProfileSink;
-use perm_exec::{log_info, log_warn};
+use perm_exec::{log_info, log_warn, OptimizerReport};
+use perm_storage::TableInfo;
 
 use crate::cache::CacheStats;
 use crate::error::ServiceError;
@@ -261,6 +262,12 @@ pub struct Metrics {
     pub bytes_streamed: Counter,
     /// Query wall-clock latency.
     pub query_latency: Histogram,
+    /// Join regions reordered by the cost-based optimizer.
+    pub plans_reordered: Counter,
+    /// Hash-join build sides swapped to the estimated-smaller input.
+    pub build_sides_swapped: Counter,
+    /// Plan nodes the cardinality estimator was asked about.
+    pub estimator_invocations: Counter,
     next_qid: AtomicU64,
     /// Slow-query threshold in milliseconds; 0 disables the slow-query log.
     slow_query_ms: AtomicU64,
@@ -284,6 +291,9 @@ impl Metrics {
             rows_streamed: Counter::default(),
             bytes_streamed: Counter::default(),
             query_latency: Histogram::new(&LATENCY_BUCKETS_MS),
+            plans_reordered: Counter::default(),
+            build_sides_swapped: Counter::default(),
+            estimator_invocations: Counter::default(),
             next_qid: AtomicU64::new(0),
             slow_query_ms: AtomicU64::new(0),
             recent: Mutex::new(VecDeque::with_capacity(RECENT_QUERIES)),
@@ -298,6 +308,13 @@ impl Metrics {
     /// Completed queries with the given outcome.
     pub fn queries_with_outcome(&self, outcome: QueryOutcome) -> u64 {
         self.queries[outcome.index()].get()
+    }
+
+    /// Fold one optimization run's cost-based counters into the registry.
+    pub fn record_optimizer(&self, report: &OptimizerReport) {
+        self.plans_reordered.add(report.joins_reordered);
+        self.build_sides_swapped.add(report.build_sides_swapped);
+        self.estimator_invocations.add(report.estimator_invocations);
     }
 
     /// Open a ticket for one query: assigns the engine-wide query id, bumps the active gauge
@@ -344,6 +361,9 @@ impl Metrics {
             rows_streamed: self.rows_streamed.get(),
             bytes_streamed: self.bytes_streamed.get(),
             latency: self.query_latency.snapshot(),
+            plans_reordered: self.plans_reordered.get(),
+            build_sides_swapped: self.build_sides_swapped.get(),
+            estimator_invocations: self.estimator_invocations.get(),
         }
     }
 
@@ -469,6 +489,12 @@ pub struct MetricsSnapshot {
     pub bytes_streamed: u64,
     /// Query latency distribution.
     pub latency: HistogramSnapshot,
+    /// Join regions reordered by the cost-based optimizer.
+    pub plans_reordered: u64,
+    /// Hash-join build sides swapped to the estimated-smaller input.
+    pub build_sides_swapped: u64,
+    /// Plan nodes the cardinality estimator was asked about.
+    pub estimator_invocations: u64,
 }
 
 /// One consistent snapshot of every stat the engine exposes — the cache, governor, stream and
@@ -485,13 +511,16 @@ pub struct StatsSnapshot {
     pub stream_buffered: usize,
     /// The metrics registry.
     pub metrics: MetricsSnapshot,
+    /// Per-table row counts and statistics freshness (catalog version of the last mutation,
+    /// which is the version the table's statistics describe).
+    pub tables: Vec<TableInfo>,
 }
 
 /// Render the wire `stats` text from one snapshot (the `window` is the server's backpressure
 /// window, reported alongside the stream gauge).
 pub fn render_stats_text(snap: &StatsSnapshot, window: usize) -> String {
     let m = &snap.metrics;
-    format!(
+    let mut text = format!(
         "plan_cache hits={} misses={} invalidations={} entries={}\nstreams buffered_bytes={} \
          window={}\ngovernor active_queries={} reserved_bytes={} admitted={} \
          shed_queries={}\nqueries active={} ok={} error={} cancelled={} shed={}\nlatency_ms \
@@ -520,7 +549,20 @@ pub fn render_stats_text(snap: &StatsSnapshot, window: usize) -> String {
         m.bytes_streamed,
         m.connections_active,
         m.connections_opened,
-    )
+    );
+    let _ = write!(
+        text,
+        "\noptimizer reordered={} build_swaps={} estimator_calls={}",
+        m.plans_reordered, m.build_sides_swapped, m.estimator_invocations,
+    );
+    for table in &snap.tables {
+        let _ = write!(
+            text,
+            "\ntable {} rows={} stats_version={}",
+            table.name, table.rows, table.modified_version,
+        );
+    }
+    text
 }
 
 fn prom_metric(
@@ -668,6 +710,47 @@ pub fn render_prometheus(snap: &StatsSnapshot) -> String {
         "Bytes buffered in streaming result channels.",
         snap.stream_buffered,
     );
+    prom_metric(
+        &mut out,
+        "perm_optimizer_joins_reordered_total",
+        "counter",
+        "Join regions reordered by the cost-based optimizer.",
+        m.plans_reordered,
+    );
+    prom_metric(
+        &mut out,
+        "perm_optimizer_build_swaps_total",
+        "counter",
+        "Hash-join build sides swapped to the estimated-smaller input.",
+        m.build_sides_swapped,
+    );
+    prom_metric(
+        &mut out,
+        "perm_optimizer_estimator_calls_total",
+        "counter",
+        "Plan nodes the cardinality estimator was asked about.",
+        m.estimator_invocations,
+    );
+    if !snap.tables.is_empty() {
+        let _ = writeln!(out, "# HELP perm_table_rows Rows stored per base table.");
+        let _ = writeln!(out, "# TYPE perm_table_rows gauge");
+        for t in &snap.tables {
+            let _ = writeln!(out, "perm_table_rows{{table=\"{}\"}} {}", t.name, t.rows);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP perm_table_stats_version Catalog version of each table's last mutation \
+             (the version its statistics describe)."
+        );
+        let _ = writeln!(out, "# TYPE perm_table_stats_version gauge");
+        for t in &snap.tables {
+            let _ = writeln!(
+                out,
+                "perm_table_stats_version{{table=\"{}\"}} {}",
+                t.name, t.modified_version
+            );
+        }
+    }
     out
 }
 
@@ -757,6 +840,7 @@ mod tests {
             },
             stream_buffered: 0,
             metrics: metrics.snapshot(),
+            tables: vec![TableInfo { name: "r".to_string(), rows: 42, modified_version: 3 }],
         };
         let text = render_prometheus(&snap);
         assert!(text.contains("# TYPE perm_queries_total counter"));
@@ -772,9 +856,14 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
             assert!(value.parse::<f64>().is_ok(), "non-numeric value in line: {line}");
         }
+        assert!(text.contains("perm_optimizer_joins_reordered_total 0"));
+        assert!(text.contains("perm_table_rows{table=\"r\"} 42"));
+        assert!(text.contains("perm_table_stats_version{table=\"r\"} 3"));
         let stats = render_stats_text(&snap, 8);
         assert!(stats.contains("plan_cache hits=0"));
         assert!(stats.contains("queries active=0 ok=1"));
+        assert!(stats.contains("optimizer reordered=0 build_swaps=0 estimator_calls=0"));
+        assert!(stats.contains("table r rows=42 stats_version=3"));
     }
 
     #[test]

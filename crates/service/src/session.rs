@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use perm_algebra::{Attribute, DataType, Schema, Tuple, Value};
 use perm_exec::profile::ProfileSink;
-use perm_exec::ExecOptions;
+use perm_exec::{render_plan_with_estimates, ExecOptions};
 use perm_storage::Relation;
 
 use crate::engine::{is_query_sql, Engine, PreparedPlan};
@@ -95,6 +95,9 @@ impl Session {
         if let Some(inner) = strip_explain_analyze(sql) {
             return self.explain_analyze(inner);
         }
+        if let Some(inner) = strip_explain(sql) {
+            return self.explain(inner);
+        }
         if is_query_sql(sql) {
             let prepared = self.engine.plan_query(sql, self.options.optimize)?;
             if prepared.param_count > 0 {
@@ -154,7 +157,9 @@ impl Session {
                  table)",
             ));
         }
-        let sink = Arc::new(ProfileSink::new(&prepared.plan));
+        let mut sink = ProfileSink::new(&prepared.plan);
+        sink.annotate_estimates(&prepared.plan, &self.engine.table_stats_view());
+        let sink = Arc::new(sink);
         let options = self.options.exec_options().with_profile(sink.clone());
         let result =
             self.engine.run_plan_streaming(prepared, options, Vec::new())?.collect_relation()?;
@@ -165,6 +170,23 @@ impl Session {
         let tuples = lines.into_iter().map(|l| Tuple::new(vec![Value::Text(l.into())])).collect();
         let rendered = Relation::new(schema, tuples)
             .map_err(|e| ServiceError::Internal(format!("failed to render profile: {e}")))?;
+        Ok(QueryStream::from_relation(rendered))
+    }
+
+    /// Execute `EXPLAIN <query>`: plan the query (provenance rewrite + optimization, through
+    /// the shared plan cache) **without running it**, and return the optimized plan tree with
+    /// the cardinality estimator's predicted output rows per operator.
+    fn explain(&self, sql: &str) -> Result<QueryStream, ServiceError> {
+        if !is_query_sql(sql) {
+            return Err(ServiceError::unsupported("EXPLAIN supports queries (SELECT ...) only"));
+        }
+        let prepared = self.engine.plan_query(sql, self.options.optimize)?;
+        let stats = self.engine.table_stats_view();
+        let text = render_plan_with_estimates(&prepared.plan, &stats);
+        let schema = Schema::new(vec![Attribute::new("QUERY PLAN", DataType::Text)]);
+        let tuples = text.lines().map(|l| Tuple::new(vec![Value::Text(l.into())])).collect();
+        let rendered = Relation::new(schema, tuples)
+            .map_err(|e| ServiceError::Internal(format!("failed to render plan: {e}")))?;
         Ok(QueryStream::from_relation(rendered))
     }
 
@@ -278,6 +300,12 @@ fn strip_explain_analyze(sql: &str) -> Option<&str> {
     let rest = strip_keyword(rest, "EXPLAIN")?;
     let rest = strip_keyword(rest, "ANALYZE")?;
     Some(rest)
+}
+
+/// If `sql` is `EXPLAIN <inner>` (without `ANALYZE` — callers check that form first), return
+/// `inner`. Same purely lexical detection as [`strip_explain_analyze`].
+fn strip_explain(sql: &str) -> Option<&str> {
+    strip_keyword(sql.trim_start(), "EXPLAIN")
 }
 
 /// Strip a leading case-insensitive `keyword` followed by at least one whitespace character.

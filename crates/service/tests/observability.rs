@@ -173,3 +173,81 @@ fn explain_analyze_row_counts_match_direct_execution() {
     }
     wait_for_zero_gauges(&engine);
 }
+
+/// Plain `EXPLAIN` renders the optimized plan with per-operator row estimates and does *not*
+/// execute the query; `EXPLAIN ANALYZE` carries the same estimates next to the actuals.
+#[test]
+fn explain_shows_estimated_rows_without_executing() {
+    let engine = Arc::new(
+        Engine::with_catalog(catalog())
+            .with_workers(2)
+            .with_rewriter(Arc::new(ProvenanceRewriter::new())),
+    );
+    let session = engine.session();
+
+    let plan = session.execute("EXPLAIN SELECT * FROM big WHERE id < 1500").unwrap();
+    assert_eq!(plan.schema().attributes()[0].name, "QUERY PLAN");
+    let text = plan
+        .tuples()
+        .iter()
+        .map(|t| match &t.values()[0] {
+            Value::Text(s) => s.to_string(),
+            other => panic!("plan column must be text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("est_rows="), "every operator line carries an estimate:\n{text}");
+    // The scan estimate comes from real table statistics, not the no-stats default.
+    assert!(
+        text.contains(&format!("est_rows={BIG_ROWS}")),
+        "base relation estimate should match the table row count:\n{text}"
+    );
+    // EXPLAIN only plans: nothing executed, so no query latency was recorded for it beyond
+    // the EXPLAIN itself and the row counter never saw `big`'s 40k rows.
+    let snap = engine.stats_snapshot();
+    assert!(snap.metrics.rows_streamed < BIG_ROWS as u64, "EXPLAIN must not execute: {snap:?}");
+
+    // EXPLAIN ANALYZE executes and shows estimate vs. actual side by side.
+    let profile = session
+        .execute("EXPLAIN ANALYZE SELECT PROVENANCE t.id FROM tiny t, tiny u WHERE t.id = u.id")
+        .unwrap();
+    let text = profile
+        .tuples()
+        .iter()
+        .map(|t| match &t.values()[0] {
+            Value::Text(s) => s.to_string(),
+            other => panic!("profile column must be text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("est_rows="), "profile lines carry estimates:\n{text}");
+    assert!(text.contains("(actual:"), "profile lines carry actuals:\n{text}");
+    wait_for_zero_gauges(&engine);
+}
+
+/// The stats snapshot exposes per-table row counts with their freshness version, and planning
+/// join queries drives the optimizer counters (estimator calls, build-side swaps).
+#[test]
+fn stats_snapshot_reports_tables_and_optimizer_counters() {
+    let engine = Arc::new(Engine::with_catalog(catalog()).with_workers(2));
+    let session = engine.session();
+
+    let snap = engine.stats_snapshot();
+    let big = snap.tables.iter().find(|t| t.name == "big").expect("big table listed");
+    let tiny = snap.tables.iter().find(|t| t.name == "tiny").expect("tiny table listed");
+    assert_eq!(big.rows, BIG_ROWS);
+    assert_eq!(tiny.rows, 3);
+
+    // A join whose build side (the right input) is the larger table: planning must consult
+    // the estimator and swap the build side so `tiny` is built and `big` is probed.
+    session.execute("SELECT t.id FROM tiny t, big b WHERE t.id = b.id").unwrap();
+    let snap = engine.stats_snapshot();
+    assert!(snap.metrics.estimator_invocations > 0, "estimator should run: {snap:?}");
+    assert!(snap.metrics.build_sides_swapped > 0, "build side should swap: {snap:?}");
+
+    // The per-table lines surface in the human-readable stats rendering too.
+    let text = perm_service::render_stats_text(&snap, 16);
+    assert!(text.contains("table big rows=40000"), "{text}");
+    assert!(text.contains("table tiny rows=3"), "{text}");
+    wait_for_zero_gauges(&engine);
+}

@@ -64,6 +64,22 @@ pub struct TableEntry {
     pub name: String,
     /// The stored relation.
     pub relation: Arc<Relation>,
+    /// The catalog version at which this table's contents last changed. Statistics are
+    /// collected lazily from the current contents, so this version *is* the statistics
+    /// refresh point: a statistic served for this table is exactly as fresh as this commit.
+    pub modified_version: u64,
+}
+
+/// One table's identity and freshness, as reported by [`Catalog::table_infos`] (the backing
+/// data of the wire `stats` per-table lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInfo {
+    /// Table name (normalized).
+    pub name: String,
+    /// Current row count.
+    pub rows: usize,
+    /// Catalog version at which the contents (and therefore the statistics) last changed.
+    pub modified_version: u64,
 }
 
 #[derive(Debug, Default)]
@@ -110,6 +126,12 @@ impl CatalogSnapshot {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Iterate over every `(name, relation)` pair in the snapshot (names normalized, sorted).
+    /// The cost-based planner walks this to collect per-table statistics.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Relation>)> {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 /// A thread-safe catalog of tables and views.
@@ -137,11 +159,16 @@ impl Catalog {
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
+        inner.version += 1;
+        let version = inner.version;
         inner.tables.insert(
             key.clone(),
-            TableEntry { name: key, relation: Arc::new(Relation::empty(schema)) },
+            TableEntry {
+                name: key,
+                relation: Arc::new(Relation::empty(schema)),
+                modified_version: version,
+            },
         );
-        inner.version += 1;
         Ok(())
     }
 
@@ -156,8 +183,12 @@ impl Catalog {
         if inner.tables.contains_key(&key) || inner.views.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(name.to_string()));
         }
-        inner.tables.insert(key.clone(), TableEntry { name: key, relation: Arc::new(relation) });
         inner.version += 1;
+        let version = inner.version;
+        inner.tables.insert(
+            key.clone(),
+            TableEntry { name: key, relation: Arc::new(relation), modified_version: version },
+        );
         Ok(())
     }
 
@@ -184,6 +215,8 @@ impl Catalog {
         let n = tuples.len();
         Arc::make_mut(&mut entry.relation).extend(tuples)?;
         inner.version += 1;
+        let version = inner.version;
+        inner.tables.get_mut(&key).expect("present above").modified_version = version;
         Ok(n)
     }
 
@@ -206,13 +239,15 @@ impl Catalog {
                 )));
             }
         }
+        inner.version += 1;
+        let version = inner.version;
         let mut n = 0;
         for (name, tuples) in batches {
             let entry = inner.tables.get_mut(&Self::normalize(name)).expect("validated above");
             n += tuples.len();
             Arc::make_mut(&mut entry.relation).extend(tuples)?;
+            entry.modified_version = version;
         }
-        inner.version += 1;
         Ok(n)
     }
 
@@ -234,18 +269,39 @@ impl Catalog {
         self.inner.read().version
     }
 
+    /// Warm the per-column statistics of every table — the equivalent of a post-bulk-load
+    /// `ANALYZE`. Statistics are otherwise computed lazily by the first query that plans
+    /// against a table, which charges the collection scan to that query's latency; call this
+    /// after loading when first-query latency matters (benchmarks do).
+    pub fn analyze(&self) {
+        // Collect the Arcs under the read lock, compute outside it: stats computation scans
+        // whole tables and must not block concurrent DDL/DML.
+        let relations: Vec<Arc<Relation>> =
+            self.inner.read().tables.values().map(|e| e.relation.clone()).collect();
+        for relation in relations {
+            let _ = relation.stats();
+        }
+    }
+
     /// Replace the full contents of a table (used by `SELECT INTO` style provenance storage).
     pub fn overwrite(&self, name: &str, relation: Relation) -> Result<(), CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
         let relation = Arc::new(relation);
+        inner.version += 1;
+        let version = inner.version;
         match inner.tables.get_mut(&key) {
-            Some(entry) => entry.relation = relation,
+            Some(entry) => {
+                entry.relation = relation;
+                entry.modified_version = version;
+            }
             None => {
-                inner.tables.insert(key.clone(), TableEntry { name: key, relation });
+                inner.tables.insert(
+                    key.clone(),
+                    TableEntry { name: key, relation, modified_version: version },
+                );
             }
         }
-        inner.version += 1;
         Ok(())
     }
 
@@ -345,6 +401,23 @@ impl Catalog {
     /// Total number of stored tuples across all tables (used by benchmark reports).
     pub fn total_rows(&self) -> usize {
         self.inner.read().tables.values().map(|e| e.relation.num_rows()).sum()
+    }
+
+    /// Per-table row counts and statistics freshness, sorted by name. One read lock: every
+    /// entry describes the same catalog instant, alongside the current [`Catalog::version`]
+    /// (a table whose `modified_version` equals the current version changed in the latest
+    /// commit; older values tell exactly how stale a cached estimate could be).
+    pub fn table_infos(&self) -> Vec<TableInfo> {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .values()
+            .map(|e| TableInfo {
+                name: e.name.clone(),
+                rows: e.relation.num_rows(),
+                modified_version: e.modified_version,
+            })
+            .collect()
     }
 }
 
@@ -455,6 +528,30 @@ mod tests {
         assert!(catalog.insert("ghost", vec![]).is_err());
         catalog.drop_table("ghost", true).unwrap();
         assert_eq!(catalog.version(), v);
+    }
+
+    #[test]
+    fn table_infos_track_per_table_freshness() {
+        let catalog = Catalog::new();
+        catalog.create_table("a", items_schema()).unwrap();
+        catalog.create_table("b", items_schema()).unwrap();
+        catalog.insert("a", vec![tuple![1, 1]]).unwrap();
+        let infos = catalog.table_infos();
+        assert_eq!(infos.len(), 2);
+        let a = infos.iter().find(|i| i.name == "a").unwrap();
+        let b = infos.iter().find(|i| i.name == "b").unwrap();
+        assert_eq!(a.rows, 1);
+        assert_eq!(b.rows, 0);
+        assert_eq!(a.modified_version, catalog.version(), "a changed in the latest commit");
+        assert!(b.modified_version < a.modified_version, "b is stale relative to a");
+        // A view commit bumps the catalog version but no table's freshness.
+        catalog.create_view("v", "SELECT 1").unwrap();
+        let after = catalog.table_infos();
+        assert_eq!(
+            after.iter().find(|i| i.name == "a").unwrap().modified_version,
+            a.modified_version
+        );
+        assert!(catalog.version() > a.modified_version);
     }
 
     #[test]

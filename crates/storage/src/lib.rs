@@ -16,6 +16,8 @@
 
 pub mod catalog;
 pub mod relation;
+pub mod stats;
 
-pub use catalog::{Catalog, CatalogError, CatalogSnapshot, TableEntry, ViewDef};
+pub use catalog::{Catalog, CatalogError, CatalogSnapshot, TableEntry, TableInfo, ViewDef};
 pub use relation::Relation;
+pub use stats::{ColumnStats, TableStats};

@@ -6,6 +6,8 @@ use std::sync::{Arc, OnceLock};
 
 use perm_algebra::{AlgebraError, DataChunk, Schema, Tuple, Value, DEFAULT_CHUNK_SIZE};
 
+use crate::stats::TableStats;
+
 /// A materialised relation: a schema plus a bag of rows.
 ///
 /// Duplicates are kept (bag semantics); the multiplicity of a tuple is its number of physical
@@ -26,6 +28,9 @@ pub struct Relation {
     tuples: OnceLock<Vec<Tuple>>,
     /// Columnar view; lazily built (and cached) from `tuples` on first chunked scan.
     chunks: OnceLock<Arc<Vec<DataChunk>>>,
+    /// Per-column statistics; lazily collected from the columnar view on first request and
+    /// dropped by any mutation (see [`crate::stats`]).
+    stats: OnceLock<Arc<TableStats>>,
     /// Total row count, tracked eagerly so neither view has to materialise to answer it.
     rows: usize,
 }
@@ -41,7 +46,7 @@ impl Relation {
         let rows = tuples.len();
         let lock = OnceLock::new();
         let _ = lock.set(tuples);
-        Relation { schema, tuples: lock, chunks: OnceLock::new(), rows }
+        Relation { schema, tuples: lock, chunks: OnceLock::new(), stats: OnceLock::new(), rows }
     }
 
     /// Create an empty relation with the given schema.
@@ -77,7 +82,7 @@ impl Relation {
         let rows = chunks.iter().map(|c| c.num_rows()).sum();
         let lock = OnceLock::new();
         let _ = lock.set(Arc::new(chunks));
-        Relation { schema, tuples: OnceLock::new(), chunks: lock, rows }
+        Relation { schema, tuples: OnceLock::new(), chunks: lock, stats: OnceLock::new(), rows }
     }
 
     /// The schema.
@@ -116,6 +121,17 @@ impl Relation {
             .clone()
     }
 
+    /// Per-column statistics (row count, distinct values, NULL count, min/max), collected from
+    /// the columnar view on first request and cached. Mutations drop the cache, so the handle
+    /// always describes the relation contents at the time of the call. The collection pass
+    /// itself reuses [`Relation::chunks`], so a stored table pays the row→column conversion at
+    /// most once across scans *and* statistics.
+    pub fn stats(&self) -> Arc<TableStats> {
+        self.stats
+            .get_or_init(|| Arc::new(TableStats::compute(&self.chunks(), self.schema.arity())))
+            .clone()
+    }
+
     /// Consume the relation returning its tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
         self.tuples();
@@ -142,6 +158,8 @@ impl Relation {
     /// workload interleaving small INSERT commits with queries pays O(chunk) per commit, not
     /// O(table).
     fn append_rows(&mut self, new: Vec<Tuple>) {
+        // Statistics describe exact contents: recollect lazily after any append.
+        self.stats = OnceLock::new();
         if !new.is_empty() {
             if let Some(cached) = self.chunks.get() {
                 let arity = self.schema.arity();

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Compare a CRITERION_JSON bench run against a checked-in baseline.
+#
+# Usage: scripts/bench_check.sh <new-run.json> <baseline.json> [tolerance]
+#
+# Both files are JSON-lines in the format the vendored criterion shim emits when
+# CRITERION_JSON is set: {"name":...,"median_ns":...,...} per benchmark. The check fails
+# (exit 1) when any benchmark present in both files has a new median more than
+# `tolerance` times the baseline median (default 1.50 — CI runners are shared and
+# single-query medians routinely swing +-15-20%, so the gate is meant to catch
+# step-function regressions, not noise). Benchmarks missing from either side are
+# reported but never fail the check, so adding or retiring benchmarks does not require
+# touching the gate.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <new-run.json> <baseline.json> [tolerance]" >&2
+    exit 2
+fi
+
+NEW_RUN=$1 BASELINE=$2 TOLERANCE=${3:-1.50} python3 - <<'EOF'
+import json
+import os
+import sys
+
+def load(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rows[record["name"]] = record["median_ns"]
+    return rows
+
+new_run = load(os.environ["NEW_RUN"])
+baseline = load(os.environ["BASELINE"])
+tolerance = float(os.environ["TOLERANCE"])
+
+failures = []
+for name in sorted(baseline):
+    if name not in new_run:
+        print(f"SKIP {name}: missing from new run")
+        continue
+    ratio = new_run[name] / baseline[name]
+    status = "FAIL" if ratio > tolerance else "ok"
+    print(
+        f"{status:4s} {name}: {baseline[name] / 1e6:.3f} ms -> "
+        f"{new_run[name] / 1e6:.3f} ms ({ratio:.2f}x)"
+    )
+    if ratio > tolerance:
+        failures.append(name)
+for name in sorted(set(new_run) - set(baseline)):
+    print(f"NEW  {name}: {new_run[name] / 1e6:.3f} ms (no baseline)")
+
+if failures:
+    print(
+        f"\n{len(failures)} benchmark(s) regressed beyond {tolerance:.2f}x the baseline",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print(f"\nall {len(baseline)} baselined benchmarks within {tolerance:.2f}x")
+EOF
