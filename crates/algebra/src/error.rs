@@ -24,14 +24,17 @@ pub enum AlgebraError {
         /// The width of the schema.
         width: usize,
     },
-    /// Two operands of an operation had incompatible types.
+    /// A value or expression did not have the type an operation required.
     TypeMismatch {
         /// Human-readable description of the context.
         context: String,
-        /// The left/first type.
-        left: String,
-        /// The right/second type.
-        right: String,
+        /// The type (or type family) the operation required.
+        expected: String,
+        /// The type that was actually found.
+        actual: String,
+        /// Path from the plan root to the offending operator (empty when the error was not
+        /// raised by plan verification, e.g. for runtime value arithmetic).
+        path: Vec<String>,
     },
     /// Inputs of a set operation were not union compatible.
     NotUnionCompatible {
@@ -74,8 +77,12 @@ impl fmt::Display for AlgebraError {
             AlgebraError::ColumnIndexOutOfBounds { index, width } => {
                 write!(f, "column index {index} out of bounds for schema of width {width}")
             }
-            AlgebraError::TypeMismatch { context, left, right } => {
-                write!(f, "type mismatch in {context}: {left} vs {right}")
+            AlgebraError::TypeMismatch { context, expected, actual, path } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {actual}")?;
+                if !path.is_empty() {
+                    write!(f, " (at {})", path.join(" > "))?;
+                }
+                Ok(())
             }
             AlgebraError::NotUnionCompatible { left_width, right_width } => {
                 write!(
@@ -116,11 +123,23 @@ mod tests {
     fn display_type_mismatch_mentions_both_sides() {
         let err = AlgebraError::TypeMismatch {
             context: "addition".into(),
-            left: "Int".into(),
-            right: "Text".into(),
+            expected: "Int".into(),
+            actual: "Text".into(),
+            path: vec![],
         };
         assert!(err.to_string().contains("Int"));
         assert!(err.to_string().contains("Text"));
+    }
+
+    #[test]
+    fn display_type_mismatch_renders_operator_path() {
+        let err = AlgebraError::TypeMismatch {
+            context: "selection predicate".into(),
+            expected: "BOOL".into(),
+            actual: "TEXT".into(),
+            path: vec!["Projection".into(), "Join(left)".into(), "Selection".into()],
+        };
+        assert!(err.to_string().contains("Projection > Join(left) > Selection"));
     }
 
     #[test]

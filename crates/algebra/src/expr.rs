@@ -385,16 +385,11 @@ impl ScalarExpr {
     }
 
     /// Conjunction of a list of predicates (`TRUE` literal for an empty list).
-    pub fn conjunction(mut exprs: Vec<ScalarExpr>) -> ScalarExpr {
-        match exprs.len() {
-            0 => ScalarExpr::Literal(Value::Bool(true)),
-            1 => exprs.pop().expect("len checked"),
-            _ => {
-                let mut iter = exprs.into_iter();
-                let first = iter.next().expect("len checked");
-                iter.fold(first, |acc, e| acc.and(e))
-            }
-        }
+    pub fn conjunction(exprs: Vec<ScalarExpr>) -> ScalarExpr {
+        exprs
+            .into_iter()
+            .reduce(|acc, e| acc.and(e))
+            .unwrap_or(ScalarExpr::Literal(Value::Bool(true)))
     }
 
     /// Split a predicate into its top-level conjuncts.
@@ -628,8 +623,9 @@ impl ScalarExpr {
                     let r = right.data_type(schema)?;
                     l.common_type(r).ok_or_else(|| AlgebraError::TypeMismatch {
                         context: format!("operator {op}"),
-                        left: l.to_string(),
-                        right: r.to_string(),
+                        expected: l.to_string(),
+                        actual: r.to_string(),
+                        path: vec![],
                     })?
                 }
             }

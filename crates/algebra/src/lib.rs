@@ -20,6 +20,10 @@
 //!   values, subquery alias).
 //! * [`builder::PlanBuilder`] — an ergonomic way to assemble plans in tests, baselines and
 //!   workload generators.
+//! * [`typed::TypedSchema`] / [`LogicalPlan::verify`](plan::LogicalPlan::verify) — static type
+//!   inference over plans (per-column type, nullability, provenance flag) with strict operator
+//!   typing rules; every plan boundary (SQL binding, provenance rewrite, optimizer passes)
+//!   verifies through it.
 //!
 //! The algebra is deliberately engine-agnostic: execution lives in `perm-exec`, storage in
 //! `perm-storage`, SQL binding in `perm-sql`, and the provenance rewrite rules (the paper's
@@ -27,6 +31,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Non-test code must surface failures as structured errors, never panic on a recoverable
+// condition (tests are exempt via clippy.toml); `cargo xtask lint` checks this header.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod builder;
 pub mod chunk;
@@ -35,6 +42,7 @@ pub mod expr;
 pub mod plan;
 pub mod schema;
 pub mod tuple;
+pub mod typed;
 pub mod value;
 
 pub use builder::PlanBuilder;
@@ -47,4 +55,5 @@ pub use expr::{
 pub use plan::{JoinKind, LogicalPlan, ProvenanceAnnotationKind, SetOpKind, SetSemantics};
 pub use schema::{Attribute, Schema};
 pub use tuple::Tuple;
+pub use typed::{verification_enabled, ColumnType, TypeError, TypeErrorKind, TypedSchema};
 pub use value::{total_float_cmp, DataType, Value};

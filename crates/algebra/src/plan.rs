@@ -191,6 +191,12 @@ pub enum ProvenanceAnnotationKind {
     AlreadyRewritten(Vec<String>),
 }
 
+/// Pop the next child during [`LogicalPlan::with_new_children`]; the arity is pre-checked, so an
+/// empty vector here is an internal invariant violation rather than a panic.
+fn pop_child(children: &mut Vec<Arc<LogicalPlan>>) -> Result<Arc<LogicalPlan>, AlgebraError> {
+    children.pop().ok_or_else(|| AlgebraError::Internal("with_new_children: missing child".into()))
+}
+
 impl LogicalPlan {
     /// The output schema of this plan node.
     pub fn schema(&self) -> Schema {
@@ -273,23 +279,12 @@ impl LogicalPlan {
     /// The number of output columns, computed without materialising the full [`Schema`]
     /// (which clones attribute names). Hot paths — the executor and optimizer — only need
     /// arities to split join column spaces.
+    ///
+    /// Delegates to [`crate::typed::output_arity`], the single arity derivation shared with
+    /// the full type inference of [`LogicalPlan::verify`], which cross-checks the two at
+    /// every node so they cannot drift apart.
     pub fn output_arity(&self) -> usize {
-        match self {
-            LogicalPlan::BaseRelation { schema, .. } | LogicalPlan::Values { schema, .. } => {
-                schema.arity()
-            }
-            LogicalPlan::Projection { exprs, .. } => exprs.len(),
-            LogicalPlan::Aggregation { group_by, aggregates, .. } => {
-                group_by.len() + aggregates.len()
-            }
-            LogicalPlan::Join { left, right, .. } => left.output_arity() + right.output_arity(),
-            LogicalPlan::SetOp { left, .. } => left.output_arity(),
-            LogicalPlan::Selection { input, .. }
-            | LogicalPlan::Sort { input, .. }
-            | LogicalPlan::Limit { input, .. }
-            | LogicalPlan::SubqueryAlias { input, .. }
-            | LogicalPlan::ProvenanceAnnotation { input, .. } => input.output_arity(),
-        }
+        crate::typed::output_arity(self)
     }
 
     /// The direct children of this node.
@@ -324,44 +319,43 @@ impl LogicalPlan {
         Ok(match self {
             LogicalPlan::BaseRelation { .. } | LogicalPlan::Values { .. } => self.clone(),
             LogicalPlan::Projection { exprs, distinct, .. } => LogicalPlan::Projection {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 exprs: exprs.clone(),
                 distinct: *distinct,
             },
             LogicalPlan::Selection { predicate, .. } => LogicalPlan::Selection {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 predicate: predicate.clone(),
             },
             LogicalPlan::Join { kind, condition, .. } => {
-                let right = children.pop().expect("arity checked");
-                let left = children.pop().expect("arity checked");
+                let right = pop_child(&mut children)?;
+                let left = pop_child(&mut children)?;
                 LogicalPlan::Join { left, right, kind: *kind, condition: condition.clone() }
             }
             LogicalPlan::Aggregation { group_by, aggregates, .. } => LogicalPlan::Aggregation {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 group_by: group_by.clone(),
                 aggregates: aggregates.clone(),
             },
             LogicalPlan::SetOp { kind, semantics, .. } => {
-                let right = children.pop().expect("arity checked");
-                let left = children.pop().expect("arity checked");
+                let right = pop_child(&mut children)?;
+                let left = pop_child(&mut children)?;
                 LogicalPlan::SetOp { left, right, kind: *kind, semantics: *semantics }
             }
-            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
-                input: children.pop().expect("arity checked"),
-                keys: keys.clone(),
-            },
+            LogicalPlan::Sort { keys, .. } => {
+                LogicalPlan::Sort { input: pop_child(&mut children)?, keys: keys.clone() }
+            }
             LogicalPlan::Limit { limit, offset, .. } => LogicalPlan::Limit {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 limit: *limit,
                 offset: *offset,
             },
             LogicalPlan::SubqueryAlias { alias, .. } => LogicalPlan::SubqueryAlias {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 alias: alias.clone(),
             },
             LogicalPlan::ProvenanceAnnotation { kind, .. } => LogicalPlan::ProvenanceAnnotation {
-                input: children.pop().expect("arity checked"),
+                input: pop_child(&mut children)?,
                 kind: kind.clone(),
             },
         })

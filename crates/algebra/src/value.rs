@@ -218,8 +218,9 @@ impl Value {
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "addition".into(),
-                    left: a.data_type().to_string(),
-                    right: b.data_type().to_string(),
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                    path: vec![],
                 })
             }
         })
@@ -242,8 +243,9 @@ impl Value {
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "subtraction".into(),
-                    left: a.data_type().to_string(),
-                    right: b.data_type().to_string(),
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                    path: vec![],
                 })
             }
         })
@@ -261,8 +263,9 @@ impl Value {
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "multiplication".into(),
-                    left: a.data_type().to_string(),
-                    right: b.data_type().to_string(),
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                    path: vec![],
                 })
             }
         })
@@ -286,8 +289,9 @@ impl Value {
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "division".into(),
-                    left: a.data_type().to_string(),
-                    right: b.data_type().to_string(),
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                    path: vec![],
                 })
             }
         })
@@ -309,8 +313,9 @@ impl Value {
             (a, b) => {
                 return Err(AlgebraError::TypeMismatch {
                     context: "modulo".into(),
-                    left: a.data_type().to_string(),
-                    right: b.data_type().to_string(),
+                    expected: a.data_type().to_string(),
+                    actual: b.data_type().to_string(),
+                    path: vec![],
                 })
             }
         })
@@ -324,8 +329,9 @@ impl Value {
             Value::Float(f) => Ok(Value::Float(-f)),
             other => Err(AlgebraError::TypeMismatch {
                 context: "negation".into(),
-                left: other.data_type().to_string(),
-                right: "numeric".into(),
+                expected: other.data_type().to_string(),
+                actual: "numeric".into(),
+                path: vec![],
             }),
         }
     }
@@ -400,7 +406,8 @@ pub fn total_float_cmp(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => a.partial_cmp(&b).expect("non-NaN floats are comparable"),
+        // Non-NaN floats always compare; Equal is unreachable filler for the None arm.
+        (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
     }
 }
 
@@ -484,7 +491,8 @@ impl Ord for Value {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
-            (false, false) => self.sql_cmp(other).expect("same-rank non-NaN values are comparable"),
+            // Same-rank non-NaN values always compare; Equal is unreachable filler.
+            (false, false) => self.sql_cmp(other).unwrap_or(Ordering::Equal),
         }
     }
 }

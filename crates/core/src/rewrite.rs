@@ -95,10 +95,19 @@ impl ProvenanceRewriter {
             .iter()
             .map(|&p| schema.attribute(p).map(|a| a.name.clone()))
             .collect::<Result<_, _>>()?;
-        Ok(LogicalPlan::ProvenanceAnnotation {
+        let plan = LogicalPlan::ProvenanceAnnotation {
             input: rewritten.plan,
             kind: ProvenanceAnnotationKind::AlreadyRewritten(prov_names),
-        })
+        };
+        // Plan-boundary type verification (debug builds / `PERM_VERIFY_PLANS`): a rewrite rule
+        // that mis-types a plan must fail here, at its source, not as a runtime wire error.
+        if perm_algebra::verification_enabled() {
+            if let Err(mut err) = plan.verify() {
+                err.context = format!("provenance rewrite: {}", err.context);
+                return Err(PermError::Algebra(err.into()));
+            }
+        }
+        Ok(plan)
     }
 
     /// The names of the provenance attributes the rewrite of `plan` will produce, without

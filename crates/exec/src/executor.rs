@@ -729,22 +729,19 @@ pub(crate) fn split_equi_join_condition(
     for conjunct in condition.split_conjunction() {
         if let ScalarExpr::BinaryOp { op, left, right } = conjunct {
             let null_safe = *op == BinaryOperator::IsNotDistinctFrom;
-            if (*op == BinaryOperator::Eq || null_safe)
-                && left.as_column().is_some()
-                && right.as_column().is_some()
-            {
-                let a = left.as_column().expect("checked");
-                let b = right.as_column().expect("checked");
-                let (l, r) = if a < left_arity && b >= left_arity {
-                    (a, b)
-                } else if b < left_arity && a >= left_arity {
-                    (b, a)
-                } else {
-                    residual.push(conjunct);
+            if *op == BinaryOperator::Eq || null_safe {
+                if let (Some(a), Some(b)) = (left.as_column(), right.as_column()) {
+                    let (l, r) = if a < left_arity && b >= left_arity {
+                        (a, b)
+                    } else if b < left_arity && a >= left_arity {
+                        (b, a)
+                    } else {
+                        residual.push(conjunct);
+                        continue;
+                    };
+                    keys.push(EquiKey { left: l, right: r, null_safe });
                     continue;
-                };
-                keys.push(EquiKey { left: l, right: r, null_safe });
-                continue;
+                }
             }
         }
         residual.push(conjunct);
@@ -835,9 +832,14 @@ impl JoinMode {
                     };
                     Cursor::Chain(start)
                 } else {
-                    let multi = multi.as_ref().expect("multi-key table");
-                    let start = join_key(left_row, keys, |k| k.left, |k| k.null_safe)
-                        .and_then(|k| multi.get(&k).copied())
+                    // A hash mode without a single-key table always carries the multi-key
+                    // table; an absent table probes as "no match".
+                    let start = multi
+                        .as_ref()
+                        .and_then(|m| {
+                            join_key(left_row, keys, |k| k.left, |k| k.null_safe)
+                                .and_then(|k| m.get(&k).copied())
+                        })
                         .unwrap_or(CHAIN_END);
                     Cursor::Chain(start)
                 }
@@ -935,7 +937,8 @@ impl Iterator for JoinIter<'_> {
                         return Some(Err(e));
                     }
                 }
-                let left_row = self.cur.as_ref().expect("probing a current row");
+                // `advance` only yields candidates while a current row is loaded.
+                let Some(left_row) = self.cur.as_ref() else { break };
                 let combined = left_row.concat(&self.right[ri]);
                 let keep = match &self.filter {
                     Some(f) => match f.eval_predicate(&combined) {
@@ -950,9 +953,12 @@ impl Iterator for JoinIter<'_> {
                     return Some(Ok(combined));
                 }
             }
-            let left_row = self.cur.take().expect("probing a current row");
-            if !self.cur_matched && matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter) {
-                return Some(Ok(left_row.concat(&Tuple::nulls(self.right_arity))));
+            if let Some(left_row) = self.cur.take() {
+                if !self.cur_matched
+                    && matches!(self.kind, JoinKind::LeftOuter | JoinKind::FullOuter)
+                {
+                    return Some(Ok(left_row.concat(&Tuple::nulls(self.right_arity))));
+                }
             }
         }
         // Drain unmatched build rows for right/full outer joins.
@@ -1165,7 +1171,8 @@ fn aggregate_stream(
 
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let accs = groups.remove(&key).expect("group key must exist");
+        // `order` records exactly the keys inserted into `groups`.
+        let Some(accs) = groups.remove(&key) else { continue };
         let mut values = key.into_values();
         values.extend(accs.into_iter().map(Accumulator::finish));
         out.push(Tuple::new(values));

@@ -27,6 +27,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Non-test code must surface failures as structured errors, never panic on a recoverable
+// condition (tests are exempt via clippy.toml); `cargo xtask lint` checks this header.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod compile;
 pub mod error;

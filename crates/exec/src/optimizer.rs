@@ -107,14 +107,17 @@ impl Optimizer {
             if let Some(folded) = fold_plan_constants(&current)? {
                 current = folded;
                 changed = true;
+                verify_after_pass("fold_plan_constants", &current)?;
             }
             if let Some(pushed) = push_down_selections(&current)? {
                 current = pushed;
                 changed = true;
+                verify_after_pass("push_down_selections", &current)?;
             }
             if let Some(merged) = merge_projections(&current)? {
                 current = merged;
                 changed = true;
+                verify_after_pass("merge_projections", &current)?;
             }
             if !changed {
                 break;
@@ -133,23 +136,29 @@ impl Optimizer {
                     reorder_joins(&current, &estimator, &self.policy, &mut counters)?
                 {
                     current = reordered;
+                    verify_after_pass("reorder_joins", &current)?;
                 }
             }
             if let Some(swapped) =
                 swap_build_sides(&current, &estimator, &self.policy, &mut counters)?
             {
                 current = swapped;
+                verify_after_pass("swap_build_sides", &current)?;
             }
             report.joins_reordered = counters.joins_reordered;
             report.build_sides_swapped = counters.build_sides_swapped;
             report.estimator_invocations = estimator.invocations();
         }
         let pruned = prune_columns(&current)?;
+        verify_after_pass("prune_columns", &pruned)?;
         // Sub-plans of uncorrelated sublinks run as independent queries; give each the full
         // treatment exactly once (the fixpoint loop above deliberately skips them so that it
         // does not re-optimize them every pass).
         match self.optimize_sublinks(&pruned)? {
-            Some(with_sublinks) => Ok((with_sublinks, report)),
+            Some(with_sublinks) => {
+                verify_after_pass("optimize_sublinks", &with_sublinks)?;
+                Ok((with_sublinks, report))
+            }
             None => Ok((pruned, report)),
         }
     }
@@ -216,6 +225,23 @@ impl Optimizer {
         match error {
             Some(err) => Err(err),
             None => Ok(rewritten),
+        }
+    }
+}
+
+/// Re-verify typing after an optimizer pass changed the plan (debug builds and
+/// `PERM_VERIFY_PLANS` runs only — see [`perm_algebra::verification_enabled`]), naming the
+/// pass in the error so a pass-ordering bug fails fast at its source instead of surfacing as
+/// a runtime wire error mid-stream.
+fn verify_after_pass(pass: &str, plan: &LogicalPlan) -> Result<(), ExecError> {
+    if !perm_algebra::verification_enabled() {
+        return Ok(());
+    }
+    match plan.verify() {
+        Ok(_) => Ok(()),
+        Err(mut err) => {
+            err.context = format!("optimizer pass '{pass}': {}", err.context);
+            Err(ExecError::Algebra(err.into()))
         }
     }
 }
@@ -386,7 +412,8 @@ fn push_down_selections(plan: &LogicalPlan) -> Result<Option<LogicalPlan>, ExecE
                 .all(|&c| exprs.get(c).map(|(e, _)| e.as_column().is_some()).unwrap_or(false));
             if all_plain {
                 let remapped = predicate.map_columns(&mut |c| {
-                    exprs[c].0.as_column().expect("checked: projection entry is a plain column")
+                    // `all_plain` guarantees a plain column; identity is unreachable filler.
+                    exprs[c].0.as_column().unwrap_or(c)
                 });
                 let pushed = push_down_owned(LogicalPlan::Selection {
                     input: inner.clone(),
@@ -572,7 +599,7 @@ fn normalize_filter_expr(expr: &ScalarExpr) -> ScalarExpr {
                 .collect();
             match live.len() {
                 0 => ScalarExpr::Literal(Value::Bool(false)),
-                1 => live.into_iter().next().expect("checked: one disjunct"),
+                1 => live.into_iter().next().unwrap_or(ScalarExpr::Literal(Value::Bool(false))),
                 _ => factor_common_conjuncts(live),
             }
         }
@@ -1007,7 +1034,9 @@ fn nonempty(cols: Vec<usize>) -> Vec<usize> {
 
 /// Position of original column `col` within the kept list (the new index after pruning).
 fn position_of(kept: &[usize], col: usize) -> usize {
-    kept.binary_search(&col).expect("pruning kept every referenced column")
+    // Pruning keeps every referenced column, so the search cannot miss; the insertion
+    // slot is deterministic filler for the unreachable miss.
+    kept.binary_search(&col).unwrap_or_else(|slot| slot)
 }
 
 /// Remap an expression's columns through the kept list. Sublink plans are untouched (they are

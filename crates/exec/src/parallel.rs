@@ -116,15 +116,18 @@ impl WorkerPool {
             }),
             work_ready: Condvar::new(),
         });
-        let handles = (0..workers - 1)
-            .map(|i| {
+        let handles: Vec<_> = (0..workers - 1)
+            .filter_map(|i| {
                 let shared = shared.clone();
                 thread::Builder::new()
                     .name(format!("perm-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning a worker thread")
+                    .ok()
             })
             .collect();
+        // If the OS refused some threads, degrade the advertised parallelism to what actually
+        // spawned (the dispatching session thread always counts as one).
+        let workers = handles.len() + 1;
         WorkerPool { shared, handles, workers }
     }
 

@@ -391,7 +391,11 @@ fn best_order_dp(region: &JoinRegion, rows: &[f64]) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
     let mut mask = full;
     while mask != 0 {
-        let (_, leaf) = dp[mask as usize].expect("dp table complete");
+        let Some((_, leaf)) = dp[mask as usize] else {
+            // The DP table covers every reachable mask; keep the input order rather than
+            // panic if that invariant ever breaks.
+            return (0..n).collect();
+        };
         order.push(leaf);
         mask &= !(1u32 << leaf);
     }
@@ -422,7 +426,11 @@ fn best_order_greedy(region: &JoinRegion, rows: &[f64]) -> Vec<usize> {
                 best = Some((cost, leaf, out));
             }
         }
-        let (_, leaf, out) = best.expect("a leaf remains");
+        let Some((_, leaf, out)) = best else {
+            // While `order` is short of `n`, some leaf is still outside `mask`; keep the
+            // input order rather than panic if that invariant ever breaks.
+            return (0..n).collect();
+        };
         order.push(leaf);
         mask |= 1 << leaf;
         acc_rows = out;
@@ -462,7 +470,9 @@ fn rebuild_region_shape(
             Ok(plan.with_new_children(vec![Arc::new(new_left), Arc::new(new_right)])?)
         }
         _ => {
-            let leaf = leaves.next().expect("one rewritten leaf per original leaf");
+            let leaf = leaves.next().ok_or_else(|| {
+                ExecError::Internal("join reorder produced fewer leaves than the region".into())
+            })?;
             Ok(leaf.as_ref().clone())
         }
     }
@@ -503,9 +513,10 @@ fn build_region(region: &JoinRegion, order: &[usize], total_columns: usize) -> L
     }
 
     // Restore the original concatenated column order for the parent operators.
-    let positions: Vec<usize> = (0..total_columns)
-        .map(|g| tree_cols.iter().position(|&c| c == g).expect("every column placed"))
-        .collect();
+    // `tree_cols` is a permutation of the region's global columns, so every position
+    // resolves; 0 is deterministic filler for the unreachable miss.
+    let positions: Vec<usize> =
+        (0..total_columns).map(|g| tree_cols.iter().position(|&c| c == g).unwrap_or(0)).collect();
     project_onto(current, &positions)
 }
 
@@ -524,7 +535,9 @@ fn take_applicable(
         }
         applied[i] = true;
         let remapped = c.expr.map_columns(&mut |g| {
-            tree_cols.iter().position(|&col| col == g).expect("conjunct columns in scope")
+            // A conjunct only applies once all its leaves are in `mask`, so its columns are
+            // all in `tree_cols`; 0 is deterministic filler for the unreachable miss.
+            tree_cols.iter().position(|&col| col == g).unwrap_or(0)
         });
         combined = Some(match combined {
             Some(acc) => acc.and(remapped),

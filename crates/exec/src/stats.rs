@@ -475,7 +475,8 @@ fn group_count(keys: &[ColumnEstimate], rows: f64) -> f64 {
     groups.min(rows).max(1.0)
 }
 
-/// Render a plan tree with estimated row counts per operator (the body of `EXPLAIN`).
+/// Render a plan tree with estimated row counts and inferred column types per operator (the
+/// body of `EXPLAIN`).
 pub fn render_plan_with_estimates(plan: &LogicalPlan, stats: &TableStatsView) -> String {
     let estimator = Estimator::new(stats);
     let mut out = String::new();
@@ -490,6 +491,12 @@ fn render_node(plan: &LogicalPlan, estimator: &Estimator<'_>, depth: usize, out:
     }
     out.push_str(&plan.describe());
     out.push_str(&format!("  (est_rows={})", est.rows.round() as u64));
+    // Inferred types from the plan verifier (`INT?` = nullable, `*` = provenance column).
+    // A sub-plan can fail verification in isolation (e.g. a parameter whose typing context
+    // sits above this node); EXPLAIN then simply omits the types for that line.
+    if let Ok(typed) = plan.verify() {
+        out.push_str(&format!("  types={typed}"));
+    }
     out.push('\n');
     for child in plan.children() {
         render_node(child, estimator, depth + 1, out);

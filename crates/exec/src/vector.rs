@@ -703,7 +703,9 @@ impl ChunkJoinMode {
                     };
                     Cursor::Chain(start)
                 } else {
-                    let multi = multi.as_ref().expect("multi-key table");
+                    // A hash mode without a single-key table always carries the multi-key
+                    // table; an absent table probes as "no match".
+                    let Some(multi) = multi.as_ref() else { return Cursor::Chain(CHAIN_END) };
                     let mut values = Vec::with_capacity(keys.len());
                     for k in keys {
                         let v = probe.column(k.left).value(row);
@@ -833,7 +835,9 @@ impl<'a> ChunkJoinIter<'a> {
 
     /// Gather the accumulated index pairs into an output chunk and charge the row guard.
     fn emit(&mut self) -> Result<DataChunk, ExecError> {
-        let probe = self.probe.as_ref().expect("emitting within a probe chunk");
+        let probe = self.probe.as_ref().ok_or_else(|| {
+            ExecError::Internal("hash join emitted output outside a probe chunk".into())
+        })?;
         let rows = self.left_idx.len();
         self.guard.tick_many(rows)?;
         let mut columns = Vec::with_capacity(self.left_arity + self.right_arity);
@@ -1042,7 +1046,8 @@ fn aggregate_chunks(
 
     let mut out = Vec::with_capacity(order.len());
     for key in order {
-        let accs = groups.remove(&key).expect("group key must exist");
+        // `order` records exactly the keys inserted into `groups`.
+        let Some(accs) = groups.remove(&key) else { continue };
         let mut values = key.into_values();
         values.extend(accs.into_iter().map(Accumulator::finish));
         out.push(Tuple::new(values));

@@ -247,6 +247,14 @@ impl Engine {
     ) -> Result<PreparedPlan, ServiceError> {
         match self.analyzer().analyze_sql(sql)? {
             AnalyzedStatement::Query { plan, into } => {
+                // Post-binding type verification. This runs unconditionally (not only when
+                // `perm_algebra::verification_enabled()`): it is the user-facing PREPARE-time
+                // check that turns an ill-typed query into a clean `-` response naming the
+                // operator path, and it sits on the compile path only — cache hits and
+                // per-row execution never pay for it.
+                if let Err(err) = plan.verify() {
+                    return Err(ServiceError::Sql(perm_sql::SqlError::Algebra(err.into())));
+                }
                 let plan = if optimize { self.optimize_plan(&plan)? } else { plan };
                 let param_count = plan.max_parameter().map_or(0, |max| max + 1);
                 Ok(PreparedPlan { plan, into, param_count, sql: sql.to_string() })

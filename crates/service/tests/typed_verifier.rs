@@ -1,0 +1,86 @@
+//! PREPARE-time typed-plan verification: queries that parse and bind fine but are ill-typed
+//! must be rejected when the plan is compiled — with a `type mismatch` error naming the
+//! operator path — instead of failing (or silently misbehaving) at execution time. Also checks
+//! that EXPLAIN output carries the inferred per-operator types.
+
+use std::sync::Arc;
+
+use perm_algebra::Value;
+use perm_core::ProvenanceRewriter;
+use perm_service::Engine;
+
+fn shop_engine() -> Arc<Engine> {
+    let engine = Arc::new(Engine::new().with_rewriter(Arc::new(ProvenanceRewriter::new())));
+    let session = engine.session();
+    session
+        .execute_script(
+            "CREATE TABLE shop (name TEXT, numEmpl INT);\n\
+             INSERT INTO shop VALUES ('Merdies', 3), ('Joba', 14);",
+        )
+        .unwrap();
+    engine
+}
+
+#[test]
+fn prepare_rejects_text_int_comparison_with_operator_path() {
+    let engine = shop_engine();
+    let mut session = engine.session();
+    let err = session.prepare("bad", "SELECT name FROM shop WHERE name > numEmpl").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("type mismatch"), "want a type mismatch, got: {msg}");
+    assert!(msg.contains("TEXT") && msg.contains("INT"), "names both sides: {msg}");
+    assert!(msg.contains("Selection"), "names the operator path: {msg}");
+    // Rejected at PREPARE time: nothing was registered.
+    assert!(session.prepared("bad").is_none());
+}
+
+#[test]
+fn direct_query_rejects_text_arithmetic_before_execution() {
+    let engine = shop_engine();
+    let session = engine.session();
+    let err = session.execute("SELECT name + numEmpl FROM shop").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("type mismatch"), "want a type mismatch, got: {msg}");
+    assert!(msg.contains("Projection"), "names the operator path: {msg}");
+}
+
+#[test]
+fn prepare_rejects_parameter_without_concrete_type() {
+    let engine = shop_engine();
+    let mut session = engine.session();
+    // `$1` is never used in a context that fixes its type, so binding cannot choose one.
+    let err = session.prepare("anyparam", "SELECT $1 FROM shop").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parameter $1"), "names the parameter: {msg}");
+    assert!(msg.contains("unresolved"), "explains what is missing: {msg}");
+}
+
+#[test]
+fn well_typed_provenance_query_still_prepares() {
+    let engine = shop_engine();
+    let mut session = engine.session();
+    let params =
+        session.prepare("ok", "SELECT PROVENANCE name FROM shop WHERE numEmpl > $1").unwrap();
+    assert_eq!(params, 1);
+    let r = session.execute_prepared("ok", vec![Value::Int(5)]).unwrap();
+    assert_eq!(r.num_rows(), 1);
+}
+
+#[test]
+fn explain_carries_inferred_types() {
+    let engine = shop_engine();
+    let session = engine.session();
+    let plan = session.execute("EXPLAIN SELECT name FROM shop WHERE numEmpl > 5").unwrap();
+    let text = plan
+        .tuples()
+        .iter()
+        .map(|t| match &t.values()[0] {
+            Value::Text(s) => s.to_string(),
+            other => panic!("plan column must be text, got {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("types="), "operator lines carry inferred types:\n{text}");
+    // The scan exposes both columns; base-table columns are nullable (no NOT NULL metadata).
+    assert!(text.contains("types=(TEXT?, INT?)"), "scan line types:\n{text}");
+}

@@ -210,13 +210,13 @@ impl Catalog {
     pub fn insert(&self, name: &str, tuples: Vec<Tuple>) -> Result<usize, CatalogError> {
         let key = Self::normalize(name);
         let mut inner = self.inner.write();
+        let version = inner.version + 1;
         let entry =
             inner.tables.get_mut(&key).ok_or_else(|| CatalogError::NotFound(name.to_string()))?;
         let n = tuples.len();
         Arc::make_mut(&mut entry.relation).extend(tuples)?;
-        inner.version += 1;
-        let version = inner.version;
-        inner.tables.get_mut(&key).expect("present above").modified_version = version;
+        entry.modified_version = version;
+        inner.version = version;
         Ok(n)
     }
 
@@ -243,7 +243,11 @@ impl Catalog {
         let version = inner.version;
         let mut n = 0;
         for (name, tuples) in batches {
-            let entry = inner.tables.get_mut(&Self::normalize(name)).expect("validated above");
+            // Validated above under the same write lock, so the lookup cannot fail; surface
+            // a structured error rather than panicking if that invariant ever breaks.
+            let entry = inner.tables.get_mut(&Self::normalize(name)).ok_or_else(|| {
+                CatalogError::Invalid(format!("internal: table '{name}' vanished mid-commit"))
+            })?;
             n += tuples.len();
             Arc::make_mut(&mut entry.relation).extend(tuples)?;
             entry.modified_version = version;

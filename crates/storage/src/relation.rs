@@ -94,10 +94,13 @@ impl Relation {
     /// the relation was produced by the vectorized executor).
     pub fn tuples(&self) -> &[Tuple] {
         self.tuples.get_or_init(|| {
-            let chunks = self.chunks.get().expect("a relation holds at least one view");
+            // A relation always holds at least one view; if the row view is absent the
+            // columnar view must be present, so the empty fallback is unreachable.
             let mut out = Vec::with_capacity(self.rows);
-            for chunk in chunks.iter() {
-                out.extend(chunk.iter_tuples());
+            if let Some(chunks) = self.chunks.get() {
+                for chunk in chunks.iter() {
+                    out.extend(chunk.iter_tuples());
+                }
             }
             out
         })
@@ -109,7 +112,8 @@ impl Relation {
     pub fn chunks(&self) -> Arc<Vec<DataChunk>> {
         self.chunks
             .get_or_init(|| {
-                let tuples = self.tuples.get().expect("a relation holds at least one view");
+                // Mirror image of `tuples()`: one of the two views is always present.
+                let tuples = self.tuples.get().map(Vec::as_slice).unwrap_or(&[]);
                 let arity = self.schema.arity();
                 Arc::new(
                     tuples
@@ -135,7 +139,7 @@ impl Relation {
     /// Consume the relation returning its tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
         self.tuples();
-        self.tuples.into_inner().expect("materialised above")
+        self.tuples.into_inner().unwrap_or_default()
     }
 
     /// Number of tuples (counting duplicates).
@@ -166,7 +170,9 @@ impl Relation {
                 let mut chunks: Vec<DataChunk> = (**cached).clone();
                 let mut tail: Vec<Tuple> = Vec::new();
                 if chunks.last().is_some_and(|c| c.num_rows() < DEFAULT_CHUNK_SIZE) {
-                    tail = chunks.pop().expect("checked above").iter_tuples().collect();
+                    if let Some(partial) = chunks.pop() {
+                        tail = partial.iter_tuples().collect();
+                    }
                 }
                 tail.extend(new.iter().cloned());
                 for batch in tail.chunks(DEFAULT_CHUNK_SIZE) {
@@ -179,7 +185,9 @@ impl Relation {
         }
         self.tuples();
         self.rows += new.len();
-        self.tuples.get_mut().expect("materialised above").extend(new);
+        if let Some(tuples) = self.tuples.get_mut() {
+            tuples.extend(new);
+        }
     }
 
     /// Append a tuple.

@@ -1,0 +1,413 @@
+//! `cargo xtask` — repo-local automation for the Perm workspace.
+//!
+//! The only subcommand today is `lint`: a source-level static-analysis pass enforcing
+//! repo-specific rules that clippy cannot express (see [`lint`] for the rule catalogue and
+//! `docs/ANALYZER.md` for the rationale). CI runs it as a blocking job.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match lint::run() {
+            Ok(0) => {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            }
+            Ok(n) => {
+                eprintln!("xtask lint: {n} violation(s)");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A single rule violation: file, line and message.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+mod lint {
+    use super::*;
+
+    /// Rule identifiers, usable in `// xtask-allow: <rule>` escapes on the offending line or
+    /// the line directly above it.
+    const RULE_NO_EXPECT: &str = "no-expect";
+    const RULE_KERNEL_ARITH: &str = "kernel-unchecked-arith";
+    const RULE_INSTANT_IN_LOOP: &str = "instant-in-loop";
+    const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+    const RULE_DENY_UNWRAP: &str = "deny-unwrap-header";
+
+    /// Vectorized kernel files: integer arithmetic here must go through checked kernels
+    /// (`i64::checked_add` & friends), never plain `+`/`-`/`*` closures or `wrapping_*`.
+    const KERNEL_FILES: &[&str] = &["crates/exec/src/vector.rs", "crates/algebra/src/chunk.rs"];
+
+    /// Hot-path files: `Instant::now()` must not appear lexically inside a `for`/`while`/
+    /// `loop` body (deadline checks read the clock once per chunk/morsel in straight-line
+    /// helpers, never per row).
+    const HOT_PATH_FILES: &[&str] = &[
+        "crates/exec/src/vector.rs",
+        "crates/exec/src/executor.rs",
+        "crates/exec/src/eval.rs",
+        "crates/exec/src/parallel.rs",
+        "crates/algebra/src/chunk.rs",
+    ];
+
+    /// Run every rule over the workspace; returns the violation count.
+    pub fn run() -> Result<usize, std::io::Error> {
+        let root = workspace_root()?;
+        let mut violations = Vec::new();
+
+        let sources = workspace_sources(&root)?;
+        for file in &sources {
+            let text = std::fs::read_to_string(file)?;
+            let rel = file.strip_prefix(&root).unwrap_or(file);
+            scan_expect(rel, &text, &mut violations);
+            if KERNEL_FILES.iter().any(|k| rel == Path::new(k)) {
+                scan_kernel_arith(rel, &text, &mut violations);
+            }
+            if HOT_PATH_FILES.iter().any(|k| rel == Path::new(k)) {
+                scan_instant_in_loop(rel, &text, &mut violations);
+            }
+        }
+        for file in crate_roots(&root)? {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
+            scan_crate_root_headers(&rel, &text, &mut violations);
+        }
+
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        Ok(violations.len())
+    }
+
+    /// The workspace root: `cargo xtask` runs with the manifest dir of the xtask crate.
+    fn workspace_root() -> Result<PathBuf, std::io::Error> {
+        let manifest = std::env::var("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("."));
+        // crates/xtask -> workspace root is two levels up.
+        let root = manifest
+            .ancestors()
+            .find(|p| p.join("Cargo.toml").is_file() && p.join("crates").is_dir())
+            .map(Path::to_path_buf)
+            .unwrap_or(manifest);
+        root.canonicalize()
+    }
+
+    /// All non-test Rust sources of the workspace's own crates: `src/` trees of the root
+    /// package and every `crates/*` member. Vendored shims (`vendor/`), integration tests
+    /// (`tests/`) and benches are out of scope.
+    fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
+        let mut dirs = vec![root.join("src")];
+        for entry in std::fs::read_dir(root.join("crates"))? {
+            let dir = entry?.path().join("src");
+            if dir.is_dir() {
+                dirs.push(dir);
+            }
+        }
+        let mut files = Vec::new();
+        for dir in dirs {
+            collect_rs(&dir, &mut files)?;
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                collect_rs(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Crate roots that must carry the safety headers: every `crates/*/src/lib.rs` or
+    /// `crates/*/src/main.rs`, the facade `src/lib.rs` and the `src/bin/*.rs` binaries.
+    fn crate_roots(root: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
+        let mut roots = vec![root.join("src/lib.rs")];
+        if let Ok(bins) = std::fs::read_dir(root.join("src/bin")) {
+            for entry in bins {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "rs") {
+                    roots.push(path);
+                }
+            }
+        }
+        for entry in std::fs::read_dir(root.join("crates"))? {
+            let dir = entry?.path();
+            for name in ["src/lib.rs", "src/main.rs"] {
+                let candidate = dir.join(name);
+                if candidate.is_file() {
+                    roots.push(candidate);
+                }
+            }
+        }
+        roots.sort();
+        Ok(roots)
+    }
+
+    /// Does `line` (or the line above it) carry an `// xtask-allow: <rule>` escape?
+    fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+        let marker = format!("xtask-allow: {rule}");
+        lines[idx].contains(&marker)
+            || (idx > 0
+                && lines[idx - 1].trim_start().starts_with("//")
+                && lines[idx - 1].contains(&marker))
+    }
+
+    /// Strip a trailing `// ...` line comment (naive: does not see through string literals
+    /// containing `//`, which the workspace's sources avoid on matching lines).
+    fn code_of(line: &str) -> &str {
+        match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        }
+    }
+
+    /// Tracks `#[cfg(test)] mod` regions by brace depth so in-file unit tests are exempt,
+    /// mirroring clippy's `allow-unwrap-in-tests`.
+    struct TestRegions {
+        depth: i32,
+        pending_cfg_test: bool,
+        /// Brace depth at which the active test module was opened.
+        region_start: Option<i32>,
+    }
+
+    impl TestRegions {
+        fn new() -> TestRegions {
+            TestRegions { depth: 0, pending_cfg_test: false, region_start: None }
+        }
+
+        /// Feed one line; returns whether the *line itself* is inside (or opens) a test region.
+        fn observe(&mut self, line: &str) -> bool {
+            let code = code_of(line);
+            let trimmed = code.trim_start();
+            if trimmed.starts_with("#[cfg(test)]") {
+                self.pending_cfg_test = true;
+            } else if self.pending_cfg_test && trimmed.starts_with("mod ") {
+                if self.region_start.is_none() {
+                    self.region_start = Some(self.depth);
+                }
+                self.pending_cfg_test = false;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                self.pending_cfg_test = false;
+            }
+            let in_region_before = self.region_start.is_some();
+            for c in code.chars() {
+                match c {
+                    '{' => self.depth += 1,
+                    '}' => {
+                        self.depth -= 1;
+                        if self.region_start.is_some_and(|start| self.depth <= start) {
+                            self.region_start = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            in_region_before || self.region_start.is_some()
+        }
+    }
+
+    /// Rule `no-expect`: no `.lock().unwrap()` and no `.expect(` outside tests. Clippy's
+    /// `unwrap_used`/`expect_used` cover the general case per-crate; this rule is the
+    /// workspace-wide backstop that cannot be switched off by editing one crate's attributes.
+    fn scan_expect(file: &Path, text: &str, out: &mut Vec<Violation>) {
+        // Patterns (and the messages quoting them) are built by concatenation so the linter
+        // does not flag its own source. `.expect("` (with an opening string literal) is
+        // `Option`/`Result::expect` — a bare `.expect(` would also match the SQL parser's
+        // token-level `expect(TokenKind)` helper.
+        let lock_unwrap: String = [".lock()", ".unwrap()"].concat();
+        let expect: String = [".ex", "pect(\""].concat();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut tests = TestRegions::new();
+        for (i, line) in lines.iter().enumerate() {
+            let in_test = tests.observe(line);
+            if in_test {
+                continue;
+            }
+            let code = code_of(line);
+            if code.contains(&lock_unwrap) && !allowed(&lines, i, RULE_NO_EXPECT) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_NO_EXPECT,
+                    message: format!(
+                        "`{lock_unwrap}` outside tests: propagate poisoning or use parking_lot"
+                    ),
+                });
+            }
+            if code.contains(&expect) && !allowed(&lines, i, RULE_NO_EXPECT) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_NO_EXPECT,
+                    message: format!(
+                        "`{}...)` outside tests: return a structured error instead",
+                        &expect
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Rule `kernel-unchecked-arith`: vectorized integer kernels must use checked arithmetic.
+    /// Flags `|x, y| x + y`-style closures on lines without a float marker, and any
+    /// `wrapping_add`/`wrapping_sub`/`wrapping_mul`.
+    fn scan_kernel_arith(file: &Path, text: &str, out: &mut Vec<Violation>) {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut tests = TestRegions::new();
+        for (i, line) in lines.iter().enumerate() {
+            let in_test = tests.observe(line);
+            if in_test {
+                continue;
+            }
+            let code = code_of(line);
+            let floaty = code.contains("f64") || code.contains("float");
+            if !floaty && arith_closure(code) && !allowed(&lines, i, RULE_KERNEL_ARITH) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_KERNEL_ARITH,
+                    message:
+                        "unchecked integer arithmetic closure in a vectorized kernel: use i64::checked_* via the checked kernel helpers"
+                            .into(),
+                });
+            }
+            if ["wrapping_add", "wrapping_sub", "wrapping_mul"].iter().any(|w| code.contains(w))
+                && !allowed(&lines, i, RULE_KERNEL_ARITH)
+            {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_KERNEL_ARITH,
+                    message: "wrapping integer arithmetic in a vectorized kernel: overflow must be an error, never a silent wrap"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    /// Matches two-argument closures computing bare `+`/`-`/`*` over their parameters,
+    /// e.g. `|x, y| x + y` (the shape of an `arith_kernel` combiner).
+    fn arith_closure(code: &str) -> bool {
+        fn is_ident(t: &str) -> bool {
+            let mut chars = t.chars();
+            chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        let mut rest = code;
+        while let Some(start) = rest.find('|') {
+            let after_open = &rest[start + 1..];
+            let Some(close) = after_open.find('|') else { break };
+            let params: Vec<&str> = after_open[..close].split(',').map(str::trim).collect();
+            let body = after_open[close + 1..].trim_start();
+            if params.len() == 2 && params.iter().all(|p| is_ident(p)) {
+                let body_end = body.find([',', ')', ';']).unwrap_or(body.len());
+                let tokens: Vec<&str> = body[..body_end].split_whitespace().collect();
+                if let [a, op, b] = tokens.as_slice() {
+                    if is_ident(a) && is_ident(b) && matches!(*op, "+" | "-" | "*") {
+                        return true;
+                    }
+                }
+            }
+            rest = &after_open[close + 1..];
+        }
+        false
+    }
+
+    /// Rule `instant-in-loop`: in hot-path files, `Instant::now()` must not appear lexically
+    /// inside a `for`/`while`/`loop` body.
+    fn scan_instant_in_loop(file: &Path, text: &str, out: &mut Vec<Violation>) {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut depth: i32 = 0;
+        let mut loop_starts: Vec<i32> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let code = code_of(line);
+            let trimmed = code.trim_start();
+            let opens_loop = trimmed.starts_with("for ")
+                || trimmed.starts_with("while ")
+                || trimmed.starts_with("loop {")
+                || trimmed == "loop";
+            if opens_loop {
+                loop_starts.push(depth);
+            }
+            let in_loop = !loop_starts.is_empty();
+            if in_loop
+                && code.contains("Instant::now()")
+                && !allowed(&lines, i, RULE_INSTANT_IN_LOOP)
+            {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: i + 1,
+                    rule: RULE_INSTANT_IN_LOOP,
+                    message: "`Instant::now()` inside a loop body in a hot-path file: hoist the clock read to chunk/morsel granularity"
+                        .into(),
+                });
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        while loop_starts.last().is_some_and(|s| depth <= *s) {
+                            loop_starts.pop();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Rules `forbid-unsafe` and `deny-unwrap-header`: every crate root must carry
+    /// `#![forbid(unsafe_code)]` and `#![deny(clippy::unwrap_used, clippy::expect_used)]`.
+    fn scan_crate_root_headers(file: &Path, text: &str, out: &mut Vec<Violation>) {
+        if !text.contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: 1,
+                rule: RULE_FORBID_UNSAFE,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            });
+        }
+        if !text.contains("#![deny(clippy::unwrap_used, clippy::expect_used)]") {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: 1,
+                rule: RULE_DENY_UNWRAP,
+                message:
+                    "crate root is missing `#![deny(clippy::unwrap_used, clippy::expect_used)]` (tests are exempt via clippy.toml)"
+                        .into(),
+            });
+        }
+    }
+}

@@ -13,6 +13,12 @@
 //! Exits non-zero when the connection fails or any statement errored, so CI scripts can pipe a
 //! SQL file through it and fail fast.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Non-test code must surface failures as structured errors, never panic on a recoverable
+// condition (tests are exempt via clippy.toml); `cargo xtask lint` checks this header.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{self, BufReader, Cursor};
 use std::process::ExitCode;
 

@@ -40,6 +40,12 @@
 //! The `PERM_FAILPOINTS` environment variable arms the fault-injection harness (testing only;
 //! see `perm_exec::faults`).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Non-test code must surface failures as structured errors, never panic on a recoverable
+// condition (tests are exempt via clippy.toml); `cargo xtask lint` checks this header.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::process::ExitCode;

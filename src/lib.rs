@@ -39,6 +39,12 @@
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the reproduction of
 //! the paper's evaluation tables.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Non-test code must surface failures as structured errors, never panic on a recoverable
+// condition (tests are exempt via clippy.toml); `cargo xtask lint` checks this header.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub use perm_algebra as algebra;
 pub use perm_baselines as baselines;
 pub use perm_core as core;

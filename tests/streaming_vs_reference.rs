@@ -214,6 +214,7 @@ proptest! {
         let mut next_ref = 0;
         let plan = build(&spec, &catalog, &mut next_ref).build();
         plan.validate().unwrap();
+        plan.verify().unwrap();
 
         let executor = Executor::new(catalog.clone());
         let reference = execute_reference(&catalog, &plan).unwrap();
@@ -235,6 +236,7 @@ proptest! {
 
         let optimized = Optimizer::new().optimize(&plan).unwrap();
         optimized.validate().unwrap();
+        optimized.verify().unwrap();
         let vectorized_opt = executor.execute(&optimized).unwrap();
         let streaming_opt = executor.execute_streaming(&optimized).unwrap();
         let parallel_opt = executor.execute_parallel(&optimized, shared_pool()).unwrap();
@@ -266,6 +268,7 @@ proptest! {
         let plan = build(&spec, &catalog, &mut next_ref).build();
         let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
         rewritten.validate().unwrap();
+        rewritten.verify().unwrap();
 
         let executor = Executor::new(catalog.clone());
         let reference = execute_reference(&catalog, &rewritten).unwrap();
@@ -287,6 +290,7 @@ proptest! {
 
         let optimized = Optimizer::new().optimize(&rewritten).unwrap();
         optimized.validate().unwrap();
+        optimized.verify().unwrap();
         let vectorized_opt = executor.execute(&optimized).unwrap();
         let streaming_opt = executor.execute_streaming(&optimized).unwrap();
         let parallel_opt = executor.execute_parallel(&optimized, shared_pool()).unwrap();
@@ -699,6 +703,7 @@ proptest! {
         let catalog = join_graph_catalog(&sizes[..n]);
         let plan = join_graph_plan(&catalog, n, &kinds, &anchors);
         plan.validate().unwrap();
+        plan.verify().unwrap();
         let stats = perm_exec::TableStatsView::from_snapshot(&catalog.snapshot());
         // Aggressive thresholds: the generated tables hold 0–12 rows, far below the
         // engine-default policy's floors, and the point here is to maximize plan churn.
@@ -707,6 +712,7 @@ proptest! {
 
         let (optimized, _report) = optimizer.optimize_with_stats(&plan, &stats).unwrap();
         optimized.validate().unwrap();
+        optimized.verify().unwrap();
         assert_four_way(&catalog, &plan, "raw join graph");
         assert_four_way(&catalog, &optimized, "reordered join graph");
         let reference = execute_reference(&catalog, &plan).unwrap();
@@ -718,8 +724,10 @@ proptest! {
 
         let rewritten = ProvenanceRewriter::new().rewrite(&plan).unwrap();
         rewritten.validate().unwrap();
+        rewritten.verify().unwrap();
         let (rewritten_opt, _) = optimizer.optimize_with_stats(&rewritten, &stats).unwrap();
         rewritten_opt.validate().unwrap();
+        rewritten_opt.verify().unwrap();
         assert_four_way(&catalog, &rewritten, "rewritten join graph");
         assert_four_way(&catalog, &rewritten_opt, "rewritten+reordered join graph");
         let prov_reference = execute_reference(&catalog, &rewritten).unwrap();
